@@ -1,0 +1,108 @@
+// Ablations beyond the paper's headline plots, over the design choices
+// DESIGN.md calls out: partition granularity (§7.2.2's latency/accuracy
+// trade-off discussion), the T_L deadline slack, Algorithm 2's decay gamma,
+// and outright node failure (s_k -> 0).
+//
+// All on VGG16 with 8 Pi-class nodes unless stated.
+#include "bench_common.hpp"
+
+using namespace adcnn;
+
+namespace {
+
+sim::AdcnnSimConfig base_cfg(const arch::ArchSpec& spec) {
+  return bench::adcnn_config(spec, 8, /*deep=*/true);
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = arch::vgg16();
+  const int images = 60;
+
+  bench::header("Ablation A — partition granularity (latency side of "
+                "§7.2.2's trade-off)");
+  std::printf("%-8s %8s %14s %16s\n", "grid", "tiles", "latency (ms)",
+              "tile bytes (in)");
+  bench::rule();
+  for (const auto grid : {core::TileGrid{2, 2}, core::TileGrid{3, 3},
+                          core::TileGrid{4, 4}, core::TileGrid{4, 8},
+                          core::TileGrid{8, 8}, core::TileGrid{16, 16}}) {
+    auto cfg = base_cfg(spec);
+    cfg.grid = grid;
+    const auto result = sim::simulate_adcnn(spec, cfg, images);
+    std::printf("%lldx%-6lld %8lld %14.1f %16lld\n",
+                static_cast<long long>(grid.rows),
+                static_cast<long long>(grid.cols),
+                static_cast<long long>(grid.count()),
+                result.mean_latency_s * 1e3,
+                static_cast<long long>(spec.cin * spec.hin * spec.win /
+                                       grid.count()));
+  }
+  std::printf("(finer grids shrink the straggler quantum; Figure 10 shows "
+              "the accuracy cost of going finer)\n");
+
+  bench::header("Ablation B — straggler slack & T_L under degradation "
+                "(nodes 5-8 throttled at t=2s)");
+  std::printf("%-8s %6s | %12s %12s %12s\n", "slack", "T_L", "latency (ms)",
+              "zero-filled", "settled x_8");
+  bench::rule();
+  for (const double slack : {1.1, 1.25, 1.5, 2.0, 4.0}) {
+    auto cfg = base_cfg(spec);
+    cfg.straggler_slack = slack;
+    for (int k = 4; k < 8; ++k)
+      cfg.nodes[static_cast<std::size_t>(k)].trace = {{2.0, 0.3}};
+    const auto result = sim::simulate_adcnn(spec, cfg, images);
+    std::printf("%-8.2f %6.0f | %12.1f %12lld %12lld\n", slack,
+                cfg.t_l * 1e3, result.mean_latency_s * 1e3,
+                static_cast<long long>(result.zero_filled_total),
+                static_cast<long long>(result.images.back().assigned[7]));
+  }
+  std::printf("(tight slack reacts faster but zero-fills more tiles — an "
+              "accuracy cost the paper leaves implicit)\n");
+
+  bench::header("Ablation C — Algorithm 2 decay gamma (adaptation speed)");
+  std::printf("%-8s | %-18s %-18s\n", "gamma", "latency 0-2s (ms)",
+              "latency last 20 (ms)");
+  bench::rule();
+  for (const double gamma : {0.1, 0.5, 0.9, 0.99}) {
+    auto cfg = base_cfg(spec);
+    cfg.gamma = gamma;
+    for (int k = 4; k < 8; ++k)
+      cfg.nodes[static_cast<std::size_t>(k)].trace = {{2.0, 0.3}};
+    const auto result = sim::simulate_adcnn(spec, cfg, images);
+    double early = 0.0, late = 0.0;
+    int early_n = 0;
+    for (const auto& rec : result.images) {
+      if (rec.partition_start < 2.0) {
+        early += rec.latency;
+        ++early_n;
+      }
+    }
+    for (int i = images - 20; i < images; ++i)
+      late += result.images[static_cast<std::size_t>(i)].latency;
+    std::printf("%-8.2f | %18.1f %18.1f\n", gamma,
+                early_n ? early / early_n * 1e3 : 0.0, late / 20 * 1e3);
+  }
+  std::printf("(the paper's gamma=0.9 weights fresh counts heavily: fast "
+              "adaptation, settled latency close to optimal)\n");
+
+  bench::header("Ablation D — node failure (a Conv node dies mid-run)");
+  {
+    auto cfg = base_cfg(spec);
+    cfg.nodes[3].trace = {{2.0, 0.0}};  // node 4 stops completely
+    const auto result = sim::simulate_adcnn(spec, cfg, images);
+    std::printf("node 4 dies at t=2s: mean latency %.1f ms, zero-filled "
+                "%lld tiles\n",
+                result.mean_latency_s * 1e3,
+                static_cast<long long>(result.zero_filled_total));
+    std::printf("assignment image 0:   ");
+    for (const auto tiles : result.images[0].assigned)
+      std::printf(" %lld", static_cast<long long>(tiles));
+    std::printf("\nassignment image %d: ", images - 1);
+    for (const auto tiles : result.images.back().assigned)
+      std::printf(" %lld", static_cast<long long>(tiles));
+    std::printf("   <- dead node starved of tiles (s_k -> 0)\n");
+  }
+  return 0;
+}

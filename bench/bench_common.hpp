@@ -1,0 +1,57 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/adcnn_sim.hpp"
+
+namespace adcnn::bench {
+
+/// ADCNN_FULL=1 switches the training-based harnesses from the compact
+/// default sweeps to the paper's full grids (minutes -> tens of minutes on
+/// one core).
+inline bool full_mode() {
+  const char* env = std::getenv("ADCNN_FULL");
+  return env && std::strcmp(env, "0") != 0;
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+/// Pi-class device used everywhere (see sim/device.hpp for calibration).
+inline sim::DeviceSpec pi_device() { return sim::DeviceSpec{}; }
+
+/// The paper's testbed WiFi.
+inline sim::LinkSpec testbed_link() {
+  return sim::LinkSpec{.bandwidth_bps = 87.72e6, .latency_s = 0.0005};
+}
+
+/// Default 8-node ADCNN simulation at the paper's settings; `deep` selects
+/// the deep partition (suffix = head only) the testbed numbers imply.
+inline sim::AdcnnSimConfig adcnn_config(const arch::ArchSpec& spec,
+                                        int nodes, bool deep) {
+  auto cfg = sim::AdcnnSimConfig::uniform(nodes, pi_device());
+  cfg.link = testbed_link();
+  if (spec.hin == 1) cfg.grid = core::TileGrid{1, 8};  // 1-D models
+  if (deep) cfg.separable_override = sim::deep_partition_blocks(spec);
+  return cfg;
+}
+
+inline const std::vector<std::string>& five_models() {
+  static const std::vector<std::string> models{"vgg16", "resnet34", "yolo",
+                                               "fcn", "charcnn"};
+  return models;
+}
+
+}  // namespace adcnn::bench

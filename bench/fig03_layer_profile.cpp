@@ -1,0 +1,57 @@
+// Figure 3: per-layer-block execution time and ifmap size on a Pi-class
+// edge device, for VGG16, ResNet18, FCN and CharCNN.
+//
+// Expected shape (paper): time and ifmap size peak in the early blocks and
+// fall off sharply; the first four VGG16 blocks carry ~40% of total time;
+// the FC block is a small fraction of compute.
+#include "bench_common.hpp"
+#include "sim/cost_model.hpp"
+
+using namespace adcnn;
+
+namespace {
+
+void profile_model(const char* name) {
+  const arch::ArchSpec spec = arch::by_name(name);
+  const sim::DeviceSpec dev = bench::pi_device();
+  std::printf("\n%s (input %lldx%lldx%lld, %.1f GFLOPs total)\n", name,
+              static_cast<long long>(spec.cin),
+              static_cast<long long>(spec.hin),
+              static_cast<long long>(spec.win),
+              static_cast<double>(spec.total_flops()) * 1e-9);
+  std::printf("  %-8s %12s %14s %10s\n", "block", "time (ms)", "ifmap (KB)",
+              "separable");
+  double total = 0.0;
+  std::vector<double> times;
+  for (int b = 0; b < static_cast<int>(spec.blocks.size()); ++b) {
+    double t = 0.0;
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers)
+      t += sim::layer_seconds(l, dev);
+    times.push_back(t);
+    total += t;
+  }
+  for (int b = 0; b < static_cast<int>(spec.blocks.size()); ++b) {
+    const auto& block = spec.blocks[static_cast<std::size_t>(b)];
+    std::printf("  %-8s %12.2f %14.1f %10s\n", block.name.c_str(),
+                times[static_cast<std::size_t>(b)] * 1e3,
+                static_cast<double>(block.in_bytes()) / 1024.0,
+                b < spec.separable_blocks ? "yes" : "");
+  }
+  double early = 0.0;
+  const int four = std::min(4, static_cast<int>(times.size()));
+  for (int b = 0; b < four; ++b) early += times[static_cast<std::size_t>(b)];
+  std::printf("  total %.1f ms; first four blocks: %.1f%% of time; "
+              "FC/head block: %.1f%%\n",
+              total * 1e3, 100.0 * early / total,
+              100.0 * times.back() / total);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 3 — layer-block execution time & ifmap size "
+                "(Pi-class device model)");
+  for (const char* name : {"vgg16", "resnet18", "fcn", "charcnn"})
+    profile_model(name);
+  return 0;
+}

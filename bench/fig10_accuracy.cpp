@@ -1,0 +1,75 @@
+// Figure 10: accuracy of the original CNN vs the FDSP-partitioned,
+// clipped-ReLU + 4-bit-quantized, progressively retrained CNN, across
+// partition grids.
+//
+// Paper scope: VGG16/ResNet34/YOLO/FCN/CharCNN on ImageNet-class corpora,
+// grids 2x2 / 3x3 / 4x4 / 4x8 / 8x8, degradation <= ~1.3%. This harness
+// runs the mini-model substitution (DESIGN.md §3) on synthetic tasks.
+// Expected shape: retrained accuracy tracks the original closely at coarse
+// grids and degrades gracefully at the finest grids.
+//
+// Default: 3 families x 3 grids (a few minutes on one core).
+// ADCNN_FULL=1: all 5 families x all 5 grids.
+#include "retrain_common.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("Figure 10 — original vs progressively retrained accuracy");
+  const auto sizes = bench::retrain_sizes();
+  const bool full = bench::full_mode();
+  const std::vector<std::string> families =
+      full ? std::vector<std::string>{"vgg", "resnet", "yolo", "fcn",
+                                      "charcnn"}
+           : std::vector<std::string>{"vgg", "resnet", "charcnn"};
+  struct GridChoice {
+    core::TileGrid grid;
+    std::int64_t image;
+  };
+  const std::vector<GridChoice> grids =
+      full ? std::vector<GridChoice>{{{2, 2}, 32},
+                                     {{3, 3}, 48},
+                                     {{4, 4}, 32},
+                                     {{4, 8}, 32},
+                                     {{8, 8}, 32}}
+           : std::vector<GridChoice>{{{2, 2}, 32}, {{4, 4}, 32}, {{8, 8}, 32}};
+  std::printf("mode: %s (set ADCNN_FULL=1 for the paper's full grid)\n",
+              full ? "full" : "compact");
+
+  std::printf("\n%-9s %-6s %10s %10s %10s\n", "model", "grid", "original",
+              "retrained", "delta");
+  bench::rule();
+  for (const auto& family : families) {
+    // One trained original per (family, image size).
+    for (std::int64_t image : {std::int64_t{32}, std::int64_t{48}}) {
+      bool used = false;
+      for (const auto& choice : grids)
+        used |= (choice.image == image);
+      if (!used || (family == "charcnn" && image != 32)) continue;
+
+      const auto setup = bench::make_family(family, image, sizes);
+      nn::Model original = bench::train_original(setup, sizes);
+      const double base =
+          train::evaluate(original, setup.test_set).accuracy;
+
+      for (const auto& choice : grids) {
+        if (choice.image != image && family != "charcnn") continue;
+        if (family == "charcnn" && choice.image != 32) continue;
+        const core::TileGrid grid =
+            bench::family_grid(family, choice.grid);
+        const auto result =
+            bench::retrain(setup, original, grid, sizes);
+        const double retrained = result.stages.back().accuracy;
+        std::printf("%-9s %lldx%-4lld %9.1f%% %9.1f%% %+9.1f%%\n",
+                    family.c_str(),
+                    static_cast<long long>(choice.grid.rows),
+                    static_cast<long long>(choice.grid.cols), 100.0 * base,
+                    100.0 * retrained, 100.0 * (retrained - base));
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\n(paper: <=1%% degradation for VGG16/ResNet34/CharCNN, "
+              "<=1.3%% for FCN, ~1.2%% mAP for YOLO)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 11: end-to-end inference latency of ADCNN (8 Conv nodes) vs the
+// single-device and remote-cloud schemes, with 95% confidence intervals
+// over 100 input samples.
+//
+// Expected shape (paper): ADCNN lowest on all five CNNs; 6.68x mean
+// speedup vs single device, 4.42x vs remote cloud. Both the paper's stated
+// separable-block counts and the deep partition its testbed numbers imply
+// are reported (EXPERIMENTS.md discusses the reconciliation).
+#include "bench_common.hpp"
+#include "sim/baseline_sim.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("Figure 11 — latency vs single-device and remote-cloud "
+                "(8 Conv nodes, 87.72 Mbps edge / 61.30 Mbps WAN)");
+  const int images = 100;
+  std::printf("%-9s | %-19s | %-19s | %15s | %15s\n", "model",
+              "ADCNN stated (ms)", "ADCNN deep (ms)", "single (ms)",
+              "cloud (ms)");
+  bench::rule();
+  double speedup_single = 0.0, speedup_cloud = 0.0;
+  for (const auto& name : bench::five_models()) {
+    const auto spec = arch::by_name(name);
+    auto stated = bench::adcnn_config(spec, 8, false);
+    auto deep = bench::adcnn_config(spec, 8, true);
+    const auto r_stated = sim::simulate_adcnn(spec, stated, images);
+    const auto r_deep = sim::simulate_adcnn(spec, deep, images);
+    const auto single =
+        sim::simulate_single_device(spec, bench::pi_device(), 0.03, 5, images);
+    const auto cloud =
+        sim::simulate_remote_cloud(spec, sim::CloudConfig{}, 0.03, 5, images);
+    std::printf("%-9s | %9.1f +-%6.1f | %9.1f +-%6.1f | %8.1f +-%4.1f | "
+                "%8.1f +-%4.1f\n",
+                name.c_str(), r_stated.mean_latency_s * 1e3,
+                r_stated.ci95_s * 1e3, r_deep.mean_latency_s * 1e3,
+                r_deep.ci95_s * 1e3, single.mean_latency_s * 1e3,
+                single.ci95_s * 1e3, cloud.mean_latency_s * 1e3,
+                cloud.ci95_s * 1e3);
+    speedup_single += single.mean_latency_s / r_deep.mean_latency_s;
+    speedup_cloud += cloud.mean_latency_s / r_deep.mean_latency_s;
+  }
+  const double n = static_cast<double>(bench::five_models().size());
+  std::printf("\nmean speedup (deep partition): %.2fx vs single device, "
+              "%.2fx vs remote cloud\n(paper: 6.68x and 4.42x)\n",
+              speedup_single / n, speedup_cloud / n);
+  return 0;
+}

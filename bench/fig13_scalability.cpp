@@ -1,0 +1,54 @@
+// Figure 13: scalability — latency/speedup with 2..8 Conv nodes (left
+// plot), and per-node energy & memory vs the single-device scheme (right
+// plot), on VGG16.
+//
+// Expected shape (paper): speedup grows from 1.8x (2 nodes) to 6.2x
+// (8 nodes) with diminishing returns; per-node energy and memory fall as
+// nodes are added.
+#include "bench_common.hpp"
+#include "sim/baseline_sim.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("Figure 13 — scalability, energy and memory on VGG16");
+  const auto spec = arch::vgg16();
+  const int images = 60;
+  const auto single =
+      sim::simulate_single_device(spec, bench::pi_device(), 0.03, 5, images);
+
+  // Single-device reference for energy/memory.
+  const auto& power = bench::pi_device().power;
+  const double single_energy =
+      power.active_w * single.mean_latency_s;  // busy the whole time
+  const std::int64_t single_memory =
+      spec.total_param_bytes() + spec.input_bytes();
+
+  std::printf("%-7s %12s %9s %18s %18s\n", "nodes", "latency(ms)", "speedup",
+              "energy/node (J)", "memory/node (MB)");
+  bench::rule();
+  std::printf("%-7s %12.1f %9s %18.2f %18.1f\n", "single",
+              single.mean_latency_s * 1e3, "1.0x", single_energy,
+              static_cast<double>(single_memory) / 1e6);
+  for (int nodes = 2; nodes <= 8; ++nodes) {
+    auto cfg = bench::adcnn_config(spec, nodes, /*deep=*/true);
+    const auto result = sim::simulate_adcnn(spec, cfg, images);
+    // Energy per image per node; node_energy_j covers the whole run.
+    double energy = 0.0;
+    for (const double e : result.node_energy_j) energy += e;
+    energy /= static_cast<double>(nodes) * images;
+    const std::int64_t tiles_per_node =
+        cfg.grid.count() / nodes + (cfg.grid.count() % nodes ? 1 : 0);
+    arch::ArchSpec deep = spec;
+    deep.separable_blocks = sim::deep_partition_blocks(spec);
+    const std::int64_t memory =
+        sim::conv_node_memory_bytes(deep, cfg.grid, tiles_per_node);
+    std::printf("%-7d %12.1f %8.1fx %18.2f %18.1f\n", nodes,
+                result.mean_latency_s * 1e3,
+                single.mean_latency_s / result.mean_latency_s, energy,
+                static_cast<double>(memory) / 1e6);
+  }
+  std::printf("\n(paper: speedup 1.8x..6.2x from 2..8 nodes; energy and "
+              "memory per node decrease monotonically)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 14: ADCNN vs Neurosurgeon vs AOFL on YOLO, VGG16 and ResNet34.
+//
+// Expected shape (paper): ADCNN fastest everywhere; on average 1.6x faster
+// than AOFL and 2.8x than Neurosurgeon. Neurosurgeon cuts early (its WAN
+// upload dominates); AOFL fuses many early layers.
+#include "baselines/aofl.hpp"
+#include "baselines/neurosurgeon.hpp"
+#include "bench_common.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("Figure 14 — ADCNN vs Neurosurgeon vs AOFL");
+  const int images = 100;
+  std::printf("%-9s | %-17s | %-24s | %-26s\n", "model", "ADCNN (ms)",
+              "AOFL (ms, fused blocks)", "Neurosurgeon (ms, cut, tx%)");
+  bench::rule();
+  double r_aofl = 0.0, r_neuro = 0.0;
+  for (const char* name : {"yolo", "vgg16", "resnet34"}) {
+    const auto spec = arch::by_name(name);
+    auto cfg = bench::adcnn_config(spec, 8, /*deep=*/true);
+    const auto adcnn = sim::simulate_adcnn(spec, cfg, images);
+    const auto aofl = baselines::aofl_plan(
+        spec, core::TileGrid{2, 4}, bench::pi_device(), bench::testbed_link());
+    const auto neuro = baselines::neurosurgeon_plan(spec, bench::pi_device(),
+                                                    sim::CloudConfig{});
+    std::printf("%-9s | %7.1f +-%5.1f | %14.1f  f=%-7d | %12.1f cut=%-3d "
+                "%4.0f%%\n",
+                name, adcnn.mean_latency_s * 1e3, adcnn.ci95_s * 1e3,
+                aofl.latency_s * 1e3, aofl.fused_blocks(), neuro.latency_s * 1e3,
+                neuro.cut, 100.0 * neuro.tx_s / neuro.latency_s);
+    r_aofl += aofl.latency_s / adcnn.mean_latency_s;
+    r_neuro += neuro.latency_s / adcnn.mean_latency_s;
+  }
+  std::printf("\nmean: AOFL %.2fx, Neurosurgeon %.2fx slower than ADCNN "
+              "(paper: 1.6x and 2.8x)\n", r_aofl / 3.0, r_neuro / 3.0);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 15: adaptation to runtime node-performance degradation.
+//
+// Mid-run (while processing a stream of VGG16 inputs at an 8x8 partition
+// over 8 nodes), nodes 5-6 lose ~55% of their CPU and nodes 7-8 lose ~76%
+// (the paper's CPUlimit experiment). Expected shape: per-image latency
+// spikes at the degradation, then Algorithm 2's statistics pull tiles away
+// from the slow nodes (Algorithm 3) and latency partially recovers; tile
+// assignments shift from 8 per node to more on the healthy nodes and ~5/3
+// on the throttled ones.
+#include "bench_common.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("Figure 15 — adaptation to node performance degradation "
+                "(VGG16, 8x8, 8 nodes)");
+  const auto spec = arch::vgg16();
+  auto cfg = bench::adcnn_config(spec, 8, /*deep=*/true);
+  const int images = 100;
+
+  // Degrade after ~image 50: estimate its start time from a clean run.
+  const double t50 =
+      sim::simulate_adcnn(spec, cfg, 51).images.back().partition_start;
+  for (int k = 4; k < 6; ++k)
+    cfg.nodes[static_cast<std::size_t>(k)].trace = {{t50, 0.45}};
+  for (int k = 6; k < 8; ++k)
+    cfg.nodes[static_cast<std::size_t>(k)].trace = {{t50, 0.24}};
+
+  const auto result = sim::simulate_adcnn(spec, cfg, images);
+
+  std::printf("(a) CPU availability: nodes 1-4 100%%; nodes 5-6 -> 45%%, "
+              "nodes 7-8 -> 24%% at t=%.2fs (image ~50)\n\n", t50);
+
+  std::printf("(b) per-image latency (ms), every 5th image:\n  ");
+  for (int i = 0; i < images; i += 5)
+    std::printf("%6.0f", result.images[static_cast<std::size_t>(i)].latency *
+                             1e3);
+  std::printf("\n");
+  double before = 0.0, spike = 0.0, after = 0.0;
+  for (int i = 30; i < 48; ++i)
+    before += result.images[static_cast<std::size_t>(i)].latency;
+  before /= 18.0;
+  for (int i = 50; i < 56; ++i)
+    spike = std::max(spike,
+                     result.images[static_cast<std::size_t>(i)].latency);
+  for (int i = 80; i < 100; ++i)
+    after += result.images[static_cast<std::size_t>(i)].latency;
+  after /= 20.0;
+  std::printf("  steady before: %.0f ms; peak at degradation: %.0f ms; "
+              "steady after adaptation: %.0f ms\n",
+              before * 1e3, spike * 1e3, after * 1e3);
+  std::printf("  (paper: 241 ms -> 392 ms spike -> 351 ms settled)\n");
+
+  std::printf("\n(c) tile assignment per node:\n");
+  auto print_assign = [&](int i) {
+    std::printf("  image %3d:", i);
+    for (const auto tiles :
+         result.images[static_cast<std::size_t>(i)].assigned)
+      std::printf(" %3lld", static_cast<long long>(tiles));
+    std::printf("   (zero-filled: %lld)\n",
+                static_cast<long long>(
+                    result.images[static_cast<std::size_t>(i)].zero_filled));
+  };
+  for (const int i : {0, 45, 52, 60, 75, 99}) print_assign(i);
+  std::printf("  (paper: 8 each -> 12,12,12,12,5,5,3,3 after adaptation)\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Operator / codec / scheduler micro-benchmarks (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "compress/pipeline.hpp"
+#include "core/allocate.hpp"
+#include "core/stats.hpp"
+#include "nn/conv.hpp"
+#include "nn/gemm.hpp"
+#include "nn/tiling.hpp"
+#include "sim/adcnn_sim.hpp"
+
+namespace {
+
+using namespace adcnn;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    nn::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(c, c, 3, 1, 1, false, rng);
+  const Tensor x = Tensor::randn(Shape{1, c, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, nn::Mode::kEval);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.flops(x.shape()));
+}
+BENCHMARK(BM_ConvForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(16, 16, 3, 1, 1, false, rng);
+  const Tensor x = Tensor::randn(Shape{1, 16, 32, 32}, rng);
+  const Tensor g = Tensor::randn(Shape{1, 16, 32, 32}, rng);
+  for (auto _ : state) {
+    conv.forward(x, nn::Mode::kTrain);
+    Tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_TileSplitMerge(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor x = Tensor::randn(Shape{1, 64, 64, 64}, rng);
+  for (auto _ : state) {
+    Tensor tiles = nn::TileSplit::split(x, 8, 8);
+    Tensor merged = nn::TileSplit::merge(tiles, 8, 8);
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * 4 * 2);
+}
+BENCHMARK(BM_TileSplitMerge);
+
+void BM_TileCodecEncode(benchmark::State& state) {
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(5);
+  compress::TileCodec codec(2.0f, 4);
+  Tensor x(Shape{1, 32, 28, 28});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = rng.uniform() < sparsity ? 0.0f
+                                    : static_cast<float>(rng.uniform(0, 2));
+  for (auto _ : state) {
+    auto wire = codec.encode(x);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(state.iterations() * x.numel() * 4);
+}
+BENCHMARK(BM_TileCodecEncode)->Arg(50)->Arg(90)->Arg(99);
+
+void BM_TileCodecDecode(benchmark::State& state) {
+  Rng rng(6);
+  compress::TileCodec codec(2.0f, 4);
+  Tensor x(Shape{1, 32, 28, 28});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = rng.uniform() < 0.95 ? 0.0f : 1.0f;
+  const auto wire = codec.encode(x);
+  for (auto _ : state) {
+    Tensor y = codec.decode(wire, x.shape());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TileCodecDecode);
+
+void BM_AllocateTiles(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  Rng rng(7);
+  core::AllocRequest req;
+  for (int k = 0; k < nodes; ++k) req.speeds.push_back(rng.uniform(0.5, 8.0));
+  req.tiles = 64;
+  for (auto _ : state) {
+    auto x = core::allocate_tiles(req);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_AllocateTiles)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_StatsCollector(benchmark::State& state) {
+  core::StatsCollector collector(8, 0.9);
+  const std::vector<std::int64_t> counts{8, 8, 7, 8, 6, 8, 8, 5};
+  for (auto _ : state) {
+    collector.record_image(counts);
+    benchmark::DoNotOptimize(collector.speeds().data());
+  }
+}
+BENCHMARK(BM_StatsCollector);
+
+void BM_SimulateAdcnn(benchmark::State& state) {
+  const auto spec = arch::vgg16();
+  auto cfg = sim::AdcnnSimConfig::uniform(8, sim::DeviceSpec{});
+  for (auto _ : state) {
+    auto result = sim::simulate_adcnn(spec, cfg, 20);
+    benchmark::DoNotOptimize(result.mean_latency_s);
+  }
+}
+BENCHMARK(BM_SimulateAdcnn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

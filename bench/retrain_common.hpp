@@ -1,0 +1,127 @@
+// Shared machinery for the training-based harnesses (Figure 10, Tables
+// 1-2): builds each mini model family with a partition-compatible synthetic
+// dataset, trains the original, and runs progressive retraining.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "data/charseq.hpp"
+#include "data/shapes.hpp"
+#include "nn/models_mini.hpp"
+#include "train/progressive.hpp"
+
+namespace adcnn::bench {
+
+struct RetrainSizes {
+  std::int64_t train_count = 512;
+  std::int64_t test_count = 128;
+  int baseline_epochs = 6;
+  int max_epochs_per_stage = 5;
+};
+
+inline RetrainSizes retrain_sizes() {
+  RetrainSizes s;
+  if (full_mode()) {
+    s.train_count = 1024;
+    s.test_count = 256;
+    s.baseline_epochs = 8;
+    s.max_epochs_per_stage = 6;
+  }
+  return s;
+}
+
+/// A mini-model family bound to its task data at a given input size.
+struct FamilySetup {
+  std::string family;
+  nn::MiniOptions opt;
+  data::Dataset train_set;
+  data::Dataset test_set;
+
+  nn::Model build(std::uint64_t seed = 77) const {
+    Rng rng(seed);
+    return nn::make_mini(family, rng, opt);
+  }
+};
+
+/// `image` must be divisible by 4 x grid extents (pooling condition).
+/// CharCNN ignores `image` (uses length 64, 1-D grids).
+inline FamilySetup make_family(const std::string& family, std::int64_t image,
+                               const RetrainSizes& sizes) {
+  FamilySetup setup;
+  setup.family = family;
+  setup.opt.width_mult = 0.5;
+  setup.opt.image = image;
+  if (family == "charcnn") {
+    data::CharSeqConfig cfg;
+    cfg.count = sizes.train_count;
+    cfg.seed = 21;
+    setup.train_set = data::make_charseq(cfg);
+    cfg.count = sizes.test_count;
+    cfg.seed = 22;
+    setup.test_set = data::make_charseq(cfg);
+    return setup;
+  }
+  data::ShapesConfig cfg;
+  cfg.image = image;
+  cfg.count = sizes.train_count;
+  cfg.seed = 21;
+  if (family == "fcn") {
+    setup.train_set = data::make_shapes_segmentation(cfg);
+    cfg.count = sizes.test_count;
+    cfg.seed = 22;
+    setup.test_set = data::make_shapes_segmentation(cfg);
+    setup.opt.num_classes = setup.train_set.num_classes;
+  } else if (family == "yolo") {
+    setup.train_set = data::make_shapes_detection(cfg, image / 8);
+    cfg.count = sizes.test_count;
+    cfg.seed = 22;
+    setup.test_set = data::make_shapes_detection(cfg, image / 8);
+    setup.opt.num_classes = setup.train_set.num_classes - 1;
+  } else {
+    setup.train_set = data::make_shapes_classification(cfg);
+    cfg.count = sizes.test_count;
+    cfg.seed = 22;
+    setup.test_set = data::make_shapes_classification(cfg);
+  }
+  return setup;
+}
+
+/// Train the original model (M_ori) for the family.
+inline nn::Model train_original(const FamilySetup& setup,
+                                const RetrainSizes& sizes) {
+  nn::Model model = setup.build();
+  train::TrainConfig cfg;
+  cfg.epochs = sizes.baseline_epochs;
+  cfg.lr = 0.02;
+  train::train(model, setup.train_set, setup.test_set, cfg);
+  return model;
+}
+
+/// Progressive retraining for one partition grid.
+inline train::ProgressiveResult retrain(const FamilySetup& setup,
+                                        nn::Model& original,
+                                        const core::TileGrid& grid,
+                                        const RetrainSizes& sizes) {
+  train::ProgressiveConfig cfg;
+  cfg.grid = grid;
+  const auto bounds =
+      train::suggest_clip_bounds(original, setup.train_set, 0.75);
+  cfg.clip_lower = bounds.first;
+  cfg.clip_upper = bounds.second;
+  cfg.max_epochs_per_stage = sizes.max_epochs_per_stage;
+  cfg.recover_margin = 0.01;
+  cfg.retrain.lr = 0.015;
+  return train::progressive_retrain([&] { return setup.build(); }, original,
+                                    setup.train_set, setup.test_set, cfg);
+}
+
+/// Map the paper's image grids onto CharCNN's 1-D sequences.
+inline core::TileGrid family_grid(const std::string& family,
+                                  const core::TileGrid& grid) {
+  if (family == "charcnn") return core::TileGrid{1, grid.count() > 8 ? 8 : grid.count()};
+  return grid;
+}
+
+}  // namespace adcnn::bench

@@ -1,0 +1,58 @@
+// §3.1 analysis: communication cost of the partitioning strategies the
+// paper contrasts — batch, channel, naive spatial (halo exchange), FDSP.
+//
+// Expected numbers (paper): channel partitioning of VGG16 L1 across two
+// devices moves 51.38 Mbit per device (~11x the input image); FDSP moves
+// zero cross-tile bytes and ships a compressed separable ofmap instead
+// (FCN's is 2.7x the input before compression, ~0.03x after).
+#include "bench_common.hpp"
+#include "core/strategies.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("§3.1 — partitioning strategy communication analysis");
+
+  const auto vgg = arch::vgg16();
+  const auto& conv1 = vgg.blocks[0].layers[0];
+  const double ch2 =
+      static_cast<double>(core::channel_partition_layer_bytes(conv1, 2)) *
+      8e-6;
+  std::printf("channel partition, VGG16 L1, 2 devices: %.2f Mbit/device "
+              "(paper: 51.38; %.1fx the fp32 input image, paper: ~11x)\n",
+              ch2, ch2 / (static_cast<double>(vgg.input_bytes()) * 8e-6));
+
+  std::printf("\n%-10s %8s | %-16s %-16s %-14s\n", "model", "blocks",
+              "channel K=4 (MB)", "halo 2x2 (MB)", "FDSP x-tile");
+  bench::rule();
+  for (const auto& name : bench::five_models()) {
+    const auto spec = arch::by_name(name);
+    const int blocks = spec.separable_blocks;
+    std::printf("%-10s %8d | %16.1f %16.2f %14s\n", name.c_str(), blocks,
+                static_cast<double>(core::channel_partition_comm_bytes(
+                    spec, 4, blocks)) / 1e6,
+                static_cast<double>(core::halo_exchange_comm_bytes(
+                    spec, core::TileGrid{2, 2}, blocks)) / 1e6,
+                "0 (by design)");
+  }
+
+  std::printf("\nFDSP to-Central traffic (uncompressed fp32 separable "
+              "ofmap, vs input):\n");
+  for (const auto& name : bench::five_models()) {
+    const auto spec = arch::by_name(name);
+    const double ofmap = static_cast<double>(core::fdsp_to_central_bytes(spec));
+    std::printf("  %-9s %8.2f Mbit  (%.2fx input; ~%.3fx after §4 "
+                "compression)\n",
+                name.c_str(), ofmap * 8e-6,
+                ofmap / static_cast<double>(spec.input_bytes()),
+                ofmap * 0.032 / static_cast<double>(spec.input_bytes()));
+  }
+
+  std::printf("\nAOFL halo-recomputation overhead vs fuse depth "
+              "(VGG16, 2x4 grid):\n  ");
+  for (int fused : {1, 3, 5, 7, 9, 11, 13})
+    std::printf("f=%d: %.2fx  ", fused,
+                core::aofl_compute_overhead(vgg, core::TileGrid{2, 4}, fused));
+  std::printf("\n  (grows with depth — the §7.4 trade-off)\n");
+  return 0;
+}

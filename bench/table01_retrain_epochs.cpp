@@ -1,0 +1,39 @@
+// Table 1: number of retraining epochs needed for each modification
+// (FDSP, clipped ReLU, quantization) during progressive retraining at the
+// 8x8 partition.
+//
+// Expected shape: a handful of epochs per stage (vs hundreds for training
+// from scratch), with FDSP needing the most and quantization the least.
+//
+// Default: VGG16-mini + CharCNN-mini; ADCNN_FULL=1 adds ResNet/YOLO minis
+// (the paper's Table 1 set).
+#include "retrain_common.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("Table 1 — epochs per modification, 8x8 partition");
+  const auto sizes = bench::retrain_sizes();
+  const std::vector<std::string> families =
+      bench::full_mode()
+          ? std::vector<std::string>{"vgg", "resnet", "yolo", "charcnn"}
+          : std::vector<std::string>{"vgg", "charcnn"};
+
+  std::printf("%-9s %6s %14s %14s %7s\n", "model", "FDSP", "ClippedReLU",
+              "Quantization", "Total");
+  bench::rule();
+  for (const auto& family : families) {
+    const auto setup = bench::make_family(family, 32, sizes);
+    nn::Model original = bench::train_original(setup, sizes);
+    const core::TileGrid grid =
+        bench::family_grid(family, core::TileGrid{8, 8});
+    const auto result = bench::retrain(setup, original, grid, sizes);
+    std::printf("%-9s %6d %14d %14d %7d\n", family.c_str(),
+                result.stages[0].epochs_used, result.stages[1].epochs_used,
+                result.stages[2].epochs_used, result.total_epochs());
+    std::fflush(stdout);
+  }
+  std::printf("\n(paper, full-scale: VGG16 5/3/2, ResNet34 5/3/3, "
+              "YOLO 7/4/2, CharCNN 2/2/1)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 3: latency breakdown (input/output transmission vs computation)
+// of ADCNN, single-device and remote-cloud on VGG16.
+//
+// Expected shape (paper): ADCNN 37.14 ms transmission / 202.88 ms compute;
+// single device all-compute 1586.53 ms; remote cloud transmission-dominated
+// (502.21 ms vs 98.94 ms).
+#include "bench_common.hpp"
+#include "sim/baseline_sim.hpp"
+
+using namespace adcnn;
+
+int main() {
+  bench::header("Table 3 — latency breakdown on VGG16");
+  const auto spec = arch::vgg16();
+  const int images = 100;
+
+  auto cfg = bench::adcnn_config(spec, 8, /*deep=*/true);
+  const auto adcnn = sim::simulate_adcnn(spec, cfg, images);
+  const auto single =
+      sim::simulate_single_device(spec, bench::pi_device(), 0.03, 5, images);
+  const auto cloud =
+      sim::simulate_remote_cloud(spec, sim::CloudConfig{}, 0.03, 5, images);
+
+  std::printf("%-14s %26s %16s\n", "scheme", "input/output tx (ms)",
+              "compute (ms)");
+  bench::rule();
+  std::printf("%-14s %26.2f %16.2f\n", "ADCNN",
+              adcnn.mean_transmission_s * 1e3, adcnn.mean_compute_s * 1e3);
+  std::printf("%-14s %26.2f %16.2f\n", "single-device",
+              single.transmission_s * 1e3, single.compute_s * 1e3);
+  std::printf("%-14s %26.2f %16.2f\n", "remote-cloud",
+              cloud.transmission_s * 1e3, cloud.compute_s * 1e3);
+  std::printf("\n(paper: ADCNN 37.14/202.88, single 0/1586.53, "
+              "cloud 502.21/98.94)\n");
+  return 0;
+}

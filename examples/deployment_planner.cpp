@@ -1,0 +1,87 @@
+// Deployment planner: given a full-scale CNN and a device fleet, compare
+// every execution strategy this library models — single device, remote
+// cloud, Neurosurgeon, AOFL and ADCNN — and print a recommendation.
+//
+//   ./deployment_planner [model] [nodes] [bandwidth_mbps]
+//   model in {vgg16, resnet18, resnet34, yolo, fcn, charcnn}
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/aofl.hpp"
+#include "baselines/neurosurgeon.hpp"
+#include "sim/adcnn_sim.hpp"
+#include "sim/baseline_sim.hpp"
+
+using namespace adcnn;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "yolo";
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 8;
+  const double mbps = argc > 3 ? std::atof(argv[3]) : 87.72;
+
+  const arch::ArchSpec spec = arch::by_name(model);
+  const sim::DeviceSpec device;
+  sim::LinkSpec link;
+  link.bandwidth_bps = mbps * 1e6;
+
+  std::printf("plan for %s: %d Pi-class edge nodes, %.2f Mbps edge links\n",
+              model.c_str(), nodes, mbps);
+  std::printf("  %.1f GFLOPs, %.0f MB of weights, input %lldx%lldx%lld\n\n",
+              static_cast<double>(spec.total_flops()) * 1e-9,
+              static_cast<double>(spec.total_param_bytes()) / 1e6,
+              static_cast<long long>(spec.cin),
+              static_cast<long long>(spec.hin),
+              static_cast<long long>(spec.win));
+
+  struct Option {
+    std::string name;
+    double latency;
+    std::string note;
+  };
+  std::vector<Option> options;
+
+  const auto single = sim::simulate_single_device(spec, device, 0.02, 1, 30);
+  options.push_back({"single-device", single.mean_latency_s, "no network"});
+
+  const auto cloud =
+      sim::simulate_remote_cloud(spec, sim::CloudConfig{}, 0.02, 1, 30);
+  options.push_back({"remote-cloud", cloud.mean_latency_s,
+                     "WAN-dominated (" +
+                         std::to_string(static_cast<int>(
+                             100 * cloud.transmission_s /
+                             cloud.mean_latency_s)) +
+                         "% transmission)"});
+
+  const auto neuro =
+      baselines::neurosurgeon_plan(spec, device, sim::CloudConfig{});
+  options.push_back({"neurosurgeon", neuro.latency_s,
+                     "cut after layer " + std::to_string(neuro.cut)});
+
+  core::TileGrid grid{2, nodes / 2 > 0 ? nodes / 2 : 1};
+  if (spec.hin == 1) grid = core::TileGrid{1, nodes};
+  const auto aofl = baselines::aofl_plan(spec, grid, device, link);
+  options.push_back({"aofl", aofl.latency_s,
+                     std::to_string(aofl.rounds.size()) + " fused rounds"});
+
+  auto cfg = sim::AdcnnSimConfig::uniform(nodes, device);
+  cfg.link = link;
+  if (spec.hin == 1) cfg.grid = core::TileGrid{1, 8};
+  cfg.separable_override = sim::deep_partition_blocks(spec);
+  const auto adcnn = sim::simulate_adcnn(spec, cfg, 30);
+  options.push_back({"adcnn", adcnn.mean_latency_s,
+                     std::to_string(cfg.grid.rows) + "x" +
+                         std::to_string(cfg.grid.cols) + " FDSP tiles, " +
+                         std::to_string(nodes) + " nodes"});
+
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < options.size(); ++i)
+    if (options[i].latency < options[best].latency) best = i;
+  std::printf("  %-14s %12s  %s\n", "strategy", "latency", "notes");
+  for (std::size_t i = 0; i < options.size(); ++i)
+    std::printf("%s %-14s %9.1f ms  %s\n", i == best ? "->" : "  ",
+                options[i].name.c_str(), options[i].latency * 1e3,
+                options[i].note.c_str());
+  std::printf("\nrecommendation: %s\n", options[best].name.c_str());
+  return 0;
+}

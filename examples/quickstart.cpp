@@ -1,0 +1,66 @@
+// Quickstart: partition a CNN with FDSP and run it distributed across a
+// simulated edge cluster — the whole ADCNN pipeline in ~60 lines.
+//
+//   1. build a CNN (a VGG-style mini model),
+//   2. apply FDSP surgery (tile grid + clipped ReLU + 4-bit quantization),
+//   3. bring up an in-process edge cluster (Central node + 4 Conv-node
+//      worker threads over bandwidth-modelled links),
+//   4. run an inference and compare with the monolithic forward pass.
+#include <cstdio>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "runtime/cluster.hpp"
+
+using namespace adcnn;
+
+int main() {
+  // 1. A plain CNN.
+  Rng rng(7);
+  nn::Model plain = nn::make_vgg_mini(rng, nn::MiniOptions{});
+  std::printf("model: %s, %lld parameters, %d layer blocks (%d separable)\n",
+              plain.name.c_str(),
+              static_cast<long long>(plain.param_count()),
+              plain.num_blocks(), plain.separable_blocks);
+
+  // 2. FDSP surgery: 4x4 tile grid, clipped ReLU [0, 3], 4-bit fake quant.
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{4, 4};
+  opt.clipped_relu = true;
+  opt.clip_lower = 0.0f;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  core::PartitionedModel pm = core::apply_fdsp(std::move(plain), opt);
+  std::printf("partitioned: %s — %lld tiles of %s\n", pm.model.name.c_str(),
+              static_cast<long long>(pm.grid.count()),
+              pm.tile_input_shape().to_string().c_str());
+
+  // Reference output from the monolithic (single-process) forward pass.
+  const Tensor image = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const Tensor reference = pm.model.forward(image, nn::Mode::kEval);
+
+  // 3. Edge cluster: one Central node + 4 Conv-node worker threads.
+  runtime::ClusterConfig cluster_cfg;
+  cluster_cfg.num_nodes = 4;
+  runtime::EdgeCluster cluster(pm, cluster_cfg);
+
+  // 4. Distributed inference.
+  runtime::InferStats stats;
+  const Tensor output = cluster.infer(image, &stats);
+
+  std::printf("distributed inference: %lld tiles over %d nodes "
+              "(%lld zero-filled), %.2f ms wall\n",
+              static_cast<long long>(stats.tiles_total), cluster.num_nodes(),
+              static_cast<long long>(stats.tiles_missing),
+              stats.elapsed_s * 1e3);
+  std::printf("tiles per node:");
+  for (const auto assigned : stats.assigned)
+    std::printf(" %lld", static_cast<long long>(assigned));
+  std::printf("\nresult bytes over the uplinks:");
+  for (int k = 0; k < cluster.num_nodes(); ++k)
+    std::printf(" %llu",
+                static_cast<unsigned long long>(cluster.uplink(k).bytes_sent()));
+  std::printf("\nmax |distributed - monolithic| = %.2e\n",
+              Tensor::max_abs_diff(output, reference));
+  return Tensor::max_abs_diff(output, reference) < 1e-4f ? 0 : 1;
+}

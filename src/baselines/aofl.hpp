@@ -1,0 +1,66 @@
+// AOFL — Adaptive Optimal Fused-Layer partitioning (Zhou et al., SEC'19).
+//
+// The input is partitioned spatially across edge devices and executed in
+// fused-layer ROUNDS: within a round, each device computes a halo-EXTENDED
+// tile through the round's layer blocks (so no mid-round communication),
+// then the round's ofmap is gathered, re-partitioned and scattered for the
+// next round. The halo extension makes each device recompute its
+// neighbours' border work — an overhead that grows with fuse depth, so the
+// planner searches the round structure: a dynamic program over block
+// boundaries finds the optimal fusion points (the "exhaustive search for
+// the optimal fuse layer block selection" of the ADCNN paper's §7.4).
+// The non-spatial head (FC / global pooling) runs on one device.
+//
+// Unlike ADCNN, AOFL exchanges raw fp32 ofmaps (no clipped-ReLU/quant/RLE
+// compression) and re-synchronizes at every round boundary.
+#pragma once
+
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "nn/archspec.hpp"
+#include "sim/cost_model.hpp"
+
+namespace adcnn::baselines {
+
+struct AoflRound {
+  int begin = 0;  // block range [begin, end)
+  int end = 0;
+  double scatter_s = 0.0;   // halo-extended input tiles to devices
+  double compute_s = 0.0;   // per-device fused compute (max)
+  double gather_s = 0.0;    // round ofmap collection (raw fp32)
+  double compute_overhead = 1.0;
+
+  double total_s() const { return scatter_s + compute_s + gather_s; }
+};
+
+struct AoflPlan {
+  core::TileGrid grid;
+  std::vector<AoflRound> rounds;
+  double head_s = 0.0;    // trailing non-spatial blocks on one device
+  double latency_s = 0.0;
+
+  int fused_blocks() const {
+    return rounds.empty() ? 0 : rounds.back().end;
+  }
+};
+
+/// Cost of one round over blocks [begin, end).
+AoflRound aofl_round(const arch::ArchSpec& spec, const core::TileGrid& grid,
+                     const sim::DeviceSpec& dev, const sim::LinkSpec& link,
+                     int begin, int end, double input_bytes_per_pixel = 1.0);
+
+/// Optimal multi-round plan (DP over block boundaries).
+AoflPlan aofl_plan(const arch::ArchSpec& spec, const core::TileGrid& grid,
+                   const sim::DeviceSpec& dev, const sim::LinkSpec& link,
+                   double input_bytes_per_pixel = 1.0);
+
+/// Single-round variant: fuse exactly the first `fused` blocks, then run
+/// everything else on one device (kept for ablations/tests).
+AoflPlan aofl_single_round(const arch::ArchSpec& spec,
+                           const core::TileGrid& grid,
+                           const sim::DeviceSpec& dev,
+                           const sim::LinkSpec& link, int fused,
+                           double input_bytes_per_pixel = 1.0);
+
+}  // namespace adcnn::baselines

@@ -1,0 +1,52 @@
+#include "baselines/neurosurgeon.hpp"
+
+#include <limits>
+
+namespace adcnn::baselines {
+
+NeurosurgeonPlan neurosurgeon_eval(const arch::ArchSpec& spec,
+                                   const sim::DeviceSpec& edge,
+                                   const sim::CloudConfig& cloud, int cut) {
+  const auto layers = spec.all_layers();
+  NeurosurgeonPlan plan;
+  plan.cut = cut;
+  for (int i = 0; i < cut; ++i)
+    plan.edge_s += sim::layer_seconds(layers[static_cast<std::size_t>(i)],
+                                      edge);
+  for (int i = cut; i < static_cast<int>(layers.size()); ++i)
+    plan.cloud_s += sim::layer_seconds(layers[static_cast<std::size_t>(i)],
+                                       cloud.cloud);
+  if (cut == static_cast<int>(layers.size())) {
+    plan.tx_bytes = cloud.result_bytes;  // everything stays on the edge
+  } else if (cut == 0) {
+    plan.tx_bytes = static_cast<std::int64_t>(
+        static_cast<double>(spec.cin * spec.hin * spec.win) *
+        cloud.input_bytes_per_pixel);
+  } else {
+    plan.tx_bytes = layers[static_cast<std::size_t>(cut - 1)].out_bytes();
+  }
+  // The WAN overhead factor scales the serialization (bandwidth) term
+  // only; propagation latency is paid once per direction.
+  plan.tx_s = cloud.wan.latency_s +
+              static_cast<double>(plan.tx_bytes) * 8.0 /
+                  cloud.wan.bandwidth_bps * cloud.wan_overhead;
+  if (cut < static_cast<int>(layers.size()))
+    plan.tx_s += cloud.wan.transfer_s(cloud.result_bytes);
+  plan.latency_s = plan.edge_s + plan.tx_s + plan.cloud_s;
+  return plan;
+}
+
+NeurosurgeonPlan neurosurgeon_plan(const arch::ArchSpec& spec,
+                                   const sim::DeviceSpec& edge,
+                                   const sim::CloudConfig& cloud) {
+  const int L = static_cast<int>(spec.all_layers().size());
+  NeurosurgeonPlan best;
+  best.latency_s = std::numeric_limits<double>::infinity();
+  for (int cut = 0; cut <= L; ++cut) {
+    const NeurosurgeonPlan plan = neurosurgeon_eval(spec, edge, cloud, cut);
+    if (plan.latency_s < best.latency_s) best = plan;
+  }
+  return best;
+}
+
+}  // namespace adcnn::baselines

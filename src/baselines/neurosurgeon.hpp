@@ -1,0 +1,35 @@
+// Neurosurgeon (Kang et al., ASPLOS'17): layerwise edge/cloud partitioning.
+//
+// The network is cut at one layer boundary; the edge device computes the
+// prefix, ships that layer's ofmap over the WAN, and the cloud computes the
+// suffix. The planner tries every boundary and keeps the fastest — exactly
+// the paper's §7.4 methodology ("we try every possible layerwise partition
+// position ... and select the partition position with the minimum
+// latency").
+#pragma once
+
+#include "nn/archspec.hpp"
+#include "sim/baseline_sim.hpp"
+
+namespace adcnn::baselines {
+
+struct NeurosurgeonPlan {
+  int cut = 0;             // layers [0, cut) on the edge
+  double latency_s = 0.0;
+  double edge_s = 0.0;
+  double tx_s = 0.0;
+  double cloud_s = 0.0;
+  std::int64_t tx_bytes = 0;
+};
+
+/// Best cut for the given edge device and cloud configuration.
+NeurosurgeonPlan neurosurgeon_plan(const arch::ArchSpec& spec,
+                                   const sim::DeviceSpec& edge,
+                                   const sim::CloudConfig& cloud);
+
+/// Latency of a specific cut (exposed for tests / sweeps).
+NeurosurgeonPlan neurosurgeon_eval(const arch::ArchSpec& spec,
+                                   const sim::DeviceSpec& edge,
+                                   const sim::CloudConfig& cloud, int cut);
+
+}  // namespace adcnn::baselines

@@ -1,0 +1,68 @@
+#include "compress/pipeline.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace adcnn::compress {
+
+TileCodec::TileCodec(float range, int bits) : quant_(range, bits) {}
+
+std::vector<std::uint8_t> TileCodec::encode(const Tensor& t,
+                                            StageSizes* sizes) const {
+  const auto levels = quant_.quantize_all(t.span());
+  std::vector<std::uint8_t> payload = (quant_.bits() == 4)
+                                          ? rle4_encode(levels)
+                                          : rle_varint_encode(levels);
+  std::vector<std::uint8_t> wire;
+  wire.reserve(payload.size() + 10);
+  put_varint(wire, static_cast<std::uint64_t>(levels.size()));
+  put_varint(wire, static_cast<std::uint64_t>(payload.size()));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  if (sizes) {
+    sizes->raw_bytes = t.numel() * static_cast<std::int64_t>(sizeof(float));
+    sizes->nonzeros = 0;
+    for (const auto level : levels) sizes->nonzeros += (level != 0);
+    sizes->quant_packed_bytes =
+        (static_cast<std::int64_t>(levels.size()) * quant_.bits() + 7) / 8;
+    sizes->encoded_bytes = static_cast<std::int64_t>(wire.size());
+  }
+  return wire;
+}
+
+Tensor TileCodec::decode(std::span<const std::uint8_t> wire,
+                         const Shape& shape) const {
+  std::size_t pos = 0;
+  const std::uint64_t count = get_varint(wire, pos);
+  const std::uint64_t payload_bytes = get_varint(wire, pos);
+  if (static_cast<std::int64_t>(count) != shape.numel()) {
+    throw std::invalid_argument("TileCodec::decode: count/shape mismatch");
+  }
+  if (pos + payload_bytes > wire.size()) {
+    throw std::invalid_argument("TileCodec::decode: truncated payload");
+  }
+  const auto payload = wire.subspan(pos, payload_bytes);
+  const auto levels = (quant_.bits() == 4)
+                          ? rle4_decode(payload, count)
+                          : rle_varint_decode(payload, count);
+  Tensor out(shape);
+  quant_.dequantize_all(levels, out.span());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_raw(const Tensor& t) {
+  std::vector<std::uint8_t> wire(
+      static_cast<std::size_t>(t.numel()) * sizeof(float));
+  std::memcpy(wire.data(), t.data(), wire.size());
+  return wire;
+}
+
+Tensor decode_raw(std::span<const std::uint8_t> wire, const Shape& shape) {
+  if (wire.size() != static_cast<std::size_t>(shape.numel()) * sizeof(float)) {
+    throw std::invalid_argument("decode_raw: size mismatch");
+  }
+  Tensor out(shape);
+  std::memcpy(out.data(), wire.data(), wire.size());
+  return out;
+}
+
+}  // namespace adcnn::compress

@@ -1,0 +1,55 @@
+// End-to-end tile codec: clipped ReLU range -> k-bit quantization -> RLE.
+//
+// This is the wire format Conv nodes use to ship intermediate results to
+// the Central node (Figure 6 of the paper). The quantization grid is
+// identical to nn::FakeQuant, so a model retrained with the fake-quant
+// layer sees exactly the values the Central node decodes.
+//
+// Wire layout: varint(elem_count) | varint(payload_bytes) | payload.
+// Shape metadata travels in the runtime's message header, not here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/quantizer.hpp"
+#include "compress/rle.hpp"
+#include "tensor/tensor.hpp"
+
+namespace adcnn::compress {
+
+/// Byte sizes observed at each stage of the pipeline, for Table 2 and the
+/// Figure 12 pruning study.
+struct StageSizes {
+  std::int64_t raw_bytes = 0;        // fp32 tensor
+  std::int64_t nonzeros = 0;         // after clip (== after quantize)
+  std::int64_t quant_packed_bytes = 0;  // k-bit packed, no RLE
+  std::int64_t encoded_bytes = 0;    // final wire bytes (incl. header)
+};
+
+class TileCodec {
+ public:
+  /// `range` is the clipped-ReLU output span (b - a); `bits` the precision.
+  TileCodec(float range, int bits);
+
+  /// Encode a tensor whose values already lie in [0, range] (the separable
+  /// prefix ends with ClippedReLU). Values are quantized here, so encoding
+  /// is idempotent with a FakeQuant layer upstream.
+  std::vector<std::uint8_t> encode(const Tensor& t,
+                                   StageSizes* sizes = nullptr) const;
+
+  /// Decode into a tensor of the given shape.
+  Tensor decode(std::span<const std::uint8_t> wire, const Shape& shape) const;
+
+  const Quantizer& quantizer() const { return quant_; }
+
+ private:
+  Quantizer quant_;
+};
+
+/// Uncompressed fp32 encoding, the "without pruning" baseline of Fig. 12.
+std::vector<std::uint8_t> encode_raw(const Tensor& t);
+Tensor decode_raw(std::span<const std::uint8_t> wire, const Shape& shape);
+
+}  // namespace adcnn::compress

@@ -1,0 +1,63 @@
+#include "compress/quantizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adcnn::compress {
+
+Quantizer::Quantizer(float range, int bits) : range_(range), bits_(bits) {
+  if (range <= 0.0f || bits < 1 || bits > 8) {
+    throw std::invalid_argument("Quantizer: bad range/bits");
+  }
+  step_ = range_ / static_cast<float>((1 << bits_) - 1);
+}
+
+std::uint8_t Quantizer::quantize(float v) const {
+  if (v <= 0.0f) return 0;
+  if (v >= range_) return static_cast<std::uint8_t>((1 << bits_) - 1);
+  return static_cast<std::uint8_t>(std::lround(v / step_));
+}
+
+std::vector<std::uint8_t> Quantizer::quantize_all(
+    std::span<const float> in) const {
+  std::vector<std::uint8_t> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = quantize(in[i]);
+  return out;
+}
+
+void Quantizer::dequantize_all(std::span<const std::uint8_t> levels,
+                               std::span<float> out) const {
+  if (levels.size() != out.size()) {
+    throw std::invalid_argument("Quantizer::dequantize_all: size mismatch");
+  }
+  for (std::size_t i = 0; i < levels.size(); ++i)
+    out[i] = dequantize(levels[i]);
+}
+
+std::vector<std::uint8_t> pack_nibbles(std::span<const std::uint8_t> levels) {
+  std::vector<std::uint8_t> out((levels.size() + 1) / 2, 0);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const std::uint8_t v = static_cast<std::uint8_t>(levels[i] & 0x0F);
+    if (i % 2 == 0) {
+      out[i / 2] = v;
+    } else {
+      out[i / 2] = static_cast<std::uint8_t>(out[i / 2] | (v << 4));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> unpack_nibbles(std::span<const std::uint8_t> packed,
+                                         std::size_t count) {
+  if (packed.size() < (count + 1) / 2) {
+    throw std::invalid_argument("unpack_nibbles: buffer too short");
+  }
+  std::vector<std::uint8_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t byte = packed[i / 2];
+    out[i] = (i % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
+  }
+  return out;
+}
+
+}  // namespace adcnn::compress

@@ -1,0 +1,47 @@
+// k-bit uniform quantizer over [0, range] (§4.2 of the paper).
+//
+// Values are mapped to integer levels 0 .. 2^bits-1 with level 0 reserved
+// for exact zero on dequantization — the clipped ReLU guarantees inputs are
+// non-negative, and zeros are what the RLE stage elides. The quantization
+// grid matches nn::FakeQuant exactly, so what the retraining graph saw is
+// bit-for-bit what travels over the wire.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adcnn::compress {
+
+class Quantizer {
+ public:
+  Quantizer(float range, int bits);
+
+  int bits() const { return bits_; }
+  float range() const { return range_; }
+  float step() const { return step_; }
+  int levels() const { return (1 << bits_); }
+
+  /// Nearest-level quantization with clamping to [0, range].
+  std::uint8_t quantize(float v) const;
+  float dequantize(std::uint8_t level) const {
+    return static_cast<float>(level) * step_;
+  }
+
+  std::vector<std::uint8_t> quantize_all(std::span<const float> in) const;
+  void dequantize_all(std::span<const std::uint8_t> levels,
+                      std::span<float> out) const;
+
+ private:
+  float range_;
+  int bits_;
+  float step_;
+};
+
+/// Pack 4-bit levels two-per-byte (low nibble first). Odd counts leave the
+/// final high nibble zero.
+std::vector<std::uint8_t> pack_nibbles(std::span<const std::uint8_t> levels);
+std::vector<std::uint8_t> unpack_nibbles(std::span<const std::uint8_t> packed,
+                                         std::size_t count);
+
+}  // namespace adcnn::compress

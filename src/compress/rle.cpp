@@ -1,0 +1,109 @@
+#include "compress/rle.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::compress {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= in.size() || shift > 63) {
+      throw std::invalid_argument("get_varint: truncated/overlong varint");
+    }
+    const std::uint8_t byte = in[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return v;
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> rle4_encode(std::span<const std::uint8_t> levels) {
+  std::vector<std::uint8_t> out;
+  std::size_t run = 0;
+  for (const std::uint8_t level : levels) {
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    if (level > 0x0F) {
+      throw std::invalid_argument("rle4_encode: level exceeds 4 bits");
+    }
+    while (run > 14) {
+      const std::size_t chunk = run > 16 ? 16 : run;
+      out.push_back(static_cast<std::uint8_t>((chunk - 1) << 4));  // lo == 0
+      run -= chunk;
+    }
+    out.push_back(static_cast<std::uint8_t>((run << 4) | level));
+    run = 0;
+  }
+  // Trailing zeros are implicit.
+  return out;
+}
+
+std::vector<std::uint8_t> rle4_decode(std::span<const std::uint8_t> payload,
+                                      std::size_t count) {
+  std::vector<std::uint8_t> out;
+  out.reserve(count);
+  for (const std::uint8_t token : payload) {
+    const std::uint8_t lo = token & 0x0F;
+    const std::uint8_t hi = token >> 4;
+    if (lo == 0) {
+      out.insert(out.end(), static_cast<std::size_t>(hi) + 1, 0);
+    } else {
+      out.insert(out.end(), hi, 0);
+      out.push_back(lo);
+    }
+    if (out.size() > count) {
+      throw std::invalid_argument("rle4_decode: payload overruns count");
+    }
+  }
+  out.resize(count, 0);  // implicit trailing zeros
+  return out;
+}
+
+std::vector<std::uint8_t> rle_varint_encode(
+    std::span<const std::uint8_t> levels) {
+  std::vector<std::uint8_t> out;
+  std::uint64_t run = 0;
+  for (const std::uint8_t level : levels) {
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    put_varint(out, run);
+    out.push_back(level);
+    run = 0;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_varint_decode(
+    std::span<const std::uint8_t> payload, std::size_t count) {
+  std::vector<std::uint8_t> out;
+  out.reserve(count);
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::uint64_t run = get_varint(payload, pos);
+    if (pos >= payload.size()) {
+      throw std::invalid_argument("rle_varint_decode: missing value byte");
+    }
+    out.insert(out.end(), run, 0);
+    out.push_back(payload[pos++]);
+    if (out.size() > count) {
+      throw std::invalid_argument("rle_varint_decode: payload overruns count");
+    }
+  }
+  out.resize(count, 0);
+  return out;
+}
+
+}  // namespace adcnn::compress

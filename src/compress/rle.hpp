@@ -1,0 +1,38 @@
+// Zero-run run-length encoding (§4.3 of the paper).
+//
+// Two codecs over a stream of quantization levels (zeros dominate after the
+// clipped ReLU):
+//
+// * rle4 — for 4-bit levels (the paper's setting). One byte per token:
+//     lo nibble != 0:  emit `hi` zeros, then the value `lo` (1..15)
+//     lo nibble == 0:  emit `hi + 1` zeros (a zero-run extension, 1..16)
+//   Trailing zeros need no tokens: the decoder zero-fills up to the caller-
+//   provided element count.
+//
+// * rle_varint — for any level width up to 8 bits: each nonzero value is
+//   encoded as varint(zero_run_before) followed by the raw level byte.
+//
+// Both are exact (lossless on the level stream) and decode requires the
+// original element count, which the tile header carries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adcnn::compress {
+
+std::vector<std::uint8_t> rle4_encode(std::span<const std::uint8_t> levels);
+std::vector<std::uint8_t> rle4_decode(std::span<const std::uint8_t> payload,
+                                      std::size_t count);
+
+std::vector<std::uint8_t> rle_varint_encode(
+    std::span<const std::uint8_t> levels);
+std::vector<std::uint8_t> rle_varint_decode(
+    std::span<const std::uint8_t> payload, std::size_t count);
+
+/// LEB128-style varint helpers (used by the tile header as well).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos);
+
+}  // namespace adcnn::compress

@@ -1,0 +1,114 @@
+#include "core/allocate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace adcnn::core {
+
+namespace {
+
+void validate(const AllocRequest& req) {
+  if (req.speeds.empty() || req.tiles < 0) {
+    throw std::invalid_argument("allocate_tiles: empty request");
+  }
+  if (!req.capacity_tiles.empty() &&
+      req.capacity_tiles.size() != req.speeds.size()) {
+    throw std::invalid_argument("allocate_tiles: capacity size mismatch");
+  }
+}
+
+std::int64_t capacity(const AllocRequest& req, std::size_t k) {
+  return req.capacity_tiles.empty()
+             ? std::numeric_limits<std::int64_t>::max()
+             : req.capacity_tiles[k];
+}
+
+}  // namespace
+
+double makespan(const std::vector<std::int64_t>& x,
+                const std::vector<double>& speeds) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    if (x[k] == 0) continue;
+    if (speeds[k] <= 0.0) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, static_cast<double>(x[k]) / speeds[k]);
+  }
+  return worst;
+}
+
+std::vector<std::int64_t> allocate_tiles(const AllocRequest& req, Rng* rng) {
+  validate(req);
+  const std::size_t K = req.speeds.size();
+  std::vector<std::int64_t> x(K, 0);
+  std::vector<std::size_t> best;
+  for (std::int64_t t = 0; t < req.tiles; ++t) {
+    const double current = makespan(x, req.speeds);
+    double best_val = std::numeric_limits<double>::infinity();
+    best.clear();
+    for (std::size_t k = 0; k < K; ++k) {
+      if (req.speeds[k] <= 0.0) continue;         // dead node (s_k == 0)
+      if (x[k] + 1 > capacity(req, k)) continue;  // storage bound
+      const double val =
+          std::max(current, static_cast<double>(x[k] + 1) / req.speeds[k]);
+      if (val < best_val - 1e-12) {
+        best_val = val;
+        best.assign(1, k);
+      } else if (val <= best_val + 1e-12) {
+        best.push_back(k);
+      }
+    }
+    if (best.empty()) {
+      throw std::runtime_error(
+          "allocate_tiles: no node with positive speed and spare capacity");
+    }
+    const std::size_t pick =
+        (rng && best.size() > 1)
+            ? best[static_cast<std::size_t>(rng->uniform_int(best.size()))]
+            : best.front();
+    ++x[pick];
+  }
+  return x;
+}
+
+namespace {
+
+void search(const AllocRequest& req, std::size_t k, std::int64_t remaining,
+            std::vector<std::int64_t>& x, double& best_val,
+            std::vector<std::int64_t>& best_x) {
+  const std::size_t K = req.speeds.size();
+  if (k + 1 == K) {
+    if (remaining > capacity(req, k)) return;
+    if (remaining > 0 && req.speeds[k] <= 0.0) return;
+    x[k] = remaining;
+    const double val = makespan(x, req.speeds);
+    if (val < best_val) {
+      best_val = val;
+      best_x = x;
+    }
+    return;
+  }
+  const std::int64_t max_here =
+      std::min<std::int64_t>(remaining, capacity(req, k));
+  for (std::int64_t give = 0; give <= max_here; ++give) {
+    if (give > 0 && req.speeds[k] <= 0.0) break;
+    x[k] = give;
+    search(req, k + 1, remaining - give, x, best_val, best_x);
+  }
+  x[k] = 0;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> allocate_tiles_bruteforce(const AllocRequest& req) {
+  validate(req);
+  std::vector<std::int64_t> x(req.speeds.size(), 0), best_x;
+  double best_val = std::numeric_limits<double>::infinity();
+  search(req, 0, req.tiles, x, best_val, best_x);
+  if (best_x.empty()) {
+    throw std::runtime_error("allocate_tiles_bruteforce: infeasible");
+  }
+  return best_x;
+}
+
+}  // namespace adcnn::core

@@ -1,0 +1,36 @@
+// Algorithm 3: greedy input-tile allocation.
+//
+// Minimizes max_k x_k / s_k subject to sum x_k = D and the per-node storage
+// bound M * x_k <= H_k — a uniform-machines makespan problem. The greedy
+// places one tile at a time on the node whose resulting max ratio is
+// smallest (ties broken uniformly at random when an Rng is supplied, first
+// index otherwise). A brute-force reference solver bounds the greedy's gap
+// in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace adcnn::core {
+
+struct AllocRequest {
+  std::vector<double> speeds;                 // s_k from Algorithm 2
+  std::vector<std::int64_t> capacity_tiles;   // floor(H_k / M); empty = inf
+  std::int64_t tiles = 0;                     // D
+};
+
+/// Tiles assigned per node (x_k). Throws if no node has positive speed and
+/// spare capacity, or if capacities cannot hold D tiles.
+std::vector<std::int64_t> allocate_tiles(const AllocRequest& req,
+                                         Rng* rng = nullptr);
+
+/// Exhaustive optimum (exponential; for small test instances only).
+std::vector<std::int64_t> allocate_tiles_bruteforce(const AllocRequest& req);
+
+/// max_k x_k / s_k for a given assignment (the objective of Eq. 1).
+double makespan(const std::vector<std::int64_t>& x,
+                const std::vector<double>& speeds);
+
+}  // namespace adcnn::core

@@ -1,0 +1,91 @@
+#include "core/fdsp.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/quantize.hpp"
+#include "nn/tiling.hpp"
+
+namespace adcnn::core {
+
+Shape PartitionedModel::tile_input_shape() const {
+  return Shape{model.input_shape[0], model.input_shape[1] / grid.rows,
+               model.input_shape[2] / grid.cols};
+}
+
+Shape PartitionedModel::tile_output_shape() {
+  Shape cur{1, model.input_shape[0], model.input_shape[1] / grid.rows,
+            model.input_shape[2] / grid.cols};
+  for (int i = prefix_begin(); i < prefix_end(); ++i)
+    cur = model.net.at(static_cast<std::size_t>(i)).out_shape(cur);
+  return cur;
+}
+
+PartitionedModel apply_fdsp(nn::Model&& m, const FdspOptions& opt) {
+  if (m.separable_blocks < 1) {
+    throw std::invalid_argument("apply_fdsp: model has no separable blocks");
+  }
+  if (opt.clipped_relu && opt.clip_lower < 0.0f) {
+    throw std::invalid_argument("apply_fdsp: clip_lower must be >= 0");
+  }
+  if (opt.quantize && !opt.clipped_relu) {
+    throw std::invalid_argument(
+        "apply_fdsp: quantization requires the clipped ReLU (it defines the "
+        "quantizer range)");
+  }
+  if (m.input_shape[1] % opt.grid.rows != 0 ||
+      m.input_shape[2] % opt.grid.cols != 0) {
+    throw std::invalid_argument("apply_fdsp: input not divisible by grid");
+  }
+
+  const int sep_end = m.separable_end_layer();
+  auto old_layers = m.net.take_layers();
+
+  PartitionedModel out;
+  out.grid = opt.grid;
+  out.bits = opt.bits;
+  out.model.name = m.name + "_fdsp" + std::to_string(opt.grid.rows) + "x" +
+                   std::to_string(opt.grid.cols);
+  out.model.input_shape = m.input_shape;
+  out.model.separable_blocks = m.separable_blocks;
+
+  nn::Sequential net("fdsp_net");
+  net.emplace<nn::TileSplit>(opt.grid.rows, opt.grid.cols);
+  out.split_index = 0;
+  for (int i = 0; i < sep_end; ++i)
+    net.add(std::move(old_layers[static_cast<std::size_t>(i)]));
+  int extras = 0;
+  if (opt.clipped_relu) {
+    net.emplace<nn::ClippedReLU>(opt.clip_lower, opt.clip_upper, "clip");
+    out.clip_range = opt.clip_upper - opt.clip_lower;
+    ++extras;
+  }
+  if (opt.quantize) {
+    net.emplace<nn::FakeQuant>(opt.clip_upper - opt.clip_lower, opt.bits,
+                               "quant");
+    ++extras;
+  }
+  out.merge_index = 1 + sep_end + extras;
+  net.emplace<nn::TileMerge>(opt.grid.rows, opt.grid.cols);
+  for (std::size_t i = static_cast<std::size_t>(sep_end); i < old_layers.size();
+       ++i)
+    net.add(std::move(old_layers[i]));
+  out.model.net = std::move(net);
+
+  // Recompute block boundaries: TileSplit joins block 1; the clipped ReLU,
+  // fake-quant and TileMerge join the last separable block.
+  out.model.block_ends.reserve(m.block_ends.size());
+  for (std::size_t b = 0; b < m.block_ends.size(); ++b) {
+    int end = m.block_ends[b] + 1;  // TileSplit shift
+    if (static_cast<int>(b) >= m.separable_blocks - 1) end += extras + 1;
+    out.model.block_ends.push_back(end);
+  }
+
+  // Force full shape validation (divisibility through pools/strides).
+  const Shape probe{1, out.model.input_shape[0], out.model.input_shape[1],
+                    out.model.input_shape[2]};
+  (void)out.model.net.out_shape(probe);
+  return out;
+}
+
+}  // namespace adcnn::core

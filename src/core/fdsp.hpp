@@ -1,0 +1,54 @@
+// FDSP model surgery: turn a plain CNN into the paper's partitioned form.
+//
+//   input -> TileSplit(r,c) -> separable layer blocks (on the tile batch)
+//         -> [ClippedReLU] -> [FakeQuant] -> TileMerge -> later blocks
+//
+// The resulting Model is a single differentiable graph, so progressive
+// retraining (Algorithm 1) trains it directly; the distributed runtime
+// executes the prefix range on Conv nodes and the suffix on the Central
+// node (both via Model::forward_range).
+#pragma once
+
+#include "core/geometry.hpp"
+#include "nn/model.hpp"
+
+namespace adcnn::core {
+
+struct FdspOptions {
+  TileGrid grid;
+  /// Insert a clipped ReLU on the separable-region output (§4.1). Lower
+  /// bound must be >= 0 (it follows a ReLU, so this is without loss).
+  bool clipped_relu = false;
+  float clip_lower = 0.0f;
+  float clip_upper = 6.0f;
+  /// Insert fake quantization after the clipped ReLU (§4.2).
+  bool quantize = false;
+  int bits = 4;
+};
+
+struct PartitionedModel {
+  nn::Model model;
+  int split_index = 0;   // TileSplit position in model.net
+  int merge_index = 0;   // TileMerge position in model.net
+  TileGrid grid;
+  /// Wire codec parameters (0 range = compression disabled).
+  float clip_range = 0.0f;
+  int bits = 4;
+
+  /// Layer range Conv nodes execute per tile: (split_index, merge_index).
+  int prefix_begin() const { return split_index + 1; }
+  int prefix_end() const { return merge_index; }
+  /// Layer range the Central node executes after stitching.
+  int suffix_begin() const { return merge_index + 1; }
+  int suffix_end() const { return static_cast<int>(model.net.size()); }
+
+  /// Shape of one input tile {C, th, tw} and of one tile's prefix output.
+  Shape tile_input_shape() const;
+  Shape tile_output_shape();
+};
+
+/// Rebuild `m` with the FDSP graph. Throws if the input/grid geometry is
+/// incompatible (non-divisible extents, pooling straddling tiles, ...).
+PartitionedModel apply_fdsp(nn::Model&& m, const FdspOptions& opt);
+
+}  // namespace adcnn::core

@@ -1,0 +1,79 @@
+#include "core/geometry.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::core {
+
+std::vector<TileRect> tile_rects(std::int64_t h, std::int64_t w,
+                                 const TileGrid& grid) {
+  if (grid.rows < 1 || grid.cols < 1 || grid.rows > h || grid.cols > w) {
+    throw std::invalid_argument("tile_rects: grid does not fit map");
+  }
+  std::vector<TileRect> out;
+  out.reserve(static_cast<std::size_t>(grid.count()));
+  const std::int64_t base_h = h / grid.rows, rem_h = h % grid.rows;
+  const std::int64_t base_w = w / grid.cols, rem_w = w % grid.cols;
+  std::int64_t y = 0;
+  for (std::int64_t r = 0; r < grid.rows; ++r) {
+    const std::int64_t th = base_h + (r < rem_h ? 1 : 0);
+    std::int64_t x = 0;
+    for (std::int64_t c = 0; c < grid.cols; ++c) {
+      const std::int64_t tw = base_w + (c < rem_w ? 1 : 0);
+      out.push_back(TileRect{r, c, y, x, th, tw});
+      x += tw;
+    }
+    y += th;
+  }
+  return out;
+}
+
+std::int64_t total_stride(std::span<const SpatialOp> chain) {
+  std::int64_t s = 1;
+  for (const auto& op : chain) s *= op.stride;
+  return s;
+}
+
+std::int64_t required_input(std::span<const SpatialOp> chain,
+                            std::int64_t out) {
+  std::int64_t extent = out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+    extent = (extent - 1) * it->stride + it->k;
+  return extent;
+}
+
+std::int64_t halo_width(std::span<const SpatialOp> chain) {
+  // Dependency span of one output element, centred: (required(1) - 1) / 2
+  // per side after accounting for stride placement. We use the standard
+  // receptive-field formulation.
+  const std::int64_t rf = required_input(chain, 1);
+  return (rf - total_stride(chain)) / 2;
+}
+
+std::vector<std::int64_t> extended_extents(std::span<const SpatialOp> chain,
+                                           std::int64_t tile_out) {
+  std::vector<std::int64_t> extents(chain.size() + 1);
+  std::int64_t extent = tile_out;
+  extents[chain.size()] = extent;
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    extent = (extent - 1) * chain[i].stride + chain[i].k;
+    extents[i] = extent;
+  }
+  extents.pop_back();  // keep only the extents *entering* each op
+  return extents;
+}
+
+bool fdsp_compatible(std::span<const SpatialOp> chain, std::int64_t tile_h,
+                     std::int64_t tile_w) {
+  std::int64_t h = tile_h, w = tile_w;
+  for (const auto& op : chain) {
+    if (op.stride > 1) {
+      if (h % op.stride != 0 || w % op.stride != 0) return false;
+      h /= op.stride;
+      w /= op.stride;
+    }
+    if (h < 1 || w < 1) return false;
+  }
+  return true;
+}
+
+}  // namespace adcnn::core

@@ -1,0 +1,67 @@
+// Tile geometry and receptive-field / halo arithmetic (§3 of the paper).
+//
+// These helpers answer the questions every partitioning strategy hinges on:
+// which pixels does a tile's output depend on (data halos, Figure 4), how
+// much extra input AOFL-style halo-grown tiles must carry, and whether a
+// tile grid stays integral through a stack of strided ops (the FDSP
+// pooling-receptive-field condition of §3.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adcnn::core {
+
+struct TileGrid {
+  std::int64_t rows = 1;
+  std::int64_t cols = 1;
+
+  std::int64_t count() const { return rows * cols; }
+  bool operator==(const TileGrid&) const = default;
+};
+
+/// A tile's position and extent, in pixels of the map being partitioned.
+struct TileRect {
+  std::int64_t row = 0, col = 0;  // grid coordinates
+  std::int64_t h0 = 0, w0 = 0;    // top-left pixel
+  std::int64_t th = 0, tw = 0;    // extent
+};
+
+/// Partition an HxW map into grid.rows x grid.cols tiles. Supports uneven
+/// extents (remainder spread over the leading rows/cols) — an extension
+/// over the paper, which assumes exact divisibility.
+std::vector<TileRect> tile_rects(std::int64_t h, std::int64_t w,
+                                 const TileGrid& grid);
+
+/// One spatial operator of a layer chain, as needed for dependency math.
+struct SpatialOp {
+  std::int64_t k = 1;       // kernel extent
+  std::int64_t stride = 1;
+};
+
+/// Cumulative downsampling factor of the chain.
+std::int64_t total_stride(std::span<const SpatialOp> chain);
+
+/// Input extent required to compute `out` output elements exactly (valid
+/// semantics) through the chain.
+std::int64_t required_input(std::span<const SpatialOp> chain,
+                            std::int64_t out);
+
+/// One-sided halo width in input pixels: how far beyond its own tile a
+/// tile's exact output depends, i.e. (required_input - out*total_stride)/2.
+std::int64_t halo_width(std::span<const SpatialOp> chain);
+
+/// Per-layer input extents a device computes when it holds a halo-extended
+/// tile producing `tile_out` outputs after the whole chain (AOFL's scheme):
+/// element i is the extent entering chain op i. Front element equals
+/// required_input(chain, tile_out).
+std::vector<std::int64_t> extended_extents(std::span<const SpatialOp> chain,
+                                           std::int64_t tile_out);
+
+/// FDSP compatibility (§3.2): tile extents must stay integral through every
+/// strided op so pooling receptive fields never straddle tiles.
+bool fdsp_compatible(std::span<const SpatialOp> chain, std::int64_t tile_h,
+                     std::int64_t tile_w);
+
+}  // namespace adcnn::core

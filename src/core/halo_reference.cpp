@@ -1,0 +1,146 @@
+#include "core/halo_reference.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/pooling.hpp"
+
+namespace adcnn::core {
+
+namespace {
+
+/// Direct convolution of `ext` (already halo-extended, so no padding) with
+/// the layer's weights; output extent is implied by the extended input.
+Tensor direct_conv(const nn::Conv2d& conv, const Tensor& ext) {
+  const Tensor& w = const_cast<nn::Conv2d&>(conv).weight().value;
+  const std::int64_t C = ext.c(), H = ext.h(), W = ext.w();
+  const std::int64_t F = w.n(), kh = w.h(), kw = w.w();
+  const std::int64_t sh = conv.stride_h(), sw = conv.stride_w();
+  const std::int64_t HO = (H - kh) / sh + 1, WO = (W - kw) / sw + 1;
+  Tensor y(Shape{1, F, HO, WO});
+  for (std::int64_t f = 0; f < F; ++f) {
+    const float bias =
+        conv.has_bias()
+            ? const_cast<nn::Conv2d&>(conv).bias().value[f]
+            : 0.0f;
+    for (std::int64_t oh = 0; oh < HO; ++oh)
+      for (std::int64_t ow = 0; ow < WO; ++ow) {
+        double acc = bias;
+        for (std::int64_t c = 0; c < C; ++c)
+          for (std::int64_t dh = 0; dh < kh; ++dh)
+            for (std::int64_t dw = 0; dw < kw; ++dw)
+              acc += static_cast<double>(
+                         ext.at(0, c, oh * sh + dh, ow * sw + dw)) *
+                     w.at(f, c, dh, dw);
+        y.at(0, f, oh, ow) = static_cast<float>(acc);
+      }
+  }
+  return y;
+}
+
+/// Crop [h0,h1) x [w0,w1) from `map` with zero padding outside the map.
+Tensor padded_crop(const Tensor& map, std::int64_t h0, std::int64_t h1,
+                   std::int64_t w0, std::int64_t w1) {
+  const std::int64_t C = map.c(), H = map.h(), W = map.w();
+  Tensor out = Tensor::zeros(Shape{1, C, h1 - h0, w1 - w0});
+  const std::int64_t ch0 = std::max<std::int64_t>(h0, 0);
+  const std::int64_t ch1 = std::min(h1, H);
+  const std::int64_t cw0 = std::max<std::int64_t>(w0, 0);
+  const std::int64_t cw1 = std::min(w1, W);
+  if (ch0 < ch1 && cw0 < cw1) {
+    out.paste(map.crop(0, 1, ch0, ch1 - ch0, cw0, cw1 - cw0), 0, ch0 - h0,
+              cw0 - w0);
+  }
+  return out;
+}
+
+/// Count the cells of [h0,h1) x [w0,w1) that lie inside the map but
+/// OUTSIDE the owner's tile rectangle — the neurons that must be received
+/// from neighbouring devices.
+std::int64_t halo_cells(std::int64_t h0, std::int64_t h1, std::int64_t w0,
+                        std::int64_t w1, std::int64_t H, std::int64_t W,
+                        const TileRect& own) {
+  std::int64_t count = 0;
+  for (std::int64_t h = std::max<std::int64_t>(h0, 0);
+       h < std::min(h1, H); ++h)
+    for (std::int64_t w = std::max<std::int64_t>(w0, 0);
+         w < std::min(w1, W); ++w) {
+      const bool inside_own = h >= own.h0 && h < own.h0 + own.th &&
+                              w >= own.w0 && w < own.w0 + own.tw;
+      if (!inside_own) ++count;
+    }
+  return count;
+}
+
+}  // namespace
+
+HaloExchangeResult run_with_halo_exchange(nn::Model& model, int begin,
+                                          int end, const Tensor& input,
+                                          const TileGrid& grid) {
+  if (input.n() != 1) {
+    throw std::invalid_argument("run_with_halo_exchange: batch must be 1");
+  }
+  HaloExchangeResult result;
+  Tensor cur = input;
+  for (int li = begin; li < end; ++li) {
+    nn::Layer& layer = model.net.at(static_cast<std::size_t>(li));
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      const Shape os = conv->out_shape(cur.shape());
+      const std::int64_t HO = os[2], WO = os[3];
+      if (HO % grid.rows != 0 || WO % grid.cols != 0) {
+        throw std::invalid_argument(
+            "run_with_halo_exchange: output not divisible by grid at " +
+            layer.name());
+      }
+      const auto out_rects = tile_rects(HO, WO, grid);
+      const auto in_rects = tile_rects(cur.h(), cur.w(), grid);
+      Tensor out(os);
+      for (std::size_t t = 0; t < out_rects.size(); ++t) {
+        const TileRect& orect = out_rects[t];
+        // Input region this output tile depends on.
+        const std::int64_t ih0 =
+            orect.h0 * conv->stride_h() - conv->pad_h();
+        const std::int64_t ih1 = (orect.h0 + orect.th - 1) * conv->stride_h() -
+                                 conv->pad_h() + conv->kernel_h();
+        const std::int64_t iw0 =
+            orect.w0 * conv->stride_w() - conv->pad_w();
+        const std::int64_t iw1 = (orect.w0 + orect.tw - 1) * conv->stride_w() -
+                                 conv->pad_w() + conv->kernel_w();
+        const std::int64_t halo =
+            halo_cells(ih0, ih1, iw0, iw1, cur.h(), cur.w(), in_rects[t]);
+        if (halo > 0) {
+          result.exchanged_bytes +=
+              halo * cur.c() * static_cast<std::int64_t>(sizeof(float));
+          ++result.exchanges;
+        }
+        const Tensor ext = padded_crop(cur, ih0, ih1, iw0, iw1);
+        out.paste(direct_conv(*conv, ext), 0, orect.h0, orect.w0);
+      }
+      cur = std::move(out);
+    } else if (dynamic_cast<nn::BatchNorm2d*>(&layer) ||
+               dynamic_cast<nn::ReLU*>(&layer) ||
+               dynamic_cast<nn::ClippedReLU*>(&layer)) {
+      // Elementwise: each device applies it to its own tile; no traffic.
+      cur = layer.forward(cur, nn::Mode::kEval);
+    } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+      // Receptive fields stay within tiles when extents divide (the same
+      // condition FDSP imposes); then pooling needs no communication.
+      const std::int64_t th = cur.h() / grid.rows, tw = cur.w() / grid.cols;
+      if (cur.h() % grid.rows != 0 || cur.w() % grid.cols != 0 ||
+          th % pool->kernel_h() != 0 || tw % pool->kernel_w() != 0) {
+        throw std::invalid_argument(
+            "run_with_halo_exchange: pooling straddles tiles");
+      }
+      cur = layer.forward(cur, nn::Mode::kEval);
+    } else {
+      throw std::invalid_argument(
+          "run_with_halo_exchange: unsupported layer " + layer.name());
+    }
+  }
+  result.output = std::move(cur);
+  return result;
+}
+
+}  // namespace adcnn::core

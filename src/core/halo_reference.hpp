@@ -1,0 +1,34 @@
+// Exact spatial partitioning with data-halo exchange (Figure 4(c) of the
+// paper) — the scheme FDSP is defined against.
+//
+// Each tile is processed on its own "device", but before every convolution
+// the neurons inside the data halo are fetched from the neighbouring tiles
+// (modelled by cropping the neighbour regions), so the result is
+// bit-identical to the monolithic network. The runner counts every byte
+// that crosses a tile boundary: exactly the communication FDSP eliminates
+// by zero-padding instead.
+//
+// Supports the layer types of a separable prefix: Conv2d, BatchNorm2d,
+// ReLU, ClippedReLU, MaxPool2d. Tile extents must stay integral through
+// strided ops (same condition as FDSP).
+#pragma once
+
+#include "core/geometry.hpp"
+#include "nn/model.hpp"
+
+namespace adcnn::core {
+
+struct HaloExchangeResult {
+  Tensor output;                   // identical to the monolithic forward
+  std::int64_t exchanged_bytes = 0;  // cross-tile halo traffic (fp32)
+  std::int64_t exchanges = 0;        // number of halo fetch operations
+};
+
+/// Run layers [begin, end) of `model` over a tile grid with exact halo
+/// exchange. Throws std::invalid_argument for unsupported layers or
+/// incompatible geometry.
+HaloExchangeResult run_with_halo_exchange(nn::Model& model, int begin,
+                                          int end, const Tensor& input,
+                                          const TileGrid& grid);
+
+}  // namespace adcnn::core

@@ -1,0 +1,29 @@
+#include "core/stats.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::core {
+
+StatsCollector::StatsCollector(int num_nodes, double gamma, double initial)
+    : s_(static_cast<std::size_t>(num_nodes), initial), gamma_(gamma) {
+  if (num_nodes < 1 || gamma <= 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("StatsCollector: bad num_nodes/gamma");
+  }
+}
+
+void StatsCollector::record_image(
+    const std::vector<std::int64_t>& results_within_deadline) {
+  if (results_within_deadline.size() != s_.size()) {
+    throw std::invalid_argument("StatsCollector::record_image: size mismatch");
+  }
+  for (std::size_t k = 0; k < s_.size(); ++k)
+    s_[k] = (1.0 - gamma_) * s_[k] +
+            gamma_ * static_cast<double>(results_within_deadline[k]);
+}
+
+void StatsCollector::record_node(int node, std::int64_t count) {
+  auto& s = s_.at(static_cast<std::size_t>(node));
+  s = (1.0 - gamma_) * s + gamma_ * static_cast<double>(count);
+}
+
+}  // namespace adcnn::core

@@ -1,0 +1,38 @@
+// Algorithm 2: statistics collection at the Central node.
+//
+// After each input image, the Central node counts how many intermediate
+// results each Conv node returned within the deadline T_L and folds the
+// count into an exponential moving average s_k = (1-gamma)*s_k + gamma*n_k.
+// s_k is the runtime throughput estimate Algorithm 3 allocates against; a
+// dead node's s_k decays to zero and it stops receiving tiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adcnn::core {
+
+class StatsCollector {
+ public:
+  /// `initial` seeds every s_k so the first image is spread evenly.
+  StatsCollector(int num_nodes, double gamma = 0.9, double initial = 1.0);
+
+  int num_nodes() const { return static_cast<int>(s_.size()); }
+  double gamma() const { return gamma_; }
+
+  /// Fold in one image's per-node result counts (n_k^i, k = 0..K-1).
+  void record_image(const std::vector<std::int64_t>& results_within_deadline);
+
+  /// Fold in a single node's count (incremental form used by the threaded
+  /// runtime).
+  void record_node(int node, std::int64_t count);
+
+  double speed(int node) const { return s_[static_cast<std::size_t>(node)]; }
+  const std::vector<double>& speeds() const { return s_; }
+
+ private:
+  std::vector<double> s_;
+  double gamma_;
+};
+
+}  // namespace adcnn::core

@@ -1,0 +1,140 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adcnn::core {
+
+std::int64_t channel_partition_layer_bytes(const arch::LayerSpec& conv,
+                                           int devices) {
+  if (devices < 2) return 0;
+  // Each device holds cout/devices channels of the ofmap and needs the
+  // remaining (devices-1)/devices fraction from its peers.
+  return conv.out_bytes() * (devices - 1) / devices;
+}
+
+std::int64_t channel_partition_comm_bytes(const arch::ArchSpec& spec,
+                                          int devices, int blocks) {
+  std::int64_t total = 0;
+  for (int b = 0; b < blocks && b < static_cast<int>(spec.blocks.size());
+       ++b) {
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers) {
+      if (l.op == arch::Op::kConv && !l.aux)
+        total += channel_partition_layer_bytes(l, devices);
+    }
+  }
+  return total;
+}
+
+std::int64_t halo_exchange_comm_bytes(const arch::ArchSpec& spec,
+                                      const TileGrid& grid, int blocks) {
+  std::int64_t total = 0;
+  for (int b = 0; b < blocks && b < static_cast<int>(spec.blocks.size());
+       ++b) {
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers) {
+      if (l.op != arch::Op::kConv || l.aux || l.k <= 1) continue;
+      // k-1 border lines cross each internal boundary (both directions
+      // combined), across all input channels.
+      const std::int64_t internal_h = (grid.rows - 1) * l.win;  // horizontal cuts
+      const std::int64_t internal_v = (grid.cols - 1) * l.hin;  // vertical cuts
+      total += l.cin * (l.k - 1) * (internal_h + internal_v) * 4;
+    }
+  }
+  return total;
+}
+
+std::int64_t fdsp_to_central_bytes(const arch::ArchSpec& spec) {
+  return spec.separable_out_bytes();
+}
+
+double aofl_compute_overhead(const arch::ArchSpec& spec, const TileGrid& grid,
+                             int begin, int end) {
+  std::vector<arch::LayerSpec> chain_specs;
+  for (int b = begin; b < end && b < static_cast<int>(spec.blocks.size());
+       ++b) {
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers) {
+      if (l.aux) continue;
+      if (l.op == arch::Op::kConv || l.op == arch::Op::kMaxPool)
+        chain_specs.push_back(l);
+    }
+  }
+  std::vector<SpatialOp> chain;
+  chain.reserve(chain_specs.size());
+  for (const auto& l : chain_specs) chain.push_back(SpatialOp{l.k, l.stride});
+
+  std::int64_t out_h = 0, out_w = 0;
+  // Output extents of the fused region (from the last spatial op's dims).
+  if (chain_specs.empty()) return 1.0;
+  out_h = chain_specs.back().hout;
+  out_w = chain_specs.back().wout;
+  if (out_h % grid.rows != 0 || out_w % grid.cols != 0) {
+    // Uneven output tiles: use the ceiling tile (worst device).
+    out_h = (out_h + grid.rows - 1) / grid.rows;
+    out_w = (out_w + grid.cols - 1) / grid.cols;
+  } else {
+    out_h /= grid.rows;
+    out_w /= grid.cols;
+  }
+
+  const auto ext_h = extended_extents(chain, out_h);
+  const auto ext_w = extended_extents(chain, out_w);
+
+  // Accumulate conv FLOPs for the halo-extended tile vs the exact share.
+  double extended = 0.0, exact = 0.0;
+  std::size_t op_idx = 0;
+  for (const auto& l : chain_specs) {
+    if (l.op == arch::Op::kConv) {
+      // Outputs computed by this device at this layer: derived from the
+      // extended input extent under valid-conv semantics, capped by the
+      // full map (boundary tiles compute less; we model the interior
+      // worst case).
+      const std::int64_t ho = std::min(
+          l.hout, (ext_h[op_idx] - l.k) / l.stride + 1);
+      const std::int64_t wo = std::min(
+          l.wout, (ext_w[op_idx] - l.k) / l.stride + 1);
+      extended += 2.0 * static_cast<double>(l.cout) * static_cast<double>(ho) *
+                  static_cast<double>(wo) * static_cast<double>(l.cin) *
+                  static_cast<double>(l.k) * static_cast<double>(l.k);
+      exact += static_cast<double>(l.flops) /
+               static_cast<double>(grid.count());
+    }
+    ++op_idx;
+  }
+  if (exact <= 0.0) return 1.0;
+  return std::max(1.0, extended / exact);
+}
+
+double aofl_input_expansion(const arch::ArchSpec& spec, const TileGrid& grid,
+                            int begin, int end) {
+  std::vector<SpatialOp> chain;
+  std::int64_t out_h = 0, out_w = 0, in_h = 0, in_w = 0;
+  bool first = true;
+  for (int b = begin; b < end && b < static_cast<int>(spec.blocks.size());
+       ++b) {
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers) {
+      if (l.aux) continue;
+      if (l.op != arch::Op::kConv && l.op != arch::Op::kMaxPool) continue;
+      if (first) {
+        in_h = l.hin;
+        in_w = l.win;
+        first = false;
+      }
+      chain.push_back(SpatialOp{l.k, l.stride});
+      out_h = l.hout;
+      out_w = l.wout;
+    }
+  }
+  if (chain.empty()) return 1.0;
+  const std::int64_t tile_oh = (out_h + grid.rows - 1) / grid.rows;
+  const std::int64_t tile_ow = (out_w + grid.cols - 1) / grid.cols;
+  const std::int64_t ext_h =
+      std::min(in_h, required_input(chain, tile_oh));
+  const std::int64_t ext_w =
+      std::min(in_w, required_input(chain, tile_ow));
+  const double tile_area = static_cast<double>((in_h / grid.rows) *
+                                               (in_w / grid.cols));
+  if (tile_area <= 0.0) return 1.0;
+  return std::max(1.0, static_cast<double>(ext_h * ext_w) / tile_area);
+}
+
+}  // namespace adcnn::core

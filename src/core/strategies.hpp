@@ -1,0 +1,57 @@
+// Communication/computation analysis of the partitioning strategies the
+// paper contrasts in §3.1: batch, channel, naive spatial (halo exchange)
+// and FDSP. All quantities derive from full-scale ArchSpecs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/geometry.hpp"
+#include "nn/archspec.hpp"
+
+namespace adcnn::core {
+
+/// Channel partitioning across K devices: after every conv layer each
+/// device must gather the other devices' partial ofmaps. Returns the bytes
+/// RECEIVED BY ONE DEVICE at one layer boundary — for VGG16 L1 with K=2
+/// this is the paper's 51.38 Mbit example.
+std::int64_t channel_partition_layer_bytes(const arch::LayerSpec& conv,
+                                           int devices);
+
+/// Total per-device gather traffic over the first `blocks` blocks.
+std::int64_t channel_partition_comm_bytes(const arch::ArchSpec& spec,
+                                          int devices, int blocks);
+
+/// Naive spatial partitioning with exact halo exchange (Figure 4(c)):
+/// total bytes crossing internal tile boundaries over the first `blocks`
+/// blocks (every conv with k > 1 exchanges k-1 border lines per internal
+/// boundary).
+std::int64_t halo_exchange_comm_bytes(const arch::ArchSpec& spec,
+                                      const TileGrid& grid, int blocks);
+
+/// FDSP cross-tile traffic is zero by construction; what remains is the
+/// tile results sent to the Central node. Returns the raw (uncompressed)
+/// bytes of the separable-region output, to be scaled by the measured
+/// compression ratio.
+std::int64_t fdsp_to_central_bytes(const arch::ArchSpec& spec);
+
+/// AOFL-style halo-grown tiles: the factor (>= 1) by which per-device
+/// compute over blocks [begin, end) exceeds a perfect 1/tiles split, for an
+/// interior tile (worst case). Grows with fuse depth — the paper's §7.4
+/// observation.
+double aofl_compute_overhead(const arch::ArchSpec& spec, const TileGrid& grid,
+                             int begin, int end);
+
+/// Overhead of fusing the first `blocks` blocks.
+inline double aofl_compute_overhead(const arch::ArchSpec& spec,
+                                    const TileGrid& grid, int blocks) {
+  return aofl_compute_overhead(spec, grid, 0, blocks);
+}
+
+/// Area expansion of the halo-extended INPUT tile a device needs to compute
+/// its output tile through blocks [begin, end) without communication
+/// (>= 1). The excess over 1 is what neighbouring devices must ship at a
+/// fused-round boundary.
+double aofl_input_expansion(const arch::ArchSpec& spec, const TileGrid& grid,
+                            int begin, int end);
+
+}  // namespace adcnn::core

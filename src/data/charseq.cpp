@@ -1,0 +1,37 @@
+#include "data/charseq.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::data {
+
+Dataset make_charseq(const CharSeqConfig& cfg) {
+  if (cfg.num_classes < 2 || cfg.alphabet < 4) {
+    throw std::invalid_argument("CharSeqConfig: need >=2 classes, >=4 chars");
+  }
+  Rng rng(cfg.seed);
+  Dataset ds;
+  ds.task = Task::kClassify;
+  ds.num_classes = cfg.num_classes;
+  ds.images = Tensor(Shape{cfg.count, cfg.alphabet, 1, cfg.length});
+  ds.labels.resize(static_cast<std::size_t>(cfg.count));
+  for (std::int64_t n = 0; n < cfg.count; ++n) {
+    const int cls = static_cast<int>(
+        rng.uniform_int(static_cast<std::uint64_t>(cfg.num_classes)));
+    ds.labels[static_cast<std::size_t>(n)] = cls;
+    std::int64_t ch = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(cfg.alphabet)));
+    for (std::int64_t t = 0; t < cfg.length; ++t) {
+      ds.images.at(n, ch, 0, t) = 1.0f;
+      // Class-k chain prefers the transition ch -> (ch + k + 1) mod A.
+      if (rng.uniform() < cfg.signal) {
+        ch = (ch + cls + 1) % cfg.alphabet;
+      } else {
+        ch = static_cast<std::int64_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(cfg.alphabet)));
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace adcnn::data

@@ -1,0 +1,27 @@
+// Synthetic character-sequence classification (substitutes AG-news for the
+// CharCNN experiments). Each class is a distinct first-order Markov chain
+// over the alphabet; sequences are one-hot encoded as (N, alphabet, 1, L).
+// Local bigram statistics separate the classes, which is precisely what
+// 1-D convolutions detect.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace adcnn::data {
+
+struct CharSeqConfig {
+  std::int64_t alphabet = 16;
+  std::int64_t length = 64;
+  int num_classes = 4;
+  std::int64_t count = 512;
+  /// Probability mass on each class's preferred transition (the rest is
+  /// uniform noise). Higher = easier task.
+  double signal = 0.55;
+  std::uint64_t seed = 42;
+};
+
+Dataset make_charseq(const CharSeqConfig& cfg);
+
+}  // namespace adcnn::data

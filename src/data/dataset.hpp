@@ -1,0 +1,35 @@
+// In-memory dataset container shared by the synthetic generators and the
+// trainer. Substitutes the paper's ImageNet / Caltech101 / VOC / CamVid /
+// AG-news corpora (see DESIGN.md §3): the retraining experiments need a
+// *learnable task flowing through the same code path*, not those specific
+// pixels.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adcnn::data {
+
+enum class Task {
+  kClassify,   // one label per sample
+  kDense,      // a label per spatial cell (segmentation masks,
+               // detection grids)
+};
+
+struct Dataset {
+  Tensor images;             // (N, C, H, W)
+  std::vector<int> labels;   // kClassify: N entries
+  std::vector<int> dense;    // kDense: N * dense_h * dense_w entries
+  std::int64_t dense_h = 0;
+  std::int64_t dense_w = 0;
+  int num_classes = 0;
+  Task task = Task::kClassify;
+
+  std::int64_t size() const { return images.n(); }
+
+  /// Copy samples [begin, begin+count) into a contiguous batch.
+  Dataset slice(std::int64_t begin, std::int64_t count) const;
+};
+
+}  // namespace adcnn::data

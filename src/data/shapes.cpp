@@ -1,0 +1,193 @@
+#include "data/shapes.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace adcnn::data {
+
+namespace {
+
+/// True if pixel (y, x) is inside shape `kind` centred at (cy, cx) with
+/// radius r.
+bool inside_shape(int kind, double y, double x, double cy, double cx,
+                  double r) {
+  const double dy = y - cy, dx = x - cx;
+  switch (kind) {
+    case 0:  // circle
+      return dy * dy + dx * dx <= r * r;
+    case 1:  // square
+      return std::fabs(dy) <= r && std::fabs(dx) <= r;
+    case 2:  // triangle (upward)
+      return dy >= -r && dy <= r && std::fabs(dx) <= (dy + r) * 0.5;
+    case 3:  // cross
+      return (std::fabs(dy) <= r * 0.35 && std::fabs(dx) <= r) ||
+             (std::fabs(dx) <= r * 0.35 && std::fabs(dy) <= r);
+    case 4:  // diamond
+      return std::fabs(dy) + std::fabs(dx) <= r;
+    case 5:  // ring
+      return dy * dy + dx * dx <= r * r &&
+             dy * dy + dx * dx >= (0.5 * r) * (0.5 * r);
+    default:
+      return false;
+  }
+}
+
+struct Placed {
+  int kind;
+  double cy, cx, r;
+};
+
+/// Render `shapes` into sample n of `images` with background noise.
+void render(Tensor& images, std::int64_t n, const std::vector<Placed>& shapes,
+            const std::vector<std::array<float, 3>>& colors, double noise,
+            Rng& rng) {
+  const std::int64_t S = images.h();
+  for (std::int64_t c = 0; c < 3; ++c)
+    for (std::int64_t y = 0; y < S; ++y)
+      for (std::int64_t x = 0; x < S; ++x)
+        images.at(n, c, y, x) =
+            static_cast<float>(rng.normal(0.0, noise));
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    const Placed& p = shapes[s];
+    for (std::int64_t y = 0; y < S; ++y)
+      for (std::int64_t x = 0; x < S; ++x)
+        if (inside_shape(p.kind, static_cast<double>(y),
+                         static_cast<double>(x), p.cy, p.cx, p.r))
+          for (std::int64_t c = 0; c < 3; ++c)
+            images.at(n, c, y, x) = colors[s][static_cast<std::size_t>(c)];
+  }
+}
+
+std::array<float, 3> random_color(Rng& rng) {
+  // Bright colours distinct from the ~0 background.
+  return {static_cast<float>(rng.uniform(0.5, 1.0)),
+          static_cast<float>(rng.uniform(0.5, 1.0)),
+          static_cast<float>(rng.uniform(0.5, 1.0))};
+}
+
+void check(const ShapesConfig& cfg) {
+  if (cfg.num_shapes < 2 || cfg.num_shapes > 6) {
+    throw std::invalid_argument("ShapesConfig.num_shapes must be in [2,6]");
+  }
+  if (cfg.image < 16) {
+    throw std::invalid_argument("ShapesConfig.image must be >= 16");
+  }
+}
+
+}  // namespace
+
+Dataset make_shapes_classification(const ShapesConfig& cfg) {
+  check(cfg);
+  Rng rng(cfg.seed);
+  Dataset ds;
+  ds.task = Task::kClassify;
+  ds.num_classes = cfg.num_shapes;
+  ds.images = Tensor(Shape{cfg.count, 3, cfg.image, cfg.image});
+  ds.labels.resize(static_cast<std::size_t>(cfg.count));
+  const double S = static_cast<double>(cfg.image);
+  for (std::int64_t n = 0; n < cfg.count; ++n) {
+    const int kind = static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(cfg.num_shapes)));
+    const double r = rng.uniform(S * 0.15, S * 0.3);
+    const Placed p{kind, rng.uniform(r, S - r), rng.uniform(r, S - r), r};
+    render(ds.images, n, {p}, {random_color(rng)}, cfg.noise, rng);
+    ds.labels[static_cast<std::size_t>(n)] = kind;
+  }
+  return ds;
+}
+
+Dataset make_shapes_segmentation(const ShapesConfig& cfg) {
+  check(cfg);
+  Rng rng(cfg.seed);
+  Dataset ds;
+  ds.task = Task::kDense;
+  ds.num_classes = cfg.num_shapes + 1;
+  ds.dense_h = cfg.image;
+  ds.dense_w = cfg.image;
+  ds.images = Tensor(Shape{cfg.count, 3, cfg.image, cfg.image});
+  ds.dense.assign(static_cast<std::size_t>(cfg.count * cfg.image * cfg.image),
+                  0);
+  const double S = static_cast<double>(cfg.image);
+  for (std::int64_t n = 0; n < cfg.count; ++n) {
+    const int kind = static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(cfg.num_shapes)));
+    const double r = rng.uniform(S * 0.15, S * 0.3);
+    const Placed p{kind, rng.uniform(r, S - r), rng.uniform(r, S - r), r};
+    render(ds.images, n, {p}, {random_color(rng)}, cfg.noise, rng);
+    for (std::int64_t y = 0; y < cfg.image; ++y)
+      for (std::int64_t x = 0; x < cfg.image; ++x)
+        if (inside_shape(kind, static_cast<double>(y), static_cast<double>(x),
+                         p.cy, p.cx, p.r))
+          ds.dense[static_cast<std::size_t>((n * cfg.image + y) * cfg.image +
+                                            x)] = kind + 1;
+  }
+  return ds;
+}
+
+Dataset make_shapes_detection(const ShapesConfig& cfg, std::int64_t grid) {
+  check(cfg);
+  if (cfg.image % grid != 0) {
+    throw std::invalid_argument("detection grid must divide image size");
+  }
+  Rng rng(cfg.seed);
+  Dataset ds;
+  ds.task = Task::kDense;
+  ds.num_classes = cfg.num_shapes + 1;
+  ds.dense_h = grid;
+  ds.dense_w = grid;
+  ds.images = Tensor(Shape{cfg.count, 3, cfg.image, cfg.image});
+  ds.dense.assign(static_cast<std::size_t>(cfg.count * grid * grid), 0);
+  const double cell = static_cast<double>(cfg.image) / static_cast<double>(grid);
+  for (std::int64_t n = 0; n < cfg.count; ++n) {
+    const int count = 1 + static_cast<int>(rng.uniform_int(3));
+    std::vector<Placed> shapes;
+    std::vector<std::array<float, 3>> colors;
+    std::vector<std::int64_t> cells;  // occupied grid cells, no duplicates
+    for (int s = 0; s < count; ++s) {
+      const int kind = static_cast<int>(rng.uniform_int(
+          static_cast<std::uint64_t>(cfg.num_shapes)));
+      // Centre the shape inside a random free grid cell so the cell label
+      // is unambiguous.
+      std::int64_t gy = 0, gx = 0, key = 0;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        gy = static_cast<std::int64_t>(rng.uniform_int(
+            static_cast<std::uint64_t>(grid)));
+        gx = static_cast<std::int64_t>(rng.uniform_int(
+            static_cast<std::uint64_t>(grid)));
+        key = gy * grid + gx;
+        if (std::find(cells.begin(), cells.end(), key) == cells.end()) break;
+      }
+      if (std::find(cells.begin(), cells.end(), key) != cells.end()) continue;
+      cells.push_back(key);
+      const double cy = (static_cast<double>(gy) + 0.5) * cell;
+      const double cx = (static_cast<double>(gx) + 0.5) * cell;
+      const double r = rng.uniform(cell * 0.3, cell * 0.48);
+      shapes.push_back(Placed{kind, cy, cx, r});
+      colors.push_back(random_color(rng));
+      ds.dense[static_cast<std::size_t>(n * grid * grid + key)] = kind + 1;
+    }
+    render(ds.images, n, shapes, colors, cfg.noise, rng);
+  }
+  return ds;
+}
+
+Dataset Dataset::slice(std::int64_t begin, std::int64_t count) const {
+  Dataset out;
+  out.task = task;
+  out.num_classes = num_classes;
+  out.dense_h = dense_h;
+  out.dense_w = dense_w;
+  out.images = images.crop(begin, count, 0, images.h(), 0, images.w());
+  if (task == Task::kClassify) {
+    out.labels.assign(labels.begin() + begin, labels.begin() + begin + count);
+  } else {
+    const std::int64_t per = dense_h * dense_w;
+    out.dense.assign(dense.begin() + begin * per,
+                     dense.begin() + (begin + count) * per);
+  }
+  return out;
+}
+
+}  // namespace adcnn::data

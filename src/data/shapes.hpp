@@ -1,0 +1,37 @@
+// Procedural shape-image datasets.
+//
+// Images contain one (classification / segmentation) or several (detection)
+// geometric shapes — circle, square, triangle, cross, diamond, ring — at a
+// random position, scale and colour over a noisy background. The tasks are
+// easy enough for the mini CNNs to reach high accuracy in a few epochs yet
+// sensitive to FDSP's zero-padded tile boundaries, which is exactly the
+// trade-off the paper's Figure 10 probes.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace adcnn::data {
+
+struct ShapesConfig {
+  std::int64_t image = 32;  // H == W
+  int num_shapes = 4;       // classes drawn from the 6 shape kinds
+  std::int64_t count = 512;
+  double noise = 0.15;      // background noise stddev
+  std::uint64_t seed = 42;
+};
+
+/// One shape per image; label = shape kind. num_classes = num_shapes.
+Dataset make_shapes_classification(const ShapesConfig& cfg);
+
+/// One shape per image; per-pixel labels: 0 = background, k+1 = shape k.
+/// num_classes = num_shapes + 1.
+Dataset make_shapes_segmentation(const ShapesConfig& cfg);
+
+/// 1-3 shapes per image; per-grid-cell labels on a grid x grid map:
+/// 0 = empty cell, k+1 = a shape of kind k centred in the cell.
+/// num_classes = num_shapes + 1.
+Dataset make_shapes_detection(const ShapesConfig& cfg, std::int64_t grid);
+
+}  // namespace adcnn::data

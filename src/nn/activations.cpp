@@ -1,0 +1,61 @@
+#include "nn/activations.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+Tensor ReLU::forward(const Tensor& x, Mode mode) {
+  Tensor y(x.shape());
+  const bool train = (mode == Mode::kTrain);
+  if (train) mask_.assign(static_cast<std::size_t>(x.numel()), 0);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+    if (train) mask_[static_cast<std::size_t>(i)] = pos;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  assert(static_cast<std::int64_t>(mask_.size()) == dy.numel());
+  Tensor dx(dy.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i)
+    dx[i] = mask_[static_cast<std::size_t>(i)] ? dy[i] : 0.0f;
+  return dx;
+}
+
+ClippedReLU::ClippedReLU(float lower, float upper, std::string name)
+    : lower_(lower), upper_(upper), name_(std::move(name)) {
+  if (!(upper > lower)) {
+    throw std::invalid_argument("ClippedReLU: upper must exceed lower");
+  }
+}
+
+Tensor ClippedReLU::forward(const Tensor& x, Mode mode) {
+  Tensor y(x.shape());
+  const bool train = (mode == Mode::kTrain);
+  if (train) mask_.assign(static_cast<std::size_t>(x.numel()), 0);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float v = x[i];
+    if (v < lower_) {
+      y[i] = 0.0f;
+    } else if (v > upper_) {
+      y[i] = upper_ - lower_;
+    } else {
+      y[i] = v - lower_;
+      if (train) mask_[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return y;
+}
+
+Tensor ClippedReLU::backward(const Tensor& dy) {
+  assert(static_cast<std::int64_t>(mask_.size()) == dy.numel());
+  Tensor dx(dy.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i)
+    dx[i] = mask_[static_cast<std::size_t>(i)] ? dy[i] : 0.0f;
+  return dx;
+}
+
+}  // namespace adcnn::nn

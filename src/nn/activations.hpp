@@ -1,0 +1,49 @@
+// Activation layers: ReLU and the paper's clipped ReLU (§4.1).
+//
+// ReLU_[a,b](x) = 0 for x < a, x - a for a <= x <= b, b - a for x > b.
+// The clipped variant bounds the output range to [0, b-a] (enabling fixed
+// quantization grids) and, with a > 0, increases sparsity of the Conv-node
+// outputs — both of which shrink the transmitted intermediate results.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<unsigned char> mask_;
+};
+
+class ClippedReLU final : public Layer {
+ public:
+  ClippedReLU(float lower, float upper, std::string name = "clipped_relu");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  /// Straight-through inside the active band (a < x < b); zero outside —
+  /// §4.4: full-precision gradients flow where the unit is responsive.
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  std::string name() const override { return name_; }
+
+  float lower() const { return lower_; }
+  float upper() const { return upper_; }
+  /// Output range span (the quantizer grid is built over [0, range()]).
+  float range() const { return upper_ - lower_; }
+
+ private:
+  float lower_, upper_;
+  std::string name_;
+  std::vector<unsigned char> mask_;
+};
+
+}  // namespace adcnn::nn

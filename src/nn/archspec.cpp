@@ -1,0 +1,445 @@
+#include "nn/archspec.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::arch {
+
+namespace {
+
+/// Incrementally builds an ArchSpec, tracking the running activation shape.
+class Builder {
+ public:
+  Builder(std::string name, std::int64_t cin, std::int64_t h, std::int64_t w) {
+    spec_.name = std::move(name);
+    spec_.cin = cin;
+    spec_.hin = h;
+    spec_.win = w;
+    c_ = cin;
+    h_ = h;
+    w_ = w;
+  }
+
+  void begin_block(const std::string& name) {
+    block_ = BlockSpec{};
+    block_.name = name;
+  }
+
+  void end_block() { spec_.blocks.push_back(std::move(block_)); }
+
+  void conv(std::int64_t cout, std::int64_t k, std::int64_t stride,
+            std::int64_t pad, bool aux = false, bool one_d = false) {
+    LayerSpec l;
+    l.op = Op::kConv;
+    l.name = block_.name + ".conv";
+    l.k = k;
+    l.stride = stride;
+    l.pad = pad;
+    l.cin = c_;
+    l.hin = h_;
+    l.win = w_;
+    l.cout = cout;
+    l.hout = one_d ? h_ : (h_ + 2 * pad - k) / stride + 1;
+    l.wout = (w_ + 2 * pad - k) / stride + 1;
+    const std::int64_t kh = one_d ? 1 : k;
+    l.flops = 2 * l.cout * l.hout * l.wout * l.cin * kh * k;
+    l.param_bytes = l.cout * l.cin * kh * k * 4;
+    l.aux = aux;
+    block_.layers.push_back(l);
+    if (!aux) {
+      c_ = l.cout;
+      h_ = l.hout;
+      w_ = l.wout;
+    }
+  }
+
+  void bn() { elementwise(Op::kBatchNorm, ".bn", 2); }
+  void relu() { elementwise(Op::kReLU, ".relu", 1); }
+  void add() { elementwise(Op::kAdd, ".add", 1); }
+
+  void pool(std::int64_t k, bool one_d = false) {
+    LayerSpec l;
+    l.op = Op::kMaxPool;
+    l.name = block_.name + ".pool";
+    l.k = k;
+    l.stride = k;
+    l.cin = c_;
+    l.hin = h_;
+    l.win = w_;
+    l.cout = c_;
+    l.hout = one_d ? h_ : h_ / k;
+    l.wout = w_ / k;
+    l.flops = l.cout * l.hout * l.wout * (one_d ? k : k * k);
+    block_.layers.push_back(l);
+    h_ = l.hout;
+    w_ = l.wout;
+  }
+
+  void global_pool() {
+    LayerSpec l;
+    l.op = Op::kGlobalPool;
+    l.name = block_.name + ".gap";
+    l.cin = c_;
+    l.hin = h_;
+    l.win = w_;
+    l.cout = c_;
+    l.hout = 1;
+    l.wout = 1;
+    l.flops = c_ * h_ * w_;
+    block_.layers.push_back(l);
+    h_ = 1;
+    w_ = 1;
+  }
+
+  void fc(std::int64_t out) {
+    LayerSpec l;
+    l.op = Op::kFC;
+    l.name = block_.name + ".fc";
+    l.cin = c_ * h_ * w_;
+    l.hin = 1;
+    l.win = 1;
+    l.cout = out;
+    l.hout = 1;
+    l.wout = 1;
+    l.flops = 2 * l.cin * l.cout;
+    l.param_bytes = (l.cin + 1) * l.cout * 4;
+    block_.layers.push_back(l);
+    c_ = out;
+    h_ = 1;
+    w_ = 1;
+  }
+
+  void upsample(std::int64_t factor) {
+    LayerSpec l;
+    l.op = Op::kUpsample;
+    l.name = block_.name + ".up";
+    l.k = factor;
+    l.cin = c_;
+    l.hin = h_;
+    l.win = w_;
+    l.cout = c_;
+    l.hout = h_ * factor;
+    l.wout = w_ * factor;
+    l.flops = l.cout * l.hout * l.wout;
+    block_.layers.push_back(l);
+    h_ = l.hout;
+    w_ = l.wout;
+  }
+
+  /// Conv-BN-ReLU block (the paper's Figure 2(a)), optional trailing pool.
+  void conv_block(const std::string& name, std::int64_t cout, std::int64_t k,
+                  std::int64_t pool_k = 0, std::int64_t stride = 1,
+                  std::int64_t pad = -1, bool one_d = false) {
+    begin_block(name);
+    conv(cout, k, stride, pad < 0 ? k / 2 : pad, false, one_d);
+    bn();
+    relu();
+    if (pool_k > 1) pool(pool_k, one_d);
+    end_block();
+  }
+
+  /// ResNet basic block (Figure 2(b)/(c)).
+  void residual_block(const std::string& name, std::int64_t cout,
+                      std::int64_t stride) {
+    begin_block(name);
+    const bool project = (stride != 1 || c_ != cout);
+    const std::int64_t cin0 = c_, h0 = h_, w0 = w_;
+    conv(cout, 3, stride, 1);
+    bn();
+    relu();
+    conv(cout, 3, 1, 1);
+    bn();
+    if (project) {
+      // 1x1 projection shortcut; aux keeps it off the spatial halo chain.
+      LayerSpec l;
+      l.op = Op::kConv;
+      l.name = block_.name + ".proj";
+      l.k = 1;
+      l.stride = stride;
+      l.pad = 0;
+      l.cin = cin0;
+      l.hin = h0;
+      l.win = w0;
+      l.cout = cout;
+      l.hout = h_;
+      l.wout = w_;
+      l.flops = 2 * l.cout * l.hout * l.wout * l.cin;
+      l.param_bytes = l.cout * l.cin * 4;
+      l.aux = true;
+      block_.layers.push_back(l);
+    }
+    add();
+    relu();
+    end_block();
+  }
+
+  ArchSpec take() { return std::move(spec_); }
+
+ private:
+  void elementwise(Op op, const char* suffix, std::int64_t flops_per_elem) {
+    LayerSpec l;
+    l.op = op;
+    l.name = block_.name + suffix;
+    l.cin = c_;
+    l.hin = h_;
+    l.win = w_;
+    l.cout = c_;
+    l.hout = h_;
+    l.wout = w_;
+    l.flops = flops_per_elem * c_ * h_ * w_;
+    if (op == Op::kBatchNorm) l.param_bytes = 4 * c_ * 4;
+    block_.layers.push_back(l);
+  }
+
+  ArchSpec spec_;
+  BlockSpec block_;
+  std::int64_t c_ = 0, h_ = 0, w_ = 0;
+};
+
+}  // namespace
+
+std::int64_t BlockSpec::flops() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.flops;
+  return total;
+}
+
+std::int64_t BlockSpec::param_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.param_bytes;
+  return total;
+}
+
+std::int64_t BlockSpec::in_bytes() const {
+  return layers.empty() ? 0 : layers.front().in_bytes();
+}
+
+std::int64_t BlockSpec::out_bytes() const {
+  return layers.empty() ? 0 : layers.back().out_bytes();
+}
+
+bool BlockSpec::has_pool() const {
+  for (const auto& l : layers)
+    if (l.op == Op::kMaxPool) return true;
+  return false;
+}
+
+std::int64_t ArchSpec::total_flops() const {
+  std::int64_t total = 0;
+  for (const auto& b : blocks) total += b.flops();
+  return total;
+}
+
+std::int64_t ArchSpec::prefix_flops() const {
+  std::int64_t total = 0;
+  for (int i = 0; i < separable_blocks; ++i)
+    total += blocks[static_cast<std::size_t>(i)].flops();
+  return total;
+}
+
+std::int64_t ArchSpec::suffix_flops() const {
+  return total_flops() - prefix_flops();
+}
+
+std::int64_t ArchSpec::total_param_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& b : blocks) total += b.param_bytes();
+  return total;
+}
+
+std::int64_t ArchSpec::prefix_param_bytes() const {
+  std::int64_t total = 0;
+  for (int i = 0; i < separable_blocks; ++i)
+    total += blocks[static_cast<std::size_t>(i)].param_bytes();
+  return total;
+}
+
+std::int64_t ArchSpec::suffix_param_bytes() const {
+  return total_param_bytes() - prefix_param_bytes();
+}
+
+std::int64_t ArchSpec::separable_out_bytes() const {
+  if (separable_blocks == 0) return input_bytes();
+  return blocks[static_cast<std::size_t>(separable_blocks - 1)].out_bytes();
+}
+
+void ArchSpec::separable_out_dims(std::int64_t& c, std::int64_t& h,
+                                  std::int64_t& w) const {
+  if (separable_blocks == 0) {
+    c = cin;
+    h = hin;
+    w = win;
+    return;
+  }
+  const auto& last =
+      blocks[static_cast<std::size_t>(separable_blocks - 1)].layers.back();
+  c = last.cout;
+  h = last.hout;
+  w = last.wout;
+}
+
+std::vector<LayerSpec> ArchSpec::spatial_ops(int nblocks) const {
+  std::vector<LayerSpec> ops;
+  for (int b = 0; b < nblocks && b < static_cast<int>(blocks.size()); ++b) {
+    for (const auto& l : blocks[static_cast<std::size_t>(b)].layers) {
+      if (l.aux) continue;
+      if (l.op == Op::kConv || l.op == Op::kMaxPool) ops.push_back(l);
+    }
+  }
+  return ops;
+}
+
+std::vector<LayerSpec> ArchSpec::all_layers() const {
+  std::vector<LayerSpec> out;
+  for (const auto& b : blocks)
+    for (const auto& l : b.layers) out.push_back(l);
+  return out;
+}
+
+ArchSpec vgg16() {
+  Builder b("vgg16", 3, 224, 224);
+  const std::int64_t cfg[13] = {64,  64,  128, 128, 256, 256, 256,
+                                512, 512, 512, 512, 512, 512};
+  const bool pool_after[13] = {false, true, false, true,  false, false, true,
+                               false, false, true,  false, false, true};
+  for (int i = 0; i < 13; ++i) {
+    b.conv_block("L" + std::to_string(i + 1), cfg[i], 3,
+                 pool_after[i] ? 2 : 0);
+  }
+  b.begin_block("FC");
+  b.fc(4096);
+  b.relu();
+  b.fc(4096);
+  b.relu();
+  b.fc(1000);
+  b.end_block();
+  ArchSpec spec = b.take();
+  spec.separable_blocks = 7;  // paper §7.1
+  return spec;
+}
+
+namespace {
+ArchSpec resnet(const std::string& name, const int units[4],
+                int separable_units) {
+  Builder b(name, 3, 224, 224);
+  b.begin_block("stem");
+  b.conv(64, 7, 2, 3);
+  b.bn();
+  b.relu();
+  b.pool(2);
+  b.end_block();
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  int unit = 0;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int u = 0; u < units[stage]; ++u) {
+      ++unit;
+      const std::int64_t stride = (stage > 0 && u == 0) ? 2 : 1;
+      b.residual_block("res" + std::to_string(unit), widths[stage], stride);
+    }
+  }
+  b.begin_block("head");
+  b.global_pool();
+  b.fc(1000);
+  b.end_block();
+  ArchSpec spec = b.take();
+  spec.separable_blocks = 1 + separable_units;  // stem + leading units
+  return spec;
+}
+}  // namespace
+
+ArchSpec resnet18() {
+  const int units[4] = {2, 2, 2, 2};
+  return resnet("resnet18", units, 5);
+}
+
+ArchSpec resnet34() {
+  const int units[4] = {3, 4, 6, 3};
+  // Paper: 12 partitioned layer blocks for ResNet34.
+  return resnet("resnet34", units, 11);
+}
+
+ArchSpec yolov2() {
+  Builder b("yolo", 3, 416, 416);
+  // Darknet-19 backbone.
+  b.conv_block("L1", 32, 3, 2);
+  b.conv_block("L2", 64, 3, 2);
+  b.conv_block("L3", 128, 3);
+  b.conv_block("L4", 64, 1);
+  b.conv_block("L5", 128, 3, 2);
+  b.conv_block("L6", 256, 3);
+  b.conv_block("L7", 128, 1);
+  b.conv_block("L8", 256, 3, 2);
+  b.conv_block("L9", 512, 3);
+  b.conv_block("L10", 256, 1);
+  b.conv_block("L11", 512, 3);
+  b.conv_block("L12", 256, 1);
+  b.conv_block("L13", 512, 3, 2);
+  b.conv_block("L14", 1024, 3);
+  b.conv_block("L15", 512, 1);
+  b.conv_block("L16", 1024, 3);
+  b.conv_block("L17", 512, 1);
+  b.conv_block("L18", 1024, 3);
+  // Detection head (5 anchors x 25 outputs on VOC).
+  b.conv_block("L19", 1024, 3);
+  b.conv_block("L20", 1024, 3);
+  b.conv_block("head", 125, 1);
+  ArchSpec spec = b.take();
+  spec.separable_blocks = 12;  // paper §7.4
+  return spec;
+}
+
+ArchSpec fcn32() {
+  Builder b("fcn", 3, 224, 224);
+  const std::int64_t cfg[13] = {64,  64,  128, 128, 256, 256, 256,
+                                512, 512, 512, 512, 512, 512};
+  const bool pool_after[13] = {false, true, false, true,  false, false, true,
+                               false, false, true,  false, false, true};
+  for (int i = 0; i < 13; ++i) {
+    b.conv_block("L" + std::to_string(i + 1), cfg[i], 3,
+                 pool_after[i] ? 2 : 0);
+  }
+  // Convolutionalized classifier + score + 32x upsample.
+  b.conv_block("conv6", 1024, 7);
+  b.conv_block("conv7", 1024, 1);
+  b.begin_block("score");
+  b.conv(21, 1, 1, 0);
+  b.upsample(32);
+  b.end_block();
+  ArchSpec spec = b.take();
+  // The separable ofmap is 28x28x512 = 25.7 Mbit, the exact figure §4
+  // quotes for FCN's transmission overhead (2.7x the input image).
+  spec.separable_blocks = 8;
+  return spec;
+}
+
+ArchSpec charcnn() {
+  Builder b("charcnn", 70, 1, 1014);
+  // Zhang et al. 2015, "small" feature config: valid (pad 0) 1-D convs.
+  b.conv_block("L1", 256, 7, 3, 1, 0, /*one_d=*/true);
+  b.conv_block("L2", 256, 7, 3, 1, 0, /*one_d=*/true);
+  b.conv_block("L3", 256, 3, 0, 1, 0, /*one_d=*/true);
+  b.conv_block("L4", 256, 3, 0, 1, 0, /*one_d=*/true);
+  b.conv_block("L5", 256, 3, 0, 1, 0, /*one_d=*/true);
+  b.conv_block("L6", 256, 3, 3, 1, 0, /*one_d=*/true);
+  b.begin_block("FC");
+  b.fc(1024);
+  b.relu();
+  b.fc(1024);
+  b.relu();
+  b.fc(4);
+  b.end_block();
+  ArchSpec spec = b.take();
+  spec.separable_blocks = 4;
+  return spec;
+}
+
+ArchSpec by_name(const std::string& name) {
+  if (name == "vgg16") return vgg16();
+  if (name == "resnet18") return resnet18();
+  if (name == "resnet34") return resnet34();
+  if (name == "yolo") return yolov2();
+  if (name == "fcn") return fcn32();
+  if (name == "charcnn") return charcnn();
+  throw std::invalid_argument("arch::by_name: unknown model '" + name + "'");
+}
+
+}  // namespace adcnn::arch

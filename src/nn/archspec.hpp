@@ -1,0 +1,99 @@
+// Full-scale architecture specifications.
+//
+// The paper's latency/communication experiments (Figures 3, 11-15, Tables
+// 2-3) depend only on layer *dimensions* — FLOPs, activation bytes, kernel
+// geometry — not on trained weights. ArchSpec describes VGG16, ResNet18/34,
+// YOLOv2, FCN-32s and CharCNN layer by layer so the cost model and the
+// partitioning baselines (Neurosurgeon, AOFL) can reason about the true
+// full-scale networks without allocating hundreds of MB of parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adcnn::arch {
+
+enum class Op {
+  kConv,
+  kBatchNorm,
+  kReLU,
+  kMaxPool,
+  kFC,
+  kAdd,        // residual elementwise add
+  kUpsample,
+  kGlobalPool,
+};
+
+struct LayerSpec {
+  Op op = Op::kConv;
+  std::string name;
+  // Spatial geometry (square kernels; pools use k == stride).
+  std::int64_t k = 1, stride = 1, pad = 0;
+  // Shapes as {C, H, W}; 1-D models use H == 1.
+  std::int64_t cin = 0, hin = 0, win = 0;
+  std::int64_t cout = 0, hout = 0, wout = 0;
+  std::int64_t flops = 0;
+  std::int64_t param_bytes = 0;
+  /// True for layers off the main spatial path (residual projections):
+  /// excluded from receptive-field / halo chains.
+  bool aux = false;
+
+  std::int64_t out_bytes() const { return cout * hout * wout * 4; }
+  std::int64_t in_bytes() const { return cin * hin * win * 4; }
+};
+
+struct BlockSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  std::int64_t flops() const;
+  std::int64_t param_bytes() const;
+  std::int64_t in_bytes() const;
+  std::int64_t out_bytes() const;
+  bool has_pool() const;
+};
+
+struct ArchSpec {
+  std::string name;
+  std::int64_t cin = 0, hin = 0, win = 0;
+  std::vector<BlockSpec> blocks;
+  /// Leading blocks that admit FDSP (per the paper's per-model choices).
+  int separable_blocks = 0;
+
+  std::int64_t input_bytes() const { return cin * hin * win * 4; }
+  std::int64_t total_flops() const;
+  std::int64_t prefix_flops() const;  // blocks [0, separable_blocks)
+  std::int64_t suffix_flops() const;
+  std::int64_t total_param_bytes() const;
+  std::int64_t prefix_param_bytes() const;
+  std::int64_t suffix_param_bytes() const;
+  /// Raw (uncompressed fp32) size of the last separable block's ofmap —
+  /// what Conv nodes would transmit without §4's compression.
+  std::int64_t separable_out_bytes() const;
+  /// {C,H,W} of the last separable block output.
+  void separable_out_dims(std::int64_t& c, std::int64_t& h,
+                          std::int64_t& w) const;
+
+  /// Main-path spatial operators (conv & pool, aux excluded) of the first
+  /// `nblocks` blocks — the chain AOFL's halo growth is computed over.
+  std::vector<LayerSpec> spatial_ops(int nblocks) const;
+
+  /// Flat list of all layers in all blocks (for Neurosurgeon's layerwise
+  /// cut search).
+  std::vector<LayerSpec> all_layers() const;
+};
+
+// --- builders ----------------------------------------------------------
+ArchSpec vgg16();     // 224x224, 13 conv blocks + FC head, separable = 7
+ArchSpec resnet18();  // 224x224, stem + 8 units + head
+ArchSpec resnet34();  // 224x224, stem + 16 units + head, separable = 12
+ArchSpec yolov2();    // 416x416 Darknet-19 detector, separable = 12
+ArchSpec fcn32();     // 224x224 VGG16-backbone FCN-32s, separable = 8
+ArchSpec charcnn();   // 70 x 1014 character CNN, separable = 4
+
+/// Lookup by name ("vgg16", "resnet18", "resnet34", "yolo", "fcn",
+/// "charcnn").
+ArchSpec by_name(const std::string& name);
+
+}  // namespace adcnn::arch

@@ -1,0 +1,111 @@
+#include "nn/batchnorm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace adcnn::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, double momentum, double eps,
+                         std::string name)
+    : channels_(channels), momentum_(momentum), eps_(eps),
+      gamma_(Tensor::full(Shape{channels}, 1.0f), name + ".gamma"),
+      beta_(Tensor::zeros(Shape{channels}), name + ".beta"),
+      running_mean_(Tensor::zeros(Shape{channels})),
+      running_var_(Tensor::full(Shape{channels}, 1.0f)),
+      name_(std::move(name)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, Mode mode) {
+  assert(x.shape().rank() == 4 && x.c() == channels_);
+  const std::int64_t N = x.n(), C = x.c(), HW = x.h() * x.w();
+  Tensor y(x.shape());
+
+  if (mode == Mode::kEval) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const double invstd = 1.0 / std::sqrt(running_var_[c] + eps_);
+      const float a = static_cast<float>(gamma_.value[c] * invstd);
+      const float b = static_cast<float>(beta_.value[c] -
+                                         gamma_.value[c] * running_mean_[c] *
+                                             invstd);
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* src = &x.at(n, c, 0, 0);
+        float* dst = &y.at(n, c, 0, 0);
+        for (std::int64_t i = 0; i < HW; ++i) dst[i] = a * src[i] + b;
+      }
+    }
+    return y;
+  }
+
+  const double count = static_cast<double>(N * HW);
+  cached_xhat_ = Tensor(x.shape());
+  cached_invstd_.assign(static_cast<std::size_t>(C), 0.0);
+  for (std::int64_t c = 0; c < C; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* src = &x.at(n, c, 0, 0);
+      for (std::int64_t i = 0; i < HW; ++i) {
+        sum += src[i];
+        sq += static_cast<double>(src[i]) * src[i];
+      }
+    }
+    const double mean = sum / count;
+    const double var = std::max(0.0, sq / count - mean * mean);
+    const double invstd = 1.0 / std::sqrt(var + eps_);
+    cached_invstd_[c] = invstd;
+    running_mean_[c] = static_cast<float>((1.0 - momentum_) * running_mean_[c] +
+                                          momentum_ * mean);
+    running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] +
+                                         momentum_ * var);
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* src = &x.at(n, c, 0, 0);
+      float* xh = &cached_xhat_.at(n, c, 0, 0);
+      float* dst = &y.at(n, c, 0, 0);
+      for (std::int64_t i = 0; i < HW; ++i) {
+        xh[i] = static_cast<float>((src[i] - mean) * invstd);
+        dst[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& dy) {
+  assert(!cached_xhat_.empty());
+  const std::int64_t N = dy.n(), C = dy.c(), HW = dy.h() * dy.w();
+  const double count = static_cast<double>(N * HW);
+  Tensor dx(dy.shape());
+  for (std::int64_t c = 0; c < C; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* gy = &dy.at(n, c, 0, 0);
+      const float* xh = &cached_xhat_.at(n, c, 0, 0);
+      for (std::int64_t i = 0; i < HW; ++i) {
+        sum_dy += gy[i];
+        sum_dy_xhat += static_cast<double>(gy[i]) * xh[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+    const double g = gamma_.value[c], invstd = cached_invstd_[c];
+    // Standard BN backward:
+    // dx = (g*invstd/m) * (m*dy - sum(dy) - xhat*sum(dy*xhat))
+    const double scale = g * invstd / count;
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* gy = &dy.at(n, c, 0, 0);
+      const float* xh = &cached_xhat_.at(n, c, 0, 0);
+      float* gx = &dx.at(n, c, 0, 0);
+      for (std::int64_t i = 0; i < HW; ++i) {
+        gx[i] = static_cast<float>(
+            scale * (count * gy[i] - sum_dy - xh[i] * sum_dy_xhat));
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,46 @@
+// Batch normalization over NCHW channels (Ioffe & Szegedy 2015).
+//
+// Training uses batch statistics and maintains running estimates; inference
+// uses the running estimates, i.e. a per-channel affine map y = a*x + b —
+// which is why BN is FDSP-safe (purely elementwise at inference, exactly as
+// §3.2 of the paper argues).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, double momentum = 0.1,
+                       double eps = 1e-5, std::string name = "bn");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  std::int64_t flops(const Shape& in) const override { return 2 * in.numel(); }
+  std::string name() const override { return name_; }
+  void collect_params(std::vector<Param*>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override {
+    out.push_back(&running_mean_);
+    out.push_back(&running_var_);
+  }
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  double momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  std::string name_;
+
+  // Cached for backward.
+  Tensor cached_xhat_;
+  std::vector<double> cached_invstd_;
+};
+
+}  // namespace adcnn::nn

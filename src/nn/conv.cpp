@@ -1,0 +1,155 @@
+#include "nn/conv.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+
+namespace adcnn::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bool bias, Rng& rng, std::string name)
+    : Conv2d(in_channels, out_channels, kernel, kernel, stride, stride, pad,
+             pad, bias, rng, std::move(name)) {}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kh, std::int64_t kw, std::int64_t sh,
+               std::int64_t sw, std::int64_t ph, std::int64_t pw, bool bias,
+               Rng& rng, std::string name)
+    : cin_(in_channels), cout_(out_channels), kh_(kh), kw_(kw), sh_(sh),
+      sw_(sw), ph_(ph), pw_(pw), has_bias_(bias), name_(std::move(name)) {
+  // Kaiming-normal init, the standard for ReLU networks.
+  const double fan_in = static_cast<double>(cin_ * kh_ * kw_);
+  const float stddev = static_cast<float>(std::sqrt(2.0 / fan_in));
+  weight_ = Param(Tensor::randn(Shape{cout_, cin_, kh_, kw_}, rng, 0.0f,
+                                stddev),
+                  name_ + ".weight");
+  if (has_bias_) bias_ = Param(Tensor::zeros(Shape{cout_}), name_ + ".bias");
+}
+
+Shape Conv2d::out_shape(const Shape& in) const {
+  assert(in.rank() == 4);
+  if (in[1] != cin_) {
+    throw std::invalid_argument(name_ + ": channel mismatch, got " +
+                                in.to_string());
+  }
+  const std::int64_t hout = (in[2] + 2 * ph_ - kh_) / sh_ + 1;
+  const std::int64_t wout = (in[3] + 2 * pw_ - kw_) / sw_ + 1;
+  return Shape{in[0], cout_, hout, wout};
+}
+
+std::int64_t Conv2d::flops(const Shape& in) const {
+  const Shape out = out_shape(in);
+  return 2 * out.numel() * cin_ * kh_ * kw_;
+}
+
+void Conv2d::im2col(const Tensor& x, std::int64_t n, float* col,
+                    std::int64_t hout, std::int64_t wout) const {
+  const std::int64_t H = x.h(), W = x.w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cin_; ++c) {
+    for (std::int64_t dh = 0; dh < kh_; ++dh) {
+      for (std::int64_t dw = 0; dw < kw_; ++dw, ++row) {
+        float* dst = col + row * hout * wout;
+        for (std::int64_t oh = 0; oh < hout; ++oh) {
+          const std::int64_t ih = oh * sh_ - ph_ + dh;
+          if (ih < 0 || ih >= H) {
+            for (std::int64_t ow = 0; ow < wout; ++ow) dst[oh * wout + ow] = 0;
+            continue;
+          }
+          const float* src = &x.at(n, c, ih, 0);
+          for (std::int64_t ow = 0; ow < wout; ++ow) {
+            const std::int64_t iw = ow * sw_ - pw_ + dw;
+            dst[oh * wout + ow] = (iw >= 0 && iw < W) ? src[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* col, Tensor& dx, std::int64_t n,
+                    std::int64_t hout, std::int64_t wout) const {
+  const std::int64_t H = dx.h(), W = dx.w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cin_; ++c) {
+    for (std::int64_t dh = 0; dh < kh_; ++dh) {
+      for (std::int64_t dw = 0; dw < kw_; ++dw, ++row) {
+        const float* src = col + row * hout * wout;
+        for (std::int64_t oh = 0; oh < hout; ++oh) {
+          const std::int64_t ih = oh * sh_ - ph_ + dh;
+          if (ih < 0 || ih >= H) continue;
+          float* dst = &dx.at(n, c, ih, 0);
+          for (std::int64_t ow = 0; ow < wout; ++ow) {
+            const std::int64_t iw = ow * sw_ - pw_ + dw;
+            if (iw >= 0 && iw < W) dst[iw] += src[oh * wout + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, Mode mode) {
+  const Shape os = out_shape(x.shape());
+  const std::int64_t N = x.n(), hout = os[2], wout = os[3];
+  const std::int64_t k = cin_ * kh_ * kw_;
+  Tensor y(os);
+  std::vector<float> col(static_cast<std::size_t>(k * hout * wout));
+  for (std::int64_t n = 0; n < N; ++n) {
+    im2col(x, n, col.data(), hout, wout);
+    // y[n] (cout x hout*wout) = W (cout x k) * col (k x hout*wout)
+    gemm(weight_.value.data(), col.data(), &y.at(n, 0, 0, 0), cout_, k,
+         hout * wout);
+  }
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        const float b = bias_.value[c];
+        float* row = &y.at(n, c, 0, 0);
+        for (std::int64_t i = 0; i < hout * wout; ++i) row[i] += b;
+      }
+  }
+  if (mode == Mode::kTrain) cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  const Tensor& x = cached_input_;
+  assert(!x.empty() && "backward without kTrain forward");
+  const std::int64_t N = x.n(), hout = dy.h(), wout = dy.w();
+  const std::int64_t k = cin_ * kh_ * kw_;
+  Tensor dx = Tensor::zeros(x.shape());
+  std::vector<float> col(static_cast<std::size_t>(k * hout * wout));
+  std::vector<float> dcol(static_cast<std::size_t>(k * hout * wout));
+  for (std::int64_t n = 0; n < N; ++n) {
+    im2col(x, n, col.data(), hout, wout);
+    // dW (cout x k) += dy[n] (cout x hw) * col^T (hw x k)
+    gemm_a_bt(&dy.at(n, 0, 0, 0), col.data(), weight_.grad.data(), cout_,
+              hout * wout, k);
+    // dcol (k x hw) = W^T (k x cout) * dy[n] (cout x hw)
+    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    gemm_at_b(weight_.value.data(), &dy.at(n, 0, 0, 0), dcol.data(), k, cout_,
+              hout * wout);
+    col2im(dcol.data(), dx, n, hout, wout);
+  }
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        const float* row = &dy.at(n, c, 0, 0);
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < hout * wout; ++i) acc += row[i];
+        bias_.grad[c] += static_cast<float>(acc);
+      }
+  }
+  return dx;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace adcnn::nn

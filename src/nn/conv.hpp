@@ -1,0 +1,63 @@
+// 2-D convolution via im2col + GEMM, with full backward pass.
+//
+// Zero padding is applied per batch sample — this is the property FDSP
+// exploits: running the layer on a batch of tiles is exactly the paper's
+// "pad the cross-tile edge pixels with zeros".
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+class Conv2d final : public Layer {
+ public:
+  /// Square kernels; `bias` is usually false because a BatchNorm follows.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, bool bias,
+         Rng& rng, std::string name = "conv");
+
+  /// Rectangular kernels (kh x kw) for 1-D style models (CharCNN uses
+  /// kh == 1).
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kh,
+         std::int64_t kw, std::int64_t sh, std::int64_t sw, std::int64_t ph,
+         std::int64_t pw, bool bias, Rng& rng, std::string name = "conv");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::int64_t flops(const Shape& in) const override;
+  std::string name() const override { return name_; }
+  void collect_params(std::vector<Param*>& out) override;
+
+  std::int64_t in_channels() const { return cin_; }
+  std::int64_t out_channels() const { return cout_; }
+  std::int64_t kernel_h() const { return kh_; }
+  std::int64_t kernel_w() const { return kw_; }
+  std::int64_t stride_h() const { return sh_; }
+  std::int64_t stride_w() const { return sw_; }
+  std::int64_t pad_h() const { return ph_; }
+  std::int64_t pad_w() const { return pw_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  /// Gather the input patches of sample `n` into `col` with layout
+  /// (cin*kh*kw) x (hout*wout), zero-padding out-of-range pixels.
+  void im2col(const Tensor& x, std::int64_t n, float* col, std::int64_t hout,
+              std::int64_t wout) const;
+  /// Scatter-add of a col buffer back into dx for sample `n`.
+  void col2im(const float* col, Tensor& dx, std::int64_t n, std::int64_t hout,
+              std::int64_t wout) const;
+
+  std::int64_t cin_, cout_, kh_, kw_, sh_, sw_, ph_, pw_;
+  bool has_bias_;
+  Param weight_;  // (cout, cin, kh, kw)
+  Param bias_;    // (cout)
+  std::string name_;
+
+  Tensor cached_input_;  // kTrain only
+};
+
+}  // namespace adcnn::nn

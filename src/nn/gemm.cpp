@@ -1,0 +1,57 @@
+#include "nn/gemm.hpp"
+
+#include <cstring>
+
+namespace adcnn::nn {
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;  // sparse activations are common post-ReLU
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n) {
+  std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  gemm_accumulate(a, b, c, m, k, n);
+}
+
+void gemm_at_b(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+  // C(m,n) += sum_p A(p,i) * B(p,j)
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+  // C(i,j) += dot(A(i,:), B(j,:))
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,30 @@
+// Minimal single-precision GEMM kernels used by Conv2d (im2col) and Linear.
+//
+// These are deliberately simple, cache-friendly loop nests (i-k-j order with
+// the innermost loop streaming contiguously) rather than a full BLAS: the
+// library's experiments are about *distribution*, and the cost model, not
+// peak node FLOPs. Still, the ikj order is ~an order of magnitude faster
+// than the naive ijk triple loop.
+#pragma once
+
+#include <cstdint>
+
+namespace adcnn::nn {
+
+/// C(m,n) += A(m,k) * B(k,n), all row-major, no aliasing.
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+
+/// C(m,n) = A(m,k) * B(k,n) (C overwritten).
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n);
+
+/// C(m,n) += A^T(k,m) * B(k,n): A stored row-major as (k,m).
+void gemm_at_b(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n);
+
+/// C(m,n) += A(m,k) * B^T(n,k): B stored row-major as (n,k).
+void gemm_a_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n);
+
+}  // namespace adcnn::nn

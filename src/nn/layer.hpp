@@ -1,0 +1,72 @@
+// Layer abstraction for the CNN engine.
+//
+// Every operator implements forward (with train/eval modes), backward (for
+// the retraining experiments of the paper), shape inference, and a FLOP
+// count used by the profiler / cost model. Layers own their parameters
+// (value + gradient pairs) by value — RAII everywhere, no manual memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adcnn::nn {
+
+enum class Mode { kTrain, kEval };
+
+/// A learnable parameter: value and accumulated gradient of the same shape.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+
+  explicit Param(std::string n = "") : name(std::move(n)) {}
+  Param(Tensor v, std::string n)
+      : value(std::move(v)), grad(Tensor::zeros(value.shape())),
+        name(std::move(n)) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute output; in kTrain mode the layer caches whatever backward needs.
+  virtual Tensor forward(const Tensor& x, Mode mode) = 0;
+
+  /// Propagate gradient; must follow a kTrain forward. Accumulates parameter
+  /// gradients and returns the gradient w.r.t. the layer input.
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// Output shape for a given input shape (batch included).
+  virtual Shape out_shape(const Shape& in) const = 0;
+
+  /// Multiply-accumulate style FLOP estimate (2*MACs for conv/linear) for
+  /// one forward pass on input `in`.
+  virtual std::int64_t flops(const Shape& in) const {
+    return out_shape(in).numel();  // elementwise default
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Append pointers to this layer's parameters (empty for stateless ops).
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  /// Append pointers to non-learnable state tensors that must survive a
+  /// weight snapshot (BatchNorm running statistics).
+  virtual void collect_buffers(std::vector<Tensor*>& out) { (void)out; }
+
+  std::vector<Param*> params() {
+    std::vector<Param*> out;
+    collect_params(out);
+    return out;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace adcnn::nn

@@ -1,0 +1,76 @@
+#include "nn/linear.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+
+namespace adcnn::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               std::string name)
+    : in_(in_features), out_(out_features), name_(std::move(name)) {
+  const float stddev =
+      static_cast<float>(std::sqrt(2.0 / static_cast<double>(in_)));
+  weight_ = Param(Tensor::randn(Shape{out_, in_}, rng, 0.0f, stddev),
+                  name_ + ".weight");
+  bias_ = Param(Tensor::zeros(Shape{out_}), name_ + ".bias");
+}
+
+Shape Linear::out_shape(const Shape& in) const {
+  if (in.rank() != 2 || in[1] != in_) {
+    throw std::invalid_argument(name_ + ": expected (N," +
+                                std::to_string(in_) + "), got " +
+                                in.to_string());
+  }
+  return Shape{in[0], out_};
+}
+
+Tensor Linear::forward(const Tensor& x, Mode mode) {
+  const Shape os = out_shape(x.shape());
+  const std::int64_t N = x.shape()[0];
+  Tensor y(os);
+  // y (N,out) = x (N,in) * W^T (in,out)
+  gemm_a_bt(x.data(), weight_.value.data(), y.data(), N, in_, out_);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t o = 0; o < out_; ++o) y[n * out_ + o] += bias_.value[o];
+  if (mode == Mode::kTrain) cached_input_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  const Tensor& x = cached_input_;
+  assert(!x.empty());
+  const std::int64_t N = x.shape()[0];
+  // dW (out,in) += dy^T (out,N) * x (N,in)
+  gemm_at_b(dy.data(), x.data(), weight_.grad.data(), out_, N, in_);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t o = 0; o < out_; ++o) bias_.grad[o] += dy[n * out_ + o];
+  // dx (N,in) = dy (N,out) * W (out,in)
+  Tensor dx = Tensor::zeros(x.shape());
+  gemm_accumulate(dy.data(), weight_.value.data(), dx.data(), N, out_, in_);
+  return dx;
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+Shape Flatten::out_shape(const Shape& in) const {
+  std::int64_t rest = 1;
+  for (std::int64_t i = 1; i < in.rank(); ++i) rest *= in[i];
+  return Shape{in[0], rest};
+}
+
+Tensor Flatten::forward(const Tensor& x, Mode mode) {
+  if (mode == Mode::kTrain) cached_in_shape_ = x.shape();
+  return x.reshaped(out_shape(x.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& dy) {
+  return dy.reshaped(cached_in_shape_);
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,53 @@
+// Fully connected layer and Flatten.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+/// y = x W^T + b on (N, in) inputs.
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         std::string name = "fc");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::int64_t flops(const Shape& in) const override {
+    return 2 * in[0] * in_ * out_;
+  }
+  std::string name() const override { return name_; }
+  void collect_params(std::vector<Param*>& out) override;
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::int64_t in_, out_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  std::string name_;
+  Tensor cached_input_;
+};
+
+/// (N,C,H,W) -> (N, C*H*W).
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::int64_t flops(const Shape& in) const override {
+    (void)in;
+    return 0;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace adcnn::nn

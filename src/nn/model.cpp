@@ -1,0 +1,75 @@
+#include "nn/model.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+void Model::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+std::int64_t Model::param_count() {
+  std::int64_t total = 0;
+  for (Param* p : params()) total += p->value.numel();
+  return total;
+}
+
+Tensor Model::forward_range(const Tensor& x, int begin, int end) {
+  if (begin < 0 || end > static_cast<int>(net.size()) || begin > end) {
+    throw std::out_of_range("Model::forward_range: bad layer range");
+  }
+  Tensor cur = x;
+  for (int i = begin; i < end; ++i) cur = net.at(i).forward(cur, Mode::kEval);
+  return cur;
+}
+
+std::vector<Tensor*> Model::all_state_tensors() {
+  std::vector<Tensor*> tensors;
+  for (Param* p : params()) tensors.push_back(&p->value);
+  std::vector<Tensor*> buffers;
+  net.collect_buffers(buffers);
+  tensors.insert(tensors.end(), buffers.begin(), buffers.end());
+  return tensors;
+}
+
+std::vector<float> Model::state() {
+  std::vector<float> out;
+  for (Tensor* t : all_state_tensors())
+    out.insert(out.end(), t->data(), t->data() + t->numel());
+  return out;
+}
+
+void Model::load_state(std::span<const float> state) {
+  std::size_t pos = 0;
+  for (Tensor* t : all_state_tensors()) {
+    const std::size_t n = static_cast<std::size_t>(t->numel());
+    if (pos + n > state.size()) {
+      throw std::invalid_argument("Model::load_state: state too short");
+    }
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(pos),
+              state.begin() + static_cast<std::ptrdiff_t>(pos + n), t->data());
+    pos += n;
+  }
+  if (pos != state.size()) {
+    throw std::invalid_argument("Model::load_state: state too long");
+  }
+}
+
+void Model::copy_params(Model& src, Model& dst) {
+  auto s = src.all_state_tensors();
+  auto d = dst.all_state_tensors();
+  if (s.size() != d.size()) {
+    throw std::invalid_argument("Model::copy_params: state tensor count "
+                                "mismatch (" + std::to_string(s.size()) +
+                                " vs " + std::to_string(d.size()) + ")");
+  }
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i]->shape() != d[i]->shape()) {
+      throw std::invalid_argument("Model::copy_params: shape mismatch at " +
+                                  std::to_string(i));
+    }
+    std::copy(s[i]->data(), s[i]->data() + s[i]->numel(), d[i]->data());
+  }
+}
+
+}  // namespace adcnn::nn

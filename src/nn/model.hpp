@@ -1,0 +1,72 @@
+// Model: an ordered stack of layers with the paper's layer-block structure.
+//
+// `block_ends[b]` is the index one-past the last layer of layer block b in
+// `net`. The first `separable_blocks` blocks are the ones FDSP may
+// distribute (§3.2); everything after them (later blocks + FC head) runs on
+// the Central node.
+//
+// Thread-safety note: forward(Mode::kEval) mutates no layer state, so a
+// single Model may be shared read-only by many Conv-node worker threads.
+// Training (kTrain forward/backward) must be single-threaded per Model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace adcnn::nn {
+
+struct Model {
+  std::string name;
+  Sequential net;
+  std::vector<int> block_ends;
+  int separable_blocks = 0;
+  Shape input_shape;  // {C,H,W}, batch excluded
+
+  Model() = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  Tensor forward(const Tensor& x, Mode mode) { return net.forward(x, mode); }
+  Tensor backward(const Tensor& dy) { return net.backward(dy); }
+
+  std::vector<Param*> params() { return net.params(); }
+  void zero_grad();
+  std::int64_t param_count();
+
+  /// Index into `net` of the first layer *after* the separable region.
+  int separable_end_layer() const {
+    return separable_blocks == 0 ? 0 : block_ends[separable_blocks - 1];
+  }
+
+  /// Run only layers [begin, end) — used by the distributed runtime to
+  /// execute the separable prefix on a Conv node / suffix on the Central
+  /// node. Always eval mode.
+  Tensor forward_range(const Tensor& x, int begin, int end);
+
+  /// Total number of layer blocks (the FC head counts as the final block).
+  int num_blocks() const { return static_cast<int>(block_ends.size()); }
+
+  // --- weight snapshot ------------------------------------------------
+  // Serializes parameters and BatchNorm running statistics (architecture
+  // is NOT encoded; load into a model built by the same builder).
+  std::vector<float> state();
+  void load_state(std::span<const float> state);
+
+  /// Copy parameters + BN statistics from `src` into `dst` by flattened
+  /// order; shapes must match pairwise. Used by progressive retraining:
+  /// stages share conv/BN/FC weights while stateless layers (clipped ReLU,
+  /// fake-quant, tiling) differ.
+  static void copy_params(Model& src, Model& dst);
+
+ private:
+  /// Parameters followed by BN running buffers, in layer order.
+  std::vector<Tensor*> all_state_tensors();
+};
+
+}  // namespace adcnn::nn

@@ -1,0 +1,183 @@
+#include "nn/models_mini.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/upsample.hpp"
+
+namespace adcnn::nn {
+
+namespace {
+
+/// Append a conv->BN->ReLU (optionally + pool) layer block and record its
+/// end index.
+void add_conv_block(Model& m, Rng& rng, std::int64_t cin, std::int64_t cout,
+                    std::int64_t pool, const std::string& tag) {
+  m.net.emplace<Conv2d>(cin, cout, 3, 1, 1, /*bias=*/false, rng, tag + ".conv");
+  m.net.emplace<BatchNorm2d>(cout, 0.1, 1e-5, tag + ".bn");
+  m.net.emplace<ReLU>(tag + ".relu");
+  if (pool > 1) m.net.emplace<MaxPool2d>(pool, tag + ".pool");
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+}
+
+/// 1-D (height-1) conv block for CharCNN.
+void add_conv1d_block(Model& m, Rng& rng, std::int64_t cin, std::int64_t cout,
+                      std::int64_t pool, const std::string& tag) {
+  m.net.emplace<Conv2d>(cin, cout, /*kh=*/1, /*kw=*/3, 1, 1, /*ph=*/0,
+                        /*pw=*/1, /*bias=*/false, rng, tag + ".conv");
+  m.net.emplace<BatchNorm2d>(cout, 0.1, 1e-5, tag + ".bn");
+  m.net.emplace<ReLU>(tag + ".relu");
+  if (pool > 1) m.net.emplace<MaxPool2d>(1, pool, tag + ".pool");
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+}
+
+/// Basic residual block: conv-BN-ReLU-conv-BN + shortcut, fused ReLU.
+void add_residual_block(Model& m, Rng& rng, std::int64_t cin,
+                        std::int64_t cout, std::int64_t stride,
+                        const std::string& tag) {
+  Sequential body(tag + ".body");
+  body.emplace<Conv2d>(cin, cout, 3, stride, 1, false, rng, tag + ".conv1");
+  body.emplace<BatchNorm2d>(cout, 0.1, 1e-5, tag + ".bn1");
+  body.emplace<ReLU>(tag + ".relu1");
+  body.emplace<Conv2d>(cout, cout, 3, 1, 1, false, rng, tag + ".conv2");
+  body.emplace<BatchNorm2d>(cout, 0.1, 1e-5, tag + ".bn2");
+  LayerPtr projection;
+  if (cin != cout || stride != 1) {
+    auto proj = std::make_unique<Sequential>(tag + ".proj");
+    proj->emplace<Conv2d>(cin, cout, 1, stride, 0, false, rng,
+                          tag + ".proj_conv");
+    proj->emplace<BatchNorm2d>(cout, 0.1, 1e-5, tag + ".proj_bn");
+    projection = std::move(proj);
+  }
+  m.net.add(std::make_unique<Residual>(std::move(body), std::move(projection),
+                                       tag));
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+}
+
+std::int64_t scaled(const MiniOptions& opt, std::int64_t base) {
+  const std::int64_t w =
+      static_cast<std::int64_t>(static_cast<double>(base) * opt.width_mult);
+  return w < 4 ? 4 : w;
+}
+
+void check_image(const MiniOptions& opt, std::int64_t min_divisor) {
+  if (opt.image % min_divisor != 0) {
+    throw std::invalid_argument("MiniOptions.image must be divisible by " +
+                                std::to_string(min_divisor));
+  }
+}
+
+}  // namespace
+
+Model make_vgg_mini(Rng& rng, const MiniOptions& opt) {
+  check_image(opt, 4);
+  Model m;
+  m.name = "vgg_mini";
+  m.input_shape = Shape{opt.channels, opt.image, opt.image};
+  const std::int64_t c1 = scaled(opt, 16), c2 = scaled(opt, 32),
+                     c3 = scaled(opt, 48);
+  add_conv_block(m, rng, opt.channels, c1, 2, "b1");
+  add_conv_block(m, rng, c1, c2, 2, "b2");
+  add_conv_block(m, rng, c2, c3, 1, "b3");
+  add_conv_block(m, rng, c3, c3, 1, "b4");
+  m.separable_blocks = 2;
+  const std::int64_t s = opt.image / 4;
+  m.net.emplace<Flatten>("flatten");
+  m.net.emplace<Linear>(c3 * s * s, 64, rng, "fc1");
+  m.net.emplace<ReLU>("fc1.relu");
+  m.net.emplace<Linear>(64, opt.num_classes, rng, "fc2");
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+  return m;
+}
+
+Model make_resnet_mini(Rng& rng, const MiniOptions& opt) {
+  check_image(opt, 4);
+  Model m;
+  m.name = "resnet_mini";
+  m.input_shape = Shape{opt.channels, opt.image, opt.image};
+  const std::int64_t c1 = scaled(opt, 16), c2 = scaled(opt, 32),
+                     c3 = scaled(opt, 64);
+  add_conv_block(m, rng, opt.channels, c1, 1, "stem");
+  add_residual_block(m, rng, c1, c1, 1, "res1");
+  add_residual_block(m, rng, c1, c2, 2, "res2");
+  m.separable_blocks = 3;
+  add_residual_block(m, rng, c2, c3, 2, "res3");
+  m.net.emplace<GlobalAvgPool>("gap");
+  m.net.emplace<Flatten>("flatten");
+  m.net.emplace<Linear>(c3, opt.num_classes, rng, "fc");
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+  return m;
+}
+
+Model make_yolo_mini(Rng& rng, const MiniOptions& opt) {
+  check_image(opt, 8);
+  Model m;
+  m.name = "yolo_mini";
+  m.input_shape = Shape{opt.channels, opt.image, opt.image};
+  const std::int64_t c1 = scaled(opt, 16), c2 = scaled(opt, 32),
+                     c3 = scaled(opt, 48);
+  add_conv_block(m, rng, opt.channels, c1, 2, "b1");
+  add_conv_block(m, rng, c1, c2, 2, "b2");
+  m.separable_blocks = 2;
+  add_conv_block(m, rng, c2, c3, 2, "b3");
+  // Detection head: per-cell (background + classes) scores over the SxS
+  // grid (S = image/8).
+  m.net.emplace<Conv2d>(c3, static_cast<std::int64_t>(opt.num_classes) + 1, 1,
+                        1, 0, /*bias=*/true, rng, "head");
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+  return m;
+}
+
+Model make_fcn_mini(Rng& rng, const MiniOptions& opt) {
+  check_image(opt, 4);
+  Model m;
+  m.name = "fcn_mini";
+  m.input_shape = Shape{opt.channels, opt.image, opt.image};
+  const std::int64_t c1 = scaled(opt, 16), c2 = scaled(opt, 32),
+                     c3 = scaled(opt, 48);
+  add_conv_block(m, rng, opt.channels, c1, 2, "b1");
+  add_conv_block(m, rng, c1, c2, 2, "b2");
+  m.separable_blocks = 2;
+  add_conv_block(m, rng, c2, c3, 1, "b3");
+  // Per-pixel class scores restored to input resolution.
+  m.net.emplace<Conv2d>(c3, static_cast<std::int64_t>(opt.num_classes), 1, 1,
+                        0, /*bias=*/true, rng, "score");
+  m.net.emplace<UpsampleNearest>(4, "up4");
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+  return m;
+}
+
+Model make_charcnn_mini(Rng& rng, const MiniOptions& opt) {
+  if (opt.length % 4 != 0) {
+    throw std::invalid_argument("MiniOptions.length must be divisible by 4");
+  }
+  Model m;
+  m.name = "charcnn_mini";
+  m.input_shape = Shape{opt.alphabet, 1, opt.length};
+  const std::int64_t c1 = scaled(opt, 16), c2 = scaled(opt, 32);
+  add_conv1d_block(m, rng, opt.alphabet, c1, 2, "b1");
+  add_conv1d_block(m, rng, c1, c2, 2, "b2");
+  m.separable_blocks = 2;
+  add_conv1d_block(m, rng, c2, c2, 1, "b3");
+  m.net.emplace<Flatten>("flatten");
+  m.net.emplace<Linear>(c2 * (opt.length / 4), 64, rng, "fc1");
+  m.net.emplace<ReLU>("fc1.relu");
+  m.net.emplace<Linear>(64, opt.num_classes, rng, "fc2");
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+  return m;
+}
+
+Model make_mini(const std::string& family, Rng& rng, const MiniOptions& opt) {
+  if (family == "vgg") return make_vgg_mini(rng, opt);
+  if (family == "resnet") return make_resnet_mini(rng, opt);
+  if (family == "yolo") return make_yolo_mini(rng, opt);
+  if (family == "fcn") return make_fcn_mini(rng, opt);
+  if (family == "charcnn") return make_charcnn_mini(rng, opt);
+  throw std::invalid_argument("make_mini: unknown family '" + family + "'");
+}
+
+}  // namespace adcnn::nn

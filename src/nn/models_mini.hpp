@@ -1,0 +1,57 @@
+// Trainable "mini" versions of the paper's five CNN families.
+//
+// The paper trains/retrains full VGG16 / ResNet34 / YOLO / FCN / CharCNN on
+// ImageNet-class datasets; at laptop scale we reproduce the *topology
+// families* (conv/BN/ReLU layer blocks with pooling, residual shortcuts,
+// detection grid head, segmentation upsample head, 1-D text convolutions)
+// at reduced width so every accuracy/retraining experiment runs in seconds.
+// Full-scale dimensions are handled separately by nn/archspec for the
+// latency cost model. See DESIGN.md §3 for the substitution argument.
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace adcnn::nn {
+
+struct MiniOptions {
+  std::int64_t image = 32;     // input H == W (must suit the tile grid)
+  std::int64_t channels = 3;   // input channels
+  int num_classes = 4;
+  /// Scales every hidden channel count (min 4). Benches use 0.5 to keep
+  /// single-core retraining sweeps fast; 1.0 for tests/examples.
+  double width_mult = 1.0;
+  // CharCNN-specific:
+  std::int64_t alphabet = 16;  // one-hot input channels
+  std::int64_t length = 64;    // sequence length
+};
+
+/// VGG-style: stacked conv blocks with pooling, flatten + FC head.
+/// Blocks: [C3->16 P2] [16->32 P2] [32->48] [48->48] [flatten FC].
+/// separable_blocks = 2 (both pooling blocks).
+Model make_vgg_mini(Rng& rng, const MiniOptions& opt);
+
+/// ResNet-style: conv stem + basic residual blocks (identity & projection
+/// shortcuts, Figure 2(b)/(c) of the paper), GAP + FC head.
+/// separable_blocks = 3.
+Model make_resnet_mini(Rng& rng, const MiniOptions& opt);
+
+/// YOLO-style grid detector: conv blocks downsample to an SxS cell grid;
+/// a 1x1 conv head predicts a (background + classes) distribution per cell.
+/// separable_blocks = 2. Output (N, classes+1, S, S).
+Model make_yolo_mini(Rng& rng, const MiniOptions& opt);
+
+/// FCN-style semantic segmentation: downsampling trunk, 1x1 class conv,
+/// nearest upsample back to input resolution. separable_blocks = 2.
+/// Output (N, classes, H, W).
+Model make_fcn_mini(Rng& rng, const MiniOptions& opt);
+
+/// CharCNN-style text classifier: 1-D convolutions (stored as H == 1)
+/// over a one-hot character tensor (N, alphabet, 1, length).
+/// separable_blocks = 2. Partition grids must be 1 x c.
+Model make_charcnn_mini(Rng& rng, const MiniOptions& opt);
+
+/// Builder lookup by family name ("vgg", "resnet", "yolo", "fcn",
+/// "charcnn") — used by benches that sweep all five models.
+Model make_mini(const std::string& family, Rng& rng, const MiniOptions& opt);
+
+}  // namespace adcnn::nn

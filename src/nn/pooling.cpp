@@ -1,0 +1,89 @@
+#include "nn/pooling.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kh, std::int64_t kw, std::string name)
+    : kh_(kh), kw_(kw), name_(std::move(name)) {
+  if (kh < 1 || kw < 1) throw std::invalid_argument("MaxPool2d: bad kernel");
+}
+
+Shape MaxPool2d::out_shape(const Shape& in) const {
+  assert(in.rank() == 4);
+  if (in[2] % kh_ != 0 || in[3] % kw_ != 0) {
+    throw std::invalid_argument(name_ + ": input " + in.to_string() +
+                                " not divisible by pooling kernel");
+  }
+  return Shape{in[0], in[1], in[2] / kh_, in[3] / kw_};
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, Mode mode) {
+  const Shape os = out_shape(x.shape());
+  const std::int64_t N = x.n(), C = x.c(), H = x.h(), W = x.w();
+  const std::int64_t HO = os[2], WO = os[3];
+  Tensor y(os);
+  const bool train = (mode == Mode::kTrain);
+  if (train) {
+    cached_in_shape_ = x.shape();
+    argmax_.assign(static_cast<std::size_t>(os.numel()), 0);
+  }
+  std::int64_t oi = 0;
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t oh = 0; oh < HO; ++oh)
+        for (std::int64_t ow = 0; ow < WO; ++ow, ++oi) {
+          float best = -3.4e38f;
+          std::int64_t best_idx = 0;
+          for (std::int64_t dh = 0; dh < kh_; ++dh)
+            for (std::int64_t dw = 0; dw < kw_; ++dw) {
+              const std::int64_t ih = oh * kh_ + dh, iw = ow * kw_ + dw;
+              const std::int64_t idx = ((n * C + c) * H + ih) * W + iw;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          y[oi] = best;
+          if (train) argmax_[static_cast<std::size_t>(oi)] = best_idx;
+        }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& dy) {
+  assert(static_cast<std::int64_t>(argmax_.size()) == dy.numel());
+  Tensor dx = Tensor::zeros(cached_in_shape_);
+  for (std::int64_t i = 0; i < dy.numel(); ++i)
+    dx[argmax_[static_cast<std::size_t>(i)]] += dy[i];
+  return dx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, Mode mode) {
+  const std::int64_t N = x.n(), C = x.c(), HW = x.h() * x.w();
+  Tensor y(Shape{N, C, 1, 1});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float* src = &x.at(n, c, 0, 0);
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < HW; ++i) acc += src[i];
+      y.at(n, c, 0, 0) = static_cast<float>(acc / static_cast<double>(HW));
+    }
+  if (mode == Mode::kTrain) cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  Tensor dx(cached_in_shape_);
+  const std::int64_t N = dx.n(), C = dx.c(), HW = dx.h() * dx.w();
+  const float inv = 1.0f / static_cast<float>(HW);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float g = dy.at(n, c, 0, 0) * inv;
+      float* dst = &dx.at(n, c, 0, 0);
+      for (std::int64_t i = 0; i < HW; ++i) dst[i] = g;
+    }
+  return dx;
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,49 @@
+// Pooling layers. The paper notes (§3.2) that pooling stays FDSP-safe as
+// long as each receptive field lies entirely within one tile — the geometry
+// checks in core/geometry enforce that tile extents divide evenly.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  /// Non-overlapping (stride == kernel) pooling, the common CNN case.
+  explicit MaxPool2d(std::int64_t kernel, std::string name = "maxpool")
+      : MaxPool2d(kernel, kernel, std::move(name)) {}
+  MaxPool2d(std::int64_t kh, std::int64_t kw, std::string name = "maxpool");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::string name() const override { return name_; }
+
+  std::int64_t kernel_h() const { return kh_; }
+  std::int64_t kernel_w() const { return kw_; }
+
+ private:
+  std::int64_t kh_, kw_;
+  std::string name_;
+  Shape cached_in_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: (N,C,H,W) -> (N,C,1,1).
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override {
+    return Shape{in[0], in[1], 1, 1};
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace adcnn::nn

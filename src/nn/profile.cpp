@@ -1,0 +1,57 @@
+#include "nn/profile.hpp"
+
+namespace adcnn::nn {
+
+std::vector<LayerProfileEntry> profile_layers(Model& model,
+                                              std::int64_t batch) {
+  std::vector<LayerProfileEntry> out;
+  Shape cur{batch, model.input_shape[0], model.input_shape[1],
+            model.input_shape[2]};
+  for (std::size_t i = 0; i < model.net.size(); ++i) {
+    Layer& layer = model.net.at(i);
+    LayerProfileEntry e;
+    e.name = layer.name();
+    e.in = cur;
+    e.out = layer.out_shape(cur);
+    e.flops = layer.flops(cur);
+    std::vector<Param*> params;
+    layer.collect_params(params);
+    for (Param* p : params)
+      e.param_bytes += p->value.numel() * static_cast<std::int64_t>(sizeof(float));
+    e.out_bytes = e.out.numel() * static_cast<std::int64_t>(sizeof(float));
+    cur = e.out;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<BlockProfileEntry> profile_blocks(Model& model,
+                                              std::int64_t batch) {
+  const auto layers = profile_layers(model, batch);
+  std::vector<BlockProfileEntry> out;
+  int begin = 0;
+  for (std::size_t b = 0; b < model.block_ends.size(); ++b) {
+    const int end = model.block_ends[b];
+    BlockProfileEntry e;
+    bool has_pool = false;
+    for (int i = begin; i < end; ++i) {
+      e.flops += layers[static_cast<std::size_t>(i)].flops;
+      e.param_bytes += layers[static_cast<std::size_t>(i)].param_bytes;
+      if (layers[static_cast<std::size_t>(i)].name.find("pool") !=
+          std::string::npos)
+        has_pool = true;
+    }
+    e.in_bytes = layers[static_cast<std::size_t>(begin)].in.numel() *
+                 static_cast<std::int64_t>(sizeof(float));
+    e.out_bytes = layers[static_cast<std::size_t>(end - 1)].out_bytes;
+    e.separable = static_cast<int>(b) < model.separable_blocks;
+    const bool is_head = (b + 1 == model.block_ends.size());
+    e.name = is_head ? "FC"
+                     : "L" + std::to_string(b + 1) + (has_pool ? "(P)" : "");
+    out.push_back(std::move(e));
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,39 @@
+// Per-layer / per-block profiling of a Model: FLOPs, parameter bytes and
+// activation bytes. Feeds the examples and tests; the full-scale cost model
+// uses nn/archspec instead (which needs no weight allocation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace adcnn::nn {
+
+struct LayerProfileEntry {
+  std::string name;
+  Shape in;
+  Shape out;
+  std::int64_t flops = 0;
+  std::int64_t param_bytes = 0;
+  std::int64_t out_bytes = 0;
+};
+
+struct BlockProfileEntry {
+  std::string name;        // "L1", "L2(P)", ..., "FC"
+  std::int64_t flops = 0;
+  std::int64_t param_bytes = 0;
+  std::int64_t in_bytes = 0;   // ifmap size entering the block
+  std::int64_t out_bytes = 0;  // ofmap size leaving the block
+  bool separable = false;
+};
+
+/// Profile every top-level layer for batch size `batch`.
+std::vector<LayerProfileEntry> profile_layers(Model& model,
+                                              std::int64_t batch = 1);
+
+/// Aggregate the layer profile into the paper's layer blocks (Figure 3).
+std::vector<BlockProfileEntry> profile_blocks(Model& model,
+                                              std::int64_t batch = 1);
+
+}  // namespace adcnn::nn

@@ -1,0 +1,29 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+FakeQuant::FakeQuant(float range, int bits, std::string name)
+    : range_(range), bits_(bits), name_(std::move(name)) {
+  if (range <= 0.0f || bits < 1 || bits > 16) {
+    throw std::invalid_argument("FakeQuant: bad range/bits");
+  }
+  step_ = range_ / static_cast<float>((1 << bits_) - 1);
+}
+
+float FakeQuant::quantize_value(float v) const {
+  if (v <= 0.0f) return 0.0f;
+  if (v >= range_) return range_;
+  return std::round(v / step_) * step_;
+}
+
+Tensor FakeQuant::forward(const Tensor& x, Mode mode) {
+  (void)mode;
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = quantize_value(x[i]);
+  return y;
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,38 @@
+// Fake quantization layer (§4.2 of the paper).
+//
+// Simulates the k-bit uniform quantization applied to Conv-node outputs:
+// values in [0, range] snap to the nearest of 2^bits levels. The backward
+// pass is a straight-through estimator — §4.4: "full-precision gradients
+// are used to update the weights".
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+class FakeQuant final : public Layer {
+ public:
+  /// `range` is the full-scale value (clipped-ReLU output span b-a);
+  /// `bits` the precision (the paper uses 4).
+  FakeQuant(float range, int bits, std::string name = "fake_quant");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override { return dy; }  // STE
+  Shape out_shape(const Shape& in) const override { return in; }
+  std::string name() const override { return name_; }
+
+  float step() const { return step_; }
+  int bits() const { return bits_; }
+
+  /// Quantize a single value (shared with the wire codec so the simulated
+  /// training matches what is actually transmitted bit-for-bit).
+  float quantize_value(float v) const;
+
+ private:
+  float range_;
+  int bits_;
+  float step_;
+  std::string name_;
+};
+
+}  // namespace adcnn::nn

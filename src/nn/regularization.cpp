@@ -1,0 +1,121 @@
+#include "nn/regularization.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+Dropout::Dropout(double p, Rng& rng, std::string name)
+    : p_(p), rng_(rng.fork()), name_(std::move(name)) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x, Mode mode) {
+  if (mode == Mode::kEval || p_ == 0.0) return x;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_.assign(static_cast<std::size_t>(x.numel()), 0.0f);
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (rng_.uniform() >= p_) {
+      mask_[static_cast<std::size_t>(i)] = keep_scale;
+      y[i] = x[i] * keep_scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+  assert(static_cast<std::int64_t>(mask_.size()) == dy.numel());
+  Tensor dx(dy.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i)
+    dx[i] = dy[i] * mask_[static_cast<std::size_t>(i)];
+  return dx;
+}
+
+AvgPool2d::AvgPool2d(std::int64_t kernel, std::string name)
+    : k_(kernel), name_(std::move(name)) {
+  if (kernel < 1) throw std::invalid_argument("AvgPool2d: bad kernel");
+}
+
+Shape AvgPool2d::out_shape(const Shape& in) const {
+  if (in.rank() != 4 || in[2] % k_ != 0 || in[3] % k_ != 0) {
+    throw std::invalid_argument(name_ + ": input " + in.to_string() +
+                                " not divisible by pooling kernel");
+  }
+  return Shape{in[0], in[1], in[2] / k_, in[3] / k_};
+}
+
+Tensor AvgPool2d::forward(const Tensor& x, Mode mode) {
+  const Shape os = out_shape(x.shape());
+  if (mode == Mode::kTrain) cached_in_shape_ = x.shape();
+  Tensor y(os);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (std::int64_t n = 0; n < os[0]; ++n)
+    for (std::int64_t c = 0; c < os[1]; ++c)
+      for (std::int64_t oh = 0; oh < os[2]; ++oh)
+        for (std::int64_t ow = 0; ow < os[3]; ++ow) {
+          double acc = 0.0;
+          for (std::int64_t dh = 0; dh < k_; ++dh)
+            for (std::int64_t dw = 0; dw < k_; ++dw)
+              acc += x.at(n, c, oh * k_ + dh, ow * k_ + dw);
+          y.at(n, c, oh, ow) = static_cast<float>(acc) * inv;
+        }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& dy) {
+  Tensor dx(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (std::int64_t n = 0; n < dy.n(); ++n)
+    for (std::int64_t c = 0; c < dy.c(); ++c)
+      for (std::int64_t oh = 0; oh < dy.h(); ++oh)
+        for (std::int64_t ow = 0; ow < dy.w(); ++ow) {
+          const float g = dy.at(n, c, oh, ow) * inv;
+          for (std::int64_t dh = 0; dh < k_; ++dh)
+            for (std::int64_t dw = 0; dw < k_; ++dw)
+              dx.at(n, c, oh * k_ + dh, ow * k_ + dw) = g;
+        }
+  return dx;
+}
+
+Tensor Softmax::forward(const Tensor& x, Mode mode) {
+  if (x.shape().rank() != 2) {
+    throw std::invalid_argument("Softmax: expected (N, K) logits");
+  }
+  const std::int64_t N = x.shape()[0], K = x.shape()[1];
+  Tensor y(x.shape());
+  for (std::int64_t n = 0; n < N; ++n) {
+    double maxv = -1e300;
+    for (std::int64_t k = 0; k < K; ++k)
+      maxv = std::max(maxv, static_cast<double>(x[n * K + k]));
+    double denom = 0.0;
+    for (std::int64_t k = 0; k < K; ++k)
+      denom += std::exp(static_cast<double>(x[n * K + k]) - maxv);
+    for (std::int64_t k = 0; k < K; ++k)
+      y[n * K + k] = static_cast<float>(
+          std::exp(static_cast<double>(x[n * K + k]) - maxv) / denom);
+  }
+  if (mode == Mode::kTrain) cached_output_ = y;
+  return y;
+}
+
+Tensor Softmax::backward(const Tensor& dy) {
+  const Tensor& y = cached_output_;
+  assert(!y.empty());
+  const std::int64_t N = y.shape()[0], K = y.shape()[1];
+  Tensor dx(y.shape());
+  for (std::int64_t n = 0; n < N; ++n) {
+    double dot = 0.0;
+    for (std::int64_t k = 0; k < K; ++k)
+      dot += static_cast<double>(dy[n * K + k]) * y[n * K + k];
+    for (std::int64_t k = 0; k < K; ++k)
+      dx[n * K + k] = static_cast<float>(
+          y[n * K + k] * (static_cast<double>(dy[n * K + k]) - dot));
+  }
+  return dx;
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,62 @@
+// Regularization / probability layers rounding out the operator set:
+// Dropout (inverted, train-only), AvgPool2d, and Softmax (inference heads).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+/// Inverted dropout: active only in kTrain; identity at inference, so it is
+/// trivially FDSP-safe.
+class Dropout final : public Layer {
+ public:
+  Dropout(double p, Rng& rng, std::string name = "dropout");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  std::string name() const override { return name_; }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  std::string name_;
+  std::vector<float> mask_;  // 0 or 1/(1-p)
+};
+
+/// Non-overlapping average pooling.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::int64_t kernel, std::string name = "avgpool");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::int64_t k_;
+  std::string name_;
+  Shape cached_in_shape_;
+};
+
+/// Row-wise softmax over (N, K) logits. Backward implements the full
+/// Jacobian product (for completeness; training heads normally use the
+/// fused softmax-CE loss instead).
+class Softmax final : public Layer {
+ public:
+  explicit Softmax(std::string name = "softmax") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override { return in; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_output_;
+};
+
+}  // namespace adcnn::nn

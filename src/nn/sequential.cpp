@@ -1,0 +1,97 @@
+#include "nn/sequential.hpp"
+
+#include <cassert>
+
+namespace adcnn::nn {
+
+Tensor Sequential::forward(const Tensor& x, Mode mode) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, mode);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& dy) {
+  Tensor cur = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+Shape Sequential::out_shape(const Shape& in) const {
+  Shape cur = in;
+  for (const auto& layer : layers_) cur = layer->out_shape(cur);
+  return cur;
+}
+
+std::int64_t Sequential::flops(const Shape& in) const {
+  Shape cur = in;
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer->flops(cur);
+    cur = layer->out_shape(cur);
+  }
+  return total;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& layer : layers_) layer->collect_params(out);
+}
+
+void Sequential::collect_buffers(std::vector<Tensor*>& out) {
+  for (auto& layer : layers_) layer->collect_buffers(out);
+}
+
+Residual::Residual(Sequential body, LayerPtr projection, std::string name)
+    : body_(std::move(body)), projection_(std::move(projection)),
+      name_(std::move(name)) {}
+
+Shape Residual::out_shape(const Shape& in) const {
+  return body_.out_shape(in);
+}
+
+std::int64_t Residual::flops(const Shape& in) const {
+  std::int64_t total = body_.flops(in);
+  if (projection_) total += projection_->flops(in);
+  total += out_shape(in).numel();  // elementwise add + relu
+  return total;
+}
+
+Tensor Residual::forward(const Tensor& x, Mode mode) {
+  Tensor main = body_.forward(x, mode);
+  Tensor skip = projection_ ? projection_->forward(x, mode) : x;
+  assert(main.shape() == skip.shape());
+  main.add_(skip);
+  const bool train = (mode == Mode::kTrain);
+  if (train) relu_mask_.assign(static_cast<std::size_t>(main.numel()), 0);
+  for (std::int64_t i = 0; i < main.numel(); ++i) {
+    const bool pos = main[i] > 0.0f;
+    if (!pos) main[i] = 0.0f;
+    if (train) relu_mask_[static_cast<std::size_t>(i)] = pos;
+  }
+  return main;
+}
+
+Tensor Residual::backward(const Tensor& dy) {
+  Tensor g(dy.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i)
+    g[i] = relu_mask_[static_cast<std::size_t>(i)] ? dy[i] : 0.0f;
+  Tensor dx = body_.backward(g);
+  if (projection_) {
+    dx.add_(projection_->backward(g));
+  } else {
+    dx.add_(g);
+  }
+  return dx;
+}
+
+void Residual::collect_params(std::vector<Param*>& out) {
+  body_.collect_params(out);
+  if (projection_) projection_->collect_params(out);
+}
+
+void Residual::collect_buffers(std::vector<Tensor*>& out) {
+  body_.collect_buffers(out);
+  if (projection_) projection_->collect_buffers(out);
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,70 @@
+// Layer containers: Sequential and Residual (ResNet basic block).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& at(std::size_t i) { return *layers_[i]; }
+  const Layer& at(std::size_t i) const { return *layers_[i]; }
+  std::vector<LayerPtr>& layers() { return layers_; }
+
+  /// Move all layers out (used by FDSP model surgery).
+  std::vector<LayerPtr> take_layers() { return std::move(layers_); }
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::int64_t flops(const Shape& in) const override;
+  std::string name() const override { return name_; }
+  void collect_params(std::vector<Param*>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+
+ private:
+  std::vector<LayerPtr> layers_;
+  std::string name_ = "sequential";
+};
+
+/// y = ReLU(body(x) + shortcut(x)); shortcut is identity or a projection
+/// (1x1 conv + BN) when the body changes shape — Figure 2(b)/(c) of the
+/// paper.
+class Residual final : public Layer {
+ public:
+  Residual(Sequential body, LayerPtr projection, std::string name = "res");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::int64_t flops(const Shape& in) const override;
+  std::string name() const override { return name_; }
+  void collect_params(std::vector<Param*>& out) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+
+ private:
+  Sequential body_;
+  LayerPtr projection_;  // nullptr = identity shortcut
+  std::string name_;
+  std::vector<unsigned char> relu_mask_;
+};
+
+}  // namespace adcnn::nn

@@ -1,0 +1,63 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'C', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void save_state(Model& model, const std::string& path) {
+  const std::vector<float> state = model.state();
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("save_state: cannot open " + path);
+  const std::uint64_t count = state.size();
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      std::fwrite(&kVersion, sizeof kVersion, 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof count, 1, f.get()) != 1 ||
+      std::fwrite(state.data(), sizeof(float), state.size(), f.get()) !=
+          state.size()) {
+    throw std::runtime_error("save_state: short write to " + path);
+  }
+}
+
+void load_state(Model& model, const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("load_state: cannot open " + path);
+  char magic[4] = {};
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("load_state: bad magic in " + path);
+  }
+  if (std::fread(&version, sizeof version, 1, f.get()) != 1 ||
+      version != kVersion) {
+    throw std::runtime_error("load_state: unsupported version in " + path);
+  }
+  if (std::fread(&count, sizeof count, 1, f.get()) != 1) {
+    throw std::runtime_error("load_state: truncated header in " + path);
+  }
+  std::vector<float> state(count);
+  if (std::fread(state.data(), sizeof(float), count, f.get()) != count) {
+    throw std::runtime_error("load_state: truncated payload in " + path);
+  }
+  model.load_state(state);  // validates the count against the model
+}
+
+}  // namespace adcnn::nn

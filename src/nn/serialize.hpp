@@ -1,0 +1,22 @@
+// Model weight file I/O. Format: magic "ADCN" | u32 version | u64 float
+// count | raw little-endian fp32 values (the Model::state() flattening:
+// parameters in layer order, then BatchNorm running statistics).
+//
+// Architecture is deliberately NOT encoded: load into a model produced by
+// the same builder, exactly like the Conv nodes and Central node loading
+// their halves of the retrained weights in §6.1.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace adcnn::nn {
+
+void save_state(Model& model, const std::string& path);
+
+/// Throws std::runtime_error on I/O failure, bad magic, or a float count
+/// that does not match the model.
+void load_state(Model& model, const std::string& path);
+
+}  // namespace adcnn::nn

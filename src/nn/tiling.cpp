@@ -1,0 +1,88 @@
+#include "nn/tiling.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+TileSplit::TileSplit(std::int64_t rows, std::int64_t cols, std::string name)
+    : rows_(rows), cols_(cols), name_(std::move(name)) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("TileSplit: bad grid");
+}
+
+Shape TileSplit::out_shape(const Shape& in) const {
+  if (in.rank() != 4 || in[2] % rows_ != 0 || in[3] % cols_ != 0) {
+    throw std::invalid_argument(name_ + ": input " + in.to_string() +
+                                " not divisible by grid " +
+                                std::to_string(rows_) + "x" +
+                                std::to_string(cols_));
+  }
+  return Shape{in[0] * rows_ * cols_, in[1], in[2] / rows_, in[3] / cols_};
+}
+
+Tensor TileSplit::split(const Tensor& x, std::int64_t rows, std::int64_t cols) {
+  const std::int64_t N = x.n(), C = x.c(), H = x.h(), W = x.w();
+  const std::int64_t th = H / rows, tw = W / cols;
+  Tensor out(Shape{N * rows * cols, C, th, tw});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const Tensor tile = x.crop(n, 1, r * th, th, c * tw, tw);
+        out.paste(tile.reshaped(Shape{1, C, th, tw}), (n * rows + r) * cols + c,
+                  0, 0);
+      }
+  return out;
+}
+
+Tensor TileSplit::merge(const Tensor& tiles, std::int64_t rows,
+                        std::int64_t cols) {
+  const std::int64_t NT = tiles.n(), C = tiles.c(), th = tiles.h(),
+                     tw = tiles.w();
+  if (NT % (rows * cols) != 0) {
+    throw std::invalid_argument("TileSplit::merge: batch not a multiple of "
+                                "grid size");
+  }
+  const std::int64_t N = NT / (rows * cols);
+  Tensor out(Shape{N, C, th * rows, tw * cols});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t r = 0; r < rows; ++r)
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const Tensor tile =
+            tiles.crop((n * rows + r) * cols + c, 1, 0, th, 0, tw);
+        out.paste(tile, n, r * th, c * tw);
+      }
+  return out;
+}
+
+Tensor TileSplit::forward(const Tensor& x, Mode mode) {
+  (void)mode;
+  out_shape(x.shape());  // validates divisibility
+  return split(x, rows_, cols_);
+}
+
+Tensor TileSplit::backward(const Tensor& dy) {
+  return merge(dy, rows_, cols_);
+}
+
+TileMerge::TileMerge(std::int64_t rows, std::int64_t cols, std::string name)
+    : rows_(rows), cols_(cols), name_(std::move(name)) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("TileMerge: bad grid");
+}
+
+Shape TileMerge::out_shape(const Shape& in) const {
+  if (in.rank() != 4 || in[0] % (rows_ * cols_) != 0) {
+    throw std::invalid_argument(name_ + ": batch " + in.to_string() +
+                                " not a multiple of grid size");
+  }
+  return Shape{in[0] / (rows_ * cols_), in[1], in[2] * rows_, in[3] * cols_};
+}
+
+Tensor TileMerge::forward(const Tensor& x, Mode mode) {
+  (void)mode;
+  return TileSplit::merge(x, rows_, cols_);
+}
+
+Tensor TileMerge::backward(const Tensor& dy) {
+  return TileSplit::split(dy, rows_, cols_);
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,69 @@
+// FDSP tiling layers (§3.2 of the paper).
+//
+// TileSplit reshapes (N,C,H,W) into a batch of r*c independent tiles
+// (N*r*c, C, H/r, W/c). Because every layer in this engine zero-pads each
+// batch sample independently, running the separable layer blocks on the
+// tile batch is *exactly* the paper's Fully Decomposable Spatial Partition:
+// cross-tile pixels are replaced by zero padding and no halo exchange
+// happens. TileMerge stitches the grid back together before the
+// non-separable suffix. Both are differentiable, so the same code path
+// serves FDSP-aware retraining (Algorithm 1) and distributed inference.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+/// Row-major tile order: tile t covers grid cell (t / cols, t % cols);
+/// sample n's tiles occupy batch slots [n*r*c, (n+1)*r*c).
+class TileSplit final : public Layer {
+ public:
+  TileSplit(std::int64_t rows, std::int64_t cols,
+            std::string name = "tile_split");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::int64_t flops(const Shape& in) const override {
+    (void)in;
+    return 0;
+  }
+  std::string name() const override { return name_; }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  /// Static helpers shared with the runtime (which splits/merges without a
+  /// Layer object).
+  static Tensor split(const Tensor& x, std::int64_t rows, std::int64_t cols);
+  static Tensor merge(const Tensor& tiles, std::int64_t rows,
+                      std::int64_t cols);
+
+ private:
+  std::int64_t rows_, cols_;
+  std::string name_;
+};
+
+class TileMerge final : public Layer {
+ public:
+  TileMerge(std::int64_t rows, std::int64_t cols,
+            std::string name = "tile_merge");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override;
+  std::int64_t flops(const Shape& in) const override {
+    (void)in;
+    return 0;
+  }
+  std::string name() const override { return name_; }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+ private:
+  std::int64_t rows_, cols_;
+  std::string name_;
+};
+
+}  // namespace adcnn::nn

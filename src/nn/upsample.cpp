@@ -1,0 +1,35 @@
+#include "nn/upsample.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::nn {
+
+UpsampleNearest::UpsampleNearest(std::int64_t factor, std::string name)
+    : factor_(factor), name_(std::move(name)) {
+  if (factor < 1) throw std::invalid_argument("UpsampleNearest: factor < 1");
+}
+
+Tensor UpsampleNearest::forward(const Tensor& x, Mode mode) {
+  if (mode == Mode::kTrain) cached_in_shape_ = x.shape();
+  const std::int64_t N = x.n(), C = x.c(), H = x.h(), W = x.w();
+  Tensor y(out_shape(x.shape()));
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t h = 0; h < H * factor_; ++h)
+        for (std::int64_t w = 0; w < W * factor_; ++w)
+          y.at(n, c, h, w) = x.at(n, c, h / factor_, w / factor_);
+  return y;
+}
+
+Tensor UpsampleNearest::backward(const Tensor& dy) {
+  Tensor dx = Tensor::zeros(cached_in_shape_);
+  const std::int64_t N = dy.n(), C = dy.c(), H = dy.h(), W = dy.w();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w)
+          dx.at(n, c, h / factor_, w / factor_) += dy.at(n, c, h, w);
+  return dx;
+}
+
+}  // namespace adcnn::nn

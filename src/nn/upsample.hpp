@@ -1,0 +1,26 @@
+// Nearest-neighbour spatial upsampling, used by the FCN-style segmentation
+// head to restore full resolution after the downsampling trunk.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adcnn::nn {
+
+class UpsampleNearest final : public Layer {
+ public:
+  explicit UpsampleNearest(std::int64_t factor, std::string name = "upsample");
+
+  Tensor forward(const Tensor& x, Mode mode) override;
+  Tensor backward(const Tensor& dy) override;
+  Shape out_shape(const Shape& in) const override {
+    return Shape{in[0], in[1], in[2] * factor_, in[3] * factor_};
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::int64_t factor_;
+  std::string name_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace adcnn::nn

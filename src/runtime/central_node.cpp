@@ -1,0 +1,145 @@
+#include "runtime/central_node.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/tiling.hpp"
+
+namespace adcnn::runtime {
+
+CentralNode::CentralNode(core::PartitionedModel& model,
+                         const compress::TileCodec* codec,
+                         std::vector<Channel<TileTask>*> inboxes,
+                         Channel<TileResult>* results,
+                         std::vector<SimulatedLink*> downlinks,
+                         CentralConfig cfg)
+    : model_(model), codec_(codec), inboxes_(std::move(inboxes)),
+      results_(results), downlinks_(std::move(downlinks)), cfg_(cfg),
+      collector_(static_cast<int>(inboxes_.size()), cfg.gamma,
+                 cfg.initial_speed),
+      tile_out_shape_(model.tile_output_shape()) {
+  if (inboxes_.empty() || inboxes_.size() != downlinks_.size()) {
+    throw std::invalid_argument("CentralNode: inbox/link count mismatch");
+  }
+}
+
+Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t image_id = next_image_id_++;
+  const int K = static_cast<int>(inboxes_.size());
+
+  // --- Input partition block: FDSP split. --------------------------------
+  const Tensor tiles =
+      nn::TileSplit::split(image, model_.grid.rows, model_.grid.cols);
+  const std::int64_t T = tiles.n();
+
+  // --- Algorithm 3: allocate tiles against the running s_k. --------------
+  core::AllocRequest req;
+  req.speeds = collector_.speeds();
+  req.capacity_tiles.assign(static_cast<std::size_t>(K), cfg_.capacity_tiles);
+  req.tiles = T;
+  std::vector<std::int64_t> counts = core::allocate_tiles(req);
+
+  // Recovery probe: periodically lend one tile to starved nodes so a node
+  // whose s_k collapsed (failure/throttle) can prove it recovered.
+  if (cfg_.probe_interval > 0 && image_id % cfg_.probe_interval == 0) {
+    for (int k = 0; k < K; ++k) {
+      if (counts[static_cast<std::size_t>(k)] > 0) continue;
+      const auto donor = std::max_element(counts.begin(), counts.end());
+      if (*donor > 1) {
+        --*donor;
+        ++counts[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  // Expand per-node counts into a per-tile node assignment (round-robin
+  // over nodes weighted by their quota, so consecutive tiles interleave).
+  std::vector<int> owner(static_cast<std::size_t>(T), 0);
+  {
+    std::vector<std::int64_t> left = counts;
+    std::int64_t t = 0;
+    while (t < T) {
+      for (int k = 0; k < K && t < T; ++k) {
+        if (left[static_cast<std::size_t>(k)] > 0) {
+          --left[static_cast<std::size_t>(k)];
+          owner[static_cast<std::size_t>(t++)] = k;
+        }
+      }
+    }
+  }
+
+  // --- Scatter: transmit each tile to its Conv node. ----------------------
+  const std::int64_t C = tiles.c(), th = tiles.h(), tw = tiles.w();
+  for (std::int64_t t = 0; t < T; ++t) {
+    TileTask task;
+    task.image_id = image_id;
+    task.tile_id = t;
+    task.shape = Shape{1, C, th, tw};
+    const Tensor one = tiles.crop(t, 1, 0, th, 0, tw);
+    task.payload.resize(static_cast<std::size_t>(one.numel()) * sizeof(float));
+    std::memcpy(task.payload.data(), one.data(), task.payload.size());
+    const int k = owner[static_cast<std::size_t>(t)];
+    downlinks_[static_cast<std::size_t>(k)]->transmit(task.wire_bytes());
+    inboxes_[static_cast<std::size_t>(k)]->send(std::move(task));
+  }
+
+  // --- Gather with the T_L deadline (Algorithm 2's timer). ---------------
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(cfg_.deadline_s);
+  Tensor gathered = Tensor::zeros(Shape{T, tile_out_shape_[1],
+                                        tile_out_shape_[2],
+                                        tile_out_shape_[3]});
+  std::vector<bool> have(static_cast<std::size_t>(T), false);
+  std::vector<std::int64_t> returned(static_cast<std::size_t>(K), 0);
+  std::int64_t received = 0;
+  while (received < T) {
+    auto result = results_->receive_until(
+        std::chrono::time_point_cast<std::chrono::steady_clock::duration>(
+            deadline));
+    if (!result) break;  // deadline or closed: proceed with zeros
+    if (result->image_id != image_id) continue;  // stale late result
+    if (result->tile_id < 0 || result->tile_id >= T ||
+        have[static_cast<std::size_t>(result->tile_id)])
+      continue;
+    const Tensor out =
+        codec_ ? codec_->decode(result->payload, tile_out_shape_)
+               : compress::decode_raw(result->payload, tile_out_shape_);
+    gathered.paste(out.reshaped(Shape{1, tile_out_shape_[1],
+                                      tile_out_shape_[2],
+                                      tile_out_shape_[3]}),
+                   result->tile_id, 0, 0);
+    have[static_cast<std::size_t>(result->tile_id)] = true;
+    ++returned[static_cast<std::size_t>(result->node_id)];
+    ++received;
+  }
+
+  // --- Algorithm 2: fold per-node counts into s_k. ------------------------
+  // Nodes that were assigned no tiles keep their previous estimate (a node
+  // with zero quota returning zero results carries no information).
+  for (int k = 0; k < K; ++k) {
+    if (counts[static_cast<std::size_t>(k)] > 0)
+      collector_.record_node(k, returned[static_cast<std::size_t>(k)]);
+  }
+
+  // --- Merge and run the later layers. ------------------------------------
+  const Tensor merged =
+      nn::TileSplit::merge(gathered, model_.grid.rows, model_.grid.cols);
+  Tensor output = model_.model.forward_range(merged, model_.suffix_begin(),
+                                             model_.suffix_end());
+
+  if (stats) {
+    stats->tiles_total = T;
+    stats->tiles_missing = T - received;
+    stats->assigned = counts;
+    stats->returned = returned;
+    stats->elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return output;
+}
+
+}  // namespace adcnn::runtime

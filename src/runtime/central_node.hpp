@@ -1,0 +1,71 @@
+// Central node (Figure 8): input partition block, statistics collection
+// (Algorithm 2), tile allocation (Algorithm 3), deadline handling with
+// zero-fill, and later-layer computation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "compress/pipeline.hpp"
+#include "core/allocate.hpp"
+#include "core/fdsp.hpp"
+#include "core/stats.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/link.hpp"
+#include "runtime/message.hpp"
+
+namespace adcnn::runtime {
+
+struct CentralConfig {
+  /// T_L — how long to wait for intermediate results after the last tile
+  /// of an image has been transmitted (wall-clock seconds).
+  double deadline_s = 5.0;
+  double gamma = 0.9;          // Algorithm 2 decay
+  double initial_speed = 1.0;  // s_k seed
+  std::int64_t capacity_tiles =
+      std::numeric_limits<std::int64_t>::max();  // H_k / M
+  /// Recovery probing (extension over the paper): every `probe_interval`
+  /// images, a node that would receive no tiles is handed one probe tile
+  /// so a recovered node can rebuild its s_k. Without this, a node whose
+  /// EMA collapsed stays starved forever even after it heals. 0 disables.
+  int probe_interval = 8;
+};
+
+/// Per-inference telemetry.
+struct InferStats {
+  std::int64_t tiles_total = 0;
+  std::int64_t tiles_missing = 0;       // zero-filled at the deadline
+  std::vector<std::int64_t> assigned;   // tiles sent per node
+  std::vector<std::int64_t> returned;   // results within T_L per node
+  double elapsed_s = 0.0;
+};
+
+class CentralNode {
+ public:
+  /// Channels/links are owned by the cluster harness; `codec` null means
+  /// Conv nodes send raw fp32 (must match the workers' configuration).
+  CentralNode(core::PartitionedModel& model, const compress::TileCodec* codec,
+              std::vector<Channel<TileTask>*> inboxes,
+              Channel<TileResult>* results,
+              std::vector<SimulatedLink*> downlinks, CentralConfig cfg);
+
+  /// End-to-end inference for one image (1, C, H, W): partition, allocate,
+  /// scatter, gather with deadline, zero-fill, run the suffix.
+  Tensor infer(const Tensor& image, InferStats* stats = nullptr);
+
+  const core::StatsCollector& collector() const { return collector_; }
+
+ private:
+  core::PartitionedModel& model_;
+  const compress::TileCodec* codec_;
+  std::vector<Channel<TileTask>*> inboxes_;
+  Channel<TileResult>* results_;
+  std::vector<SimulatedLink*> downlinks_;
+  CentralConfig cfg_;
+  core::StatsCollector collector_;
+  Shape tile_out_shape_;
+  std::int64_t next_image_id_ = 0;
+};
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,81 @@
+// Blocking MPMC channel — the message-passing primitive connecting the
+// Central node and Conv-node workers (an in-process analogue of MPI-style
+// point-to-point sends). Closing wakes all receivers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace adcnn::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  /// Enqueue; returns false if the channel is closed.
+  bool send(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the channel is closed and drained.
+  std::optional<T> receive() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  /// Block until an item, the deadline, or close. nullopt on timeout/close.
+  std::optional<T> receive_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return !queue_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    std::lock_guard lock(mutex_);
+    return pop_locked();
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace adcnn::runtime

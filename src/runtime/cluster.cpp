@@ -1,0 +1,57 @@
+#include "runtime/cluster.hpp"
+
+#include <stdexcept>
+
+namespace adcnn::runtime {
+
+EdgeCluster::EdgeCluster(core::PartitionedModel& model,
+                         const ClusterConfig& cfg) {
+  if (cfg.num_nodes < 1) {
+    throw std::invalid_argument("EdgeCluster: need at least one Conv node");
+  }
+  if (cfg.compress && model.clip_range <= 0.0f) {
+    throw std::invalid_argument(
+        "EdgeCluster: compression requires a clipped-ReLU range on the "
+        "model (apply_fdsp with clipped_relu=true)");
+  }
+  if (cfg.compress) codec_.emplace(model.clip_range, model.bits);
+
+  std::vector<Channel<TileTask>*> inbox_ptrs;
+  std::vector<SimulatedLink*> downlink_ptrs;
+  for (int k = 0; k < cfg.num_nodes; ++k) {
+    downlinks_.push_back(std::make_unique<SimulatedLink>(
+        cfg.bandwidth_bps, cfg.latency_s, cfg.time_scale));
+    uplinks_.push_back(std::make_unique<SimulatedLink>(
+        cfg.bandwidth_bps, cfg.latency_s, cfg.time_scale));
+    inboxes_.push_back(std::make_unique<Channel<TileTask>>());
+    inbox_ptrs.push_back(inboxes_.back().get());
+    downlink_ptrs.push_back(downlinks_.back().get());
+  }
+
+  const compress::TileCodec* codec = codec_ ? &*codec_ : nullptr;
+  for (int k = 0; k < cfg.num_nodes; ++k) {
+    workers_.push_back(std::make_unique<ConvNodeWorker>(
+        k, model, codec, *inboxes_[static_cast<std::size_t>(k)], results_,
+        *uplinks_[static_cast<std::size_t>(k)]));
+  }
+
+  CentralConfig central_cfg;
+  central_cfg.deadline_s = cfg.deadline_s;
+  central_cfg.gamma = cfg.gamma;
+  central_cfg.initial_speed = cfg.initial_speed;
+  central_cfg.capacity_tiles = cfg.capacity_tiles;
+  central_cfg.probe_interval = cfg.probe_interval;
+  central_ = std::make_unique<CentralNode>(model, codec, inbox_ptrs, &results_,
+                                           downlink_ptrs, central_cfg);
+}
+
+EdgeCluster::~EdgeCluster() {
+  // Mark workers dead first so they discard any backlog instead of
+  // draining it (a throttled node may hold seconds of queued tiles).
+  for (auto& worker : workers_) worker->kill();
+  for (auto& inbox : inboxes_) inbox->close();
+  results_.close();
+  workers_.clear();  // joins threads
+}
+
+}  // namespace adcnn::runtime

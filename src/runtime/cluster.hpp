@@ -1,0 +1,63 @@
+// EdgeCluster: RAII harness wiring one Central node to N Conv-node worker
+// threads over simulated links — the in-process realization of Figure 1(b).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "runtime/central_node.hpp"
+#include "runtime/conv_node.hpp"
+
+namespace adcnn::runtime {
+
+struct ClusterConfig {
+  int num_nodes = 4;
+  double bandwidth_bps = 87.72e6;  // the paper's WiFi measurement
+  double latency_s = 0.0;
+  /// Scales modelled link delays into real sleeps; 0 = functional mode
+  /// (no sleeping), 1 = real time.
+  double time_scale = 0.0;
+  double deadline_s = 5.0;  // T_L
+  double gamma = 0.9;
+  double initial_speed = 1.0;
+  std::int64_t capacity_tiles = std::numeric_limits<std::int64_t>::max();
+  /// Recovery-probe period (see CentralConfig::probe_interval); 0 = off.
+  int probe_interval = 8;
+  /// Apply the §4 compression pipeline (requires the model to carry a
+  /// clipped-ReLU range); false sends raw fp32 intermediate results.
+  bool compress = true;
+};
+
+class EdgeCluster {
+ public:
+  EdgeCluster(core::PartitionedModel& model, const ClusterConfig& cfg);
+  ~EdgeCluster();
+
+  EdgeCluster(const EdgeCluster&) = delete;
+  EdgeCluster& operator=(const EdgeCluster&) = delete;
+
+  Tensor infer(const Tensor& image, InferStats* stats = nullptr) {
+    return central_->infer(image, stats);
+  }
+
+  int num_nodes() const { return static_cast<int>(workers_.size()); }
+  ConvNodeWorker& node(int k) { return *workers_[static_cast<std::size_t>(k)]; }
+  CentralNode& central() { return *central_; }
+  SimulatedLink& downlink(int k) {
+    return *downlinks_[static_cast<std::size_t>(k)];
+  }
+  SimulatedLink& uplink(int k) {
+    return *uplinks_[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  std::optional<compress::TileCodec> codec_;
+  std::vector<std::unique_ptr<SimulatedLink>> downlinks_;
+  std::vector<std::unique_ptr<SimulatedLink>> uplinks_;
+  std::vector<std::unique_ptr<Channel<TileTask>>> inboxes_;
+  Channel<TileResult> results_;
+  std::vector<std::unique_ptr<ConvNodeWorker>> workers_;
+  std::unique_ptr<CentralNode> central_;
+};
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,62 @@
+#include "runtime/conv_node.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace adcnn::runtime {
+
+ConvNodeWorker::ConvNodeWorker(int id, core::PartitionedModel& model,
+                               const compress::TileCodec* codec,
+                               Channel<TileTask>& inbox,
+                               Channel<TileResult>& outbox,
+                               SimulatedLink& uplink)
+    : id_(id), model_(model), codec_(codec), inbox_(inbox), outbox_(outbox),
+      uplink_(uplink), thread_([this] { run(); }) {}
+
+ConvNodeWorker::~ConvNodeWorker() {
+  inbox_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ConvNodeWorker::run() {
+  while (true) {
+    auto task = inbox_.receive();
+    if (!task || task->shutdown) return;
+    if (dead_.load()) continue;  // failed node: swallow work silently
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // Decode the raw fp32 tile.
+    Tensor tile(task->shape);
+    std::memcpy(tile.data(), task->payload.data(),
+                std::min(task->payload.size(),
+                         static_cast<std::size_t>(tile.numel()) *
+                             sizeof(float)));
+
+    // Run the separable prefix (includes clipped ReLU / fake-quant layers).
+    Tensor out = model_.model.forward_range(tile, model_.prefix_begin(),
+                                            model_.prefix_end());
+
+    TileResult result;
+    result.image_id = task->image_id;
+    result.tile_id = task->tile_id;
+    result.node_id = id_;
+    result.shape = out.shape();
+    result.payload = codec_ ? codec_->encode(out) : compress::encode_raw(out);
+
+    // Emulate a slower CPU: stretch the compute phase.
+    const double limit = cpu_limit_.load();
+    if (limit < 1.0) {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      std::this_thread::sleep_for(
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              elapsed * (1.0 / limit - 1.0)));
+    }
+
+    uplink_.transmit(result.wire_bytes());
+    tiles_processed_.fetch_add(1);
+    outbox_.send(std::move(result));
+  }
+}
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,57 @@
+// Conv-node worker: receives input tiles, runs the separable prefix,
+// compresses the result and ships it to the Central node (steps 2-3 of
+// Figure 8). One worker per simulated edge device; each runs on its own
+// thread and shares the (eval-mode, read-only) partitioned model.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "compress/pipeline.hpp"
+#include "core/fdsp.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/link.hpp"
+#include "runtime/message.hpp"
+
+namespace adcnn::runtime {
+
+class ConvNodeWorker {
+ public:
+  /// `model` must outlive the worker; its prefix range is executed in eval
+  /// mode only (thread-safe, see nn/model.hpp). `codec` may be null to
+  /// send raw fp32 results (the "without pruning" baseline of Fig. 12).
+  ConvNodeWorker(int id, core::PartitionedModel& model,
+                 const compress::TileCodec* codec, Channel<TileTask>& inbox,
+                 Channel<TileResult>& outbox, SimulatedLink& uplink);
+  ~ConvNodeWorker();
+
+  ConvNodeWorker(const ConvNodeWorker&) = delete;
+  ConvNodeWorker& operator=(const ConvNodeWorker&) = delete;
+
+  int id() const { return id_; }
+  std::int64_t tiles_processed() const { return tiles_processed_.load(); }
+
+  /// Artificial CPU throttle in (0, 1]; 1 = full speed. Emulates the
+  /// paper's CPUlimit-based degradation (Fig. 15) by sleeping
+  /// (1/limit - 1) x compute-time after each tile.
+  void set_cpu_limit(double limit) { cpu_limit_.store(limit); }
+
+  /// Stop accepting work even before the inbox closes (node failure).
+  void kill() { dead_.store(true); }
+
+ private:
+  void run();
+
+  int id_;
+  core::PartitionedModel& model_;
+  const compress::TileCodec* codec_;
+  Channel<TileTask>& inbox_;
+  Channel<TileResult>& outbox_;
+  SimulatedLink& uplink_;
+  std::atomic<double> cpu_limit_{1.0};
+  std::atomic<bool> dead_{false};
+  std::atomic<std::int64_t> tiles_processed_{0};
+  std::thread thread_;
+};
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,17 @@
+#include "runtime/link.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace adcnn::runtime {
+
+void SimulatedLink::transmit(std::size_t bytes) {
+  bytes_sent_ += bytes;
+  ++transfers_;
+  if (time_scale_ <= 0.0) return;
+  const double seconds = transfer_seconds(bytes) * time_scale_;
+  std::lock_guard lock(busy_);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,42 @@
+// Bandwidth/latency-modelled point-to-point link for the threaded runtime.
+//
+// transmit(bytes) blocks the sender for latency + bytes/bandwidth (scaled
+// by time_scale; 0 disables sleeping so functional tests run at full
+// speed) and serializes concurrent transfers, like a half-duplex radio.
+// Byte counters feed the communication-overhead measurements.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace adcnn::runtime {
+
+class SimulatedLink {
+ public:
+  SimulatedLink(double bandwidth_bps, double latency_s,
+                double time_scale = 0.0)
+      : bandwidth_bps_(bandwidth_bps), latency_s_(latency_s),
+        time_scale_(time_scale) {}
+
+  /// Block for the modelled transfer duration and account the bytes.
+  void transmit(std::size_t bytes);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  std::uint64_t transfers() const { return transfers_.load(); }
+
+  /// Modelled (unscaled) seconds a transfer of `bytes` takes.
+  double transfer_seconds(std::size_t bytes) const {
+    return latency_s_ + static_cast<double>(bytes) * 8.0 / bandwidth_bps_;
+  }
+
+ private:
+  double bandwidth_bps_;
+  double latency_s_;
+  double time_scale_;
+  std::mutex busy_;  // one transfer at a time
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> transfers_{0};
+};
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,97 @@
+#include "runtime/message.hpp"
+
+#include <stdexcept>
+
+#include "compress/rle.hpp"  // varint helpers
+
+namespace adcnn::runtime {
+
+namespace {
+
+using compress::get_varint;
+using compress::put_varint;
+
+void put_shape(std::vector<std::uint8_t>& out, const Shape& shape) {
+  put_varint(out, static_cast<std::uint64_t>(shape.rank()));
+  for (std::int64_t i = 0; i < shape.rank(); ++i)
+    put_varint(out, static_cast<std::uint64_t>(shape[i]));
+}
+
+Shape get_shape(std::span<const std::uint8_t> in, std::size_t& pos) {
+  const std::uint64_t rank = get_varint(in, pos);
+  if (rank > 8) throw std::invalid_argument("get_shape: absurd rank");
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) d = static_cast<std::int64_t>(get_varint(in, pos));
+  return Shape(std::move(dims));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out,
+               std::span<const std::uint8_t> bytes) {
+  put_varint(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> get_bytes(std::span<const std::uint8_t> in,
+                                    std::size_t& pos) {
+  const std::uint64_t n = get_varint(in, pos);
+  if (pos + n > in.size()) {
+    throw std::invalid_argument("get_bytes: truncated payload");
+  }
+  std::vector<std::uint8_t> bytes(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                                  in.begin() +
+                                      static_cast<std::ptrdiff_t>(pos + n));
+  pos += n;
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t TileTask::wire_bytes() const { return serialize(*this).size(); }
+std::size_t TileResult::wire_bytes() const { return serialize(*this).size(); }
+
+std::vector<std::uint8_t> serialize(const TileTask& task) {
+  std::vector<std::uint8_t> out;
+  out.reserve(task.payload.size() + 24);
+  put_varint(out, static_cast<std::uint64_t>(task.image_id));
+  put_varint(out, static_cast<std::uint64_t>(task.tile_id));
+  out.push_back(task.shutdown ? 1 : 0);
+  put_shape(out, task.shape);
+  put_bytes(out, task.payload);
+  return out;
+}
+
+TileTask deserialize_task(std::span<const std::uint8_t> wire) {
+  std::size_t pos = 0;
+  TileTask task;
+  task.image_id = static_cast<std::int64_t>(get_varint(wire, pos));
+  task.tile_id = static_cast<std::int64_t>(get_varint(wire, pos));
+  if (pos >= wire.size()) throw std::invalid_argument("task: truncated");
+  task.shutdown = wire[pos++] != 0;
+  task.shape = get_shape(wire, pos);
+  task.payload = get_bytes(wire, pos);
+  return task;
+}
+
+std::vector<std::uint8_t> serialize(const TileResult& result) {
+  std::vector<std::uint8_t> out;
+  out.reserve(result.payload.size() + 24);
+  put_varint(out, static_cast<std::uint64_t>(result.image_id));
+  put_varint(out, static_cast<std::uint64_t>(result.tile_id));
+  put_varint(out, static_cast<std::uint64_t>(result.node_id));
+  put_shape(out, result.shape);
+  put_bytes(out, result.payload);
+  return out;
+}
+
+TileResult deserialize_result(std::span<const std::uint8_t> wire) {
+  std::size_t pos = 0;
+  TileResult result;
+  result.image_id = static_cast<std::int64_t>(get_varint(wire, pos));
+  result.tile_id = static_cast<std::int64_t>(get_varint(wire, pos));
+  result.node_id = static_cast<int>(get_varint(wire, pos));
+  result.shape = get_shape(wire, pos);
+  result.payload = get_bytes(wire, pos);
+  return result;
+}
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,44 @@
+// Wire messages between the Central node and Conv nodes (Figure 8).
+//
+// Every tile task / result carries the (image ID, tile ID) pair the paper
+// uses to match intermediate results to inputs. Payloads are opaque byte
+// vectors (raw fp32 for input tiles, TileCodec output for results).
+// serialize()/deserialize() define the exact on-wire format so the link
+// layer's byte accounting matches what a socket transport would carry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adcnn::runtime {
+
+struct TileTask {
+  std::int64_t image_id = 0;
+  std::int64_t tile_id = 0;
+  Shape shape;                        // (1, C, th, tw) of the payload
+  std::vector<std::uint8_t> payload;  // raw fp32 tile pixels
+  bool shutdown = false;              // poison pill for worker threads
+
+  std::size_t wire_bytes() const;
+};
+
+struct TileResult {
+  std::int64_t image_id = 0;
+  std::int64_t tile_id = 0;
+  int node_id = 0;
+  Shape shape;                        // (1, C', th', tw') of decoded output
+  std::vector<std::uint8_t> payload;  // TileCodec-compressed prefix output
+
+  std::size_t wire_bytes() const;
+};
+
+std::vector<std::uint8_t> serialize(const TileTask& task);
+TileTask deserialize_task(std::span<const std::uint8_t> wire);
+
+std::vector<std::uint8_t> serialize(const TileResult& result);
+TileResult deserialize_result(std::span<const std::uint8_t> wire);
+
+}  // namespace adcnn::runtime

@@ -1,0 +1,276 @@
+#include "sim/adcnn_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "core/allocate.hpp"
+#include "core/stats.hpp"
+#include "sim/metrics.hpp"
+
+namespace adcnn::sim {
+
+namespace {
+
+/// FIFO resource: grants exclusive use in request order.
+struct Resource {
+  double free = 0.0;
+  /// Returns the start time; advances the free horizon.
+  double acquire(double ready, double duration) {
+    const double start = std::max(free, ready);
+    free = start + duration;
+    return start;
+  }
+};
+
+struct PendingStats {
+  double time = 0.0;
+  std::vector<std::int64_t> counts;  // per node, -1 = not assigned
+};
+
+}  // namespace
+
+int deep_partition_blocks(const arch::ArchSpec& spec) {
+  int last_spatial = 0;
+  for (int b = 0; b < static_cast<int>(spec.blocks.size()); ++b) {
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers) {
+      if ((l.op == arch::Op::kConv || l.op == arch::Op::kMaxPool) && !l.aux &&
+          l.wout > 1)
+        last_spatial = b + 1;
+    }
+  }
+  return last_spatial;
+}
+
+AdcnnSimResult simulate_adcnn(const arch::ArchSpec& spec_in,
+                              const AdcnnSimConfig& cfg, int num_images) {
+  arch::ArchSpec spec = spec_in;
+  if (cfg.separable_override >= 0) {
+    spec.separable_blocks =
+        std::min(cfg.separable_override, static_cast<int>(spec.blocks.size()));
+  }
+  const int K = static_cast<int>(cfg.nodes.size());
+  if (K < 1 || num_images < 1) {
+    throw std::invalid_argument("simulate_adcnn: need nodes and images");
+  }
+  const std::int64_t T = cfg.grid.count();
+  Rng rng(cfg.seed);
+
+  // Per-tile costs.
+  const double tile_work = prefix_tile_seconds(spec, cfg.grid, cfg.nodes[0]);
+  const double suffix_work = suffix_seconds(spec, cfg.central);
+  const std::int64_t input_tile_bytes = static_cast<std::int64_t>(
+      static_cast<double>(spec.cin * spec.hin * spec.win) *
+      cfg.input_bytes_per_pixel / static_cast<double>(T)) + 16;
+  const double raw_result = static_cast<double>(spec.separable_out_bytes()) /
+                            static_cast<double>(T);
+  const std::int64_t result_tile_bytes = static_cast<std::int64_t>(
+      raw_result * (cfg.compress ? cfg.compression_ratio : 1.0)) + 16;
+
+  // Resources. With a shared medium one Resource carries every transfer;
+  // otherwise one down/up pair per node.
+  Resource medium;
+  std::vector<Resource> downlinks(static_cast<std::size_t>(K));
+  std::vector<Resource> uplinks(static_cast<std::size_t>(K));
+  std::vector<Resource> node_cpu(static_cast<std::size_t>(K));
+  Resource central_cpu;
+  double send_free = 0.0;  // central may start scattering the next image
+                           // as soon as the previous scatter finished
+
+  core::StatsCollector collector(K, cfg.gamma, cfg.initial_speed);
+  std::deque<PendingStats> pending;
+
+  AdcnnSimResult out;
+  out.node_busy_s.assign(static_cast<std::size_t>(K), 0.0);
+
+  double prev_gather_done = 0.0;  // image i-1
+  double prev2_finish = 0.0;      // image i-2 (pipeline-depth gate)
+  for (int i = 0; i < num_images; ++i) {
+    ImageRecord rec;
+    // Admission per Figure 9: image i's tiles go out while image i-1's
+    // suffix still runs on the Central node (t_s^{i+1} < t_a^i), but only
+    // after i-1's gather so Conv-node queues stay drained; the i-2 finish
+    // gate bounds the Central node's suffix queue.
+    rec.partition_start =
+        std::max({send_free, prev_gather_done, prev2_finish});
+
+    // Fold in every statistics update that has landed by now (Algorithm 2
+    // runs in the background; allocation sees only completed gathers).
+    while (!pending.empty() && pending.front().time <= rec.partition_start) {
+      for (int k = 0; k < K; ++k) {
+        if (pending.front().counts[static_cast<std::size_t>(k)] >= 0)
+          collector.record_node(
+              k, pending.front().counts[static_cast<std::size_t>(k)]);
+      }
+      pending.pop_front();
+    }
+
+    // Algorithm 3.
+    core::AllocRequest req;
+    req.speeds = collector.speeds();
+    req.tiles = T;
+    rec.assigned = core::allocate_tiles(req, &rng);
+
+    // Interleaved per-tile owner order (round-robin across quotas).
+    std::vector<int> owner;
+    owner.reserve(static_cast<std::size_t>(T));
+    {
+      std::vector<std::int64_t> left = rec.assigned;
+      while (static_cast<std::int64_t>(owner.size()) < T) {
+        for (int k = 0; k < K && static_cast<std::int64_t>(owner.size()) < T;
+             ++k) {
+          if (left[static_cast<std::size_t>(k)] > 0) {
+            --left[static_cast<std::size_t>(k)];
+            owner.push_back(k);
+          }
+        }
+      }
+    }
+
+    // Phase 1 — scatter: the central node streams every tile back-to-back
+    // (all of an image's downlinks precede its result uplinks on a shared
+    // medium; results cannot be ready earlier anyway).
+    const double tx_in = cfg.link.transfer_s(input_tile_bytes);
+    const double tx_out = cfg.link.transfer_s(result_tile_bytes);
+    std::vector<double> arrival(static_cast<std::size_t>(T));
+    std::vector<int> tile_owner(owner);
+    double send_cursor = rec.partition_start;
+    for (std::int64_t t = 0; t < T; ++t) {
+      const int k = owner[static_cast<std::size_t>(t)];
+      Resource& down = cfg.shared_medium
+                           ? medium
+                           : downlinks[static_cast<std::size_t>(k)];
+      const double arr = down.acquire(send_cursor, tx_in) + tx_in;
+      send_cursor = arr;  // central serializes its own sends
+      arrival[static_cast<std::size_t>(t)] = arr;
+      out.input_bytes_total += input_tile_bytes;
+    }
+    rec.send_done = send_cursor;
+
+    // Phase 2 — per-node FIFO compute (speed trace + jitter).
+    std::vector<double> compute_fin(static_cast<std::size_t>(T));
+    for (std::int64_t t = 0; t < T; ++t) {
+      const int k = owner[static_cast<std::size_t>(t)];
+      const double jitter_mult = std::exp(rng.normal(0.0, cfg.jitter));
+      const double start = std::max(node_cpu[static_cast<std::size_t>(k)].free,
+                                    arrival[static_cast<std::size_t>(t)]);
+      const double fin = cfg.nodes[static_cast<std::size_t>(k)].finish_time(
+          start, tile_work * jitter_mult);
+      node_cpu[static_cast<std::size_t>(k)].free = fin;
+      if (std::isfinite(fin))  // a dead node (factor 0) never finishes
+        out.node_busy_s[static_cast<std::size_t>(k)] += fin - start;
+      compute_fin[static_cast<std::size_t>(t)] = fin;
+    }
+
+    // Phase 3 — result uplinks. The medium grants access in the order
+    // results become ready (FIFO by completion time).
+    std::vector<std::int64_t> by_fin(static_cast<std::size_t>(T));
+    for (std::int64_t t = 0; t < T; ++t)
+      by_fin[static_cast<std::size_t>(t)] = t;
+    std::sort(by_fin.begin(), by_fin.end(), [&](std::int64_t a,
+                                                std::int64_t b) {
+      return compute_fin[static_cast<std::size_t>(a)] <
+             compute_fin[static_cast<std::size_t>(b)];
+    });
+    std::vector<double> return_time(static_cast<std::size_t>(T));
+    for (const std::int64_t t : by_fin) {
+      const double fin = compute_fin[static_cast<std::size_t>(t)];
+      if (!std::isfinite(fin)) {
+        return_time[static_cast<std::size_t>(t)] = fin;  // never returns
+        continue;
+      }
+      const int k = owner[static_cast<std::size_t>(t)];
+      Resource& up =
+          cfg.shared_medium ? medium : uplinks[static_cast<std::size_t>(k)];
+      return_time[static_cast<std::size_t>(t)] = up.acquire(fin, tx_out) +
+                                                 tx_out;
+      out.result_bytes_total += result_tile_bytes;
+    }
+    rec.input_tx_s = rec.send_done - rec.partition_start;
+    rec.result_tx_s = tx_out;
+    send_free = rec.send_done;  // pipelining: next image may scatter now
+
+    // Deadline / zero-fill.
+    double deadline;
+    switch (cfg.anchor) {
+      case DeadlineAnchor::kAfterFirstResult:
+        deadline = *std::min_element(return_time.begin(), return_time.end()) +
+                   cfg.t_l;
+        break;
+      case DeadlineAnchor::kAfterLastSend:
+        deadline = rec.send_done + cfg.t_l;
+        break;
+      case DeadlineAnchor::kExpectedCompletion:
+      default: {
+        std::int64_t max_quota = 0;
+        for (const auto tiles : rec.assigned)
+          max_quota = std::max(max_quota, tiles);
+        const double nominal_wave =
+            static_cast<double>(max_quota) * tile_work + tx_out;
+        deadline = std::max(rec.send_done, prev_gather_done) +
+                   cfg.straggler_slack * nominal_wave + cfg.t_l;
+        break;
+      }
+    }
+    double last_counted = rec.send_done;
+    std::vector<std::int64_t> counted(static_cast<std::size_t>(K), 0);
+    for (std::int64_t t = 0; t < T; ++t) {
+      if (return_time[static_cast<std::size_t>(t)] <= deadline) {
+        ++counted[static_cast<std::size_t>(
+            tile_owner[static_cast<std::size_t>(t)])];
+        last_counted =
+            std::max(last_counted, return_time[static_cast<std::size_t>(t)]);
+      } else {
+        ++rec.zero_filled;
+      }
+    }
+    rec.gather_done = (rec.zero_filled == 0) ? last_counted : deadline;
+
+    // Algorithm 2 update becomes visible once the gather completes.
+    PendingStats update;
+    update.time = rec.gather_done;
+    update.counts.assign(static_cast<std::size_t>(K), -1);
+    for (int k = 0; k < K; ++k) {
+      if (rec.assigned[static_cast<std::size_t>(k)] > 0)
+        update.counts[static_cast<std::size_t>(k)] =
+            counted[static_cast<std::size_t>(k)];
+    }
+    pending.push_back(std::move(update));
+
+    // Suffix on the Central node.
+    const double sstart = central_cpu.acquire(rec.gather_done, 0.0);
+    rec.finish = cfg.central.finish_time(sstart, suffix_work);
+    central_cpu.free = rec.finish;
+
+    rec.latency = rec.finish - rec.partition_start;
+    out.zero_filled_total += rec.zero_filled;
+    prev_gather_done = rec.gather_done;
+    prev2_finish = out.images.empty() ? 0.0 : out.images.back().finish;
+    out.images.push_back(std::move(rec));
+  }
+
+  std::vector<double> lat, tx;
+  for (const auto& rec : out.images) {
+    lat.push_back(rec.latency);
+    tx.push_back(rec.input_tx_s + rec.result_tx_s);
+  }
+  out.mean_latency_s = mean(lat);
+  out.ci95_s = ci95(lat);
+  out.mean_transmission_s = mean(tx);
+  out.mean_compute_s = out.mean_latency_s - out.mean_transmission_s;
+  const double span = out.images.back().finish;
+  out.throughput_ips =
+      span > 0.0 ? static_cast<double>(num_images) / span : 0.0;
+  out.node_energy_j.resize(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    const auto& p = cfg.nodes[static_cast<std::size_t>(k)].power;
+    const double busy = out.node_busy_s[static_cast<std::size_t>(k)];
+    out.node_energy_j[static_cast<std::size_t>(k)] =
+        p.active_w * busy + p.idle_w * std::max(0.0, span - busy);
+  }
+  return out;
+}
+
+}  // namespace adcnn::sim

@@ -1,0 +1,59 @@
+#include "sim/baseline_sim.hpp"
+
+#include <cmath>
+
+#include "sim/metrics.hpp"
+#include "tensor/rng.hpp"
+
+namespace adcnn::sim {
+
+namespace {
+
+BaselineResult summarize(std::vector<double> latencies, double tx,
+                         double compute) {
+  BaselineResult out;
+  out.latencies = std::move(latencies);
+  out.mean_latency_s = mean(out.latencies);
+  out.ci95_s = ci95(out.latencies);
+  out.transmission_s = tx;
+  out.compute_s = compute;
+  return out;
+}
+
+}  // namespace
+
+BaselineResult simulate_single_device(const arch::ArchSpec& spec,
+                                      const DeviceSpec& dev, double jitter,
+                                      std::uint64_t seed, int num_images) {
+  Rng rng(seed);
+  const double base = total_seconds(spec, dev);
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(num_images));
+  for (int i = 0; i < num_images; ++i)
+    lat.push_back(base * std::exp(rng.normal(0.0, jitter)));
+  const double m = mean(lat);
+  return summarize(std::move(lat), 0.0, m);
+}
+
+BaselineResult simulate_remote_cloud(const arch::ArchSpec& spec,
+                                     const CloudConfig& cfg, double jitter,
+                                     std::uint64_t seed, int num_images) {
+  Rng rng(seed);
+  const std::int64_t upload = static_cast<std::int64_t>(
+      static_cast<double>(spec.cin * spec.hin * spec.win) *
+      cfg.input_bytes_per_pixel);
+  // Overhead scales the serialization term; propagation latency is paid
+  // once per direction.
+  const double tx = cfg.wan.latency_s +
+                    static_cast<double>(upload) * 8.0 /
+                        cfg.wan.bandwidth_bps * cfg.wan_overhead +
+                    cfg.wan.transfer_s(cfg.result_bytes);
+  const double compute = total_seconds(spec, cfg.cloud);
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(num_images));
+  for (int i = 0; i < num_images; ++i)
+    lat.push_back((tx + compute) * std::exp(rng.normal(0.0, jitter)));
+  return summarize(std::move(lat), tx, compute);
+}
+
+}  // namespace adcnn::sim

@@ -1,0 +1,70 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace adcnn::sim {
+
+std::int64_t layer_traffic_bytes(const arch::LayerSpec& l) {
+  std::int64_t in = l.in_bytes();
+  if (l.op == arch::Op::kConv && l.k > 1) in *= l.k * l.k;  // im2col reads
+  return in + l.out_bytes() + l.param_bytes;
+}
+
+double layer_seconds(const arch::LayerSpec& l, const DeviceSpec& dev,
+                     double area_fraction) {
+  // Weight traffic scales with the area fraction as well: across all the
+  // tiles a node processes, the weight stream amortizes to one pass per
+  // image's worth of area (GEMM panels re-read weights per output panel).
+  const double flops = static_cast<double>(l.flops) * area_fraction;
+  const double traffic =
+      static_cast<double>(layer_traffic_bytes(l)) * area_fraction;
+  return flops / dev.flops_per_sec + traffic / dev.mem_bytes_per_sec;
+}
+
+double blocks_seconds(const arch::ArchSpec& spec, int begin, int end,
+                      const DeviceSpec& dev, double area_fraction) {
+  double total = 0.0;
+  for (int b = begin; b < end && b < static_cast<int>(spec.blocks.size());
+       ++b) {
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers)
+      total += layer_seconds(l, dev, area_fraction);
+  }
+  return total;
+}
+
+double total_seconds(const arch::ArchSpec& spec, const DeviceSpec& dev) {
+  return blocks_seconds(spec, 0, static_cast<int>(spec.blocks.size()), dev);
+}
+
+double prefix_tile_seconds(const arch::ArchSpec& spec,
+                           const core::TileGrid& grid, const DeviceSpec& dev) {
+  const double frac = 1.0 / static_cast<double>(grid.count());
+  return blocks_seconds(spec, 0, spec.separable_blocks, dev, frac);
+}
+
+double suffix_seconds(const arch::ArchSpec& spec, const DeviceSpec& dev) {
+  return blocks_seconds(spec, spec.separable_blocks,
+                        static_cast<int>(spec.blocks.size()), dev);
+}
+
+std::int64_t conv_node_memory_bytes(const arch::ArchSpec& spec,
+                                    const core::TileGrid& grid,
+                                    std::int64_t tiles) {
+  const double frac = 1.0 / static_cast<double>(grid.count());
+  std::int64_t weights = spec.prefix_param_bytes();
+  std::int64_t peak_act = 0;
+  for (int b = 0; b < spec.separable_blocks; ++b) {
+    for (const auto& l : spec.blocks[static_cast<std::size_t>(b)].layers) {
+      const auto working = static_cast<std::int64_t>(
+          static_cast<double>(l.in_bytes() + l.out_bytes()) * frac);
+      peak_act = std::max(peak_act, working);
+    }
+  }
+  // Weights are shared across tiles; activations are processed one tile at
+  // a time, but assigned input tiles are buffered while queued.
+  const std::int64_t input_tile_bytes = static_cast<std::int64_t>(
+      static_cast<double>(spec.input_bytes()) * frac);
+  return weights + peak_act + tiles * input_tile_bytes;
+}
+
+}  // namespace adcnn::sim

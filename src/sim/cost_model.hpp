@@ -1,0 +1,56 @@
+// Layer/block execution-time model over full-scale ArchSpecs.
+//
+// t(layer) = flops / F  +  traffic / B   (roofline: compute + memory terms)
+//
+// traffic counts im2col-amplified ifmap reads (k^2 per input pixel for
+// convs), ofmap writes and a full weight stream — which is what makes the
+// *early* layers (huge activation maps) disproportionately slow on Pi-class
+// devices, the effect Figure 3 of the paper measures.
+#pragma once
+
+#include "core/geometry.hpp"
+#include "nn/archspec.hpp"
+#include "sim/device.hpp"
+
+namespace adcnn::sim {
+
+struct LinkSpec {
+  double bandwidth_bps = 87.72e6;  // the paper's WiFi measurement
+  double latency_s = 0.0005;
+
+  double transfer_s(std::int64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+/// Memory traffic of one layer at full spatial size (bytes).
+std::int64_t layer_traffic_bytes(const arch::LayerSpec& l);
+
+/// Execution seconds of one layer on `dev` at nominal (factor 1) speed.
+/// `area_fraction` scales activation-dependent terms for FDSP tiles (a
+/// 1/(r*c) tile does 1/(r*c) of the FLOPs but still streams full weights).
+double layer_seconds(const arch::LayerSpec& l, const DeviceSpec& dev,
+                     double area_fraction = 1.0);
+
+/// Seconds for blocks [begin, end) of the spec.
+double blocks_seconds(const arch::ArchSpec& spec, int begin, int end,
+                      const DeviceSpec& dev, double area_fraction = 1.0);
+
+/// Whole-network seconds (the single-device scheme).
+double total_seconds(const arch::ArchSpec& spec, const DeviceSpec& dev);
+
+/// Per-tile separable-prefix seconds under an r x c FDSP grid.
+double prefix_tile_seconds(const arch::ArchSpec& spec,
+                           const core::TileGrid& grid, const DeviceSpec& dev);
+
+/// Central-node suffix seconds (blocks separable_blocks..end).
+double suffix_seconds(const arch::ArchSpec& spec, const DeviceSpec& dev);
+
+/// Peak per-node memory of a Conv node holding `tiles` tiles: prefix
+/// weights + the largest per-tile activation working set (in + out of the
+/// widest layer), Fig. 13's right plot.
+std::int64_t conv_node_memory_bytes(const arch::ArchSpec& spec,
+                                    const core::TileGrid& grid,
+                                    std::int64_t tiles);
+
+}  // namespace adcnn::sim

@@ -1,0 +1,49 @@
+#include "sim/device.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace adcnn::sim {
+
+double DeviceSpec::factor_at(double t) const {
+  double f = 1.0;
+  for (const auto& seg : trace) {
+    if (seg.t_from <= t) {
+      f = seg.factor;
+    } else {
+      break;
+    }
+  }
+  return f;
+}
+
+double DeviceSpec::finish_time(double start, double work) const {
+  if (work <= 0.0) return start;
+  double t = start;
+  double remaining = work;
+  // Walk trace segments intersecting [start, inf).
+  std::size_t i = 0;
+  while (i < trace.size() && trace[i].t_from <= t) ++i;
+  while (true) {
+    const double factor = factor_at(t);
+    const double seg_end = (i < trace.size())
+                               ? trace[i].t_from
+                               : std::numeric_limits<double>::infinity();
+    if (factor <= 0.0) {
+      // Device stopped; work resumes only if a later segment restarts it.
+      if (i >= trace.size()) {
+        return std::numeric_limits<double>::infinity();
+      }
+      t = seg_end;
+      ++i;
+      continue;
+    }
+    const double capacity = (seg_end - t) * factor;
+    if (capacity >= remaining) return t + remaining / factor;
+    remaining -= capacity;
+    t = seg_end;
+    ++i;
+  }
+}
+
+}  // namespace adcnn::sim

@@ -1,0 +1,48 @@
+// Simulated edge device: a roofline-style compute model (FLOP throughput +
+// memory bandwidth) with a piecewise-constant speed trace for heterogeneity
+// and runtime degradation (the paper throttles four Pis with CPUlimit in
+// §7.3), plus a two-state power model for the Fig. 13 energy accounting.
+//
+// Calibration: flops_per_sec/mem_bytes_per_sec default to Raspberry Pi 3B+
+// class effective figures (PyTorch-era measurements put full VGG16 at
+// ~1.5 s on that board), so absolute latencies land in the paper's regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adcnn::sim {
+
+struct PowerModel {
+  double idle_w = 1.9;    // Pi 3B+ idling
+  double active_w = 5.0;  // under full CPU load
+};
+
+/// Speed multiplier `factor` applies from time `t_from` until the next
+/// segment. An implicit {0, 1.0} segment precedes everything.
+struct SpeedSegment {
+  double t_from = 0.0;
+  double factor = 1.0;
+};
+
+struct DeviceSpec {
+  double flops_per_sec = 24e9;      // effective, not peak
+  double mem_bytes_per_sec = 4.0e9;
+  PowerModel power;
+  std::vector<SpeedSegment> trace;  // must be sorted by t_from
+
+  /// Speed multiplier at absolute time t.
+  double factor_at(double t) const;
+
+  /// Completion time of `work` seconds-at-full-speed starting at `start`,
+  /// integrating the speed trace.
+  double finish_time(double start, double work) const;
+
+  DeviceSpec throttled_after(double t, double factor) const {
+    DeviceSpec d = *this;
+    d.trace.push_back(SpeedSegment{t, factor});
+    return d;
+  }
+};
+
+}  // namespace adcnn::sim

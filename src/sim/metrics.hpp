@@ -1,0 +1,31 @@
+// Small statistics helpers for the benchmark harnesses (means and 95%
+// confidence intervals, as the paper's error bars report).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace adcnn::sim {
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+inline double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+/// Half-width of the normal-approximation 95% CI on the mean.
+inline double ci95(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  return 1.96 * stddev(v) / std::sqrt(static_cast<double>(v.size()));
+}
+
+}  // namespace adcnn::sim

@@ -1,0 +1,32 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+
+namespace adcnn {
+
+double Rng::normal() {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return gauss_;
+  }
+  // Box-Muller: generate two independent normals from two uniforms.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  gauss_ = r * std::sin(theta);
+  has_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+void Rng::shuffle(std::vector<int>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = uniform_int(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace adcnn

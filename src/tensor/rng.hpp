@@ -1,0 +1,80 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Everything in the library that needs randomness (weight init, synthetic
+// datasets, simulation jitter) draws from Rng so that every experiment is
+// reproducible from a single printed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adcnn {
+
+/// SplitMix64 — used to expand a single seed into stream states.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Small, fast, and good enough for ML workloads;
+/// NOT cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    has_gauss_ = false;
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int>& v);
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng fork() { return Rng(next_u64() ^ 0xA5A5A5A5DEADBEEFull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace adcnn

@@ -1,0 +1,197 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace adcnn {
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ',';
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
+  if (shape.numel() != static_cast<std::int64_t>(data.size())) {
+    throw std::invalid_argument("Tensor::from_data: size mismatch " +
+                                shape.to_string());
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  assert(shape_.rank() == 4);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+const float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                        std::int64_t w) const {
+  assert(shape_.rank() == 4);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::crop(std::int64_t n0, std::int64_t tn, std::int64_t h0,
+                    std::int64_t th, std::int64_t w0, std::int64_t tw) const {
+  assert(shape_.rank() == 4);
+  const std::int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+  if (n0 < 0 || h0 < 0 || w0 < 0 || n0 + tn > shape_[0] || h0 + th > H ||
+      w0 + tw > W) {
+    throw std::out_of_range("Tensor::crop: window out of range");
+  }
+  Tensor out(Shape{tn, C, th, tw});
+  for (std::int64_t n = 0; n < tn; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t h = 0; h < th; ++h) {
+        const float* src =
+            data_.data() + (((n0 + n) * C + c) * H + (h0 + h)) * W + w0;
+        float* dst = out.data_.data() + ((n * C + c) * th + h) * tw;
+        std::memcpy(dst, src, static_cast<std::size_t>(tw) * sizeof(float));
+      }
+    }
+  }
+  return out;
+}
+
+void Tensor::paste(const Tensor& patch, std::int64_t n0, std::int64_t h0,
+                   std::int64_t w0) {
+  assert(shape_.rank() == 4 && patch.shape_.rank() == 4);
+  const std::int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+  const std::int64_t tn = patch.shape_[0], th = patch.shape_[2],
+                     tw = patch.shape_[3];
+  if (patch.shape_[1] != C || n0 + tn > shape_[0] || h0 + th > H ||
+      w0 + tw > W) {
+    throw std::out_of_range("Tensor::paste: window out of range");
+  }
+  for (std::int64_t n = 0; n < tn; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t h = 0; h < th; ++h) {
+        const float* src = patch.data_.data() + ((n * C + c) * th + h) * tw;
+        float* dst =
+            data_.data() + (((n0 + n) * C + c) * H + (h0 + h)) * W + w0;
+        std::memcpy(dst, src, static_cast<std::size_t>(tw) * sizeof(float));
+      }
+    }
+  }
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::add_(const Tensor& other) {
+  assert(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
+  assert(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float v) {
+  for (auto& x : data_) x *= v;
+  return *this;
+}
+
+float Tensor::sum() const {
+  // Pairwise-ish accumulation via double to keep error small.
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::min() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Tensor::sparsity() const {
+  if (data_.empty()) return 0.0;
+  std::int64_t zeros = 0;
+  for (float v : data_) zeros += (v == 0.0f);
+  return static_cast<double>(zeros) / static_cast<double>(data_.size());
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  assert(a.shape_ == b.shape_);
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+std::string Tensor::to_string(int max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.to_string() << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (numel() > n) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace adcnn

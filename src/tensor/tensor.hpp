@@ -1,0 +1,122 @@
+// Dense row-major float tensor, the data substrate for the whole library.
+//
+// Tensors are value types backed by a contiguous std::vector<float> (RAII;
+// no manual memory management anywhere). Layout is row-major with the last
+// dimension fastest. CNN activations use NCHW; 1-D (CharCNN) data is stored
+// as NCHW with H == 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace adcnn {
+
+/// Tensor shape: up to 4 dimensions used in practice, but arbitrary rank is
+/// supported. Stored as a small vector of extents.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  std::int64_t rank() const { return static_cast<std::int64_t>(dims_.size()); }
+  std::int64_t operator[](std::int64_t i) const { return dims_[i]; }
+  std::int64_t& operator[](std::int64_t i) { return dims_[i]; }
+
+  /// Total number of elements (1 for a rank-0 shape).
+  std::int64_t numel() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+
+  /// NCHW convenience constructors.
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// i.i.d. N(mean, stddev) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  /// Wrap an explicit data vector (size must match shape.numel()).
+  static Tensor from_data(Shape shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::int64_t i) { return data_[i]; }
+  float operator[](std::int64_t i) const { return data_[i]; }
+
+  /// 4-D accessors (NCHW). Bounds are the caller's responsibility; asserts
+  /// in debug builds.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  const float& at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) const;
+
+  // NCHW dimension shorthands (valid only for rank-4 tensors).
+  std::int64_t n() const { return shape_[0]; }
+  std::int64_t c() const { return shape_[1]; }
+  std::int64_t h() const { return shape_[2]; }
+  std::int64_t w() const { return shape_[3]; }
+
+  /// Reinterpret with a new shape of identical numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Copy a spatial crop [h0,h0+th) x [w0,w0+tw) of one batch sample range
+  /// [n0, n0+tn), all channels. Used by tiling code.
+  Tensor crop(std::int64_t n0, std::int64_t tn, std::int64_t h0,
+              std::int64_t th, std::int64_t w0, std::int64_t tw) const;
+
+  /// Paste `patch` (rank-4) at offset (n0, 0, h0, w0).
+  void paste(const Tensor& patch, std::int64_t n0, std::int64_t h0,
+             std::int64_t w0);
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  // Elementwise in-place helpers (shapes must match for the tensor variants).
+  Tensor& add_(const Tensor& other);
+  Tensor& add_scaled_(const Tensor& other, float alpha);  // this += alpha*other
+  Tensor& mul_(float v);
+
+  /// Reductions.
+  float sum() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  /// Fraction of entries equal to exactly 0.0f.
+  double sparsity() const;
+
+  /// Max over |a-b|; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  std::string to_string(int max_elems = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace adcnn

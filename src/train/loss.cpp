@@ -1,0 +1,126 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace adcnn::train {
+
+namespace {
+
+/// Softmax CE over one row of K logits with stride `stride` between class
+/// entries. Returns the probability-minus-onehot gradient scaled by
+/// `grad_scale` and accumulates loss/correct counters.
+void row_softmax_ce(const float* logits, float* grad, std::int64_t K,
+                    std::int64_t stride, int label, double grad_scale,
+                    double& loss, std::int64_t& correct) {
+  double maxv = -1e300;
+  std::int64_t argmax = 0;
+  for (std::int64_t k = 0; k < K; ++k) {
+    const double v = logits[k * stride];
+    if (v > maxv) {
+      maxv = v;
+      argmax = k;
+    }
+  }
+  double denom = 0.0;
+  for (std::int64_t k = 0; k < K; ++k)
+    denom += std::exp(static_cast<double>(logits[k * stride]) - maxv);
+  const double logz = std::log(denom) + maxv;
+  loss += logz - static_cast<double>(logits[label * stride]);
+  correct += (argmax == label);
+  for (std::int64_t k = 0; k < K; ++k) {
+    const double p =
+        std::exp(static_cast<double>(logits[k * stride]) - logz);
+    grad[k * stride] =
+        static_cast<float>(grad_scale * (p - (k == label ? 1.0 : 0.0)));
+  }
+}
+
+}  // namespace
+
+LossResult softmax_ce(const Tensor& logits, std::span<const int> labels) {
+  if (logits.shape().rank() != 2 ||
+      logits.shape()[0] != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("softmax_ce: logits/labels mismatch");
+  }
+  const std::int64_t N = logits.shape()[0], K = logits.shape()[1];
+  LossResult out;
+  out.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t n = 0; n < N; ++n) {
+    row_softmax_ce(logits.data() + n * K, out.grad.data() + n * K, K, 1,
+                   labels[static_cast<std::size_t>(n)],
+                   1.0 / static_cast<double>(N), loss, correct);
+  }
+  out.loss = loss / static_cast<double>(N);
+  out.accuracy = static_cast<double>(correct) / static_cast<double>(N);
+  return out;
+}
+
+LossResult dense_ce(const Tensor& logits, std::span<const int> labels) {
+  if (logits.shape().rank() != 4) {
+    throw std::invalid_argument("dense_ce: logits must be (N,K,H,W)");
+  }
+  const std::int64_t N = logits.n(), K = logits.c(), H = logits.h(),
+                     W = logits.w();
+  if (static_cast<std::int64_t>(labels.size()) != N * H * W) {
+    throw std::invalid_argument("dense_ce: label count mismatch");
+  }
+  LossResult out;
+  out.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  std::int64_t correct = 0;
+  const double scale = 1.0 / static_cast<double>(N * H * W);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t w = 0; w < W; ++w) {
+        const std::int64_t base = ((n * K) * H + h) * W + w;
+        row_softmax_ce(logits.data() + base, out.grad.data() + base, K, H * W,
+                       labels[static_cast<std::size_t>((n * H + h) * W + w)],
+                       scale, loss, correct);
+      }
+  out.loss = loss * scale;
+  out.accuracy = static_cast<double>(correct) / static_cast<double>(N * H * W);
+  return out;
+}
+
+double mean_iou(const Tensor& logits, std::span<const int> labels,
+                int num_classes) {
+  const std::int64_t N = logits.n(), K = logits.c(), H = logits.h(),
+                     W = logits.w();
+  std::vector<std::int64_t> inter(static_cast<std::size_t>(num_classes), 0);
+  std::vector<std::int64_t> uni(static_cast<std::size_t>(num_classes), 0);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t w = 0; w < W; ++w) {
+        std::int64_t pred = 0;
+        float best = logits.at(n, 0, h, w);
+        for (std::int64_t k = 1; k < K; ++k)
+          if (logits.at(n, k, h, w) > best) {
+            best = logits.at(n, k, h, w);
+            pred = k;
+          }
+        const int truth =
+            labels[static_cast<std::size_t>((n * H + h) * W + w)];
+        if (pred == truth) {
+          ++inter[static_cast<std::size_t>(truth)];
+          ++uni[static_cast<std::size_t>(truth)];
+        } else {
+          ++uni[static_cast<std::size_t>(truth)];
+          ++uni[static_cast<std::size_t>(pred)];
+        }
+      }
+  double sum = 0.0;
+  int present = 0;
+  for (int k = 0; k < num_classes; ++k) {
+    if (uni[static_cast<std::size_t>(k)] == 0) continue;
+    sum += static_cast<double>(inter[static_cast<std::size_t>(k)]) /
+           static_cast<double>(uni[static_cast<std::size_t>(k)]);
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / present;
+}
+
+}  // namespace adcnn::train

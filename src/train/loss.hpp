@@ -1,0 +1,28 @@
+// Loss functions with analytic gradients, mean-reduced over the batch.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace adcnn::train {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;         // d loss / d logits
+  double accuracy = 0.0;  // top-1 (classification) or per-cell (dense)
+};
+
+/// Softmax cross-entropy on (N, K) logits.
+LossResult softmax_ce(const Tensor& logits, std::span<const int> labels);
+
+/// Per-cell softmax cross-entropy on (N, K, H, W) logits against N*H*W
+/// labels (segmentation masks, detection grids).
+LossResult dense_ce(const Tensor& logits, std::span<const int> labels);
+
+/// Mean intersection-over-union over classes present in the labels
+/// (the paper's FCN metric).
+double mean_iou(const Tensor& logits, std::span<const int> labels,
+                int num_classes);
+
+}  // namespace adcnn::train

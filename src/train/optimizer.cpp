@@ -1,0 +1,33 @@
+#include "train/optimizer.hpp"
+
+namespace adcnn::train {
+
+Sgd::Sgd(std::vector<nn::Param*> params, double lr, double momentum,
+         double weight_decay)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (nn::Param* p : params_)
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float lr = static_cast<float>(lr_);
+    const float mom = static_cast<float>(momentum_);
+    const float wd = static_cast<float>(weight_decay_);
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      v[j] = mom * v[j] + g;
+      p.value[j] -= lr * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (nn::Param* p : params_) p->zero_grad();
+}
+
+}  // namespace adcnn::train

@@ -1,0 +1,26 @@
+// SGD with momentum and decoupled weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adcnn::train {
+
+class Sgd {
+ public:
+  Sgd(std::vector<nn::Param*> params, double lr, double momentum = 0.9,
+      double weight_decay = 0.0);
+
+  void step();
+  void zero_grad();
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  std::vector<nn::Param*> params_;
+  std::vector<Tensor> velocity_;
+  double lr_, momentum_, weight_decay_;
+};
+
+}  // namespace adcnn::train

@@ -1,0 +1,125 @@
+#include "train/progressive.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace adcnn::train {
+
+namespace {
+
+/// Retrain `model` until recovered or the epoch budget runs out.
+StageReport run_stage(const std::string& name, nn::Model& model,
+                      const data::Dataset& train_set,
+                      const data::Dataset& test_set, double target,
+                      const ProgressiveConfig& cfg) {
+  StageReport report;
+  report.stage = name;
+  EvalResult eval = evaluate(model, test_set);
+  report.accuracy = eval.accuracy;
+  if (eval.accuracy >= target) {
+    report.recovered = true;
+    return report;  // modification was harmless; no retraining needed
+  }
+  Sgd opt(model.params(), cfg.retrain.lr, cfg.retrain.momentum,
+          cfg.retrain.weight_decay);
+  Rng rng(cfg.retrain.seed ^ std::hash<std::string>{}(name));
+  for (int epoch = 0; epoch < cfg.max_epochs_per_stage; ++epoch) {
+    train_epoch(model, train_set, opt, rng, cfg.retrain.batch);
+    ++report.epochs_used;
+    eval = evaluate(model, test_set);
+    report.accuracy = eval.accuracy;
+    if (cfg.retrain.verbose) {
+      std::printf("    [%s] epoch %d: acc=%.4f (target %.4f)\n", name.c_str(),
+                  report.epochs_used, eval.accuracy, target);
+      std::fflush(stdout);
+    }
+    if (eval.accuracy >= target) {
+      report.recovered = true;
+      break;
+    }
+  }
+  return report;
+}
+
+core::PartitionedModel build_stage(const std::function<nn::Model()>& build,
+                                   const ProgressiveConfig& cfg,
+                                   bool clipped, bool quant) {
+  core::FdspOptions opt;
+  opt.grid = cfg.grid;
+  opt.clipped_relu = clipped;
+  opt.clip_lower = cfg.clip_lower;
+  opt.clip_upper = cfg.clip_upper;
+  opt.quantize = quant;
+  opt.bits = cfg.bits;
+  return core::apply_fdsp(build(), opt);
+}
+
+}  // namespace
+
+ProgressiveResult progressive_retrain(const std::function<nn::Model()>& build,
+                                      nn::Model& original,
+                                      const data::Dataset& train_set,
+                                      const data::Dataset& test_set,
+                                      const ProgressiveConfig& cfg) {
+  ProgressiveResult result;
+  result.baseline_accuracy = evaluate(original, test_set).accuracy;
+  const double target = result.baseline_accuracy - cfg.recover_margin;
+
+  // Step 3 of Algorithm 1: apply FDSP, warm-start from M_ori, retrain.
+  core::PartitionedModel m1 = build_stage(build, cfg, false, false);
+  nn::Model::copy_params(original, m1.model);
+  result.stages.push_back(
+      run_stage("fdsp", m1.model, train_set, test_set, target, cfg));
+
+  // Step 4: insert the clipped ReLU, warm-start from M_1.
+  core::PartitionedModel m2 = build_stage(build, cfg, true, false);
+  nn::Model::copy_params(m1.model, m2.model);
+  result.stages.push_back(
+      run_stage("clipped_relu", m2.model, train_set, test_set, target, cfg));
+
+  // Step 5: add quantization, warm-start from M_2.
+  core::PartitionedModel m3 = build_stage(build, cfg, true, true);
+  nn::Model::copy_params(m2.model, m3.model);
+  result.stages.push_back(
+      run_stage("quantization", m3.model, train_set, test_set, target, cfg));
+
+  result.final_model = std::move(m3);
+  return result;
+}
+
+std::pair<float, float> suggest_clip_bounds(nn::Model& trained,
+                                            const data::Dataset& sample,
+                                            double sparsity_target,
+                                            std::int64_t max_samples) {
+  const std::int64_t count = std::min<std::int64_t>(max_samples, sample.size());
+  const Tensor x =
+      sample.images.crop(0, count, 0, sample.images.h(), 0, sample.images.w());
+  const Tensor act =
+      trained.forward_range(x, 0, trained.separable_end_layer());
+  std::vector<float> positives;
+  positives.reserve(static_cast<std::size_t>(act.numel()));
+  for (std::int64_t i = 0; i < act.numel(); ++i)
+    if (act[i] > 0.0f) positives.push_back(act[i]);
+  if (positives.empty()) return {0.0f, 1.0f};
+  std::sort(positives.begin(), positives.end());
+  // The values already <= 0 are zero after the ReLU; to reach the overall
+  // sparsity target we clip away the lowest positives as needed.
+  const double already_zero =
+      1.0 - static_cast<double>(positives.size()) /
+                static_cast<double>(act.numel());
+  double extra = sparsity_target - already_zero;
+  extra = std::clamp(extra, 0.0, 0.95);
+  const double cut = extra / std::max(1e-9, 1.0 - already_zero);
+  const std::size_t a_idx = std::min(
+      positives.size() - 1,
+      static_cast<std::size_t>(cut * static_cast<double>(positives.size())));
+  const std::size_t b_idx = std::min(
+      positives.size() - 1,
+      static_cast<std::size_t>(0.99 * static_cast<double>(positives.size())));
+  float a = positives[a_idx];
+  float b = positives[b_idx];
+  if (!(b > a)) b = a + 1.0f;
+  return {a, b};
+}
+
+}  // namespace adcnn::train

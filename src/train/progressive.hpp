@@ -1,0 +1,66 @@
+// Algorithm 1: progressive retraining.
+//
+// Starting from a converged original model M_ori, the training graph is
+// modified in three small increments — FDSP tiling, clipped ReLU,
+// quantization — and after each increment the model is retrained (warm-
+// started from the previous stage) until the test accuracy recovers to
+// within a margin of the original. The per-stage epoch counts reproduce
+// Table 1; the final accuracies reproduce Figure 10.
+#pragma once
+
+#include <functional>
+
+#include "core/fdsp.hpp"
+#include "data/dataset.hpp"
+#include "train/trainer.hpp"
+
+namespace adcnn::train {
+
+struct ProgressiveConfig {
+  core::TileGrid grid;
+  float clip_lower = 0.0f;
+  float clip_upper = 6.0f;
+  int bits = 4;
+  /// Retraining budget per stage; a stage stops early once recovered.
+  int max_epochs_per_stage = 8;
+  /// "Recovered" means test accuracy >= baseline - recover_margin.
+  double recover_margin = 0.01;
+  TrainConfig retrain;  // lr etc. (epochs field ignored)
+};
+
+struct StageReport {
+  std::string stage;      // "fdsp", "clipped_relu", "quantization"
+  int epochs_used = 0;    // epochs actually run (0 if instantly recovered)
+  double accuracy = 0.0;  // test accuracy at stage end
+  bool recovered = false;
+};
+
+struct ProgressiveResult {
+  core::PartitionedModel final_model;  // M_final
+  std::vector<StageReport> stages;
+  double baseline_accuracy = 0.0;  // M_ori test accuracy
+  int total_epochs() const {
+    int total = 0;
+    for (const auto& stage : stages) total += stage.epochs_used;
+    return total;
+  }
+};
+
+/// `build` must construct a fresh untrained copy of the original topology
+/// (same layer structure as `original`). `original` is M_ori, already
+/// trained under the original configuration.
+ProgressiveResult progressive_retrain(
+    const std::function<nn::Model()>& build, nn::Model& original,
+    const data::Dataset& train_set, const data::Dataset& test_set,
+    const ProgressiveConfig& cfg);
+
+/// §7.1's "coarse parameter range based on separable layer block output
+/// statistics": run the trained model's separable prefix on a sample and
+/// return clip bounds (a = quantile of the positive activations giving
+/// roughly `sparsity_target` zeros, b = 99th percentile).
+std::pair<float, float> suggest_clip_bounds(nn::Model& trained,
+                                            const data::Dataset& sample,
+                                            double sparsity_target = 0.5,
+                                            std::int64_t max_samples = 32);
+
+}  // namespace adcnn::train

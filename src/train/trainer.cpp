@@ -1,0 +1,111 @@
+#include "train/trainer.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "train/loss.hpp"
+
+namespace adcnn::train {
+
+void make_batch(const data::Dataset& ds, std::span<const int> indices,
+                Tensor& x, std::vector<int>& y) {
+  const std::int64_t B = static_cast<std::int64_t>(indices.size());
+  const std::int64_t C = ds.images.c(), H = ds.images.h(), W = ds.images.w();
+  x = Tensor(Shape{B, C, H, W});
+  for (std::int64_t b = 0; b < B; ++b) {
+    const Tensor sample =
+        ds.images.crop(indices[static_cast<std::size_t>(b)], 1, 0, H, 0, W);
+    x.paste(sample, b, 0, 0);
+  }
+  y.clear();
+  if (ds.task == data::Task::kClassify) {
+    for (const int i : indices)
+      y.push_back(ds.labels[static_cast<std::size_t>(i)]);
+  } else {
+    const std::int64_t per = ds.dense_h * ds.dense_w;
+    for (const int i : indices)
+      y.insert(y.end(), ds.dense.begin() + i * per,
+               ds.dense.begin() + (i + 1) * per);
+  }
+}
+
+namespace {
+
+LossResult batch_loss(const data::Dataset& ds, const Tensor& logits,
+                      const std::vector<int>& y) {
+  return ds.task == data::Task::kClassify ? softmax_ce(logits, y)
+                                          : dense_ce(logits, y);
+}
+
+}  // namespace
+
+EvalResult evaluate(nn::Model& model, const data::Dataset& ds,
+                    std::int64_t batch) {
+  EvalResult out;
+  const std::int64_t N = ds.size();
+  double iou_weighted = 0.0;
+  for (std::int64_t begin = 0; begin < N; begin += batch) {
+    const std::int64_t count = std::min(batch, N - begin);
+    std::vector<int> indices(static_cast<std::size_t>(count));
+    std::iota(indices.begin(), indices.end(), static_cast<int>(begin));
+    Tensor x;
+    std::vector<int> y;
+    make_batch(ds, indices, x, y);
+    const Tensor logits = model.forward(x, nn::Mode::kEval);
+    const LossResult r = batch_loss(ds, logits, y);
+    out.loss += r.loss * static_cast<double>(count);
+    out.accuracy += r.accuracy * static_cast<double>(count);
+    if (ds.task == data::Task::kDense)
+      iou_weighted +=
+          mean_iou(logits, y, ds.num_classes) * static_cast<double>(count);
+  }
+  out.loss /= static_cast<double>(N);
+  out.accuracy /= static_cast<double>(N);
+  out.mean_iou = iou_weighted / static_cast<double>(N);
+  return out;
+}
+
+double train_epoch(nn::Model& model, const data::Dataset& ds, Sgd& opt,
+                   Rng& rng, std::int64_t batch) {
+  const std::int64_t N = ds.size();
+  std::vector<int> order(static_cast<std::size_t>(N));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  double total_loss = 0.0;
+  for (std::int64_t begin = 0; begin < N; begin += batch) {
+    const std::int64_t count = std::min(batch, N - begin);
+    const std::span<const int> indices(order.data() + begin,
+                                       static_cast<std::size_t>(count));
+    Tensor x;
+    std::vector<int> y;
+    make_batch(ds, indices, x, y);
+    opt.zero_grad();
+    const Tensor logits = model.forward(x, nn::Mode::kTrain);
+    const LossResult r = batch_loss(ds, logits, y);
+    model.backward(r.grad);
+    opt.step();
+    total_loss += r.loss * static_cast<double>(count);
+  }
+  return total_loss / static_cast<double>(N);
+}
+
+std::vector<EvalResult> train(nn::Model& model, const data::Dataset& train_set,
+                              const data::Dataset& test_set,
+                              const TrainConfig& cfg) {
+  Sgd opt(model.params(), cfg.lr, cfg.momentum, cfg.weight_decay);
+  Rng rng(cfg.seed);
+  std::vector<EvalResult> trace;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const double loss = train_epoch(model, train_set, opt, rng, cfg.batch);
+    const EvalResult eval = evaluate(model, test_set);
+    if (cfg.verbose) {
+      std::printf("  [%s] epoch %d: train_loss=%.4f test_acc=%.4f\n",
+                  model.name.c_str(), epoch + 1, loss, eval.accuracy);
+      std::fflush(stdout);
+    }
+    trace.push_back(eval);
+  }
+  return trace;
+}
+
+}  // namespace adcnn::train

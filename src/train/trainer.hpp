@@ -1,0 +1,46 @@
+// Mini-batch training / evaluation loop over the in-memory datasets.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "train/optimizer.hpp"
+
+namespace adcnn::train {
+
+struct TrainConfig {
+  int epochs = 5;
+  std::int64_t batch = 32;
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;   // top-1 or per-cell accuracy
+  double mean_iou = 0.0;   // dense tasks only
+};
+
+/// Gather samples `indices[begin, begin+count)` into contiguous tensors.
+void make_batch(const data::Dataset& ds, std::span<const int> indices,
+                Tensor& x, std::vector<int>& y);
+
+EvalResult evaluate(nn::Model& model, const data::Dataset& ds,
+                    std::int64_t batch = 64);
+
+/// One pass over the (shuffled) training set; returns mean training loss.
+double train_epoch(nn::Model& model, const data::Dataset& ds, Sgd& opt,
+                   Rng& rng, std::int64_t batch);
+
+/// Full loop; returns the per-epoch test evaluation trace.
+std::vector<EvalResult> train(nn::Model& model, const data::Dataset& train_set,
+                              const data::Dataset& test_set,
+                              const TrainConfig& cfg);
+
+}  // namespace adcnn::train

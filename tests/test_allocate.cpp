@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocate.hpp"
+
+namespace adcnn::core {
+namespace {
+
+AllocRequest request(std::vector<double> speeds, std::int64_t tiles,
+                     std::vector<std::int64_t> caps = {}) {
+  AllocRequest req;
+  req.speeds = std::move(speeds);
+  req.tiles = tiles;
+  req.capacity_tiles = std::move(caps);
+  return req;
+}
+
+TEST(Allocate, UniformSpeedsSplitEvenly) {
+  const auto x = allocate_tiles(request({1, 1, 1, 1}, 8));
+  for (const auto n : x) EXPECT_EQ(n, 2);
+}
+
+TEST(Allocate, ProportionalToSpeed) {
+  // Node 0 twice as fast -> roughly twice the tiles.
+  const auto x = allocate_tiles(request({2, 1, 1}, 8));
+  EXPECT_EQ(x[0], 4);
+  EXPECT_EQ(x[1], 2);
+  EXPECT_EQ(x[2], 2);
+}
+
+TEST(Allocate, SumEqualsTileCount) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> speeds;
+    for (int k = 0; k < 5; ++k) speeds.push_back(rng.uniform(0.1, 4.0));
+    const std::int64_t tiles =
+        static_cast<std::int64_t>(rng.uniform_int(60)) + 1;
+    const auto x = allocate_tiles(request(speeds, tiles), &rng);
+    std::int64_t sum = 0;
+    for (const auto n : x) sum += n;
+    EXPECT_EQ(sum, tiles);
+  }
+}
+
+TEST(Allocate, DeadNodeGetsNothing) {
+  // Paper §6.3: if node k fails, s_k -> 0 and no tiles are assigned.
+  const auto x = allocate_tiles(request({1, 0, 1}, 6));
+  EXPECT_EQ(x[1], 0);
+  EXPECT_EQ(x[0] + x[2], 6);
+}
+
+TEST(Allocate, CapacityBound) {
+  const auto x = allocate_tiles(request({10, 1}, 8, {3, 100}));
+  EXPECT_EQ(x[0], 3);  // fast node clamped by storage (M x_k <= H_k)
+  EXPECT_EQ(x[1], 5);
+}
+
+TEST(Allocate, ThrowsWhenInfeasible) {
+  EXPECT_THROW(allocate_tiles(request({0, 0}, 4)), std::runtime_error);
+  EXPECT_THROW(allocate_tiles(request({1, 1}, 10, {4, 4})),
+               std::runtime_error);
+}
+
+TEST(Allocate, GreedyMatchesBruteForceOnSmallInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> speeds;
+    const int K = 2 + static_cast<int>(rng.uniform_int(2));
+    for (int k = 0; k < K; ++k) speeds.push_back(rng.uniform(0.2, 3.0));
+    const std::int64_t tiles =
+        static_cast<std::int64_t>(rng.uniform_int(9)) + 1;
+    const auto req = request(speeds, tiles);
+    const auto greedy = allocate_tiles(req);
+    const auto optimal = allocate_tiles_bruteforce(req);
+    // Greedy (LPT-style on uniform machines) is optimal for unit jobs.
+    EXPECT_NEAR(makespan(greedy, speeds), makespan(optimal, speeds), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Allocate, MakespanInfinityForDeadAssigned) {
+  EXPECT_TRUE(std::isinf(makespan({1, 1}, {1.0, 0.0})));
+  EXPECT_EQ(makespan({2, 0}, {1.0, 0.0}), 2.0);
+}
+
+TEST(Allocate, RandomTieBreakStaysValid) {
+  Rng rng(9);
+  const auto x = allocate_tiles(request({1, 1, 1}, 7), &rng);
+  std::int64_t sum = 0;
+  for (const auto n : x) {
+    sum += n;
+    EXPECT_GE(n, 2);
+    EXPECT_LE(n, 3);
+  }
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(Allocate, EmptyRequestRejected) {
+  EXPECT_THROW(allocate_tiles(request({}, 4)), std::invalid_argument);
+  AllocRequest bad = request({1, 1}, 4, {1});
+  EXPECT_THROW(allocate_tiles(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adcnn::core

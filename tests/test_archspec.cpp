@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "nn/archspec.hpp"
+
+namespace adcnn::arch {
+namespace {
+
+TEST(ArchSpec, Vgg16Dimensions) {
+  const ArchSpec spec = vgg16();
+  EXPECT_EQ(spec.blocks.size(), 14u);  // 13 conv blocks + FC
+  EXPECT_EQ(spec.separable_blocks, 7);
+  // First conv: 3->64 at 224x224.
+  const auto& c1 = spec.blocks[0].layers[0];
+  EXPECT_EQ(c1.cout, 64);
+  EXPECT_EQ(c1.hout, 224);
+  // L2 ends with a pool: ofmap 112x112x64.
+  EXPECT_EQ(spec.blocks[1].layers.back().hout, 112);
+  // Total MACs of VGG16 are ~15.5G -> ~31G FLOPs (2x).
+  EXPECT_NEAR(static_cast<double>(spec.total_flops()), 31.0e9, 2.5e9);
+  // Params ~138M -> ~553MB.
+  EXPECT_NEAR(static_cast<double>(spec.total_param_bytes()), 553e6, 15e6);
+}
+
+TEST(ArchSpec, Vgg16SeparableOfmap) {
+  const ArchSpec spec = vgg16();
+  std::int64_t c = 0, h = 0, w = 0;
+  spec.separable_out_dims(c, h, w);
+  // Through 7 blocks (3 pools): 28x28x256.
+  EXPECT_EQ(c, 256);
+  EXPECT_EQ(h, 28);
+  EXPECT_EQ(w, 28);
+}
+
+TEST(ArchSpec, FcnQuotesPaperOfmap) {
+  // §4 of the paper: FCN's separable ofmap is 28x28x512, "2.7x larger than
+  // the input image (3x224x224x32)". 28*28*512*32 bits is 12.85 Mbit and
+  // 12.85/4.82 = 2.67 — consistent with the quoted 2.7x ratio; the paper's
+  // "25.7 Mbits" is an internal factor-of-2 typo.
+  const ArchSpec spec = fcn32();
+  std::int64_t c = 0, h = 0, w = 0;
+  spec.separable_out_dims(c, h, w);
+  EXPECT_EQ(c, 512);
+  EXPECT_EQ(h, 28);
+  EXPECT_EQ(w, 28);
+  const double mbit = static_cast<double>(spec.separable_out_bytes()) * 8e-6;
+  EXPECT_NEAR(mbit, 12.85, 0.1);
+  EXPECT_NEAR(mbit / (static_cast<double>(spec.input_bytes()) * 8e-6), 2.67,
+              0.05);
+}
+
+TEST(ArchSpec, Resnet34Structure) {
+  const ArchSpec spec = resnet34();
+  EXPECT_EQ(spec.blocks.size(), 18u);  // stem + 16 units + head
+  EXPECT_EQ(spec.separable_blocks, 12);
+  // ~3.6 GMACs -> ~7.3G FLOPs.
+  EXPECT_NEAR(static_cast<double>(spec.total_flops()), 7.3e9, 1.0e9);
+  // Stage transition: unit 4 (first of stage 2) halves the map to 28.
+  EXPECT_EQ(spec.blocks[4].layers.back().hout, 28);
+}
+
+TEST(ArchSpec, Resnet18Structure) {
+  const ArchSpec spec = resnet18();
+  EXPECT_EQ(spec.blocks.size(), 10u);
+  EXPECT_NEAR(static_cast<double>(spec.total_flops()), 3.6e9, 0.6e9);
+}
+
+TEST(ArchSpec, YoloStructure) {
+  const ArchSpec spec = yolov2();
+  EXPECT_EQ(spec.hin, 416);
+  EXPECT_EQ(spec.separable_blocks, 12);
+  // Darknet-19 detector is ~30-35 GFLOPs at 416x416.
+  EXPECT_GT(spec.total_flops(), 25e9);
+  EXPECT_LT(spec.total_flops(), 45e9);
+  // Final grid is 13x13.
+  EXPECT_EQ(spec.blocks.back().layers.back().hout, 13);
+  EXPECT_EQ(spec.blocks.back().layers.back().cout, 125);
+}
+
+TEST(ArchSpec, CharCnnStructure) {
+  const ArchSpec spec = charcnn();
+  EXPECT_EQ(spec.cin, 70);
+  EXPECT_EQ(spec.win, 1014);
+  EXPECT_EQ(spec.separable_blocks, 4);
+  // Valid convs + pool3: L1 out = (1014-7+1)/3 = 336.
+  EXPECT_EQ(spec.blocks[0].layers.back().wout, 336);
+  // FC input = 34 * 256.
+  EXPECT_EQ(spec.blocks.back().layers[0].cin, 34 * 256);
+}
+
+TEST(ArchSpec, PrefixSuffixPartitionFlops) {
+  for (const char* name : {"vgg16", "resnet34", "yolo", "fcn", "charcnn"}) {
+    const ArchSpec spec = by_name(name);
+    EXPECT_EQ(spec.prefix_flops() + spec.suffix_flops(), spec.total_flops())
+        << name;
+    EXPECT_GT(spec.prefix_flops(), 0) << name;
+    EXPECT_GT(spec.suffix_flops(), 0) << name;
+  }
+}
+
+TEST(ArchSpec, SpatialOpsExcludeAux) {
+  const ArchSpec spec = resnet34();
+  for (const auto& op : spec.spatial_ops(5)) {
+    EXPECT_FALSE(op.aux);
+    EXPECT_TRUE(op.op == Op::kConv || op.op == Op::kMaxPool);
+  }
+}
+
+TEST(ArchSpec, ShapesChainBetweenBlocks) {
+  for (const char* name : {"vgg16", "resnet18", "resnet34", "yolo", "fcn"}) {
+    const ArchSpec spec = by_name(name);
+    for (std::size_t b = 1; b < spec.blocks.size(); ++b) {
+      const auto& prev = spec.blocks[b - 1].layers.back();
+      const auto& next = spec.blocks[b].layers.front();
+      if (next.op == Op::kFC || next.op == Op::kGlobalPool) continue;
+      EXPECT_EQ(prev.cout, next.cin) << name << " block " << b;
+      EXPECT_EQ(prev.hout, next.hin) << name << " block " << b;
+    }
+  }
+}
+
+TEST(ArchSpec, ByNameRejectsUnknown) {
+  EXPECT_THROW(by_name("alexnet"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adcnn::arch

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aofl.hpp"
+#include "baselines/neurosurgeon.hpp"
+#include "sim/adcnn_sim.hpp"
+
+namespace adcnn::baselines {
+namespace {
+
+TEST(Neurosurgeon, PicksBestCut) {
+  const auto spec = arch::vgg16();
+  const sim::DeviceSpec edge;
+  const sim::CloudConfig cloud;
+  const NeurosurgeonPlan best = neurosurgeon_plan(spec, edge, cloud);
+  const int L = static_cast<int>(spec.all_layers().size());
+  for (int cut = 0; cut <= L; cut += 7) {
+    EXPECT_LE(best.latency_s,
+              neurosurgeon_eval(spec, edge, cloud, cut).latency_s + 1e-12);
+  }
+  EXPECT_NEAR(best.edge_s + best.tx_s + best.cloud_s, best.latency_s, 1e-9);
+}
+
+TEST(Neurosurgeon, CutZeroIsCloudOnly) {
+  const auto spec = arch::vgg16();
+  const NeurosurgeonPlan plan =
+      neurosurgeon_eval(spec, sim::DeviceSpec{}, sim::CloudConfig{}, 0);
+  EXPECT_EQ(plan.edge_s, 0.0);
+  EXPECT_GT(plan.tx_s, 0.0);
+  EXPECT_GT(plan.cloud_s, 0.0);
+}
+
+TEST(Neurosurgeon, FullCutIsEdgeOnly) {
+  const auto spec = arch::vgg16();
+  const int L = static_cast<int>(spec.all_layers().size());
+  const NeurosurgeonPlan plan =
+      neurosurgeon_eval(spec, sim::DeviceSpec{}, sim::CloudConfig{}, L);
+  EXPECT_EQ(plan.cloud_s, 0.0);
+  EXPECT_EQ(plan.tx_bytes, sim::CloudConfig{}.result_bytes);
+}
+
+TEST(Neurosurgeon, TransmissionIsMajorShare) {
+  // §7.4: the cut's ofmap upload dominates Neurosurgeon's latency ("67%
+  // of the overall processing latencies"). Holds for the compute-heavy
+  // models; ResNet34 is cheap enough on our Pi-class model that the
+  // planner keeps it fully on the edge instead.
+  for (const char* name : {"vgg16", "yolo"}) {
+    const NeurosurgeonPlan plan = neurosurgeon_plan(
+        arch::by_name(name), sim::DeviceSpec{}, sim::CloudConfig{});
+    EXPECT_GT(plan.tx_s / plan.latency_s, 0.3) << name;
+  }
+}
+
+TEST(Aofl, PrefersMultiBlockFusion) {
+  // §7.4: early layers have cheap halos relative to their maps, so the
+  // optimal round structure fuses several blocks at a time.
+  const auto spec = arch::vgg16();
+  const AoflPlan plan = aofl_plan(spec, core::TileGrid{2, 4},
+                                  sim::DeviceSpec{}, sim::LinkSpec{});
+  ASSERT_FALSE(plan.rounds.empty());
+  EXPECT_GE(plan.rounds.front().end - plan.rounds.front().begin, 2);
+  for (const auto& round : plan.rounds)
+    EXPECT_GE(round.compute_overhead, 1.0);
+}
+
+TEST(Aofl, RoundsCoverSpatialBlocksContiguously) {
+  const auto spec = arch::resnet34();
+  const AoflPlan plan = aofl_plan(spec, core::TileGrid{2, 4},
+                                  sim::DeviceSpec{}, sim::LinkSpec{});
+  ASSERT_FALSE(plan.rounds.empty());
+  EXPECT_EQ(plan.rounds.front().begin, 0);
+  for (std::size_t i = 1; i < plan.rounds.size(); ++i)
+    EXPECT_EQ(plan.rounds[i].begin, plan.rounds[i - 1].end);
+}
+
+TEST(Aofl, PlanBeatsSingleRoundChoices) {
+  const auto spec = arch::resnet34();
+  const core::TileGrid grid{2, 4};
+  const AoflPlan best =
+      aofl_plan(spec, grid, sim::DeviceSpec{}, sim::LinkSpec{});
+  for (int fused : {1, 3, 6, 12}) {
+    EXPECT_LE(best.latency_s,
+              aofl_single_round(spec, grid, sim::DeviceSpec{},
+                                sim::LinkSpec{}, fused)
+                      .latency_s +
+                  1e-12);
+  }
+}
+
+TEST(Aofl, RoundComponentsSum) {
+  const AoflPlan plan = aofl_single_round(
+      arch::vgg16(), core::TileGrid{2, 4}, sim::DeviceSpec{},
+      sim::LinkSpec{}, 5);
+  ASSERT_EQ(plan.rounds.size(), 1u);
+  EXPECT_NEAR(plan.rounds[0].total_s() + plan.head_s, plan.latency_s, 1e-9);
+}
+
+TEST(Aofl, DeeperSingleRoundFusionCostsMoreCompute) {
+  const auto spec = arch::vgg16();
+  const core::TileGrid grid{2, 4};
+  double prev = 0.0;
+  for (int fused : {2, 5, 9, 13}) {
+    const AoflPlan plan = aofl_single_round(spec, grid, sim::DeviceSpec{},
+                                            sim::LinkSpec{}, fused);
+    EXPECT_GE(plan.rounds[0].compute_overhead, prev);
+    prev = plan.rounds[0].compute_overhead;
+  }
+  EXPECT_GT(prev, 2.0);
+}
+
+TEST(Aofl, RejectsBadDepth) {
+  EXPECT_THROW(aofl_single_round(arch::vgg16(), core::TileGrid{2, 4},
+                                 sim::DeviceSpec{}, sim::LinkSpec{}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(aofl_round(arch::vgg16(), core::TileGrid{2, 4},
+                          sim::DeviceSpec{}, sim::LinkSpec{}, 3, 3),
+               std::invalid_argument);
+}
+
+TEST(SotaOrdering, AdcnnBeatsAoflBeatsNeurosurgeon) {
+  // Figure 14's headline ordering on all three models (ADCNN under the
+  // deep partition the paper's testbed numbers imply).
+  for (const char* name : {"vgg16", "resnet34", "yolo"}) {
+    const auto spec = arch::by_name(name);
+    auto cfg = sim::AdcnnSimConfig::uniform(8, sim::DeviceSpec{});
+    cfg.separable_override = sim::deep_partition_blocks(spec);
+    const double adcnn = simulate_adcnn(spec, cfg, 10).mean_latency_s;
+    const double aofl = aofl_plan(spec, core::TileGrid{2, 4},
+                                  sim::DeviceSpec{}, sim::LinkSpec{})
+                            .latency_s;
+    const double neuro =
+        neurosurgeon_plan(spec, sim::DeviceSpec{}, sim::CloudConfig{})
+            .latency_s;
+    EXPECT_LT(adcnn, aofl) << name;
+    EXPECT_LT(aofl, neuro) << name;
+  }
+}
+
+}  // namespace
+}  // namespace adcnn::baselines

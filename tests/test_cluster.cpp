@@ -1,0 +1,157 @@
+// Integration tests: the threaded Central/Conv-node cluster must reproduce
+// the monolithic partitioned model's output end to end.
+#include <gtest/gtest.h>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "runtime/cluster.hpp"
+
+namespace adcnn::runtime {
+namespace {
+
+core::PartitionedModel make_partitioned(bool compressed, std::int64_t r = 2,
+                                        std::int64_t c = 2,
+                                        const char* family = "vgg") {
+  Rng rng(31);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{r, c};
+  if (compressed) {
+    opt.clipped_relu = true;
+    opt.clip_lower = 0.0f;
+    opt.clip_upper = 3.0f;
+    opt.quantize = true;
+  }
+  return core::apply_fdsp(nn::make_mini(family, rng, nn::MiniOptions{}), opt);
+}
+
+TEST(Cluster, DistributedMatchesMonolithicCompressed) {
+  core::PartitionedModel pm = make_partitioned(true);
+  Rng rng(7);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const Tensor expect = pm.model.forward(x, nn::Mode::kEval);
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  EdgeCluster cluster(pm, cfg);
+  const Tensor y = cluster.infer(x);
+  // The fake-quant layer in the graph makes the monolithic forward
+  // bit-identical to the wire codec's quantize/dequantize.
+  EXPECT_LT(Tensor::max_abs_diff(y, expect), 1e-5f);
+}
+
+TEST(Cluster, DistributedMatchesMonolithicRaw) {
+  core::PartitionedModel pm = make_partitioned(false);
+  Rng rng(8);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const Tensor expect = pm.model.forward(x, nn::Mode::kEval);
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.compress = false;
+  EdgeCluster cluster(pm, cfg);
+  EXPECT_LT(Tensor::max_abs_diff(cluster.infer(x), expect), 1e-5f);
+}
+
+TEST(Cluster, CompressRequiresClipRange) {
+  core::PartitionedModel pm = make_partitioned(false);
+  ClusterConfig cfg;
+  cfg.compress = true;
+  EXPECT_THROW(EdgeCluster(pm, cfg), std::invalid_argument);
+}
+
+TEST(Cluster, EightByEightGridAcrossEightNodes) {
+  core::PartitionedModel pm = make_partitioned(true, 8, 8);
+  Rng rng(9);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const Tensor expect = pm.model.forward(x, nn::Mode::kEval);
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  EdgeCluster cluster(pm, cfg);
+  InferStats stats;
+  const Tensor y = cluster.infer(x, &stats);
+  EXPECT_LT(Tensor::max_abs_diff(y, expect), 1e-5f);
+  EXPECT_EQ(stats.tiles_total, 64);
+  EXPECT_EQ(stats.tiles_missing, 0);
+  // Even speeds -> 8 tiles per node on the first image.
+  for (const auto assigned : stats.assigned) EXPECT_EQ(assigned, 8);
+}
+
+TEST(Cluster, ResNetFamilyWorks) {
+  core::PartitionedModel pm = make_partitioned(true, 4, 4, "resnet");
+  Rng rng(10);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const Tensor expect = pm.model.forward(x, nn::Mode::kEval);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  EdgeCluster cluster(pm, cfg);
+  EXPECT_LT(Tensor::max_abs_diff(cluster.infer(x), expect), 1e-5f);
+}
+
+TEST(Cluster, DeadNodeZeroFillsThenRoutesAround) {
+  core::PartitionedModel pm = make_partitioned(true, 4, 4);
+  Rng rng(11);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.deadline_s = 0.25;  // short but ample for healthy nodes
+  EdgeCluster cluster(pm, cfg);
+  cluster.node(1).kill();  // swallows tiles silently
+
+  InferStats stats;
+  cluster.infer(x, &stats);
+  EXPECT_GT(stats.tiles_missing, 0);  // node 1's tiles were zero-filled
+  EXPECT_EQ(stats.returned[1], 0);
+
+  // After a few images, Algorithm 2 starves node 1 of tiles entirely.
+  for (int i = 0; i < 4; ++i) cluster.infer(x, &stats);
+  EXPECT_EQ(stats.assigned[1], 0);
+  EXPECT_EQ(stats.tiles_missing, 0);  // all work routed to node 0
+}
+
+TEST(Cluster, ThrottledNodeGetsFewerTiles) {
+  core::PartitionedModel pm = make_partitioned(true, 8, 8);
+  Rng rng(12);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.deadline_s = 0.08;
+  EdgeCluster cluster(pm, cfg);
+  // Severe CPUlimit-style throttle: each of node 1's tiles now takes
+  // hundreds of times its normal compute, so it blows the deadline.
+  cluster.node(1).set_cpu_limit(0.002);
+
+  InferStats stats;
+  for (int i = 0; i < 6; ++i) cluster.infer(x, &stats);
+  EXPECT_LT(stats.assigned[1], stats.assigned[0]);
+}
+
+TEST(Cluster, ByteAccountingMatchesCompression) {
+  core::PartitionedModel pm = make_partitioned(true, 4, 4);
+  Rng rng(13);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  EdgeCluster cluster(pm, cfg);
+  cluster.infer(x);
+  const std::uint64_t down = cluster.downlink(0).bytes_sent();
+  const std::uint64_t up = cluster.uplink(0).bytes_sent();
+  EXPECT_GT(down, 0u);
+  EXPECT_GT(up, 0u);
+  // Compressed intermediate results are much smaller than the raw fp32
+  // ofmap (16 tiles x 32ch x 2x2 x 4B = 8 KB).
+  EXPECT_LT(up, 8192u);
+}
+
+TEST(Cluster, StatsTrackSpeeds) {
+  core::PartitionedModel pm = make_partitioned(true, 4, 4);
+  Rng rng(14);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  EdgeCluster cluster(pm, cfg);
+  for (int i = 0; i < 3; ++i) cluster.infer(x);
+  for (int k = 0; k < 4; ++k)
+    EXPECT_GT(cluster.central().collector().speed(k), 1.0);
+}
+
+}  // namespace
+}  // namespace adcnn::runtime

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "compress/pipeline.hpp"
+#include "compress/quantizer.hpp"
+#include "compress/rle.hpp"
+#include "nn/quantize.hpp"
+
+namespace adcnn::compress {
+namespace {
+
+TEST(Quantizer, LevelMapping) {
+  Quantizer q(1.5f, 4);
+  EXPECT_FLOAT_EQ(q.step(), 0.1f);
+  EXPECT_EQ(q.quantize(0.0f), 0);
+  EXPECT_EQ(q.quantize(-1.0f), 0);
+  EXPECT_EQ(q.quantize(0.26f), 3);
+  EXPECT_EQ(q.quantize(1.5f), 15);
+  EXPECT_EQ(q.quantize(99.0f), 15);
+  EXPECT_FLOAT_EQ(q.dequantize(3), 0.3f);
+}
+
+TEST(Quantizer, RoundTripErrorBound) {
+  Rng rng(1);
+  Quantizer q(2.0f, 4);
+  const Tensor x = Tensor::rand(Shape{512}, rng, 0.0f, 2.0f);
+  const auto levels = q.quantize_all(x.span());
+  Tensor y(x.shape());
+  q.dequantize_all(levels, y.span());
+  EXPECT_LE(Tensor::max_abs_diff(x, y), q.step() / 2 + 1e-6f);
+}
+
+TEST(Quantizer, MatchesFakeQuantLayerExactly) {
+  // The wire codec and the retraining graph must share one grid.
+  Rng rng(2);
+  Quantizer q(1.8f, 4);
+  nn::FakeQuant layer(1.8f, 4);
+  const Tensor x = Tensor::rand(Shape{256}, rng, 0.0f, 1.8f);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(q.dequantize(q.quantize(x[i])),
+                    layer.quantize_value(x[i]));
+  }
+}
+
+TEST(Quantizer, Validation) {
+  EXPECT_THROW(Quantizer(0.0f, 4), std::invalid_argument);
+  EXPECT_THROW(Quantizer(1.0f, 0), std::invalid_argument);
+  EXPECT_THROW(Quantizer(1.0f, 9), std::invalid_argument);
+}
+
+TEST(Nibbles, PackUnpackRoundTrip) {
+  const std::vector<std::uint8_t> levels{1, 15, 0, 7, 9};
+  const auto packed = pack_nibbles(levels);
+  EXPECT_EQ(packed.size(), 3u);
+  EXPECT_EQ(packed[0], 0xF1);
+  const auto back = unpack_nibbles(packed, levels.size());
+  EXPECT_EQ(back, levels);
+  EXPECT_THROW(unpack_nibbles(packed, 9), std::invalid_argument);
+}
+
+TEST(Rle4, RoundTripDense) {
+  const std::vector<std::uint8_t> levels{1, 2, 3, 15, 14, 1};
+  EXPECT_EQ(rle4_decode(rle4_encode(levels), levels.size()), levels);
+}
+
+TEST(Rle4, RoundTripSparse) {
+  std::vector<std::uint8_t> levels(1000, 0);
+  levels[3] = 7;
+  levels[500] = 15;
+  levels[999] = 1;
+  EXPECT_EQ(rle4_decode(rle4_encode(levels), levels.size()), levels);
+}
+
+TEST(Rle4, AllZeros) {
+  const std::vector<std::uint8_t> levels(257, 0);
+  const auto wire = rle4_encode(levels);
+  EXPECT_TRUE(wire.empty());  // trailing zeros are implicit
+  EXPECT_EQ(rle4_decode(wire, levels.size()), levels);
+}
+
+TEST(Rle4, RandomRoundTripProperty) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(2000);
+    const double density = rng.uniform(0.0, 0.5);
+    std::vector<std::uint8_t> levels(n, 0);
+    for (auto& v : levels)
+      if (rng.uniform() < density)
+        v = static_cast<std::uint8_t>(1 + rng.uniform_int(15));
+    EXPECT_EQ(rle4_decode(rle4_encode(levels), n), levels) << trial;
+  }
+}
+
+TEST(Rle4, CompressesSparseStreams) {
+  std::vector<std::uint8_t> levels(10000, 0);
+  for (std::size_t i = 0; i < levels.size(); i += 100) levels[i] = 5;
+  const auto wire = rle4_encode(levels);
+  EXPECT_LT(wire.size(), levels.size() / 10);
+}
+
+TEST(Rle4, RejectsWideLevels) {
+  const std::vector<std::uint8_t> levels{16};
+  EXPECT_THROW(rle4_encode(levels), std::invalid_argument);
+}
+
+TEST(RleVarint, RoundTripProperty) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(3000);
+    std::vector<std::uint8_t> levels(n, 0);
+    for (auto& v : levels)
+      if (rng.uniform() < 0.1)
+        v = static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+    EXPECT_EQ(rle_varint_decode(rle_varint_encode(levels), n), levels);
+  }
+}
+
+TEST(Varint, RoundTrip) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 0);
+  put_varint(buf, 127);
+  put_varint(buf, 128);
+  put_varint(buf, 300);
+  put_varint(buf, 0xFFFFFFFFFFull);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(buf, pos), 0u);
+  EXPECT_EQ(get_varint(buf, pos), 127u);
+  EXPECT_EQ(get_varint(buf, pos), 128u);
+  EXPECT_EQ(get_varint(buf, pos), 300u);
+  EXPECT_EQ(get_varint(buf, pos), 0xFFFFFFFFFFull);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncationDetected) {
+  std::vector<std::uint8_t> buf{0x80};  // continuation with no next byte
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(buf, pos), std::invalid_argument);
+}
+
+TEST(TileCodec, RoundTripOnQuantGrid) {
+  // Values already on the quantization grid decode exactly.
+  Rng rng(5);
+  TileCodec codec(2.0f, 4);
+  Tensor x(Shape{1, 4, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const auto level = static_cast<std::uint8_t>(rng.uniform_int(16));
+    x[i] = codec.quantizer().dequantize(
+        rng.uniform() < 0.7 ? 0 : level);
+  }
+  const auto wire = codec.encode(x);
+  const Tensor y = codec.decode(wire, x.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f);
+}
+
+TEST(TileCodec, StageSizesConsistent) {
+  Rng rng(6);
+  TileCodec codec(1.0f, 4);
+  Tensor x(Shape{1, 8, 16, 16});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = rng.uniform() < 0.9 ? 0.0f : static_cast<float>(rng.uniform());
+  StageSizes sizes;
+  const auto wire = codec.encode(x, &sizes);
+  EXPECT_EQ(sizes.raw_bytes, x.numel() * 4);
+  EXPECT_EQ(sizes.quant_packed_bytes, x.numel() / 2);
+  EXPECT_EQ(sizes.encoded_bytes, static_cast<std::int64_t>(wire.size()));
+  EXPECT_LT(sizes.encoded_bytes, sizes.quant_packed_bytes);
+  EXPECT_LT(sizes.encoded_bytes, sizes.raw_bytes / 8);
+}
+
+TEST(TileCodec, DecodeValidatesShape) {
+  TileCodec codec(1.0f, 4);
+  const Tensor x = Tensor::zeros(Shape{1, 2, 4, 4});
+  const auto wire = codec.encode(x);
+  EXPECT_THROW(codec.decode(wire, Shape{1, 2, 4, 5}), std::invalid_argument);
+}
+
+TEST(TileCodec, NonFourBitFallsBackToVarint) {
+  Rng rng(7);
+  TileCodec codec(1.0f, 6);
+  Tensor x = Tensor::rand(Shape{128}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (rng.uniform() < 0.8) x[i] = 0.0f;
+  const auto wire = codec.encode(x);
+  const Tensor y = codec.decode(wire, x.shape());
+  EXPECT_LE(Tensor::max_abs_diff(x, y),
+            codec.quantizer().step() / 2 + 1e-6f);
+}
+
+TEST(RawCodec, RoundTrip) {
+  Rng rng(8);
+  const Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  const auto wire = encode_raw(x);
+  EXPECT_EQ(wire.size(), static_cast<std::size_t>(x.numel()) * 4);
+  const Tensor y = decode_raw(wire, x.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f);
+  EXPECT_THROW(decode_raw(wire, Shape{5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adcnn::compress

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv.hpp"
+
+namespace adcnn::nn {
+namespace {
+
+/// Direct (non-im2col) reference convolution.
+Tensor ref_conv(const Tensor& x, const Tensor& w, const Tensor* bias,
+                std::int64_t sh, std::int64_t sw, std::int64_t ph,
+                std::int64_t pw) {
+  const std::int64_t N = x.n(), C = x.c(), H = x.h(), W = x.w();
+  const std::int64_t F = w.n(), kh = w.h(), kw = w.w();
+  const std::int64_t HO = (H + 2 * ph - kh) / sh + 1;
+  const std::int64_t WO = (W + 2 * pw - kw) / sw + 1;
+  Tensor y(Shape{N, F, HO, WO});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t f = 0; f < F; ++f)
+      for (std::int64_t oh = 0; oh < HO; ++oh)
+        for (std::int64_t ow = 0; ow < WO; ++ow) {
+          double acc = bias ? (*bias)[f] : 0.0;
+          for (std::int64_t c = 0; c < C; ++c)
+            for (std::int64_t dh = 0; dh < kh; ++dh)
+              for (std::int64_t dw = 0; dw < kw; ++dw) {
+                const std::int64_t ih = oh * sh - ph + dh;
+                const std::int64_t iw = ow * sw - pw + dw;
+                if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
+                acc += static_cast<double>(x.at(n, c, ih, iw)) *
+                       w.at(f, c, dh, dw);
+              }
+          y.at(n, f, oh, ow) = static_cast<float>(acc);
+        }
+  return y;
+}
+
+struct ConvCase {
+  std::int64_t n, c, h, w, f, k, stride, pad;
+  bool bias;
+};
+
+class ConvForward : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvForward, MatchesDirectConvolution) {
+  const ConvCase p = GetParam();
+  Rng rng(3);
+  Conv2d conv(p.c, p.f, p.k, p.stride, p.pad, p.bias, rng);
+  if (p.bias) {
+    for (std::int64_t i = 0; i < p.f; ++i)
+      conv.bias().value[i] = static_cast<float>(rng.normal());
+  }
+  const Tensor x = Tensor::randn(Shape{p.n, p.c, p.h, p.w}, rng);
+  const Tensor y = conv.forward(x, Mode::kEval);
+  const Tensor expect =
+      ref_conv(x, conv.weight().value, p.bias ? &conv.bias().value : nullptr,
+               p.stride, p.stride, p.pad, p.pad);
+  ASSERT_EQ(y.shape(), expect.shape());
+  EXPECT_LT(Tensor::max_abs_diff(y, expect), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvForward,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 1, false},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1, false},
+                      ConvCase{1, 2, 9, 9, 3, 3, 2, 1, true},
+                      ConvCase{2, 4, 6, 6, 2, 1, 1, 0, true},
+                      ConvCase{1, 3, 7, 5, 2, 3, 1, 0, false},
+                      ConvCase{3, 2, 4, 4, 5, 3, 1, 1, true}));
+
+TEST(Conv2d, OutShape) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, false, rng);
+  EXPECT_EQ(conv.out_shape(Shape{2, 3, 16, 16}), (Shape{2, 8, 16, 16}));
+  Conv2d strided(3, 8, 3, 2, 1, false, rng);
+  EXPECT_EQ(strided.out_shape(Shape{1, 3, 16, 16}), (Shape{1, 8, 8, 8}));
+  EXPECT_THROW(conv.out_shape(Shape{1, 4, 16, 16}), std::invalid_argument);
+}
+
+TEST(Conv2d, FlopsCount) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, false, rng);
+  // 2 * out_elems * cin * k * k = 2 * (1*8*4*4) * 3 * 9
+  EXPECT_EQ(conv.flops(Shape{1, 3, 4, 4}), 2 * 8 * 16 * 27);
+}
+
+TEST(Conv2d, RectangularKernel1d) {
+  // CharCNN-style conv: kh = 1, kw = 3 on (N, C, 1, L) input.
+  Rng rng(4);
+  Conv2d conv(4, 6, 1, 3, 1, 1, 0, 1, false, rng, "conv1d");
+  const Tensor x = Tensor::randn(Shape{2, 4, 1, 10}, rng);
+  const Tensor y = conv.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (Shape{2, 6, 1, 10}));
+}
+
+TEST(Conv2d, ZeroPaddingIsPerSample) {
+  // The FDSP cornerstone: convolving a batch of 2 tiles equals convolving
+  // each tile separately — padding never leaks across batch entries.
+  Rng rng(5);
+  Conv2d conv(2, 3, 3, 1, 1, false, rng);
+  const Tensor batch = Tensor::randn(Shape{2, 2, 4, 4}, rng);
+  const Tensor joint = conv.forward(batch, Mode::kEval);
+  const Tensor a = conv.forward(batch.crop(0, 1, 0, 4, 0, 4), Mode::kEval);
+  const Tensor b = conv.forward(batch.crop(1, 1, 0, 4, 0, 4), Mode::kEval);
+  EXPECT_LT(Tensor::max_abs_diff(joint.crop(0, 1, 0, 4, 0, 4), a), 1e-6f);
+  EXPECT_LT(Tensor::max_abs_diff(joint.crop(1, 1, 0, 4, 0, 4), b), 1e-6f);
+}
+
+TEST(Conv2d, ParamsCollected) {
+  Rng rng(1);
+  Conv2d with_bias(3, 8, 3, 1, 1, true, rng);
+  Conv2d no_bias(3, 8, 3, 1, 1, false, rng);
+  EXPECT_EQ(with_bias.params().size(), 2u);
+  EXPECT_EQ(no_bias.params().size(), 1u);
+  EXPECT_EQ(with_bias.params()[0]->value.shape(), (Shape{8, 3, 3, 3}));
+}
+
+}  // namespace
+}  // namespace adcnn::nn

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/charseq.hpp"
+#include "data/shapes.hpp"
+
+namespace adcnn::data {
+namespace {
+
+TEST(ShapesData, ClassificationBasics) {
+  ShapesConfig cfg;
+  cfg.count = 64;
+  const Dataset ds = make_shapes_classification(cfg);
+  EXPECT_EQ(ds.size(), 64);
+  EXPECT_EQ(ds.images.shape(), (Shape{64, 3, 32, 32}));
+  EXPECT_EQ(ds.task, Task::kClassify);
+  std::set<int> seen(ds.labels.begin(), ds.labels.end());
+  EXPECT_GE(seen.size(), 3u);  // all 4 classes almost surely present
+  for (const int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(ShapesData, Deterministic) {
+  ShapesConfig cfg;
+  cfg.count = 8;
+  const Dataset a = make_shapes_classification(cfg);
+  const Dataset b = make_shapes_classification(cfg);
+  EXPECT_EQ(Tensor::max_abs_diff(a.images, b.images), 0.0f);
+  EXPECT_EQ(a.labels, b.labels);
+  cfg.seed = 43;
+  const Dataset c = make_shapes_classification(cfg);
+  EXPECT_GT(Tensor::max_abs_diff(a.images, c.images), 0.0f);
+}
+
+TEST(ShapesData, ShapePixelsBrighterThanBackground) {
+  ShapesConfig cfg;
+  cfg.count = 16;
+  cfg.noise = 0.05;
+  const Dataset ds = make_shapes_segmentation(cfg);
+  // Foreground pixels (label > 0) must carry the bright shape colour.
+  double fg_sum = 0.0, bg_sum = 0.0;
+  std::int64_t fg_n = 0, bg_n = 0;
+  for (std::int64_t n = 0; n < ds.size(); ++n)
+    for (std::int64_t y = 0; y < 32; ++y)
+      for (std::int64_t x = 0; x < 32; ++x) {
+        const int label =
+            ds.dense[static_cast<std::size_t>((n * 32 + y) * 32 + x)];
+        const float v = ds.images.at(n, 0, y, x);
+        if (label > 0) {
+          fg_sum += v;
+          ++fg_n;
+        } else {
+          bg_sum += v;
+          ++bg_n;
+        }
+      }
+  ASSERT_GT(fg_n, 0);
+  EXPECT_GT(fg_sum / fg_n, bg_sum / bg_n + 0.3);
+}
+
+TEST(ShapesData, SegmentationLabelRange) {
+  ShapesConfig cfg;
+  cfg.count = 8;
+  const Dataset ds = make_shapes_segmentation(cfg);
+  EXPECT_EQ(ds.num_classes, 5);
+  EXPECT_EQ(ds.dense.size(), 8u * 32 * 32);
+  for (const int label : ds.dense) {
+    EXPECT_GE(label, 0);
+    EXPECT_LE(label, 4);
+  }
+}
+
+TEST(ShapesData, DetectionGridLabels) {
+  ShapesConfig cfg;
+  cfg.count = 32;
+  const Dataset ds = make_shapes_detection(cfg, 4);
+  EXPECT_EQ(ds.dense_h, 4);
+  EXPECT_EQ(ds.dense.size(), 32u * 16);
+  std::int64_t objects = 0;
+  for (const int label : ds.dense) {
+    EXPECT_GE(label, 0);
+    EXPECT_LE(label, 4);
+    objects += (label > 0);
+  }
+  // 1-3 shapes per image.
+  EXPECT_GE(objects, 32);
+  EXPECT_LE(objects, 96);
+  EXPECT_THROW(make_shapes_detection(cfg, 5), std::invalid_argument);
+}
+
+TEST(ShapesData, Validation) {
+  ShapesConfig bad;
+  bad.num_shapes = 1;
+  EXPECT_THROW(make_shapes_classification(bad), std::invalid_argument);
+  ShapesConfig tiny;
+  tiny.image = 8;
+  EXPECT_THROW(make_shapes_classification(tiny), std::invalid_argument);
+}
+
+TEST(ShapesData, SliceExtractsRange) {
+  ShapesConfig cfg;
+  cfg.count = 10;
+  const Dataset ds = make_shapes_classification(cfg);
+  const Dataset s = ds.slice(4, 3);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.labels[0], ds.labels[4]);
+  EXPECT_EQ(Tensor::max_abs_diff(
+                s.images.crop(0, 1, 0, 32, 0, 32),
+                ds.images.crop(4, 1, 0, 32, 0, 32)),
+            0.0f);
+}
+
+TEST(CharSeqData, OneHotStructure) {
+  CharSeqConfig cfg;
+  cfg.count = 32;
+  const Dataset ds = make_charseq(cfg);
+  EXPECT_EQ(ds.images.shape(), (Shape{32, 16, 1, 64}));
+  // Exactly one hot channel per position.
+  for (std::int64_t n = 0; n < 32; ++n)
+    for (std::int64_t t = 0; t < 64; ++t) {
+      float sum = 0.0f;
+      for (std::int64_t a = 0; a < 16; ++a) sum += ds.images.at(n, a, 0, t);
+      EXPECT_FLOAT_EQ(sum, 1.0f);
+    }
+}
+
+TEST(CharSeqData, ClassesHaveDistinctBigramStatistics) {
+  CharSeqConfig cfg;
+  cfg.count = 200;
+  cfg.signal = 0.9;
+  const Dataset ds = make_charseq(cfg);
+  // For class k the transition c -> (c + k + 1) mod A dominates; check the
+  // empirical shift histogram peaks at k+1.
+  for (int cls = 0; cls < 2; ++cls) {
+    std::vector<std::int64_t> shift_count(16, 0);
+    for (std::int64_t n = 0; n < ds.size(); ++n) {
+      if (ds.labels[static_cast<std::size_t>(n)] != cls) continue;
+      std::int64_t prev = -1;
+      for (std::int64_t t = 0; t < 64; ++t) {
+        std::int64_t ch = 0;
+        for (std::int64_t a = 0; a < 16; ++a)
+          if (ds.images.at(n, a, 0, t) > 0.5f) ch = a;
+        if (prev >= 0)
+          ++shift_count[static_cast<std::size_t>((ch - prev + 16) % 16)];
+        prev = ch;
+      }
+    }
+    const auto peak =
+        std::max_element(shift_count.begin(), shift_count.end()) -
+        shift_count.begin();
+    EXPECT_EQ(peak, cls + 1);
+  }
+}
+
+TEST(CharSeqData, Validation) {
+  CharSeqConfig bad;
+  bad.num_classes = 1;
+  EXPECT_THROW(make_charseq(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adcnn::data

@@ -1,0 +1,106 @@
+// End-to-end integration: the complete ADCNN lifecycle on one model —
+// train -> progressively retrain under FDSP+compression -> serialize ->
+// reload on "deployed" models -> distributed inference over the threaded
+// cluster, with the distributed accuracy matching the monolithic one.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/shapes.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/serialize.hpp"
+#include "runtime/cluster.hpp"
+#include "train/progressive.hpp"
+
+namespace adcnn {
+namespace {
+
+double cluster_accuracy(runtime::EdgeCluster& cluster,
+                        const data::Dataset& test_set) {
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < test_set.size(); ++i) {
+    const Tensor x = test_set.images.crop(i, 1, 0, test_set.images.h(), 0,
+                                          test_set.images.w());
+    const Tensor logits = cluster.infer(x);
+    std::int64_t best = 0;
+    for (std::int64_t k = 1; k < logits.shape()[1]; ++k)
+      if (logits[k] > logits[best]) best = k;
+    correct += (static_cast<int>(best) ==
+                test_set.labels[static_cast<std::size_t>(i)]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test_set.size());
+}
+
+TEST(EndToEnd, TrainRetrainSerializeDistribute) {
+  // Data.
+  data::ShapesConfig dcfg;
+  dcfg.count = 512;
+  dcfg.seed = 71;
+  const data::Dataset train_set = data::make_shapes_classification(dcfg);
+  dcfg.count = 96;
+  dcfg.seed = 72;
+  const data::Dataset test_set = data::make_shapes_classification(dcfg);
+
+  // Train M_ori.
+  nn::MiniOptions mopt;
+  mopt.width_mult = 0.5;
+  const auto build = [&] {
+    Rng rng(81);
+    return nn::make_vgg_mini(rng, mopt);
+  };
+  nn::Model original = build();
+  train::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.lr = 0.02;
+  train::train(original, train_set, test_set, tcfg);
+  const double base_acc = train::evaluate(original, test_set).accuracy;
+  ASSERT_GT(base_acc, 0.55);
+
+  // Algorithm 1 at a 4x4 partition.
+  train::ProgressiveConfig pcfg;
+  pcfg.grid = core::TileGrid{4, 4};
+  const auto bounds = train::suggest_clip_bounds(original, train_set, 0.7);
+  pcfg.clip_lower = bounds.first;
+  pcfg.clip_upper = bounds.second;
+  pcfg.max_epochs_per_stage = 4;
+  pcfg.retrain.lr = 0.015;
+  auto result = train::progressive_retrain(build, original, train_set,
+                                           test_set, pcfg);
+  const double retrained_acc = result.stages.back().accuracy;
+  EXPECT_GT(retrained_acc, base_acc - 0.12);
+
+  // Serialize the retrained weights and load them into a freshly built
+  // partitioned model (the §6.1 deployment step).
+  const std::string path = ::testing::TempDir() + "adcnn_e2e.bin";
+  nn::save_state(result.final_model.model, path);
+  core::FdspOptions fopt;
+  fopt.grid = pcfg.grid;
+  fopt.clipped_relu = true;
+  fopt.clip_lower = pcfg.clip_lower;
+  fopt.clip_upper = pcfg.clip_upper;
+  fopt.quantize = true;
+  core::PartitionedModel deployed = core::apply_fdsp(build(), fopt);
+  nn::load_state(deployed.model, path);
+  std::remove(path.c_str());
+
+  // The monolithic deployed model reproduces the trained accuracy.
+  const double deployed_acc =
+      train::evaluate(deployed.model, test_set).accuracy;
+  EXPECT_NEAR(deployed_acc, retrained_acc, 1e-9);
+
+  // Distributed inference matches (quantized wire == fake-quant graph).
+  runtime::ClusterConfig ccfg;
+  ccfg.num_nodes = 4;
+  runtime::EdgeCluster cluster(deployed, ccfg);
+  const double dist_acc = cluster_accuracy(cluster, test_set);
+  EXPECT_NEAR(dist_acc, deployed_acc, 1e-9);
+
+  // Even with one node dead mid-fleet, accuracy degrades but the system
+  // answers every query (zero-fill resilience).
+  cluster.node(3).kill();
+  const double degraded_acc = cluster_accuracy(cluster, test_set);
+  EXPECT_GT(degraded_acc, 0.0);
+}
+
+}  // namespace
+}  // namespace adcnn

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "core/fdsp.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/quantize.hpp"
+#include "nn/tiling.hpp"
+
+namespace adcnn::core {
+namespace {
+
+using nn::MiniOptions;
+using nn::Mode;
+
+FdspOptions grid_only(std::int64_t r, std::int64_t c) {
+  FdspOptions opt;
+  opt.grid = TileGrid{r, c};
+  return opt;
+}
+
+TEST(ApplyFdsp, InsertsSplitAndMerge) {
+  Rng rng(1);
+  nn::Model plain = nn::make_vgg_mini(rng, MiniOptions{});
+  const std::size_t before = plain.net.size();
+  PartitionedModel pm = apply_fdsp(std::move(plain), grid_only(2, 2));
+  EXPECT_EQ(pm.model.net.size(), before + 2);
+  EXPECT_EQ(pm.split_index, 0);
+  EXPECT_EQ(pm.model.net.at(0).name(), "tile_split");
+  EXPECT_EQ(pm.model.net.at(static_cast<std::size_t>(pm.merge_index)).name(),
+            "tile_merge");
+  EXPECT_EQ(pm.model.block_ends.back(),
+            static_cast<int>(pm.model.net.size()));
+}
+
+TEST(ApplyFdsp, ClipAndQuantLayersAdded) {
+  Rng rng(1);
+  FdspOptions opt = grid_only(2, 2);
+  opt.clipped_relu = true;
+  opt.clip_lower = 0.1f;
+  opt.clip_upper = 2.1f;
+  opt.quantize = true;
+  opt.bits = 4;
+  PartitionedModel pm =
+      apply_fdsp(nn::make_vgg_mini(rng, MiniOptions{}), opt);
+  EXPECT_FLOAT_EQ(pm.clip_range, 2.0f);
+  // prefix range must include clip + quant (they run on Conv nodes).
+  const int last_prefix = pm.prefix_end() - 1;
+  EXPECT_EQ(pm.model.net.at(static_cast<std::size_t>(last_prefix)).name(),
+            "quant");
+  EXPECT_EQ(pm.model.net.at(static_cast<std::size_t>(last_prefix - 1)).name(),
+            "clip");
+}
+
+TEST(ApplyFdsp, Rejections) {
+  Rng rng(1);
+  FdspOptions bad_grid = grid_only(3, 3);  // 32 % 3 != 0
+  EXPECT_THROW(apply_fdsp(nn::make_vgg_mini(rng, MiniOptions{}), bad_grid),
+               std::invalid_argument);
+
+  FdspOptions neg = grid_only(2, 2);
+  neg.clipped_relu = true;
+  neg.clip_lower = -0.5f;
+  EXPECT_THROW(apply_fdsp(nn::make_vgg_mini(rng, MiniOptions{}), neg),
+               std::invalid_argument);
+
+  FdspOptions quant_only = grid_only(2, 2);
+  quant_only.quantize = true;
+  EXPECT_THROW(apply_fdsp(nn::make_vgg_mini(rng, MiniOptions{}), quant_only),
+               std::invalid_argument);
+}
+
+TEST(ApplyFdsp, OneByOneGridIsIdentityTransform) {
+  // A 1x1 "grid" must reproduce the plain model bit-for-bit.
+  Rng rng(2);
+  nn::Model plain = nn::make_vgg_mini(rng, MiniOptions{});
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const Tensor expect = plain.forward(x, Mode::kEval);
+  PartitionedModel pm = apply_fdsp(std::move(plain), grid_only(1, 1));
+  EXPECT_LT(Tensor::max_abs_diff(pm.model.forward(x, Mode::kEval), expect),
+            1e-6f);
+}
+
+class FdspGrids
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(FdspGrids, PartitionedOutputDiffersOnlyModerately) {
+  // FDSP zero padding perturbs the features near tile borders but the
+  // graph must stay well-formed for any compatible grid.
+  const auto [r, c] = GetParam();
+  Rng rng(3);
+  nn::Model plain = nn::make_vgg_mini(rng, MiniOptions{});
+  const Tensor x = Tensor::randn(Shape{2, 3, 32, 32}, rng);
+  const Shape expect_shape = plain.forward(x, Mode::kEval).shape();
+  PartitionedModel pm = apply_fdsp(std::move(plain), grid_only(r, c));
+  const Tensor y = pm.model.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), expect_shape);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, FdspGrids,
+                         ::testing::Values(std::pair{2L, 2L},
+                                           std::pair{4L, 4L},
+                                           std::pair{4L, 8L},
+                                           std::pair{8L, 8L},
+                                           std::pair{2L, 8L}));
+
+TEST(ApplyFdsp, InteriorOfTilesUnaffectedByPartition) {
+  // Property: for a single conv layer, FDSP changes only outputs within
+  // the halo width of tile borders; interiors match the monolithic run.
+  Rng rng(4);
+  nn::Sequential plain_seq;
+  auto* conv =
+      plain_seq.emplace<nn::Conv2d>(2, 3, 3, 1, 1, false, rng, "c");
+  const Tensor x = Tensor::randn(Shape{1, 2, 8, 8}, rng);
+  const Tensor mono = plain_seq.forward(x, Mode::kEval);
+  (void)conv;
+
+  nn::Sequential tiled_seq;
+  tiled_seq.emplace<nn::TileSplit>(2, 2);
+  // Share weights by moving the conv layer across.
+  auto layers = plain_seq.take_layers();
+  tiled_seq.add(std::move(layers[0]));
+  tiled_seq.emplace<nn::TileMerge>(2, 2);
+  const Tensor tiled = tiled_seq.forward(x, Mode::kEval);
+
+  // Interior of the top-left tile: rows/cols [0,3) excluding border row 3.
+  for (std::int64_t ch = 0; ch < 3; ++ch)
+    for (std::int64_t h = 0; h < 3; ++h)
+      for (std::int64_t w = 0; w < 3; ++w)
+        EXPECT_NEAR(tiled.at(0, ch, h, w), mono.at(0, ch, h, w), 1e-5f);
+  // Border row between tiles must differ (zero padding replaced real
+  // neighbours).
+  float diff = 0.0f;
+  for (std::int64_t ch = 0; ch < 3; ++ch)
+    for (std::int64_t w = 0; w < 8; ++w)
+      diff = std::max(diff, std::abs(tiled.at(0, ch, 3, w) -
+                                     mono.at(0, ch, 3, w)));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(ApplyFdsp, PrefixOnTileMatchesFullGraphSlice) {
+  // Running the prefix per tile (what a Conv node does) and merging must
+  // equal running the whole partitioned graph up to the merge layer.
+  Rng rng(5);
+  FdspOptions opt = grid_only(4, 4);
+  opt.clipped_relu = true;
+  opt.clip_upper = 4.0f;
+  opt.quantize = true;
+  PartitionedModel pm = apply_fdsp(nn::make_vgg_mini(rng, MiniOptions{}), opt);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+
+  const Tensor tiles = nn::TileSplit::split(x, 4, 4);
+  Tensor collected;
+  for (std::int64_t t = 0; t < 16; ++t) {
+    const Tensor tile = tiles.crop(t, 1, 0, tiles.h(), 0, tiles.w());
+    const Tensor out =
+        pm.model.forward_range(tile, pm.prefix_begin(), pm.prefix_end());
+    if (t == 0) {
+      collected = Tensor(Shape{16, out.c(), out.h(), out.w()});
+    }
+    collected.paste(out, t, 0, 0);
+  }
+  const Tensor merged = nn::TileSplit::merge(collected, 4, 4);
+  const Tensor direct = pm.model.forward_range(
+      x, 0, pm.merge_index + 1);  // through TileMerge
+  EXPECT_LT(Tensor::max_abs_diff(merged, direct), 1e-6f);
+}
+
+TEST(ApplyFdsp, TileShapes) {
+  Rng rng(6);
+  PartitionedModel pm =
+      apply_fdsp(nn::make_vgg_mini(rng, MiniOptions{}), grid_only(4, 8));
+  const Shape in = pm.tile_input_shape();
+  EXPECT_EQ(in, (Shape{3, 8, 4}));
+  const Shape out = pm.tile_output_shape();
+  EXPECT_EQ(out, (Shape{1, 32, 2, 1}));
+}
+
+TEST(ApplyFdsp, ResidualModelSupported) {
+  Rng rng(7);
+  PartitionedModel pm =
+      apply_fdsp(nn::make_resnet_mini(rng, MiniOptions{}), grid_only(4, 4));
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  EXPECT_NO_THROW(pm.model.forward(x, Mode::kEval));
+}
+
+TEST(ApplyFdsp, CharCnn1dPartition) {
+  Rng rng(8);
+  PartitionedModel pm = apply_fdsp(nn::make_charcnn_mini(rng, MiniOptions{}),
+                                   grid_only(1, 8));
+  const Tensor x = Tensor::randn(Shape{1, 16, 1, 64}, rng);
+  const Tensor y = pm.model.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape()[1], 4);
+}
+
+}  // namespace
+}  // namespace adcnn::core

@@ -1,0 +1,116 @@
+// Cross-family FDSP property sweep: for every (model family, grid) pair,
+// the partitioned graph must be well-formed, the Conv-node view of the
+// prefix must compose exactly into the full graph, and the compressed
+// output must respect the clipped-ReLU range.
+#include <gtest/gtest.h>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/tiling.hpp"
+
+namespace adcnn::core {
+namespace {
+
+struct Sweep {
+  const char* family;
+  std::int64_t rows, cols;
+};
+
+class FdspFamilySweep : public ::testing::TestWithParam<Sweep> {};
+
+PartitionedModel build_partitioned(const Sweep& sweep) {
+  Rng rng(17);
+  FdspOptions opt;
+  opt.grid = TileGrid{sweep.rows, sweep.cols};
+  opt.clipped_relu = true;
+  opt.clip_lower = 0.1f;
+  opt.clip_upper = 2.6f;
+  opt.quantize = true;
+  return apply_fdsp(nn::make_mini(sweep.family, rng, nn::MiniOptions{}),
+                    opt);
+}
+
+Tensor sample_input(const PartitionedModel& pm, Rng& rng) {
+  return Tensor::randn(Shape{1, pm.model.input_shape[0],
+                             pm.model.input_shape[1],
+                             pm.model.input_shape[2]},
+                       rng);
+}
+
+TEST_P(FdspFamilySweep, GraphWellFormed) {
+  PartitionedModel pm = build_partitioned(GetParam());
+  Rng rng(18);
+  const Tensor x = sample_input(pm, rng);
+  const Tensor y = pm.model.forward(x, nn::Mode::kEval);
+  EXPECT_GT(y.numel(), 0);
+  EXPECT_EQ(pm.model.net.at(static_cast<std::size_t>(pm.split_index)).name(),
+            "tile_split");
+  EXPECT_EQ(pm.model.net.at(static_cast<std::size_t>(pm.merge_index)).name(),
+            "tile_merge");
+}
+
+TEST_P(FdspFamilySweep, PrefixPerTileComposesExactly) {
+  // What a Conv node computes per tile must merge into exactly what the
+  // monolithic partitioned graph computes up to TileMerge.
+  PartitionedModel pm = build_partitioned(GetParam());
+  Rng rng(19);
+  const Tensor x = sample_input(pm, rng);
+  const Tensor tiles =
+      nn::TileSplit::split(x, pm.grid.rows, pm.grid.cols);
+  Tensor collected;
+  for (std::int64_t t = 0; t < tiles.n(); ++t) {
+    const Tensor tile = tiles.crop(t, 1, 0, tiles.h(), 0, tiles.w());
+    const Tensor out =
+        pm.model.forward_range(tile, pm.prefix_begin(), pm.prefix_end());
+    if (t == 0) {
+      collected = Tensor(Shape{tiles.n(), out.c(), out.h(), out.w()});
+    }
+    collected.paste(out, t, 0, 0);
+  }
+  const Tensor merged =
+      nn::TileSplit::merge(collected, pm.grid.rows, pm.grid.cols);
+  const Tensor direct = pm.model.forward_range(x, 0, pm.merge_index + 1);
+  EXPECT_LT(Tensor::max_abs_diff(merged, direct), 1e-6f);
+}
+
+TEST_P(FdspFamilySweep, PrefixOutputWithinCodecRange) {
+  // Everything a Conv node transmits must lie on the quantizer grid's
+  // domain [0, clip_range] — the contract the wire codec relies on.
+  PartitionedModel pm = build_partitioned(GetParam());
+  Rng rng(20);
+  const Tensor x = sample_input(pm, rng);
+  const Tensor tiles =
+      nn::TileSplit::split(x, pm.grid.rows, pm.grid.cols);
+  const Tensor tile = tiles.crop(0, 1, 0, tiles.h(), 0, tiles.w());
+  const Tensor out =
+      pm.model.forward_range(tile, pm.prefix_begin(), pm.prefix_end());
+  EXPECT_GE(out.min(), 0.0f);
+  EXPECT_LE(out.max(), pm.clip_range + 1e-5f);
+}
+
+TEST_P(FdspFamilySweep, SuffixConsumesMergedPrefix) {
+  PartitionedModel pm = build_partitioned(GetParam());
+  Rng rng(21);
+  const Tensor x = sample_input(pm, rng);
+  const Tensor up_to_merge = pm.model.forward_range(x, 0, pm.merge_index + 1);
+  const Tensor via_suffix = pm.model.forward_range(
+      up_to_merge, pm.suffix_begin(), pm.suffix_end());
+  const Tensor whole = pm.model.forward(x, nn::Mode::kEval);
+  EXPECT_LT(Tensor::max_abs_diff(via_suffix, whole), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FdspFamilySweep,
+    ::testing::Values(Sweep{"vgg", 2, 2}, Sweep{"vgg", 8, 8},
+                      Sweep{"resnet", 2, 2}, Sweep{"resnet", 4, 4},
+                      Sweep{"yolo", 2, 2}, Sweep{"yolo", 4, 4},
+                      Sweep{"fcn", 4, 4}, Sweep{"fcn", 8, 8},
+                      Sweep{"charcnn", 1, 4}, Sweep{"charcnn", 1, 8}),
+    [](const ::testing::TestParamInfo<Sweep>& info) {
+      return std::string(info.param.family) + "_" +
+             std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols);
+    });
+
+}  // namespace
+}  // namespace adcnn::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "tensor/rng.hpp"
+
+namespace adcnn::nn {
+namespace {
+
+std::vector<float> random_matrix(Rng& rng, std::int64_t n) {
+  std::vector<float> m(static_cast<std::size_t>(n));
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+/// Reference ijk triple loop.
+std::vector<float> ref_gemm(const std::vector<float>& a,
+                            const std::vector<float>& b, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[static_cast<std::size_t>(i * k + p)]) *
+               b[static_cast<std::size_t>(p * n + j)];
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n));
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  const auto expect = ref_gemm(a, b, m, k, n);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 99.0f);
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expect[i], 1e-4) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 7, 3},
+                      std::tuple{4, 4, 4}, std::tuple{5, 16, 9},
+                      std::tuple{16, 3, 16}, std::tuple{13, 31, 17},
+                      std::tuple{32, 32, 32}));
+
+TEST(Gemm, AccumulateAddsIntoC) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> b{3, 4};
+  std::vector<float> c{10};
+  gemm_accumulate(a.data(), b.data(), c.data(), 1, 2, 1);
+  EXPECT_FLOAT_EQ(c[0], 10.0f + 3.0f + 8.0f);
+}
+
+TEST(Gemm, SkipsZeroActivations) {
+  // Sparse fast path must produce identical results.
+  const std::vector<float> a{0, 2, 0, 5};
+  const std::vector<float> b{1, 1, 1, 1};  // k=2, n=2
+  std::vector<float> c(4, 0.0f);
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+  EXPECT_FLOAT_EQ(c[3], 5.0f);
+}
+
+TEST(Gemm, AtB) {
+  // C = A^T B with A (k=2, m=3), B (k=2, n=2).
+  const std::vector<float> a{1, 2, 3, 4, 5, 6};
+  const std::vector<float> b{1, 0, 0, 1};
+  std::vector<float> c(6, 0.0f);
+  gemm_at_b(a.data(), b.data(), c.data(), 3, 2, 2);
+  // A^T = [[1,4],[2,5],[3,6]] -> C = A^T (columns of B identity) = A^T
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 4.0f);
+  EXPECT_FLOAT_EQ(c[4], 3.0f);
+  EXPECT_FLOAT_EQ(c[5], 6.0f);
+}
+
+TEST(Gemm, ABt) {
+  // C = A B^T with A (m=2,k=2), B (n=2,k=2).
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{1, 1, 2, 0};
+  std::vector<float> c(4, 0.0f);
+  gemm_a_bt(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 3.0f);   // [1,2].[1,1]
+  EXPECT_FLOAT_EQ(c[1], 2.0f);   // [1,2].[2,0]
+  EXPECT_FLOAT_EQ(c[2], 7.0f);   // [3,4].[1,1]
+  EXPECT_FLOAT_EQ(c[3], 6.0f);   // [3,4].[2,0]
+}
+
+}  // namespace
+}  // namespace adcnn::nn

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/geometry.hpp"
+
+namespace adcnn::core {
+namespace {
+
+TEST(TileRects, EvenPartition) {
+  const auto rects = tile_rects(8, 12, TileGrid{2, 3});
+  ASSERT_EQ(rects.size(), 6u);
+  EXPECT_EQ(rects[0].th, 4);
+  EXPECT_EQ(rects[0].tw, 4);
+  EXPECT_EQ(rects[5].h0, 4);
+  EXPECT_EQ(rects[5].w0, 8);
+}
+
+TEST(TileRects, UnevenPartitionCoversMap) {
+  // Extension over the paper: remainders spread over leading rows/cols.
+  const auto rects = tile_rects(7, 10, TileGrid{3, 4});
+  std::int64_t area = 0;
+  for (const auto& r : rects) {
+    EXPECT_GT(r.th, 0);
+    EXPECT_GT(r.tw, 0);
+    area += r.th * r.tw;
+  }
+  EXPECT_EQ(area, 70);
+  EXPECT_EQ(rects[0].th, 3);  // 7 = 3+2+2
+  EXPECT_EQ(rects[0].tw, 3);  // 10 = 3+3+2+2
+}
+
+TEST(TileRects, RejectsOversizedGrid) {
+  EXPECT_THROW(tile_rects(4, 4, TileGrid{5, 1}), std::invalid_argument);
+}
+
+TEST(Geometry, TotalStride) {
+  const SpatialOp chain[] = {{3, 1}, {2, 2}, {3, 1}, {2, 2}};
+  EXPECT_EQ(total_stride(chain), 4);
+}
+
+TEST(Geometry, RequiredInputSingleConv) {
+  const SpatialOp conv3[] = {{3, 1}};
+  EXPECT_EQ(required_input(conv3, 1), 3);
+  EXPECT_EQ(required_input(conv3, 4), 6);
+}
+
+TEST(Geometry, RequiredInputStack) {
+  // Two 3x1 convs: receptive field 5.
+  const SpatialOp two[] = {{3, 1}, {3, 1}};
+  EXPECT_EQ(required_input(two, 1), 5);
+  // Conv3 then pool2: one output needs (1-1)*2+2 = 2 pool inputs ->
+  // (2-1)*1+3 = 4 conv inputs.
+  const SpatialOp conv_pool[] = {{3, 1}, {2, 2}};
+  EXPECT_EQ(required_input(conv_pool, 1), 4);
+}
+
+TEST(Geometry, HaloWidth) {
+  const SpatialOp conv3[] = {{3, 1}};
+  EXPECT_EQ(halo_width(conv3), 1);
+  const SpatialOp two[] = {{3, 1}, {3, 1}};
+  EXPECT_EQ(halo_width(two), 2);
+  const SpatialOp deep[] = {{3, 1}, {3, 1}, {2, 2}, {3, 1}};
+  // rf = required_input(1): conv3 <- 3; pool2 <- ... compute: out 1 ->
+  // conv3 needs 3 -> pool2 needs (3-1)*2+2 = 6 -> conv3 -> 8 -> conv3 -> 10.
+  EXPECT_EQ(required_input(deep, 1), 10);
+  EXPECT_EQ(halo_width(deep), (10 - 2) / 2);
+}
+
+TEST(Geometry, ExtendedExtentsMonotone) {
+  const SpatialOp chain[] = {{3, 1}, {3, 1}, {2, 2}, {3, 1}};
+  const auto ext = extended_extents(chain, 8);
+  ASSERT_EQ(ext.size(), 4u);
+  for (std::size_t i = 1; i < ext.size(); ++i) EXPECT_GE(ext[i - 1], ext[i]);
+  EXPECT_EQ(ext[0], required_input(chain, 8));
+}
+
+TEST(Geometry, FdspCompatibility) {
+  const SpatialOp two_pools[] = {{3, 1}, {2, 2}, {3, 1}, {2, 2}};
+  EXPECT_TRUE(fdsp_compatible(two_pools, 4, 4));
+  EXPECT_TRUE(fdsp_compatible(two_pools, 8, 4));
+  EXPECT_FALSE(fdsp_compatible(two_pools, 6, 4));  // 6/2=3, 3%2 != 0
+  EXPECT_FALSE(fdsp_compatible(two_pools, 2, 4));  // 2/2=1, 1%2 != 0
+}
+
+TEST(Geometry, FdspCompatibilityStridedConv) {
+  const SpatialOp strided[] = {{3, 2}, {3, 2}};
+  EXPECT_TRUE(fdsp_compatible(strided, 4, 8));
+  EXPECT_FALSE(fdsp_compatible(strided, 2, 4));
+}
+
+}  // namespace
+}  // namespace adcnn::core

@@ -1,0 +1,173 @@
+// The halo-exchange reference must reproduce the monolithic network
+// EXACTLY — the property that separates it from FDSP, whose zero padding
+// perturbs tile borders. Together these pin down precisely what ADCNN
+// trades: halo traffic for boundary error.
+#include <gtest/gtest.h>
+
+#include "core/halo_reference.hpp"
+#include "core/strategies.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/pooling.hpp"
+#include "nn/tiling.hpp"
+
+namespace adcnn::core {
+namespace {
+
+using nn::Mode;
+
+nn::Model conv_stack(Rng& rng, bool with_pool) {
+  nn::Model m;
+  m.name = "stack";
+  m.input_shape = Shape{2, 16, 16};
+  m.net.emplace<nn::Conv2d>(2, 4, 3, 1, 1, false, rng, "c1");
+  m.net.emplace<nn::BatchNorm2d>(4);
+  m.net.emplace<nn::ReLU>();
+  if (with_pool) m.net.emplace<nn::MaxPool2d>(2);
+  m.net.emplace<nn::Conv2d>(4, 4, 3, 1, 1, true, rng, "c2");
+  m.net.emplace<nn::ReLU>();
+  m.block_ends.push_back(static_cast<int>(m.net.size()));
+  m.separable_blocks = 1;
+  return m;
+}
+
+class HaloGrids
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(HaloGrids, MatchesMonolithicExactly) {
+  const auto [r, c] = GetParam();
+  Rng rng(3);
+  nn::Model m = conv_stack(rng, true);
+  // Populate BN with non-trivial running stats.
+  const Tensor warm = Tensor::randn(Shape{4, 2, 16, 16}, rng);
+  m.forward(warm, Mode::kTrain);
+
+  const Tensor x = Tensor::randn(Shape{1, 2, 16, 16}, rng);
+  const Tensor mono = m.forward(x, Mode::kEval);
+  const auto result = run_with_halo_exchange(
+      m, 0, static_cast<int>(m.net.size()), x, TileGrid{r, c});
+  ASSERT_EQ(result.output.shape(), mono.shape());
+  EXPECT_LT(Tensor::max_abs_diff(result.output, mono), 1e-4f);
+  if (r * c > 1) {
+    EXPECT_GT(result.exchanged_bytes, 0);
+    EXPECT_GT(result.exchanges, 0);
+  } else {
+    EXPECT_EQ(result.exchanged_bytes, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HaloGrids,
+                         ::testing::Values(std::pair{1L, 1L},
+                                           std::pair{2L, 2L},
+                                           std::pair{4L, 4L},
+                                           std::pair{2L, 4L},
+                                           std::pair{4L, 2L}));
+
+TEST(HaloReference, FdspDiffersButHaloDoesNot) {
+  // The three-way comparison at the heart of §3: monolithic == halo
+  // exchange != FDSP (zero-padded) at tile borders.
+  Rng rng(5);
+  nn::Model m = conv_stack(rng, false);
+  const Tensor x = Tensor::randn(Shape{1, 2, 16, 16}, rng);
+  const Tensor mono = m.forward(x, Mode::kEval);
+
+  const auto halo =
+      run_with_halo_exchange(m, 0, static_cast<int>(m.net.size()), x,
+                             TileGrid{2, 2});
+  EXPECT_LT(Tensor::max_abs_diff(halo.output, mono), 1e-4f);
+
+  // FDSP on the same layers: split, run per tile, merge.
+  const Tensor tiles = nn::TileSplit::split(x, 2, 2);
+  Tensor fdsp_tiles;
+  for (std::int64_t t = 0; t < 4; ++t) {
+    const Tensor tile = tiles.crop(t, 1, 0, 8, 0, 8);
+    const Tensor out =
+        m.forward_range(tile, 0, static_cast<int>(m.net.size()));
+    if (t == 0) fdsp_tiles = Tensor(Shape{4, out.c(), out.h(), out.w()});
+    fdsp_tiles.paste(out, t, 0, 0);
+  }
+  const Tensor fdsp = nn::TileSplit::merge(fdsp_tiles, 2, 2);
+  EXPECT_GT(Tensor::max_abs_diff(fdsp, mono), 1e-3f);  // borders differ
+}
+
+TEST(HaloReference, TrafficGrowsWithGridAndKernelReach) {
+  Rng rng(7);
+  nn::Model m = conv_stack(rng, false);
+  const Tensor x = Tensor::randn(Shape{1, 2, 16, 16}, rng);
+  const auto g2 = run_with_halo_exchange(m, 0,
+                                         static_cast<int>(m.net.size()), x,
+                                         TileGrid{2, 2});
+  const auto g4 = run_with_halo_exchange(m, 0,
+                                         static_cast<int>(m.net.size()), x,
+                                         TileGrid{4, 4});
+  EXPECT_GT(g4.exchanged_bytes, g2.exchanged_bytes);
+}
+
+TEST(HaloReference, MatchesStrategyAnalysisOrder) {
+  // The measured traffic should agree with core/strategies' analytic
+  // estimate to within a small factor (the analytic model ignores image-
+  // border truncation and corner overlaps).
+  Rng rng(9);
+  nn::Model m = conv_stack(rng, false);
+  const Tensor x = Tensor::randn(Shape{1, 2, 16, 16}, rng);
+  const auto measured = run_with_halo_exchange(
+      m, 0, static_cast<int>(m.net.size()), x, TileGrid{2, 2});
+  // Analytic: both convs are k=3 on a 16x16 map; per conv:
+  // cin*(k-1)*((rows-1)*W + (cols-1)*H)*4 bytes.
+  const std::int64_t conv1 = 2 * 2 * (16 + 16) * 4;
+  const std::int64_t conv2 = 4 * 2 * (16 + 16) * 4;
+  const double analytic = static_cast<double>(conv1 + conv2);
+  const double ratio =
+      static_cast<double>(measured.exchanged_bytes) / analytic;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(HaloReference, StridedConvSupported) {
+  Rng rng(11);
+  nn::Model m;
+  m.input_shape = Shape{2, 16, 16};
+  m.net.emplace<nn::Conv2d>(2, 3, 3, 2, 1, false, rng, "s2");
+  m.block_ends.push_back(1);
+  m.separable_blocks = 1;
+  const Tensor x = Tensor::randn(Shape{1, 2, 16, 16}, rng);
+  const Tensor mono = m.forward(x, Mode::kEval);
+  const auto result =
+      run_with_halo_exchange(m, 0, 1, x, TileGrid{2, 2});
+  EXPECT_LT(Tensor::max_abs_diff(result.output, mono), 1e-4f);
+}
+
+TEST(HaloReference, RejectsUnsupported) {
+  Rng rng(13);
+  nn::Model m = nn::make_vgg_mini(rng, nn::MiniOptions{});
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  // The FC head (Flatten/Linear) is not a spatial layer.
+  EXPECT_THROW(run_with_halo_exchange(m, 0, static_cast<int>(m.net.size()),
+                                      x, TileGrid{2, 2}),
+               std::invalid_argument);
+  // Batch > 1 unsupported.
+  const Tensor batch = Tensor::randn(Shape{2, 3, 32, 32}, rng);
+  EXPECT_THROW(run_with_halo_exchange(m, 0, 3, batch, TileGrid{2, 2}),
+               std::invalid_argument);
+}
+
+TEST(HaloReference, VggMiniPrefixExact) {
+  // Full separable prefix of the VGG mini (two conv blocks with pools).
+  Rng rng(15);
+  nn::Model m = nn::make_vgg_mini(rng, nn::MiniOptions{});
+  const Tensor warm = Tensor::randn(Shape{4, 3, 32, 32}, rng);
+  m.forward(warm, Mode::kTrain);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const int prefix_end = m.separable_end_layer();
+  const Tensor mono = m.forward_range(x, 0, prefix_end);
+  const auto result =
+      run_with_halo_exchange(m, 0, prefix_end, x, TileGrid{4, 4});
+  EXPECT_LT(Tensor::max_abs_diff(result.output, mono), 1e-4f);
+  EXPECT_GT(result.exchanged_bytes, 0);
+}
+
+}  // namespace
+}  // namespace adcnn::core

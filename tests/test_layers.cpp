@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/quantize.hpp"
+#include "nn/sequential.hpp"
+#include "nn/tiling.hpp"
+#include "nn/upsample.hpp"
+
+namespace adcnn::nn {
+namespace {
+
+TEST(ReLULayer, ClampsNegatives) {
+  ReLU relu;
+  const Tensor x = Tensor::from_data(Shape{1, 1, 1, 4}, {-1, 0, 2, -0.5});
+  const Tensor y = relu.forward(x, Mode::kEval);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(ClippedReLULayer, PaperDefinition) {
+  // ReLU_[a,b](x): 0 below a, x-a inside, b-a above (paper §4.1).
+  ClippedReLU clip(0.2f, 2.0f);
+  const Tensor x =
+      Tensor::from_data(Shape{1, 1, 1, 5}, {-1.0f, 0.1f, 0.2f, 1.2f, 3.0f});
+  const Tensor y = clip.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);
+  EXPECT_FLOAT_EQ(y[4], 1.8f);
+  EXPECT_FLOAT_EQ(clip.range(), 1.8f);
+}
+
+TEST(ClippedReLULayer, IncreasesSparsity) {
+  Rng rng(2);
+  const Tensor x = Tensor::randn(Shape{1, 4, 16, 16}, rng);
+  ReLU relu;
+  ClippedReLU clip(0.5f, 2.0f);
+  const double relu_sparsity = relu.forward(x, Mode::kEval).sparsity();
+  const double clip_sparsity = clip.forward(x, Mode::kEval).sparsity();
+  EXPECT_GT(clip_sparsity, relu_sparsity);
+}
+
+TEST(ClippedReLULayer, RejectsBadBounds) {
+  EXPECT_THROW(ClippedReLU(1.0f, 1.0f), std::invalid_argument);
+  EXPECT_THROW(ClippedReLU(2.0f, 1.0f), std::invalid_argument);
+}
+
+TEST(FakeQuantLayer, SnapsToGrid) {
+  FakeQuant q(1.5f, 4);  // 15 steps of 0.1
+  EXPECT_FLOAT_EQ(q.step(), 0.1f);
+  EXPECT_FLOAT_EQ(q.quantize_value(0.0f), 0.0f);
+  EXPECT_FLOAT_EQ(q.quantize_value(0.26f), 0.3f);
+  EXPECT_FLOAT_EQ(q.quantize_value(0.24f), 0.2f);
+  EXPECT_FLOAT_EQ(q.quantize_value(9.0f), 1.5f);
+  EXPECT_FLOAT_EQ(q.quantize_value(-2.0f), 0.0f);
+}
+
+TEST(FakeQuantLayer, QuantizationErrorBounded) {
+  Rng rng(3);
+  FakeQuant q(2.0f, 4);
+  const Tensor x = Tensor::rand(Shape{1000}, rng, 0.0f, 2.0f);
+  const Tensor y = q.forward(x, Mode::kEval);
+  EXPECT_LE(Tensor::max_abs_diff(x, y), q.step() / 2.0f + 1e-6f);
+}
+
+TEST(FakeQuantLayer, BackwardIsStraightThrough) {
+  FakeQuant q(1.0f, 4);
+  const Tensor x = Tensor::from_data(Shape{3}, {0.1f, 0.5f, 0.9f});
+  q.forward(x, Mode::kTrain);
+  const Tensor g = Tensor::from_data(Shape{3}, {1, 2, 3});
+  const Tensor dx = q.backward(g);
+  EXPECT_EQ(Tensor::max_abs_diff(dx, g), 0.0f);
+}
+
+TEST(BatchNormLayer, NormalizesInTraining) {
+  Rng rng(4);
+  BatchNorm2d bn(3);
+  const Tensor x = Tensor::randn(Shape{4, 3, 8, 8}, rng, 5.0f, 3.0f);
+  const Tensor y = bn.forward(x, Mode::kTrain);
+  // Per-channel mean ~0, var ~1 after normalization with unit gamma.
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t n = 0; n < 4; ++n)
+      for (std::int64_t i = 0; i < 64; ++i) {
+        const float v = y.at(n, c, i / 8, i % 8);
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    EXPECT_NEAR(sum / 256.0, 0.0, 1e-3);
+    EXPECT_NEAR(sq / 256.0, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStats) {
+  Rng rng(4);
+  BatchNorm2d bn(2);
+  const Tensor x = Tensor::randn(Shape{8, 2, 4, 4}, rng, 2.0f, 1.5f);
+  for (int i = 0; i < 50; ++i) bn.forward(x, Mode::kTrain);
+  // Running stats converge to the batch stats; eval then normalizes.
+  const Tensor y = bn.forward(x, Mode::kEval);
+  const double m = y.sum() / static_cast<double>(y.numel());
+  EXPECT_NEAR(m, 0.0, 0.05);
+}
+
+TEST(BatchNormLayer, EvalIsElementwiseAffine) {
+  // FDSP safety: eval BN on a batch of tiles == eval BN per tile.
+  Rng rng(5);
+  BatchNorm2d bn(2);
+  bn.running_mean()[0] = 1.0f;
+  bn.running_var()[1] = 4.0f;
+  bn.gamma().value[0] = 2.0f;
+  bn.beta().value[1] = -1.0f;
+  const Tensor x = Tensor::randn(Shape{4, 2, 4, 4}, rng);
+  const Tensor joint = bn.forward(x, Mode::kEval);
+  const Tensor part = bn.forward(x.crop(2, 1, 0, 4, 0, 4), Mode::kEval);
+  EXPECT_LT(Tensor::max_abs_diff(joint.crop(2, 1, 0, 4, 0, 4), part), 1e-6f);
+}
+
+TEST(MaxPoolLayer, PoolsAndValidates) {
+  MaxPool2d pool(2);
+  const Tensor x = Tensor::from_data(
+      Shape{1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 1, 9});
+  const Tensor y = pool.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 9.0f);
+  EXPECT_THROW(pool.out_shape(Shape{1, 1, 3, 4}), std::invalid_argument);
+}
+
+TEST(MaxPoolLayer, Rectangular1d) {
+  MaxPool2d pool(1, 2);
+  const Tensor x = Tensor::from_data(Shape{1, 1, 1, 4}, {1, 5, 2, 0});
+  const Tensor y = pool.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_EQ(y[0], 5.0f);
+}
+
+TEST(GlobalAvgPoolLayer, Averages) {
+  GlobalAvgPool gap;
+  const Tensor x = Tensor::from_data(Shape{1, 2, 1, 2}, {1, 3, 10, 20});
+  const Tensor y = gap.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 15.0f);
+}
+
+TEST(LinearLayer, AffineMap) {
+  Rng rng(1);
+  Linear fc(3, 2, rng);
+  fc.weight().value = Tensor::from_data(Shape{2, 3}, {1, 0, 0, 0, 1, 1});
+  fc.bias().value = Tensor::from_data(Shape{2}, {0.5f, -0.5f});
+  const Tensor x = Tensor::from_data(Shape{1, 3}, {2, 3, 4});
+  const Tensor y = fc.forward(x, Mode::kEval);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 6.5f);
+  EXPECT_THROW(fc.out_shape(Shape{1, 4}), std::invalid_argument);
+}
+
+TEST(FlattenLayer, RoundTrip) {
+  Flatten flat;
+  Rng rng(1);
+  const Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  const Tensor y = flat.forward(x, Mode::kTrain);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  const Tensor back = flat.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(UpsampleLayer, NearestDoubling) {
+  UpsampleNearest up(2);
+  const Tensor x = Tensor::from_data(Shape{1, 1, 1, 2}, {1, 2});
+  const Tensor y = up.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 4}));
+  EXPECT_EQ(y[0], 1.0f);
+  EXPECT_EQ(y[1], 1.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[7], 2.0f);
+}
+
+TEST(TileSplitLayer, SplitMergeRoundTrip) {
+  Rng rng(6);
+  const Tensor x = Tensor::randn(Shape{2, 3, 8, 12}, rng);
+  const Tensor tiles = TileSplit::split(x, 2, 3);
+  EXPECT_EQ(tiles.shape(), (Shape{12, 3, 4, 4}));
+  const Tensor merged = TileSplit::merge(tiles, 2, 3);
+  EXPECT_EQ(Tensor::max_abs_diff(merged, x), 0.0f);
+}
+
+TEST(TileSplitLayer, TileOrderIsRowMajor) {
+  Tensor x(Shape{1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor tiles = TileSplit::split(x, 2, 2);
+  // Tile 0 = top-left, tile 1 = top-right, tile 2 = bottom-left.
+  EXPECT_EQ(tiles.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(tiles.at(1, 0, 0, 0), 2.0f);
+  EXPECT_EQ(tiles.at(2, 0, 0, 0), 8.0f);
+  EXPECT_EQ(tiles.at(3, 0, 1, 1), 15.0f);
+}
+
+TEST(TileSplitLayer, ValidatesDivisibility) {
+  TileSplit split(3, 3);
+  EXPECT_THROW(split.out_shape(Shape{1, 1, 8, 9}), std::invalid_argument);
+  TileMerge merge(2, 2);
+  EXPECT_THROW(merge.out_shape(Shape{3, 1, 2, 2}), std::invalid_argument);
+}
+
+TEST(SequentialLayer, ForwardChain) {
+  Rng rng(7);
+  Sequential seq;
+  seq.emplace<ReLU>();
+  seq.emplace<MaxPool2d>(2);
+  const Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+  const Tensor y = seq.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 2, 2}));
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_EQ(seq.out_shape(x.shape()), y.shape());
+}
+
+}  // namespace
+}  // namespace adcnn::nn

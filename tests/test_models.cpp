@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "nn/models_mini.hpp"
+#include "nn/profile.hpp"
+
+namespace adcnn::nn {
+namespace {
+
+class MiniFamilies : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MiniFamilies, BuildsAndInfers) {
+  Rng rng(1);
+  MiniOptions opt;
+  Model m = make_mini(GetParam(), rng, opt);
+  EXPECT_GT(m.net.size(), 0u);
+  EXPECT_GE(m.separable_blocks, 1);
+  EXPECT_LT(m.separable_blocks, m.num_blocks());
+  const Tensor x = Tensor::randn(
+      Shape{2, m.input_shape[0], m.input_shape[1], m.input_shape[2]}, rng);
+  const Tensor y = m.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape()[0], 2);
+  EXPECT_GT(m.param_count(), 0);
+}
+
+TEST_P(MiniFamilies, BlockEndsAreMonotone) {
+  Rng rng(1);
+  Model m = make_mini(GetParam(), rng, MiniOptions{});
+  int prev = 0;
+  for (const int end : m.block_ends) {
+    EXPECT_GT(end, prev);
+    prev = end;
+  }
+  EXPECT_EQ(prev, static_cast<int>(m.net.size()));
+}
+
+TEST_P(MiniFamilies, StateRoundTrip) {
+  Rng rng(2);
+  Model a = make_mini(GetParam(), rng, MiniOptions{});
+  Rng rng2(99);
+  Model b = make_mini(GetParam(), rng2, MiniOptions{});
+  const auto state = a.state();
+  b.load_state(state);
+  const Tensor x = Tensor::randn(
+      Shape{1, a.input_shape[0], a.input_shape[1], a.input_shape[2]}, rng);
+  EXPECT_LT(Tensor::max_abs_diff(a.forward(x, Mode::kEval),
+                                 b.forward(x, Mode::kEval)),
+            1e-6f);
+}
+
+TEST_P(MiniFamilies, CopyParamsTransfersBehaviour) {
+  Rng rng(3), rng2(44);
+  Model a = make_mini(GetParam(), rng, MiniOptions{});
+  Model b = make_mini(GetParam(), rng2, MiniOptions{});
+  Model::copy_params(a, b);
+  const Tensor x = Tensor::randn(
+      Shape{1, a.input_shape[0], a.input_shape[1], a.input_shape[2]}, rng);
+  EXPECT_LT(Tensor::max_abs_diff(a.forward(x, Mode::kEval),
+                                 b.forward(x, Mode::kEval)),
+            1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MiniFamilies,
+                         ::testing::Values("vgg", "resnet", "yolo", "fcn",
+                                           "charcnn"));
+
+TEST(MiniModels, OutputShapes) {
+  Rng rng(1);
+  MiniOptions opt;
+  opt.num_classes = 5;
+  Model vgg = make_vgg_mini(rng, opt);
+  const Tensor img = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  EXPECT_EQ(vgg.forward(img, Mode::kEval).shape(), (Shape{1, 5}));
+
+  Model yolo = make_yolo_mini(rng, opt);
+  EXPECT_EQ(yolo.forward(img, Mode::kEval).shape(), (Shape{1, 6, 4, 4}));
+
+  Model fcn = make_fcn_mini(rng, opt);
+  EXPECT_EQ(fcn.forward(img, Mode::kEval).shape(), (Shape{1, 5, 32, 32}));
+
+  Model cnn = make_charcnn_mini(rng, opt);
+  const Tensor text = Tensor::randn(Shape{1, 16, 1, 64}, rng);
+  EXPECT_EQ(cnn.forward(text, Mode::kEval).shape(), (Shape{1, 5}));
+}
+
+TEST(MiniModels, WidthMultScalesParams) {
+  Rng rng(1);
+  MiniOptions narrow;
+  narrow.width_mult = 0.5;
+  MiniOptions wide;
+  wide.width_mult = 2.0;
+  Model a = make_vgg_mini(rng, narrow);
+  Model b = make_vgg_mini(rng, wide);
+  EXPECT_LT(a.param_count(), b.param_count());
+}
+
+TEST(MiniModels, RejectsBadGeometry) {
+  Rng rng(1);
+  MiniOptions opt;
+  opt.image = 30;  // not divisible by 4
+  EXPECT_THROW(make_vgg_mini(rng, opt), std::invalid_argument);
+  MiniOptions text;
+  text.length = 63;
+  EXPECT_THROW(make_charcnn_mini(rng, text), std::invalid_argument);
+}
+
+TEST(MiniModels, ForwardRangeComposes) {
+  Rng rng(5);
+  Model m = make_vgg_mini(rng, MiniOptions{});
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  const int mid = m.separable_end_layer();
+  const Tensor a = m.forward_range(x, 0, mid);
+  const Tensor b = m.forward_range(a, mid, static_cast<int>(m.net.size()));
+  const Tensor whole = m.forward(x, Mode::kEval);
+  EXPECT_LT(Tensor::max_abs_diff(b, whole), 1e-5f);
+}
+
+TEST(Profile, BlocksCoverModel) {
+  Rng rng(1);
+  Model m = make_vgg_mini(rng, MiniOptions{});
+  const auto blocks = profile_blocks(m);
+  ASSERT_EQ(blocks.size(), m.block_ends.size());
+  EXPECT_TRUE(blocks[0].separable);
+  EXPECT_TRUE(blocks[1].separable);
+  EXPECT_FALSE(blocks[2].separable);
+  EXPECT_EQ(blocks.back().name, "FC");
+  EXPECT_EQ(blocks[0].name, "L1(P)");
+  for (const auto& b : blocks) EXPECT_GT(b.flops, 0);
+}
+
+TEST(Profile, LayerFlopsMatchLayerApi) {
+  Rng rng(1);
+  Model m = make_vgg_mini(rng, MiniOptions{});
+  const auto layers = profile_layers(m, 2);
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.flops;
+  Shape in{2, 3, 32, 32};
+  EXPECT_EQ(total, m.net.flops(in));
+}
+
+}  // namespace
+}  // namespace adcnn::nn

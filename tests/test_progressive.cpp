@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "data/shapes.hpp"
+#include "nn/models_mini.hpp"
+#include "train/progressive.hpp"
+
+namespace adcnn::train {
+namespace {
+
+struct Fixture {
+  data::Dataset train_set;
+  data::Dataset test_set;
+  nn::MiniOptions mopt;
+
+  Fixture() {
+    data::ShapesConfig cfg;
+    cfg.count = 640;
+    cfg.seed = 11;
+    train_set = data::make_shapes_classification(cfg);
+    cfg.seed = 12;
+    cfg.count = 128;
+    test_set = data::make_shapes_classification(cfg);
+    mopt.width_mult = 0.5;
+  }
+
+  nn::Model build() const {
+    Rng rng(21);  // same seed -> same topology & init
+    return nn::make_vgg_mini(rng, mopt);
+  }
+};
+
+TEST(Progressive, RunsAllThreeStagesAndRecovers) {
+  Fixture f;
+  nn::Model original = f.build();
+  TrainConfig base;
+  base.epochs = 6;
+  base.lr = 0.02;
+  train(original, f.train_set, f.test_set, base);
+  const double base_acc = evaluate(original, f.test_set).accuracy;
+  ASSERT_GT(base_acc, 0.6);  // task is learnable
+
+  ProgressiveConfig cfg;
+  cfg.grid = core::TileGrid{2, 2};
+  const auto bounds = suggest_clip_bounds(original, f.train_set, 0.5);
+  cfg.clip_lower = bounds.first;
+  cfg.clip_upper = bounds.second;
+  cfg.max_epochs_per_stage = 4;
+  cfg.recover_margin = 0.06;
+  cfg.retrain.lr = 0.01;
+
+  const ProgressiveResult result = progressive_retrain(
+      [&] { return f.build(); }, original, f.train_set, f.test_set, cfg);
+
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_EQ(result.stages[0].stage, "fdsp");
+  EXPECT_EQ(result.stages[1].stage, "clipped_relu");
+  EXPECT_EQ(result.stages[2].stage, "quantization");
+  EXPECT_NEAR(result.baseline_accuracy, base_acc, 1e-9);
+  // Final model accuracy within the margin of the original (Figure 10's
+  // claim at small partitions).
+  EXPECT_GE(result.stages.back().accuracy,
+            base_acc - cfg.recover_margin - 0.05);
+  // Retraining cost is a handful of epochs, not a full training run
+  // (Table 1's claim).
+  EXPECT_LE(result.total_epochs(), 12);
+  // Final model has the clip + quant layers.
+  EXPECT_GT(result.final_model.clip_range, 0.0f);
+}
+
+TEST(Progressive, WarmStartInheritsWeights) {
+  Fixture f;
+  nn::Model original = f.build();
+  TrainConfig base;
+  base.epochs = 2;
+  train(original, f.train_set, f.test_set, base);
+
+  ProgressiveConfig cfg;
+  cfg.grid = core::TileGrid{2, 2};
+  cfg.clip_upper = 6.0f;
+  cfg.max_epochs_per_stage = 0;  // no retraining: pure graph surgery
+  cfg.recover_margin = 1.0;      // everything counts as recovered
+  const ProgressiveResult result = progressive_retrain(
+      [&] { return f.build(); }, original, f.train_set, f.test_set, cfg);
+  for (const auto& stage : result.stages) EXPECT_EQ(stage.epochs_used, 0);
+  // With a 2x2 grid and generous clip bounds the surgered model should
+  // stay close to the original's accuracy even without retraining.
+  EXPECT_GT(result.stages[0].accuracy, 0.2);
+}
+
+TEST(SuggestClipBounds, OrderedAndPositive) {
+  Fixture f;
+  nn::Model original = f.build();
+  const auto bounds = suggest_clip_bounds(original, f.train_set, 0.6);
+  EXPECT_GE(bounds.first, 0.0f);
+  EXPECT_GT(bounds.second, bounds.first);
+}
+
+TEST(SuggestClipBounds, HigherSparsityTargetRaisesLowerBound) {
+  Fixture f;
+  nn::Model original = f.build();
+  const auto loose = suggest_clip_bounds(original, f.train_set, 0.3);
+  const auto tight = suggest_clip_bounds(original, f.train_set, 0.9);
+  EXPECT_GE(tight.first, loose.first);
+}
+
+}  // namespace
+}  // namespace adcnn::train

@@ -1,0 +1,153 @@
+// Parameterized property sweeps across the numeric substrates: quantizer
+// bit widths, codec sparsity levels, receptive-field chains, and device
+// speed-trace integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/pipeline.hpp"
+#include "core/geometry.hpp"
+#include "sim/device.hpp"
+
+namespace adcnn {
+namespace {
+
+// --- quantizer bit sweep -------------------------------------------------
+
+class QuantizerBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerBits, ErrorBoundedByHalfStep) {
+  const int bits = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits));
+  compress::Quantizer q(3.0f, bits);
+  for (int i = 0; i < 500; ++i) {
+    const float v = static_cast<float>(rng.uniform(0.0, 3.0));
+    const float back = q.dequantize(q.quantize(v));
+    EXPECT_LE(std::fabs(v - back), q.step() / 2 + 1e-6f) << "v=" << v;
+  }
+}
+
+TEST_P(QuantizerBits, LevelsMonotone) {
+  const int bits = GetParam();
+  compress::Quantizer q(1.0f, bits);
+  std::uint8_t prev = 0;
+  for (float v = 0.0f; v <= 1.0f; v += 0.01f) {
+    const std::uint8_t level = q.quantize(v);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+  EXPECT_EQ(prev, q.levels() - 1);
+}
+
+TEST_P(QuantizerBits, CodecRoundTripOnGrid) {
+  const int bits = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits) + 100);
+  compress::TileCodec codec(2.0f, bits);
+  Tensor x(Shape{1, 4, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const auto level = static_cast<std::uint8_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(1 << bits)));
+    x[i] = rng.uniform() < 0.6 ? 0.0f : codec.quantizer().dequantize(level);
+  }
+  const Tensor y = codec.decode(codec.encode(x), x.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f) << bits << " bits";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizerBits, ::testing::Values(1, 2, 3, 4,
+                                                                5, 6, 8));
+
+// --- codec sparsity sweep ------------------------------------------------
+
+class CodecSparsity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecSparsity, WireShrinksWithSparsity) {
+  const double sparsity = GetParam() / 100.0;
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  compress::TileCodec codec(1.0f, 4);
+  Tensor x(Shape{1, 16, 16, 16});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = rng.uniform() < sparsity ? 0.0f
+                                    : static_cast<float>(rng.uniform());
+  compress::StageSizes sizes;
+  codec.encode(x, &sizes);
+  // Wire size approx: one byte per nonzero (+ zero-run extensions).
+  const double nonzero_frac = 1.0 - sparsity;
+  EXPECT_LT(sizes.encoded_bytes,
+            static_cast<std::int64_t>(
+                static_cast<double>(x.numel()) * nonzero_frac * 1.6 +
+                static_cast<double>(x.numel()) / 16.0 + 64))
+      << "sparsity " << sparsity;
+  // And decodes losslessly at the level granularity.
+  const Tensor y = codec.decode(codec.encode(x), x.shape());
+  EXPECT_LE(Tensor::max_abs_diff(x, y), codec.quantizer().step() / 2 + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CodecSparsity,
+                         ::testing::Values(0, 30, 50, 70, 90, 99));
+
+// --- receptive-field chain properties -------------------------------------
+
+class ChainDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDepth, ReceptiveFieldGrowsLinearlyForUnitStride) {
+  const int depth = GetParam();
+  std::vector<core::SpatialOp> chain(static_cast<std::size_t>(depth),
+                                     core::SpatialOp{3, 1});
+  // d stacked 3x1 convs: receptive field 2d+1, halo d.
+  EXPECT_EQ(core::required_input(chain, 1), 2 * depth + 1);
+  EXPECT_EQ(core::halo_width(chain), depth);
+}
+
+TEST_P(ChainDepth, RequiredInputIsMonotoneInOutput) {
+  const int depth = GetParam();
+  std::vector<core::SpatialOp> chain;
+  for (int i = 0; i < depth; ++i) {
+    chain.push_back(core::SpatialOp{3, 1});
+    if (i % 2 == 1) chain.push_back(core::SpatialOp{2, 2});
+  }
+  std::int64_t prev = 0;
+  for (std::int64_t out = 1; out <= 16; ++out) {
+    const std::int64_t req = core::required_input(chain, out);
+    EXPECT_GT(req, prev);
+    prev = req;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChainDepth, ::testing::Values(1, 2, 3, 5,
+                                                               8));
+
+// --- device trace integration ---------------------------------------------
+
+TEST(DeviceTraceSweep, WorkConservation) {
+  // Splitting work into chunks must reach the same finish time as doing it
+  // in one piece, for any trace.
+  Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    sim::DeviceSpec dev;
+    double t = 0.0;
+    for (int s = 0; s < 4; ++s) {
+      t += rng.uniform(0.2, 2.0);
+      dev.trace.push_back({t, rng.uniform(0.1, 2.0)});
+    }
+    const double start = rng.uniform(0.0, 3.0);
+    const double work = rng.uniform(0.1, 6.0);
+    const double whole = dev.finish_time(start, work);
+    double cursor = start;
+    for (int chunk = 0; chunk < 4; ++chunk)
+      cursor = dev.finish_time(cursor, work / 4.0);
+    EXPECT_NEAR(cursor, whole, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(DeviceTraceSweep, SlowerTraceNeverFinishesEarlier) {
+  sim::DeviceSpec fast;
+  fast.trace = {{1.0, 0.8}};
+  sim::DeviceSpec slow;
+  slow.trace = {{1.0, 0.4}};
+  for (double work : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_LE(fast.finish_time(0.0, work), slow.finish_time(0.0, work));
+  }
+}
+
+}  // namespace
+}  // namespace adcnn

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/models_mini.hpp"
+#include "nn/regularization.hpp"
+#include "nn/serialize.hpp"
+
+namespace adcnn::nn {
+namespace {
+
+TEST(DropoutLayer, IdentityAtInference) {
+  Rng rng(1);
+  Dropout drop(0.5, rng);
+  const Tensor x = Tensor::randn(Shape{2, 3, 4, 4}, rng);
+  const Tensor y = drop.forward(x, Mode::kEval);
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f);
+}
+
+TEST(DropoutLayer, DropsAndRescalesInTraining) {
+  Rng rng(2);
+  Dropout drop(0.5, rng);
+  const Tensor x = Tensor::full(Shape{10000}, 1.0f);
+  const Tensor y = drop.forward(x, Mode::kTrain);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // inverted scaling 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+  // Expectation preserved.
+  EXPECT_NEAR(y.sum() / 10000.0, 1.0, 0.05);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  Rng rng(3);
+  Dropout drop(0.3, rng);
+  const Tensor x = Tensor::randn(Shape{64}, rng);
+  const Tensor y = drop.forward(x, Mode::kTrain);
+  const Tensor g = Tensor::full(Shape{64}, 1.0f);
+  const Tensor dx = drop.backward(g);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    if (y[i] == 0.0f) {
+      EXPECT_EQ(dx[i], 0.0f);
+    } else {
+      EXPECT_NEAR(dx[i], 1.0f / 0.7f, 1e-5f);
+    }
+  }
+}
+
+TEST(DropoutLayer, RejectsBadProbability) {
+  Rng rng(4);
+  EXPECT_THROW(Dropout(1.0, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1, rng), std::invalid_argument);
+}
+
+TEST(AvgPoolLayer, Averages) {
+  AvgPool2d pool(2);
+  const Tensor x =
+      Tensor::from_data(Shape{1, 1, 2, 4}, {1, 3, 2, 6, 5, 7, 4, 0});
+  const Tensor y = pool.forward(x, Mode::kEval);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  EXPECT_THROW(pool.out_shape(Shape{1, 1, 3, 4}), std::invalid_argument);
+}
+
+TEST(AvgPoolLayer, BackwardSpreadsEvenly) {
+  AvgPool2d pool(2);
+  Rng rng(5);
+  const Tensor x = Tensor::randn(Shape{1, 2, 4, 4}, rng);
+  pool.forward(x, Mode::kTrain);
+  const Tensor g = Tensor::full(Shape{1, 2, 2, 2}, 4.0f);
+  const Tensor dx = pool.backward(g);
+  for (std::int64_t i = 0; i < dx.numel(); ++i) EXPECT_FLOAT_EQ(dx[i], 1.0f);
+}
+
+TEST(SoftmaxLayer, RowsSumToOne) {
+  Rng rng(6);
+  Softmax softmax;
+  const Tensor x = Tensor::randn(Shape{5, 7}, rng, 0.0f, 3.0f);
+  const Tensor y = softmax.forward(x, Mode::kEval);
+  for (std::int64_t n = 0; n < 5; ++n) {
+    double sum = 0.0;
+    for (std::int64_t k = 0; k < 7; ++k) {
+      sum += y[n * 7 + k];
+      EXPECT_GT(y[n * 7 + k], 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxLayer, NumericallyStableForHugeLogits) {
+  Softmax softmax;
+  const Tensor x = Tensor::from_data(Shape{1, 3}, {1000.0f, 999.0f, 0.0f});
+  const Tensor y = softmax.forward(x, Mode::kEval);
+  EXPECT_NEAR(y[0], 0.731f, 1e-3f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+}
+
+TEST(SoftmaxLayer, GradientMatchesNumeric) {
+  Rng rng(7);
+  Softmax softmax;
+  Tensor x = Tensor::randn(Shape{2, 4}, rng);
+  const Tensor g = Tensor::randn(Shape{2, 4}, rng);
+  softmax.forward(x, Mode::kTrain);
+  const Tensor dx = softmax.backward(g);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    auto loss = [&] {
+      const Tensor y = softmax.forward(x, Mode::kTrain);
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < y.numel(); ++j)
+        acc += static_cast<double>(y[j]) * g[j];
+      return acc;
+    };
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const double up = loss();
+    x[i] = saved - eps;
+    const double down = loss();
+    x[i] = saved;
+    EXPECT_NEAR(dx[i], (up - down) / (2 * eps), 5e-3);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "adcnn_weights.bin";
+  Rng rng(8);
+  Model a = make_vgg_mini(rng, MiniOptions{});
+  save_state(a, path);
+  Rng rng2(99);
+  Model b = make_vgg_mini(rng2, MiniOptions{});
+  load_state(b, path);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(a.forward(x, Mode::kEval),
+                                 b.forward(x, Mode::kEval)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsWrongArchitecture) {
+  const std::string path = ::testing::TempDir() + "adcnn_weights2.bin";
+  Rng rng(9);
+  Model a = make_vgg_mini(rng, MiniOptions{});
+  save_state(a, path);
+  Model b = make_charcnn_mini(rng, MiniOptions{});
+  EXPECT_THROW(load_state(b, path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "adcnn_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a weight file", f);
+  std::fclose(f);
+  Rng rng(10);
+  Model m = make_vgg_mini(rng, MiniOptions{});
+  EXPECT_THROW(load_state(m, path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_state(m, "/nonexistent/dir/weights.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adcnn::nn

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/channel.hpp"
+#include "runtime/link.hpp"
+#include "runtime/message.hpp"
+
+namespace adcnn::runtime {
+namespace {
+
+TEST(Channel, SendReceiveFifo) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.receive().value(), 1);
+  EXPECT_EQ(ch.receive().value(), 2);
+}
+
+TEST(Channel, TryReceiveEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(Channel, CloseWakesReceiver) {
+  Channel<int> ch;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    const auto v = ch.receive();
+    EXPECT_FALSE(v.has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  t.join();
+  EXPECT_TRUE(woke);
+  EXPECT_FALSE(ch.send(5));  // closed channel rejects sends
+}
+
+TEST(Channel, ReceiveUntilTimesOut) {
+  Channel<int> ch;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_FALSE(ch.receive_until(deadline).has_value());
+}
+
+TEST(Channel, CrossThreadTransfer) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ch.send(i);
+  });
+  int sum = 0;
+  for (int i = 0; i < 100; ++i) sum += ch.receive().value();
+  producer.join();
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(Message, TaskSerializationRoundTrip) {
+  TileTask task;
+  task.image_id = 42;
+  task.tile_id = 7;
+  task.shape = Shape{1, 3, 8, 8};
+  task.payload = {1, 2, 3, 250};
+  const auto wire = serialize(task);
+  const TileTask back = deserialize_task(wire);
+  EXPECT_EQ(back.image_id, 42);
+  EXPECT_EQ(back.tile_id, 7);
+  EXPECT_EQ(back.shape, task.shape);
+  EXPECT_EQ(back.payload, task.payload);
+  EXPECT_FALSE(back.shutdown);
+}
+
+TEST(Message, ShutdownFlagSurvives) {
+  TileTask task;
+  task.shutdown = true;
+  EXPECT_TRUE(deserialize_task(serialize(task)).shutdown);
+}
+
+TEST(Message, ResultSerializationRoundTrip) {
+  TileResult result;
+  result.image_id = 3;
+  result.tile_id = 63;
+  result.node_id = 5;
+  result.shape = Shape{1, 32, 2, 2};
+  result.payload.assign(300, 0xAB);
+  const TileResult back = deserialize_result(serialize(result));
+  EXPECT_EQ(back.node_id, 5);
+  EXPECT_EQ(back.tile_id, 63);
+  EXPECT_EQ(back.payload.size(), 300u);
+}
+
+TEST(Message, TruncatedWireRejected) {
+  TileTask task;
+  task.payload.assign(64, 1);
+  auto wire = serialize(task);
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(deserialize_task(wire), std::invalid_argument);
+}
+
+TEST(Message, WireBytesTracksPayload) {
+  TileTask small, big;
+  small.payload.assign(10, 0);
+  big.payload.assign(1000, 0);
+  big.shape = small.shape = Shape{1, 1, 1, 10};
+  EXPECT_GT(big.wire_bytes(), small.wire_bytes() + 900);
+}
+
+TEST(Link, AccountsBytes) {
+  SimulatedLink link(1e6, 0.0, 0.0);  // no sleeping
+  link.transmit(500);
+  link.transmit(300);
+  EXPECT_EQ(link.bytes_sent(), 800u);
+  EXPECT_EQ(link.transfers(), 2u);
+}
+
+TEST(Link, TransferSecondsModel) {
+  SimulatedLink link(8e6, 0.001, 0.0);  // 8 Mbps, 1 ms latency
+  EXPECT_NEAR(link.transfer_seconds(1000), 0.001 + 0.001, 1e-9);
+}
+
+TEST(Link, ScaledSleepIsApplied) {
+  SimulatedLink link(8e6, 0.0, 1.0);  // 1 MB/s, real time
+  const auto t0 = std::chrono::steady_clock::now();
+  link.transmit(30000);  // 30 ms modelled
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(elapsed, 0.02);
+}
+
+}  // namespace
+}  // namespace adcnn::runtime

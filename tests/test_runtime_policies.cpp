@@ -1,0 +1,155 @@
+// Runtime policy coverage: storage-capacity bounds, allocation
+// interleaving, multi-image streams, and the Central node's bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "runtime/cluster.hpp"
+
+namespace adcnn::runtime {
+namespace {
+
+core::PartitionedModel small_model(std::int64_t r = 4, std::int64_t c = 4) {
+  Rng rng(23);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{r, c};
+  opt.clipped_relu = true;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  return core::apply_fdsp(nn::make_vgg_mini(rng, nn::MiniOptions{}), opt);
+}
+
+TEST(RuntimePolicies, CapacityBoundsRespected) {
+  core::PartitionedModel pm = small_model();
+  Rng rng(24);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.capacity_tiles = 5;  // H_k / M: at most 5 of the 16 tiles per node
+  EdgeCluster cluster(pm, cfg);
+  InferStats stats;
+  cluster.infer(x, &stats);
+  for (const auto assigned : stats.assigned) EXPECT_LE(assigned, 5);
+}
+
+TEST(RuntimePolicies, InfeasibleCapacityThrows) {
+  core::PartitionedModel pm = small_model();
+  Rng rng(25);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.capacity_tiles = 3;  // 6 < 16 tiles: Eq. (1) infeasible
+  EdgeCluster cluster(pm, cfg);
+  EXPECT_THROW(cluster.infer(x), std::runtime_error);
+}
+
+TEST(RuntimePolicies, MoreNodesThanTiles) {
+  core::PartitionedModel pm = small_model(2, 2);  // 4 tiles
+  Rng rng(26);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 6;
+  EdgeCluster cluster(pm, cfg);
+  InferStats stats;
+  const Tensor y = cluster.infer(x, &stats);
+  EXPECT_EQ(y.shape()[0], 1);
+  std::int64_t sum = 0, used = 0;
+  for (const auto assigned : stats.assigned) {
+    sum += assigned;
+    used += (assigned > 0);
+  }
+  EXPECT_EQ(sum, 4);
+  EXPECT_EQ(used, 4);  // greedy spreads one tile per node
+}
+
+TEST(RuntimePolicies, StreamOfImagesKeepsIdsStraight) {
+  core::PartitionedModel pm = small_model();
+  Rng rng(27);
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  EdgeCluster cluster(pm, cfg);
+  // Distinct inputs must produce the same outputs as the monolithic
+  // model, in order, across a stream (image IDs must never cross-talk).
+  for (int i = 0; i < 8; ++i) {
+    const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+    const Tensor expect = pm.model.forward(x, nn::Mode::kEval);
+    EXPECT_LT(Tensor::max_abs_diff(cluster.infer(x), expect), 1e-5f)
+        << "image " << i;
+  }
+}
+
+TEST(RuntimePolicies, BatchedInputAcrossCluster) {
+  // A batch of images goes through as separate inferences and matches the
+  // batched monolithic forward.
+  core::PartitionedModel pm = small_model();
+  Rng rng(28);
+  const Tensor batch = Tensor::randn(Shape{3, 3, 32, 32}, rng);
+  const Tensor expect = pm.model.forward(batch, nn::Mode::kEval);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  EdgeCluster cluster(pm, cfg);
+  const std::int64_t classes = expect.shape()[1];
+  for (std::int64_t i = 0; i < 3; ++i) {
+    const Tensor x = batch.crop(i, 1, 0, 32, 0, 32);
+    const Tensor y = cluster.infer(x);
+    ASSERT_EQ(y.shape(), (Shape{1, classes}));
+    for (std::int64_t k = 0; k < classes; ++k)
+      EXPECT_NEAR(y[k], expect[i * classes + k], 1e-5f) << "image " << i;
+  }
+}
+
+TEST(RuntimePolicies, RecoveredNodeIsProbedBackIntoService) {
+  // A starved node's s_k freezes near zero (it gets no tiles, so
+  // Algorithm 2 sees no new counts). The recovery probe periodically
+  // lends it a tile; once it proves healthy its estimate rebuilds and it
+  // receives work again. Without probing, starvation is permanent — a gap
+  // the paper leaves open (§6.3 covers failure, not recovery).
+  core::PartitionedModel pm = small_model(8, 8);
+  Rng rng(29);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.deadline_s = 0.08;
+  cfg.probe_interval = 4;
+  EdgeCluster cluster(pm, cfg);
+  cluster.node(1).set_cpu_limit(0.002);
+  InferStats stats;
+  for (int i = 0; i < 6; ++i) cluster.infer(x, &stats);
+  EXPECT_LT(stats.assigned[1], stats.assigned[0]);  // throttled -> starved
+  const double starved_speed = cluster.central().collector().speed(1);
+
+  cluster.node(1).set_cpu_limit(1.0);  // node recovers
+  std::int64_t regained = 0;
+  for (int i = 0; i < 12; ++i) {
+    cluster.infer(x, &stats);
+    regained += stats.assigned[1];
+  }
+  EXPECT_GT(regained, 0);  // probes handed it work again
+  EXPECT_GT(cluster.central().collector().speed(1), starved_speed);
+}
+
+TEST(RuntimePolicies, UplinkBytesScaleWithSparsity) {
+  // Tighter clipping -> sparser outputs -> fewer bytes on the wire.
+  Rng rng(30);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  auto run_bytes = [&](float lower) {
+    Rng mrng(23);
+    core::FdspOptions opt;
+    opt.grid = core::TileGrid{4, 4};
+    opt.clipped_relu = true;
+    opt.clip_lower = lower;
+    opt.clip_upper = 3.0f;
+    opt.quantize = true;
+    auto pm =
+        core::apply_fdsp(nn::make_vgg_mini(mrng, nn::MiniOptions{}), opt);
+    ClusterConfig cfg;
+    cfg.num_nodes = 1;
+    EdgeCluster cluster(pm, cfg);
+    cluster.infer(x);
+    return cluster.uplink(0).bytes_sent();
+  };
+  EXPECT_LT(run_bytes(1.0f), run_bytes(0.0f));
+}
+
+}  // namespace
+}  // namespace adcnn::runtime

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "sim/adcnn_sim.hpp"
+#include "sim/baseline_sim.hpp"
+#include "sim/metrics.hpp"
+
+namespace adcnn::sim {
+namespace {
+
+TEST(Device, FactorTrace) {
+  DeviceSpec dev;
+  dev.trace = {{10.0, 0.5}, {20.0, 1.0}};
+  EXPECT_DOUBLE_EQ(dev.factor_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(dev.factor_at(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(dev.factor_at(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(dev.factor_at(25.0), 1.0);
+}
+
+TEST(Device, FinishTimeConstantSpeed) {
+  DeviceSpec dev;
+  EXPECT_DOUBLE_EQ(dev.finish_time(3.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(dev.finish_time(3.0, 0.0), 3.0);
+}
+
+TEST(Device, FinishTimeAcrossSlowdown) {
+  DeviceSpec dev;
+  dev.trace = {{10.0, 0.5}};
+  // 4s of work starting at t=8: 2s at full speed (t=8..10), remaining 2s
+  // at half speed takes 4s -> finish at 14.
+  EXPECT_DOUBLE_EQ(dev.finish_time(8.0, 4.0), 14.0);
+}
+
+TEST(Device, FinishTimeThroughStall) {
+  DeviceSpec dev;
+  dev.trace = {{1.0, 0.0}, {5.0, 1.0}};
+  // 2s of work at t=0: 1s done, stalled until t=5, 1s more -> 6.
+  EXPECT_DOUBLE_EQ(dev.finish_time(0.0, 2.0), 6.0);
+  // Permanent stall -> never finishes.
+  DeviceSpec dead;
+  dead.trace = {{0.0, 0.0}};
+  EXPECT_TRUE(std::isinf(dead.finish_time(0.0, 1.0)));
+}
+
+TEST(CostModel, LayerSecondsPositiveAndScale) {
+  const arch::ArchSpec spec = arch::vgg16();
+  DeviceSpec dev;
+  const auto& conv2 = spec.blocks[1].layers[0];
+  const double full = layer_seconds(conv2, dev, 1.0);
+  const double quarter = layer_seconds(conv2, dev, 0.25);
+  EXPECT_GT(full, 0.0);
+  EXPECT_LT(quarter, full);
+  EXPECT_GT(quarter, full / 4 - 1e-12);  // weights don't shrink with area
+}
+
+TEST(CostModel, SingleDeviceVgg16InPiRegime) {
+  // Calibration target: full VGG16 on a Pi-class device ~1-2 s (the paper
+  // measures 1586 ms).
+  const double secs = total_seconds(arch::vgg16(), DeviceSpec{});
+  EXPECT_GT(secs, 0.8);
+  EXPECT_LT(secs, 3.0);
+}
+
+TEST(CostModel, EarlyBlocksDominatePerFlop) {
+  // Figure 3's shape: early blocks are slower per FLOP than later ones.
+  const arch::ArchSpec spec = arch::vgg16();
+  DeviceSpec dev;
+  const auto& early = spec.blocks[1].layers[0];   // 224x224 conv
+  const auto& late = spec.blocks[12].layers[0];   // 14x14 conv
+  const double early_per_flop =
+      layer_seconds(early, dev) / static_cast<double>(early.flops);
+  const double late_per_flop =
+      layer_seconds(late, dev) / static_cast<double>(late.flops);
+  EXPECT_GT(early_per_flop, late_per_flop);
+}
+
+TEST(CostModel, PrefixSuffixDecomposition) {
+  const arch::ArchSpec spec = arch::vgg16();
+  DeviceSpec dev;
+  const double whole = total_seconds(spec, dev);
+  const double prefix =
+      blocks_seconds(spec, 0, spec.separable_blocks, dev);
+  EXPECT_NEAR(prefix + suffix_seconds(spec, dev), whole, 1e-9);
+}
+
+TEST(CostModel, MemoryShrinksWithFewerTiles) {
+  const arch::ArchSpec spec = arch::vgg16();
+  const auto m8 = conv_node_memory_bytes(spec, core::TileGrid{8, 8}, 8);
+  const auto m32 = conv_node_memory_bytes(spec, core::TileGrid{8, 8}, 32);
+  EXPECT_LT(m8, m32);
+}
+
+TEST(AdcnnSim, UniformNodesSplitEvenly) {
+  auto cfg = AdcnnSimConfig::uniform(8, DeviceSpec{});
+  const auto result = simulate_adcnn(arch::vgg16(), cfg, 5);
+  ASSERT_EQ(result.images.size(), 5u);
+  for (const auto tiles : result.images[0].assigned) EXPECT_EQ(tiles, 8);
+  EXPECT_EQ(result.zero_filled_total, 0);
+  EXPECT_GT(result.mean_latency_s, 0.0);
+}
+
+TEST(AdcnnSim, MoreNodesFaster) {
+  const auto spec = arch::yolov2();
+  auto two = AdcnnSimConfig::uniform(2, DeviceSpec{});
+  two.separable_override = deep_partition_blocks(spec);
+  auto eight = two;
+  eight.nodes.assign(8, DeviceSpec{});
+  const double l2 = simulate_adcnn(spec, two, 10).mean_latency_s;
+  const double l8 = simulate_adcnn(spec, eight, 10).mean_latency_s;
+  EXPECT_LT(l8, l2);
+}
+
+TEST(AdcnnSim, BeatsSingleDevice) {
+  // Under the deep partition (suffix = head only, the regime the paper's
+  // testbed numbers imply — see EXPERIMENTS.md) ADCNN wins on every model.
+  for (const char* name : {"vgg16", "resnet34", "yolo", "fcn", "charcnn"}) {
+    const auto spec = arch::by_name(name);
+    auto cfg = AdcnnSimConfig::uniform(8, DeviceSpec{});
+    cfg.separable_override = deep_partition_blocks(spec);
+    if (name == std::string("charcnn")) cfg.grid = core::TileGrid{1, 8};
+    const double adcnn = simulate_adcnn(spec, cfg, 10).mean_latency_s;
+    const double single =
+        simulate_single_device(spec, DeviceSpec{}, 0.02, 1, 10)
+            .mean_latency_s;
+    EXPECT_LT(adcnn, single) << name;
+  }
+}
+
+TEST(AdcnnSim, DeepPartitionSpeedupInPaperRegime) {
+  // Paper §7.2: 6.68x mean speedup vs single device at 8 nodes. Our cost
+  // model lands in the same regime (>3x) for VGG16 under deep partition.
+  const auto spec = arch::vgg16();
+  auto cfg = AdcnnSimConfig::uniform(8, DeviceSpec{});
+  cfg.separable_override = deep_partition_blocks(spec);
+  const double adcnn = simulate_adcnn(spec, cfg, 20).mean_latency_s;
+  const double single =
+      simulate_single_device(spec, DeviceSpec{}, 0.02, 1, 20).mean_latency_s;
+  EXPECT_GT(single / adcnn, 3.0);
+  EXPECT_LT(single / adcnn, 9.0);
+}
+
+TEST(AdcnnSim, CompressionHelpsMoreAtLowBandwidth) {
+  const auto spec = arch::vgg16();
+  auto fast = AdcnnSimConfig::uniform(8, DeviceSpec{});
+  // Wide straggler slack: without it the deadline would zero-fill the slow
+  // raw transfers and cut latency short (trading accuracy, not time).
+  fast.straggler_slack = 50.0;
+  auto fast_raw = fast;
+  fast_raw.compress = false;
+  auto slow = fast;
+  slow.link.bandwidth_bps = 12.66e6;
+  auto slow_raw = slow;
+  slow_raw.compress = false;
+
+  const double gain_fast =
+      simulate_adcnn(spec, fast_raw, 5).mean_latency_s -
+      simulate_adcnn(spec, fast, 5).mean_latency_s;
+  const double gain_slow =
+      simulate_adcnn(spec, slow_raw, 5).mean_latency_s -
+      simulate_adcnn(spec, slow, 5).mean_latency_s;
+  EXPECT_GT(gain_fast, 0.0);
+  EXPECT_GT(gain_slow, gain_fast);  // Fig. 12's trend
+}
+
+TEST(AdcnnSim, ThrottledNodesLoseTiles) {
+  // Fig. 15: after degradation, allocation shifts away from slow nodes.
+  const auto spec = arch::vgg16();
+  auto cfg = AdcnnSimConfig::uniform(8, DeviceSpec{});
+  cfg.separable_override = deep_partition_blocks(spec);
+  const double t_deg = 5.0;
+  for (int k = 4; k < 6; ++k)
+    cfg.nodes[static_cast<std::size_t>(k)].trace = {{t_deg, 0.45}};
+  for (int k = 6; k < 8; ++k)
+    cfg.nodes[static_cast<std::size_t>(k)].trace = {{t_deg, 0.24}};
+  const auto result = simulate_adcnn(spec, cfg, 60);
+  const auto& first = result.images.front().assigned;
+  const auto& last = result.images.back().assigned;
+  EXPECT_EQ(first[5], 8);
+  // Healthy nodes (0-3) gain what the throttled nodes (4-7) lose.
+  std::int64_t healthy = 0, throttled = 0, sum = 0;
+  for (int k = 0; k < 8; ++k) {
+    sum += last[static_cast<std::size_t>(k)];
+    (k < 4 ? healthy : throttled) += last[static_cast<std::size_t>(k)];
+  }
+  EXPECT_EQ(sum, 64);  // total conserved
+  EXPECT_GT(healthy, 32);
+  EXPECT_LT(throttled, 32);
+  // The heavily throttled pair ends below the mildly throttled pair.
+  EXPECT_LE(last[6] + last[7], last[4] + last[5]);
+}
+
+TEST(AdcnnSim, DeadNodeIsStarvedAndSystemSurvives) {
+  // §6.3: "if node k fails, s_k will become zero and no tiles will be
+  // assigned to it."
+  const auto spec = arch::vgg16();
+  auto cfg = AdcnnSimConfig::uniform(4, DeviceSpec{});
+  cfg.separable_override = deep_partition_blocks(spec);
+  cfg.nodes[2].trace = {{1.0, 0.0}};  // node dies at t=1s
+  const auto result = simulate_adcnn(spec, cfg, 40);
+  EXPECT_GT(result.zero_filled_total, 0);           // the transition hurts
+  EXPECT_EQ(result.images.back().assigned[2], 0);   // then starved
+  EXPECT_EQ(result.images.back().zero_filled, 0);   // and back to clean
+  // Latency settles at the 3-node level, not unbounded.
+  EXPECT_LT(result.images.back().latency, 2.0);
+  for (const double busy : result.node_busy_s)
+    EXPECT_TRUE(std::isfinite(busy));
+}
+
+TEST(AdcnnSim, DeterministicForFixedSeed) {
+  const auto spec = arch::resnet34();
+  auto cfg = AdcnnSimConfig::uniform(4, DeviceSpec{});
+  const auto a = simulate_adcnn(spec, cfg, 8);
+  const auto b = simulate_adcnn(spec, cfg, 8);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+}
+
+TEST(AdcnnSim, EnergyAccountingSane) {
+  const auto spec = arch::vgg16();
+  auto cfg = AdcnnSimConfig::uniform(4, DeviceSpec{});
+  const auto result = simulate_adcnn(spec, cfg, 5);
+  const double span = result.images.back().finish;
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(result.node_busy_s[k], 0.0);
+    EXPECT_LE(result.node_busy_s[k], span + 1e-9);
+    EXPECT_GE(result.node_energy_j[k],
+              cfg.nodes[k].power.idle_w * span - 1e-9);
+  }
+}
+
+TEST(BaselineSim, SingleDeviceJitterCi) {
+  const auto result =
+      simulate_single_device(arch::vgg16(), DeviceSpec{}, 0.05, 3, 100);
+  EXPECT_EQ(result.latencies.size(), 100u);
+  EXPECT_GT(result.ci95_s, 0.0);
+  EXPECT_LT(result.ci95_s, result.mean_latency_s * 0.05);
+}
+
+TEST(BaselineSim, CloudTransmissionDominates) {
+  // The paper's Table 3: cloud compute is fast but the WAN dwarfs it.
+  const auto result =
+      simulate_remote_cloud(arch::vgg16(), CloudConfig{}, 0.02, 3, 20);
+  EXPECT_GT(result.transmission_s, result.compute_s);
+}
+
+}  // namespace
+}  // namespace adcnn::sim

@@ -1,0 +1,163 @@
+// Additional simulator properties: causality, medium models, deadline
+// anchors, accounting invariants.
+#include <gtest/gtest.h>
+
+#include "sim/adcnn_sim.hpp"
+#include "sim/baseline_sim.hpp"
+
+namespace adcnn::sim {
+namespace {
+
+AdcnnSimConfig deep_cfg(const arch::ArchSpec& spec, int nodes = 8) {
+  auto cfg = AdcnnSimConfig::uniform(nodes, DeviceSpec{});
+  cfg.separable_override = deep_partition_blocks(spec);
+  return cfg;
+}
+
+TEST(SimProperties, TimelineCausality) {
+  const auto spec = arch::vgg16();
+  const auto result = simulate_adcnn(spec, deep_cfg(spec), 20);
+  double prev_start = -1.0;
+  for (const auto& rec : result.images) {
+    EXPECT_GE(rec.partition_start, prev_start);  // admission is ordered
+    EXPECT_GE(rec.send_done, rec.partition_start);
+    EXPECT_GE(rec.gather_done, rec.send_done);
+    EXPECT_GE(rec.finish, rec.gather_done);
+    EXPECT_GT(rec.latency, 0.0);
+    prev_start = rec.partition_start;
+  }
+}
+
+TEST(SimProperties, AssignmentsAlwaysSumToTileCount) {
+  const auto spec = arch::resnet34();
+  auto cfg = deep_cfg(spec, 5);
+  cfg.nodes[1].trace = {{0.5, 0.4}};
+  cfg.nodes[4].trace = {{1.0, 0.0}};
+  const auto result = simulate_adcnn(spec, cfg, 30);
+  for (const auto& rec : result.images) {
+    std::int64_t sum = 0;
+    for (const auto tiles : rec.assigned) sum += tiles;
+    EXPECT_EQ(sum, cfg.grid.count());
+  }
+}
+
+TEST(SimProperties, PerLinkMediumNoSlowerThanShared) {
+  // Independent full-duplex links cannot be slower than one shared
+  // half-duplex medium.
+  const auto spec = arch::vgg16();
+  auto shared = deep_cfg(spec);
+  auto per_link = shared;
+  per_link.shared_medium = false;
+  const double shared_lat =
+      simulate_adcnn(spec, shared, 20).mean_latency_s;
+  const double link_lat =
+      simulate_adcnn(spec, per_link, 20).mean_latency_s;
+  EXPECT_LE(link_lat, shared_lat + 1e-9);
+}
+
+TEST(SimProperties, HigherBandwidthNeverHurts) {
+  const auto spec = arch::fcn32();
+  auto slow = deep_cfg(spec);
+  slow.link.bandwidth_bps = 12.66e6;
+  auto fast = deep_cfg(spec);
+  fast.link.bandwidth_bps = 87.72e6;
+  EXPECT_LE(simulate_adcnn(spec, fast, 15).mean_latency_s,
+            simulate_adcnn(spec, slow, 15).mean_latency_s + 1e-9);
+}
+
+TEST(SimProperties, DeadlineAnchorsBehave) {
+  const auto spec = arch::vgg16();
+  // kAfterLastSend with a tiny T_L zero-fills nearly everything.
+  auto harsh = deep_cfg(spec);
+  harsh.anchor = DeadlineAnchor::kAfterLastSend;
+  harsh.t_l = 0.001;
+  const auto harsh_result = simulate_adcnn(spec, harsh, 5);
+  EXPECT_GT(harsh_result.zero_filled_total,
+            3 * harsh.grid.count());  // most tiles dropped
+
+  // kAfterLastSend with a huge T_L never zero-fills.
+  auto lax = deep_cfg(spec);
+  lax.anchor = DeadlineAnchor::kAfterLastSend;
+  lax.t_l = 60.0;
+  EXPECT_EQ(simulate_adcnn(spec, lax, 5).zero_filled_total, 0);
+
+  // kAfterFirstResult bounds the straggler spread.
+  auto first = deep_cfg(spec);
+  first.anchor = DeadlineAnchor::kAfterFirstResult;
+  first.t_l = 30.0;
+  EXPECT_EQ(simulate_adcnn(spec, first, 5).zero_filled_total, 0);
+}
+
+TEST(SimProperties, ByteAccountingMatchesConfiguration) {
+  const auto spec = arch::vgg16();
+  auto cfg = deep_cfg(spec);
+  const int images = 10;
+  const auto result = simulate_adcnn(spec, cfg, images);
+  // Input: 1 byte/pixel image split into 64 tiles (+16B header each).
+  const std::int64_t expect_input =
+      (spec.cin * spec.hin * spec.win / 64 + 16) * 64 * images;
+  EXPECT_EQ(result.input_bytes_total, expect_input);
+  EXPECT_GT(result.result_bytes_total, 0);
+  // Compression keeps results far below raw fp32.
+  arch::ArchSpec deep = spec;
+  deep.separable_blocks = deep_partition_blocks(spec);
+  EXPECT_LT(result.result_bytes_total,
+            deep.separable_out_bytes() * images / 4);
+}
+
+TEST(SimProperties, ThroughputAtLeastInverseLatency) {
+  const auto spec = arch::yolov2();
+  const auto result = simulate_adcnn(spec, deep_cfg(spec), 30);
+  // Pipelining means images complete faster than one latency apart.
+  EXPECT_GT(result.throughput_ips * result.mean_latency_s, 0.99);
+}
+
+TEST(SimProperties, ZeroJitterIsExactlyPeriodic) {
+  const auto spec = arch::resnet34();
+  auto cfg = deep_cfg(spec, 4);
+  cfg.jitter = 0.0;
+  const auto result = simulate_adcnn(spec, cfg, 12);
+  // After warmup, identical images under identical conditions take
+  // identical time.
+  const double lat = result.images[6].latency;
+  for (std::size_t i = 7; i < 12; ++i)
+    EXPECT_NEAR(result.images[i].latency, lat, 1e-9);
+}
+
+TEST(SimProperties, EnergyScalesWithPowerModel) {
+  const auto spec = arch::vgg16();
+  auto low = deep_cfg(spec, 4);
+  auto high = low;
+  for (auto& node : high.nodes) node.power.active_w *= 2.0;
+  const auto r_low = simulate_adcnn(spec, low, 10);
+  const auto r_high = simulate_adcnn(spec, high, 10);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_GT(r_high.node_energy_j[k], r_low.node_energy_j[k]);
+}
+
+TEST(SimProperties, CloudFasterLinkShrinksLatency) {
+  const auto spec = arch::vgg16();
+  CloudConfig slow;
+  CloudConfig fast;
+  fast.wan.bandwidth_bps = 1e9;
+  EXPECT_LT(simulate_remote_cloud(spec, fast, 0.0, 1, 5).mean_latency_s,
+            simulate_remote_cloud(spec, slow, 0.0, 1, 5).mean_latency_s);
+}
+
+TEST(SimProperties, RejectsEmptyConfigs) {
+  const auto spec = arch::vgg16();
+  AdcnnSimConfig empty;
+  EXPECT_THROW(simulate_adcnn(spec, empty, 5), std::invalid_argument);
+  auto cfg = deep_cfg(spec);
+  EXPECT_THROW(simulate_adcnn(spec, cfg, 0), std::invalid_argument);
+}
+
+TEST(SimProperties, DeepPartitionBlocksSane) {
+  EXPECT_EQ(deep_partition_blocks(arch::vgg16()), 13);
+  EXPECT_EQ(deep_partition_blocks(arch::charcnn()), 6);
+  // ResNet34: stem + 16 units, head excluded.
+  EXPECT_EQ(deep_partition_blocks(arch::resnet34()), 17);
+}
+
+}  // namespace
+}  // namespace adcnn::sim

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+
+namespace adcnn::core {
+namespace {
+
+TEST(Stats, InitialSeed) {
+  StatsCollector c(4, 0.9, 2.5);
+  for (int k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(c.speed(k), 2.5);
+}
+
+TEST(Stats, EmaUpdateMatchesAlgorithm2) {
+  // s_k = (1 - gamma) s_k + gamma n_k
+  StatsCollector c(2, 0.9, 1.0);
+  c.record_image({8, 2});
+  EXPECT_NEAR(c.speed(0), 0.1 * 1.0 + 0.9 * 8.0, 1e-12);
+  EXPECT_NEAR(c.speed(1), 0.1 * 1.0 + 0.9 * 2.0, 1e-12);
+}
+
+TEST(Stats, ConvergesToSteadyRate) {
+  StatsCollector c(1, 0.5, 0.0);
+  for (int i = 0; i < 40; ++i) c.record_image({6});
+  EXPECT_NEAR(c.speed(0), 6.0, 1e-6);
+}
+
+TEST(Stats, DeadNodeDecaysTowardZero) {
+  StatsCollector c(1, 0.9, 8.0);
+  for (int i = 0; i < 10; ++i) c.record_image({0});
+  EXPECT_LT(c.speed(0), 1e-8);
+  EXPECT_GT(c.speed(0), 0.0);  // EMA never reaches exactly zero
+}
+
+TEST(Stats, RecordNodeIncremental) {
+  StatsCollector c(3, 0.9, 1.0);
+  c.record_node(1, 5);
+  EXPECT_DOUBLE_EQ(c.speed(0), 1.0);
+  EXPECT_NEAR(c.speed(1), 0.1 + 4.5, 1e-12);
+}
+
+TEST(Stats, Validation) {
+  EXPECT_THROW(StatsCollector(0, 0.9), std::invalid_argument);
+  EXPECT_THROW(StatsCollector(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(StatsCollector(2, 1.5), std::invalid_argument);
+  StatsCollector c(2, 0.9);
+  EXPECT_THROW(c.record_image({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Stats, FasterNodeDominatesAfterDegradation) {
+  // Node 1 degrades mid-run; its estimate must fall below node 0's.
+  StatsCollector c(2, 0.9, 4.0);
+  for (int i = 0; i < 5; ++i) c.record_image({8, 8});
+  for (int i = 0; i < 5; ++i) c.record_image({8, 3});
+  EXPECT_GT(c.speed(0), c.speed(1));
+  EXPECT_NEAR(c.speed(1), 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace adcnn::core

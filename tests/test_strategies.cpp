@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/strategies.hpp"
+
+namespace adcnn::core {
+namespace {
+
+TEST(Strategies, ChannelPartitionReproducesPaperExample) {
+  // §3.1: VGG16 L1 ofmap 224x224x64 split over 2 devices ->
+  // 224*224*64/2 * 32 bits = 51.38 Mbit received per device.
+  const arch::ArchSpec spec = arch::vgg16();
+  const auto& conv1 = spec.blocks[0].layers[0];
+  const std::int64_t bytes = channel_partition_layer_bytes(conv1, 2);
+  EXPECT_NEAR(static_cast<double>(bytes) * 8e-6, 51.38, 0.05);
+}
+
+TEST(Strategies, ChannelPartitionGrowsWithDevices) {
+  const arch::ArchSpec spec = arch::vgg16();
+  const auto two = channel_partition_comm_bytes(spec, 2, 7);
+  const auto four = channel_partition_comm_bytes(spec, 4, 7);
+  EXPECT_GT(four, two);
+  EXPECT_EQ(channel_partition_comm_bytes(spec, 1, 7), 0);
+}
+
+TEST(Strategies, HaloExchangeMuchSmallerThanChannel) {
+  // The paper's conclusion in §3.1: spatial partitioning moves only halo
+  // neurons, orders of magnitude less than channel partitioning.
+  const arch::ArchSpec spec = arch::vgg16();
+  const auto halo = halo_exchange_comm_bytes(spec, TileGrid{2, 2}, 7);
+  const auto channel = channel_partition_comm_bytes(spec, 4, 7);
+  EXPECT_LT(halo, channel / 5);
+  EXPECT_GT(halo, 0);
+}
+
+TEST(Strategies, HaloExchangeScalesWithCuts) {
+  const arch::ArchSpec spec = arch::vgg16();
+  const auto g2 = halo_exchange_comm_bytes(spec, TileGrid{2, 2}, 7);
+  const auto g4 = halo_exchange_comm_bytes(spec, TileGrid{4, 4}, 7);
+  EXPECT_GT(g4, g2);  // more internal boundaries
+}
+
+TEST(Strategies, FdspToCentralIsSeparableOfmap) {
+  const arch::ArchSpec spec = arch::vgg16();
+  EXPECT_EQ(fdsp_to_central_bytes(spec), spec.separable_out_bytes());
+}
+
+TEST(Strategies, AoflOverheadGrowsWithFuseDepth) {
+  // §7.4: the halo-recomputation overhead "increases exponentially as the
+  // number of fused layers increases".
+  const arch::ArchSpec spec = arch::vgg16();
+  const TileGrid grid{2, 4};
+  double prev = 1.0;
+  for (int fused : {1, 3, 5, 7}) {
+    const double overhead = aofl_compute_overhead(spec, grid, fused);
+    EXPECT_GE(overhead, prev - 1e-9) << "fused=" << fused;
+    prev = overhead;
+  }
+  EXPECT_GT(prev, 1.05);  // deep fusion clearly pays recomputation
+}
+
+TEST(Strategies, AoflOverheadGrowsWithGrid) {
+  const arch::ArchSpec spec = arch::vgg16();
+  const double coarse = aofl_compute_overhead(spec, TileGrid{2, 2}, 5);
+  const double fine = aofl_compute_overhead(spec, TileGrid{4, 4}, 5);
+  EXPECT_GT(fine, coarse);
+}
+
+TEST(Strategies, AoflOverheadAtLeastOne) {
+  const arch::ArchSpec spec = arch::charcnn();
+  EXPECT_GE(aofl_compute_overhead(spec, TileGrid{1, 8}, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace adcnn::core

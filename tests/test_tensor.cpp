@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace adcnn {
+namespace {
+
+TEST(Shape, NumelAndEquality) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s, (Shape{2, 3, 4, 5}));
+  EXPECT_NE(s, (Shape{2, 3, 4, 6}));
+  EXPECT_EQ(Shape{}.numel(), 1);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{1, 2, 3}).to_string(), "[1,2,3]");
+}
+
+TEST(Tensor, ZeroConstruction) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstruction) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor::from_data(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_data(Shape{2, 2}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, At4dIndexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[t.numel() - 1], 7.0f);
+  t.at(0, 0, 0, 0) = 3.0f;
+  EXPECT_EQ(t[0], 3.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_data(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, CropExtractsWindow) {
+  Tensor t(Shape{1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) t[i] = static_cast<float>(i);
+  Tensor c = t.crop(0, 1, 1, 2, 2, 2);
+  EXPECT_EQ(c.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(c[0], 6.0f);   // (1,2)
+  EXPECT_EQ(c[1], 7.0f);   // (1,3)
+  EXPECT_EQ(c[2], 10.0f);  // (2,2)
+  EXPECT_EQ(c[3], 11.0f);  // (2,3)
+}
+
+TEST(Tensor, CropOutOfRangeThrows) {
+  Tensor t(Shape{1, 1, 4, 4});
+  EXPECT_THROW(t.crop(0, 1, 3, 2, 0, 4), std::out_of_range);
+  EXPECT_THROW(t.crop(0, 2, 0, 4, 0, 4), std::out_of_range);
+}
+
+TEST(Tensor, PasteRoundTripsCrop) {
+  Rng rng(1);
+  Tensor t = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+  Tensor c = t.crop(1, 1, 2, 4, 4, 4);
+  Tensor u = Tensor::zeros(t.shape());
+  u.paste(c, 1, 2, 4);
+  EXPECT_EQ(u.crop(1, 1, 2, 4, 4, 4).span()[3], c.span()[3]);
+  EXPECT_EQ(Tensor::max_abs_diff(u.crop(1, 1, 2, 4, 4, 4), c), 0.0f);
+}
+
+TEST(Tensor, PasteOutOfRangeThrows) {
+  Tensor t(Shape{1, 1, 4, 4});
+  Tensor p(Shape{1, 1, 3, 3});
+  EXPECT_THROW(t.paste(p, 0, 2, 2), std::out_of_range);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a = Tensor::from_data(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::from_data(Shape{3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.add_scaled_(b, -1.0f);
+  EXPECT_EQ(a[1], 2.0f);
+  a.mul_(2.0f);
+  EXPECT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from_data(Shape{4}, {-3, 0, 2, 1});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+  EXPECT_EQ(t.min(), -3.0f);
+  EXPECT_EQ(t.max(), 2.0f);
+  EXPECT_EQ(t.abs_max(), 3.0f);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 0.25);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a = Tensor::from_data(Shape{2}, {1, 5});
+  Tensor b = Tensor::from_data(Shape{2}, {1.5, 3});
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 2.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(42);
+  Tensor t = Tensor::randn(Shape{10000}, rng, 1.0f, 2.0f);
+  const double m = t.sum() / 10000.0;
+  EXPECT_NEAR(m, 1.0, 0.1);
+}
+
+TEST(Tensor, RandRange) {
+  Rng rng(42);
+  Tensor t = Tensor::rand(Shape{1000}, rng, -1.0f, 1.0f);
+  EXPECT_GE(t.min(), -1.0f);
+  EXPECT_LT(t.max(), 1.0f);
+}
+
+}  // namespace
+}  // namespace adcnn

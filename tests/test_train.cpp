@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/shapes.hpp"
+#include "nn/models_mini.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+namespace adcnn::train {
+namespace {
+
+TEST(SoftmaxCe, KnownValues) {
+  // Uniform logits -> loss = log(K), grad = (1/K - onehot)/N.
+  const Tensor logits = Tensor::zeros(Shape{2, 4});
+  const std::vector<int> labels{1, 3};
+  const LossResult r = softmax_ce(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+  EXPECT_NEAR(r.grad[0], 0.25 / 2, 1e-6);
+  EXPECT_NEAR(r.grad[1], (0.25 - 1.0) / 2, 1e-6);
+}
+
+TEST(SoftmaxCe, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::zeros(Shape{1, 3});
+  logits[2] = 20.0f;
+  const LossResult r = softmax_ce(logits, std::vector<int>{2});
+  EXPECT_LT(r.loss, 1e-6);
+  EXPECT_EQ(r.accuracy, 1.0);
+}
+
+TEST(SoftmaxCe, GradientMatchesNumeric) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn(Shape{3, 5}, rng);
+  const std::vector<int> labels{0, 2, 4};
+  const LossResult r = softmax_ce(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); i += 3) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double up = softmax_ce(logits, labels).loss;
+    logits[i] = saved - eps;
+    const double down = softmax_ce(logits, labels).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(r.grad[i], (up - down) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(DenseCe, GradientMatchesNumeric) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn(Shape{2, 3, 2, 2}, rng);
+  std::vector<int> labels(8);
+  for (auto& l : labels) l = static_cast<int>(rng.uniform_int(3));
+  const LossResult r = dense_ce(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); i += 5) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double up = dense_ce(logits, labels).loss;
+    logits[i] = saved - eps;
+    const double down = dense_ce(logits, labels).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(r.grad[i], (up - down) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(DenseCe, Validation) {
+  const Tensor logits = Tensor::zeros(Shape{1, 3, 2, 2});
+  EXPECT_THROW(dense_ce(logits, std::vector<int>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_ce(Tensor::zeros(Shape{2, 3}), std::vector<int>{0}),
+               std::invalid_argument);
+}
+
+TEST(MeanIou, PerfectAndWorst) {
+  Tensor logits = Tensor::zeros(Shape{1, 2, 2, 2});
+  // Predict class 1 everywhere.
+  for (std::int64_t i = 4; i < 8; ++i) logits[i] = 5.0f;
+  const std::vector<int> all_ones{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(mean_iou(logits, all_ones, 2), 1.0);
+  const std::vector<int> all_zeros{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(mean_iou(logits, all_zeros, 2), 0.0);
+}
+
+TEST(Sgd, GradientDescentStep) {
+  nn::Param p(Tensor::from_data(Shape{2}, {1.0f, -1.0f}), "p");
+  p.grad = Tensor::from_data(Shape{2}, {0.5f, -0.5f});
+  Sgd opt({&p}, /*lr=*/0.1, /*momentum=*/0.0, /*wd=*/0.0);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], -0.95f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  nn::Param p(Tensor::from_data(Shape{1}, {0.0f}), "p");
+  Sgd opt({&p}, 1.0, 0.9, 0.0);
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1, p=-1
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1.9, p=-2.9
+  EXPECT_NEAR(p.value[0], -2.9f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayShrinks) {
+  nn::Param p(Tensor::from_data(Shape{1}, {2.0f}), "p");
+  Sgd opt({&p}, 0.1, 0.0, 0.5);
+  p.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_NEAR(p.value[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6f);
+}
+
+TEST(Trainer, MakeBatchGathersSamples) {
+  data::ShapesConfig cfg;
+  cfg.count = 10;
+  const data::Dataset ds = data::make_shapes_classification(cfg);
+  Tensor x;
+  std::vector<int> y;
+  const std::vector<int> indices{7, 2};
+  make_batch(ds, indices, x, y);
+  EXPECT_EQ(x.shape()[0], 2);
+  EXPECT_EQ(y[0], ds.labels[7]);
+  EXPECT_EQ(y[1], ds.labels[2]);
+}
+
+TEST(Trainer, LossDecreasesOnShapes) {
+  data::ShapesConfig cfg;
+  cfg.count = 384;
+  const data::Dataset train_set = data::make_shapes_classification(cfg);
+  cfg.seed = 137;
+  cfg.count = 96;
+  const data::Dataset test_set = data::make_shapes_classification(cfg);
+  Rng rng(5);
+  nn::MiniOptions mopt;
+  mopt.width_mult = 0.5;
+  nn::Model model = nn::make_vgg_mini(rng, mopt);
+  const EvalResult before = evaluate(model, test_set);
+  TrainConfig tcfg;
+  tcfg.epochs = 4;
+  tcfg.lr = 0.02;
+  const auto trace = train(model, train_set, test_set, tcfg);
+  EXPECT_LT(trace.back().loss, before.loss);
+  EXPECT_GT(trace.back().accuracy, before.accuracy);
+}
+
+TEST(Trainer, DenseTaskTrains) {
+  data::ShapesConfig cfg;
+  cfg.count = 48;
+  const data::Dataset train_set = data::make_shapes_segmentation(cfg);
+  Rng rng(6);
+  nn::MiniOptions mopt;
+  mopt.num_classes = train_set.num_classes;
+  mopt.width_mult = 0.5;
+  nn::Model model = nn::make_fcn_mini(rng, mopt);
+  const EvalResult before = evaluate(model, train_set);
+  TrainConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.lr = 0.05;
+  train(model, train_set, train_set, tcfg);
+  const EvalResult after = evaluate(model, train_set);
+  EXPECT_GT(after.accuracy, before.accuracy);
+  EXPECT_GT(after.mean_iou, 0.0);
+}
+
+}  // namespace
+}  // namespace adcnn::train
