@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_layer_profile.dir/fig03_layer_profile.cpp.o"
+  "CMakeFiles/fig03_layer_profile.dir/fig03_layer_profile.cpp.o.d"
+  "fig03_layer_profile"
+  "fig03_layer_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_layer_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy.dir/fig10_accuracy.cpp.o"
+  "CMakeFiles/fig10_accuracy.dir/fig10_accuracy.cpp.o.d"
+  "fig10_accuracy"
+  "fig10_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

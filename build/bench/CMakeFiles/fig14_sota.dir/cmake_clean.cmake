@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sota.dir/fig14_sota.cpp.o"
+  "CMakeFiles/fig14_sota.dir/fig14_sota.cpp.o.d"
+  "fig14_sota"
+  "fig14_sota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_dynamic.dir/fig15_dynamic.cpp.o"
+  "CMakeFiles/fig15_dynamic.dir/fig15_dynamic.cpp.o.d"
+  "fig15_dynamic"
+  "fig15_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

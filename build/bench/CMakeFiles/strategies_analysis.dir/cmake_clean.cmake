@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategies_analysis.dir/strategies_analysis.cpp.o"
+  "CMakeFiles/strategies_analysis.dir/strategies_analysis.cpp.o.d"
+  "strategies_analysis"
+  "strategies_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategies_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table01_retrain_epochs.cpp" "bench/CMakeFiles/table01_retrain_epochs.dir/table01_retrain_epochs.cpp.o" "gcc" "bench/CMakeFiles/table01_retrain_epochs.dir/table01_retrain_epochs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/adcnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adcnn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/adcnn_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/adcnn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adcnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

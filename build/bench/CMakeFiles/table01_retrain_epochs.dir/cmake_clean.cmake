@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_retrain_epochs.dir/table01_retrain_epochs.cpp.o"
+  "CMakeFiles/table01_retrain_epochs.dir/table01_retrain_epochs.cpp.o.d"
+  "table01_retrain_epochs"
+  "table01_retrain_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_retrain_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_compression.dir/table02_compression.cpp.o"
+  "CMakeFiles/table02_compression.dir/table02_compression.cpp.o.d"
+  "table02_compression"
+  "table02_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_breakdown.dir/table03_breakdown.cpp.o"
+  "CMakeFiles/table03_breakdown.dir/table03_breakdown.cpp.o.d"
+  "table03_breakdown"
+  "table03_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

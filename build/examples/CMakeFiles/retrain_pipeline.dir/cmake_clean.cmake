@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrain_pipeline.dir/retrain_pipeline.cpp.o"
+  "CMakeFiles/retrain_pipeline.dir/retrain_pipeline.cpp.o.d"
+  "retrain_pipeline"
+  "retrain_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrain_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aofl.cpp" "src/baselines/CMakeFiles/adcnn_baselines.dir/aofl.cpp.o" "gcc" "src/baselines/CMakeFiles/adcnn_baselines.dir/aofl.cpp.o.d"
+  "/root/repo/src/baselines/neurosurgeon.cpp" "src/baselines/CMakeFiles/adcnn_baselines.dir/neurosurgeon.cpp.o" "gcc" "src/baselines/CMakeFiles/adcnn_baselines.dir/neurosurgeon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/adcnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

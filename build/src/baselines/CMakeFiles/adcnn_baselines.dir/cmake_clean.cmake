@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_baselines.dir/aofl.cpp.o"
+  "CMakeFiles/adcnn_baselines.dir/aofl.cpp.o.d"
+  "CMakeFiles/adcnn_baselines.dir/neurosurgeon.cpp.o"
+  "CMakeFiles/adcnn_baselines.dir/neurosurgeon.cpp.o.d"
+  "libadcnn_baselines.a"
+  "libadcnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/pipeline.cpp" "src/compress/CMakeFiles/adcnn_compress.dir/pipeline.cpp.o" "gcc" "src/compress/CMakeFiles/adcnn_compress.dir/pipeline.cpp.o.d"
+  "/root/repo/src/compress/quantizer.cpp" "src/compress/CMakeFiles/adcnn_compress.dir/quantizer.cpp.o" "gcc" "src/compress/CMakeFiles/adcnn_compress.dir/quantizer.cpp.o.d"
+  "/root/repo/src/compress/rle.cpp" "src/compress/CMakeFiles/adcnn_compress.dir/rle.cpp.o" "gcc" "src/compress/CMakeFiles/adcnn_compress.dir/rle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_compress.dir/pipeline.cpp.o"
+  "CMakeFiles/adcnn_compress.dir/pipeline.cpp.o.d"
+  "CMakeFiles/adcnn_compress.dir/quantizer.cpp.o"
+  "CMakeFiles/adcnn_compress.dir/quantizer.cpp.o.d"
+  "CMakeFiles/adcnn_compress.dir/rle.cpp.o"
+  "CMakeFiles/adcnn_compress.dir/rle.cpp.o.d"
+  "libadcnn_compress.a"
+  "libadcnn_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

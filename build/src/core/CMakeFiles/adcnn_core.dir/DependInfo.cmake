@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocate.cpp" "src/core/CMakeFiles/adcnn_core.dir/allocate.cpp.o" "gcc" "src/core/CMakeFiles/adcnn_core.dir/allocate.cpp.o.d"
+  "/root/repo/src/core/fdsp.cpp" "src/core/CMakeFiles/adcnn_core.dir/fdsp.cpp.o" "gcc" "src/core/CMakeFiles/adcnn_core.dir/fdsp.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "src/core/CMakeFiles/adcnn_core.dir/geometry.cpp.o" "gcc" "src/core/CMakeFiles/adcnn_core.dir/geometry.cpp.o.d"
+  "/root/repo/src/core/halo_reference.cpp" "src/core/CMakeFiles/adcnn_core.dir/halo_reference.cpp.o" "gcc" "src/core/CMakeFiles/adcnn_core.dir/halo_reference.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/adcnn_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/adcnn_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/adcnn_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/adcnn_core.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/adcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

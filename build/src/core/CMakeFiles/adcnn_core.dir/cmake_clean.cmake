@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_core.dir/allocate.cpp.o"
+  "CMakeFiles/adcnn_core.dir/allocate.cpp.o.d"
+  "CMakeFiles/adcnn_core.dir/fdsp.cpp.o"
+  "CMakeFiles/adcnn_core.dir/fdsp.cpp.o.d"
+  "CMakeFiles/adcnn_core.dir/geometry.cpp.o"
+  "CMakeFiles/adcnn_core.dir/geometry.cpp.o.d"
+  "CMakeFiles/adcnn_core.dir/halo_reference.cpp.o"
+  "CMakeFiles/adcnn_core.dir/halo_reference.cpp.o.d"
+  "CMakeFiles/adcnn_core.dir/stats.cpp.o"
+  "CMakeFiles/adcnn_core.dir/stats.cpp.o.d"
+  "CMakeFiles/adcnn_core.dir/strategies.cpp.o"
+  "CMakeFiles/adcnn_core.dir/strategies.cpp.o.d"
+  "libadcnn_core.a"
+  "libadcnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

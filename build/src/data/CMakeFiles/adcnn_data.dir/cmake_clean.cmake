@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_data.dir/charseq.cpp.o"
+  "CMakeFiles/adcnn_data.dir/charseq.cpp.o.d"
+  "CMakeFiles/adcnn_data.dir/shapes.cpp.o"
+  "CMakeFiles/adcnn_data.dir/shapes.cpp.o.d"
+  "libadcnn_data.a"
+  "libadcnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

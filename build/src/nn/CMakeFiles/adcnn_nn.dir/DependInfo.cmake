@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/archspec.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/archspec.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/archspec.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/models_mini.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/models_mini.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/models_mini.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/profile.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/profile.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/profile.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/regularization.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/regularization.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/regularization.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tiling.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/tiling.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/tiling.cpp.o.d"
+  "/root/repo/src/nn/upsample.cpp" "src/nn/CMakeFiles/adcnn_nn.dir/upsample.cpp.o" "gcc" "src/nn/CMakeFiles/adcnn_nn.dir/upsample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

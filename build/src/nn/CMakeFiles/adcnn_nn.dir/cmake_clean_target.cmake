@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadcnn_nn.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/central_node.cpp" "src/runtime/CMakeFiles/adcnn_runtime.dir/central_node.cpp.o" "gcc" "src/runtime/CMakeFiles/adcnn_runtime.dir/central_node.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/runtime/CMakeFiles/adcnn_runtime.dir/cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/adcnn_runtime.dir/cluster.cpp.o.d"
+  "/root/repo/src/runtime/conv_node.cpp" "src/runtime/CMakeFiles/adcnn_runtime.dir/conv_node.cpp.o" "gcc" "src/runtime/CMakeFiles/adcnn_runtime.dir/conv_node.cpp.o.d"
+  "/root/repo/src/runtime/link.cpp" "src/runtime/CMakeFiles/adcnn_runtime.dir/link.cpp.o" "gcc" "src/runtime/CMakeFiles/adcnn_runtime.dir/link.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/runtime/CMakeFiles/adcnn_runtime.dir/message.cpp.o" "gcc" "src/runtime/CMakeFiles/adcnn_runtime.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/adcnn_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

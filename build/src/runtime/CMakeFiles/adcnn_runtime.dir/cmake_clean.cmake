@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_runtime.dir/central_node.cpp.o"
+  "CMakeFiles/adcnn_runtime.dir/central_node.cpp.o.d"
+  "CMakeFiles/adcnn_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/adcnn_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/adcnn_runtime.dir/conv_node.cpp.o"
+  "CMakeFiles/adcnn_runtime.dir/conv_node.cpp.o.d"
+  "CMakeFiles/adcnn_runtime.dir/link.cpp.o"
+  "CMakeFiles/adcnn_runtime.dir/link.cpp.o.d"
+  "CMakeFiles/adcnn_runtime.dir/message.cpp.o"
+  "CMakeFiles/adcnn_runtime.dir/message.cpp.o.d"
+  "libadcnn_runtime.a"
+  "libadcnn_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

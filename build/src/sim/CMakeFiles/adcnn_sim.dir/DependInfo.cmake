@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adcnn_sim.cpp" "src/sim/CMakeFiles/adcnn_sim.dir/adcnn_sim.cpp.o" "gcc" "src/sim/CMakeFiles/adcnn_sim.dir/adcnn_sim.cpp.o.d"
+  "/root/repo/src/sim/baseline_sim.cpp" "src/sim/CMakeFiles/adcnn_sim.dir/baseline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/adcnn_sim.dir/baseline_sim.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/adcnn_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/adcnn_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/adcnn_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/adcnn_sim.dir/device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_sim.dir/adcnn_sim.cpp.o"
+  "CMakeFiles/adcnn_sim.dir/adcnn_sim.cpp.o.d"
+  "CMakeFiles/adcnn_sim.dir/baseline_sim.cpp.o"
+  "CMakeFiles/adcnn_sim.dir/baseline_sim.cpp.o.d"
+  "CMakeFiles/adcnn_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/adcnn_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/adcnn_sim.dir/device.cpp.o"
+  "CMakeFiles/adcnn_sim.dir/device.cpp.o.d"
+  "libadcnn_sim.a"
+  "libadcnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

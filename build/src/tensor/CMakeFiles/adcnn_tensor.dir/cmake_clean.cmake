@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_tensor.dir/rng.cpp.o"
+  "CMakeFiles/adcnn_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/adcnn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/adcnn_tensor.dir/tensor.cpp.o.d"
+  "libadcnn_tensor.a"
+  "libadcnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcnn_train.dir/loss.cpp.o"
+  "CMakeFiles/adcnn_train.dir/loss.cpp.o.d"
+  "CMakeFiles/adcnn_train.dir/optimizer.cpp.o"
+  "CMakeFiles/adcnn_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/adcnn_train.dir/progressive.cpp.o"
+  "CMakeFiles/adcnn_train.dir/progressive.cpp.o.d"
+  "CMakeFiles/adcnn_train.dir/trainer.cpp.o"
+  "CMakeFiles/adcnn_train.dir/trainer.cpp.o.d"
+  "libadcnn_train.a"
+  "libadcnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocate.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_allocate.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_allocate.cpp.o.d"
+  "/root/repo/tests/test_archspec.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_archspec.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_archspec.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_compress.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_compress.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_compress.cpp.o.d"
+  "/root/repo/tests/test_conv.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_conv.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_conv.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_e2e.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_e2e.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_e2e.cpp.o.d"
+  "/root/repo/tests/test_fdsp.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_fdsp.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_fdsp.cpp.o.d"
+  "/root/repo/tests/test_fdsp_families.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_fdsp_families.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_fdsp_families.cpp.o.d"
+  "/root/repo/tests/test_gemm.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_gemm.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_gradcheck.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_halo_reference.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_halo_reference.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_halo_reference.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_progressive.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_progressive.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_progressive.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_regularization.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_regularization.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_regularization.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_runtime_policies.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_runtime_policies.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_runtime_policies.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sim_properties.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_sim_properties.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strategies.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_strategies.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_train.cpp" "tests/CMakeFiles/adcnn_tests.dir/test_train.cpp.o" "gcc" "tests/CMakeFiles/adcnn_tests.dir/test_train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/adcnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/adcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adcnn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/adcnn_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/adcnn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adcnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/adcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
