@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+#include "runtime/central_node.hpp"
 #include "sim/adcnn_sim.hpp"
 
 namespace adcnn::bench {
@@ -46,6 +49,57 @@ inline sim::AdcnnSimConfig adcnn_config(const arch::ArchSpec& spec,
   if (spec.hin == 1) cfg.grid = core::TileGrid{1, 8};  // 1-D models
   if (deep) cfg.separable_override = sim::deep_partition_blocks(spec);
   return cfg;
+}
+
+/// Persist a telemetry export (InferStats::to_json report lines, a Chrome
+/// trace from obs::TraceRecorder, a CSV timeline, a metrics snapshot) next
+/// to the bench's stdout tables.
+inline bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "bench: failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Aggregate a run of per-inference reports into one JSON summary (mean
+/// stage timings + totals) — the breakdown benches' structured output, in
+/// the same schema family as InferStats::to_json.
+inline std::string stage_summary_json(
+    const std::vector<runtime::InferStats>& runs) {
+  runtime::StageTimings mean;
+  double elapsed = 0.0;
+  std::int64_t tiles = 0, missing = 0;
+  for (const auto& r : runs) {
+    mean.partition_s += r.stages.partition_s;
+    mean.allocate_s += r.stages.allocate_s;
+    mean.scatter_s += r.stages.scatter_s;
+    mean.gather_s += r.stages.gather_s;
+    mean.zero_fill_s += r.stages.zero_fill_s;
+    mean.suffix_s += r.stages.suffix_s;
+    elapsed += r.elapsed_s;
+    tiles += r.tiles_total;
+    missing += r.tiles_missing;
+  }
+  const double n = runs.empty() ? 1.0 : static_cast<double>(runs.size());
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("images", static_cast<std::int64_t>(runs.size()));
+  w.kv("tiles_total", tiles);
+  w.kv("tiles_missing", missing);
+  w.kv("mean_elapsed_s", elapsed / n);
+  w.key("mean_stages").begin_object();
+  w.kv("partition_s", mean.partition_s / n);
+  w.kv("allocate_s", mean.allocate_s / n);
+  w.kv("scatter_s", mean.scatter_s / n);
+  w.kv("gather_s", mean.gather_s / n);
+  w.kv("zero_fill_s", mean.zero_fill_s / n);
+  w.kv("suffix_s", mean.suffix_s / n);
+  w.end_object();
+  w.end_object();
+  return w.take();
 }
 
 inline const std::vector<std::string>& five_models() {

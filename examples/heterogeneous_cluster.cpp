@@ -10,6 +10,7 @@
 
 #include "core/fdsp.hpp"
 #include "nn/models_mini.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/cluster.hpp"
 
 using namespace adcnn;
@@ -24,9 +25,11 @@ int main() {
   core::PartitionedModel pm =
       core::apply_fdsp(nn::make_vgg_mini(rng, nn::MiniOptions{}), opt);
 
+  obs::MetricsRegistry metrics;  // cluster-wide counters, no tracing
   runtime::ClusterConfig cfg;
   cfg.num_nodes = 4;
   cfg.deadline_s = 0.06;  // T_L: tight enough to expose stragglers
+  cfg.telemetry.metrics = &metrics;
   runtime::EdgeCluster cluster(pm, cfg);
 
   const Tensor image = Tensor::randn(Shape{1, 3, 32, 32}, rng);
@@ -46,12 +49,29 @@ int main() {
       for (const auto assigned : stats.assigned)
         std::printf("%5lld ", static_cast<long long>(assigned));
       std::printf("| ");
-      for (int k = 0; k < cfg.num_nodes; ++k)
-        std::printf("%6.2f ", cluster.central().collector().speed(k));
+      for (const auto speed : stats.speeds)  // s_k rides in the report now
+        std::printf("%6.2f ", speed);
       std::printf("| %lld\n", static_cast<long long>(stats.tiles_missing));
     }
   }
   std::printf("\nThe throttled nodes' s_k collapsed and Algorithm 3 routed "
               "the tiles to the healthy nodes.\n");
+
+  // Cluster-wide telemetry accumulated by the metrics registry.
+  const auto snap = metrics.snapshot();
+  if (!snap.counters.empty()) {
+    std::printf("telemetry: %lld tiles compressed %.1fx, %lld zero-filled, "
+                "%llu B down / %llu B up\n",
+                static_cast<long long>(snap.counters.at("codec.tiles")),
+                static_cast<double>(snap.counters.at("codec.raw_bytes")) /
+                    static_cast<double>(
+                        snap.counters.at("codec.encoded_bytes")),
+                static_cast<long long>(
+                    snap.counters.at("central.tiles_missing")),
+                static_cast<unsigned long long>(
+                    snap.counters.at("link.downlink_bytes")),
+                static_cast<unsigned long long>(
+                    snap.counters.at("link.uplink_bytes")));
+  }
   return 0;
 }

@@ -62,5 +62,10 @@ int main() {
                 static_cast<unsigned long long>(cluster.uplink(k).bytes_sent()));
   std::printf("\nmax |distributed - monolithic| = %.2e\n",
               Tensor::max_abs_diff(output, reference));
+
+  // 5. The same numbers as a structured report (stage timings, per-node
+  //    outcome, Algorithm 2 speeds) — the format bench/ and the telemetry
+  //    tooling consume; see examples/trace_viewer_export for full traces.
+  std::printf("per-inference report:\n%s\n", stats.to_json().c_str());
   return Tensor::max_abs_diff(output, reference) < 1e-4f ? 0 : 1;
 }

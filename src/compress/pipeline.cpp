@@ -7,6 +7,19 @@ namespace adcnn::compress {
 
 TileCodec::TileCodec(float range, int bits) : quant_(range, bits) {}
 
+void TileCodec::attach_telemetry(obs::MetricsRegistry* metrics) {
+  if (!metrics) {
+    obs_ = CodecCounters{};
+    return;
+  }
+  obs_.raw_bytes = &metrics->counter("codec.raw_bytes");
+  obs_.quant_packed_bytes = &metrics->counter("codec.quant_packed_bytes");
+  obs_.encoded_bytes = &metrics->counter("codec.encoded_bytes");
+  obs_.nonzeros = &metrics->counter("codec.nonzeros");
+  obs_.elements = &metrics->counter("codec.elements");
+  obs_.tiles = &metrics->counter("codec.tiles");
+}
+
 std::vector<std::uint8_t> TileCodec::encode(const Tensor& t,
                                             StageSizes* sizes) const {
   const auto levels = quant_.quantize_all(t.span());
@@ -25,6 +38,20 @@ std::vector<std::uint8_t> TileCodec::encode(const Tensor& t,
     sizes->quant_packed_bytes =
         (static_cast<std::int64_t>(levels.size()) * quant_.bits() + 7) / 8;
     sizes->encoded_bytes = static_cast<std::int64_t>(wire.size());
+  }
+  if constexpr (obs::kEnabled) {
+    if (obs_.tiles) {
+      std::int64_t nz = 0;
+      for (const auto level : levels) nz += (level != 0);
+      obs_.raw_bytes->add(t.numel() *
+                          static_cast<std::int64_t>(sizeof(float)));
+      obs_.quant_packed_bytes->add(
+          (static_cast<std::int64_t>(levels.size()) * quant_.bits() + 7) / 8);
+      obs_.encoded_bytes->add(static_cast<std::int64_t>(wire.size()));
+      obs_.nonzeros->add(nz);
+      obs_.elements->add(static_cast<std::int64_t>(levels.size()));
+      obs_.tiles->add(1);
+    }
   }
   return wire;
 }

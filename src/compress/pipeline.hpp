@@ -15,6 +15,8 @@
 
 #include "compress/quantizer.hpp"
 #include "compress/rle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "tensor/tensor.hpp"
 
 namespace adcnn::compress {
@@ -44,8 +46,23 @@ class TileCodec {
 
   const Quantizer& quantizer() const { return quant_; }
 
+  /// Telemetry: account every encode into `codec.*` counters (raw bytes
+  /// in, k-bit packed bytes, wire bytes out, nonzero levels, elements,
+  /// tiles), so the measured compression ratio is a metric rather than a
+  /// bench-only number. Null detaches. Not thread-safe against concurrent
+  /// encode(): attach before sharing the codec across workers.
+  void attach_telemetry(obs::MetricsRegistry* metrics);
+
  private:
   Quantizer quant_;
+  struct CodecCounters {
+    obs::Counter* raw_bytes = nullptr;
+    obs::Counter* quant_packed_bytes = nullptr;
+    obs::Counter* encoded_bytes = nullptr;
+    obs::Counter* nonzeros = nullptr;
+    obs::Counter* elements = nullptr;
+    obs::Counter* tiles = nullptr;
+  } obs_;
 };
 
 /// Uncompressed fp32 encoding, the "without pruning" baseline of Fig. 12.

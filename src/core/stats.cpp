@@ -4,9 +4,20 @@
 
 namespace adcnn::core {
 
+namespace {
+// Validate before the vector is sized: a negative count must surface as
+// invalid_argument, not the vector's length_error.
+std::size_t checked_node_count(int num_nodes) {
+  if (num_nodes < 1) {
+    throw std::invalid_argument("StatsCollector: bad num_nodes/gamma");
+  }
+  return static_cast<std::size_t>(num_nodes);
+}
+}  // namespace
+
 StatsCollector::StatsCollector(int num_nodes, double gamma, double initial)
-    : s_(static_cast<std::size_t>(num_nodes), initial), gamma_(gamma) {
-  if (num_nodes < 1 || gamma <= 0.0 || gamma > 1.0) {
+    : s_(checked_node_count(num_nodes), initial), gamma_(gamma) {
+  if (gamma <= 0.0 || gamma > 1.0) {
     throw std::invalid_argument("StatsCollector: bad num_nodes/gamma");
   }
 }
@@ -19,11 +30,19 @@ void StatsCollector::record_image(
   for (std::size_t k = 0; k < s_.size(); ++k)
     s_[k] = (1.0 - gamma_) * s_[k] +
             gamma_ * static_cast<double>(results_within_deadline[k]);
+  ++updates_;
 }
 
 void StatsCollector::record_node(int node, std::int64_t count) {
   auto& s = s_.at(static_cast<std::size_t>(node));
   s = (1.0 - gamma_) * s + gamma_ * static_cast<double>(count);
+  ++updates_;
+}
+
+double StatsCollector::total_speed() const {
+  double total = 0.0;
+  for (const auto s : s_) total += s;
+  return total;
 }
 
 }  // namespace adcnn::core

@@ -30,9 +30,18 @@ class StatsCollector {
   double speed(int node) const { return s_[static_cast<std::size_t>(node)]; }
   const std::vector<double>& speeds() const { return s_; }
 
+  /// Sum of all s_k — the cluster-wide throughput estimate (tiles per
+  /// deadline window). Telemetry exports it as a gauge.
+  double total_speed() const;
+
+  /// Number of EMA folds applied so far (record_image counts once;
+  /// record_node once per call). Lets reports state how warmed-up s_k is.
+  std::int64_t updates() const { return updates_; }
+
  private:
   std::vector<double> s_;
   double gamma_;
+  std::int64_t updates_ = 0;
 };
 
 }  // namespace adcnn::core

@@ -1,0 +1,120 @@
+// Minimal JSON writer for telemetry exports. Emits RFC 8259 output
+// (string escaping, finite-number handling); no parsing, no DOM — the
+// telemetry subsystem only ever serializes.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace adcnn::obs {
+
+inline void json_escape_into(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Streaming writer producing compact JSON. Keys/values must be emitted
+/// in a valid order (the writer tracks comma placement, not grammar).
+class JsonWriter {
+ public:
+  std::string take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+  JsonWriter& begin_object() { open('{'); return *this; }
+  JsonWriter& end_object() { close('}'); return *this; }
+  JsonWriter& begin_array() { open('['); return *this; }
+  JsonWriter& end_array() { close(']'); return *this; }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    json_escape_into(out_, k);
+    out_.push_back(':');
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    json_escape_into(out_, v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {  // JSON has no inf/nan
+      out_ += "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // directly after a key: no separator
+    }
+    if (!out_.empty() && out_.back() != '{' && out_.back() != '[' &&
+        out_.back() != ':') {
+      out_.push_back(',');
+    }
+  }
+  void open(char c) {
+    comma();
+    out_.push_back(c);
+  }
+  void close(char c) {
+    pending_value_ = false;
+    out_.push_back(c);
+  }
+
+  std::string out_;
+  bool pending_value_ = false;
+};
+
+}  // namespace adcnn::obs

@@ -1,0 +1,117 @@
+// Lock-cheap metrics: named counters, gauges, and fixed-bucket histograms.
+//
+// Hot-path writes are single relaxed atomic RMWs (no locks, no allocation).
+// The registry mutex is taken only when an instrument is first looked up by
+// name — call sites resolve once and cache the reference — and when a
+// snapshot is taken. Instrument references stay valid for the registry's
+// lifetime (node-stable storage).
+//
+// Snapshots are taken while writers may still be running; per-instrument
+// values are individually atomic but the snapshot as a whole is not a
+// consistent cut (standard Prometheus-style semantics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adcnn::obs {
+
+/// Monotonically increasing integer.
+class Counter {
+ public:
+  void add(std::int64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Instantaneous double value (queue depths, EMA speeds, ratios).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;   // bucket i counts v <= upper_bounds[i]
+  std::vector<std::int64_t> counts;   // upper_bounds.size() + 1 (last = +inf)
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  std::int64_t bucket_total() const;
+};
+
+/// Fixed-bucket histogram. Bounds are set at construction; observe() is a
+/// branch-light scan plus relaxed atomic increments.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  HistogramSnapshot snapshot() const;
+
+  /// Default seconds-scale latency buckets: 100us .. 30s, roughly 1-3-10.
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::string to_json() const;
+};
+
+/// Name -> instrument registry. Thread-safe; instruments are created on
+/// first use and never removed.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first creation; later lookups of the same
+  /// name return the existing histogram regardless of bounds.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds =
+                                                    std::vector<double>());
+
+  MetricsSnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace adcnn::obs

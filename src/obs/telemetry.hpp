@@ -1,0 +1,36 @@
+// Telemetry wiring: the compile-time ADCNN_OBS guard and the null-sink
+// handle the runtime threads carry.
+//
+// Instrumentation sites follow one pattern:
+//
+//   if constexpr (obs::kEnabled) {            // compiled out entirely when
+//     if (telemetry_.metrics) ...             // cmake -DADCNN_OBS=OFF
+//   }
+//
+// so a disabled build pays nothing and an enabled build with no sinks
+// attached (the default) pays one predicted branch per site.
+#pragma once
+
+namespace adcnn::obs {
+
+class MetricsRegistry;
+class TraceRecorder;
+
+#ifdef ADCNN_OBS_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Nullable sink pair passed by value through the runtime. Both pointers
+/// null (the default) is the null sink: every instrumentation site is a
+/// no-op. The pointed-to objects must outlive whatever they are attached
+/// to (EdgeCluster, TileCodec, links).
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  bool active() const { return kEnabled && (metrics || trace); }
+};
+
+}  // namespace adcnn::obs

@@ -1,0 +1,47 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace adcnn::obs {
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::vector<Span> snap = spans();
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (const Span& s : snap) {
+    w.begin_object();
+    w.kv("name", s.name).kv("cat", s.cat).kv("ph", "X");
+    // Chrome ts/dur are microseconds; keep ns resolution as fractions.
+    w.kv("ts", static_cast<double>(s.begin_ns) / 1e3);
+    w.kv("dur", static_cast<double>(s.end_ns - s.begin_ns) / 1e3);
+    w.kv("pid", 0).kv("tid", s.tid);
+    w.key("args").begin_object();
+    w.kv("image_id", s.image_id).kv("tile_id", s.tile_id);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string TraceRecorder::to_csv() const {
+  const std::vector<Span> snap = spans();
+  std::string out = "name,cat,tid,begin_us,end_us,dur_us,image_id,tile_id\n";
+  char line[256];
+  for (const Span& s : snap) {
+    std::snprintf(line, sizeof(line),
+                  "%s,%s,%d,%.3f,%.3f,%.3f,%lld,%lld\n", s.name, s.cat, s.tid,
+                  static_cast<double>(s.begin_ns) / 1e3,
+                  static_cast<double>(s.end_ns) / 1e3,
+                  static_cast<double>(s.end_ns - s.begin_ns) / 1e3,
+                  static_cast<long long>(s.image_id),
+                  static_cast<long long>(s.tile_id));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace adcnn::obs

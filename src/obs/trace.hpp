@@ -1,0 +1,116 @@
+// Span tracing for the threaded runtime.
+//
+// A span is one timed stage of the pipeline (partition, downlink,
+// conv_compute, compress, uplink, gather_wait, zero_fill, suffix, ...)
+// annotated with a logical thread id (0 = Central node, k+1 = Conv node k)
+// and the (image_id, tile_id) pair it worked on. Timestamps come from one
+// steady_clock origin per recorder, so spans from all threads share a
+// timeline.
+//
+// Exports: Chrome trace_event JSON ("X" complete events — load in
+// chrome://tracing or https://ui.perfetto.dev) and a flat CSV timeline.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace adcnn::obs {
+
+struct Span {
+  const char* name = "";  // stage name; string literals only
+  const char* cat = "";   // category for trace viewers (== taxonomy family)
+  int tid = 0;            // 0 = Central, k+1 = Conv node k
+  std::int64_t begin_ns = 0;  // offset from the recorder's origin
+  std::int64_t end_ns = 0;
+  std::int64_t image_id = -1;
+  std::int64_t tile_id = -1;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  void record(const Span& span) {
+    std::lock_guard lock(mu_);
+    spans_.push_back(span);
+  }
+
+  std::vector<Span> spans() const {
+    std::lock_guard lock(mu_);
+    return spans_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return spans_.size();
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    spans_.clear();
+  }
+
+  /// Chrome trace_event JSON (the {"traceEvents": [...]} wrapper form).
+  std::string to_chrome_json() const;
+  /// CSV: name,cat,tid,begin_us,end_us,dur_us,image_id,tile_id
+  std::string to_csv() const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+/// RAII span: opens at construction, records at destruction. Inert when
+/// the recorder is null or ADCNN_OBS is compiled out (zero work, and the
+/// optimizer drops the object entirely).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* rec, const char* name, const char* cat, int tid,
+             std::int64_t image_id = -1, std::int64_t tile_id = -1) {
+    if constexpr (kEnabled) {
+      if (rec) {
+        rec_ = rec;
+        span_.name = name;
+        span_.cat = cat;
+        span_.tid = tid;
+        span_.image_id = image_id;
+        span_.tile_id = tile_id;
+        span_.begin_ns = rec->now_ns();
+      }
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Close early (before scope exit); idempotent.
+  void end() {
+    if constexpr (kEnabled) {
+      if (rec_) {
+        span_.end_ns = rec_->now_ns();
+        rec_->record(span_);
+        rec_ = nullptr;
+      }
+    }
+  }
+
+  ~ScopedSpan() { end(); }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  Span span_;
+};
+
+}  // namespace adcnn::obs

@@ -6,8 +6,50 @@
 #include <stdexcept>
 
 #include "nn/tiling.hpp"
+#include "obs/json.hpp"
 
 namespace adcnn::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+std::string InferStats::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("image_id", image_id);
+  w.kv("tiles_total", tiles_total);
+  w.kv("tiles_missing", tiles_missing);
+  w.kv("deadline_s", deadline_s);
+  w.kv("deadline_slack_s", deadline_slack_s);
+  w.kv("elapsed_s", elapsed_s);
+  w.key("stages").begin_object();
+  w.kv("partition_s", stages.partition_s);
+  w.kv("allocate_s", stages.allocate_s);
+  w.kv("scatter_s", stages.scatter_s);
+  w.kv("gather_s", stages.gather_s);
+  w.kv("zero_fill_s", stages.zero_fill_s);
+  w.kv("suffix_s", stages.suffix_s);
+  w.kv("sum_s", stages.sum());
+  w.end_object();
+  w.key("per_node").begin_array();
+  for (std::size_t k = 0; k < assigned.size(); ++k) {
+    w.begin_object();
+    w.kv("node", static_cast<std::int64_t>(k));
+    w.kv("assigned", assigned[k]);
+    w.kv("returned", k < returned.size() ? returned[k] : 0);
+    w.kv("missed", k < missed.size() ? missed[k] : 0);
+    if (k < speeds.size()) w.kv("speed", speeds[k]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
 
 CentralNode::CentralNode(core::PartitionedModel& model,
                          const compress::TileCodec* codec,
@@ -23,19 +65,39 @@ CentralNode::CentralNode(core::PartitionedModel& model,
   if (inboxes_.empty() || inboxes_.size() != downlinks_.size()) {
     throw std::invalid_argument("CentralNode: inbox/link count mismatch");
   }
+  if constexpr (obs::kEnabled) {
+    if (auto* m = cfg_.telemetry.metrics) {
+      obs_.images = &m->counter("central.images");
+      obs_.tiles_total = &m->counter("central.tiles_total");
+      obs_.tiles_missing = &m->counter("central.tiles_missing");
+      obs_.elapsed_s = &m->histogram("central.infer_elapsed_s");
+      obs_.gather_s = &m->histogram("central.gather_s");
+      obs_.total_speed = &m->gauge("stats.total_speed");
+      for (std::size_t k = 0; k < inboxes_.size(); ++k)
+        obs_.node_speed.push_back(
+            &m->gauge("stats.node_speed." + std::to_string(k)));
+    }
+  }
 }
 
 Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = Clock::now();
   const std::int64_t image_id = next_image_id_++;
   const int K = static_cast<int>(inboxes_.size());
+  obs::TraceRecorder* tracer = cfg_.telemetry.trace;
+  obs::ScopedSpan infer_span(tracer, "infer", "image", 0, image_id);
 
   // --- Input partition block: FDSP split. --------------------------------
+  obs::ScopedSpan partition_span(tracer, "partition", "partition", 0,
+                                 image_id);
   const Tensor tiles =
       nn::TileSplit::split(image, model_.grid.rows, model_.grid.cols);
   const std::int64_t T = tiles.n();
+  partition_span.end();
+  const auto t_partitioned = Clock::now();
 
   // --- Algorithm 3: allocate tiles against the running s_k. --------------
+  obs::ScopedSpan allocate_span(tracer, "allocate", "allocate", 0, image_id);
   core::AllocRequest req;
   req.speeds = collector_.speeds();
   req.capacity_tiles.assign(static_cast<std::size_t>(K), cfg_.capacity_tiles);
@@ -70,10 +132,14 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
       }
     }
   }
+  allocate_span.end();
+  const auto t_allocated = Clock::now();
 
   // --- Scatter: transmit each tile to its Conv node. ----------------------
   const std::int64_t C = tiles.c(), th = tiles.h(), tw = tiles.w();
   for (std::int64_t t = 0; t < T; ++t) {
+    obs::ScopedSpan downlink_span(tracer, "downlink", "downlink", 0, image_id,
+                                  t);
     TileTask task;
     task.image_id = image_id;
     task.tile_id = t;
@@ -85,10 +151,13 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
     downlinks_[static_cast<std::size_t>(k)]->transmit(task.wire_bytes());
     inboxes_[static_cast<std::size_t>(k)]->send(std::move(task));
   }
+  const auto t_scattered = Clock::now();
 
   // --- Gather with the T_L deadline (Algorithm 2's timer). ---------------
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(cfg_.deadline_s);
+  obs::ScopedSpan gather_span(tracer, "gather_wait", "gather_wait", 0,
+                              image_id);
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(cfg_.deadline_s);
   Tensor gathered = Tensor::zeros(Shape{T, tile_out_shape_[1],
                                         tile_out_shape_[2],
                                         tile_out_shape_[3]});
@@ -97,8 +166,7 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
   std::int64_t received = 0;
   while (received < T) {
     auto result = results_->receive_until(
-        std::chrono::time_point_cast<std::chrono::steady_clock::duration>(
-            deadline));
+        std::chrono::time_point_cast<Clock::duration>(deadline));
     if (!result) break;  // deadline or closed: proceed with zeros
     if (result->image_id != image_id) continue;  // stale late result
     if (result->tile_id < 0 || result->tile_id >= T ||
@@ -115,6 +183,23 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
     ++returned[static_cast<std::size_t>(result->node_id)];
     ++received;
   }
+  gather_span.end();
+  const auto t_gathered = Clock::now();
+  const double deadline_slack_s =
+      std::chrono::duration<double>(deadline - t_gathered).count();
+
+  // --- Zero-fill accounting: which tiles stay at their zero init. ---------
+  std::vector<std::int64_t> missed(static_cast<std::size_t>(K), 0);
+  auto t_zero_filled = t_gathered;
+  if (received < T) {
+    obs::ScopedSpan zero_span(tracer, "zero_fill", "zero_fill", 0, image_id);
+    for (std::int64_t t = 0; t < T; ++t) {
+      if (!have[static_cast<std::size_t>(t)])
+        ++missed[static_cast<std::size_t>(owner[static_cast<std::size_t>(t)])];
+    }
+    zero_span.end();
+    t_zero_filled = Clock::now();
+  }
 
   // --- Algorithm 2: fold per-node counts into s_k. ------------------------
   // Nodes that were assigned no tiles keep their previous estimate (a node
@@ -125,19 +210,45 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
   }
 
   // --- Merge and run the later layers. ------------------------------------
+  obs::ScopedSpan suffix_span(tracer, "suffix", "suffix", 0, image_id);
   const Tensor merged =
       nn::TileSplit::merge(gathered, model_.grid.rows, model_.grid.cols);
   Tensor output = model_.model.forward_range(merged, model_.suffix_begin(),
                                              model_.suffix_end());
+  suffix_span.end();
+  const auto t_done = Clock::now();
+
+  if constexpr (obs::kEnabled) {
+    if (obs_.images) {
+      obs_.images->add(1);
+      obs_.tiles_total->add(T);
+      obs_.tiles_missing->add(T - received);
+      obs_.elapsed_s->observe(seconds_between(t0, t_done));
+      obs_.gather_s->observe(seconds_between(t_scattered, t_gathered));
+      obs_.total_speed->set(collector_.total_speed());
+      for (int k = 0; k < K; ++k)
+        obs_.node_speed[static_cast<std::size_t>(k)]->set(
+            collector_.speed(k));
+    }
+  }
 
   if (stats) {
+    stats->image_id = image_id;
     stats->tiles_total = T;
     stats->tiles_missing = T - received;
     stats->assigned = counts;
     stats->returned = returned;
-    stats->elapsed_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    stats->missed = missed;
+    stats->speeds = collector_.speeds();
+    stats->deadline_s = cfg_.deadline_s;
+    stats->deadline_slack_s = deadline_slack_s;
+    stats->stages.partition_s = seconds_between(t0, t_partitioned);
+    stats->stages.allocate_s = seconds_between(t_partitioned, t_allocated);
+    stats->stages.scatter_s = seconds_between(t_allocated, t_scattered);
+    stats->stages.gather_s = seconds_between(t_scattered, t_gathered);
+    stats->stages.zero_fill_s = seconds_between(t_gathered, t_zero_filled);
+    stats->stages.suffix_s = seconds_between(t_zero_filled, t_done);
+    stats->elapsed_s = seconds_between(t0, t_done);
   }
   return output;
 }

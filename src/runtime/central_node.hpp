@@ -5,12 +5,16 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "compress/pipeline.hpp"
 #include "core/allocate.hpp"
 #include "core/fdsp.hpp"
 #include "core/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/link.hpp"
 #include "runtime/message.hpp"
@@ -30,15 +34,45 @@ struct CentralConfig {
   /// so a recovered node can rebuild its s_k. Without this, a node whose
   /// EMA collapsed stays starved forever even after it heals. 0 disables.
   int probe_interval = 8;
+  /// Null sinks by default; see obs/telemetry.hpp.
+  obs::Telemetry telemetry;
 };
 
-/// Per-inference telemetry.
+/// Wall-clock seconds spent in each sequential stage of one infer() call.
+/// The stages partition the call, so sum() tracks InferStats::elapsed_s
+/// (modulo bookkeeping between the clock reads).
+struct StageTimings {
+  double partition_s = 0.0;  // FDSP tile split
+  double allocate_s = 0.0;   // Algorithm 3 + probe + owner expansion
+  double scatter_s = 0.0;    // downlink transmit + enqueue, all tiles
+  double gather_s = 0.0;     // waiting on results until done or T_L
+  double zero_fill_s = 0.0;  // missing-tile accounting at the deadline
+  double suffix_s = 0.0;     // tile merge + later-layer forward
+  double sum() const {
+    return partition_s + allocate_s + scatter_s + gather_s + zero_fill_s +
+           suffix_s;
+  }
+};
+
+/// Per-inference report: counts, per-node outcome, Algorithm 2 state and
+/// stage timings, serializable as one JSON document consumed by bench/
+/// and examples/ alike.
 struct InferStats {
+  std::int64_t image_id = -1;
   std::int64_t tiles_total = 0;
   std::int64_t tiles_missing = 0;       // zero-filled at the deadline
   std::vector<std::int64_t> assigned;   // tiles sent per node
   std::vector<std::int64_t> returned;   // results within T_L per node
+  std::vector<std::int64_t> missed;     // assigned - returned per node
+  std::vector<double> speeds;           // s_k after Algorithm 2's update
+  double deadline_s = 0.0;              // the T_L in force
+  /// Seconds left before T_L when gathering finished; <= 0 means the
+  /// deadline fired and tiles_missing tiles were zero-filled.
+  double deadline_slack_s = 0.0;
+  StageTimings stages;
   double elapsed_s = 0.0;
+
+  std::string to_json() const;
 };
 
 class CentralNode {
@@ -66,6 +100,17 @@ class CentralNode {
   core::StatsCollector collector_;
   Shape tile_out_shape_;
   std::int64_t next_image_id_ = 0;
+
+  // Cached instruments (null when no metrics sink is attached).
+  struct CentralMetrics {
+    obs::Counter* images = nullptr;
+    obs::Counter* tiles_total = nullptr;
+    obs::Counter* tiles_missing = nullptr;
+    obs::Histogram* elapsed_s = nullptr;
+    obs::Histogram* gather_s = nullptr;
+    obs::Gauge* total_speed = nullptr;
+    std::vector<obs::Gauge*> node_speed;
+  } obs_;
 };
 
 }  // namespace adcnn::runtime

@@ -9,17 +9,32 @@
 #include <mutex>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
 namespace adcnn::runtime {
 
 template <typename T>
 class Channel {
  public:
+  /// Telemetry: mirror the queue depth into `g` (and count enqueues into
+  /// `sent`) on every send/receive. Null detaches. Attach before the
+  /// channel is shared between threads.
+  void attach_telemetry(obs::Gauge* depth, obs::Counter* sent = nullptr) {
+    depth_gauge_ = depth;
+    sent_counter_ = sent;
+  }
+
   /// Enqueue; returns false if the channel is closed.
   bool send(T value) {
     {
       std::lock_guard lock(mutex_);
       if (closed_) return false;
       queue_.push_back(std::move(value));
+      if constexpr (obs::kEnabled) {
+        if (depth_gauge_) depth_gauge_->add(1.0);
+        if (sent_counter_) sent_counter_->add(1);
+      }
     }
     cv_.notify_one();
     return true;
@@ -69,6 +84,9 @@ class Channel {
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
+    if constexpr (obs::kEnabled) {
+      if (depth_gauge_) depth_gauge_->add(-1.0);
+    }
     return value;
   }
 
@@ -76,6 +94,8 @@ class Channel {
   std::condition_variable cv_;
   std::deque<T> queue_;
   bool closed_ = false;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* sent_counter_ = nullptr;
 };
 
 }  // namespace adcnn::runtime

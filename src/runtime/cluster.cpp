@@ -16,6 +16,29 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   }
   if (cfg.compress) codec_.emplace(model.clip_range, model.bits);
 
+  // Resolve shared telemetry instruments once; links of one direction
+  // aggregate into one counter pair, inbox channels into one depth gauge.
+  obs::Counter* down_bytes = nullptr;
+  obs::Counter* down_transfers = nullptr;
+  obs::Counter* up_bytes = nullptr;
+  obs::Counter* up_transfers = nullptr;
+  obs::Gauge* inbox_depth = nullptr;
+  obs::Counter* inbox_sent = nullptr;
+  obs::Gauge* results_depth = nullptr;
+  if constexpr (obs::kEnabled) {
+    if (auto* m = cfg.telemetry.metrics) {
+      down_bytes = &m->counter("link.downlink_bytes");
+      down_transfers = &m->counter("link.downlink_transfers");
+      up_bytes = &m->counter("link.uplink_bytes");
+      up_transfers = &m->counter("link.uplink_transfers");
+      inbox_depth = &m->gauge("chan.inbox_depth");
+      inbox_sent = &m->counter("chan.inbox_sent");
+      results_depth = &m->gauge("chan.results_depth");
+      if (codec_) codec_->attach_telemetry(m);
+    }
+  }
+  results_.attach_telemetry(results_depth);
+
   std::vector<Channel<TileTask>*> inbox_ptrs;
   std::vector<SimulatedLink*> downlink_ptrs;
   for (int k = 0; k < cfg.num_nodes; ++k) {
@@ -23,7 +46,10 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
         cfg.bandwidth_bps, cfg.latency_s, cfg.time_scale));
     uplinks_.push_back(std::make_unique<SimulatedLink>(
         cfg.bandwidth_bps, cfg.latency_s, cfg.time_scale));
+    downlinks_.back()->attach_telemetry(down_bytes, down_transfers);
+    uplinks_.back()->attach_telemetry(up_bytes, up_transfers);
     inboxes_.push_back(std::make_unique<Channel<TileTask>>());
+    inboxes_.back()->attach_telemetry(inbox_depth, inbox_sent);
     inbox_ptrs.push_back(inboxes_.back().get());
     downlink_ptrs.push_back(downlinks_.back().get());
   }
@@ -32,7 +58,7 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   for (int k = 0; k < cfg.num_nodes; ++k) {
     workers_.push_back(std::make_unique<ConvNodeWorker>(
         k, model, codec, *inboxes_[static_cast<std::size_t>(k)], results_,
-        *uplinks_[static_cast<std::size_t>(k)]));
+        *uplinks_[static_cast<std::size_t>(k)], cfg.telemetry));
   }
 
   CentralConfig central_cfg;
@@ -41,6 +67,7 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   central_cfg.initial_speed = cfg.initial_speed;
   central_cfg.capacity_tiles = cfg.capacity_tiles;
   central_cfg.probe_interval = cfg.probe_interval;
+  central_cfg.telemetry = cfg.telemetry;
   central_ = std::make_unique<CentralNode>(model, codec, inbox_ptrs, &results_,
                                            downlink_ptrs, central_cfg);
 }

@@ -4,7 +4,10 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
+#include "obs/telemetry.hpp"
 #include "runtime/central_node.hpp"
 #include "runtime/conv_node.hpp"
 
@@ -26,6 +29,10 @@ struct ClusterConfig {
   /// Apply the §4 compression pipeline (requires the model to carry a
   /// clipped-ReLU range); false sends raw fp32 intermediate results.
   bool compress = true;
+  /// Telemetry sinks threaded through every component (Central node,
+  /// workers, links, channels, codec). The pointed-to registry/recorder
+  /// must outlive the cluster. Null sinks (default) record nothing.
+  obs::Telemetry telemetry;
 };
 
 class EdgeCluster {
@@ -41,16 +48,22 @@ class EdgeCluster {
   }
 
   int num_nodes() const { return static_cast<int>(workers_.size()); }
-  ConvNodeWorker& node(int k) { return *workers_[static_cast<std::size_t>(k)]; }
+  ConvNodeWorker& node(int k) { return *workers_[checked(k, "node")]; }
   CentralNode& central() { return *central_; }
-  SimulatedLink& downlink(int k) {
-    return *downlinks_[static_cast<std::size_t>(k)];
-  }
-  SimulatedLink& uplink(int k) {
-    return *uplinks_[static_cast<std::size_t>(k)];
-  }
+  SimulatedLink& downlink(int k) { return *downlinks_[checked(k, "downlink")]; }
+  SimulatedLink& uplink(int k) { return *uplinks_[checked(k, "uplink")]; }
 
  private:
+  /// Bounds-check a node index; out-of-range k was silent UB before.
+  std::size_t checked(int k, const char* what) const {
+    if (k < 0 || k >= num_nodes()) {
+      throw std::out_of_range("EdgeCluster::" + std::string(what) + "(" +
+                              std::to_string(k) + "): cluster has " +
+                              std::to_string(num_nodes()) + " nodes");
+    }
+    return static_cast<std::size_t>(k);
+  }
+
   std::optional<compress::TileCodec> codec_;
   std::vector<std::unique_ptr<SimulatedLink>> downlinks_;
   std::vector<std::unique_ptr<SimulatedLink>> uplinks_;

@@ -9,9 +9,9 @@ ConvNodeWorker::ConvNodeWorker(int id, core::PartitionedModel& model,
                                const compress::TileCodec* codec,
                                Channel<TileTask>& inbox,
                                Channel<TileResult>& outbox,
-                               SimulatedLink& uplink)
+                               SimulatedLink& uplink, obs::Telemetry telemetry)
     : id_(id), model_(model), codec_(codec), inbox_(inbox), outbox_(outbox),
-      uplink_(uplink), thread_([this] { run(); }) {}
+      uplink_(uplink), telemetry_(telemetry), thread_([this] { run(); }) {}
 
 ConvNodeWorker::~ConvNodeWorker() {
   inbox_.close();
@@ -19,30 +19,56 @@ ConvNodeWorker::~ConvNodeWorker() {
 }
 
 void ConvNodeWorker::run() {
+  const int tid = id_ + 1;  // logical trace lane; 0 is the Central node
+  obs::TraceRecorder* tracer = telemetry_.trace;
+  obs::Counter* tiles_counter = nullptr;
+  obs::Histogram* compute_hist = nullptr;
+  if constexpr (obs::kEnabled) {
+    if (auto* m = telemetry_.metrics) {
+      tiles_counter =
+          &m->counter("node.tiles_processed." + std::to_string(id_));
+      compute_hist = &m->histogram("node.conv_compute_s");
+    }
+  }
+
   while (true) {
     auto task = inbox_.receive();
     if (!task || task->shutdown) return;
     if (dead_.load()) continue;  // failed node: swallow work silently
 
+    obs::ScopedSpan tile_span(tracer, "tile", "tile", tid, task->image_id,
+                              task->tile_id);
     const auto start = std::chrono::steady_clock::now();
 
-    // Decode the raw fp32 tile.
+    // Decode the raw fp32 tile and run the separable prefix (includes
+    // clipped ReLU / fake-quant layers).
+    obs::ScopedSpan compute_span(tracer, "conv_compute", "conv_compute", tid,
+                                 task->image_id, task->tile_id);
     Tensor tile(task->shape);
     std::memcpy(tile.data(), task->payload.data(),
                 std::min(task->payload.size(),
                          static_cast<std::size_t>(tile.numel()) *
                              sizeof(float)));
-
-    // Run the separable prefix (includes clipped ReLU / fake-quant layers).
     Tensor out = model_.model.forward_range(tile, model_.prefix_begin(),
                                             model_.prefix_end());
+    compute_span.end();
+    if constexpr (obs::kEnabled) {
+      if (compute_hist) {
+        compute_hist->observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+      }
+    }
 
+    obs::ScopedSpan compress_span(tracer, "compress", "compress", tid,
+                                  task->image_id, task->tile_id);
     TileResult result;
     result.image_id = task->image_id;
     result.tile_id = task->tile_id;
     result.node_id = id_;
     result.shape = out.shape();
     result.payload = codec_ ? codec_->encode(out) : compress::encode_raw(out);
+    compress_span.end();
 
     // Emulate a slower CPU: stretch the compute phase.
     const double limit = cpu_limit_.load();
@@ -53,9 +79,15 @@ void ConvNodeWorker::run() {
               elapsed * (1.0 / limit - 1.0)));
     }
 
+    obs::ScopedSpan uplink_span(tracer, "uplink", "uplink", tid,
+                                task->image_id, task->tile_id);
     uplink_.transmit(result.wire_bytes());
     tiles_processed_.fetch_add(1);
+    if constexpr (obs::kEnabled) {
+      if (tiles_counter) tiles_counter->add(1);
+    }
     outbox_.send(std::move(result));
+    uplink_span.end();
   }
 }
 

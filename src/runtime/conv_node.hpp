@@ -9,6 +9,9 @@
 
 #include "compress/pipeline.hpp"
 #include "core/fdsp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/link.hpp"
 #include "runtime/message.hpp"
@@ -20,9 +23,12 @@ class ConvNodeWorker {
   /// `model` must outlive the worker; its prefix range is executed in eval
   /// mode only (thread-safe, see nn/model.hpp). `codec` may be null to
   /// send raw fp32 results (the "without pruning" baseline of Fig. 12).
+  /// `telemetry` sinks (null by default) must outlive the worker; spans
+  /// are emitted with logical tid = id + 1 (0 is the Central node).
   ConvNodeWorker(int id, core::PartitionedModel& model,
                  const compress::TileCodec* codec, Channel<TileTask>& inbox,
-                 Channel<TileResult>& outbox, SimulatedLink& uplink);
+                 Channel<TileResult>& outbox, SimulatedLink& uplink,
+                 obs::Telemetry telemetry = {});
   ~ConvNodeWorker();
 
   ConvNodeWorker(const ConvNodeWorker&) = delete;
@@ -39,6 +45,11 @@ class ConvNodeWorker {
   /// Stop accepting work even before the inbox closes (node failure).
   void kill() { dead_.store(true); }
 
+  /// Undo kill(): the node starts serving tiles again. Algorithm 2 only
+  /// learns about the recovery once a probe tile reaches it (see
+  /// CentralConfig::probe_interval).
+  void revive() { dead_.store(false); }
+
  private:
   void run();
 
@@ -48,6 +59,7 @@ class ConvNodeWorker {
   Channel<TileTask>& inbox_;
   Channel<TileResult>& outbox_;
   SimulatedLink& uplink_;
+  obs::Telemetry telemetry_;
   std::atomic<double> cpu_limit_{1.0};
   std::atomic<bool> dead_{false};
   std::atomic<std::int64_t> tiles_processed_{0};

@@ -8,6 +8,10 @@ namespace adcnn::runtime {
 void SimulatedLink::transmit(std::size_t bytes) {
   bytes_sent_ += bytes;
   ++transfers_;
+  if constexpr (obs::kEnabled) {
+    if (obs_bytes_) obs_bytes_->add(static_cast<std::int64_t>(bytes));
+    if (obs_transfers_) obs_transfers_->add(1);
+  }
   if (time_scale_ <= 0.0) return;
   const double seconds = transfer_seconds(bytes) * time_scale_;
   std::lock_guard lock(busy_);

@@ -10,6 +10,9 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
 namespace adcnn::runtime {
 
 class SimulatedLink {
@@ -25,6 +28,14 @@ class SimulatedLink {
   std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
   std::uint64_t transfers() const { return transfers_.load(); }
 
+  /// Telemetry: also account bytes/transfers into registry counters (may
+  /// be shared by several links, e.g. one pair per direction). Null
+  /// detaches. Attach before the link carries concurrent traffic.
+  void attach_telemetry(obs::Counter* bytes, obs::Counter* transfers) {
+    obs_bytes_ = bytes;
+    obs_transfers_ = transfers;
+  }
+
   /// Modelled (unscaled) seconds a transfer of `bytes` takes.
   double transfer_seconds(std::size_t bytes) const {
     return latency_s_ + static_cast<double>(bytes) * 8.0 / bandwidth_bps_;
@@ -37,6 +48,8 @@ class SimulatedLink {
   std::mutex busy_;  // one transfer at a time
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> transfers_{0};
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_transfers_ = nullptr;
 };
 
 }  // namespace adcnn::runtime

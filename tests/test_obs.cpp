@@ -1,0 +1,301 @@
+// Telemetry subsystem: metrics primitives, trace recording/export, and the
+// invariants the instrumented threaded runtime must uphold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/cluster.hpp"
+
+namespace adcnn {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(&reg.counter("c"), &c);  // stable identity by name
+
+  obs::Gauge& g = reg.gauge("g");
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, CountersAreThreadSafe) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000);
+}
+
+TEST(Metrics, HistogramBucketCountsEqualObservationCount) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat", {0.1, 1.0, 10.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5000; ++i)
+        h.observe(0.05 * static_cast<double>(t) + 0.01 * (i % 7));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 20000);
+  EXPECT_EQ(s.bucket_total(), s.count);  // every observation landed once
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.min, s.max);
+  EXPECT_NEAR(s.mean(), s.sum / 20000.0, 1e-12);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (lower_bound: 1.0 <= 1.0)
+  h.observe(1.5);   // bucket 1
+  h.observe(99.0);  // overflow bucket
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 2);
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 1);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotJsonWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.b").add(3);
+  reg.gauge("g\"uoted").set(1.5);
+  reg.histogram("h").observe(0.2);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"a.b\":3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"uoted"), std::string::npos);  // escaped key
+  // Balanced braces/brackets (crude well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Trace, SpansRecordAndExport) {
+  obs::TraceRecorder rec;
+  {
+    obs::ScopedSpan outer(&rec, "infer", "image", 0, 7);
+    obs::ScopedSpan inner(&rec, "partition", "partition", 0, 7);
+  }
+  if (!obs::kEnabled) {
+    EXPECT_EQ(rec.size(), 0u);
+    GTEST_SKIP() << "ADCNN_OBS disabled: instrumentation compiled out";
+  }
+  ASSERT_EQ(rec.size(), 2u);
+  const auto spans = rec.spans();
+  // Inner destructs first, so it is recorded first and nests in the outer.
+  EXPECT_STREQ(spans[0].name, "partition");
+  EXPECT_STREQ(spans[1].name, "infer");
+  EXPECT_LE(spans[1].begin_ns, spans[0].begin_ns);
+  EXPECT_GE(spans[1].end_ns, spans[0].end_ns);
+
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"image_id\":7"), std::string::npos);
+  const std::string csv = rec.to_csv();
+  EXPECT_NE(csv.find("name,cat,tid"), std::string::npos);
+  EXPECT_NE(csv.find("partition"), std::string::npos);
+}
+
+TEST(Trace, EarlyEndIsIdempotent) {
+  obs::TraceRecorder rec;
+  obs::ScopedSpan s(&rec, "x", "x", 1);
+  s.end();
+  s.end();
+  if (obs::kEnabled) EXPECT_EQ(rec.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented cluster invariants.
+
+core::PartitionedModel telemetry_model(std::int64_t r = 4, std::int64_t c = 4) {
+  Rng rng(41);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{r, c};
+  opt.clipped_relu = true;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  return core::apply_fdsp(nn::make_vgg_mini(rng, nn::MiniOptions{}), opt);
+}
+
+TEST(ObsCluster, PerNodeAccountingInvariants) {
+  core::PartitionedModel pm = telemetry_model();
+  Rng rng(42);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.telemetry = {&metrics, &trace};
+  runtime::EdgeCluster cluster(pm, cfg);
+
+  for (int i = 0; i < 4; ++i) {
+    runtime::InferStats stats;
+    cluster.infer(x, &stats);
+    std::int64_t assigned_sum = 0;
+    ASSERT_EQ(stats.assigned.size(), 3u);
+    ASSERT_EQ(stats.returned.size(), 3u);
+    ASSERT_EQ(stats.missed.size(), 3u);
+    for (std::size_t k = 0; k < stats.assigned.size(); ++k) {
+      assigned_sum += stats.assigned[k];
+      EXPECT_EQ(stats.returned[k] + stats.missed[k], stats.assigned[k])
+          << "node " << k;
+    }
+    EXPECT_EQ(assigned_sum, stats.tiles_total);
+    EXPECT_EQ(stats.tiles_total, 16);
+    EXPECT_GT(stats.deadline_slack_s, 0.0);  // healthy nodes beat T_L
+    EXPECT_EQ(stats.image_id, i);
+    EXPECT_EQ(stats.speeds.size(), 3u);
+  }
+
+  if (!obs::kEnabled) GTEST_SKIP() << "ADCNN_OBS disabled";
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("central.images"), 4);
+  EXPECT_EQ(snap.counters.at("central.tiles_total"), 64);
+  EXPECT_EQ(snap.counters.at("central.tiles_missing"), 0);
+  // All work flowed through the channels and links.
+  EXPECT_EQ(snap.counters.at("chan.inbox_sent"), 64);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("chan.inbox_depth"), 0.0);  // all drained
+  EXPECT_EQ(snap.counters.at("link.downlink_transfers"), 64);
+  EXPECT_EQ(snap.counters.at("link.uplink_transfers"), 64);
+  // Codec accounting: compression actually compressed.
+  EXPECT_EQ(snap.counters.at("codec.tiles"), 64);
+  EXPECT_GT(snap.counters.at("codec.raw_bytes"),
+            snap.counters.at("codec.encoded_bytes"));
+  // Histogram invariant under the threaded runtime.
+  const auto& h = snap.histograms.at("node.conv_compute_s");
+  EXPECT_EQ(h.count, 64);
+  EXPECT_EQ(h.bucket_total(), h.count);
+}
+
+TEST(ObsCluster, StageTimingsSumToElapsed) {
+  core::PartitionedModel pm = telemetry_model();
+  Rng rng(43);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  runtime::EdgeCluster cluster(pm, cfg);
+  runtime::InferStats stats;
+  cluster.infer(x, &stats);
+  EXPECT_GT(stats.elapsed_s, 0.0);
+  // The stages partition infer(); only clock-read bookkeeping is unspanned.
+  EXPECT_NEAR(stats.stages.sum(), stats.elapsed_s, 0.1 * stats.elapsed_s);
+  const std::string json = stats.to_json();
+  for (const char* key :
+       {"\"image_id\"", "\"stages\"", "\"partition_s\"", "\"gather_s\"",
+        "\"per_node\"", "\"deadline_slack_s\"", "\"speed\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsCluster, SpansWellNestedAndMonotonic) {
+  if (!obs::kEnabled) GTEST_SKIP() << "ADCNN_OBS disabled";
+  core::PartitionedModel pm = telemetry_model();
+  Rng rng(44);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.telemetry = {&metrics, &trace};
+  runtime::EdgeCluster cluster(pm, cfg);
+  for (int i = 0; i < 3; ++i) cluster.infer(x);
+
+  const std::vector<obs::Span> spans = trace.spans();
+  ASSERT_FALSE(spans.empty());
+  std::map<int, std::vector<obs::Span>> by_tid;
+  for (const auto& s : spans) {
+    EXPECT_LE(s.begin_ns, s.end_ns) << s.name;
+    by_tid[s.tid].push_back(s);
+  }
+  // Central (tid 0) plus all three workers appear.
+  for (int tid = 0; tid <= 3; ++tid) EXPECT_TRUE(by_tid.count(tid)) << tid;
+
+  // Per logical thread, spans must be well-nested: sorted by begin (ties:
+  // longer first), each span either contains the next or ends before it
+  // starts — no partial overlap on one thread's timeline.
+  for (auto& [tid, list] : by_tid) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const obs::Span& a, const obs::Span& b) {
+                       if (a.begin_ns != b.begin_ns)
+                         return a.begin_ns < b.begin_ns;
+                       return a.end_ns > b.end_ns;
+                     });
+    std::vector<const obs::Span*> open;
+    for (const auto& s : list) {
+      while (!open.empty() && open.back()->end_ns <= s.begin_ns)
+        open.pop_back();
+      if (!open.empty()) {
+        EXPECT_LE(s.end_ns, open.back()->end_ns)
+            << "span " << s.name << " partially overlaps "
+            << open.back()->name << " on tid " << tid;
+      }
+      open.push_back(&s);
+    }
+  }
+
+  // Worker spans carry valid correlation ids.
+  for (const auto& s : by_tid[1]) {
+    EXPECT_GE(s.image_id, 0);
+    EXPECT_GE(s.tile_id, 0);
+    EXPECT_LT(s.tile_id, 16);
+  }
+}
+
+TEST(ObsCluster, AccessorBoundsChecked) {
+  core::PartitionedModel pm = telemetry_model();
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  runtime::EdgeCluster cluster(pm, cfg);
+  EXPECT_NO_THROW(cluster.node(1));
+  EXPECT_THROW(cluster.node(2), std::out_of_range);
+  EXPECT_THROW(cluster.node(-1), std::out_of_range);
+  EXPECT_THROW(cluster.downlink(5), std::out_of_range);
+  EXPECT_THROW(cluster.uplink(-3), std::out_of_range);
+  try {
+    cluster.node(7);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("cluster has 2 nodes"),
+              std::string::npos);
+  }
+}
+
+TEST(ObsCluster, NullSinkRecordsNothing) {
+  core::PartitionedModel pm = telemetry_model();
+  Rng rng(45);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  runtime::ClusterConfig cfg;  // telemetry left as the null sink
+  cfg.num_nodes = 2;
+  runtime::EdgeCluster cluster(pm, cfg);
+  runtime::InferStats stats;
+  cluster.infer(x, &stats);  // must not crash, and stats still fill
+  EXPECT_EQ(stats.tiles_total, 16);
+}
+
+}  // namespace
+}  // namespace adcnn

@@ -128,6 +128,36 @@ TEST(RuntimePolicies, RecoveredNodeIsProbedBackIntoService) {
   EXPECT_GT(cluster.central().collector().speed(1), starved_speed);
 }
 
+TEST(RuntimePolicies, KilledNodeRevivedByProbe) {
+  // Full failure/recovery cycle on the threaded runtime: kill() starves
+  // the node (s_k decays, zero tiles assigned), revive() + the recovery
+  // probe rebuild its estimate until it carries real work again.
+  core::PartitionedModel pm = small_model(8, 8);
+  Rng rng(31);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.deadline_s = 0.25;
+  cfg.probe_interval = 4;
+  EdgeCluster cluster(pm, cfg);
+  cluster.node(1).kill();
+  InferStats stats;
+  for (int i = 0; i < 6; ++i) cluster.infer(x, &stats);
+  EXPECT_EQ(stats.returned[1], 0);
+  const double dead_speed = cluster.central().collector().speed(1);
+  EXPECT_LT(dead_speed, 0.5);
+
+  cluster.node(1).revive();
+  std::int64_t regained = 0;
+  for (int i = 0; i < 12; ++i) {
+    cluster.infer(x, &stats);
+    regained += stats.assigned[1];
+  }
+  EXPECT_GT(regained, 1);  // got probed, then earned real allocations
+  EXPECT_GT(cluster.central().collector().speed(1), dead_speed);
+  EXPECT_EQ(stats.tiles_missing, 0);
+}
+
 TEST(RuntimePolicies, UplinkBytesScaleWithSparsity) {
   // Tighter clipping -> sparser outputs -> fewer bytes on the wire.
   Rng rng(30);

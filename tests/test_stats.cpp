@@ -46,6 +46,62 @@ TEST(Stats, Validation) {
   EXPECT_THROW(c.record_image({1, 2, 3}), std::invalid_argument);
 }
 
+TEST(Stats, ZeroNodeClusterRejected) {
+  // A cluster needs at least one Conv node; the collector enforces it so
+  // the allocator never divides work across an empty speed vector.
+  EXPECT_THROW(StatsCollector(0, 0.9, 1.0), std::invalid_argument);
+  EXPECT_THROW(StatsCollector(-3, 0.9, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, OneNodeClusterTracksItsOnlyNode) {
+  StatsCollector c(1, 0.9, 1.0);
+  EXPECT_EQ(c.num_nodes(), 1);
+  EXPECT_DOUBLE_EQ(c.total_speed(), 1.0);
+  for (int i = 0; i < 20; ++i) c.record_image({16});
+  EXPECT_NEAR(c.speed(0), 16.0, 1e-6);
+  EXPECT_NEAR(c.total_speed(), c.speed(0), 1e-12);
+  EXPECT_EQ(c.updates(), 20);
+}
+
+TEST(Stats, RecordNodeEquivalentToRecordImage) {
+  // One record_image({n_0..n_K}) must fold exactly like record_node per k.
+  StatsCollector whole(3, 0.7, 2.0), parts(3, 0.7, 2.0);
+  const std::vector<std::vector<std::int64_t>> images{
+      {5, 0, 3}, {2, 8, 1}, {0, 0, 7}};
+  for (const auto& image : images) {
+    whole.record_image(image);
+    for (int k = 0; k < 3; ++k) parts.record_node(k, image[static_cast<std::size_t>(k)]);
+  }
+  for (int k = 0; k < 3; ++k)
+    EXPECT_DOUBLE_EQ(whole.speed(k), parts.speed(k)) << "node " << k;
+}
+
+TEST(Stats, KilledNodeDecaysToStarvation) {
+  // A killed node returns 0 within T_L every image; its s_k must decay
+  // below any live node's share so Algorithm 3 eventually assigns it 0
+  // tiles (starvation), while total_speed tracks the survivors.
+  StatsCollector c(2, 0.9, 8.0);
+  for (int i = 0; i < 12; ++i) c.record_image({8, 0});
+  EXPECT_NEAR(c.speed(0), 8.0, 1e-6);
+  EXPECT_LT(c.speed(1), 1e-8);
+  EXPECT_GT(c.speed(1), 0.0);  // EMA approaches but never hits zero
+  // With 8 tiles to split, the dead node's proportional share rounds to 0.
+  EXPECT_LT(c.speed(1) / c.total_speed() * 8.0, 0.5);
+}
+
+TEST(Stats, ProbeCountRebuildsStarvedEstimate) {
+  // Algorithm 2's view of a recovered node: after starvation, a single
+  // probe tile answered within the deadline lifts s_k from ~0, and a few
+  // more folds rebuild it toward the true rate.
+  StatsCollector c(1, 0.9, 8.0);
+  for (int i = 0; i < 12; ++i) c.record_image({0});  // starved
+  EXPECT_LT(c.speed(0), 1e-8);
+  c.record_node(0, 1);  // the probe tile comes back
+  EXPECT_GT(c.speed(0), 0.5);
+  for (int i = 0; i < 5; ++i) c.record_node(0, 8);
+  EXPECT_NEAR(c.speed(0), 8.0, 0.1);
+}
+
 TEST(Stats, FasterNodeDominatesAfterDegradation) {
   // Node 1 degrades mid-run; its estimate must fall below node 0's.
   StatsCollector c(2, 0.9, 4.0);
