@@ -1,0 +1,106 @@
+// Chaos engineering demo: sweep uplink drop rates over a 4-node cluster
+// and compare the paper's bare zero-fill deadline against the self-healing
+// gather (bounded retry/re-dispatch inside T_L).
+//
+// Every fault is scripted by a seeded FaultPlan, so a rerun reproduces the
+// exact same drops — chaos you can bisect. The table shows the fraction of
+// tiles still missing at the deadline with retry off vs on; the summary
+// prints the fault-injection and self-healing counters.
+#include <cstdio>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/cluster.hpp"
+
+using namespace adcnn;
+
+namespace {
+
+struct SweepPoint {
+  std::int64_t tiles = 0;
+  std::int64_t missing = 0;
+  std::int64_t retried = 0;
+  std::int64_t recovered = 0;
+};
+
+SweepPoint run(core::PartitionedModel& pm, const Tensor& image,
+               double drop_prob, bool retry, obs::MetricsRegistry* metrics) {
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.deadline_s = 0.25;  // T_L: ample for healthy tiles, room for retries
+  cfg.retry.enabled = retry;
+  cfg.fault_plan.seed = 0xC7A05;
+  cfg.fault_plan.uplink.resize(4);
+  for (auto& spec : cfg.fault_plan.uplink) spec.drop_prob = drop_prob;
+  if (metrics) cfg.telemetry.metrics = metrics;
+  runtime::EdgeCluster cluster(pm, cfg);
+
+  SweepPoint point;
+  for (int i = 0; i < 4; ++i) {
+    runtime::InferStats stats;
+    cluster.infer(image, &stats);
+    point.tiles += stats.tiles_total;
+    point.missing += stats.tiles_missing;
+    point.retried += stats.tiles_retried;
+    point.recovered += stats.tiles_recovered;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(11);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{4, 4};
+  opt.clipped_relu = true;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  core::PartitionedModel pm =
+      core::apply_fdsp(nn::make_vgg_mini(rng, nn::MiniOptions{}), opt);
+  const Tensor image = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+
+  std::printf("uplink drop | missing (zero-fill only) | missing (self-heal) "
+              "| retried | recovered\n");
+  obs::MetricsRegistry metrics;  // accumulated across the retry-on runs
+  for (const double drop : {0.0, 0.1, 0.3, 0.5}) {
+    const SweepPoint off = run(pm, image, drop, false, nullptr);
+    const SweepPoint on = run(pm, image, drop, true, &metrics);
+    std::printf("%10.0f%% | %11lld/%lld (%4.1f%%) | %8lld/%lld (%4.1f%%) "
+                "| %7lld | %9lld\n",
+                drop * 100.0, static_cast<long long>(off.missing),
+                static_cast<long long>(off.tiles),
+                100.0 * static_cast<double>(off.missing) /
+                    static_cast<double>(off.tiles),
+                static_cast<long long>(on.missing),
+                static_cast<long long>(on.tiles),
+                100.0 * static_cast<double>(on.missing) /
+                    static_cast<double>(on.tiles),
+                static_cast<long long>(on.retried),
+                static_cast<long long>(on.recovered));
+  }
+
+  const auto snap = metrics.snapshot();
+  if (!snap.counters.empty()) {
+    const auto count = [&](const char* name) {
+      const auto it = snap.counters.find(name);
+      return static_cast<long long>(it == snap.counters.end() ? 0
+                                                              : it->second);
+    };
+    std::printf("\nfault injection: %lld dropped, %lld corrupted, "
+                "%lld delayed\n",
+                count("faults.dropped"), count("faults.corrupted"),
+                count("faults.delayed"));
+    std::printf("self-healing:    %lld re-dispatched over %lld rounds, "
+                "%lld recovered, %lld decode errors, %lld stale drained\n",
+                count("central.retry.dispatched"),
+                count("central.retry.rounds"),
+                count("central.retry.recovered"),
+                count("central.decode_errors"),
+                count("central.stale_results"));
+  }
+  std::printf("\nSame seed, same drops: the only difference per row is the "
+              "bounded in-window retry.\n");
+  return 0;
+}

@@ -64,7 +64,9 @@ Tensor TileCodec::decode(std::span<const std::uint8_t> wire,
   if (static_cast<std::int64_t>(count) != shape.numel()) {
     throw std::invalid_argument("TileCodec::decode: count/shape mismatch");
   }
-  if (pos + payload_bytes > wire.size()) {
+  // Compare against the remaining length — `pos + payload_bytes` could wrap
+  // around on a hostile length prefix and sail past the bound.
+  if (payload_bytes > wire.size() - pos) {
     throw std::invalid_argument("TileCodec::decode: truncated payload");
   }
   const auto payload = wire.subspan(pos, payload_bytes);

@@ -13,7 +13,9 @@ Quantizer::Quantizer(float range, int bits) : range_(range), bits_(bits) {
 }
 
 std::uint8_t Quantizer::quantize(float v) const {
-  if (v <= 0.0f) return 0;
+  // !(v > 0) instead of v <= 0 so a NaN (e.g. from a corrupted upstream
+  // payload) clamps to level 0 rather than reaching lround unspecified.
+  if (!(v > 0.0f)) return 0;
   if (v >= range_) return static_cast<std::uint8_t>((1 << bits_) - 1);
   return static_cast<std::uint8_t>(std::lround(v / step_));
 }

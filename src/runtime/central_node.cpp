@@ -24,6 +24,10 @@ std::string InferStats::to_json() const {
   w.kv("image_id", image_id);
   w.kv("tiles_total", tiles_total);
   w.kv("tiles_missing", tiles_missing);
+  w.kv("tiles_retried", tiles_retried);
+  w.kv("tiles_recovered", tiles_recovered);
+  w.kv("decode_errors", decode_errors);
+  w.kv("stale_results", stale_results);
   w.kv("deadline_s", deadline_s);
   w.kv("deadline_slack_s", deadline_slack_s);
   w.kv("elapsed_s", elapsed_s);
@@ -43,6 +47,8 @@ std::string InferStats::to_json() const {
     w.kv("assigned", assigned[k]);
     w.kv("returned", k < returned.size() ? returned[k] : 0);
     w.kv("missed", k < missed.size() ? missed[k] : 0);
+    w.kv("quarantined",
+         static_cast<std::int64_t>(k < quarantined.size() && quarantined[k]));
     if (k < speeds.size()) w.kv("speed", speeds[k]);
     w.end_object();
   }
@@ -61,7 +67,9 @@ CentralNode::CentralNode(core::PartitionedModel& model,
       results_(results), downlinks_(std::move(downlinks)), cfg_(cfg),
       collector_(static_cast<int>(inboxes_.size()), cfg.gamma,
                  cfg.initial_speed),
-      tile_out_shape_(model.tile_output_shape()) {
+      tile_out_shape_(model.tile_output_shape()),
+      quarantined_(inboxes_.size(), false),
+      consecutive_missed_(inboxes_.size(), 0) {
   if (inboxes_.empty() || inboxes_.size() != downlinks_.size()) {
     throw std::invalid_argument("CentralNode: inbox/link count mismatch");
   }
@@ -70,6 +78,13 @@ CentralNode::CentralNode(core::PartitionedModel& model,
       obs_.images = &m->counter("central.images");
       obs_.tiles_total = &m->counter("central.tiles_total");
       obs_.tiles_missing = &m->counter("central.tiles_missing");
+      obs_.retry_dispatched = &m->counter("central.retry.dispatched");
+      obs_.retry_recovered = &m->counter("central.retry.recovered");
+      obs_.retry_rounds = &m->counter("central.retry.rounds");
+      obs_.decode_errors = &m->counter("central.decode_errors");
+      obs_.stale_results = &m->counter("central.stale_results");
+      obs_.quarantine_events = &m->counter("central.quarantine.events");
+      obs_.quarantine_active = &m->gauge("central.quarantine.active");
       obs_.elapsed_s = &m->histogram("central.infer_elapsed_s");
       obs_.gather_s = &m->histogram("central.gather_s");
       obs_.total_speed = &m->gauge("stats.total_speed");
@@ -102,10 +117,29 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
   req.speeds = collector_.speeds();
   req.capacity_tiles.assign(static_cast<std::size_t>(K), cfg_.capacity_tiles);
   req.tiles = T;
+  // Quarantine circuit breaker: an excluded node gets zero capacity so
+  // Algorithm 3 cannot route tiles to it (only the recovery probe below
+  // may still reach it). Skip the exclusion when the healthy nodes could
+  // not hold every tile — a suspect node beats a failed allocation.
+  if (cfg_.quarantine_after > 0) {
+    std::int64_t healthy_capacity = 0;
+    for (int k = 0; k < K; ++k) {
+      if (!quarantined_[static_cast<std::size_t>(k)])
+        healthy_capacity += std::min(cfg_.capacity_tiles, T);
+    }
+    if (healthy_capacity >= T) {
+      for (int k = 0; k < K; ++k) {
+        if (quarantined_[static_cast<std::size_t>(k)])
+          req.capacity_tiles[static_cast<std::size_t>(k)] = 0;
+      }
+    }
+  }
   std::vector<std::int64_t> counts = core::allocate_tiles(req);
 
   // Recovery probe: periodically lend one tile to starved nodes so a node
-  // whose s_k collapsed (failure/throttle) can prove it recovered.
+  // whose s_k collapsed (failure/throttle) can prove it recovered. This is
+  // also the only path by which a quarantined node receives work — a
+  // returned probe lifts the quarantine below.
   if (cfg_.probe_interval > 0 && image_id % cfg_.probe_interval == 0) {
     for (int k = 0; k < K; ++k) {
       if (counts[static_cast<std::size_t>(k)] > 0) continue;
@@ -135,68 +169,159 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
   allocate_span.end();
   const auto t_allocated = Clock::now();
 
+  // --- Drain stale results left over from previous images. ----------------
+  // A straggler or an injected delay can land a result after its image's
+  // deadline fired; without draining, those messages accumulate in the
+  // channel across infer() calls and every later gather wades through them.
+  std::int64_t stale = 0;
+  while (results_->try_receive()) ++stale;
+
   // --- Scatter: transmit each tile to its Conv node. ----------------------
   const std::int64_t C = tiles.c(), th = tiles.h(), tw = tiles.w();
-  for (std::int64_t t = 0; t < T; ++t) {
-    obs::ScopedSpan downlink_span(tracer, "downlink", "downlink", 0, image_id,
-                                  t);
+  std::int64_t retried = 0;
+  const auto send_tile = [&](std::int64_t t, int k, std::int32_t attempt) {
+    obs::ScopedSpan downlink_span(tracer, attempt == 0 ? "downlink" : "retry",
+                                  attempt == 0 ? "downlink" : "retry", 0,
+                                  image_id, t);
     TileTask task;
     task.image_id = image_id;
     task.tile_id = t;
+    task.attempt = attempt;
     task.shape = Shape{1, C, th, tw};
     const Tensor one = tiles.crop(t, 1, 0, th, 0, tw);
     task.payload.resize(static_cast<std::size_t>(one.numel()) * sizeof(float));
     std::memcpy(task.payload.data(), one.data(), task.payload.size());
-    const int k = owner[static_cast<std::size_t>(t)];
-    downlinks_[static_cast<std::size_t>(k)]->transmit(task.wire_bytes());
+    const auto fate =
+        downlinks_[static_cast<std::size_t>(k)]->transmit_message(
+            task.wire_bytes(), image_id, t, attempt, &task.payload);
+    if (fate.drop) return;  // lost on the air; retry/zero-fill covers it
     inboxes_[static_cast<std::size_t>(k)]->send(std::move(task));
+  };
+  for (std::int64_t t = 0; t < T; ++t) {
+    send_tile(t, owner[static_cast<std::size_t>(t)], 0);
   }
   const auto t_scattered = Clock::now();
 
   // --- Gather with the T_L deadline (Algorithm 2's timer). ---------------
   obs::ScopedSpan gather_span(tracer, "gather_wait", "gather_wait", 0,
                               image_id);
+  const auto gather_start = Clock::now();
   const auto deadline =
-      Clock::now() + std::chrono::duration<double>(cfg_.deadline_s);
+      gather_start + std::chrono::duration<double>(cfg_.deadline_s);
   Tensor gathered = Tensor::zeros(Shape{T, tile_out_shape_[1],
                                         tile_out_shape_[2],
                                         tile_out_shape_[3]});
   std::vector<bool> have(static_cast<std::size_t>(T), false);
   std::vector<std::int64_t> returned(static_cast<std::size_t>(K), 0);
+  std::vector<std::int64_t> dispatched = counts;  // primary + retry sends
   std::int64_t received = 0;
+  std::int64_t recovered = 0;
+  std::int64_t decode_errors = 0;
+  int retry_rounds = 0;
+  const bool retry_on = cfg_.retry.enabled && cfg_.retry.max_rounds > 0;
+  // Round i fires at at_fraction of T_L, with later rounds splitting the
+  // remaining slack evenly — the retry budget always spends inside T_L.
+  const auto retry_due = [&](int round) {
+    const double f = cfg_.retry.at_fraction +
+                     (1.0 - cfg_.retry.at_fraction) *
+                         static_cast<double>(round) /
+                         static_cast<double>(cfg_.retry.max_rounds);
+    return gather_start + std::chrono::duration<double>(
+                              cfg_.deadline_s * std::clamp(f, 0.0, 1.0));
+  };
   while (received < T) {
+    auto wake = deadline;
+    if (retry_on && retry_rounds < cfg_.retry.max_rounds) {
+      wake = std::min(wake, retry_due(retry_rounds));
+    }
     auto result = results_->receive_until(
-        std::chrono::time_point_cast<Clock::duration>(deadline));
-    if (!result) break;  // deadline or closed: proceed with zeros
-    if (result->image_id != image_id) continue;  // stale late result
-    if (result->tile_id < 0 || result->tile_id >= T ||
-        have[static_cast<std::size_t>(result->tile_id)])
+        std::chrono::time_point_cast<Clock::duration>(wake));
+    if (!result) {
+      if (results_->closed()) break;  // torn down: proceed with zeros
+      const auto now = Clock::now();
+      if (now >= deadline) break;  // T_L fired: zero-fill the rest
+      if (retry_on && retry_rounds < cfg_.retry.max_rounds &&
+          now >= retry_due(retry_rounds)) {
+        // --- Bounded re-dispatch: send still-missing tiles to the fastest
+        // non-quarantined nodes with spare capacity. Tiles avoid their
+        // original owner when an alternative exists (it just missed); the
+        // have[] bitmap deduplicates a late primary racing its retry.
+        ++retry_rounds;
+        std::vector<int> targets;
+        for (int k = 0; k < K; ++k) {
+          if (!quarantined_[static_cast<std::size_t>(k)] &&
+              dispatched[static_cast<std::size_t>(k)] < cfg_.capacity_tiles)
+            targets.push_back(k);
+        }
+        std::stable_sort(targets.begin(), targets.end(),
+                         [&](int a, int b) {
+                           return collector_.speed(a) > collector_.speed(b);
+                         });
+        if (targets.empty()) continue;
+        std::size_t rr = 0;
+        for (std::int64_t t = 0; t < T; ++t) {
+          if (have[static_cast<std::size_t>(t)]) continue;
+          int k = targets[rr++ % targets.size()];
+          if (k == owner[static_cast<std::size_t>(t)] && targets.size() > 1)
+            k = targets[rr++ % targets.size()];
+          send_tile(t, k, retry_rounds);
+          ++dispatched[static_cast<std::size_t>(k)];
+          ++retried;
+        }
+      }
       continue;
-    const Tensor out =
-        codec_ ? codec_->decode(result->payload, tile_out_shape_)
-               : compress::decode_raw(result->payload, tile_out_shape_);
-    gathered.paste(out.reshaped(Shape{1, tile_out_shape_[1],
-                                      tile_out_shape_[2],
-                                      tile_out_shape_[3]}),
-                   result->tile_id, 0, 0);
+    }
+    if (result->image_id != image_id) {  // stale late result
+      ++stale;
+      continue;
+    }
+    if (result->tile_id < 0 || result->tile_id >= T || result->node_id < 0 ||
+        result->node_id >= K) {  // malformed header
+      ++decode_errors;
+      continue;
+    }
+    if (have[static_cast<std::size_t>(result->tile_id)]) continue;  // dup
+    try {
+      const Tensor out =
+          codec_ ? codec_->decode(result->payload, tile_out_shape_)
+                 : compress::decode_raw(result->payload, tile_out_shape_);
+      gathered.paste(out.reshaped(Shape{1, tile_out_shape_[1],
+                                        tile_out_shape_[2],
+                                        tile_out_shape_[3]}),
+                     result->tile_id, 0, 0);
+    } catch (const std::exception&) {
+      // Corruption-tolerant decode: a malformed payload is counted and
+      // dropped; the retry path (or zero-fill) covers the tile.
+      ++decode_errors;
+      continue;
+    }
     have[static_cast<std::size_t>(result->tile_id)] = true;
-    ++returned[static_cast<std::size_t>(result->node_id)];
     ++received;
+    if (result->attempt == 0) {
+      ++returned[static_cast<std::size_t>(result->node_id)];
+    } else {
+      ++recovered;
+    }
   }
   gather_span.end();
   const auto t_gathered = Clock::now();
   const double deadline_slack_s =
       std::chrono::duration<double>(deadline - t_gathered).count();
 
-  // --- Zero-fill accounting: which tiles stay at their zero init. ---------
+  // --- Zero-fill / miss accounting. ---------------------------------------
+  // missed[k] counts primary assignments node k failed to return within
+  // T_L — a tile recovered via retry still counts against its owner, so
+  // Algorithm 2 keeps an honest view of the node. Zero-filled tiles are
+  // the globally missing ones (T - received).
   std::vector<std::int64_t> missed(static_cast<std::size_t>(K), 0);
+  for (int k = 0; k < K; ++k) {
+    missed[static_cast<std::size_t>(k)] =
+        counts[static_cast<std::size_t>(k)] -
+        returned[static_cast<std::size_t>(k)];
+  }
   auto t_zero_filled = t_gathered;
   if (received < T) {
     obs::ScopedSpan zero_span(tracer, "zero_fill", "zero_fill", 0, image_id);
-    for (std::int64_t t = 0; t < T; ++t) {
-      if (!have[static_cast<std::size_t>(t)])
-        ++missed[static_cast<std::size_t>(owner[static_cast<std::size_t>(t)])];
-    }
     zero_span.end();
     t_zero_filled = Clock::now();
   }
@@ -207,6 +332,29 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
   for (int k = 0; k < K; ++k) {
     if (counts[static_cast<std::size_t>(k)] > 0)
       collector_.record_node(k, returned[static_cast<std::size_t>(k)]);
+  }
+
+  // --- Quarantine circuit breaker bookkeeping. ----------------------------
+  // Any returned tile (including a probe) lifts the quarantine; a node
+  // whose whole assignment missed for quarantine_after consecutive images
+  // trips it.
+  std::int64_t quarantine_active = 0;
+  for (int k = 0; k < K; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    if (returned[ks] > 0) {
+      consecutive_missed_[ks] = 0;
+      quarantined_[ks] = false;
+    } else if (counts[ks] > 0) {
+      ++consecutive_missed_[ks];
+      if (cfg_.quarantine_after > 0 && !quarantined_[ks] &&
+          consecutive_missed_[ks] >= cfg_.quarantine_after) {
+        quarantined_[ks] = true;
+        if constexpr (obs::kEnabled) {
+          if (obs_.quarantine_events) obs_.quarantine_events->add(1);
+        }
+      }
+    }
+    quarantine_active += quarantined_[ks];
   }
 
   // --- Merge and run the later layers. ------------------------------------
@@ -223,6 +371,12 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
       obs_.images->add(1);
       obs_.tiles_total->add(T);
       obs_.tiles_missing->add(T - received);
+      if (retried > 0) obs_.retry_dispatched->add(retried);
+      if (recovered > 0) obs_.retry_recovered->add(recovered);
+      if (retry_rounds > 0) obs_.retry_rounds->add(retry_rounds);
+      if (decode_errors > 0) obs_.decode_errors->add(decode_errors);
+      if (stale > 0) obs_.stale_results->add(stale);
+      obs_.quarantine_active->set(static_cast<double>(quarantine_active));
       obs_.elapsed_s->observe(seconds_between(t0, t_done));
       obs_.gather_s->observe(seconds_between(t_scattered, t_gathered));
       obs_.total_speed->set(collector_.total_speed());
@@ -239,6 +393,11 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
     stats->assigned = counts;
     stats->returned = returned;
     stats->missed = missed;
+    stats->quarantined = quarantined_;
+    stats->tiles_retried = retried;
+    stats->tiles_recovered = recovered;
+    stats->decode_errors = decode_errors;
+    stats->stale_results = stale;
     stats->speeds = collector_.speeds();
     stats->deadline_s = cfg_.deadline_s;
     stats->deadline_slack_s = deadline_slack_s;

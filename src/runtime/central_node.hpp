@@ -21,6 +21,20 @@
 
 namespace adcnn::runtime {
 
+/// Bounded retry/re-dispatch of still-missing tiles inside the T_L window
+/// (self-healing extension over the paper's zero-fill-only deadline). A
+/// tile lost to a flaky link or a dying node is re-sent to the fastest
+/// non-quarantined nodes with spare capacity while deadline slack remains;
+/// duplicates are deduplicated by the gather's have[] bitmap.
+struct RetryPolicy {
+  bool enabled = true;
+  /// First re-dispatch fires once this fraction of T_L has elapsed with
+  /// tiles still missing; later rounds split the remaining window evenly.
+  double at_fraction = 0.5;
+  /// Retry budget: at most this many re-dispatch rounds per image.
+  int max_rounds = 2;
+};
+
 struct CentralConfig {
   /// T_L — how long to wait for intermediate results after the last tile
   /// of an image has been transmitted (wall-clock seconds).
@@ -34,6 +48,13 @@ struct CentralConfig {
   /// so a recovered node can rebuild its s_k. Without this, a node whose
   /// EMA collapsed stays starved forever even after it heals. 0 disables.
   int probe_interval = 8;
+  RetryPolicy retry;
+  /// Quarantine circuit breaker: a node whose assigned tiles all miss the
+  /// deadline for this many consecutive images is excluded from Algorithm 3
+  /// allocation until a recovery probe returns (composing with
+  /// `probe_interval`), rather than relying solely on the EMA decaying
+  /// toward zero. 0 disables.
+  int quarantine_after = 3;
   /// Null sinks by default; see obs/telemetry.hpp.
   obs::Telemetry telemetry;
 };
@@ -62,8 +83,18 @@ struct InferStats {
   std::int64_t tiles_total = 0;
   std::int64_t tiles_missing = 0;       // zero-filled at the deadline
   std::vector<std::int64_t> assigned;   // tiles sent per node
-  std::vector<std::int64_t> returned;   // results within T_L per node
+  /// Primary-dispatch results within T_L per node (retry completions are
+  /// tracked in tiles_recovered so Algorithm 2 only ever credits a node
+  /// for its own assignment).
+  std::vector<std::int64_t> returned;
   std::vector<std::int64_t> missed;     // assigned - returned per node
+  /// Per-node circuit-breaker state after this image (see
+  /// CentralConfig::quarantine_after).
+  std::vector<bool> quarantined;
+  std::int64_t tiles_retried = 0;    // re-dispatches sent within T_L
+  std::int64_t tiles_recovered = 0;  // missing tiles filled by a retry
+  std::int64_t decode_errors = 0;    // malformed results dropped in gather
+  std::int64_t stale_results = 0;    // previous-image results discarded
   std::vector<double> speeds;           // s_k after Algorithm 2's update
   double deadline_s = 0.0;              // the T_L in force
   /// Seconds left before T_L when gathering finished; <= 0 means the
@@ -100,12 +131,22 @@ class CentralNode {
   core::StatsCollector collector_;
   Shape tile_out_shape_;
   std::int64_t next_image_id_ = 0;
+  // Quarantine circuit breaker state (central thread only).
+  std::vector<bool> quarantined_;
+  std::vector<int> consecutive_missed_;
 
   // Cached instruments (null when no metrics sink is attached).
   struct CentralMetrics {
     obs::Counter* images = nullptr;
     obs::Counter* tiles_total = nullptr;
     obs::Counter* tiles_missing = nullptr;
+    obs::Counter* retry_dispatched = nullptr;
+    obs::Counter* retry_recovered = nullptr;
+    obs::Counter* retry_rounds = nullptr;
+    obs::Counter* decode_errors = nullptr;
+    obs::Counter* stale_results = nullptr;
+    obs::Counter* quarantine_events = nullptr;
+    obs::Gauge* quarantine_active = nullptr;
     obs::Histogram* elapsed_s = nullptr;
     obs::Histogram* gather_s = nullptr;
     obs::Gauge* total_speed = nullptr;

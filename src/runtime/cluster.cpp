@@ -15,6 +15,9 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
         "model (apply_fdsp with clipped_relu=true)");
   }
   if (cfg.compress) codec_.emplace(model.clip_range, model.bits);
+  if (!cfg.fault_plan.trivial()) {
+    faults_ = std::make_unique<FaultInjector>(cfg.fault_plan, cfg.telemetry);
+  }
 
   // Resolve shared telemetry instruments once; links of one direction
   // aggregate into one counter pair, inbox channels into one depth gauge.
@@ -48,6 +51,12 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
         cfg.bandwidth_bps, cfg.latency_s, cfg.time_scale));
     downlinks_.back()->attach_telemetry(down_bytes, down_transfers);
     uplinks_.back()->attach_telemetry(up_bytes, up_transfers);
+    if (faults_) {
+      downlinks_.back()->attach_faults(faults_.get(),
+                                       FaultInjector::Direction::kDownlink, k);
+      uplinks_.back()->attach_faults(faults_.get(),
+                                     FaultInjector::Direction::kUplink, k);
+    }
     inboxes_.push_back(std::make_unique<Channel<TileTask>>());
     inboxes_.back()->attach_telemetry(inbox_depth, inbox_sent);
     inbox_ptrs.push_back(inboxes_.back().get());
@@ -58,7 +67,8 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   for (int k = 0; k < cfg.num_nodes; ++k) {
     workers_.push_back(std::make_unique<ConvNodeWorker>(
         k, model, codec, *inboxes_[static_cast<std::size_t>(k)], results_,
-        *uplinks_[static_cast<std::size_t>(k)], cfg.telemetry));
+        *uplinks_[static_cast<std::size_t>(k)], cfg.telemetry,
+        faults_.get()));
   }
 
   CentralConfig central_cfg;
@@ -67,6 +77,8 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   central_cfg.initial_speed = cfg.initial_speed;
   central_cfg.capacity_tiles = cfg.capacity_tiles;
   central_cfg.probe_interval = cfg.probe_interval;
+  central_cfg.retry = cfg.retry;
+  central_cfg.quarantine_after = cfg.quarantine_after;
   central_cfg.telemetry = cfg.telemetry;
   central_ = std::make_unique<CentralNode>(model, codec, inbox_ptrs, &results_,
                                            downlink_ptrs, central_cfg);

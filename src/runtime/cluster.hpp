@@ -26,6 +26,13 @@ struct ClusterConfig {
   std::int64_t capacity_tiles = std::numeric_limits<std::int64_t>::max();
   /// Recovery-probe period (see CentralConfig::probe_interval); 0 = off.
   int probe_interval = 8;
+  /// Self-healing gather (see CentralConfig::retry).
+  RetryPolicy retry;
+  /// Circuit breaker (see CentralConfig::quarantine_after); 0 = off.
+  int quarantine_after = 3;
+  /// Deterministic chaos script applied to links and workers; the default
+  /// (trivial) plan injects nothing and allocates no injector.
+  FaultPlan fault_plan;
   /// Apply the §4 compression pipeline (requires the model to carry a
   /// clipped-ReLU range); false sends raw fp32 intermediate results.
   bool compress = true;
@@ -52,6 +59,8 @@ class EdgeCluster {
   CentralNode& central() { return *central_; }
   SimulatedLink& downlink(int k) { return *downlinks_[checked(k, "downlink")]; }
   SimulatedLink& uplink(int k) { return *uplinks_[checked(k, "uplink")]; }
+  /// Null unless the config carried a non-trivial FaultPlan.
+  FaultInjector* faults() { return faults_.get(); }
 
  private:
   /// Bounds-check a node index; out-of-range k was silent UB before.
@@ -65,6 +74,9 @@ class EdgeCluster {
   }
 
   std::optional<compress::TileCodec> codec_;
+  // Declared before the links/workers that hold raw pointers into it, so
+  // it outlives them during destruction.
+  std::unique_ptr<FaultInjector> faults_;
   std::vector<std::unique_ptr<SimulatedLink>> downlinks_;
   std::vector<std::unique_ptr<SimulatedLink>> uplinks_;
   std::vector<std::unique_ptr<Channel<TileTask>>> inboxes_;

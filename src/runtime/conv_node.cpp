@@ -1,7 +1,9 @@
 #include "runtime/conv_node.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <exception>
 
 namespace adcnn::runtime {
 
@@ -9,9 +11,11 @@ ConvNodeWorker::ConvNodeWorker(int id, core::PartitionedModel& model,
                                const compress::TileCodec* codec,
                                Channel<TileTask>& inbox,
                                Channel<TileResult>& outbox,
-                               SimulatedLink& uplink, obs::Telemetry telemetry)
+                               SimulatedLink& uplink, obs::Telemetry telemetry,
+                               FaultInjector* faults)
     : id_(id), model_(model), codec_(codec), inbox_(inbox), outbox_(outbox),
-      uplink_(uplink), telemetry_(telemetry), thread_([this] { run(); }) {}
+      uplink_(uplink), telemetry_(telemetry), faults_(faults),
+      thread_([this] { run(); }) {}
 
 ConvNodeWorker::~ConvNodeWorker() {
   inbox_.close();
@@ -22,11 +26,13 @@ void ConvNodeWorker::run() {
   const int tid = id_ + 1;  // logical trace lane; 0 is the Central node
   obs::TraceRecorder* tracer = telemetry_.trace;
   obs::Counter* tiles_counter = nullptr;
+  obs::Counter* errors_counter = nullptr;
   obs::Histogram* compute_hist = nullptr;
   if constexpr (obs::kEnabled) {
     if (auto* m = telemetry_.metrics) {
       tiles_counter =
           &m->counter("node.tiles_processed." + std::to_string(id_));
+      errors_counter = &m->counter("node.task_errors");
       compute_hist = &m->histogram("node.conv_compute_s");
     }
   }
@@ -34,60 +40,84 @@ void ConvNodeWorker::run() {
   while (true) {
     auto task = inbox_.receive();
     if (!task || task->shutdown) return;
-    if (dead_.load()) continue;  // failed node: swallow work silently
 
-    obs::ScopedSpan tile_span(tracer, "tile", "tile", tid, task->image_id,
-                              task->tile_id);
-    const auto start = std::chrono::steady_clock::now();
+    // Manual kill()/set_cpu_limit() and the scripted fault plan compose:
+    // the node is dead if either says so, throttled to the tighter limit.
+    bool dead = dead_.load();
+    double limit = cpu_limit_.load();
+    if (faults_) {
+      const auto scripted = faults_->node_state(id_, task->image_id);
+      dead = dead || scripted.dead;
+      limit = std::min(limit, scripted.cpu_limit);
+    }
+    if (dead) continue;  // failed node: swallow work silently
 
-    // Decode the raw fp32 tile and run the separable prefix (includes
-    // clipped ReLU / fake-quant layers).
-    obs::ScopedSpan compute_span(tracer, "conv_compute", "conv_compute", tid,
-                                 task->image_id, task->tile_id);
-    Tensor tile(task->shape);
-    std::memcpy(tile.data(), task->payload.data(),
-                std::min(task->payload.size(),
-                         static_cast<std::size_t>(tile.numel()) *
-                             sizeof(float)));
-    Tensor out = model_.model.forward_range(tile, model_.prefix_begin(),
-                                            model_.prefix_end());
-    compute_span.end();
-    if constexpr (obs::kEnabled) {
-      if (compute_hist) {
-        compute_hist->observe(std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - start)
-                                  .count());
+    // A tile must never take the worker thread down: a corrupted payload
+    // that makes decode/compute/encode throw is abandoned (counted), and
+    // the Central node's retry/zero-fill covers the missing result.
+    try {
+      obs::ScopedSpan tile_span(tracer, "tile", "tile", tid, task->image_id,
+                                task->tile_id);
+      const auto start = std::chrono::steady_clock::now();
+
+      // Decode the raw fp32 tile and run the separable prefix (includes
+      // clipped ReLU / fake-quant layers).
+      obs::ScopedSpan compute_span(tracer, "conv_compute", "conv_compute",
+                                   tid, task->image_id, task->tile_id);
+      Tensor tile(task->shape);
+      std::memcpy(tile.data(), task->payload.data(),
+                  std::min(task->payload.size(),
+                           static_cast<std::size_t>(tile.numel()) *
+                               sizeof(float)));
+      Tensor out = model_.model.forward_range(tile, model_.prefix_begin(),
+                                              model_.prefix_end());
+      compute_span.end();
+      if constexpr (obs::kEnabled) {
+        if (compute_hist) {
+          compute_hist->observe(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count());
+        }
+      }
+
+      obs::ScopedSpan compress_span(tracer, "compress", "compress", tid,
+                                    task->image_id, task->tile_id);
+      TileResult result;
+      result.image_id = task->image_id;
+      result.tile_id = task->tile_id;
+      result.node_id = id_;
+      result.attempt = task->attempt;
+      result.shape = out.shape();
+      result.payload =
+          codec_ ? codec_->encode(out) : compress::encode_raw(out);
+      compress_span.end();
+
+      // Emulate a slower CPU: stretch the compute phase.
+      if (limit < 1.0) {
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                elapsed * (1.0 / limit - 1.0)));
+      }
+
+      obs::ScopedSpan uplink_span(tracer, "uplink", "uplink", tid,
+                                  task->image_id, task->tile_id);
+      const auto fate =
+          uplink_.transmit_message(result.wire_bytes(), task->image_id,
+                                   task->tile_id, task->attempt,
+                                   &result.payload);
+      tiles_processed_.fetch_add(1);
+      if constexpr (obs::kEnabled) {
+        if (tiles_counter) tiles_counter->add(1);
+      }
+      if (!fate.drop) outbox_.send(std::move(result));
+      uplink_span.end();
+    } catch (const std::exception&) {
+      task_errors_.fetch_add(1);
+      if constexpr (obs::kEnabled) {
+        if (errors_counter) errors_counter->add(1);
       }
     }
-
-    obs::ScopedSpan compress_span(tracer, "compress", "compress", tid,
-                                  task->image_id, task->tile_id);
-    TileResult result;
-    result.image_id = task->image_id;
-    result.tile_id = task->tile_id;
-    result.node_id = id_;
-    result.shape = out.shape();
-    result.payload = codec_ ? codec_->encode(out) : compress::encode_raw(out);
-    compress_span.end();
-
-    // Emulate a slower CPU: stretch the compute phase.
-    const double limit = cpu_limit_.load();
-    if (limit < 1.0) {
-      const auto elapsed = std::chrono::steady_clock::now() - start;
-      std::this_thread::sleep_for(
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              elapsed * (1.0 / limit - 1.0)));
-    }
-
-    obs::ScopedSpan uplink_span(tracer, "uplink", "uplink", tid,
-                                task->image_id, task->tile_id);
-    uplink_.transmit(result.wire_bytes());
-    tiles_processed_.fetch_add(1);
-    if constexpr (obs::kEnabled) {
-      if (tiles_counter) tiles_counter->add(1);
-    }
-    outbox_.send(std::move(result));
-    uplink_span.end();
   }
 }
 

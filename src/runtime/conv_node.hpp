@@ -13,6 +13,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/channel.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/link.hpp"
 #include "runtime/message.hpp"
 
@@ -25,10 +26,13 @@ class ConvNodeWorker {
   /// send raw fp32 results (the "without pruning" baseline of Fig. 12).
   /// `telemetry` sinks (null by default) must outlive the worker; spans
   /// are emitted with logical tid = id + 1 (0 is the Central node).
+  /// `faults` (optional, must outlive the worker) scripts crash/stall
+  /// windows by image id on top of the manual kill()/set_cpu_limit() knobs.
   ConvNodeWorker(int id, core::PartitionedModel& model,
                  const compress::TileCodec* codec, Channel<TileTask>& inbox,
                  Channel<TileResult>& outbox, SimulatedLink& uplink,
-                 obs::Telemetry telemetry = {});
+                 obs::Telemetry telemetry = {},
+                 FaultInjector* faults = nullptr);
   ~ConvNodeWorker();
 
   ConvNodeWorker(const ConvNodeWorker&) = delete;
@@ -36,6 +40,9 @@ class ConvNodeWorker {
 
   int id() const { return id_; }
   std::int64_t tiles_processed() const { return tiles_processed_.load(); }
+  /// Tiles abandoned because processing threw (e.g. a corrupted input
+  /// payload); the Central node's retry/zero-fill covers the gap.
+  std::int64_t task_errors() const { return task_errors_.load(); }
 
   /// Artificial CPU throttle in (0, 1]; 1 = full speed. Emulates the
   /// paper's CPUlimit-based degradation (Fig. 15) by sleeping
@@ -60,9 +67,11 @@ class ConvNodeWorker {
   Channel<TileResult>& outbox_;
   SimulatedLink& uplink_;
   obs::Telemetry telemetry_;
+  FaultInjector* faults_;
   std::atomic<double> cpu_limit_{1.0};
   std::atomic<bool> dead_{false};
   std::atomic<std::int64_t> tiles_processed_{0};
+  std::atomic<std::int64_t> task_errors_{0};
   std::thread thread_;
 };
 

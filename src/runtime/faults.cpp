@@ -1,0 +1,142 @@
+#include "runtime/faults.hpp"
+
+#include <algorithm>
+
+#include "tensor/rng.hpp"
+
+namespace adcnn::runtime {
+
+namespace {
+
+// Decision salts: independent streams for each fault kind over the same
+// message key.
+constexpr std::uint64_t kSaltDrop = 0xD409;
+constexpr std::uint64_t kSaltCorrupt = 0xC043;
+constexpr std::uint64_t kSaltDelay = 0xDE1A;
+constexpr std::uint64_t kSaltMangle = 0x3A47;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t decision_hash(std::uint64_t seed, std::uint64_t salt,
+                            FaultInjector::Direction dir, int node,
+                            std::int64_t image_id, std::int64_t tile_id,
+                            std::int32_t attempt) {
+  std::uint64_t h = seed;
+  h = mix(h, salt);
+  h = mix(h, static_cast<std::uint64_t>(dir));
+  h = mix(h, static_cast<std::uint64_t>(node));
+  h = mix(h, static_cast<std::uint64_t>(image_id));
+  h = mix(h, static_cast<std::uint64_t>(tile_id));
+  h = mix(h, static_cast<std::uint64_t>(attempt));
+  return splitmix64(h);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::trivial() const {
+  const auto quiet_links = [](const std::vector<LinkFaultSpec>& links) {
+    return std::all_of(links.begin(), links.end(),
+                       [](const LinkFaultSpec& s) { return s.quiet(); });
+  };
+  return quiet_links(downlink) && quiet_links(uplink) &&
+         std::all_of(nodes.begin(), nodes.end(),
+                     [](const NodeFaultSpec& s) { return s.quiet(); });
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::Telemetry telemetry)
+    : plan_(std::move(plan)) {
+  if constexpr (obs::kEnabled) {
+    if (auto* m = telemetry.metrics) {
+      obs_.dropped = &m->counter("faults.dropped");
+      obs_.corrupted = &m->counter("faults.corrupted");
+      obs_.delayed = &m->counter("faults.delayed");
+    }
+  }
+}
+
+const LinkFaultSpec* FaultInjector::link_spec(Direction dir, int node) const {
+  const auto& specs =
+      dir == Direction::kDownlink ? plan_.downlink : plan_.uplink;
+  if (node < 0 || static_cast<std::size_t>(node) >= specs.size()) return nullptr;
+  return &specs[static_cast<std::size_t>(node)];
+}
+
+double FaultInjector::draw(std::uint64_t salt, Direction dir, int node,
+                           std::int64_t image_id, std::int64_t tile_id,
+                           std::int32_t attempt) const {
+  return to_unit(
+      decision_hash(plan_.seed, salt, dir, node, image_id, tile_id, attempt));
+}
+
+FaultInjector::LinkFate FaultInjector::link_fate(Direction dir, int node,
+                                                 std::int64_t image_id,
+                                                 std::int64_t tile_id,
+                                                 std::int32_t attempt) {
+  LinkFate fate;
+  const LinkFaultSpec* spec = link_spec(dir, node);
+  if (!spec || spec->quiet()) return fate;
+  fate.drop = spec->drop_prob > 0.0 &&
+              draw(kSaltDrop, dir, node, image_id, tile_id, attempt) <
+                  spec->drop_prob;
+  fate.corrupt = !fate.drop && spec->corrupt_prob > 0.0 &&
+                 draw(kSaltCorrupt, dir, node, image_id, tile_id, attempt) <
+                     spec->corrupt_prob;
+  if (spec->delay_prob > 0.0 && spec->delay_s > 0.0 &&
+      draw(kSaltDelay, dir, node, image_id, tile_id, attempt) <
+          spec->delay_prob) {
+    fate.delay_s = spec->delay_s;
+  }
+  if (fate.drop) ++dropped_;
+  if (fate.corrupt) ++corrupted_;
+  if (fate.delay_s > 0.0) ++delayed_;
+  if constexpr (obs::kEnabled) {
+    if (obs_.dropped) {
+      if (fate.drop) obs_.dropped->add(1);
+      if (fate.corrupt) obs_.corrupted->add(1);
+      if (fate.delay_s > 0.0) obs_.delayed->add(1);
+    }
+  }
+  return fate;
+}
+
+FaultInjector::NodeState FaultInjector::node_state(int node,
+                                                   std::int64_t image_id) const {
+  NodeState state;
+  if (node < 0 || static_cast<std::size_t>(node) >= plan_.nodes.size()) {
+    return state;
+  }
+  const NodeFaultSpec& spec = plan_.nodes[static_cast<std::size_t>(node)];
+  state.dead = spec.crash_at_image >= 0 && image_id >= spec.crash_at_image &&
+               (spec.recover_at_image < 0 || image_id < spec.recover_at_image);
+  if (spec.stall_at_image >= 0 && image_id >= spec.stall_at_image &&
+      (spec.stall_until_image < 0 || image_id < spec.stall_until_image)) {
+    state.cpu_limit = spec.stall_cpu_limit;
+  }
+  return state;
+}
+
+void FaultInjector::corrupt_payload(std::vector<std::uint8_t>& payload,
+                                    Direction dir, int node,
+                                    std::int64_t image_id,
+                                    std::int64_t tile_id,
+                                    std::int32_t attempt) const {
+  if (payload.empty()) return;
+  const std::uint64_t h = decision_hash(plan_.seed, kSaltMangle, dir, node,
+                                        image_id, tile_id, attempt);
+  // Shorten the payload so every length-checked decode path (raw fp32 size
+  // match, codec payload bound) rejects it, and flip the first byte so a
+  // leading varint header is mangled too.
+  payload.resize(payload.size() - 1 - h % (payload.size() / 3 + 1));
+  if (!payload.empty()) {
+    payload[0] ^= static_cast<std::uint8_t>(0x80 | ((h >> 8) & 0x7F));
+  }
+}
+
+}  // namespace adcnn::runtime

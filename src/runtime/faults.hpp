@@ -1,0 +1,131 @@
+// Deterministic, seed-driven fault injection for the threaded runtime.
+//
+// A FaultPlan scripts per-link message drop/corruption/extra-delay
+// probabilities and per-node crash/stall/recover schedules keyed by image
+// id, so a test or example can declare "node 2 dies at image 10, uplink 1
+// drops 30% of results" in one struct. The FaultInjector turns the plan
+// into per-message decisions that depend only on
+// (seed, direction, node, image_id, tile_id, attempt) — a stateless hash,
+// never a shared RNG stream — so a seeded chaos run is bit-deterministic
+// regardless of thread scheduling. Re-dispatched tiles carry a new attempt
+// number and therefore draw an independent decision, modelling independent
+// transmission trials over the same lossy link.
+//
+// Hook points: SimulatedLink::transmit_message consults the injector for
+// link fates, ConvNodeWorker consults node_state for scripted crash/stall
+// windows, and EdgeCluster wires one injector through the whole harness
+// (ClusterConfig::fault_plan).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace adcnn::runtime {
+
+/// Per-direction message faults on one node's link. Probabilities are
+/// evaluated independently per (image, tile, attempt) message.
+struct LinkFaultSpec {
+  double drop_prob = 0.0;     // message vanishes in transit
+  double corrupt_prob = 0.0;  // payload mangled (truncated + header flip)
+  double delay_prob = 0.0;    // message stalled by delay_s
+  /// Wall-clock seconds a delayed message is held back, applied as a real
+  /// sleep even in functional mode (time_scale = 0): an injected stall is
+  /// a fault, not part of the bandwidth model.
+  double delay_s = 0.0;
+
+  bool quiet() const {
+    return drop_prob <= 0.0 && corrupt_prob <= 0.0 &&
+           (delay_prob <= 0.0 || delay_s <= 0.0);
+  }
+};
+
+/// Scripted lifecycle of one Conv node, keyed by image id. A node is dead
+/// for image ids in [crash_at_image, recover_at_image) and throttled to
+/// stall_cpu_limit for ids in [stall_at_image, stall_until_image); -1
+/// bounds mean "never" (crash/stall) or "forever" (recover/until).
+struct NodeFaultSpec {
+  std::int64_t crash_at_image = -1;
+  std::int64_t recover_at_image = -1;
+  std::int64_t stall_at_image = -1;
+  std::int64_t stall_until_image = -1;
+  double stall_cpu_limit = 1.0;
+
+  bool quiet() const { return crash_at_image < 0 && stall_at_image < 0; }
+};
+
+/// One struct declaring every fault in a chaos run. Vectors are indexed by
+/// node id; nodes beyond a vector's size have no faults of that kind.
+struct FaultPlan {
+  std::uint64_t seed = 0x5EED;
+  std::vector<LinkFaultSpec> downlink;  // Central -> node k input tiles
+  std::vector<LinkFaultSpec> uplink;    // node k -> Central results
+  std::vector<NodeFaultSpec> nodes;
+
+  /// True when the plan injects nothing (the default), so the cluster can
+  /// skip creating an injector entirely.
+  bool trivial() const;
+};
+
+class FaultInjector {
+ public:
+  enum class Direction { kDownlink = 0, kUplink = 1 };
+
+  /// Fate of one message; drop and corrupt are mutually exclusive (a
+  /// dropped message never reaches a decoder).
+  struct LinkFate {
+    bool drop = false;
+    bool corrupt = false;
+    double delay_s = 0.0;
+  };
+
+  /// Scripted node condition while serving one image.
+  struct NodeState {
+    bool dead = false;
+    double cpu_limit = 1.0;
+  };
+
+  explicit FaultInjector(FaultPlan plan, obs::Telemetry telemetry = {});
+
+  /// Decide one message's fate. Pure in the plan seed and the message key;
+  /// the only side effect is fault accounting (counters/metrics).
+  LinkFate link_fate(Direction dir, int node, std::int64_t image_id,
+                     std::int64_t tile_id, std::int32_t attempt);
+
+  NodeState node_state(int node, std::int64_t image_id) const;
+
+  /// Deterministically mangle a payload for a corrupt fate: truncate it
+  /// (guaranteeing any length-checked decode rejects it) and flip a header
+  /// byte. Keyed the same way as the fate decision.
+  void corrupt_payload(std::vector<std::uint8_t>& payload, Direction dir,
+                       int node, std::int64_t image_id, std::int64_t tile_id,
+                       std::int32_t attempt) const;
+
+  const FaultPlan& plan() const { return plan_; }
+  std::int64_t dropped() const { return dropped_.load(); }
+  std::int64_t corrupted() const { return corrupted_.load(); }
+  std::int64_t delayed() const { return delayed_.load(); }
+
+ private:
+  const LinkFaultSpec* link_spec(Direction dir, int node) const;
+  /// Uniform [0, 1) draw keyed by (seed, salt, dir, node, image, tile,
+  /// attempt) — stateless, so concurrent callers cannot perturb it.
+  double draw(std::uint64_t salt, Direction dir, int node,
+              std::int64_t image_id, std::int64_t tile_id,
+              std::int32_t attempt) const;
+
+  FaultPlan plan_;
+  std::atomic<std::int64_t> dropped_{0};
+  std::atomic<std::int64_t> corrupted_{0};
+  std::atomic<std::int64_t> delayed_{0};
+  struct FaultMetrics {
+    obs::Counter* dropped = nullptr;
+    obs::Counter* corrupted = nullptr;
+    obs::Counter* delayed = nullptr;
+  } obs_;
+};
+
+}  // namespace adcnn::runtime

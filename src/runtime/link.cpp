@@ -18,4 +18,23 @@ void SimulatedLink::transmit(std::size_t bytes) {
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
+FaultInjector::LinkFate SimulatedLink::transmit_message(
+    std::size_t bytes, std::int64_t image_id, std::int64_t tile_id,
+    std::int32_t attempt, std::vector<std::uint8_t>* payload) {
+  FaultInjector::LinkFate fate;
+  if (faults_) {
+    fate = faults_->link_fate(fault_dir_, fault_node_, image_id, tile_id,
+                              attempt);
+  }
+  transmit(bytes);
+  if (fate.corrupt && payload) {
+    faults_->corrupt_payload(*payload, fault_dir_, fault_node_, image_id,
+                             tile_id, attempt);
+  }
+  if (fate.delay_s > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(fate.delay_s));
+  }
+  return fate;
+}
+
 }  // namespace adcnn::runtime

@@ -9,9 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/faults.hpp"
 
 namespace adcnn::runtime {
 
@@ -24,6 +26,27 @@ class SimulatedLink {
 
   /// Block for the modelled transfer duration and account the bytes.
   void transmit(std::size_t bytes);
+
+  /// Fault injection: subsequent transmit_message() calls consult the
+  /// injector for this (direction, node) endpoint. Null detaches. Attach
+  /// before the link carries traffic.
+  void attach_faults(FaultInjector* injector, FaultInjector::Direction dir,
+                     int node) {
+    faults_ = injector;
+    fault_dir_ = dir;
+    fault_node_ = node;
+  }
+
+  /// transmit() plus fault injection for one runtime message. Airtime and
+  /// byte accounting happen regardless of the fate (a lost packet still
+  /// occupied the radio); an injected delay is a real wall-clock sleep on
+  /// top of the modelled transfer. A corrupt fate mangles `payload` in
+  /// place when it is non-null; a drop fate is returned for the caller to
+  /// honour (the link only carries bytes — the message object stays with
+  /// the sender).
+  FaultInjector::LinkFate transmit_message(
+      std::size_t bytes, std::int64_t image_id, std::int64_t tile_id,
+      std::int32_t attempt, std::vector<std::uint8_t>* payload = nullptr);
 
   std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
   std::uint64_t transfers() const { return transfers_.load(); }
@@ -50,6 +73,9 @@ class SimulatedLink {
   std::atomic<std::uint64_t> transfers_{0};
   obs::Counter* obs_bytes_ = nullptr;
   obs::Counter* obs_transfers_ = nullptr;
+  FaultInjector* faults_ = nullptr;
+  FaultInjector::Direction fault_dir_ = FaultInjector::Direction::kDownlink;
+  int fault_node_ = -1;
 };
 
 }  // namespace adcnn::runtime

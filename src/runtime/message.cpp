@@ -11,6 +11,12 @@ namespace {
 using compress::get_varint;
 using compress::put_varint;
 
+// Adversarial-input bounds: a corrupted or hostile wire buffer may carry
+// arbitrary varints, so every length-like field is range-checked before it
+// feeds an allocation, a multiply, or a pointer offset.
+constexpr std::uint64_t kMaxDim = 1ull << 30;        // per-axis sanity bound
+constexpr std::uint64_t kMaxElements = 1ull << 40;   // total tensor elements
+
 void put_shape(std::vector<std::uint8_t>& out, const Shape& shape) {
   put_varint(out, static_cast<std::uint64_t>(shape.rank()));
   for (std::int64_t i = 0; i < shape.rank(); ++i)
@@ -21,7 +27,16 @@ Shape get_shape(std::span<const std::uint8_t> in, std::size_t& pos) {
   const std::uint64_t rank = get_varint(in, pos);
   if (rank > 8) throw std::invalid_argument("get_shape: absurd rank");
   std::vector<std::int64_t> dims(rank);
-  for (auto& d : dims) d = static_cast<std::int64_t>(get_varint(in, pos));
+  std::uint64_t numel = 1;
+  for (auto& d : dims) {
+    const std::uint64_t v = get_varint(in, pos);
+    if (v > kMaxDim) throw std::invalid_argument("get_shape: dim out of range");
+    if (v != 0 && numel > kMaxElements / v) {
+      throw std::invalid_argument("get_shape: element count overflow");
+    }
+    numel *= v;
+    d = static_cast<std::int64_t>(v);
+  }
   return Shape(std::move(dims));
 }
 
@@ -34,7 +49,9 @@ void put_bytes(std::vector<std::uint8_t>& out,
 std::vector<std::uint8_t> get_bytes(std::span<const std::uint8_t> in,
                                     std::size_t& pos) {
   const std::uint64_t n = get_varint(in, pos);
-  if (pos + n > in.size()) {
+  // Compare against the remaining length — `pos + n` could wrap around on
+  // a hostile length prefix and sail past the bound.
+  if (n > in.size() - pos) {
     throw std::invalid_argument("get_bytes: truncated payload");
   }
   std::vector<std::uint8_t> bytes(in.begin() + static_cast<std::ptrdiff_t>(pos),
@@ -54,6 +71,7 @@ std::vector<std::uint8_t> serialize(const TileTask& task) {
   out.reserve(task.payload.size() + 24);
   put_varint(out, static_cast<std::uint64_t>(task.image_id));
   put_varint(out, static_cast<std::uint64_t>(task.tile_id));
+  put_varint(out, static_cast<std::uint64_t>(task.attempt));
   out.push_back(task.shutdown ? 1 : 0);
   put_shape(out, task.shape);
   put_bytes(out, task.payload);
@@ -65,10 +83,12 @@ TileTask deserialize_task(std::span<const std::uint8_t> wire) {
   TileTask task;
   task.image_id = static_cast<std::int64_t>(get_varint(wire, pos));
   task.tile_id = static_cast<std::int64_t>(get_varint(wire, pos));
+  task.attempt = static_cast<std::int32_t>(get_varint(wire, pos));
   if (pos >= wire.size()) throw std::invalid_argument("task: truncated");
   task.shutdown = wire[pos++] != 0;
   task.shape = get_shape(wire, pos);
   task.payload = get_bytes(wire, pos);
+  if (pos != wire.size()) throw std::invalid_argument("task: trailing bytes");
   return task;
 }
 
@@ -78,6 +98,7 @@ std::vector<std::uint8_t> serialize(const TileResult& result) {
   put_varint(out, static_cast<std::uint64_t>(result.image_id));
   put_varint(out, static_cast<std::uint64_t>(result.tile_id));
   put_varint(out, static_cast<std::uint64_t>(result.node_id));
+  put_varint(out, static_cast<std::uint64_t>(result.attempt));
   put_shape(out, result.shape);
   put_bytes(out, result.payload);
   return out;
@@ -89,8 +110,12 @@ TileResult deserialize_result(std::span<const std::uint8_t> wire) {
   result.image_id = static_cast<std::int64_t>(get_varint(wire, pos));
   result.tile_id = static_cast<std::int64_t>(get_varint(wire, pos));
   result.node_id = static_cast<int>(get_varint(wire, pos));
+  result.attempt = static_cast<std::int32_t>(get_varint(wire, pos));
   result.shape = get_shape(wire, pos);
   result.payload = get_bytes(wire, pos);
+  if (pos != wire.size()) {
+    throw std::invalid_argument("result: trailing bytes");
+  }
   return result;
 }
 

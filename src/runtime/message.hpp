@@ -18,6 +18,7 @@ namespace adcnn::runtime {
 struct TileTask {
   std::int64_t image_id = 0;
   std::int64_t tile_id = 0;
+  std::int32_t attempt = 0;           // 0 = primary dispatch, >0 = retry
   Shape shape;                        // (1, C, th, tw) of the payload
   std::vector<std::uint8_t> payload;  // raw fp32 tile pixels
   bool shutdown = false;              // poison pill for worker threads
@@ -29,6 +30,7 @@ struct TileResult {
   std::int64_t image_id = 0;
   std::int64_t tile_id = 0;
   int node_id = 0;
+  std::int32_t attempt = 0;           // copied from the task that produced it
   Shape shape;                        // (1, C', th', tw') of decoded output
   std::vector<std::uint8_t> payload;  // TileCodec-compressed prefix output
 

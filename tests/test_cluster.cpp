@@ -93,6 +93,9 @@ TEST(Cluster, DeadNodeZeroFillsThenRoutesAround) {
   ClusterConfig cfg;
   cfg.num_nodes = 2;
   cfg.deadline_s = 0.25;  // short but ample for healthy nodes
+  // This test exercises the paper's bare zero-fill deadline path; with the
+  // self-healing retry on, node 0 would recover node 1's tiles in-window.
+  cfg.retry.enabled = false;
   EdgeCluster cluster(pm, cfg);
   cluster.node(1).kill();  // swallows tiles silently
 

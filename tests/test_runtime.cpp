@@ -3,9 +3,11 @@
 #include <atomic>
 #include <thread>
 
+#include "compress/rle.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/link.hpp"
 #include "runtime/message.hpp"
+#include "tensor/rng.hpp"
 
 namespace adcnn::runtime {
 namespace {
@@ -96,6 +98,101 @@ TEST(Message, TruncatedWireRejected) {
   auto wire = serialize(task);
   wire.resize(wire.size() / 2);
   EXPECT_THROW(deserialize_task(wire), std::invalid_argument);
+}
+
+TEST(Message, AttemptSurvivesRoundTrip) {
+  TileTask task;
+  task.attempt = 3;
+  EXPECT_EQ(deserialize_task(serialize(task)).attempt, 3);
+  TileResult result;
+  result.attempt = 2;
+  EXPECT_EQ(deserialize_result(serialize(result)).attempt, 2);
+}
+
+// --- Adversarial wire buffers: every malformed input must surface as a
+// clean invalid_argument, never an out-of-bounds access or a giant
+// allocation. These mirror what a corrupt fate on a SimulatedLink produces.
+
+TEST(Message, EveryTruncationPrefixRejectedOrRoundTrips) {
+  TileResult result;
+  result.image_id = 9;
+  result.tile_id = 3;
+  result.node_id = 1;
+  result.shape = Shape{1, 4, 2, 2};
+  result.payload.assign(40, 0x5A);
+  const auto wire = serialize(result);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const std::vector<std::uint8_t> cut(wire.begin(),
+                                        wire.begin() +
+                                            static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW(deserialize_result(cut), std::invalid_argument) << n;
+  }
+  EXPECT_EQ(deserialize_result(wire).payload, result.payload);
+}
+
+TEST(Message, OversizedLengthPrefixRejected) {
+  // Payload length varint claims ~2^64 bytes: `pos + n` would wrap past
+  // the buffer end; the decoder must compare against the remaining length.
+  std::vector<std::uint8_t> wire;
+  compress::put_varint(wire, 1);  // image_id
+  compress::put_varint(wire, 0);  // tile_id
+  compress::put_varint(wire, 0);  // node_id
+  compress::put_varint(wire, 0);  // attempt
+  compress::put_varint(wire, 4);  // rank
+  for (int i = 0; i < 4; ++i) compress::put_varint(wire, 1);
+  compress::put_varint(wire, ~0ull);  // payload length: 2^64 - 1
+  wire.push_back(0xEE);               // one actual payload byte
+  EXPECT_THROW(deserialize_result(wire), std::invalid_argument);
+}
+
+TEST(Message, ShapeBombRejected) {
+  // A shape of 8 dims x 2^30 each passes the per-dim bound but overflows
+  // the element-count bound long before the 2^240-element tensor exists.
+  std::vector<std::uint8_t> wire;
+  compress::put_varint(wire, 1);  // image_id
+  compress::put_varint(wire, 0);  // tile_id
+  compress::put_varint(wire, 0);  // node_id
+  compress::put_varint(wire, 0);  // attempt
+  compress::put_varint(wire, 8);  // rank
+  for (int i = 0; i < 8; ++i) compress::put_varint(wire, 1ull << 30);
+  compress::put_varint(wire, 0);  // payload length
+  EXPECT_THROW(deserialize_result(wire), std::invalid_argument);
+}
+
+TEST(Message, AbsurdRankRejected) {
+  std::vector<std::uint8_t> wire;
+  compress::put_varint(wire, 1);    // image_id
+  compress::put_varint(wire, 0);    // tile_id
+  compress::put_varint(wire, 0);    // attempt
+  wire.push_back(0);                // shutdown
+  compress::put_varint(wire, 200);  // rank
+  EXPECT_THROW(deserialize_task(wire), std::invalid_argument);
+}
+
+TEST(Message, TrailingBytesRejected) {
+  TileTask task;
+  task.payload.assign(16, 2);
+  auto wire = serialize(task);
+  wire.push_back(0x00);
+  EXPECT_THROW(deserialize_task(wire), std::invalid_argument);
+}
+
+TEST(Message, GarbageBufferNeverCrashesDecoder) {
+  // Deterministic pseudo-random garbage at several sizes: decode must
+  // either throw invalid_argument or parse — never crash or hang.
+  std::uint64_t state = 0xBADC0DE;
+  for (const std::size_t size : {1u, 7u, 33u, 257u, 4096u}) {
+    std::vector<std::uint8_t> wire(size);
+    for (auto& b : wire) b = static_cast<std::uint8_t>(splitmix64(state));
+    try {
+      (void)deserialize_task(wire);
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      (void)deserialize_result(wire);
+    } catch (const std::invalid_argument&) {
+    }
+  }
 }
 
 TEST(Message, WireBytesTracksPayload) {
