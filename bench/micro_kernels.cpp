@@ -1,12 +1,24 @@
-// Operator / codec / scheduler micro-benchmarks (google-benchmark).
+// Operator / codec / scheduler micro-benchmarks (google-benchmark), plus
+// the GEMM engine report: `micro_kernels --gemm_json=PATH [--smoke]` times
+// naive vs blocked vs threaded GFLOP/s and writes BENCH_gemm.json instead
+// of running the google-benchmark suite (CI records the perf trajectory
+// from that artifact).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
 
 #include "compress/pipeline.hpp"
 #include "core/allocate.hpp"
 #include "core/stats.hpp"
+#include "core/thread_pool.hpp"
 #include "nn/conv.hpp"
 #include "nn/gemm.hpp"
 #include "nn/tiling.hpp"
+#include "obs/json.hpp"
 #include "sim/adcnn_sim.hpp"
 
 namespace {
@@ -26,7 +38,124 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    nn::gemm_naive(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBlockedSerial(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    nn::gemm_blocked(a.data(), b.data(), c.data(), n, n, n, nullptr);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlockedSerial)->Arg(64)->Arg(128)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// GEMM engine report (BENCH_gemm.json).
+
+/// Median-free simple throughput probe: run fn until min_time elapsed
+/// (>= 1 iteration) and return seconds per iteration.
+double time_loop(const std::function<void()>& fn, double min_time_s) {
+  fn();  // warm up caches, pack buffers, pool threads
+  std::int64_t iters = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_time_s);
+  return elapsed / static_cast<double>(iters);
+}
+
+int run_gemm_report(const std::string& path, bool smoke) {
+  const std::vector<std::int64_t> shapes =
+      smoke ? std::vector<std::int64_t>{64, 128, 256}
+            : std::vector<std::int64_t>{128, 256, 512};
+  const double min_time = smoke ? 0.05 : 0.25;
+  const std::vector<int> thread_counts{1, 2, 4};
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "gemm");
+  w.kv("smoke", smoke);
+  w.kv("hardware_concurrency", core::ThreadPool::default_threads());
+  w.key("shapes").begin_array();
+  for (const std::int64_t n : shapes) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<float> a(static_cast<std::size_t>(n * n)),
+        b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const auto gflops = [&](double secs) { return flops / secs / 1e9; };
+
+    const double naive = gflops(time_loop(
+        [&] { nn::gemm_naive(a.data(), b.data(), c.data(), n, n, n); },
+        min_time));
+    const double blocked = gflops(time_loop(
+        [&] { nn::gemm_blocked(a.data(), b.data(), c.data(), n, n, n); },
+        min_time));
+
+    w.begin_object();
+    w.kv("m", n).kv("k", n).kv("n", n);
+    w.kv("naive_gflops", naive);
+    w.kv("blocked_1t_gflops", blocked);
+    w.kv("blocked_speedup", blocked / naive);
+    w.key("threaded").begin_array();
+    for (const int t : thread_counts) {
+      core::ThreadPool pool(t);
+      const double thr = gflops(time_loop(
+          [&] { nn::gemm_blocked(a.data(), b.data(), c.data(), n, n, n,
+                                 &pool); },
+          min_time));
+      w.begin_object();
+      w.kv("threads", t);
+      w.kv("gflops", thr);
+      w.kv("scaling_vs_1t", thr / blocked);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("gemm %4lldx%4lld: naive %.2f GF/s, blocked %.2f GF/s "
+                "(%.1fx)\n",
+                static_cast<long long>(n), static_cast<long long>(n), naive,
+                blocked, blocked / naive);
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(path, std::ios::binary);
+  out << w.take() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "micro_kernels: failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
 
 void BM_ConvForward(benchmark::State& state) {
   const std::int64_t c = state.range(0);
@@ -131,4 +260,21 @@ BENCHMARK(BM_SimulateAdcnn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string gemm_json;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
+      gemm_json = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (!gemm_json.empty()) return run_gemm_report(gemm_json, smoke);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -96,7 +96,13 @@ std::vector<std::uint8_t> rle_varint_decode(
     if (pos >= payload.size()) {
       throw std::invalid_argument("rle_varint_decode: missing value byte");
     }
-    out.insert(out.end(), run, 0);
+    // Bound the run BEFORE materializing it: an adversarial varint can
+    // encode a run of ~2^64 zeros, which must not become an allocation.
+    // (out.size() <= count holds here, so the subtraction cannot wrap.)
+    if (run > count - out.size()) {
+      throw std::invalid_argument("rle_varint_decode: payload overruns count");
+    }
+    out.insert(out.end(), static_cast<std::size_t>(run), 0);
     out.push_back(payload[pos++]);
     if (out.size() > count) {
       throw std::invalid_argument("rle_varint_decode: payload overruns count");

@@ -1,6 +1,7 @@
 #include "core/allocate.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -42,20 +43,27 @@ std::vector<std::int64_t> allocate_tiles(const AllocRequest& req, Rng* rng) {
   const std::size_t K = req.speeds.size();
   std::vector<std::int64_t> x(K, 0);
   std::vector<std::size_t> best;
+  std::vector<double> vals(K);
   for (std::int64_t t = 0; t < req.tiles; ++t) {
     const double current = makespan(x, req.speeds);
+    // Pass 1: the true minimum. Folding the epsilon into this pass let the
+    // tie set keep candidates strictly worse than the running best (an
+    // improvement inside the epsilon never updated best_val, so later
+    // entries were admitted against a stale bound).
     double best_val = std::numeric_limits<double>::infinity();
-    best.clear();
     for (std::size_t k = 0; k < K; ++k) {
+      vals[k] = std::numeric_limits<double>::infinity();
       if (req.speeds[k] <= 0.0) continue;         // dead node (s_k == 0)
       if (x[k] + 1 > capacity(req, k)) continue;  // storage bound
-      const double val =
+      vals[k] =
           std::max(current, static_cast<double>(x[k] + 1) / req.speeds[k]);
-      if (val < best_val - 1e-12) {
-        best_val = val;
-        best.assign(1, k);
-      } else if (val <= best_val + 1e-12) {
-        best.push_back(k);
+      best_val = std::min(best_val, vals[k]);
+    }
+    // Pass 2: tie membership, epsilon measured from the true minimum only.
+    best.clear();
+    if (std::isfinite(best_val)) {
+      for (std::size_t k = 0; k < K; ++k) {
+        if (vals[k] <= best_val + 1e-12) best.push_back(k);
       }
     }
     if (best.empty()) {

@@ -1,0 +1,132 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace adcnn::core {
+
+namespace {
+thread_local bool tl_in_chunk = false;
+}  // namespace
+
+// Shared completion state for one parallel_for call. Lives on the caller's
+// stack; tasks only touch it before count_down reaches the caller's wait.
+struct ThreadPool::ForState {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t chunk_size = 0;
+  std::int64_t chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::int64_t remaining = 0;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int spawn = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::in_worker() { return tl_in_chunk; }
+
+void ThreadPool::run_chunk(ForState& state, std::int64_t chunk) {
+  const std::int64_t b = state.begin + chunk * state.chunk_size;
+  const std::int64_t e = std::min(state.end, b + state.chunk_size);
+  const bool was = tl_in_chunk;
+  tl_in_chunk = true;
+  try {
+    if (b < e) (*state.fn)(b, e);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.error) state.error = std::current_exception();
+  }
+  tl_in_chunk = was;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    --state.remaining;
+    if (state.remaining == 0) state.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t max_chunks = std::min<std::int64_t>(
+      threads(), (range + grain - 1) / grain);
+  // Single lane, single chunk, or a nested call from inside a pool chunk:
+  // run inline. Note the nested case keeps tl_in_chunk set, so the whole
+  // subtree stays serial.
+  if (max_chunks <= 1 || tl_in_chunk) {
+    fn(begin, end);
+    return;
+  }
+
+  ForState state;
+  state.begin = begin;
+  state.end = end;
+  state.chunks = max_chunks;
+  state.chunk_size = (range + max_chunks - 1) / max_chunks;
+  state.fn = &fn;
+  state.remaining = max_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t c = 1; c < max_chunks; ++c) {
+      queue_.emplace_back([&state, c] { run_chunk(state, c); });
+    }
+  }
+  cv_.notify_all();
+  run_chunk(state, 0);  // the caller is one of the lanes
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("ADCNN_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(std::min<long>(v, 256));
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+}  // namespace adcnn::core

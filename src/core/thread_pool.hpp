@@ -1,0 +1,65 @@
+// Shared worker pool for the compute engine (GEMM row panels, Conv2d batch
+// loops). One process-wide pool, sized by ADCNN_THREADS (default:
+// hardware_concurrency), keeps total compute threads bounded no matter how
+// many ConvNodeWorker threads call into it: callers submit chunks and help
+// execute their own share, and a parallel_for issued from inside a pool
+// task runs serially (nested parallelism never fans out), so the runtime's
+// per-node worker threads compose with the pool without oversubscription.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adcnn::core {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism (caller lane included); the pool
+  /// spawns `threads - 1` workers. `threads <= 1` means fully inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(chunk_begin, chunk_end) over [begin, end) split into at most
+  /// threads() contiguous chunks of at least `grain` items. Blocks until
+  /// every chunk finished; rethrows the first chunk exception. Chunks are
+  /// disjoint, so fn may write to per-index output without locking. Called
+  /// from inside a pool task (or another caller-executed chunk), the whole
+  /// range runs inline on the current thread — nested parallelism is
+  /// serialized rather than fanned out.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// True while the current thread is executing a pool chunk (used to
+  /// serialize nested parallel_for calls).
+  static bool in_worker();
+
+  /// Process-wide pool, sized by ADCNN_THREADS (default
+  /// hardware_concurrency, min 1). Built on first use.
+  static ThreadPool& global();
+
+  /// The size global() would be built with (env var already applied).
+  static int default_threads();
+
+ private:
+  struct ForState;
+  void worker_loop();
+  static void run_chunk(ForState& state, std::int64_t chunk);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace adcnn::core

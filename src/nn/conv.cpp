@@ -4,9 +4,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
 #include "nn/gemm.hpp"
 
 namespace adcnn::nn {
+
+namespace {
+
+/// Reusable im2col/col2im scratch. Thread-local (not a layer member)
+/// because eval-mode forward runs concurrently on every ConvNodeWorker
+/// thread; each thread amortizes one allocation across all layers/calls.
+std::vector<float>& col_scratch(std::size_t need) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < need) buf.resize(need);
+  return buf;
+}
+
+/// Second scratch for backward, which needs col and dcol live at once.
+std::vector<float>& dcol_scratch(std::size_t need) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < need) buf.resize(need);
+  return buf;
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
@@ -37,6 +58,17 @@ Shape Conv2d::out_shape(const Shape& in) const {
   }
   const std::int64_t hout = (in[2] + 2 * ph_ - kh_) / sh_ + 1;
   const std::int64_t wout = (in[3] + 2 * pw_ - kw_) / sw_ + 1;
+  if (hout < 1 || wout < 1) {
+    // An FDSP tile smaller than the receptive field would otherwise
+    // silently produce a non-positive output plane and corrupt every
+    // downstream shape computation.
+    throw std::invalid_argument(name_ + ": input " + in.to_string() +
+                                " smaller than " + std::to_string(kh_) + "x" +
+                                std::to_string(kw_) +
+                                " kernel (padded), output would be " +
+                                std::to_string(hout) + "x" +
+                                std::to_string(wout));
+  }
   return Shape{in[0], cout_, hout, wout};
 }
 
@@ -97,21 +129,29 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   const std::int64_t N = x.n(), hout = os[2], wout = os[3];
   const std::int64_t k = cin_ * kh_ * kw_;
   Tensor y(os);
-  std::vector<float> col(static_cast<std::size_t>(k * hout * wout));
-  for (std::int64_t n = 0; n < N; ++n) {
-    im2col(x, n, col.data(), hout, wout);
-    // y[n] (cout x hout*wout) = W (cout x k) * col (k x hout*wout)
-    gemm(weight_.value.data(), col.data(), &y.at(n, 0, 0, 0), cout_, k,
-         hout * wout);
-  }
-  if (has_bias_) {
-    for (std::int64_t n = 0; n < N; ++n)
-      for (std::int64_t c = 0; c < cout_; ++c) {
-        const float b = bias_.value[c];
-        float* row = &y.at(n, c, 0, 0);
-        for (std::int64_t i = 0; i < hout * wout; ++i) row[i] += b;
-      }
-  }
+  // Batch samples are independent row blocks of y: split them across the
+  // pool. Inside a multi-sample chunk the per-sample GEMM runs serially
+  // (nested parallelism is serialized by the pool); for the runtime's
+  // common N == 1 tile case the GEMM's own row-panel threading kicks in
+  // instead.
+  core::ThreadPool::global().parallel_for(
+      0, N, 1, [&](std::int64_t n0, std::int64_t n1) {
+        std::vector<float>& col =
+            col_scratch(static_cast<std::size_t>(k * hout * wout));
+        for (std::int64_t n = n0; n < n1; ++n) {
+          im2col(x, n, col.data(), hout, wout);
+          // y[n] (cout x hout*wout) = W (cout x k) * col (k x hout*wout)
+          gemm(weight_.value.data(), col.data(), &y.at(n, 0, 0, 0), cout_, k,
+               hout * wout);
+          if (has_bias_) {
+            for (std::int64_t c = 0; c < cout_; ++c) {
+              const float b = bias_.value[c];
+              float* row = &y.at(n, c, 0, 0);
+              for (std::int64_t i = 0; i < hout * wout; ++i) row[i] += b;
+            }
+          }
+        }
+      });
   if (mode == Mode::kTrain) cached_input_ = x;
   return y;
 }
@@ -122,8 +162,12 @@ Tensor Conv2d::backward(const Tensor& dy) {
   const std::int64_t N = x.n(), hout = dy.h(), wout = dy.w();
   const std::int64_t k = cin_ * kh_ * kw_;
   Tensor dx = Tensor::zeros(x.shape());
-  std::vector<float> col(static_cast<std::size_t>(k * hout * wout));
-  std::vector<float> dcol(static_cast<std::size_t>(k * hout * wout));
+  // Serial over the batch: every sample accumulates into the same
+  // weight/bias gradients. The GEMMs below are pool-threaded internally.
+  std::vector<float>& col =
+      col_scratch(static_cast<std::size_t>(k * hout * wout));
+  std::vector<float>& dcol =
+      dcol_scratch(static_cast<std::size_t>(k * hout * wout));
   for (std::int64_t n = 0; n < N; ++n) {
     im2col(x, n, col.data(), hout, wout);
     // dW (cout x k) += dy[n] (cout x hw) * col^T (hw x k)

@@ -1,13 +1,19 @@
-// Minimal single-precision GEMM kernels used by Conv2d (im2col) and Linear.
+// Single-precision GEMM compute engine used by Conv2d (im2col) and Linear.
 //
-// These are deliberately simple, cache-friendly loop nests (i-k-j order with
-// the innermost loop streaming contiguously) rather than a full BLAS: the
-// library's experiments are about *distribution*, and the cost model, not
-// peak node FLOPs. Still, the ikj order is ~an order of magnitude faster
-// than the naive ijk triple loop.
+// The engine is a cache-blocked, register-tiled kernel in the BLIS style:
+// A and B are packed into contiguous MC x KC / KC x NC panels and multiplied
+// by an 8x8 microkernel whose accumulators live in registers, so the inner
+// loop is branch-free FMA work with unit-stride loads. Row panels (blocks of
+// MC output rows) are farmed out to the shared core::ThreadPool; every
+// element's accumulation order is independent of the thread count, so
+// results are bit-identical from 1 to N threads. The pre-engine ikj loop is
+// kept as gemm_naive — the oracle for tests and the baseline the
+// micro-benchmarks measure speedup against.
 #pragma once
 
 #include <cstdint>
+
+#include "core/thread_pool.hpp"
 
 namespace adcnn::nn {
 
@@ -26,5 +32,18 @@ void gemm_at_b(const float* a, const float* b, float* c, std::int64_t m,
 /// C(m,n) += A(m,k) * B^T(n,k): B stored row-major as (n,k).
 void gemm_a_bt(const float* a, const float* b, float* c, std::int64_t m,
                std::int64_t k, std::int64_t n);
+
+/// Reference kernel: the pre-engine ikj loop nest with the per-element
+/// zero-skip branch, C overwritten. Kept as the correctness oracle and the
+/// micro-benchmark baseline; never used on a hot path.
+void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n);
+
+/// Blocked engine with an explicit pool (C overwritten; null pool = fully
+/// serial). gemm() is exactly gemm_blocked with the global pool; tests and
+/// benchmarks use this entry point to pin a thread count.
+void gemm_blocked(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n,
+                  core::ThreadPool* pool = nullptr);
 
 }  // namespace adcnn::nn

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/gemm.hpp"
@@ -31,10 +32,14 @@ Tensor Linear::forward(const Tensor& x, Mode mode) {
   const Shape os = out_shape(x.shape());
   const std::int64_t N = x.shape()[0];
   Tensor y(os);
-  // y (N,out) = x (N,in) * W^T (in,out)
+  // Seed each output row with the bias, then let the engine accumulate
+  // y (N,out) += x (N,in) * W^T (in,out) on top — one pass over y instead
+  // of a separate bias sweep after the GEMM.
+  for (std::int64_t n = 0; n < N; ++n) {
+    std::memcpy(y.data() + n * out_, bias_.value.data(),
+                static_cast<std::size_t>(out_) * sizeof(float));
+  }
   gemm_a_bt(x.data(), weight_.value.data(), y.data(), N, in_, out_);
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t o = 0; o < out_; ++o) y[n * out_ + o] += bias_.value[o];
   if (mode == Mode::kTrain) cached_input_ = x;
   return y;
 }

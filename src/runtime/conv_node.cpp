@@ -27,12 +27,14 @@ void ConvNodeWorker::run() {
   obs::TraceRecorder* tracer = telemetry_.trace;
   obs::Counter* tiles_counter = nullptr;
   obs::Counter* errors_counter = nullptr;
+  obs::Counter* decode_counter = nullptr;
   obs::Histogram* compute_hist = nullptr;
   if constexpr (obs::kEnabled) {
     if (auto* m = telemetry_.metrics) {
       tiles_counter =
           &m->counter("node.tiles_processed." + std::to_string(id_));
       errors_counter = &m->counter("node.task_errors");
+      decode_counter = &m->counter("node.decode_errors");
       compute_hist = &m->histogram("node.conv_compute_s");
     }
   }
@@ -65,10 +67,19 @@ void ConvNodeWorker::run() {
       obs::ScopedSpan compute_span(tracer, "conv_compute", "conv_compute",
                                    tid, task->image_id, task->tile_id);
       Tensor tile(task->shape);
-      std::memcpy(tile.data(), task->payload.data(),
-                  std::min(task->payload.size(),
-                           static_cast<std::size_t>(tile.numel()) *
-                               sizeof(float)));
+      const std::size_t want =
+          static_cast<std::size_t>(tile.numel()) * sizeof(float);
+      if (task->payload.size() != want) {
+        // A truncated/padded payload (downlink corruption) must be treated
+        // as corrupt, not silently run on a partially-filled tensor. The
+        // Central node's retry/zero-fill covers the missing result.
+        decode_errors_.fetch_add(1);
+        if constexpr (obs::kEnabled) {
+          if (decode_counter) decode_counter->add(1);
+        }
+        continue;
+      }
+      std::memcpy(tile.data(), task->payload.data(), want);
       Tensor out = model_.model.forward_range(tile, model_.prefix_begin(),
                                               model_.prefix_end());
       compute_span.end();

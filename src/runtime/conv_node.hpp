@@ -44,6 +44,12 @@ class ConvNodeWorker {
   /// payload); the Central node's retry/zero-fill covers the gap.
   std::int64_t task_errors() const { return task_errors_.load(); }
 
+  /// Tasks rejected before compute because the payload size did not match
+  /// the declared tile shape (also counted under the `node.decode_errors`
+  /// metric). Running such a tile would silently compute on a
+  /// partially-filled tensor.
+  std::int64_t decode_errors() const { return decode_errors_.load(); }
+
   /// Artificial CPU throttle in (0, 1]; 1 = full speed. Emulates the
   /// paper's CPUlimit-based degradation (Fig. 15) by sleeping
   /// (1/limit - 1) x compute-time after each tile.
@@ -72,6 +78,7 @@ class ConvNodeWorker {
   std::atomic<bool> dead_{false};
   std::atomic<std::int64_t> tiles_processed_{0};
   std::atomic<std::int64_t> task_errors_{0};
+  std::atomic<std::int64_t> decode_errors_{0};
   std::thread thread_;
 };
 

@@ -64,18 +64,60 @@ TEST(Allocate, ThrowsWhenInfeasible) {
 
 TEST(Allocate, GreedyMatchesBruteForceOnSmallInstances) {
   Rng rng(7);
-  for (int trial = 0; trial < 30; ++trial) {
+  for (int trial = 0; trial < 60; ++trial) {
     std::vector<double> speeds;
-    const int K = 2 + static_cast<int>(rng.uniform_int(2));
+    const int K = 2 + static_cast<int>(rng.uniform_int(3));
     for (int k = 0; k < K; ++k) speeds.push_back(rng.uniform(0.2, 3.0));
     const std::int64_t tiles =
-        static_cast<std::int64_t>(rng.uniform_int(9)) + 1;
+        static_cast<std::int64_t>(rng.uniform_int(11)) + 1;
     const auto req = request(speeds, tiles);
     const auto greedy = allocate_tiles(req);
     const auto optimal = allocate_tiles_bruteforce(req);
     // Greedy (LPT-style on uniform machines) is optimal for unit jobs.
     EXPECT_NEAR(makespan(greedy, speeds), makespan(optimal, speeds), 1e-9)
         << "trial " << trial;
+  }
+}
+
+TEST(Allocate, GreedyMatchesBruteForceOnClusteredSpeeds) {
+  // Near-identical speeds maximize tie-set traffic, the regime where the
+  // stale-epsilon bug lived. Random tie-breaking must never leave the
+  // optimal makespan (greedy is optimal for unit jobs, so any excess
+  // means a strictly-worse candidate slipped into the tie set).
+  Rng rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double base = rng.uniform(0.5, 2.0);
+    std::vector<double> speeds;
+    const int K = 3 + static_cast<int>(rng.uniform_int(2));
+    for (int k = 0; k < K; ++k) {
+      speeds.push_back(base * (1.0 + 1e-13 * static_cast<double>(
+                                          rng.uniform_int(20))));
+    }
+    const std::int64_t tiles =
+        static_cast<std::int64_t>(rng.uniform_int(12)) + 1;
+    const auto req = request(speeds, tiles);
+    const auto greedy = allocate_tiles(req, &rng);
+    const auto optimal = allocate_tiles_bruteforce(req);
+    EXPECT_LE(makespan(greedy, speeds), makespan(optimal, speeds) + 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(Allocate, TieSetExcludesStrictlyWorseCandidates) {
+  // Regression for the stale-epsilon bug: candidate order B, A, C with
+  // vals {m + 0.8e-12, m + 1.6e-12, m}. The old code admitted A against
+  // B's value (within 1e-12) without ever lowering best_val to C's true
+  // minimum, so A — 1.6e-12 worse than the minimum — stayed in the tie
+  // set and could win the random tie-break. A must never be picked.
+  AllocRequest req;
+  req.speeds = {1.0 / (1.0 - 0.8e-12), 1.0, 1.0 / (1.0 - 1.6e-12)};
+  req.tiles = 1;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const auto x = allocate_tiles(req, &rng);
+    EXPECT_EQ(x[0] + x[1] + x[2], 1);
+    EXPECT_EQ(x[1], 0) << "seed " << seed
+                       << ": strictly-worse candidate won the tie-break";
   }
 }
 

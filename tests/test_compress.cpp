@@ -114,6 +114,36 @@ TEST(RleVarint, RoundTripProperty) {
   }
 }
 
+TEST(RleVarint, AdversarialHugeRunBoundedBeforeAllocation) {
+  // A varint encoding a run of ~2^62 zeros used to be materialized into
+  // the output vector BEFORE the count check — an unbounded allocation
+  // from a few payload bytes. The run must be validated against the
+  // remaining budget first.
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, std::uint64_t{1} << 62);
+  payload.push_back(7);  // value byte so the run is "well-formed"
+  EXPECT_THROW(rle_varint_decode(payload, 16), std::invalid_argument);
+
+  // Maximum 64-bit run: count - out.size() arithmetic must not wrap.
+  payload.clear();
+  put_varint(payload, ~std::uint64_t{0});
+  payload.push_back(1);
+  EXPECT_THROW(rle_varint_decode(payload, 1024), std::invalid_argument);
+
+  // A run that exactly fills the budget leaves no room for its value byte.
+  payload.clear();
+  put_varint(payload, 4);
+  payload.push_back(3);
+  EXPECT_THROW(rle_varint_decode(payload, 4), std::invalid_argument);
+
+  // Boundary sanity: run + value landing exactly on count still decodes.
+  payload.clear();
+  put_varint(payload, 4);
+  payload.push_back(3);
+  const auto out = rle_varint_decode(payload, 5);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0, 0, 0, 0, 3}));
+}
+
 TEST(Varint, RoundTrip) {
   std::vector<std::uint8_t> buf;
   put_varint(buf, 0);

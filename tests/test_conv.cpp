@@ -75,6 +75,22 @@ TEST(Conv2d, OutShape) {
   EXPECT_THROW(conv.out_shape(Shape{1, 4, 16, 16}), std::invalid_argument);
 }
 
+TEST(Conv2d, RejectsInputSmallerThanKernel) {
+  // An FDSP tile smaller than the receptive field used to return a
+  // non-positive hout/wout and silently corrupt downstream shapes.
+  Rng rng(2);
+  Conv2d conv(3, 8, 5, 1, 0, false, rng);  // 5x5, no padding
+  EXPECT_THROW(conv.out_shape(Shape{1, 3, 4, 4}), std::invalid_argument);
+  EXPECT_THROW(conv.out_shape(Shape{1, 3, 8, 4}), std::invalid_argument);
+  EXPECT_THROW(conv.forward(Tensor::zeros(Shape{1, 3, 2, 2}), Mode::kEval),
+               std::invalid_argument);
+  // Exactly the receptive field is the smallest legal tile.
+  EXPECT_EQ(conv.out_shape(Shape{1, 3, 5, 5}), (Shape{1, 8, 1, 1}));
+  // Padding counts toward the effective input extent.
+  Conv2d padded(3, 8, 5, 1, 2, false, rng);
+  EXPECT_EQ(padded.out_shape(Shape{1, 3, 1, 1}), (Shape{1, 8, 1, 1}));
+}
+
 TEST(Conv2d, FlopsCount) {
   Rng rng(1);
   Conv2d conv(3, 8, 3, 1, 1, false, rng);

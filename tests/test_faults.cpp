@@ -6,7 +6,9 @@
 #include "compress/rle.hpp"
 #include "core/fdsp.hpp"
 #include "nn/models_mini.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/conv_node.hpp"
 #include "runtime/faults.hpp"
 
 namespace adcnn::runtime {
@@ -143,6 +145,47 @@ TEST(Faults, CodecDecodeRejectsOversizedPayloadPrefix) {
   compress::put_varint(wire, ~0ull);  // payload "length"
   wire.push_back(0x00);
   EXPECT_THROW((void)codec.decode(wire, shape), std::invalid_argument);
+}
+
+TEST(Faults, SizeMismatchedTaskPayloadRejected) {
+  // A payload whose byte count disagrees with the declared shape used to be
+  // memcpy'd with min(payload, tensor) bytes — an undersized payload ran
+  // the prefix on a partially-filled tensor and shipped a plausible-looking
+  // result. The worker must reject both directions before compute.
+  core::PartitionedModel pm = make_partitioned(2, 2);
+  Channel<TileTask> inbox;
+  Channel<TileResult> outbox;
+  SimulatedLink uplink(1e9, 0.0, 0.0);
+  obs::MetricsRegistry metrics;
+  ConvNodeWorker worker(0, pm, nullptr, inbox, outbox, uplink,
+                        obs::Telemetry{&metrics, nullptr});
+
+  const Shape tile_shape{1, 3, 16, 16};  // 2x2 grid on the 32x32 mini input
+  const std::size_t want = 3 * 16 * 16 * sizeof(float);
+  const auto send = [&](std::int64_t tile_id, std::size_t bytes) {
+    TileTask task;
+    task.image_id = 0;
+    task.tile_id = tile_id;
+    task.shape = tile_shape;
+    task.payload.assign(bytes, 0);
+    inbox.send(std::move(task));
+  };
+  send(0, 10);         // truncated
+  send(1, want + 4);   // padded
+  send(2, want);       // exact: the only task that may produce a result
+
+  // The worker drains the inbox in order, so once tile 2's result lands the
+  // two rejections have already been counted.
+  const auto result = outbox.receive();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->tile_id, 2);
+  EXPECT_EQ(worker.decode_errors(), 2);
+  EXPECT_EQ(worker.tiles_processed(), 1);
+  EXPECT_EQ(worker.task_errors(), 0);  // rejected, not thrown
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(metrics.counter("node.decode_errors").value(), 2);
+  }
+  EXPECT_FALSE(outbox.try_receive().has_value());
 }
 
 // ---------------------------------------------------------------------------

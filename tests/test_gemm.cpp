@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "nn/gemm.hpp"
 #include "tensor/rng.hpp"
 
@@ -93,6 +96,124 @@ TEST(Gemm, ABt) {
   EXPECT_FLOAT_EQ(c[1], 2.0f);   // [1,2].[2,0]
   EXPECT_FLOAT_EQ(c[2], 7.0f);   // [3,4].[1,1]
   EXPECT_FLOAT_EQ(c[3], 6.0f);   // [3,4].[2,0]
+}
+
+// ---------------------------------------------------------------------------
+// Blocked engine vs the naive oracle. Shapes deliberately straddle the
+// engine's blocking parameters (MR/NR = 8, MC = 64, KC/NC = 256): unit
+// dims, non-multiples of the register tile, and block-boundary +/- 1.
+
+class BlockedGemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockedGemmShapes, MatchesNaiveOracle) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7919 + k * 131 + n));
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> expect(static_cast<std::size_t>(m * n));
+  gemm_naive(a.data(), b.data(), expect.data(), m, k, n);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 99.0f);
+  gemm_blocked(a.data(), b.data(), c.data(), m, k, n);
+  // Tolerance scales with the reduction length: both kernels accumulate in
+  // float but in different orders (register tile vs running row).
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(k)) + 1e-6;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expect[i], tol) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, BlockedGemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 300, 1},
+                      std::tuple{1, 32, 300}, std::tuple{300, 32, 1},
+                      std::tuple{7, 9, 11}, std::tuple{8, 8, 8},
+                      std::tuple{9, 257, 65}, std::tuple{63, 31, 129},
+                      std::tuple{64, 256, 256}, std::tuple{65, 257, 255},
+                      std::tuple{130, 40, 70}));
+
+TEST(BlockedGemm, ZeroHeavyPostReluInput) {
+  // The engine dropped the naive kernel's zero-skip branch; a post-ReLU
+  // style sparse A must still produce the same numbers.
+  const std::int64_t m = 48, k = 200, n = 72;
+  Rng rng(11);
+  auto a = random_matrix(rng, m * k);
+  for (auto& v : a) v = v > 0.0f ? v : 0.0f;  // ~half exactly zero
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> expect(static_cast<std::size_t>(m * n));
+  gemm_naive(a.data(), b.data(), expect.data(), m, k, n);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_blocked(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], expect[i], 2e-4) << "at " << i;
+}
+
+TEST(BlockedGemm, ThreadCountDoesNotChangeBits) {
+  // Threads split C row panels; every element keeps one owner and one
+  // accumulation order, so results are bit-identical from 1 to 8 lanes.
+  const std::int64_t m = 137, k = 301, n = 129;
+  Rng rng(13);
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> serial(static_cast<std::size_t>(m * n));
+  gemm_blocked(a.data(), b.data(), serial.data(), m, k, n, nullptr);
+  for (const int threads : {1, 2, 3, 8}) {
+    core::ThreadPool pool(threads);
+    std::vector<float> c(static_cast<std::size_t>(m * n), -1.0f);
+    gemm_blocked(a.data(), b.data(), c.data(), m, k, n, &pool);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&c[i], &serial[i], sizeof(float)), 0)
+          << "threads=" << threads << " at " << i;
+    }
+  }
+}
+
+TEST(BlockedGemm, TransposedVariantsMatchReference) {
+  // gemm_at_b / gemm_a_bt go through the same packed engine; pin them to
+  // the double-precision reference on a shape that exercises partial tiles.
+  const std::int64_t m = 21, k = 70, n = 19;
+  Rng rng(17);
+  const auto a_t = random_matrix(rng, k * m);   // A stored (k, m)
+  const auto b = random_matrix(rng, k * n);     // B stored (k, n)
+  const auto b_t = random_matrix(rng, n * k);   // B stored (n, k)
+  const auto a = random_matrix(rng, m * k);     // A stored (m, k)
+
+  std::vector<float> c1(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_at_b(a_t.data(), b.data(), c1.data(), m, k, n);
+  std::vector<float> c2(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_a_bt(a.data(), b_t.data(), c2.data(), m, k, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double e1 = 0.0, e2 = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        e1 += static_cast<double>(a_t[static_cast<std::size_t>(p * m + i)]) *
+              b[static_cast<std::size_t>(p * n + j)];
+        e2 += static_cast<double>(a[static_cast<std::size_t>(i * k + p)]) *
+              b_t[static_cast<std::size_t>(j * k + p)];
+      }
+      EXPECT_NEAR(c1[static_cast<std::size_t>(i * n + j)], e1, 1e-4);
+      EXPECT_NEAR(c2[static_cast<std::size_t>(i * n + j)], e2, 1e-4);
+    }
+  }
+}
+
+TEST(BlockedGemm, AccumulateSemanticsPreserved) {
+  // gemm_accumulate and the transposed variants add into C; gemm and
+  // gemm_blocked overwrite. Large enough to take the blocked path.
+  const std::int64_t m = 32, k = 64, n = 32;
+  Rng rng(19);
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> base(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), base.data(), m, k, n);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 2.5f);
+  gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], base[i] + 2.5f, 1e-4) << "at " << i;
+  // Overwrite semantics: stale C contents must not leak through.
+  std::vector<float> d(static_cast<std::size_t>(m * n), 1e6f);
+  gemm(a.data(), b.data(), d.data(), m, k, n);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_FLOAT_EQ(d[i], base[i]) << "at " << i;
 }
 
 }  // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace adcnn::core {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingleElementRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(7, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 7);
+    EXPECT_EQ(e, 8);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, GrainLimitsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(0, 10, 5, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_GE(e - b, 5);
+    ++chunks;
+  });
+  EXPECT_EQ(chunks.load(), 2);
+}
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 100, 1, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 100);
+    EXPECT_FALSE(ThreadPool::in_worker());  // inline, not a pool chunk
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForSerializes) {
+  // A parallel_for issued from inside a chunk must not fan out again —
+  // that is the no-oversubscription rule ConvNodeWorker threads rely on.
+  ThreadPool pool(4);
+  std::atomic<int> outer_chunks{0}, inner_whole_range{0};
+  pool.parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    ++outer_chunks;
+    EXPECT_TRUE(ThreadPool::in_worker());
+    pool.parallel_for(0, 100, 1, [&](std::int64_t b, std::int64_t e) {
+      if (b == 0 && e == 100) ++inner_whole_range;  // ran as one inline chunk
+    });
+  });
+  EXPECT_GT(outer_chunks.load(), 1);
+  EXPECT_EQ(inner_whole_range.load(), outer_chunks.load());
+}
+
+TEST(ThreadPool, PropagatesChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::int64_t b, std::int64_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives and keeps serving work.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ManyConcurrentCallers) {
+  // Several external threads (the ConvNodeWorker pattern) sharing one pool:
+  // every caller's range must complete correctly.
+  ThreadPool pool(3);
+  constexpr int kCallers = 6;
+  std::vector<std::atomic<std::int64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&pool, &sums, t] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(0, 200, 1, [&sums, t](std::int64_t b,
+                                                std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) sums[t].fetch_add(i);
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (const auto& s : sums) EXPECT_EQ(s.load(), 20 * (199 * 200 / 2));
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+  EXPECT_GE(ThreadPool::global().threads(), 1);
+}
+
+}  // namespace
+}  // namespace adcnn::core
