@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "nn/tiling.hpp"
 #include "obs/json.hpp"
@@ -85,6 +86,7 @@ CentralNode::CentralNode(core::PartitionedModel& model,
       obs_.stale_results = &m->counter("central.stale_results");
       obs_.quarantine_events = &m->counter("central.quarantine.events");
       obs_.quarantine_active = &m->gauge("central.quarantine.active");
+      obs_.in_flight = &m->gauge("central.in_flight");
       obs_.elapsed_s = &m->histogram("central.infer_elapsed_s");
       obs_.gather_s = &m->histogram("central.gather_s");
       obs_.total_speed = &m->gauge("stats.total_speed");
@@ -95,243 +97,195 @@ CentralNode::CentralNode(core::PartitionedModel& model,
   }
 }
 
-Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
+void CentralNode::send_tile(const ImageJob& job, std::int64_t t, int k,
+                            std::int32_t attempt) {
+  obs::TraceRecorder* tracer = cfg_.telemetry.trace;
+  obs::ScopedSpan downlink_span(tracer, attempt == 0 ? "downlink" : "retry",
+                                attempt == 0 ? "downlink" : "retry", 0,
+                                job.image_id, t);
+  const std::int64_t C = job.tiles.c(), th = job.tiles.h(),
+                     tw = job.tiles.w();
+  TileTask task;
+  task.image_id = job.image_id;
+  task.tile_id = t;
+  task.attempt = attempt;
+  task.shape = Shape{1, C, th, tw};
+  const Tensor one = job.tiles.crop(t, 1, 0, th, 0, tw);
+  task.payload.resize(static_cast<std::size_t>(one.numel()) * sizeof(float));
+  std::memcpy(task.payload.data(), one.data(), task.payload.size());
+  const auto fate = downlinks_[static_cast<std::size_t>(k)]->transmit_message(
+      task.wire_bytes(), job.image_id, t, attempt, &task.payload);
+  if (fate.drop) return;  // lost on the air; retry/zero-fill covers it
+  inboxes_[static_cast<std::size_t>(k)]->send(std::move(task));
+}
+
+std::int64_t CentralNode::begin_image(const Tensor& image) {
   const auto t0 = Clock::now();
-  const std::int64_t image_id = next_image_id_++;
   const int K = static_cast<int>(inboxes_.size());
   obs::TraceRecorder* tracer = cfg_.telemetry.trace;
-  obs::ScopedSpan infer_span(tracer, "infer", "image", 0, image_id);
+
+  auto job = std::make_unique<ImageJob>();
+  job->t0 = t0;
+  if constexpr (obs::kEnabled) {
+    if (tracer) job->infer_begin_ns = tracer->now_ns();
+  }
+  {
+    std::lock_guard lock(mu_);
+    job->image_id = next_image_id_++;
+  }
+  const std::int64_t image_id = job->image_id;
 
   // --- Input partition block: FDSP split. --------------------------------
   obs::ScopedSpan partition_span(tracer, "partition", "partition", 0,
                                  image_id);
-  const Tensor tiles =
-      nn::TileSplit::split(image, model_.grid.rows, model_.grid.cols);
-  const std::int64_t T = tiles.n();
+  job->tiles = nn::TileSplit::split(image, model_.grid.rows, model_.grid.cols);
+  const std::int64_t T = job->tiles.n();
+  job->tiles_total = T;
   partition_span.end();
-  const auto t_partitioned = Clock::now();
+  job->t_partitioned = Clock::now();
 
   // --- Algorithm 3: allocate tiles against the running s_k. --------------
   obs::ScopedSpan allocate_span(tracer, "allocate", "allocate", 0, image_id);
-  core::AllocRequest req;
-  req.speeds = collector_.speeds();
-  req.capacity_tiles.assign(static_cast<std::size_t>(K), cfg_.capacity_tiles);
-  req.tiles = T;
-  // Quarantine circuit breaker: an excluded node gets zero capacity so
-  // Algorithm 3 cannot route tiles to it (only the recovery probe below
-  // may still reach it). Skip the exclusion when the healthy nodes could
-  // not hold every tile — a suspect node beats a failed allocation.
-  if (cfg_.quarantine_after > 0) {
-    std::int64_t healthy_capacity = 0;
-    for (int k = 0; k < K; ++k) {
-      if (!quarantined_[static_cast<std::size_t>(k)])
-        healthy_capacity += std::min(cfg_.capacity_tiles, T);
-    }
-    if (healthy_capacity >= T) {
+  {
+    std::lock_guard lock(mu_);
+    core::AllocRequest req;
+    req.speeds = collector_.speeds();
+    req.capacity_tiles.assign(static_cast<std::size_t>(K),
+                              cfg_.capacity_tiles);
+    req.tiles = T;
+    // Quarantine circuit breaker: an excluded node gets zero capacity so
+    // Algorithm 3 cannot route tiles to it (only the recovery probe below
+    // may still reach it). Skip the exclusion when the healthy nodes could
+    // not hold every tile — a suspect node beats a failed allocation.
+    if (cfg_.quarantine_after > 0) {
+      std::int64_t healthy_capacity = 0;
       for (int k = 0; k < K; ++k) {
-        if (quarantined_[static_cast<std::size_t>(k)])
-          req.capacity_tiles[static_cast<std::size_t>(k)] = 0;
+        if (!quarantined_[static_cast<std::size_t>(k)])
+          healthy_capacity += std::min(cfg_.capacity_tiles, T);
+      }
+      if (healthy_capacity >= T) {
+        for (int k = 0; k < K; ++k) {
+          if (quarantined_[static_cast<std::size_t>(k)])
+            req.capacity_tiles[static_cast<std::size_t>(k)] = 0;
+        }
       }
     }
-  }
-  std::vector<std::int64_t> counts = core::allocate_tiles(req);
+    job->counts = core::allocate_tiles(req);
 
-  // Recovery probe: periodically lend one tile to starved nodes so a node
-  // whose s_k collapsed (failure/throttle) can prove it recovered. This is
-  // also the only path by which a quarantined node receives work — a
-  // returned probe lifts the quarantine below.
-  if (cfg_.probe_interval > 0 && image_id % cfg_.probe_interval == 0) {
-    for (int k = 0; k < K; ++k) {
-      if (counts[static_cast<std::size_t>(k)] > 0) continue;
-      const auto donor = std::max_element(counts.begin(), counts.end());
-      if (*donor > 1) {
-        --*donor;
-        ++counts[static_cast<std::size_t>(k)];
+    // Recovery probe: periodically lend one tile to starved nodes so a node
+    // whose s_k collapsed (failure/throttle) can prove it recovered. This is
+    // also the only path by which a quarantined node receives work — a
+    // returned probe lifts the quarantine below.
+    if (cfg_.probe_interval > 0 && image_id % cfg_.probe_interval == 0) {
+      for (int k = 0; k < K; ++k) {
+        if (job->counts[static_cast<std::size_t>(k)] > 0) continue;
+        const auto donor =
+            std::max_element(job->counts.begin(), job->counts.end());
+        if (*donor > 1) {
+          --*donor;
+          ++job->counts[static_cast<std::size_t>(k)];
+        }
       }
     }
   }
 
   // Expand per-node counts into a per-tile node assignment (round-robin
   // over nodes weighted by their quota, so consecutive tiles interleave).
-  std::vector<int> owner(static_cast<std::size_t>(T), 0);
+  job->owner.assign(static_cast<std::size_t>(T), 0);
   {
-    std::vector<std::int64_t> left = counts;
+    std::vector<std::int64_t> left = job->counts;
     std::int64_t t = 0;
     while (t < T) {
       for (int k = 0; k < K && t < T; ++k) {
         if (left[static_cast<std::size_t>(k)] > 0) {
           --left[static_cast<std::size_t>(k)];
-          owner[static_cast<std::size_t>(t++)] = k;
+          job->owner[static_cast<std::size_t>(t++)] = k;
         }
       }
     }
   }
-  allocate_span.end();
-  const auto t_allocated = Clock::now();
 
-  // --- Drain stale results left over from previous images. ----------------
-  // A straggler or an injected delay can land a result after its image's
-  // deadline fired; without draining, those messages accumulate in the
-  // channel across infer() calls and every later gather wades through them.
-  std::int64_t stale = 0;
-  while (results_->try_receive()) ++stale;
+  // Gather-side state, initialized before the job becomes routable.
+  job->gathered = Tensor::zeros(Shape{T, tile_out_shape_[1],
+                                      tile_out_shape_[2], tile_out_shape_[3]});
+  job->have.assign(static_cast<std::size_t>(T), false);
+  job->returned.assign(static_cast<std::size_t>(K), 0);
+  job->dispatched = job->counts;
+  allocate_span.end();
+  job->t_allocated = Clock::now();
+
+  // Register for result routing before the first tile leaves: a fast node
+  // may answer while the scatter is still in progress.
+  ImageJob* raw = job.get();
+  {
+    std::lock_guard lock(mu_);
+    inflight_.emplace(image_id, std::move(job));
+    if constexpr (obs::kEnabled) {
+      if (obs_.in_flight)
+        obs_.in_flight->set(static_cast<double>(inflight_.size()));
+    }
+  }
+  inflight_cv_.notify_all();
 
   // --- Scatter: transmit each tile to its Conv node. ----------------------
-  const std::int64_t C = tiles.c(), th = tiles.h(), tw = tiles.w();
-  std::int64_t retried = 0;
-  const auto send_tile = [&](std::int64_t t, int k, std::int32_t attempt) {
-    obs::ScopedSpan downlink_span(tracer, attempt == 0 ? "downlink" : "retry",
-                                  attempt == 0 ? "downlink" : "retry", 0,
-                                  image_id, t);
-    TileTask task;
-    task.image_id = image_id;
-    task.tile_id = t;
-    task.attempt = attempt;
-    task.shape = Shape{1, C, th, tw};
-    const Tensor one = tiles.crop(t, 1, 0, th, 0, tw);
-    task.payload.resize(static_cast<std::size_t>(one.numel()) * sizeof(float));
-    std::memcpy(task.payload.data(), one.data(), task.payload.size());
-    const auto fate =
-        downlinks_[static_cast<std::size_t>(k)]->transmit_message(
-            task.wire_bytes(), image_id, t, attempt, &task.payload);
-    if (fate.drop) return;  // lost on the air; retry/zero-fill covers it
-    inboxes_[static_cast<std::size_t>(k)]->send(std::move(task));
-  };
+  obs::ScopedSpan scatter_span(tracer, "scatter", "scatter", 0, image_id);
   for (std::int64_t t = 0; t < T; ++t) {
-    send_tile(t, owner[static_cast<std::size_t>(t)], 0);
+    send_tile(*raw, t, raw->owner[static_cast<std::size_t>(t)], 0);
   }
+  scatter_span.end();
   const auto t_scattered = Clock::now();
+  if constexpr (obs::kEnabled) {
+    if (tracer) raw->gather_begin_ns = tracer->now_ns();
+  }
+  {
+    // Publish the deadline: T_L counts from the last transmitted tile.
+    std::lock_guard lock(mu_);
+    raw->t_scattered = t_scattered;
+    raw->deadline =
+        t_scattered + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(cfg_.deadline_s));
+    raw->scatter_done = true;
+  }
+  return image_id;
+}
 
-  // --- Gather with the T_L deadline (Algorithm 2's timer). ---------------
-  obs::ScopedSpan gather_span(tracer, "gather_wait", "gather_wait", 0,
-                              image_id);
-  const auto gather_start = Clock::now();
-  const auto deadline =
-      gather_start + std::chrono::duration<double>(cfg_.deadline_s);
-  Tensor gathered = Tensor::zeros(Shape{T, tile_out_shape_[1],
-                                        tile_out_shape_[2],
-                                        tile_out_shape_[3]});
-  std::vector<bool> have(static_cast<std::size_t>(T), false);
-  std::vector<std::int64_t> returned(static_cast<std::size_t>(K), 0);
-  std::vector<std::int64_t> dispatched = counts;  // primary + retry sends
-  std::int64_t received = 0;
-  std::int64_t recovered = 0;
-  std::int64_t decode_errors = 0;
-  int retry_rounds = 0;
-  const bool retry_on = cfg_.retry.enabled && cfg_.retry.max_rounds > 0;
+CentralNode::Clock::time_point CentralNode::retry_due(const ImageJob& job,
+                                                      int round) const {
   // Round i fires at at_fraction of T_L, with later rounds splitting the
   // remaining slack evenly — the retry budget always spends inside T_L.
-  const auto retry_due = [&](int round) {
-    const double f = cfg_.retry.at_fraction +
-                     (1.0 - cfg_.retry.at_fraction) *
-                         static_cast<double>(round) /
-                         static_cast<double>(cfg_.retry.max_rounds);
-    return gather_start + std::chrono::duration<double>(
-                              cfg_.deadline_s * std::clamp(f, 0.0, 1.0));
-  };
-  while (received < T) {
-    auto wake = deadline;
-    if (retry_on && retry_rounds < cfg_.retry.max_rounds) {
-      wake = std::min(wake, retry_due(retry_rounds));
-    }
-    auto result = results_->receive_until(
-        std::chrono::time_point_cast<Clock::duration>(wake));
-    if (!result) {
-      if (results_->closed()) break;  // torn down: proceed with zeros
-      const auto now = Clock::now();
-      if (now >= deadline) break;  // T_L fired: zero-fill the rest
-      if (retry_on && retry_rounds < cfg_.retry.max_rounds &&
-          now >= retry_due(retry_rounds)) {
-        // --- Bounded re-dispatch: send still-missing tiles to the fastest
-        // non-quarantined nodes with spare capacity. Tiles avoid their
-        // original owner when an alternative exists (it just missed); the
-        // have[] bitmap deduplicates a late primary racing its retry.
-        ++retry_rounds;
-        std::vector<int> targets;
-        for (int k = 0; k < K; ++k) {
-          if (!quarantined_[static_cast<std::size_t>(k)] &&
-              dispatched[static_cast<std::size_t>(k)] < cfg_.capacity_tiles)
-            targets.push_back(k);
-        }
-        std::stable_sort(targets.begin(), targets.end(),
-                         [&](int a, int b) {
-                           return collector_.speed(a) > collector_.speed(b);
-                         });
-        if (targets.empty()) continue;
-        std::size_t rr = 0;
-        for (std::int64_t t = 0; t < T; ++t) {
-          if (have[static_cast<std::size_t>(t)]) continue;
-          int k = targets[rr++ % targets.size()];
-          if (k == owner[static_cast<std::size_t>(t)] && targets.size() > 1)
-            k = targets[rr++ % targets.size()];
-          send_tile(t, k, retry_rounds);
-          ++dispatched[static_cast<std::size_t>(k)];
-          ++retried;
-        }
-      }
-      continue;
-    }
-    if (result->image_id != image_id) {  // stale late result
-      ++stale;
-      continue;
-    }
-    if (result->tile_id < 0 || result->tile_id >= T || result->node_id < 0 ||
-        result->node_id >= K) {  // malformed header
-      ++decode_errors;
-      continue;
-    }
-    if (have[static_cast<std::size_t>(result->tile_id)]) continue;  // dup
-    try {
-      const Tensor out =
-          codec_ ? codec_->decode(result->payload, tile_out_shape_)
-                 : compress::decode_raw(result->payload, tile_out_shape_);
-      gathered.paste(out.reshaped(Shape{1, tile_out_shape_[1],
-                                        tile_out_shape_[2],
-                                        tile_out_shape_[3]}),
-                     result->tile_id, 0, 0);
-    } catch (const std::exception&) {
-      // Corruption-tolerant decode: a malformed payload is counted and
-      // dropped; the retry path (or zero-fill) covers the tile.
-      ++decode_errors;
-      continue;
-    }
-    have[static_cast<std::size_t>(result->tile_id)] = true;
-    ++received;
-    if (result->attempt == 0) {
-      ++returned[static_cast<std::size_t>(result->node_id)];
-    } else {
-      ++recovered;
-    }
-  }
-  gather_span.end();
-  const auto t_gathered = Clock::now();
-  const double deadline_slack_s =
-      std::chrono::duration<double>(deadline - t_gathered).count();
+  const double f = cfg_.retry.at_fraction +
+                   (1.0 - cfg_.retry.at_fraction) * static_cast<double>(round) /
+                       static_cast<double>(cfg_.retry.max_rounds);
+  return job.t_scattered +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(cfg_.deadline_s *
+                                           std::clamp(f, 0.0, 1.0)));
+}
 
-  // --- Zero-fill / miss accounting. ---------------------------------------
+void CentralNode::complete_gather_locked(ImageJob& job,
+                                         Clock::time_point now) {
+  const int K = static_cast<int>(inboxes_.size());
+  job.gather_done = true;
+  job.t_gathered = now;
+  job.deadline_slack_s =
+      std::chrono::duration<double>(job.deadline - now).count();
+
   // missed[k] counts primary assignments node k failed to return within
   // T_L — a tile recovered via retry still counts against its owner, so
-  // Algorithm 2 keeps an honest view of the node. Zero-filled tiles are
-  // the globally missing ones (T - received).
-  std::vector<std::int64_t> missed(static_cast<std::size_t>(K), 0);
+  // Algorithm 2 keeps an honest view of the node.
+  job.missed.assign(static_cast<std::size_t>(K), 0);
   for (int k = 0; k < K; ++k) {
-    missed[static_cast<std::size_t>(k)] =
-        counts[static_cast<std::size_t>(k)] -
-        returned[static_cast<std::size_t>(k)];
-  }
-  auto t_zero_filled = t_gathered;
-  if (received < T) {
-    obs::ScopedSpan zero_span(tracer, "zero_fill", "zero_fill", 0, image_id);
-    zero_span.end();
-    t_zero_filled = Clock::now();
+    job.missed[static_cast<std::size_t>(k)] =
+        job.counts[static_cast<std::size_t>(k)] -
+        job.returned[static_cast<std::size_t>(k)];
   }
 
   // --- Algorithm 2: fold per-node counts into s_k. ------------------------
   // Nodes that were assigned no tiles keep their previous estimate (a node
   // with zero quota returning zero results carries no information).
   for (int k = 0; k < K; ++k) {
-    if (counts[static_cast<std::size_t>(k)] > 0)
-      collector_.record_node(k, returned[static_cast<std::size_t>(k)]);
+    if (job.counts[static_cast<std::size_t>(k)] > 0)
+      collector_.record_node(k, job.returned[static_cast<std::size_t>(k)]);
   }
 
   // --- Quarantine circuit breaker bookkeeping. ----------------------------
@@ -341,10 +295,10 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
   std::int64_t quarantine_active = 0;
   for (int k = 0; k < K; ++k) {
     const auto ks = static_cast<std::size_t>(k);
-    if (returned[ks] > 0) {
+    if (job.returned[ks] > 0) {
       consecutive_missed_[ks] = 0;
       quarantined_[ks] = false;
-    } else if (counts[ks] > 0) {
+    } else if (job.counts[ks] > 0) {
       ++consecutive_missed_[ks];
       if (cfg_.quarantine_after > 0 && !quarantined_[ks] &&
           consecutive_missed_[ks] >= cfg_.quarantine_after) {
@@ -357,59 +311,311 @@ Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
     quarantine_active += quarantined_[ks];
   }
 
+  // Stale results drained since the last completion are attributed here so
+  // every discarded message shows up in exactly one report.
+  job.stale_results += pending_stale_;
+  pending_stale_ = 0;
+
+  job.quarantined = quarantined_;
+  job.speeds = collector_.speeds();
+
+  if constexpr (obs::kEnabled) {
+    obs::TraceRecorder* tracer = cfg_.telemetry.trace;
+    if (tracer && job.gather_begin_ns >= 0) {
+      obs::Span span;
+      span.name = "gather_wait";
+      span.cat = "gather_wait";
+      span.tid = 0;
+      span.image_id = job.image_id;
+      span.begin_ns = job.gather_begin_ns;
+      span.end_ns = tracer->now_ns();
+      tracer->record(span);
+    }
+    if (obs_.images) {
+      obs_.images->add(1);
+      obs_.tiles_total->add(job.tiles_total);
+      obs_.tiles_missing->add(job.tiles_total - job.received);
+      if (job.retried > 0) obs_.retry_dispatched->add(job.retried);
+      if (job.recovered > 0) obs_.retry_recovered->add(job.recovered);
+      if (job.retry_rounds > 0) obs_.retry_rounds->add(job.retry_rounds);
+      if (job.decode_errors > 0) obs_.decode_errors->add(job.decode_errors);
+      if (job.stale_results > 0) obs_.stale_results->add(job.stale_results);
+      obs_.quarantine_active->set(static_cast<double>(quarantine_active));
+      obs_.gather_s->observe(seconds_between(job.t_scattered, job.t_gathered));
+      obs_.total_speed->set(collector_.total_speed());
+      for (int k = 0; k < K; ++k)
+        obs_.node_speed[static_cast<std::size_t>(k)]->set(collector_.speed(k));
+    }
+  }
+}
+
+std::vector<std::unique_ptr<CentralNode::ImageJob>> CentralNode::pump_gather(
+    Clock::time_point until) {
+  const int K = static_cast<int>(inboxes_.size());
+  std::vector<std::unique_ptr<ImageJob>> done;
+  struct RetrySend {
+    ImageJob* job;
+    std::int64_t tile;
+    int node;
+    std::int32_t attempt;
+  };
+  std::vector<RetrySend> resend;
+  const bool retry_on = cfg_.retry.enabled && cfg_.retry.max_rounds > 0;
+
+  for (;;) {
+    resend.clear();
+    const bool closed = results_->closed();
+    auto now = Clock::now();
+    Clock::time_point wake = until;
+    {
+      std::lock_guard lock(mu_);
+      for (auto it = inflight_.begin(); it != inflight_.end();) {
+        ImageJob& job = *it->second;
+        // A job completes only once its scatter finished: received == T
+        // implies every tile came back, and the deadline clock does not
+        // even start until the last tile left.
+        const bool complete =
+            job.scatter_done && (job.received >= job.tiles_total ||
+                                 now >= job.deadline || closed);
+        if (complete) {
+          complete_gather_locked(job, now);
+          done.push_back(std::move(it->second));
+          it = inflight_.erase(it);
+          continue;
+        }
+        if (!job.scatter_done) {
+          // Mid-scatter: poll briefly so the published deadline (or a
+          // final result racing the scatter tail) is picked up promptly.
+          wake = std::min(wake, now + std::chrono::milliseconds(1));
+          ++it;
+          continue;
+        }
+        wake = std::min(wake, job.deadline);
+        if (retry_on && job.retry_rounds < cfg_.retry.max_rounds) {
+          const auto due = retry_due(job, job.retry_rounds);
+          if (now >= due) {
+            // --- Bounded re-dispatch: send still-missing tiles to the
+            // fastest non-quarantined nodes with spare capacity. Tiles
+            // avoid their original owner when an alternative exists (it
+            // just missed); the have[] bitmap deduplicates a late primary
+            // racing its retry.
+            ++job.retry_rounds;
+            std::vector<int> targets;
+            for (int k = 0; k < K; ++k) {
+              if (!quarantined_[static_cast<std::size_t>(k)] &&
+                  job.dispatched[static_cast<std::size_t>(k)] <
+                      cfg_.capacity_tiles)
+                targets.push_back(k);
+            }
+            std::stable_sort(targets.begin(), targets.end(),
+                             [&](int a, int b) {
+                               return collector_.speed(a) >
+                                      collector_.speed(b);
+                             });
+            if (!targets.empty()) {
+              std::size_t rr = 0;
+              for (std::int64_t t = 0; t < job.tiles_total; ++t) {
+                if (job.have[static_cast<std::size_t>(t)]) continue;
+                int k = targets[rr++ % targets.size()];
+                if (k == job.owner[static_cast<std::size_t>(t)] &&
+                    targets.size() > 1)
+                  k = targets[rr++ % targets.size()];
+                resend.push_back({&job, t, k, job.retry_rounds});
+                ++job.dispatched[static_cast<std::size_t>(k)];
+                ++job.retried;
+              }
+            }
+            if (job.retry_rounds < cfg_.retry.max_rounds)
+              wake = std::min(wake, retry_due(job, job.retry_rounds));
+          } else {
+            wake = std::min(wake, due);
+          }
+        }
+        ++it;
+      }
+      if constexpr (obs::kEnabled) {
+        if (obs_.in_flight)
+          obs_.in_flight->set(static_cast<double>(inflight_.size()));
+      }
+    }
+
+    // Transmit retries outside the lock: links model airtime with real
+    // sleeps, and the dispatcher needs the lock to admit the next image.
+    for (const auto& rs : resend) {
+      send_tile(*rs.job, rs.tile, rs.node, rs.attempt);
+    }
+
+    if (!done.empty()) return done;
+    now = Clock::now();
+    if (now >= until) return done;
+    if (closed) {
+      // Every scatter_done job was completed above, so anything left is
+      // mid-scatter. receive_until would return immediately on a closed
+      // channel, so sleep instead until the dispatcher publishes the
+      // scatter (or bail out if nothing is in flight).
+      bool any_inflight;
+      {
+        std::lock_guard lock(mu_);
+        any_inflight = !inflight_.empty();
+      }
+      if (!any_inflight) return done;
+      std::this_thread::sleep_until(std::min(wake, until));
+      continue;
+    }
+
+    auto result = results_->receive_until(std::min(wake, until));
+    if (!result) continue;  // timeout/close: loop re-evaluates every job
+
+    // --- Route one result to its in-flight image by image_id. -------------
+    ImageJob* job = nullptr;
+    {
+      std::lock_guard lock(mu_);
+      const auto it = inflight_.find(result->image_id);
+      if (it == inflight_.end()) {
+        // No owning image in flight: a straggler or injected delay landed
+        // after its image's deadline fired (or a hostile id) — drain it.
+        ++pending_stale_;
+        continue;
+      }
+      job = it->second.get();
+    }
+    // Gather-side fields are pump-thread-owned, so the heavy decode/paste
+    // runs without the lock.
+    if (result->tile_id < 0 || result->tile_id >= job->tiles_total ||
+        result->node_id < 0 || result->node_id >= K) {  // malformed header
+      ++job->decode_errors;
+      continue;
+    }
+    if (job->have[static_cast<std::size_t>(result->tile_id)]) continue;  // dup
+    try {
+      const Tensor out =
+          codec_ ? codec_->decode(result->payload, tile_out_shape_)
+                 : compress::decode_raw(result->payload, tile_out_shape_);
+      job->gathered.paste(out.reshaped(Shape{1, tile_out_shape_[1],
+                                             tile_out_shape_[2],
+                                             tile_out_shape_[3]}),
+                          result->tile_id, 0, 0);
+    } catch (const std::exception&) {
+      // Corruption-tolerant decode: a malformed payload is counted and
+      // dropped; the retry path (or zero-fill) covers the tile.
+      ++job->decode_errors;
+      continue;
+    }
+    job->have[static_cast<std::size_t>(result->tile_id)] = true;
+    ++job->received;
+    if (result->attempt == 0) {
+      ++job->returned[static_cast<std::size_t>(result->node_id)];
+    } else {
+      ++job->recovered;
+    }
+  }
+}
+
+Tensor CentralNode::finish_image(std::unique_ptr<ImageJob> job,
+                                 InferStats* stats) {
+  obs::TraceRecorder* tracer = cfg_.telemetry.trace;
+
+  // --- Zero-fill accounting: gathered was zero-initialized, so missing
+  // tiles are already blank — this stage only marks the event.
+  auto t_zero_filled = job->t_gathered;
+  if (job->received < job->tiles_total) {
+    obs::ScopedSpan zero_span(tracer, "zero_fill", "zero_fill", 0,
+                              job->image_id);
+    zero_span.end();
+    t_zero_filled = Clock::now();
+  }
+
   // --- Merge and run the later layers. ------------------------------------
-  obs::ScopedSpan suffix_span(tracer, "suffix", "suffix", 0, image_id);
+  obs::ScopedSpan suffix_span(tracer, "suffix", "suffix", 0, job->image_id);
   const Tensor merged =
-      nn::TileSplit::merge(gathered, model_.grid.rows, model_.grid.cols);
+      nn::TileSplit::merge(job->gathered, model_.grid.rows, model_.grid.cols);
   Tensor output = model_.model.forward_range(merged, model_.suffix_begin(),
                                              model_.suffix_end());
   suffix_span.end();
   const auto t_done = Clock::now();
 
   if constexpr (obs::kEnabled) {
-    if (obs_.images) {
-      obs_.images->add(1);
-      obs_.tiles_total->add(T);
-      obs_.tiles_missing->add(T - received);
-      if (retried > 0) obs_.retry_dispatched->add(retried);
-      if (recovered > 0) obs_.retry_recovered->add(recovered);
-      if (retry_rounds > 0) obs_.retry_rounds->add(retry_rounds);
-      if (decode_errors > 0) obs_.decode_errors->add(decode_errors);
-      if (stale > 0) obs_.stale_results->add(stale);
-      obs_.quarantine_active->set(static_cast<double>(quarantine_active));
-      obs_.elapsed_s->observe(seconds_between(t0, t_done));
-      obs_.gather_s->observe(seconds_between(t_scattered, t_gathered));
-      obs_.total_speed->set(collector_.total_speed());
-      for (int k = 0; k < K; ++k)
-        obs_.node_speed[static_cast<std::size_t>(k)]->set(
-            collector_.speed(k));
+    if (tracer && job->infer_begin_ns >= 0) {
+      obs::Span span;
+      span.name = "infer";
+      span.cat = "image";
+      span.tid = 0;
+      span.image_id = job->image_id;
+      span.begin_ns = job->infer_begin_ns;
+      span.end_ns = tracer->now_ns();
+      tracer->record(span);
     }
+    if (obs_.elapsed_s)
+      obs_.elapsed_s->observe(seconds_between(job->t0, t_done));
   }
 
   if (stats) {
-    stats->image_id = image_id;
-    stats->tiles_total = T;
-    stats->tiles_missing = T - received;
-    stats->assigned = counts;
-    stats->returned = returned;
-    stats->missed = missed;
-    stats->quarantined = quarantined_;
-    stats->tiles_retried = retried;
-    stats->tiles_recovered = recovered;
-    stats->decode_errors = decode_errors;
-    stats->stale_results = stale;
-    stats->speeds = collector_.speeds();
+    stats->image_id = job->image_id;
+    stats->tiles_total = job->tiles_total;
+    stats->tiles_missing = job->tiles_total - job->received;
+    stats->assigned = job->counts;
+    stats->returned = job->returned;
+    stats->missed = job->missed;
+    stats->quarantined = job->quarantined;
+    stats->tiles_retried = job->retried;
+    stats->tiles_recovered = job->recovered;
+    stats->decode_errors = job->decode_errors;
+    stats->stale_results = job->stale_results;
+    stats->speeds = job->speeds;
     stats->deadline_s = cfg_.deadline_s;
-    stats->deadline_slack_s = deadline_slack_s;
-    stats->stages.partition_s = seconds_between(t0, t_partitioned);
-    stats->stages.allocate_s = seconds_between(t_partitioned, t_allocated);
-    stats->stages.scatter_s = seconds_between(t_allocated, t_scattered);
-    stats->stages.gather_s = seconds_between(t_scattered, t_gathered);
-    stats->stages.zero_fill_s = seconds_between(t_gathered, t_zero_filled);
+    stats->deadline_slack_s = job->deadline_slack_s;
+    stats->stages.partition_s = seconds_between(job->t0, job->t_partitioned);
+    stats->stages.allocate_s =
+        seconds_between(job->t_partitioned, job->t_allocated);
+    stats->stages.scatter_s =
+        seconds_between(job->t_allocated, job->t_scattered);
+    stats->stages.gather_s =
+        seconds_between(job->t_scattered, job->t_gathered);
+    stats->stages.zero_fill_s =
+        seconds_between(job->t_gathered, t_zero_filled);
     stats->stages.suffix_s = seconds_between(t_zero_filled, t_done);
-    stats->elapsed_s = seconds_between(t0, t_done);
+    stats->elapsed_s = seconds_between(job->t0, t_done);
   }
   return output;
+}
+
+bool CentralNode::wait_for_inflight(Clock::time_point until) {
+  std::unique_lock lock(mu_);
+  // A single (non-predicated) wait: any wake() notify returns control to
+  // the caller so it can re-check its own stop condition instead of
+  // sitting out the full timeout during shutdown.
+  if (inflight_.empty()) inflight_cv_.wait_until(lock, until);
+  return !inflight_.empty();
+}
+
+void CentralNode::wake() {
+  std::lock_guard lock(mu_);
+  inflight_cv_.notify_all();
+}
+
+std::size_t CentralNode::in_flight() const {
+  std::lock_guard lock(mu_);
+  return inflight_.size();
+}
+
+Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {
+  const std::int64_t image_id = begin_image(image);
+  std::unique_ptr<ImageJob> mine;
+  while (!mine) {
+    auto completed = pump_gather(Clock::now() + std::chrono::hours(1));
+    for (auto& job : completed) {
+      if (job->image_id == image_id) mine = std::move(job);
+      // Any other completed job would mean infer() ran concurrently with a
+      // streaming server — a documented contract violation; its output is
+      // dropped here rather than misdelivered.
+    }
+    if (!mine && completed.empty() && results_->closed() &&
+        in_flight() == 0) {
+      throw std::runtime_error(
+          "CentralNode::infer: results channel closed mid-image");
+    }
+  }
+  return finish_image(std::move(mine), stats);
 }
 
 }  // namespace adcnn::runtime

@@ -1,10 +1,25 @@
 // Central node (Figure 8): input partition block, statistics collection
 // (Algorithm 2), tile allocation (Algorithm 3), deadline handling with
 // zero-fill, and later-layer computation.
+//
+// The stages are reentrant per-image functions keyed by image id, so any
+// number of images can be in flight at once: begin_image() partitions,
+// allocates and scatters one image and registers it for result routing;
+// pump_gather() demultiplexes incoming results by image_id across every
+// in-flight image (firing retries and expiring deadlines per image); and
+// finish_image() merges the tiles and runs the central suffix. infer() is
+// the sequential composition (one image in flight); StreamingServer
+// (runtime/pipeline.hpp) drives the same stages from three threads to
+// overlap scatter/compute/gather/suffix across images.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
 #include <string>
 #include <vector>
 
@@ -61,7 +76,9 @@ struct CentralConfig {
 
 /// Wall-clock seconds spent in each sequential stage of one infer() call.
 /// The stages partition the call, so sum() tracks InferStats::elapsed_s
-/// (modulo bookkeeping between the clock reads).
+/// (modulo bookkeeping between the clock reads). Under streaming the same
+/// fields measure the per-image stage durations, which overlap across
+/// images — their sum can then exceed the per-image wall latency share.
 struct StageTimings {
   double partition_s = 0.0;  // FDSP tile split
   double allocate_s = 0.0;   // Algorithm 3 + probe + owner expansion
@@ -94,7 +111,7 @@ struct InferStats {
   std::int64_t tiles_retried = 0;    // re-dispatches sent within T_L
   std::int64_t tiles_recovered = 0;  // missing tiles filled by a retry
   std::int64_t decode_errors = 0;    // malformed results dropped in gather
-  std::int64_t stale_results = 0;    // previous-image results discarded
+  std::int64_t stale_results = 0;    // dead-image results discarded
   std::vector<double> speeds;           // s_k after Algorithm 2's update
   double deadline_s = 0.0;              // the T_L in force
   /// Seconds left before T_L when gathering finished; <= 0 means the
@@ -108,6 +125,47 @@ struct InferStats {
 
 class CentralNode {
  public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One image's pipeline state, created by begin_image() and routed by
+  /// image id until finish_image() consumes it. Gather-side fields (have,
+  /// gathered, returned, ...) are owned by the single pump thread;
+  /// scatter-side fields are written by the dispatching thread before
+  /// `scatter_done` is published under the node's mutex.
+  struct ImageJob {
+    std::int64_t image_id = -1;
+    std::int64_t tiles_total = 0;  // T
+    Tensor tiles;                  // (T, C, th, tw) input tiles, read-only
+    std::vector<std::int64_t> counts;  // Algorithm 3 primary allocation
+    std::vector<int> owner;            // tile -> node
+    // Gather state (pump thread only).
+    Tensor gathered;
+    std::vector<bool> have;
+    std::vector<std::int64_t> returned;
+    std::vector<std::int64_t> dispatched;  // primary + retry sends per node
+    std::int64_t received = 0;
+    std::int64_t recovered = 0;
+    std::int64_t retried = 0;
+    std::int64_t decode_errors = 0;
+    std::int64_t stale_results = 0;  // dead-image results drained meanwhile
+    int retry_rounds = 0;
+    // Published by the dispatcher under the node mutex once the last tile
+    // has been transmitted; the deadline clock starts here.
+    bool scatter_done = false;
+    bool gather_done = false;
+    Clock::time_point t0, t_partitioned, t_allocated, t_scattered;
+    Clock::time_point deadline;  // valid once scatter_done
+    Clock::time_point t_gathered;
+    std::int64_t infer_begin_ns = -1;   // trace-relative span anchors
+    std::int64_t gather_begin_ns = -1;
+    double deadline_slack_s = 0.0;
+    // Completion snapshots taken when the gather finished (Algorithm 2 and
+    // quarantine state folded), so stats are consistent under streaming.
+    std::vector<std::int64_t> missed;
+    std::vector<bool> quarantined;
+    std::vector<double> speeds;
+  };
+
   /// Channels/links are owned by the cluster harness; `codec` null means
   /// Conv nodes send raw fp32 (must match the workers' configuration).
   CentralNode(core::PartitionedModel& model, const compress::TileCodec* codec,
@@ -116,12 +174,52 @@ class CentralNode {
               std::vector<SimulatedLink*> downlinks, CentralConfig cfg);
 
   /// End-to-end inference for one image (1, C, H, W): partition, allocate,
-  /// scatter, gather with deadline, zero-fill, run the suffix.
+  /// scatter, gather with deadline, zero-fill, run the suffix. Must not be
+  /// called concurrently with a StreamingServer driving the same node.
   Tensor infer(const Tensor& image, InferStats* stats = nullptr);
+
+  // --- Streaming stage API (see runtime/pipeline.hpp). Thread contract:
+  // all begin_image() calls from one dispatcher thread, all pump_gather()
+  // calls from one gather thread; infer() plays both roles itself.
+
+  /// Partition + allocate + scatter one image and register it for result
+  /// routing. Returns the image id (the routing key).
+  std::int64_t begin_image(const Tensor& image);
+
+  /// Route pending results to their in-flight images, fire due retries and
+  /// expire deadlines. Blocks until at least one image finishes its gather
+  /// or `until` passes; finished jobs (Algorithm 2 folded, unregistered)
+  /// are returned in completion order.
+  std::vector<std::unique_ptr<ImageJob>> pump_gather(Clock::time_point until);
+
+  /// Zero-fill accounting, tile merge and the central suffix for a
+  /// gather-finished job; fills `stats` like infer() does.
+  Tensor finish_image(std::unique_ptr<ImageJob> job,
+                      InferStats* stats = nullptr);
+
+  /// Block until at least one image is in flight, `until` passes, or
+  /// wake() is called. Returns true when in-flight work exists (lets a
+  /// gather thread idle). May return false early — callers re-check their
+  /// own stop condition and loop.
+  bool wait_for_inflight(Clock::time_point until);
+
+  /// Nudge a wait_for_inflight() caller to return and re-check its stop
+  /// condition (used by a streaming server shutting its gather thread).
+  void wake();
+
+  /// Images begun but not yet returned by pump_gather().
+  std::size_t in_flight() const;
 
   const core::StatsCollector& collector() const { return collector_; }
 
  private:
+  void send_tile(const ImageJob& job, std::int64_t t, int k,
+                 std::int32_t attempt);
+  /// Fold one finished gather into Algorithm 2 + quarantine state and
+  /// snapshot the results into the job. Caller holds mu_.
+  void complete_gather_locked(ImageJob& job, Clock::time_point now);
+  Clock::time_point retry_due(const ImageJob& job, int round) const;
+
   core::PartitionedModel& model_;
   const compress::TileCodec* codec_;
   std::vector<Channel<TileTask>*> inboxes_;
@@ -130,10 +228,19 @@ class CentralNode {
   CentralConfig cfg_;
   core::StatsCollector collector_;
   Shape tile_out_shape_;
+
+  /// Guards the scheduler state shared between the dispatcher and pump
+  /// roles: image ids, Algorithm 2 speeds, quarantine flags, the in-flight
+  /// registry and each job's scatter_done/deadline handoff.
+  mutable std::mutex mu_;
+  std::condition_variable inflight_cv_;
   std::int64_t next_image_id_ = 0;
-  // Quarantine circuit breaker state (central thread only).
+  std::map<std::int64_t, std::unique_ptr<ImageJob>> inflight_;
   std::vector<bool> quarantined_;
   std::vector<int> consecutive_missed_;
+  /// Stale results drained while no owning image was in flight; attributed
+  /// to the next image that completes (pump thread only).
+  std::int64_t pending_stale_ = 0;
 
   // Cached instruments (null when no metrics sink is attached).
   struct CentralMetrics {
@@ -147,6 +254,7 @@ class CentralNode {
     obs::Counter* stale_results = nullptr;
     obs::Counter* quarantine_events = nullptr;
     obs::Gauge* quarantine_active = nullptr;
+    obs::Gauge* in_flight = nullptr;
     obs::Histogram* elapsed_s = nullptr;
     obs::Histogram* gather_s = nullptr;
     obs::Gauge* total_speed = nullptr;

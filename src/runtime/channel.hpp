@@ -1,10 +1,17 @@
 // Blocking MPMC channel — the message-passing primitive connecting the
 // Central node and Conv-node workers (an in-process analogue of MPI-style
 // point-to-point sends). Closing wakes all receivers.
+//
+// Capacity: a channel built with capacity > 0 is bounded — send() blocks
+// while the queue is full (backpressure on the producer) and try_push()
+// fails fast, counting the rejection, so a stalled consumer can never grow
+// the queue without bound. The default (capacity 0) is unbounded and
+// preserves the original behavior.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -17,24 +24,58 @@ namespace adcnn::runtime {
 template <typename T>
 class Channel {
  public:
-  /// Telemetry: mirror the queue depth into `g` (and count enqueues into
-  /// `sent`) on every send/receive. Null detaches. Attach before the
-  /// channel is shared between threads.
-  void attach_telemetry(obs::Gauge* depth, obs::Counter* sent = nullptr) {
+  Channel() = default;
+  /// `capacity` 0 means unbounded.
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Telemetry: mirror the queue depth into `depth` (and count enqueues
+  /// into `sent`, try_push rejections into `dropped`, blocking sends that
+  /// had to wait into `blocked`) on every send/receive. Null detaches.
+  /// Attach before the channel is shared between threads.
+  void attach_telemetry(obs::Gauge* depth, obs::Counter* sent = nullptr,
+                        obs::Counter* dropped = nullptr,
+                        obs::Counter* blocked = nullptr) {
     depth_gauge_ = depth;
     sent_counter_ = sent;
+    dropped_counter_ = dropped;
+    blocked_counter_ = blocked;
   }
 
-  /// Enqueue; returns false if the channel is closed.
+  /// Enqueue; blocks while a bounded channel is full. Returns false if the
+  /// channel is (or becomes, while waiting) closed.
   bool send(T value) {
+    {
+      std::unique_lock lock(mutex_);
+      if (capacity_ > 0 && !closed_ && queue_.size() >= capacity_) {
+        ++blocked_;
+        if constexpr (obs::kEnabled) {
+          if (blocked_counter_) blocked_counter_->add(1);
+        }
+        send_cv_.wait(lock, [&] {
+          return closed_ || queue_.size() < capacity_;
+        });
+      }
+      if (closed_) return false;
+      push_locked(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue: false when the channel is closed or full (a
+  /// full rejection is counted as dropped — the caller is shedding load).
+  bool try_push(T value) {
     {
       std::lock_guard lock(mutex_);
       if (closed_) return false;
-      queue_.push_back(std::move(value));
-      if constexpr (obs::kEnabled) {
-        if (depth_gauge_) depth_gauge_->add(1.0);
-        if (sent_counter_) sent_counter_->add(1);
+      if (capacity_ > 0 && queue_.size() >= capacity_) {
+        ++dropped_;
+        if constexpr (obs::kEnabled) {
+          if (dropped_counter_) dropped_counter_->add(1);
+        }
+        return false;
       }
+      push_locked(std::move(value));
     }
     cv_.notify_one();
     return true;
@@ -67,6 +108,7 @@ class Channel {
       closed_ = true;
     }
     cv_.notify_all();
+    send_cv_.notify_all();
   }
 
   bool closed() const {
@@ -79,11 +121,34 @@ class Channel {
     return queue_.size();
   }
 
+  std::size_t capacity() const { return capacity_; }
+
+  /// try_push rejections since construction.
+  std::int64_t dropped() const {
+    std::lock_guard lock(mutex_);
+    return dropped_;
+  }
+
+  /// send() calls that had to wait for space since construction.
+  std::int64_t blocked() const {
+    std::lock_guard lock(mutex_);
+    return blocked_;
+  }
+
  private:
+  void push_locked(T value) {
+    queue_.push_back(std::move(value));
+    if constexpr (obs::kEnabled) {
+      if (depth_gauge_) depth_gauge_->add(1.0);
+      if (sent_counter_) sent_counter_->add(1);
+    }
+  }
+
   std::optional<T> pop_locked() {
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
+    if (capacity_ > 0) send_cv_.notify_one();
     if constexpr (obs::kEnabled) {
       if (depth_gauge_) depth_gauge_->add(-1.0);
     }
@@ -91,11 +156,17 @@ class Channel {
   }
 
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // receivers wait here
+  std::condition_variable send_cv_;  // bounded-channel senders wait here
   std::deque<T> queue_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
   bool closed_ = false;
+  std::int64_t dropped_ = 0;
+  std::int64_t blocked_ = 0;
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* blocked_counter_ = nullptr;
 };
 
 }  // namespace adcnn::runtime

@@ -27,6 +27,8 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   obs::Counter* up_transfers = nullptr;
   obs::Gauge* inbox_depth = nullptr;
   obs::Counter* inbox_sent = nullptr;
+  obs::Counter* inbox_dropped = nullptr;
+  obs::Counter* inbox_blocked = nullptr;
   obs::Gauge* results_depth = nullptr;
   if constexpr (obs::kEnabled) {
     if (auto* m = cfg.telemetry.metrics) {
@@ -36,6 +38,8 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
       up_transfers = &m->counter("link.uplink_transfers");
       inbox_depth = &m->gauge("chan.inbox_depth");
       inbox_sent = &m->counter("chan.inbox_sent");
+      inbox_dropped = &m->counter("chan.dropped");
+      inbox_blocked = &m->counter("chan.blocked");
       results_depth = &m->gauge("chan.results_depth");
       if (codec_) codec_->attach_telemetry(m);
     }
@@ -57,8 +61,9 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
       uplinks_.back()->attach_faults(faults_.get(),
                                      FaultInjector::Direction::kUplink, k);
     }
-    inboxes_.push_back(std::make_unique<Channel<TileTask>>());
-    inboxes_.back()->attach_telemetry(inbox_depth, inbox_sent);
+    inboxes_.push_back(std::make_unique<Channel<TileTask>>(cfg.inbox_capacity));
+    inboxes_.back()->attach_telemetry(inbox_depth, inbox_sent, inbox_dropped,
+                                      inbox_blocked);
     inbox_ptrs.push_back(inboxes_.back().get());
     downlink_ptrs.push_back(downlinks_.back().get());
   }

@@ -30,6 +30,11 @@ struct ClusterConfig {
   RetryPolicy retry;
   /// Circuit breaker (see CentralConfig::quarantine_after); 0 = off.
   int quarantine_after = 3;
+  /// Bound on each Conv node's inbox queue (tiles awaiting compute).
+  /// Scatter then blocks when a node's backlog hits the bound —
+  /// backpressure toward the Central node instead of unbounded buffering
+  /// on a stalled worker. 0 (default) = unbounded, the original behavior.
+  std::size_t inbox_capacity = 0;
   /// Deterministic chaos script applied to links and workers; the default
   /// (trivial) plan injects nothing and allocates no injector.
   FaultPlan fault_plan;

@@ -1,0 +1,211 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adcnn::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+StreamingServer::StreamingServer(CentralNode& central, StreamingConfig cfg)
+    : central_(central), cfg_(cfg), input_(cfg.queue_capacity), finish_(0) {
+  if (cfg_.max_in_flight < 1) {
+    throw std::invalid_argument("StreamingServer: max_in_flight must be >= 1");
+  }
+  if constexpr (obs::kEnabled) {
+    if (auto* m = cfg_.telemetry.metrics) {
+      obs_.in_flight = &m->gauge("pipeline.in_flight");
+      obs_.queue_depth = &m->gauge("pipeline.queue_depth");
+      obs_.images = &m->counter("pipeline.images");
+      obs_.latency_s = &m->histogram("pipeline.latency_s");
+      obs_.overlap_s = &m->gauge("stage.overlap_s");
+      input_.attach_telemetry(obs_.queue_depth);
+    }
+  }
+  dispatcher_ = std::thread(&StreamingServer::dispatch_loop, this);
+  gather_ = std::thread(&StreamingServer::gather_loop, this);
+  suffix_ = std::thread(&StreamingServer::suffix_loop, this);
+}
+
+StreamingServer::~StreamingServer() { close(); }
+
+std::int64_t StreamingServer::submit(Tensor image) {
+  std::int64_t ticket;
+  Clock::time_point t_submit = Clock::now();
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) throw std::runtime_error("StreamingServer: closed");
+    ticket = next_ticket_++;
+    pending_.emplace(ticket, Pending{});
+  }
+  if (!input_.send(SubmitItem{ticket, std::move(image), t_submit})) {
+    std::lock_guard lock(mu_);
+    pending_.erase(ticket);
+    throw std::runtime_error("StreamingServer: closed");
+  }
+  return ticket;
+}
+
+Tensor StreamingServer::wait(std::int64_t ticket, InferStats* stats,
+                             double* latency_s) {
+  Pending p;
+  {
+    std::unique_lock lock(mu_);
+    const auto it = pending_.find(ticket);
+    if (it == pending_.end()) {
+      throw std::invalid_argument(
+          "StreamingServer::wait: unknown or already redeemed ticket");
+    }
+    ready_cv_.wait(lock, [&] { return it->second.ready; });
+    p = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (p.error) std::rethrow_exception(p.error);
+  if (stats) *stats = p.stats;
+  if (latency_s) *latency_s = p.latency_s;
+  return std::move(p.output);
+}
+
+int StreamingServer::active() const {
+  std::lock_guard lock(mu_);
+  return active_;
+}
+
+void StreamingServer::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  // Order matters: the dispatcher drains every already-queued submit (a
+  // closed Channel still hands out its backlog), so by the time it joins,
+  // every ticket has an image in flight; the gather thread then pumps the
+  // registry dry before honoring stop; closing the finish queue lets the
+  // suffix thread drain its backlog and exit. Every ticket ends delivered.
+  input_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  stop_gather_.store(true);
+  central_.wake();  // interrupt an idle wait_for_inflight promptly
+  if (gather_.joinable()) gather_.join();
+  finish_.close();
+  if (suffix_.joinable()) suffix_.join();
+}
+
+void StreamingServer::dispatch_loop() {
+  for (;;) {
+    auto item = input_.receive();
+    if (!item) break;  // closed and drained
+    {
+      // Admission: hold a permit per active image. Permits release at
+      // output delivery, so depth 1 reproduces sequential scheduling.
+      std::unique_lock lock(mu_);
+      permit_cv_.wait(lock, [&] { return active_ < cfg_.max_in_flight; });
+      ++active_;
+      if (!dispatched_any_) {
+        dispatched_any_ = true;
+        t_first_dispatch_ = Clock::now();
+      }
+      if constexpr (obs::kEnabled) {
+        if (obs_.in_flight) obs_.in_flight->set(static_cast<double>(active_));
+      }
+    }
+    try {
+      const std::int64_t image_id = central_.begin_image(item->image);
+      {
+        std::lock_guard lock(mu_);
+        ticket_of_.emplace(image_id,
+                           std::make_pair(item->ticket, item->t_submit));
+      }
+      ready_cv_.notify_all();  // the suffix thread may be waiting on the map
+    } catch (...) {
+      // begin_image failed (e.g. infeasible allocation): nothing entered
+      // the cluster, so deliver the error straight to the ticket.
+      Pending p;
+      p.error = std::current_exception();
+      p.latency_s =
+          std::chrono::duration<double>(Clock::now() - item->t_submit).count();
+      deliver(item->ticket, std::move(p));
+    }
+  }
+}
+
+void StreamingServer::gather_loop() {
+  for (;;) {
+    if (central_.in_flight() == 0) {
+      if (stop_gather_.load()) break;
+      central_.wait_for_inflight(Clock::now() +
+                                 std::chrono::milliseconds(50));
+      continue;
+    }
+    auto done =
+        central_.pump_gather(Clock::now() + std::chrono::milliseconds(100));
+    for (auto& job : done) finish_.send(std::move(job));
+  }
+}
+
+void StreamingServer::suffix_loop() {
+  for (;;) {
+    auto item = finish_.receive();
+    if (!item) break;  // closed and drained
+    std::unique_ptr<CentralNode::ImageJob> job = std::move(*item);
+    const std::int64_t image_id = job->image_id;
+    std::int64_t ticket = -1;
+    Clock::time_point t_submit;
+    {
+      // The dispatcher records image_id -> ticket right after begin_image
+      // returns; a fast gather can deliver the job here first, so wait for
+      // the mapping (bounded, in case of a leaked job during teardown).
+      std::unique_lock lock(mu_);
+      bool mapped = ready_cv_.wait_for(
+          lock, std::chrono::seconds(5),
+          [&] { return ticket_of_.count(image_id) > 0; });
+      if (!mapped) continue;  // orphan job: drop rather than deadlock
+      const auto it = ticket_of_.find(image_id);
+      ticket = it->second.first;
+      t_submit = it->second.second;
+      ticket_of_.erase(it);
+    }
+    Pending p;
+    try {
+      p.output = central_.finish_image(std::move(job), &p.stats);
+    } catch (...) {
+      p.error = std::current_exception();
+    }
+    p.latency_s =
+        std::chrono::duration<double>(Clock::now() - t_submit).count();
+    deliver(ticket, std::move(p));
+  }
+}
+
+void StreamingServer::deliver(std::int64_t ticket, Pending pending) {
+  pending.ready = true;
+  {
+    std::lock_guard lock(mu_);
+    if (!pending.error) {
+      // stage.overlap_s: cumulative per-image stage seconds beyond the
+      // server's busy wall time — the pipelining win. ~0 at depth 1.
+      stage_seconds_total_ += pending.stats.stages.sum();
+      if constexpr (obs::kEnabled) {
+        if (obs_.overlap_s && dispatched_any_) {
+          const double wall = std::chrono::duration<double>(
+                                  Clock::now() - t_first_dispatch_)
+                                  .count();
+          obs_.overlap_s->set(std::max(0.0, stage_seconds_total_ - wall));
+        }
+      }
+    }
+    --active_;
+    if constexpr (obs::kEnabled) {
+      if (obs_.in_flight) obs_.in_flight->set(static_cast<double>(active_));
+      if (obs_.images) obs_.images->add(1);
+      if (obs_.latency_s) obs_.latency_s->observe(pending.latency_s);
+    }
+    const auto it = pending_.find(ticket);
+    if (it != pending_.end()) it->second = std::move(pending);
+  }
+  ready_cv_.notify_all();
+  permit_cv_.notify_one();
+}
+
+}  // namespace adcnn::runtime

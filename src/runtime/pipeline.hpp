@@ -1,0 +1,145 @@
+// Streaming pipelined serving on top of CentralNode's per-image stage API.
+//
+// A StreamingServer keeps up to `max_in_flight` images simultaneously
+// active and overlaps the stages across them: image i's central suffix
+// runs on a dedicated suffix thread while image i+1's tiles are being
+// gathered and image i+2's tiles are being scattered. Three server threads
+// drive the stages, honoring CentralNode's thread contract (one dispatcher,
+// one pump):
+//
+//   submit(image) ─▶ [input queue] ─▶ dispatcher ── begin_image ──▶ cluster
+//                  (bounded = backpressure)  │ (partition/allocate/scatter)
+//                                            ▼
+//   cluster results ─▶ gather thread ── pump_gather ──▶ [finish queue]
+//                      (demux by image_id, retries, deadlines)  │
+//                                                               ▼
+//   wait(ticket) ◀── [ready table] ◀── suffix thread ── finish_image
+//                                      (zero-fill, merge, suffix GEMMs)
+//
+// Admission: the dispatcher holds a permit per active image and releases
+// it only when the image's output has been delivered, so max_in_flight = 1
+// reproduces the sequential infer() schedule exactly (same Algorithm 2
+// update ordering, same retry/quarantine behavior). The input queue can be
+// bounded independently (`queue_capacity`), in which case submit() blocks —
+// backpressure on the producer rather than unbounded buffering.
+//
+// Outputs are bit-identical to sequential infer() on a fault-free cluster:
+// tile placement only decides *where* a tile is computed, and the GEMM
+// engine is bit-deterministic across thread counts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "runtime/central_node.hpp"
+#include "runtime/channel.hpp"
+
+namespace adcnn::runtime {
+
+struct StreamingConfig {
+  /// Maximum images simultaneously active (admitted but output not yet
+  /// delivered). 1 reproduces the sequential schedule.
+  int max_in_flight = 2;
+  /// Input queue bound; submit() blocks while full. 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// Null sinks by default. Emits pipeline.in_flight, pipeline.queue_depth,
+  /// pipeline.images, pipeline.latency_s and stage.overlap_s.
+  obs::Telemetry telemetry;
+};
+
+/// Drives one CentralNode from three internal threads. The node must not
+/// be used via infer() while a server is attached to it. submit()/wait()
+/// may be called from any threads (they are externally synchronized only
+/// per-ticket: one wait() per ticket).
+class StreamingServer {
+ public:
+  StreamingServer(CentralNode& central, StreamingConfig cfg);
+  ~StreamingServer();
+
+  StreamingServer(const StreamingServer&) = delete;
+  StreamingServer& operator=(const StreamingServer&) = delete;
+
+  /// Enqueue one image; returns the ticket redeemed by wait(). Blocks while
+  /// a bounded input queue is full; throws if the server is closed.
+  std::int64_t submit(Tensor image);
+
+  /// Block until `ticket`'s output is ready and return it. Fills `stats`
+  /// like infer() does and `latency_s` with the submit-to-ready wall time.
+  /// Rethrows any exception the image's processing raised. Each ticket can
+  /// be waited on exactly once.
+  Tensor wait(std::int64_t ticket, InferStats* stats = nullptr,
+              double* latency_s = nullptr);
+
+  /// Stop accepting work, drain every in-flight image and join the server
+  /// threads. Outputs already produced stay redeemable via wait().
+  /// Idempotent; the destructor calls it.
+  void close();
+
+  /// Images admitted whose output has not yet been delivered.
+  int active() const;
+
+ private:
+  struct SubmitItem {
+    std::int64_t ticket;
+    Tensor image;
+    std::chrono::steady_clock::time_point t_submit;
+  };
+  struct Pending {
+    bool ready = false;
+    Tensor output;
+    InferStats stats;
+    double latency_s = 0.0;
+    std::exception_ptr error;
+  };
+
+  void dispatch_loop();
+  void gather_loop();
+  void suffix_loop();
+  void deliver(std::int64_t ticket, Pending pending);
+
+  CentralNode& central_;
+  StreamingConfig cfg_;
+  Channel<SubmitItem> input_;
+  Channel<std::unique_ptr<CentralNode::ImageJob>> finish_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;   // wait() sleeps here
+  std::condition_variable permit_cv_;  // dispatcher waits for a free permit
+  std::int64_t next_ticket_ = 0;
+  int active_ = 0;
+  bool closed_ = false;
+  std::map<std::int64_t, Pending> pending_;
+  /// image_id -> (ticket, submit time), written by the dispatcher before
+  /// results can reach the finish queue, erased by the suffix thread.
+  std::map<std::int64_t,
+           std::pair<std::int64_t, std::chrono::steady_clock::time_point>>
+      ticket_of_;
+  std::chrono::steady_clock::time_point t_first_dispatch_;
+  bool dispatched_any_ = false;
+  double stage_seconds_total_ = 0.0;  // Σ per-image stage sums (overlap calc)
+
+  std::atomic<bool> stop_gather_{false};
+  std::thread dispatcher_;
+  std::thread gather_;
+  std::thread suffix_;
+
+  struct PipelineMetrics {
+    obs::Gauge* in_flight = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* images = nullptr;
+    obs::Histogram* latency_s = nullptr;
+    obs::Gauge* overlap_s = nullptr;
+  } obs_;
+};
+
+}  // namespace adcnn::runtime

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "compress/pipeline.hpp"
 #include "compress/quantizer.hpp"
 #include "compress/rle.hpp"
+#include "nn/activations.hpp"
 #include "nn/quantize.hpp"
 
 namespace adcnn::compress {
@@ -213,6 +216,54 @@ TEST(TileCodec, NonFourBitFallsBackToVarint) {
   const Tensor y = codec.decode(wire, x.shape());
   EXPECT_LE(Tensor::max_abs_diff(x, y),
             codec.quantizer().step() / 2 + 1e-6f);
+}
+
+TEST(ClippedReluQuantizer, ClipBoundsMapToExtremeCodes) {
+  // §4 contract: the quantizer grid spans exactly the clipped-ReLU output
+  // range [0, b - a]. Inputs sitting exactly on the clip bounds must land
+  // on the extreme codes — a at code 0, b at the top code — and survive
+  // the RLE wire round trip bit-exactly.
+  const float a = 0.5f, b = 3.5f;
+  nn::ClippedReLU relu(a, b);
+  Quantizer q(relu.range(), 4);
+
+  Tensor x(Shape{1, 1, 2, 4});
+  x[0] = a;                      // exactly the lower bound
+  x[1] = b;                      // exactly the upper bound
+  x[2] = a - 1.0f;               // below the band
+  x[3] = b + 1.0f;               // above the band
+  x[4] = std::nextafter(a, b);   // just inside the band
+  x[5] = std::nextafter(b, a);
+  x[6] = (a + b) / 2.0f;
+  x[7] = 0.0f;
+  const Tensor y = relu.forward(x, nn::Mode::kEval);
+  EXPECT_EQ(y[0], 0.0f);           // x == a -> bottom of the range
+  EXPECT_EQ(y[1], relu.range());   // x == b -> top of the range
+  EXPECT_EQ(y[3], relu.range());   // clipped to the top
+
+  const auto levels = q.quantize_all(y.span());
+  EXPECT_EQ(levels[0], 0);   // code 0 is reserved for zero
+  EXPECT_EQ(levels[1], 15);  // top code
+  EXPECT_EQ(levels[2], 0);
+  EXPECT_EQ(levels[3], 15);
+  EXPECT_GE(levels[4], 0);   // inside the band: any valid code
+  EXPECT_LE(levels[5], 15);
+
+  // RLE wire round trip of the extreme codes is bit-exact.
+  const auto decoded = rle4_decode(rle4_encode(levels), levels.size());
+  EXPECT_EQ(decoded, levels);
+
+  // The full TileCodec path is idempotent at the bounds: decode(encode(y))
+  // lands on grid values that re-encode to the identical byte stream.
+  TileCodec codec(relu.range(), 4);
+  const auto wire = codec.encode(y);
+  const Tensor once = codec.decode(wire, y.shape());
+  EXPECT_EQ(once[0], q.dequantize(0));
+  EXPECT_EQ(once[1], q.dequantize(15));
+  const auto wire2 = codec.encode(once);
+  EXPECT_EQ(wire2, wire);
+  const Tensor twice = codec.decode(wire2, y.shape());
+  EXPECT_EQ(Tensor::max_abs_diff(once, twice), 0.0f);
 }
 
 TEST(RawCodec, RoundTrip) {

@@ -1,0 +1,270 @@
+// StreamingServer tests: pipelined serving must produce bit-identical
+// outputs and identical Algorithm 2 / retry / quarantine behavior at
+// depth 1, and keep per-image results isolated at depth > 1.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/tiling.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace adcnn::runtime {
+namespace {
+
+core::PartitionedModel make_partitioned(std::int64_t r = 2,
+                                        std::int64_t c = 2) {
+  Rng rng(31);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{r, c};
+  opt.clipped_relu = true;
+  opt.clip_lower = 0.0f;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  return core::apply_fdsp(nn::make_mini("vgg", rng, nn::MiniOptions{}), opt);
+}
+
+std::vector<Tensor> make_images(int n, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<Tensor> images;
+  for (int i = 0; i < n; ++i) {
+    images.push_back(Tensor::randn(Shape{1, 3, 32, 32}, rng));
+  }
+  return images;
+}
+
+TEST(Pipeline, DepthOneMatchesSequentialExactly) {
+  // max_in_flight = 1 must reproduce the sequential schedule: bit-identical
+  // outputs AND identical Algorithm 2 updates (same allocation history).
+  const auto images = make_images(6);
+
+  core::PartitionedModel pm_seq = make_partitioned();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  EdgeCluster seq_cluster(pm_seq, cfg);
+  std::vector<Tensor> seq_out;
+  std::vector<InferStats> seq_stats(images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    seq_out.push_back(seq_cluster.infer(images[i], &seq_stats[i]));
+  }
+
+  core::PartitionedModel pm_stream = make_partitioned();
+  EdgeCluster stream_cluster(pm_stream, cfg);
+  StreamingConfig scfg;
+  scfg.max_in_flight = 1;
+  StreamingServer server(stream_cluster.central(), scfg);
+  std::vector<std::int64_t> tickets;
+  for (const auto& image : images) tickets.push_back(server.submit(image));
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    InferStats stats;
+    const Tensor y = server.wait(tickets[i], &stats);
+    EXPECT_EQ(Tensor::max_abs_diff(y, seq_out[i]), 0.0f) << "image " << i;
+    EXPECT_EQ(stats.image_id, seq_stats[i].image_id);
+    EXPECT_EQ(stats.assigned, seq_stats[i].assigned);
+    EXPECT_EQ(stats.returned, seq_stats[i].returned);
+    EXPECT_EQ(stats.missed, seq_stats[i].missed);
+    EXPECT_EQ(stats.tiles_missing, 0);
+    // Algorithm 2's EMA state must evolve identically (exact doubles).
+    EXPECT_EQ(stats.speeds, seq_stats[i].speeds) << "image " << i;
+  }
+  server.close();
+  EXPECT_EQ(stream_cluster.central().collector().speeds(),
+            seq_cluster.central().collector().speeds());
+}
+
+TEST(Pipeline, DepthFourBitExactOutputs) {
+  // Interleaved completions must never mix tiles across images: outputs at
+  // depth 4 stay bit-identical to the sequential run (tile placement only
+  // decides where a tile is computed; the GEMM engine is deterministic).
+  const auto images = make_images(8, 11);
+
+  core::PartitionedModel pm_seq = make_partitioned();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  EdgeCluster seq_cluster(pm_seq, cfg);
+  std::vector<Tensor> seq_out;
+  for (const auto& image : images) seq_out.push_back(seq_cluster.infer(image));
+
+  core::PartitionedModel pm_stream = make_partitioned();
+  EdgeCluster stream_cluster(pm_stream, cfg);
+  StreamingConfig scfg;
+  scfg.max_in_flight = 4;
+  StreamingServer server(stream_cluster.central(), scfg);
+  std::vector<std::int64_t> tickets;
+  for (const auto& image : images) tickets.push_back(server.submit(image));
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    InferStats stats;
+    const Tensor y = server.wait(tickets[i], &stats);
+    EXPECT_EQ(Tensor::max_abs_diff(y, seq_out[i]), 0.0f) << "image " << i;
+    EXPECT_EQ(stats.tiles_missing, 0) << "image " << i;
+  }
+}
+
+TEST(Pipeline, StaleResultsNeverCrossImages) {
+  // Regression for the per-image-id demux (replacing the pre-scatter
+  // drain): every uplink result is delayed past T_L, so each image's
+  // results land while a LATER image is gathering. They must be dropped as
+  // stale — never pasted into the wrong image — leaving every output the
+  // pure zero-fill suffix.
+  core::PartitionedModel pm = make_partitioned();
+  const auto images = make_images(3, 13);
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.deadline_s = 0.05;
+  cfg.retry.enabled = false;
+  cfg.fault_plan.uplink.resize(1);
+  cfg.fault_plan.uplink[0].delay_prob = 1.0;
+  cfg.fault_plan.uplink[0].delay_s = 0.07;
+  EdgeCluster cluster(pm, cfg);
+
+  // Expected output when every tile misses: the suffix applied to the
+  // zero-filled merged prefix output.
+  const Shape tile_shape = pm.tile_output_shape();
+  const Tensor zero_merged = Tensor::zeros(
+      Shape{1, tile_shape[1], tile_shape[2] * pm.grid.rows,
+            tile_shape[3] * pm.grid.cols});
+  const Tensor zero_expect = pm.model.forward_range(
+      zero_merged, pm.suffix_begin(), pm.suffix_end());
+
+  StreamingConfig scfg;
+  scfg.max_in_flight = 2;
+  StreamingServer server(cluster.central(), scfg);
+  std::vector<std::int64_t> tickets;
+  for (const auto& image : images) tickets.push_back(server.submit(image));
+  std::int64_t stale = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    InferStats stats;
+    const Tensor y = server.wait(tickets[i], &stats);
+    EXPECT_EQ(stats.tiles_missing, stats.tiles_total) << "image " << i;
+    EXPECT_EQ(Tensor::max_abs_diff(y, zero_expect), 0.0f) << "image " << i;
+    stale += stats.stale_results;
+  }
+  server.close();
+  EXPECT_GT(stale, 0);
+  EXPECT_GT(cluster.faults()->delayed(), 0);
+}
+
+TEST(Pipeline, RetryAndQuarantineMatchSequentialAtDepthOne) {
+  // PR 2's self-healing machinery (retry re-dispatch, quarantine circuit
+  // breaker) must behave identically when driven through the streaming
+  // stage API at depth 1.
+  const auto images = make_images(6, 17);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.deadline_s = 0.25;
+  cfg.probe_interval = 0;  // crashed-forever node: keep allocation simple
+  cfg.quarantine_after = 2;
+  cfg.fault_plan.nodes.resize(1);
+  cfg.fault_plan.nodes[0].crash_at_image = 1;  // node 0 dies at image 1
+
+  core::PartitionedModel pm_seq = make_partitioned();
+  EdgeCluster seq_cluster(pm_seq, cfg);
+  std::vector<Tensor> seq_out;
+  std::vector<InferStats> seq_stats(images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    seq_out.push_back(seq_cluster.infer(images[i], &seq_stats[i]));
+  }
+
+  core::PartitionedModel pm_stream = make_partitioned();
+  EdgeCluster stream_cluster(pm_stream, cfg);
+  StreamingConfig scfg;
+  scfg.max_in_flight = 1;
+  StreamingServer server(stream_cluster.central(), scfg);
+  std::vector<std::int64_t> tickets;
+  for (const auto& image : images) tickets.push_back(server.submit(image));
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    InferStats stats;
+    const Tensor y = server.wait(tickets[i], &stats);
+    EXPECT_EQ(Tensor::max_abs_diff(y, seq_out[i]), 0.0f) << "image " << i;
+    EXPECT_EQ(stats.assigned, seq_stats[i].assigned) << "image " << i;
+    EXPECT_EQ(stats.returned, seq_stats[i].returned) << "image " << i;
+    EXPECT_EQ(stats.missed, seq_stats[i].missed) << "image " << i;
+    EXPECT_EQ(stats.quarantined, seq_stats[i].quarantined) << "image " << i;
+    EXPECT_EQ(stats.tiles_retried, seq_stats[i].tiles_retried)
+        << "image " << i;
+    EXPECT_EQ(stats.tiles_recovered, seq_stats[i].tiles_recovered)
+        << "image " << i;
+    EXPECT_EQ(stats.speeds, seq_stats[i].speeds) << "image " << i;
+  }
+}
+
+TEST(Pipeline, CloseDrainsEverySubmittedTicket) {
+  // close() is a graceful drain: tickets submitted before close must all
+  // stay redeemable with correct outputs.
+  core::PartitionedModel pm = make_partitioned();
+  const auto images = make_images(5, 19);
+
+  core::PartitionedModel pm_seq = make_partitioned();
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  EdgeCluster seq_cluster(pm_seq, cfg);
+  std::vector<Tensor> seq_out;
+  for (const auto& image : images) seq_out.push_back(seq_cluster.infer(image));
+
+  EdgeCluster cluster(pm, cfg);
+  StreamingConfig scfg;
+  scfg.max_in_flight = 2;
+  StreamingServer server(cluster.central(), scfg);
+  std::vector<std::int64_t> tickets;
+  for (const auto& image : images) tickets.push_back(server.submit(image));
+  server.close();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(Tensor::max_abs_diff(server.wait(tickets[i]), seq_out[i]),
+              0.0f)
+        << "image " << i;
+  }
+  EXPECT_THROW(server.submit(images[0]), std::runtime_error);
+  EXPECT_THROW(server.wait(tickets[0]), std::invalid_argument);  // redeemed
+}
+
+TEST(Pipeline, BeginImageErrorsPropagateThroughWait) {
+  // An infeasible allocation (capacity < tiles) throws inside the
+  // dispatcher; the exception must surface on the submitting ticket.
+  core::PartitionedModel pm = make_partitioned();
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.capacity_tiles = 1;  // 2x2 grid needs 4
+  EdgeCluster cluster(pm, cfg);
+  StreamingConfig scfg;
+  scfg.max_in_flight = 2;
+  StreamingServer server(cluster.central(), scfg);
+  const auto ticket = server.submit(make_images(1)[0]);
+  EXPECT_THROW(server.wait(ticket), std::runtime_error);
+  EXPECT_EQ(server.active(), 0);
+}
+
+TEST(Pipeline, BoundedInputQueueStillDeliversEverything) {
+  // A tiny input queue exercises submit()-side backpressure end to end.
+  core::PartitionedModel pm = make_partitioned();
+  const auto images = make_images(6, 23);
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  EdgeCluster cluster(pm, cfg);
+  StreamingConfig scfg;
+  scfg.max_in_flight = 2;
+  scfg.queue_capacity = 1;
+  StreamingServer server(cluster.central(), scfg);
+  std::vector<std::int64_t> tickets;
+  for (const auto& image : images) tickets.push_back(server.submit(image));
+  for (const auto ticket : tickets) {
+    const Tensor y = server.wait(ticket);
+    EXPECT_EQ(y.numel() > 0, true);
+  }
+}
+
+TEST(Pipeline, RejectsInvalidDepth) {
+  core::PartitionedModel pm = make_partitioned();
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  EdgeCluster cluster(pm, cfg);
+  StreamingConfig scfg;
+  scfg.max_in_flight = 0;
+  EXPECT_THROW(StreamingServer(cluster.central(), scfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adcnn::runtime

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <thread>
 
 #include "compress/rle.hpp"
@@ -193,6 +194,115 @@ TEST(Message, GarbageBufferNeverCrashesDecoder) {
     } catch (const std::invalid_argument&) {
     }
   }
+}
+
+TEST(Message, ImageIdDemuxFieldRoundTrips) {
+  // Streaming gather routes results purely by image_id, so the field must
+  // survive the wire across its whole range (it is the demux key).
+  for (const std::int64_t id :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{127},
+        std::int64_t{128}, std::int64_t{1} << 32,
+        std::numeric_limits<std::int64_t>::max() >> 1}) {
+    TileTask task;
+    task.image_id = id;
+    task.tile_id = 5;
+    task.attempt = 2;
+    task.shape = Shape{1, 1, 1, 1};
+    task.payload.assign(4, 0xAB);
+    const TileTask tback = deserialize_task(serialize(task));
+    EXPECT_EQ(tback.image_id, id);
+    EXPECT_EQ(tback.attempt, 2);
+
+    TileResult result;
+    result.image_id = id;
+    result.tile_id = 6;
+    result.node_id = 3;
+    result.attempt = 1;
+    result.shape = Shape{1, 2, 2, 2};
+    result.payload.assign(8, 0xCD);
+    const TileResult rback = deserialize_result(serialize(result));
+    EXPECT_EQ(rback.image_id, id);
+    EXPECT_EQ(rback.attempt, 1);
+    EXPECT_EQ(rback.node_id, 3);
+  }
+}
+
+TEST(Message, TaskEveryTruncationPrefixRejectedOrRoundTrips) {
+  // Mirror of the TileResult sweep for TileTask, covering the image_id and
+  // attempt fields at every cut point.
+  TileTask task;
+  task.image_id = (std::int64_t{1} << 40) + 7;
+  task.tile_id = 11;
+  task.attempt = 4;
+  task.shape = Shape{1, 3, 4, 4};
+  task.payload.assign(48, 0xA5);
+  const auto wire = serialize(task);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const std::vector<std::uint8_t> cut(wire.begin(),
+                                        wire.begin() +
+                                            static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW(deserialize_task(cut), std::invalid_argument) << n;
+  }
+  const TileTask back = deserialize_task(wire);
+  EXPECT_EQ(back.image_id, task.image_id);
+  EXPECT_EQ(back.attempt, 4);
+  EXPECT_EQ(back.payload, task.payload);
+}
+
+// --- Bounded channels: backpressure and load-shedding semantics.
+
+TEST(Channel, BoundedTryPushShedsAndCounts) {
+  Channel<int> ch(2);
+  EXPECT_EQ(ch.capacity(), 2u);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));  // full: shed
+  EXPECT_EQ(ch.dropped(), 1);
+  EXPECT_EQ(ch.receive().value(), 1);
+  EXPECT_TRUE(ch.try_push(4));  // space again
+  EXPECT_EQ(ch.receive().value(), 2);
+  EXPECT_EQ(ch.receive().value(), 4);
+  EXPECT_EQ(ch.dropped(), 1);
+}
+
+TEST(Channel, BoundedSendBlocksUntilSpace) {
+  Channel<int> ch(1);
+  ch.send(1);
+  std::atomic<bool> second_sent{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(ch.send(2));  // blocks until the consumer drains one
+    second_sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_sent.load());  // still waiting for space
+  EXPECT_EQ(ch.receive().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_sent.load());
+  EXPECT_EQ(ch.receive().value(), 2);
+  EXPECT_EQ(ch.blocked(), 1);
+  EXPECT_EQ(ch.dropped(), 0);
+}
+
+TEST(Channel, BoundedSendUnblocksOnClose) {
+  Channel<int> ch(1);
+  ch.send(1);
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] {
+    rejected = !ch.send(2);  // blocked on a full channel...
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();  // ...until close rejects it
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(Channel, DefaultCapacityUnbounded) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.capacity(), 0u);
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(ch.try_push(i));
+  EXPECT_EQ(ch.size(), 10000u);
+  EXPECT_EQ(ch.dropped(), 0);
+  EXPECT_EQ(ch.blocked(), 0);
 }
 
 TEST(Message, WireBytesTracksPayload) {
