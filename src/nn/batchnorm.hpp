@@ -30,6 +30,8 @@ class BatchNorm2d final : public Layer {
   Param& beta() { return beta_; }
   Tensor& running_mean() { return running_mean_; }
   Tensor& running_var() { return running_var_; }
+  std::int64_t channels() const { return channels_; }
+  double eps() const { return eps_; }
 
  private:
   std::int64_t channels_;

@@ -1,33 +1,75 @@
 #include "nn/conv.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/thread_pool.hpp"
-#include "nn/gemm.hpp"
 
 namespace adcnn::nn {
 
 namespace {
 
+std::atomic<std::int64_t> g_scratch_bytes{0};
+std::atomic<std::uint64_t> g_shrink_epoch{0};
+
 /// Reusable im2col/col2im scratch. Thread-local (not a layer member)
 /// because eval-mode forward runs concurrently on every ConvNodeWorker
 /// thread; each thread amortizes one allocation across all layers/calls.
-std::vector<float>& col_scratch(std::size_t need) {
-  thread_local std::vector<float> buf;
-  if (buf.size() < need) buf.resize(need);
-  return buf;
+/// Capacity is globally accounted (scratch_bytes) and trimmed back to the
+/// current need the first time a thread touches it after shrink_scratch()
+/// bumps the epoch — a shrink request cannot free other threads' buffers
+/// directly, so it is applied lazily where the buffer lives.
+class ScratchBuffer {
+ public:
+  ~ScratchBuffer() {
+    g_scratch_bytes.fetch_add(-accounted_, std::memory_order_relaxed);
+  }
+
+  float* acquire(std::size_t need) {
+    const std::uint64_t epoch =
+        g_shrink_epoch.load(std::memory_order_relaxed);
+    if (epoch != epoch_) {
+      epoch_ = epoch;
+      if (buf_.capacity() > need) std::vector<float>().swap(buf_);
+    }
+    if (buf_.size() < need) {
+      buf_.resize(need);
+      const std::int64_t now =
+          static_cast<std::int64_t>(buf_.capacity() * sizeof(float));
+      g_scratch_bytes.fetch_add(now - accounted_, std::memory_order_relaxed);
+      accounted_ = now;
+    }
+    return buf_.data();
+  }
+
+ private:
+  std::vector<float> buf_;
+  std::int64_t accounted_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+float* col_scratch(std::size_t need) {
+  thread_local ScratchBuffer buf;
+  return buf.acquire(need);
 }
 
 /// Second scratch for backward, which needs col and dcol live at once.
-std::vector<float>& dcol_scratch(std::size_t need) {
-  thread_local std::vector<float> buf;
-  if (buf.size() < need) buf.resize(need);
-  return buf;
+float* dcol_scratch(std::size_t need) {
+  thread_local ScratchBuffer buf;
+  return buf.acquire(need);
 }
 
 }  // namespace
+
+void shrink_scratch() {
+  g_shrink_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t scratch_bytes() {
+  return g_scratch_bytes.load(std::memory_order_relaxed);
+}
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
@@ -124,11 +166,80 @@ void Conv2d::col2im(const float* col, Tensor& dx, std::int64_t n,
   }
 }
 
+void Conv2d::ensure_bias() {
+  if (has_bias_) return;
+  bias_ = Param(Tensor::zeros(Shape{cout_}), name_ + ".bias");
+  has_bias_ = true;
+}
+
+void Conv2d::fuse_relu() { fused_act_ = Epilogue::Act::kReLU; }
+
+void Conv2d::fuse_clipped_relu(float lower, float upper) {
+  if (!(upper > lower)) {
+    throw std::invalid_argument(name_ +
+                                ": fused clip needs upper > lower");
+  }
+  fused_act_ = Epilogue::Act::kClip;
+  clip_lo_ = lower;
+  clip_hi_ = upper;
+}
+
+void Conv2d::prepack() { packed_weight(); }
+
+const PackedMatrix& Conv2d::packed_weight() {
+  return packed_.get(weight_.version, [this] {
+    return pack_lhs(weight_.value.data(), cout_, cin_ * kh_ * kw_);
+  });
+}
+
 Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   const Shape os = out_shape(x.shape());
   const std::int64_t N = x.n(), hout = os[2], wout = os[3];
   const std::int64_t k = cin_ * kh_ * kw_;
+  const std::int64_t hw = hout * wout;
   Tensor y(os);
+
+  if (mode == Mode::kTrain) {
+    if (has_fused_activation()) {
+      throw std::logic_error(
+          name_ + ": fused-activation conv is eval-only "
+                  "(built by optimize_for_inference)");
+    }
+    // Training keeps the per-call packing path: the gradient checker
+    // perturbs weight elements in place between forwards, which a
+    // version-keyed cache would not observe.
+    core::ThreadPool::global().parallel_for(
+        0, N, 1, [&](std::int64_t n0, std::int64_t n1) {
+          float* col = col_scratch(static_cast<std::size_t>(k * hw));
+          for (std::int64_t n = n0; n < n1; ++n) {
+            im2col(x, n, col, hout, wout);
+            gemm(weight_.value.data(), col, &y.at(n, 0, 0, 0), cout_, k, hw);
+            if (has_bias_) {
+              for (std::int64_t c = 0; c < cout_; ++c) {
+                const float b = bias_.value[c];
+                float* row = &y.at(n, c, 0, 0);
+                for (std::int64_t i = 0; i < hw; ++i) row[i] += b;
+              }
+            }
+          }
+        });
+    cached_input_ = x;
+    return y;
+  }
+
+  // Eval: reuse the shared packed weights; bias and any fused activation
+  // ride in the GEMM epilogue, so y is written exactly once. A pointwise
+  // conv's col matrix is the input plane itself (NCHW rows are already
+  // (cin) x (h*w) row-major), so 1x1/stride-1/no-pad skips im2col.
+  const PackedMatrix& wp = packed_weight();
+  Epilogue epi;
+  epi.row_bias = has_bias_ ? bias_.value.data() : nullptr;
+  epi.act = fused_act_;
+  epi.clip_lo = clip_lo_;
+  epi.clip_hi = clip_hi_;
+  const Epilogue* e = epi.trivial() ? nullptr : &epi;
+  const bool direct = kh_ == 1 && kw_ == 1 && sh_ == 1 && sw_ == 1 &&
+                      ph_ == 0 && pw_ == 0;
   // Batch samples are independent row blocks of y: split them across the
   // pool. Inside a multi-sample chunk the per-sample GEMM runs serially
   // (nested parallelism is serialized by the pool); for the runtime's
@@ -136,23 +247,21 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
   // instead.
   core::ThreadPool::global().parallel_for(
       0, N, 1, [&](std::int64_t n0, std::int64_t n1) {
-        std::vector<float>& col =
-            col_scratch(static_cast<std::size_t>(k * hout * wout));
+        float* col =
+            direct ? nullptr : col_scratch(static_cast<std::size_t>(k * hw));
         for (std::int64_t n = n0; n < n1; ++n) {
-          im2col(x, n, col.data(), hout, wout);
-          // y[n] (cout x hout*wout) = W (cout x k) * col (k x hout*wout)
-          gemm(weight_.value.data(), col.data(), &y.at(n, 0, 0, 0), cout_, k,
-               hout * wout);
-          if (has_bias_) {
-            for (std::int64_t c = 0; c < cout_; ++c) {
-              const float b = bias_.value[c];
-              float* row = &y.at(n, c, 0, 0);
-              for (std::int64_t i = 0; i < hout * wout; ++i) row[i] += b;
-            }
+          const float* bmat;
+          if (direct) {
+            bmat = &x.at(n, 0, 0, 0);
+          } else {
+            im2col(x, n, col, hout, wout);
+            bmat = col;
           }
+          // y[n] (cout x hw) = W (cout x k) * bmat (k x hw)
+          gemm_prepacked(weight_.value.data(), wp, bmat, &y.at(n, 0, 0, 0),
+                         cout_, k, hw, e, &core::ThreadPool::global());
         }
       });
-  if (mode == Mode::kTrain) cached_input_ = x;
   return y;
 }
 
@@ -161,23 +270,22 @@ Tensor Conv2d::backward(const Tensor& dy) {
   assert(!x.empty() && "backward without kTrain forward");
   const std::int64_t N = x.n(), hout = dy.h(), wout = dy.w();
   const std::int64_t k = cin_ * kh_ * kw_;
+  const std::size_t col_elems = static_cast<std::size_t>(k * hout * wout);
   Tensor dx = Tensor::zeros(x.shape());
   // Serial over the batch: every sample accumulates into the same
   // weight/bias gradients. The GEMMs below are pool-threaded internally.
-  std::vector<float>& col =
-      col_scratch(static_cast<std::size_t>(k * hout * wout));
-  std::vector<float>& dcol =
-      dcol_scratch(static_cast<std::size_t>(k * hout * wout));
+  float* col = col_scratch(col_elems);
+  float* dcol = dcol_scratch(col_elems);
   for (std::int64_t n = 0; n < N; ++n) {
-    im2col(x, n, col.data(), hout, wout);
+    im2col(x, n, col, hout, wout);
     // dW (cout x k) += dy[n] (cout x hw) * col^T (hw x k)
-    gemm_a_bt(&dy.at(n, 0, 0, 0), col.data(), weight_.grad.data(), cout_,
+    gemm_a_bt(&dy.at(n, 0, 0, 0), col, weight_.grad.data(), cout_,
               hout * wout, k);
     // dcol (k x hw) = W^T (k x cout) * dy[n] (cout x hw)
-    std::fill(dcol.begin(), dcol.end(), 0.0f);
-    gemm_at_b(weight_.value.data(), &dy.at(n, 0, 0, 0), dcol.data(), k, cout_,
+    std::fill(dcol, dcol + col_elems, 0.0f);
+    gemm_at_b(weight_.value.data(), &dy.at(n, 0, 0, 0), dcol, k, cout_,
               hout * wout);
-    col2im(dcol.data(), dx, n, hout, wout);
+    col2im(dcol, dx, n, hout, wout);
   }
   if (has_bias_) {
     for (std::int64_t n = 0; n < N; ++n)

@@ -3,8 +3,16 @@
 // Zero padding is applied per batch sample — this is the property FDSP
 // exploits: running the layer on a batch of tiles is exactly the paper's
 // "pad the cross-tile edge pixels with zeros".
+//
+// Eval-mode forward runs through the packed-weight cache (weights packed
+// into GEMM panels once, invalidated via Param::version) with bias and any
+// fused activation applied in the GEMM epilogue; 1x1/stride-1/no-pad convs
+// skip im2col entirely and multiply the input planes directly. Training
+// forwards keep the original per-call path so the gradient checker may
+// perturb weights in place.
 #pragma once
 
+#include "nn/gemm.hpp"
 #include "nn/layer.hpp"
 
 namespace adcnn::nn {
@@ -42,6 +50,22 @@ class Conv2d final : public Layer {
   Param& bias() { return bias_; }
   bool has_bias() const { return has_bias_; }
 
+  // --- inference-graph optimizer hooks (nn/optimize.hpp) ---------------
+  /// Create a zero bias if the layer has none; BN folding needs a bias
+  /// tensor to fold the shift into. Changes the parameter layout (state
+  /// snapshots grow), so only optimize_for_inference calls this.
+  void ensure_bias();
+  /// Fuse an activation into the eval GEMM epilogue. The fused layer is
+  /// eval-only: a kTrain forward afterwards throws std::logic_error.
+  void fuse_relu();
+  void fuse_clipped_relu(float lower, float upper);
+  bool has_fused_activation() const {
+    return fused_act_ != Epilogue::Act::kNone;
+  }
+  /// Pack the weights into the cache now instead of lazily on the first
+  /// eval forward (so worker threads start from a warm, shared packing).
+  void prepack();
+
  private:
   /// Gather the input patches of sample `n` into `col` with layout
   /// (cin*kh*kw) x (hout*wout), zero-padding out-of-range pixels.
@@ -50,6 +74,7 @@ class Conv2d final : public Layer {
   /// Scatter-add of a col buffer back into dx for sample `n`.
   void col2im(const float* col, Tensor& dx, std::int64_t n, std::int64_t hout,
               std::int64_t wout) const;
+  const PackedMatrix& packed_weight();
 
   std::int64_t cin_, cout_, kh_, kw_, sh_, sw_, ph_, pw_;
   bool has_bias_;
@@ -57,7 +82,21 @@ class Conv2d final : public Layer {
   Param bias_;    // (cout)
   std::string name_;
 
+  PackedWeightCache packed_;
+  Epilogue::Act fused_act_ = Epilogue::Act::kNone;
+  float clip_lo_ = 0.0f, clip_hi_ = 0.0f;
+
   Tensor cached_input_;  // kTrain only
 };
+
+/// Ask every compute thread to trim its thread-local im2col scratch back
+/// down to the next call's actual need (applied lazily, on each thread's
+/// next conv). The streaming pipeline calls this between images so one
+/// large image can't pin high-water scratch for the rest of the run.
+void shrink_scratch();
+
+/// Total live bytes across all threads' conv scratch buffers — exported
+/// as the nn.scratch_bytes metric.
+std::int64_t scratch_bytes();
 
 }  // namespace adcnn::nn

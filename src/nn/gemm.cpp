@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 #include <vector>
 
 namespace adcnn::nn {
@@ -23,6 +24,9 @@ constexpr std::int64_t NC = 256;
 // nest wins. The cutoff depends only on the shape, never the thread count,
 // so the engine stays deterministic.
 constexpr std::int64_t kSmallFlops = 2 * 24 * 24 * 24;
+
+std::atomic<std::uint64_t> g_pack_hits{0};
+std::atomic<std::uint64_t> g_pack_misses{0};
 
 std::vector<float>& a_pack_buffer() {
   thread_local std::vector<float> buf;
@@ -82,26 +86,86 @@ void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t p0,
   }
 }
 
+/// Applies the epilogue (contract in gemm.hpp) to the C sub-block rows
+/// [i0, i0+mc) x cols [j0, j0+nc) while it is still cache-resident.
+/// Per-row constants are hoisted so every inner loop is a long branch-free
+/// contiguous sweep the compiler maps onto vector ops (an element-wise
+/// form with the branches inside costs ~3 cycles/element — more than the
+/// multiply-accumulate work itself for small-k conv GEMMs). The combined
+/// scale+bias expression matches BatchNorm2d's eval `a*x + b` form, and
+/// the bias/activation expressions match the separate layers' ops exactly,
+/// so those fusions are bit-identical by construction.
+void epilogue_block(const Epilogue& e, float* c, std::int64_t ldc,
+                    std::int64_t i0, std::int64_t mc, std::int64_t j0,
+                    std::int64_t nc) {
+  for (std::int64_t i = 0; i < mc; ++i) {
+    float* row = c + (i0 + i) * ldc + j0;
+    if (e.row_scale != nullptr) {
+      const float a = e.row_scale[i0 + i];
+      if (e.row_bias != nullptr) {
+        const float b = e.row_bias[i0 + i];
+        for (std::int64_t j = 0; j < nc; ++j) row[j] = a * row[j] + b;
+      } else {
+        for (std::int64_t j = 0; j < nc; ++j) row[j] = a * row[j];
+      }
+    } else if (e.row_bias != nullptr) {
+      const float b = e.row_bias[i0 + i];
+      for (std::int64_t j = 0; j < nc; ++j) row[j] += b;
+    }
+    if (e.col_bias != nullptr) {
+      const float* cb = e.col_bias + j0;
+      for (std::int64_t j = 0; j < nc; ++j) row[j] += cb[j];
+    }
+    switch (e.act) {
+      case Epilogue::Act::kNone:
+        break;
+      case Epilogue::Act::kReLU:
+        for (std::int64_t j = 0; j < nc; ++j)
+          row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+        break;
+      case Epilogue::Act::kClip:
+        for (std::int64_t j = 0; j < nc; ++j)
+          row[j] = row[j] < e.clip_lo
+                       ? 0.0f
+                       : (row[j] > e.clip_hi ? e.clip_hi - e.clip_lo
+                                             : row[j] - e.clip_lo);
+        break;
+    }
+  }
+}
+
+/// One full pass applying the epilogue to a finished C (small-matrix path,
+/// where there is no blocked write-back to piggyback on).
+void epilogue_sweep(float* c, std::int64_t m, std::int64_t n,
+                    const Epilogue& e) {
+  epilogue_block(e, c, n, 0, m, 0, n);
+}
+
 /// C(mr,nr) += packed-A panel * packed-B panel over kc. The accumulator
 /// tile is full MR x NR (padded lanes multiply zeros); only the valid
 /// mr x nr corner is written back. On GCC/Clang each accumulator row is an
 /// explicit 8-float vector — the compiler's auto-vectorizer leaves the
 /// scalar acc[8][8] form ~5x slower because it never register-allocates
-/// the tile.
+/// the tile. With `overwrite` the tile stores instead of accumulating
+/// (first kc block of an overwrite-mode GEMM — C needs no zeroing pass).
 #if defined(__GNUC__) || defined(__clang__)
 typedef float V8f __attribute__((vector_size(8 * sizeof(float))));
 
-void micro_kernel(const float* ap, const float* bp, std::int64_t kc, float* c,
-                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+void micro_kernel(const float* ap, const float* bp, std::int64_t bstride,
+                  std::int64_t kc, float* c, std::int64_t ldc, std::int64_t mr,
+                  std::int64_t nr, bool overwrite) {
   static_assert(NR == 8, "accumulator rows are 8-float vectors");
   V8f acc[MR] = {};
   for (std::int64_t p = 0; p < kc; ++p) {
     const float* arow = ap + p * MR;
     V8f bv;
-    __builtin_memcpy(&bv, bp + p * NR, sizeof(bv));  // unaligned load
+    __builtin_memcpy(&bv, bp + p * bstride, sizeof(bv));  // unaligned load
     for (std::int64_t i = 0; i < MR; ++i) acc[i] += arow[i] * bv;
   }
-  if (mr == MR && nr == NR) {
+  if (overwrite) {
+    for (std::int64_t i = 0; i < mr; ++i)
+      for (std::int64_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+  } else if (mr == MR && nr == NR) {
     for (std::int64_t i = 0; i < MR; ++i) {
       float* crow = c + i * ldc;
       for (std::int64_t j = 0; j < NR; ++j) crow[j] += acc[i][j];
@@ -112,19 +176,25 @@ void micro_kernel(const float* ap, const float* bp, std::int64_t kc, float* c,
   }
 }
 #else
-void micro_kernel(const float* ap, const float* bp, std::int64_t kc, float* c,
-                  std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+void micro_kernel(const float* ap, const float* bp, std::int64_t bstride,
+                  std::int64_t kc, float* c, std::int64_t ldc, std::int64_t mr,
+                  std::int64_t nr, bool overwrite) {
   float acc[MR][NR] = {};
   for (std::int64_t p = 0; p < kc; ++p) {
     const float* arow = ap + p * MR;
-    const float* brow = bp + p * NR;
+    const float* brow = bp + p * bstride;
     for (std::int64_t i = 0; i < MR; ++i) {
       const float av = arow[i];
       for (std::int64_t j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
     }
   }
-  for (std::int64_t i = 0; i < mr; ++i)
-    for (std::int64_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  if (overwrite) {
+    for (std::int64_t i = 0; i < mr; ++i)
+      for (std::int64_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+  } else {
+    for (std::int64_t i = 0; i < mr; ++i)
+      for (std::int64_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  }
 }
 #endif
 
@@ -152,47 +222,117 @@ void small_accumulate(const float* a, const float* b, float* c, std::int64_t m,
 /// Blocked, packed engine core: C(m,n) += op(A) * op(B), row panels
 /// parallelized over `pool`. Every C element is produced by exactly one
 /// thread with a fixed kc-block accumulation order, so results do not
-/// depend on the thread count.
+/// depend on the thread count. `a_pre` / `b_pre` substitute pre-packed
+/// panels for the on-the-fly packers (identical layout, so identical
+/// bits); `epi` is applied in the write-back of the final kc block, when
+/// every element is fully reduced.
 void gemm_engine(const float* a, const float* b, float* c, std::int64_t m,
                  std::int64_t k, std::int64_t n, bool a_trans, bool b_trans,
-                 core::ThreadPool* pool) {
+                 core::ThreadPool* pool, const PackedMatrix* a_pre = nullptr,
+                 const PackedMatrix* b_pre = nullptr,
+                 const Epilogue* epi = nullptr, bool overwrite = false) {
   if (m <= 0 || n <= 0 || k <= 0) return;
+  if (epi != nullptr && epi->trivial()) epi = nullptr;
   if (2 * m * k * n <= kSmallFlops) {
     small_accumulate(a, b, c, m, k, n, a_trans, b_trans);
+    if (epi != nullptr) epilogue_sweep(c, m, n, *epi);
     return;
   }
   const std::int64_t lda = a_trans ? m : k;
   const std::int64_t ldb = b_trans ? k : n;
+  const std::int64_t pblocks = (k + KC - 1) / KC;
+  const std::int64_t iblocks = (m + MC - 1) / MC;
+  // Prepacked-A inference calls with a single row chunk sweep each packed-B
+  // panel at most m/MR <= 8 times, too little to amortize copying the whole
+  // im2col block into panel layout per call; stream full NR-column panels
+  // straight from row-major B instead (the microkernel load is the same 8
+  // floats, just strided by ldb). Only the ragged tail panel is packed, so
+  // padded lanes stay zero and loads stay in bounds. Values and
+  // accumulation order are unchanged — results remain bit-identical to the
+  // packing path, which training/general entries keep using. Deep panels
+  // (kc beyond ~64) walk too many strided cache lines per sweep and lose
+  // to the contiguous packed layout, so streaming is gated per kc block.
+  const bool b_direct_ok =
+      a_pre != nullptr && b_pre == nullptr && !b_trans && iblocks == 1;
+  constexpr std::int64_t kDirectBKcMax = 64;
   for (std::int64_t jc = 0; jc < n; jc += NC) {
     const std::int64_t nc = std::min(NC, n - jc);
     const std::int64_t nc_panels = (nc + NR - 1) / NR;
     for (std::int64_t pc = 0; pc < k; pc += KC) {
       const std::int64_t kc = std::min(KC, k - pc);
-      std::vector<float>& bbuf = b_pack_buffer();
-      const std::size_t bneed =
-          static_cast<std::size_t>(nc_panels * NR * kc);
-      if (bbuf.size() < bneed) bbuf.resize(bneed);
-      pack_b(b, ldb, b_trans, pc, jc, kc, nc, bbuf.data());
-      const float* bpack = bbuf.data();
+      const bool b_direct = b_direct_ok && kc <= kDirectBKcMax;
+      const float* bpack = nullptr;
+      if (b_pre != nullptr) {
+        bpack = b_pre->data.data() +
+                b_pre->block_off[static_cast<std::size_t>(
+                    (jc / NC) * pblocks + pc / KC)];
+      } else if (b_direct) {
+        if (nc % NR != 0) {  // pack just the tail panel, zero-padded
+          std::vector<float>& bbuf = b_pack_buffer();
+          const std::size_t bneed = static_cast<std::size_t>(NR * kc);
+          if (bbuf.size() < bneed) bbuf.resize(bneed);
+          const std::int64_t jtail = nc - nc % NR;
+          pack_b(b, ldb, false, pc, jc + jtail, kc, nc - jtail, bbuf.data());
+          bpack = bbuf.data();
+        }
+      } else {
+        std::vector<float>& bbuf = b_pack_buffer();
+        const std::size_t bneed =
+            static_cast<std::size_t>(nc_panels * NR * kc);
+        if (bbuf.size() < bneed) bbuf.resize(bneed);
+        pack_b(b, ldb, b_trans, pc, jc, kc, nc, bbuf.data());
+        bpack = bbuf.data();
+      }
+      // The epilogue must see fully reduced values: sweep each mc x nc
+      // sub-block right after its last kc contribution lands, while it is
+      // still cache-resident. In overwrite mode the first kc block stores
+      // instead of accumulating, so C needs no zeroing pass at all (exact:
+      // 0 + x == x bitwise — the accumulator can never be -0, as it starts
+      // at +0 and +0 + v never rounds to -0).
+      const Epilogue* tile_epi = (pc + kc == k) ? epi : nullptr;
+      const bool tile_overwrite = overwrite && pc == 0;
 
-      const std::int64_t iblocks = (m + MC - 1) / MC;
       auto row_panels = [&](std::int64_t ib0, std::int64_t ib1) {
         std::vector<float>& abuf = a_pack_buffer();
-        const std::size_t aneed = static_cast<std::size_t>(
-            ((MC + MR - 1) / MR) * MR * kc);
-        if (abuf.size() < aneed) abuf.resize(aneed);
+        if (a_pre == nullptr) {
+          const std::size_t aneed = static_cast<std::size_t>(
+              ((MC + MR - 1) / MR) * MR * kc);
+          if (abuf.size() < aneed) abuf.resize(aneed);
+        }
         for (std::int64_t ib = ib0; ib < ib1; ++ib) {
           const std::int64_t ic = ib * MC;
           const std::int64_t mc = std::min(MC, m - ic);
-          pack_a(a, lda, a_trans, ic, pc, mc, kc, abuf.data());
+          const float* apack;
+          if (a_pre != nullptr) {
+            apack = a_pre->data.data() +
+                    a_pre->block_off[static_cast<std::size_t>(
+                        (pc / KC) * iblocks + ib)];
+          } else {
+            pack_a(a, lda, a_trans, ic, pc, mc, kc, abuf.data());
+            apack = abuf.data();
+          }
           for (std::int64_t jr = 0; jr < nc; jr += NR) {
-            const float* bp = bpack + (jr / NR) * NR * kc;
             const std::int64_t nr = std::min(NR, nc - jr);
-            for (std::int64_t ir = 0; ir < mc; ir += MR) {
-              micro_kernel(abuf.data() + (ir / MR) * MR * kc, bp, kc,
-                           c + (ic + ir) * n + jc + jr, n,
-                           std::min(MR, mc - ir), nr);
+            const float* bp;
+            std::int64_t bstride;
+            if (b_direct && nr == NR) {
+              bp = b + pc * ldb + jc + jr;
+              bstride = ldb;
+            } else if (b_direct) {
+              bp = bpack;  // the packed tail panel
+              bstride = NR;
+            } else {
+              bp = bpack + (jr / NR) * NR * kc;
+              bstride = NR;
             }
+            for (std::int64_t ir = 0; ir < mc; ir += MR) {
+              micro_kernel(apack + (ir / MR) * MR * kc, bp, bstride, kc,
+                           c + (ic + ir) * n + jc + jr, n,
+                           std::min(MR, mc - ir), nr, tile_overwrite);
+            }
+          }
+          if (tile_epi != nullptr) {
+            epilogue_block(*tile_epi, c, n, ic, mc, jc, nc);
           }
         }
       };
@@ -206,6 +346,70 @@ void gemm_engine(const float* a, const float* b, float* c, std::int64_t m,
 }
 
 }  // namespace
+
+PackedMatrix pack_lhs(const float* a, std::int64_t m, std::int64_t k) {
+  PackedMatrix p;
+  p.lhs = true;
+  p.rows = m;
+  p.cols = k;
+  if (m <= 0 || k <= 0) return p;
+  const std::int64_t pblocks = (k + KC - 1) / KC;
+  const std::int64_t iblocks = (m + MC - 1) / MC;
+  p.block_off.resize(static_cast<std::size_t>(pblocks * iblocks));
+  std::size_t total = 0;
+  for (std::int64_t pcb = 0; pcb < pblocks; ++pcb) {
+    const std::int64_t kc = std::min(KC, k - pcb * KC);
+    for (std::int64_t icb = 0; icb < iblocks; ++icb) {
+      const std::int64_t mc = std::min(MC, m - icb * MC);
+      p.block_off[static_cast<std::size_t>(pcb * iblocks + icb)] = total;
+      total += static_cast<std::size_t>(((mc + MR - 1) / MR) * MR * kc);
+    }
+  }
+  p.data.resize(total);
+  for (std::int64_t pcb = 0; pcb < pblocks; ++pcb) {
+    const std::int64_t kc = std::min(KC, k - pcb * KC);
+    for (std::int64_t icb = 0; icb < iblocks; ++icb) {
+      const std::int64_t mc = std::min(MC, m - icb * MC);
+      pack_a(a, k, false, icb * MC, pcb * KC, mc, kc,
+             p.data.data() +
+                 p.block_off[static_cast<std::size_t>(pcb * iblocks + icb)]);
+    }
+  }
+  return p;
+}
+
+PackedMatrix pack_rhs(const float* b, std::int64_t k, std::int64_t n,
+                      bool trans) {
+  PackedMatrix p;
+  p.lhs = false;
+  p.rows = k;
+  p.cols = n;
+  if (k <= 0 || n <= 0) return p;
+  const std::int64_t ldb = trans ? k : n;
+  const std::int64_t pblocks = (k + KC - 1) / KC;
+  const std::int64_t jblocks = (n + NC - 1) / NC;
+  p.block_off.resize(static_cast<std::size_t>(jblocks * pblocks));
+  std::size_t total = 0;
+  for (std::int64_t jcb = 0; jcb < jblocks; ++jcb) {
+    const std::int64_t nc = std::min(NC, n - jcb * NC);
+    for (std::int64_t pcb = 0; pcb < pblocks; ++pcb) {
+      const std::int64_t kc = std::min(KC, k - pcb * KC);
+      p.block_off[static_cast<std::size_t>(jcb * pblocks + pcb)] = total;
+      total += static_cast<std::size_t>(((nc + NR - 1) / NR) * NR * kc);
+    }
+  }
+  p.data.resize(total);
+  for (std::int64_t jcb = 0; jcb < jblocks; ++jcb) {
+    const std::int64_t nc = std::min(NC, n - jcb * NC);
+    for (std::int64_t pcb = 0; pcb < pblocks; ++pcb) {
+      const std::int64_t kc = std::min(KC, k - pcb * KC);
+      pack_b(b, ldb, trans, pcb * KC, jcb * NC, kc, nc,
+             p.data.data() +
+                 p.block_off[static_cast<std::size_t>(jcb * pblocks + pcb)]);
+    }
+  }
+  return p;
+}
 
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
@@ -244,9 +448,58 @@ void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
 }
 
 void gemm_blocked(const float* a, const float* b, float* c, std::int64_t m,
-                  std::int64_t k, std::int64_t n, core::ThreadPool* pool) {
+                  std::int64_t k, std::int64_t n, core::ThreadPool* pool,
+                  const Epilogue* epi) {
   std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  gemm_engine(a, b, c, m, k, n, false, false, pool);
+  gemm_engine(a, b, c, m, k, n, false, false, pool, nullptr, nullptr, epi);
+}
+
+void gemm_prepacked(const float* a, const PackedMatrix& a_packed,
+                    const float* b, float* c, std::int64_t m, std::int64_t k,
+                    std::int64_t n, const Epilogue* epi,
+                    core::ThreadPool* pool) {
+  if (!a_packed.lhs || a_packed.rows != m || a_packed.cols != k) {
+    throw std::invalid_argument("gemm_prepacked: packed A does not match (" +
+                                std::to_string(m) + "," + std::to_string(k) +
+                                ")");
+  }
+  // The blocked path stores (not accumulates) the first reduction block, so
+  // C never needs the zeroing pass; only the small-matrix loop nest, which
+  // always accumulates, still wants zeroed C.
+  const bool small = 2 * m * k * n <= kSmallFlops;
+  if (small) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  }
+  gemm_engine(a, b, c, m, k, n, false, false, pool, &a_packed, nullptr, epi,
+              /*overwrite=*/!small);
+}
+
+void gemm_a_bt_prepacked(const float* a, const float* b,
+                         const PackedMatrix& b_packed, float* c,
+                         std::int64_t m, std::int64_t k, std::int64_t n,
+                         const Epilogue* epi, core::ThreadPool* pool) {
+  if (b_packed.lhs || b_packed.rows != k || b_packed.cols != n) {
+    throw std::invalid_argument(
+        "gemm_a_bt_prepacked: packed B does not match (" + std::to_string(k) +
+        "," + std::to_string(n) + ")");
+  }
+  gemm_engine(a, b, c, m, k, n, false, true, pool, nullptr, &b_packed, epi);
+}
+
+std::uint64_t gemm_pack_hits() {
+  return g_pack_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t gemm_pack_misses() {
+  return g_pack_misses.load(std::memory_order_relaxed);
+}
+
+void PackedWeightCache::note_hit() {
+  g_pack_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PackedWeightCache::note_miss() {
+  g_pack_misses.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace adcnn::nn

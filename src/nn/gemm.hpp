@@ -9,13 +9,78 @@
 // results are bit-identical from 1 to N threads. The pre-engine ikj loop is
 // kept as gemm_naive — the oracle for tests and the baseline the
 // micro-benchmarks measure speedup against.
+//
+// Two inference-time extensions (DESIGN.md §10):
+//  - PackedMatrix / gemm_prepacked: a constant operand (layer weights) can
+//    be packed into panel layout once and reused across calls instead of
+//    being re-packed on every forward.
+//  - Epilogue: a per-element transform (bias / folded-BN scale+shift /
+//    ReLU / clipped ReLU) swept over each output cache block right after
+//    its final reduction lands, while the block is still resident —
+//    instead of re-traversing the whole tensor (and re-allocating it) in
+//    separate bias/BN/activation passes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "core/thread_pool.hpp"
 
 namespace adcnn::nn {
+
+/// Per-element transform fused into the GEMM write-back. Applied to the
+/// fully reduced value v of C(i, j) in this order:
+///   1. v = row_scale[i] * v + row_bias[i]   (either pointer may be null;
+///      the combined form mirrors BatchNorm's eval affine `a*x + b`)
+///   2. v += col_bias[j]
+///   3. activation: ReLU (max(v, 0)) or the paper's clipped ReLU
+///      (0 below clip_lo, v - clip_lo inside, clip_hi - clip_lo above).
+/// Bias and activation steps replicate the separate layers' float ops
+/// exactly, so those fusions are bit-identical to the unfused path;
+/// row_scale (BN folding) legitimately reassociates and is tolerance-
+/// checked instead.
+struct Epilogue {
+  enum class Act { kNone, kReLU, kClip };
+
+  const float* row_scale = nullptr;  // per output row (m)
+  const float* row_bias = nullptr;   // per output row (m)
+  const float* col_bias = nullptr;   // per output column (n)
+  Act act = Act::kNone;
+  float clip_lo = 0.0f;
+  float clip_hi = 0.0f;
+
+  bool trivial() const {
+    return row_scale == nullptr && row_bias == nullptr &&
+           col_bias == nullptr && act == Act::kNone;
+  }
+};
+
+/// A matrix pre-packed into the engine's panel layout. `lhs` selects the
+/// A-side layout (MR-row panels, blocked [pc][ic]) vs the B-side layout
+/// (NR-column panels, blocked [jc][pc]). Packed blocks mirror exactly what
+/// the engine's on-the-fly packers produce, so prepacked GEMM results are
+/// bit-identical to the repacking path. Read-only after construction —
+/// safe to share across ConvNodeWorker threads.
+struct PackedMatrix {
+  bool lhs = true;
+  std::int64_t rows = 0;  // m for lhs, k for rhs
+  std::int64_t cols = 0;  // k for lhs, n for rhs
+  std::vector<float> data;
+  std::vector<std::size_t> block_off;  // lhs: [pcb*IB + icb]; rhs: [jcb*PB + pcb]
+
+  bool empty() const { return data.empty(); }
+  std::size_t bytes() const { return data.size() * sizeof(float); }
+};
+
+/// Pack A (m x k, row-major) for use as the left operand.
+PackedMatrix pack_lhs(const float* a, std::int64_t m, std::int64_t k);
+
+/// Pack B for use as the right operand of C = A * op(B). `trans` means b
+/// is stored row-major as (n, k) and used as B^T — the Linear weight case.
+PackedMatrix pack_rhs(const float* b, std::int64_t k, std::int64_t n,
+                      bool trans);
 
 /// C(m,n) += A(m,k) * B(k,n), all row-major, no aliasing.
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
@@ -41,9 +106,72 @@ void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
 
 /// Blocked engine with an explicit pool (C overwritten; null pool = fully
 /// serial). gemm() is exactly gemm_blocked with the global pool; tests and
-/// benchmarks use this entry point to pin a thread count.
+/// benchmarks use this entry point to pin a thread count. An optional
+/// epilogue is applied per cache block after its final reduction.
 void gemm_blocked(const float* a, const float* b, float* c, std::int64_t m,
                   std::int64_t k, std::int64_t n,
-                  core::ThreadPool* pool = nullptr);
+                  core::ThreadPool* pool = nullptr,
+                  const Epilogue* epi = nullptr);
+
+/// C(m,n) = A(m,k) * B(k,n) with A pre-packed (C overwritten). `a` must
+/// point at the same data `a_packed` was built from: shapes below the
+/// engine's small-matrix cutoff run the plain loop nest on the raw
+/// operands (bit-identical to gemm_blocked for every shape).
+void gemm_prepacked(const float* a, const PackedMatrix& a_packed,
+                    const float* b, float* c, std::int64_t m, std::int64_t k,
+                    std::int64_t n, const Epilogue* epi = nullptr,
+                    core::ThreadPool* pool = nullptr);
+
+/// C(m,n) += A(m,k) * B^T(n,k) with B pre-packed (the Linear weight path;
+/// accumulates so callers can seed C with the bias). `b` is the raw (n,k)
+/// weight data backing `b_packed`.
+void gemm_a_bt_prepacked(const float* a, const float* b,
+                         const PackedMatrix& b_packed, float* c,
+                         std::int64_t m, std::int64_t k, std::int64_t n,
+                         const Epilogue* epi = nullptr,
+                         core::ThreadPool* pool = nullptr);
+
+/// Process-wide packed-weight cache traffic: a miss is a (re)pack, a hit is
+/// a forward call that reused an existing packing. Exported as the
+/// gemm.pack_hits / gemm.pack_misses metrics by the streaming pipeline.
+std::uint64_t gemm_pack_hits();
+std::uint64_t gemm_pack_misses();
+
+/// Thread-safe lazily repacked weight holder used by Conv2d / Linear.
+/// `get` repacks only when `version` (the owning Param's mutation counter)
+/// differs from the cached packing's version; concurrent eval forwards on
+/// ConvNodeWorker threads share the result read-only via double-checked
+/// locking on an acquire/release version atomic.
+class PackedWeightCache {
+ public:
+  template <typename PackFn>
+  const PackedMatrix& get(std::uint64_t version, PackFn&& pack) {
+    if (version_.load(std::memory_order_acquire) == version) {
+      note_hit();
+      return packed_;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (version_.load(std::memory_order_relaxed) != version) {
+      packed_ = pack();
+      note_miss();
+      version_.store(version, std::memory_order_release);
+    } else {
+      note_hit();  // lost a benign race: another thread just packed
+    }
+    return packed_;
+  }
+
+  /// Drop the cached packing; the next get() repacks.
+  void invalidate() { version_.store(kEmpty, std::memory_order_release); }
+
+ private:
+  static void note_hit();
+  static void note_miss();
+
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  PackedMatrix packed_;
+  std::atomic<std::uint64_t> version_{kEmpty};
+  std::mutex mu_;
+};
 
 }  // namespace adcnn::nn

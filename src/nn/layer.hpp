@@ -22,6 +22,13 @@ struct Param {
   Tensor value;
   Tensor grad;
   std::string name;
+  /// Mutation counter for derived caches (the packed-weight cache keys its
+  /// panels on this). Bumped by every library-level weight mutation —
+  /// optimizer steps, load_state/copy_params, BN folding. Code that writes
+  /// `value` elements directly must call mark_dirty() afterwards (the
+  /// gradient checker is exempt: it only runs kTrain forwards, which never
+  /// read caches).
+  std::uint64_t version = 0;
 
   explicit Param(std::string n = "") : name(std::move(n)) {}
   Param(Tensor v, std::string n)
@@ -29,6 +36,7 @@ struct Param {
         name(std::move(n)) {}
 
   void zero_grad() { grad.zero(); }
+  void mark_dirty() { ++version; }
 };
 
 class Layer {

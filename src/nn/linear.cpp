@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
 #include "nn/gemm.hpp"
 
 namespace adcnn::nn {
@@ -28,19 +29,43 @@ Shape Linear::out_shape(const Shape& in) const {
   return Shape{in[0], out_};
 }
 
+void Linear::prepack() { packed_weight(); }
+
+const PackedMatrix& Linear::packed_weight() {
+  return packed_.get(weight_.version, [this] {
+    return pack_rhs(weight_.value.data(), in_, out_, /*trans=*/true);
+  });
+}
+
 Tensor Linear::forward(const Tensor& x, Mode mode) {
   const Shape os = out_shape(x.shape());
   const std::int64_t N = x.shape()[0];
   Tensor y(os);
   // Seed each output row with the bias, then let the engine accumulate
   // y (N,out) += x (N,in) * W^T (in,out) on top — one pass over y instead
-  // of a separate bias sweep after the GEMM.
+  // of a separate bias sweep after the GEMM. (Keeping the bias in the seed
+  // rather than the epilogue preserves the exact accumulation order, so
+  // eval outputs stay bit-identical to the unfused path.)
   for (std::int64_t n = 0; n < N; ++n) {
     std::memcpy(y.data() + n * out_, bias_.value.data(),
                 static_cast<std::size_t>(out_) * sizeof(float));
   }
-  gemm_a_bt(x.data(), weight_.value.data(), y.data(), N, in_, out_);
-  if (mode == Mode::kTrain) cached_input_ = x;
+  if (mode == Mode::kTrain) {
+    if (fused_relu_) {
+      throw std::logic_error(
+          name_ + ": fused-activation linear is eval-only "
+                  "(built by optimize_for_inference)");
+    }
+    gemm_a_bt(x.data(), weight_.value.data(), y.data(), N, in_, out_);
+    cached_input_ = x;
+    return y;
+  }
+  const PackedMatrix& wp = packed_weight();
+  Epilogue epi;
+  epi.act = Epilogue::Act::kReLU;
+  gemm_a_bt_prepacked(x.data(), weight_.value.data(), wp, y.data(), N, in_,
+                      out_, fused_relu_ ? &epi : nullptr,
+                      &core::ThreadPool::global());
   return y;
 }
 

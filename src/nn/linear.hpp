@@ -1,11 +1,14 @@
 // Fully connected layer and Flatten.
 #pragma once
 
+#include "nn/gemm.hpp"
 #include "nn/layer.hpp"
 
 namespace adcnn::nn {
 
-/// y = x W^T + b on (N, in) inputs.
+/// y = x W^T + b on (N, in) inputs. Eval forwards run through the
+/// packed-weight cache (weights packed as the GEMM's B^T operand once,
+/// keyed on Param::version) with an optional fused ReLU epilogue.
 class Linear final : public Layer {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
@@ -23,11 +26,23 @@ class Linear final : public Layer {
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
 
+  // --- inference-graph optimizer hooks (nn/optimize.hpp) ---------------
+  /// Fuse a following ReLU into the eval GEMM epilogue (eval-only: a
+  /// kTrain forward afterwards throws std::logic_error).
+  void fuse_relu() { fused_relu_ = true; }
+  bool has_fused_activation() const { return fused_relu_; }
+  /// Pack the weights now instead of lazily on the first eval forward.
+  void prepack();
+
  private:
+  const PackedMatrix& packed_weight();
+
   std::int64_t in_, out_;
   Param weight_;  // (out, in)
   Param bias_;    // (out)
   std::string name_;
+  PackedWeightCache packed_;
+  bool fused_relu_ = false;
   Tensor cached_input_;
 };
 

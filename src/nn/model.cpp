@@ -53,6 +53,9 @@ void Model::load_state(std::span<const float> state) {
   if (pos != state.size()) {
     throw std::invalid_argument("Model::load_state: state too long");
   }
+  // The loop above wrote parameter tensors in place; packed-weight caches
+  // keyed on Param::version must repack.
+  for (Param* p : params()) p->mark_dirty();
 }
 
 void Model::copy_params(Model& src, Model& dst) {
@@ -70,6 +73,7 @@ void Model::copy_params(Model& src, Model& dst) {
     }
     std::copy(s[i]->data(), s[i]->data() + s[i]->numel(), d[i]->data());
   }
+  for (Param* p : dst.params()) p->mark_dirty();
 }
 
 }  // namespace adcnn::nn

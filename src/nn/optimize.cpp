@@ -1,0 +1,113 @@
+#include "nn/optimize.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+
+namespace adcnn::nn {
+
+namespace {
+
+/// Absorb BN's eval affine into the conv: BN computes a*x + b per channel
+/// with the coefficients below; scaling output channel c's weights by a_c
+/// and rewriting the bias as a_c*bias_c + b_c makes conv(x) produce the
+/// same map (up to float reassociation). Coefficients are computed exactly
+/// as BatchNorm2d::forward(kEval) computes them (double invstd, float
+/// a/b), so the only divergence is the order of multiplies inside the
+/// conv's reduction.
+void fold_batchnorm(Conv2d& conv, BatchNorm2d& bn) {
+  conv.ensure_bias();
+  Tensor& w = conv.weight().value;
+  Tensor& b = conv.bias().value;
+  const std::int64_t cout = conv.out_channels();
+  const std::int64_t per = w.numel() / cout;
+  for (std::int64_t c = 0; c < cout; ++c) {
+    const double invstd = 1.0 / std::sqrt(bn.running_var()[c] + bn.eps());
+    const float a = static_cast<float>(bn.gamma().value[c] * invstd);
+    const float shift = static_cast<float>(
+        bn.beta().value[c] -
+        bn.gamma().value[c] * bn.running_mean()[c] * invstd);
+    float* wrow = w.data() + c * per;
+    for (std::int64_t i = 0; i < per; ++i) wrow[i] *= a;
+    b[c] = a * b[c] + shift;
+  }
+  conv.weight().mark_dirty();
+  conv.bias().mark_dirty();
+}
+
+void accumulate(OptimizeStats& into, const OptimizeStats& s) {
+  into.bn_folded += s.bn_folded;
+  into.act_fused += s.act_fused;
+  into.prepacked += s.prepacked;
+}
+
+}  // namespace
+
+OptimizeStats optimize_for_inference(Sequential& net) {
+  OptimizeStats stats;
+  auto& layers = net.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    Layer* layer = layers[i].get();
+    if (auto* seq = dynamic_cast<Sequential*>(layer)) {
+      accumulate(stats, optimize_for_inference(*seq));
+      continue;
+    }
+    if (auto* res = dynamic_cast<Residual*>(layer)) {
+      accumulate(stats, optimize_for_inference(res->body()));
+      if (auto* proj = dynamic_cast<Sequential*>(res->projection())) {
+        accumulate(stats, optimize_for_inference(*proj));
+      }
+      continue;
+    }
+    if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+      std::size_t next = i + 1;
+      if (next < layers.size()) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(layers[next].get())) {
+          if (bn->channels() == conv->out_channels()) {
+            fold_batchnorm(*conv, *bn);
+            layers[next] = std::make_unique<Identity>(bn->name() + ".folded");
+            ++stats.bn_folded;
+            ++next;
+          }
+        }
+      }
+      if (next < layers.size() && !conv->has_fused_activation()) {
+        if (auto* relu = dynamic_cast<ReLU*>(layers[next].get())) {
+          conv->fuse_relu();
+          layers[next] = std::make_unique<Identity>(relu->name() + ".fused");
+          ++stats.act_fused;
+        } else if (auto* clip =
+                       dynamic_cast<ClippedReLU*>(layers[next].get())) {
+          conv->fuse_clipped_relu(clip->lower(), clip->upper());
+          layers[next] = std::make_unique<Identity>(clip->name() + ".fused");
+          ++stats.act_fused;
+        }
+      }
+      conv->prepack();
+      ++stats.prepacked;
+      continue;
+    }
+    if (auto* fc = dynamic_cast<Linear*>(layer)) {
+      if (i + 1 < layers.size() && !fc->has_fused_activation()) {
+        if (auto* relu = dynamic_cast<ReLU*>(layers[i + 1].get())) {
+          fc->fuse_relu();
+          layers[i + 1] = std::make_unique<Identity>(relu->name() + ".fused");
+          ++stats.act_fused;
+        }
+      }
+      fc->prepack();
+      ++stats.prepacked;
+    }
+  }
+  return stats;
+}
+
+OptimizeStats optimize_for_inference(Model& model) {
+  return optimize_for_inference(model.net);
+}
+
+}  // namespace adcnn::nn

@@ -1,0 +1,63 @@
+// Inference-time graph optimizer (DESIGN.md §10).
+//
+// optimize_for_inference rewrites an eval graph in place:
+//  - BatchNorm2d folding: each conv→BN pair becomes a single conv whose
+//    weights/bias absorb BN's eval affine (a = gamma/sqrt(var+eps),
+//    b = beta - gamma*mean/sqrt(var+eps)). Reassociates float math, so
+//    outputs match to ~1e-5 relative, not bitwise.
+//  - Activation fusion: a ReLU / ClippedReLU directly following a conv
+//    (or a ReLU following a Linear) moves into the GEMM epilogue, so the
+//    activation tensor is written exactly once. Bit-identical to the
+//    separate layer by construction.
+//  - Eager prepacking: every conv/linear packs its weights into the
+//    shared packed-weight cache up front, so worker threads start warm.
+//
+// Folded/fused layers are replaced by Identity placeholders — never
+// removed — so layer indices stay valid for block_ends, forward_range and
+// the FDSP split/merge surgery. The optimized graph is EVAL-ONLY: fused
+// layers throw on kTrain forward, and the parameter/state layout changes
+// (folded convs gain a bias; folded BN params stop being collected), so
+// snapshot weights BEFORE optimizing. Idempotent: a second pass finds
+// nothing left to fold.
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace adcnn::nn {
+
+/// No-op placeholder left where a folded/fused layer used to be.
+class Identity final : public Layer {
+ public:
+  explicit Identity(std::string name = "identity") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x, Mode mode) override {
+    (void)mode;
+    return x;
+  }
+  Tensor backward(const Tensor& dy) override { return dy; }
+  Shape out_shape(const Shape& in) const override { return in; }
+  std::int64_t flops(const Shape& in) const override {
+    (void)in;
+    return 0;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+struct OptimizeStats {
+  int bn_folded = 0;   // BatchNorm2d layers folded into a preceding conv
+  int act_fused = 0;   // ReLU/ClippedReLU layers moved into GEMM epilogues
+  int prepacked = 0;   // conv/linear layers whose weights were prepacked
+};
+
+/// Optimize `net` in place (recurses into nested Sequential / Residual
+/// bodies and projections). Returns what was rewritten.
+OptimizeStats optimize_for_inference(Sequential& net);
+
+/// Convenience overload for whole models; block_ends / separable_blocks /
+/// input_shape are untouched (layer indices stay stable by construction).
+OptimizeStats optimize_for_inference(Model& model);
+
+}  // namespace adcnn::nn

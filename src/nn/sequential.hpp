@@ -60,6 +60,11 @@ class Residual final : public Layer {
   void collect_params(std::vector<Param*>& out) override;
   void collect_buffers(std::vector<Tensor*>& out) override;
 
+  /// The optimizer pass (nn/optimize.hpp) recurses into the branches to
+  /// fold BN / fuse activations inside residual blocks.
+  Sequential& body() { return body_; }
+  Layer* projection() { return projection_.get(); }
+
  private:
   Sequential body_;
   LayerPtr projection_;  // nullptr = identity shortcut

@@ -2,12 +2,19 @@
 
 #include <stdexcept>
 
+#include "nn/optimize.hpp"
+
 namespace adcnn::runtime {
 
 EdgeCluster::EdgeCluster(core::PartitionedModel& model,
                          const ClusterConfig& cfg) {
   if (cfg.num_nodes < 1) {
     throw std::invalid_argument("EdgeCluster: need at least one Conv node");
+  }
+  if (cfg.optimize_model) {
+    // Single-threaded here, before any worker exists: the packed panels
+    // and folded weights become read-only shared state for the workers.
+    nn::optimize_for_inference(model.model);
   }
   if (cfg.compress && model.clip_range <= 0.0f) {
     throw std::invalid_argument(

@@ -41,6 +41,14 @@ struct ClusterConfig {
   /// Apply the §4 compression pipeline (requires the model to carry a
   /// clipped-ReLU range); false sends raw fp32 intermediate results.
   bool compress = true;
+  /// Run nn::optimize_for_inference on the model before serving: folds
+  /// BatchNorm into conv weights, fuses ReLU/clipped-ReLU into GEMM
+  /// epilogues and prepacks all weights (shared read-only across worker
+  /// threads). Off by default because the optimized graph is eval-only —
+  /// leave it off if the same Model object is retrained afterwards. BN
+  /// folding shifts outputs by ~1e-6 relative; reference outputs computed
+  /// from the same PartitionedModel after construction stay consistent.
+  bool optimize_model = false;
   /// Telemetry sinks threaded through every component (Central node,
   /// workers, links, channels, codec). The pointed-to registry/recorder
   /// must outlive the cluster. Null sinks (default) record nothing.

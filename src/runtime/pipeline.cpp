@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nn/conv.hpp"
+#include "nn/gemm.hpp"
+
 namespace adcnn::runtime {
 
 namespace {
@@ -21,6 +24,9 @@ StreamingServer::StreamingServer(CentralNode& central, StreamingConfig cfg)
       obs_.images = &m->counter("pipeline.images");
       obs_.latency_s = &m->histogram("pipeline.latency_s");
       obs_.overlap_s = &m->gauge("stage.overlap_s");
+      obs_.scratch_bytes = &m->gauge("nn.scratch_bytes");
+      obs_.pack_hits = &m->gauge("gemm.pack_hits");
+      obs_.pack_misses = &m->gauge("gemm.pack_misses");
       input_.attach_telemetry(obs_.queue_depth);
     }
   }
@@ -174,6 +180,20 @@ void StreamingServer::suffix_loop() {
     }
     p.latency_s =
         std::chrono::duration<double>(Clock::now() - t_submit).count();
+    // Between images: let compute threads trim im2col scratch back to the
+    // working-set size (a one-off large image would otherwise pin its
+    // high-water allocation on every thread forever), and publish the
+    // packed-weight cache traffic.
+    nn::shrink_scratch();
+    if constexpr (obs::kEnabled) {
+      if (obs_.scratch_bytes) {
+        obs_.scratch_bytes->set(static_cast<double>(nn::scratch_bytes()));
+      }
+      if (obs_.pack_hits) {
+        obs_.pack_hits->set(static_cast<double>(nn::gemm_pack_hits()));
+        obs_.pack_misses->set(static_cast<double>(nn::gemm_pack_misses()));
+      }
+    }
     deliver(ticket, std::move(p));
   }
 }

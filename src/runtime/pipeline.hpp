@@ -139,6 +139,9 @@ class StreamingServer {
     obs::Counter* images = nullptr;
     obs::Histogram* latency_s = nullptr;
     obs::Gauge* overlap_s = nullptr;
+    obs::Gauge* scratch_bytes = nullptr;  // nn.scratch_bytes
+    obs::Gauge* pack_hits = nullptr;      // gemm.pack_hits (process-wide)
+    obs::Gauge* pack_misses = nullptr;    // gemm.pack_misses
   } obs_;
 };
 

@@ -23,6 +23,7 @@ void Sgd::step() {
       v[j] = mom * v[j] + g;
       p.value[j] -= lr * v[j];
     }
+    p.mark_dirty();  // invalidate packed-weight caches keyed on the value
   }
 }
 

@@ -216,5 +216,151 @@ TEST(BlockedGemm, AccumulateSemanticsPreserved) {
     EXPECT_FLOAT_EQ(d[i], base[i]) << "at " << i;
 }
 
+// ---------------------------------------------------------------------------
+// Prepacked entries and epilogues. The contract is bit-identity with the
+// repacking path: packed panels mirror the on-the-fly packers exactly, and
+// overwrite mode replaces the zeroing pass with a first-block store.
+
+class PrepackedShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PrepackedShapes, BitIdenticalToBlocked) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 31 + k * 17 + n));
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> expect(static_cast<std::size_t>(m * n), 5.0f);
+  gemm_blocked(a.data(), b.data(), expect.data(), m, k, n);
+  const PackedMatrix ap = pack_lhs(a.data(), m, k);
+  std::vector<float> c(static_cast<std::size_t>(m * n), -3.0f);
+  gemm_prepacked(a.data(), ap, b.data(), c.data(), m, k, n);
+  ASSERT_EQ(std::memcmp(c.data(), expect.data(), c.size() * sizeof(float)),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, PrepackedShapes,
+    ::testing::Values(
+        std::tuple{4, 4, 4},       // small-matrix path (plain loop nest)
+        std::tuple{16, 27, 100},   // direct-B stream, ragged tail panel
+        std::tuple{16, 27, 1024},  // direct-B stream, exact NR panels
+        std::tuple{32, 144, 256},  // kc above the direct-B gate: packed B
+        std::tuple{24, 300, 40},   // multi-KC: overwrite store + accumulate
+        std::tuple{65, 257, 255},  // multiple MC row chunks, partial tiles
+        std::tuple{7, 70, 9}));
+
+TEST(PrepackedGemm, ABtBitIdenticalToRepacking) {
+  // The Linear weight path: C += A * B^T with a bias-seeded C.
+  const std::int64_t m = 9, k = 70, n = 21;
+  Rng rng(23);
+  const auto a = random_matrix(rng, m * k);
+  const auto bt = random_matrix(rng, n * k);
+  std::vector<float> expect(static_cast<std::size_t>(m * n), 0.75f);
+  gemm_a_bt(a.data(), bt.data(), expect.data(), m, k, n);
+  const PackedMatrix bp = pack_rhs(bt.data(), k, n, /*trans=*/true);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.75f);
+  gemm_a_bt_prepacked(a.data(), bt.data(), bp, c.data(), m, k, n);
+  ASSERT_EQ(std::memcmp(c.data(), expect.data(), c.size() * sizeof(float)),
+            0);
+}
+
+TEST(GemmEpilogue, BiasAndActivationsMatchManualSweepsExactly) {
+  // Bias/ReLU/clip epilogues replicate the separate passes' float ops, so
+  // fused output must match the sweep bitwise. k > KC checks the epilogue
+  // fires exactly once, on the final reduction block.
+  const std::int64_t m = 20, k = 300, n = 45;
+  Rng rng(29);
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> bias = random_matrix(rng, m);
+  std::vector<float> cbias = random_matrix(rng, n);
+
+  std::vector<float> plain(static_cast<std::size_t>(m * n));
+  gemm_blocked(a.data(), b.data(), plain.data(), m, k, n);
+
+  for (const auto act : {Epilogue::Act::kNone, Epilogue::Act::kReLU,
+                         Epilogue::Act::kClip}) {
+    Epilogue epi;
+    epi.row_bias = bias.data();
+    epi.col_bias = cbias.data();
+    epi.act = act;
+    epi.clip_lo = 0.25f;
+    epi.clip_hi = 2.0f;
+    std::vector<float> expect = plain;
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) {
+        float v = expect[static_cast<std::size_t>(i * n + j)];
+        v += bias[static_cast<std::size_t>(i)];
+        v += cbias[static_cast<std::size_t>(j)];
+        if (act == Epilogue::Act::kReLU) {
+          v = v > 0.0f ? v : 0.0f;
+        } else if (act == Epilogue::Act::kClip) {
+          v = v < epi.clip_lo ? 0.0f
+                              : (v > epi.clip_hi ? epi.clip_hi - epi.clip_lo
+                                                 : v - epi.clip_lo);
+        }
+        expect[static_cast<std::size_t>(i * n + j)] = v;
+      }
+    const PackedMatrix ap = pack_lhs(a.data(), m, k);
+    std::vector<float> c(static_cast<std::size_t>(m * n), -7.0f);
+    gemm_prepacked(a.data(), ap, b.data(), c.data(), m, k, n, &epi);
+    ASSERT_EQ(std::memcmp(c.data(), expect.data(), c.size() * sizeof(float)),
+              0)
+        << "act=" << static_cast<int>(act);
+  }
+}
+
+TEST(GemmEpilogue, FoldedBnScaleShiftWithinTolerance) {
+  // row_scale reassociates (a*v + b in one expression), so this fusion is
+  // tolerance-checked rather than bitwise like bias/activations.
+  const std::int64_t m = 16, k = 90, n = 33;
+  Rng rng(37);
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> scale = random_matrix(rng, m);
+  std::vector<float> shift = random_matrix(rng, m);
+  std::vector<float> plain(static_cast<std::size_t>(m * n));
+  gemm_blocked(a.data(), b.data(), plain.data(), m, k, n);
+  Epilogue epi;
+  epi.row_scale = scale.data();
+  epi.row_bias = shift.data();
+  const PackedMatrix ap = pack_lhs(a.data(), m, k);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_prepacked(a.data(), ap, b.data(), c.data(), m, k, n, &epi);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i * n + j);
+      const float want = scale[static_cast<std::size_t>(i)] * plain[idx] +
+                         shift[static_cast<std::size_t>(i)];
+      EXPECT_NEAR(c[idx], want, 1e-5) << "at " << idx;
+    }
+}
+
+TEST(PrepackedGemm, ThreadCountDoesNotChangeBits) {
+  // Prepacked panels are shared read-only across the pool's threads; the
+  // per-element owner and accumulation order stay fixed, so fused results
+  // are bit-identical from 1 to 8 lanes.
+  const std::int64_t m = 48, k = 300, n = 129;
+  Rng rng(41);
+  const auto a = random_matrix(rng, m * k);
+  const auto b = random_matrix(rng, k * n);
+  std::vector<float> bias = random_matrix(rng, m);
+  Epilogue epi;
+  epi.row_bias = bias.data();
+  epi.act = Epilogue::Act::kReLU;
+  const PackedMatrix ap = pack_lhs(a.data(), m, k);
+  std::vector<float> serial(static_cast<std::size_t>(m * n));
+  gemm_prepacked(a.data(), ap, b.data(), serial.data(), m, k, n, &epi,
+                 nullptr);
+  for (const int threads : {1, 2, 8}) {
+    core::ThreadPool pool(threads);
+    std::vector<float> c(static_cast<std::size_t>(m * n), -1.0f);
+    gemm_prepacked(a.data(), ap, b.data(), c.data(), m, k, n, &epi, &pool);
+    ASSERT_EQ(std::memcmp(c.data(), serial.data(), c.size() * sizeof(float)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace adcnn::nn

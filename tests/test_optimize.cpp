@@ -1,0 +1,265 @@
+// Inference graph optimizer: BN folding, fused epilogues, packed-weight
+// cache behavior and the conv scratch trimming hook (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fdsp.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/optimize.hpp"
+#include "runtime/cluster.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+
+namespace adcnn::nn {
+namespace {
+
+std::int64_t argmax_row(const Tensor& logits, std::int64_t n,
+                        std::int64_t classes) {
+  std::int64_t best = 0;
+  for (std::int64_t c = 1; c < classes; ++c)
+    if (logits[n * classes + c] > logits[n * classes + best]) best = c;
+  return best;
+}
+
+/// Twin models with shared weights; `steps` SGD steps on the first give BN
+/// statistics and weights a non-initialization state before copying.
+void make_trained_twins(const char* family, Model& ref, Model& opt,
+                        int steps) {
+  Rng rng(2026);
+  ref = make_mini(family, rng, MiniOptions{});
+  Rng rng2(2026);
+  opt = make_mini(family, rng2, MiniOptions{});
+  Rng rx(7);
+  train::Sgd sgd(ref.params(), 0.05);
+  for (int s = 0; s < steps; ++s) {
+    const Tensor x = Tensor::randn(Shape{4, 3, 32, 32}, rx);
+    std::vector<int> labels{0, 1, 2, 3};
+    Tensor logits = ref.forward(x, Mode::kTrain);
+    auto loss = train::softmax_ce(logits, labels);
+    ref.zero_grad();
+    ref.backward(loss.grad);
+    sgd.step();
+  }
+  Model::copy_params(ref, opt);
+}
+
+TEST(Optimize, BnFoldMatchesUnfusedWithinTolerance) {
+  Model ref, opt;
+  make_trained_twins("vgg", ref, opt, 3);
+  const std::size_t layers_before = opt.net.size();
+  const OptimizeStats stats = optimize_for_inference(opt);
+  EXPECT_GT(stats.bn_folded, 0);
+  EXPECT_GT(stats.act_fused, 0);
+  EXPECT_GT(stats.prepacked, 0);
+  // Folded layers become Identity placeholders; indices stay valid.
+  EXPECT_EQ(opt.net.size(), layers_before);
+
+  Rng rx(99);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor x = Tensor::randn(Shape{2, 3, 32, 32}, rx);
+    const Tensor a = ref.forward(x, Mode::kEval);
+    const Tensor b = opt.forward(x, Mode::kEval);
+    EXPECT_LT(Tensor::max_abs_diff(a, b), 1e-4f);
+    for (std::int64_t n = 0; n < a.shape()[0]; ++n)
+      EXPECT_EQ(argmax_row(a, n, a.shape()[1]), argmax_row(b, n, a.shape()[1]));
+  }
+  // Idempotent: nothing left to fold on a second pass.
+  const OptimizeStats again = optimize_for_inference(opt);
+  EXPECT_EQ(again.bn_folded, 0);
+  EXPECT_EQ(again.act_fused, 0);
+}
+
+TEST(Optimize, ResnetResidualBranchesFold) {
+  Model ref, opt;
+  make_trained_twins("resnet", ref, opt, 2);
+  const OptimizeStats stats = optimize_for_inference(opt);
+  EXPECT_GT(stats.bn_folded, 0);  // recursed into residual bodies
+  Rng rx(5);
+  const Tensor x = Tensor::randn(Shape{2, 3, 32, 32}, rx);
+  const Tensor a = ref.forward(x, Mode::kEval);
+  const Tensor b = opt.forward(x, Mode::kEval);
+  EXPECT_LT(Tensor::max_abs_diff(a, b), 1e-4f);
+}
+
+TEST(Optimize, ActivationFusionIsBitExact) {
+  // Conv(+bias)->ReLU and Conv->ClippedReLU with no BN in between: fusion
+  // moves the activation into the GEMM epilogue, whose per-element float
+  // ops replicate the separate layers exactly.
+  for (const bool clipped : {false, true}) {
+    Rng rng(42);
+    Sequential net;
+    net.emplace<Conv2d>(3, 8, 3, 1, 1, /*bias=*/true, rng);
+    if (clipped) {
+      net.emplace<ClippedReLU>(0.5f, 3.0f);
+    } else {
+      net.emplace<ReLU>();
+    }
+    Rng rx(8);
+    const Tensor x = Tensor::randn(Shape{2, 3, 16, 16}, rx);
+    const Tensor before = net.forward(x, Mode::kEval);
+    const OptimizeStats stats = optimize_for_inference(net);
+    EXPECT_EQ(stats.act_fused, 1);
+    const Tensor after = net.forward(x, Mode::kEval);
+    ASSERT_EQ(before.numel(), after.numel());
+    EXPECT_EQ(std::memcmp(before.data(), after.data(),
+                          sizeof(float) * static_cast<std::size_t>(
+                                              before.numel())),
+              0)
+        << (clipped ? "clipped" : "relu");
+  }
+}
+
+TEST(Optimize, LinearReluFusionIsBitExact) {
+  Rng rng(43);
+  Sequential net;
+  net.emplace<Flatten>();
+  net.emplace<Linear>(48, 10, rng);
+  net.emplace<ReLU>();
+  Rng rx(9);
+  const Tensor x = Tensor::randn(Shape{3, 3, 4, 4}, rx);
+  const Tensor before = net.forward(x, Mode::kEval);
+  const OptimizeStats stats = optimize_for_inference(net);
+  EXPECT_EQ(stats.act_fused, 1);
+  const Tensor after = net.forward(x, Mode::kEval);
+  EXPECT_EQ(std::memcmp(before.data(), after.data(),
+                        sizeof(float) * static_cast<std::size_t>(
+                                            before.numel())),
+            0);
+}
+
+TEST(Optimize, OneByOneConvSkipsIm2colBitExact) {
+  // The eval fast path feeds the input planes to the GEMM directly; the
+  // kTrain path goes through im2col. For 1x1/stride-1/no-pad these are the
+  // same operand values in the same layout, so outputs match bitwise.
+  Rng rng(44);
+  Conv2d conv(6, 12, 1, 1, 0, /*bias=*/true, rng);
+  Rng rx(10);
+  const Tensor x = Tensor::randn(Shape{2, 6, 9, 9}, rx);
+  const Tensor train_y = conv.forward(x, Mode::kTrain);
+  const Tensor eval_y = conv.forward(x, Mode::kEval);
+  EXPECT_EQ(std::memcmp(train_y.data(), eval_y.data(),
+                        sizeof(float) * static_cast<std::size_t>(
+                                            train_y.numel())),
+            0);
+}
+
+TEST(Optimize, PackedCacheHitsAndInvalidation) {
+  Rng rng(45);
+  Conv2d conv(4, 16, 3, 1, 1, /*bias=*/false, rng);
+  Rng rx(11);
+  const Tensor x = Tensor::randn(Shape{1, 4, 16, 16}, rx);
+
+  const std::uint64_t h0 = gemm_pack_hits(), m0 = gemm_pack_misses();
+  conv.forward(x, Mode::kEval);  // first eval forward packs
+  EXPECT_EQ(gemm_pack_misses(), m0 + 1);
+  conv.forward(x, Mode::kEval);  // second reuses
+  EXPECT_EQ(gemm_pack_hits(), h0 + 1);
+  EXPECT_EQ(gemm_pack_misses(), m0 + 1);
+
+  // A training step mutates the weights (Param::version bumps), so the
+  // next eval forward must repack rather than serve stale panels.
+  conv.forward(x, Mode::kTrain);
+  Tensor dy(conv.out_shape(x.shape()));
+  conv.backward(dy);
+  train::Sgd sgd(conv.params(), 0.1);
+  sgd.step();
+  conv.forward(x, Mode::kEval);
+  EXPECT_EQ(gemm_pack_misses(), m0 + 2);
+
+  // Direct writes + mark_dirty invalidate too.
+  conv.weight().value[0] += 1.0f;
+  conv.weight().mark_dirty();
+  conv.forward(x, Mode::kEval);
+  EXPECT_EQ(gemm_pack_misses(), m0 + 3);
+}
+
+TEST(Optimize, LinearPackedCacheHits) {
+  Rng rng(46);
+  Linear fc(32, 8, rng);
+  Rng rx(12);
+  const Tensor x = Tensor::randn(Shape{4, 32}, rx);
+  const std::uint64_t h0 = gemm_pack_hits(), m0 = gemm_pack_misses();
+  const Tensor y1 = fc.forward(x, Mode::kEval);
+  const Tensor y2 = fc.forward(x, Mode::kEval);
+  EXPECT_EQ(gemm_pack_misses(), m0 + 1);
+  EXPECT_EQ(gemm_pack_hits(), h0 + 1);
+  EXPECT_EQ(std::memcmp(y1.data(), y2.data(),
+                        sizeof(float) * static_cast<std::size_t>(y1.numel())),
+            0);
+}
+
+TEST(Optimize, TrainAfterFuseThrows) {
+  Rng rng(47);
+  Sequential net;
+  net.emplace<Conv2d>(3, 8, 3, 1, 1, /*bias=*/true, rng);
+  net.emplace<ReLU>();
+  optimize_for_inference(net);
+  Rng rx(13);
+  const Tensor x = Tensor::randn(Shape{1, 3, 8, 8}, rx);
+  EXPECT_THROW(net.forward(x, Mode::kTrain), std::logic_error);
+}
+
+TEST(Optimize, LoadStateInvalidatesCache) {
+  Rng rng(48);
+  Model m = make_vgg_mini(rng, MiniOptions{});
+  Rng rx(14);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rx);
+  m.forward(x, Mode::kEval);  // warm every layer's packing
+  const std::uint64_t m0 = gemm_pack_misses();
+  m.forward(x, Mode::kEval);
+  EXPECT_EQ(gemm_pack_misses(), m0);  // fully cached
+  std::vector<float> snap = m.state();
+  snap[0] += 0.5f;  // perturb one weight
+  m.load_state(snap);
+  m.forward(x, Mode::kEval);
+  EXPECT_GT(gemm_pack_misses(), m0);  // repacked after the state load
+}
+
+TEST(Optimize, ScratchShrinksBetweenImages) {
+  Rng rng(49);
+  Conv2d conv(3, 8, 3, 1, 1, /*bias=*/false, rng);
+  Rng rx(15);
+  // A large image pins a high-water im2col scratch on this thread...
+  const Tensor big = Tensor::randn(Shape{1, 3, 96, 96}, rx);
+  conv.forward(big, Mode::kEval);
+  const std::int64_t high_water = scratch_bytes();
+  EXPECT_GT(high_water, 0);
+  // ...until shrink_scratch() asks for a trim, applied on the next conv.
+  shrink_scratch();
+  const Tensor small = Tensor::randn(Shape{1, 3, 8, 8}, rx);
+  conv.forward(small, Mode::kEval);
+  EXPECT_LT(scratch_bytes(), high_water);
+}
+
+TEST(Optimize, ClusterRunsOptimizedModel) {
+  // optimize_model=true folds/fuses/prepacks inside the EdgeCluster ctor;
+  // the distributed result must still match the unoptimized monolithic
+  // forward. Worker threads share the prepacked panels read-only (the TSan
+  // CI job exercises this test under the race detector).
+  Rng rng(31);
+  core::FdspOptions fopt;
+  fopt.grid = core::TileGrid{2, 2};
+  core::PartitionedModel pm =
+      core::apply_fdsp(make_vgg_mini(rng, MiniOptions{}), fopt);
+  Rng rx(16);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rx);
+  const Tensor expect = pm.model.forward(x, Mode::kEval);
+
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.compress = false;  // uncompressed tiles isolate the optimizer's effect
+  cfg.optimize_model = true;
+  runtime::EdgeCluster cluster(pm, cfg);
+  const Tensor y = cluster.infer(x);
+  EXPECT_LT(Tensor::max_abs_diff(y, expect), 1e-4f);
+}
+
+}  // namespace
+}  // namespace adcnn::nn
