@@ -2,7 +2,7 @@
 // at in-flight depth 1/2/4 on a bandwidth-modelled cluster (time_scale = 1,
 // so link airtime is real and can overlap compute across in-flight images).
 //
-//   pipeline_throughput [--smoke] [--json=PATH]
+//   pipeline_throughput [--smoke] [--json[=PATH]]
 //
 // Emits BENCH_pipeline.json (images/sec, p50/p99 in-system latency per
 // mode, streaming-vs-sequential speedup, and a bit-identical check of
@@ -161,6 +161,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      // bare form: keep the default BENCH_pipeline.json
     }
   }
   const int n_images = smoke ? 6 : 24;

@@ -8,14 +8,21 @@
 //   3. submit a burst of images, then redeem the tickets in order,
 //   4. self-check every output against the monolithic forward pass.
 //
+// Telemetry flags:
+//   --prom=PATH   write Prometheus text exposition every exporter period
+//   --jsonl=PATH  append one JSONL metrics sample per period
+//   --slo=SECONDS enable the SLO watchdog with this latency objective
 // With --smoke the demo runs a smaller burst (CI uses this).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/fdsp.hpp"
 #include "nn/models_mini.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/pipeline.hpp"
 
@@ -23,8 +30,13 @@ using namespace adcnn;
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string prom_path, jsonl_path;
+  double slo_s = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--prom=", 7) == 0) prom_path = argv[i] + 7;
+    else if (std::strncmp(argv[i], "--jsonl=", 8) == 0) jsonl_path = argv[i] + 8;
+    else if (std::strncmp(argv[i], "--slo=", 6) == 0) slo_s = std::atof(argv[i] + 6);
   }
   const int burst = smoke ? 4 : 12;
 
@@ -39,8 +51,13 @@ int main(int argc, char** argv) {
   core::PartitionedModel pm =
       core::apply_fdsp(nn::make_vgg_mini(rng, nn::MiniOptions{}), opt);
 
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder tracer;
   runtime::ClusterConfig cluster_cfg;
   cluster_cfg.num_nodes = 4;
+  cluster_cfg.critical_path_interval = 2;
+  cluster_cfg.telemetry.metrics = &metrics;
+  cluster_cfg.telemetry.trace = &tracer;
   runtime::EdgeCluster cluster(pm, cluster_cfg);
 
   // Monolithic references for the self-check. FDSP + the threaded runtime
@@ -54,13 +71,32 @@ int main(int argc, char** argv) {
 
   // 2. Streaming server: up to 2 images in flight, bounded submit queue.
   //    While image i runs the central suffix, i+1 gathers results and
-  //    i+2 scatters tiles — three stages on three threads.
-  obs::MetricsRegistry metrics;
+  //    i+2 scatters tiles — three stages on three threads. The background
+  //    exporter publishes the shared registry on its own thread.
   runtime::StreamingConfig scfg;
   scfg.max_in_flight = 2;
   scfg.queue_capacity = 8;  // submit() blocks past this (backpressure)
   scfg.telemetry.metrics = &metrics;
+  scfg.telemetry.trace = &tracer;
+  scfg.exporter.period_s = 0.25;
+  scfg.exporter.prometheus_path = prom_path;
+  scfg.exporter.jsonl_path = jsonl_path;
+  if (slo_s > 0.0) {
+    scfg.slo.target_latency_s = slo_s;
+    scfg.slo.max_miss_rate = 0.05;
+    scfg.slo.window = 64;
+    scfg.slo.min_samples = 4;
+    scfg.slo.sustain = 2;
+  }
   runtime::StreamingServer server(cluster.central(), scfg);
+  if (server.slo()) {
+    server.slo()->on_violation([](obs::SloMonitor::Event e, double rate) {
+      std::printf("[slo] %s (miss rate %.1f%%)\n",
+                  e == obs::SloMonitor::Event::kViolation ? "VIOLATION"
+                                                          : "recovered",
+                  rate * 100.0);
+    });
+  }
 
   // 3. Fire the whole burst, then redeem tickets in submission order.
   std::vector<std::int64_t> tickets;
@@ -84,10 +120,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.tiles_total - stats.tiles_missing),
         static_cast<long long>(stats.tiles_total), diff);
   }
-  server.close();
+  const std::int64_t ticks =
+      server.exporter() ? server.exporter()->ticks() : 0;
+  server.close();  // final exporter flush happens here
 
   // 4. Serving metrics the pipeline maintains (gauges read at close).
   std::printf("\nserving metrics:\n%s\n", metrics.to_json().c_str());
+  if (!prom_path.empty())
+    std::printf("prometheus exposition -> %s (%lld ticks)\n",
+                prom_path.c_str(), static_cast<long long>(ticks));
+  if (!jsonl_path.empty())
+    std::printf("jsonl time series     -> %s\n", jsonl_path.c_str());
   std::printf("worst |streamed - monolithic| = %.2e\n", worst);
   return worst < 1e-4f ? 0 : 1;
 }

@@ -1,11 +1,13 @@
 // Telemetry demo: run a degraded 4-node edge cluster with full
 // instrumentation and export
 //
-//   adcnn.trace.json    — Chrome trace_event timeline (open in
-//                         chrome://tracing or https://ui.perfetto.dev)
-//   adcnn.timeline.csv  — the same spans as a flat CSV
-//   adcnn.report.json   — per-inference InferStats reports (JSON lines)
-//   adcnn.metrics.json  — final MetricsRegistry snapshot
+//   adcnn.trace.json         — Chrome trace_event timeline (open in
+//                              chrome://tracing or https://ui.perfetto.dev)
+//   adcnn.timeline.csv       — the same spans as a flat CSV
+//   adcnn.report.json        — per-inference InferStats reports (JSON lines)
+//   adcnn.metrics.json       — final MetricsRegistry snapshot
+//   adcnn.critical_path.json — per-stage critical-path decomposition of one
+//                              healthy image's causal span tree
 //
 // Halfway through the stream one node is throttled and another killed, so
 // the trace shows tiles draining away from the degraded lanes while
@@ -21,6 +23,7 @@
 
 #include "core/fdsp.hpp"
 #include "nn/models_mini.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/cluster.hpp"
@@ -93,23 +96,50 @@ int main() {
                 stats.deadline_slack_s * 1e3, drift * 100.0);
   }
 
+  // Causal tree + critical path over one healthy (pre-degradation) image:
+  // every span carries an id/parent link, so the scatter → downlink → tile
+  // chain crossing into the worker threads resolves back to the image's
+  // "infer" root, and critical_path() decomposes the root's wall time into
+  // the stage the image was actually waiting on at each instant.
+  const std::vector<obs::Span> spans = trace.spans();
+  const std::int64_t probe_image = 2;
+  const auto report = obs::critical_path(spans, probe_image);
+  std::printf("\ncritical path of image %lld (%.2f ms, %.1f%% attributed, "
+              "dominant: %s):\n",
+              static_cast<long long>(report.image_id), report.total_s * 1e3,
+              report.coverage() * 100.0, report.dominant_stage.c_str());
+  for (const auto& st : report.stages) {
+    std::printf("  %-14s %7.3f ms  (%4.1f%%)\n", st.stage.c_str(),
+                st.seconds * 1e3, st.fraction * 100.0);
+  }
+
   if (!dump("adcnn.trace.json", trace.to_chrome_json()) ||
       !dump("adcnn.timeline.csv", trace.to_csv()) ||
       !dump("adcnn.report.json", reports) ||
-      !dump("adcnn.metrics.json", metrics.to_json()))
+      !dump("adcnn.metrics.json", metrics.to_json()) ||
+      !dump("adcnn.critical_path.json", report.to_json()))
     return 1;
 
   // Self-check the exported trace: span taxonomy and node-lane coverage.
   std::set<std::string> cats;
   std::set<int> worker_tids;
-  for (const auto& span : trace.spans()) {
+  std::set<std::int64_t> ids;
+  std::size_t linked = 0, with_id = 0;
+  for (const auto& span : spans) {
     cats.insert(span.cat);
     if (span.tid > 0) worker_tids.insert(span.tid);
+    if (span.id != 0) {
+      ++with_id;
+      ids.insert(span.id);
+    }
+    if (span.parent != 0) ++linked;
   }
   std::printf("\n%zu spans, %zu categories:", trace.size(), cats.size());
   for (const auto& cat : cats) std::printf(" %s", cat.c_str());
   std::printf("\nworker lanes: %zu; images with >10%% stage-sum drift: %d\n",
               worker_tids.size(), bad_sums);
+  std::printf("causal links: %zu/%zu spans carry unique ids, %zu have a "
+              "parent\n", ids.size(), spans.size(), linked);
 
   const auto snap = metrics.snapshot();
   const double ratio =
@@ -122,7 +152,10 @@ int main() {
                   snap.counters.at("central.tiles_missing")));
 
   const bool ok = cats.size() >= 6 && worker_tids.size() >= 2 &&
-                  bad_sums == 0 && ratio > 1.0;
+                  bad_sums == 0 && ratio > 1.0 &&
+                  ids.size() == with_id && with_id == spans.size() &&
+                  linked > spans.size() / 2 && report.coverage() >= 0.95 &&
+                  report.stage_seconds("conv_compute") > 0.0;
   std::printf("%s\n", ok ? "telemetry export OK"
                          : "telemetry export FAILED self-check");
   return ok ? 0 : 1;

@@ -27,6 +27,7 @@ constexpr std::int64_t kSmallFlops = 2 * 24 * 24 * 24;
 
 std::atomic<std::uint64_t> g_pack_hits{0};
 std::atomic<std::uint64_t> g_pack_misses{0};
+std::atomic<std::uint64_t> g_pack_bytes{0};
 
 std::vector<float>& a_pack_buffer() {
   thread_local std::vector<float> buf;
@@ -500,6 +501,19 @@ void PackedWeightCache::note_hit() {
 
 void PackedWeightCache::note_miss() {
   g_pack_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t gemm_pack_bytes() {
+  return g_pack_bytes.load(std::memory_order_relaxed);
+}
+
+void PackedWeightCache::note_pack(std::size_t old_bytes,
+                                  std::size_t new_bytes) {
+  if (new_bytes >= old_bytes) {
+    g_pack_bytes.fetch_add(new_bytes - old_bytes, std::memory_order_relaxed);
+  } else {
+    g_pack_bytes.fetch_sub(old_bytes - new_bytes, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace adcnn::nn

@@ -136,6 +136,10 @@ void gemm_a_bt_prepacked(const float* a, const float* b,
 /// gemm.pack_hits / gemm.pack_misses metrics by the streaming pipeline.
 std::uint64_t gemm_pack_hits();
 std::uint64_t gemm_pack_misses();
+/// Bytes currently resident across every live PackedWeightCache packing
+/// (the gemm.pack_bytes gauge) — the memory cost the pack cache trades for
+/// its hit rate.
+std::uint64_t gemm_pack_bytes();
 
 /// Thread-safe lazily repacked weight holder used by Conv2d / Linear.
 /// `get` repacks only when `version` (the owning Param's mutation counter)
@@ -152,8 +156,10 @@ class PackedWeightCache {
     }
     std::lock_guard<std::mutex> lock(mu_);
     if (version_.load(std::memory_order_relaxed) != version) {
+      const std::size_t old_bytes = packed_.bytes();
       packed_ = pack();
       note_miss();
+      note_pack(old_bytes, packed_.bytes());
       version_.store(version, std::memory_order_release);
     } else {
       note_hit();  // lost a benign race: another thread just packed
@@ -164,9 +170,15 @@ class PackedWeightCache {
   /// Drop the cached packing; the next get() repacks.
   void invalidate() { version_.store(kEmpty, std::memory_order_release); }
 
+ public:
+  ~PackedWeightCache() { note_pack(packed_.bytes(), 0); }
+
  private:
   static void note_hit();
   static void note_miss();
+  /// Fold a packing-size change into the process-wide resident-bytes
+  /// account (gemm_pack_bytes): `old_bytes` leave, `new_bytes` arrive.
+  static void note_pack(std::size_t old_bytes, std::size_t new_bytes);
 
   static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
   PackedMatrix packed_;

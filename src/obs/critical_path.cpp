@@ -1,0 +1,182 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace adcnn::obs {
+
+namespace {
+
+struct Node {
+  const Span* span = nullptr;
+  std::vector<int> children;       // indices, sorted by begin_ns
+  std::int64_t subtree_end = 0;    // max end_ns over the whole subtree
+};
+
+std::int64_t compute_subtree_end(std::vector<Node>& nodes, int i, int depth) {
+  Node& n = nodes[static_cast<std::size_t>(i)];
+  if (n.subtree_end != 0) return n.subtree_end;
+  std::int64_t e = n.span->end_ns;
+  // Corrupt parent links could form a cycle; a depth cap turns that into a
+  // truncated (still useful) attribution instead of a stack overflow.
+  if (depth < 64) {
+    for (const int c : n.children)
+      e = std::max(e, compute_subtree_end(nodes, c, depth + 1));
+  }
+  n.subtree_end = e;
+  return e;
+}
+
+struct Attribution {
+  std::vector<StageTime> stages;  // ordered by first appearance
+  std::unordered_map<std::string, std::size_t> index;
+
+  void add(const char* name, std::int64_t ns) {
+    if (ns <= 0) return;
+    const auto [it, fresh] = index.try_emplace(name, stages.size());
+    if (fresh) stages.push_back(StageTime{name, 0.0, 0.0});
+    stages[it->second].seconds += static_cast<double>(ns) / 1e9;
+  }
+};
+
+/// Decompose [from, to] of node i: descend into whichever begun child
+/// subtree extends furthest (the gating chain); gaps covered by no child
+/// subtree are the node's own stage time.
+void attribute(const std::vector<Node>& nodes, int i, std::int64_t from,
+               std::int64_t to, int depth, Attribution* out) {
+  const Node& n = nodes[static_cast<std::size_t>(i)];
+  std::int64_t cursor = from;
+  while (cursor < to) {
+    int gating = -1;
+    std::int64_t next_begin = to;
+    if (depth < 64) {
+      for (const int c : n.children) {
+        const Node& ch = nodes[static_cast<std::size_t>(c)];
+        if (ch.subtree_end <= cursor || ch.span->begin_ns >= to) continue;
+        if (ch.span->begin_ns <= cursor) {
+          if (gating < 0 ||
+              ch.subtree_end >
+                  nodes[static_cast<std::size_t>(gating)].subtree_end) {
+            gating = c;
+          }
+        } else {
+          next_begin = std::min(next_begin, ch.span->begin_ns);
+        }
+      }
+    }
+    if (gating >= 0) {
+      const std::int64_t child_to = std::min(
+          nodes[static_cast<std::size_t>(gating)].subtree_end, to);
+      attribute(nodes, gating, cursor, child_to, depth + 1, out);
+      cursor = child_to;
+    } else {
+      // No begun child subtree is pending: this stretch is the node's own
+      // stage (compute inside a leaf, queue/deadline wait inside gather).
+      out->add(n.span->name, next_begin - cursor);
+      cursor = next_begin;
+    }
+  }
+}
+
+}  // namespace
+
+double CriticalPathReport::stage_seconds(const std::string& name) const {
+  for (const auto& s : stages)
+    if (s.stage == name) return s.seconds;
+  return 0.0;
+}
+
+std::string CriticalPathReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("image_id", image_id);
+  w.kv("total_s", total_s);
+  w.kv("attributed_s", attributed_s);
+  w.kv("coverage", coverage());
+  w.kv("dominant_stage", dominant_stage);
+  w.key("stages").begin_array();
+  for (const auto& s : stages) {
+    w.begin_object();
+    w.kv("stage", s.stage).kv("seconds", s.seconds).kv("fraction", s.fraction);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+CriticalPathReport critical_path(const std::vector<Span>& spans,
+                                 std::int64_t image_id) {
+  CriticalPathReport report;
+  report.image_id = image_id;
+
+  std::vector<Node> nodes;
+  std::unordered_map<std::int64_t, int> by_id;
+  for (const Span& s : spans) {
+    if (s.image_id != image_id || s.id == 0) continue;
+    by_id.emplace(s.id, static_cast<int>(nodes.size()));  // first id wins
+    nodes.push_back(Node{&s, {}, 0});
+  }
+  if (nodes.empty()) return report;
+
+  std::vector<int> top_level;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Span& s = *nodes[i].span;
+    const auto it = s.parent != 0 ? by_id.find(s.parent) : by_id.end();
+    if (it != by_id.end() && it->second != static_cast<int>(i)) {
+      nodes[static_cast<std::size_t>(it->second)].children.push_back(
+          static_cast<int>(i));
+    } else {
+      // True roots and orphans (parent evicted from the ring) surface here.
+      top_level.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Root = the widest top-level span (the per-image "infer" span when it
+  // survived); every other top-level span overlapping it is adopted so
+  // ring-evicted parents degrade the tree instead of hiding whole chains.
+  int root = top_level.front();
+  for (const int i : top_level) {
+    const Node& a = nodes[static_cast<std::size_t>(i)];
+    const Node& b = nodes[static_cast<std::size_t>(root)];
+    if (a.span->end_ns - a.span->begin_ns > b.span->end_ns - b.span->begin_ns)
+      root = i;
+  }
+  for (const int i : top_level) {
+    if (i == root) continue;
+    const Span& s = *nodes[static_cast<std::size_t>(i)].span;
+    const Span& r = *nodes[static_cast<std::size_t>(root)].span;
+    if (s.begin_ns < r.end_ns && s.end_ns > r.begin_ns)
+      nodes[static_cast<std::size_t>(root)].children.push_back(i);
+  }
+
+  for (auto& n : nodes) {
+    std::sort(n.children.begin(), n.children.end(), [&](int a, int b) {
+      return nodes[static_cast<std::size_t>(a)].span->begin_ns <
+             nodes[static_cast<std::size_t>(b)].span->begin_ns;
+    });
+  }
+  compute_subtree_end(nodes, root, 0);
+
+  const Span& rs = *nodes[static_cast<std::size_t>(root)].span;
+  report.total_s = static_cast<double>(rs.end_ns - rs.begin_ns) / 1e9;
+
+  Attribution attr;
+  attribute(nodes, root, rs.begin_ns, rs.end_ns, 0, &attr);
+  report.stages = std::move(attr.stages);
+  for (auto& s : report.stages) {
+    report.attributed_s += s.seconds;
+    if (report.total_s > 0.0) s.fraction = s.seconds / report.total_s;
+  }
+  const auto dominant = std::max_element(
+      report.stages.begin(), report.stages.end(),
+      [](const StageTime& a, const StageTime& b) {
+        return a.seconds < b.seconds;
+      });
+  if (dominant != report.stages.end()) report.dominant_stage = dominant->stage;
+  return report;
+}
+
+}  // namespace adcnn::obs

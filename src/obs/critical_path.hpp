@@ -1,0 +1,60 @@
+// Critical-path analysis over one image's causal span tree.
+//
+// Spans (see trace.hpp) form a tree per image via their id/parent links:
+// the "infer" root covers submit-to-output, its central-thread children
+// (partition, allocate, scatter, gather_wait, zero_fill, suffix) partition
+// the root's own timeline, and each scatter-time downlink span roots a
+// cross-thread chain (downlink → tile → conv_compute → compress → uplink)
+// whose extent reaches into the gather window. This is a *causal* tree, not
+// a nesting tree — a child may begin after its parent span ended.
+//
+// critical_path() decomposes the root's wall interval [begin, end] into
+// named stage segments by always descending into the *gating* subtree: at
+// every instant, of the child subtrees already begun and not yet exhausted,
+// the one whose subtree extends furthest is the one the image is actually
+// waiting on. Time inside a span not covered by any child subtree is
+// attributed to that span's own stage name (e.g. gather_wait self time =
+// waiting on the results channel after the slowest chain's uplink landed).
+// The decomposition covers the whole root interval by construction, so
+// attributed_s ≈ total_s; the per-stage split is the profiling signal an
+// online partition planner searches against (which stage to shrink: grid
+// size vs cut point vs compression setting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace adcnn::obs {
+
+struct StageTime {
+  std::string stage;      // span name the time is attributed to
+  double seconds = 0.0;   // total along the critical path
+  double fraction = 0.0;  // seconds / report.total_s
+};
+
+struct CriticalPathReport {
+  std::int64_t image_id = -1;
+  double total_s = 0.0;       // root span wall time
+  double attributed_s = 0.0;  // sum over stages (≈ total_s)
+  std::string dominant_stage; // stage with the most attributed time
+  /// Aggregated per stage name, ordered by first appearance on the path.
+  std::vector<StageTime> stages;
+
+  double coverage() const {
+    return total_s > 0.0 ? attributed_s / total_s : 0.0;
+  }
+  double stage_seconds(const std::string& name) const;
+  std::string to_json() const;
+};
+
+/// Analyze one image's span tree. `spans` may hold many images (pass a
+/// TraceRecorder::spans() dump); only spans with the given image_id are
+/// considered. Returns a report with total_s == 0 when the image has no
+/// spans (e.g. the tracer was detached or the ring already evicted them).
+CriticalPathReport critical_path(const std::vector<Span>& spans,
+                                 std::int64_t image_id);
+
+}  // namespace adcnn::obs

@@ -1,0 +1,216 @@
+#include "obs/exporter.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace adcnn::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Instrument names use
+/// dots ("central.latency_s"); map anything illegal to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "adcnn_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += buf;
+  }
+}
+
+void line(std::string& out, const std::string& name, double v) {
+  out += name;
+  out.push_back(' ');
+  append_number(out, v);
+  out.push_back('\n');
+}
+
+void line(std::string& out, const std::string& name, std::int64_t v) {
+  out += name;
+  out.push_back(' ');
+  out += std::to_string(v);
+  out.push_back('\n');
+}
+
+/// Atomic publish: write to `<path>.tmp`, then rename over the target so a
+/// concurrent reader sees either the old or the new file, never a torn one.
+bool write_file_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool append_file(const std::string& path, const std::string& body,
+                 bool truncate) {
+  std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (!f) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(MetricsRegistry& registry,
+                                     ExporterConfig cfg)
+    : registry_(registry), cfg_(std::move(cfg)) {
+  if (cfg_.period_s > 0.0) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+TelemetryExporter::~TelemetryExporter() { stop(); }
+
+void TelemetryExporter::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  export_now();  // final flush so even a short run leaves one sample behind
+}
+
+void TelemetryExporter::run() {
+  const auto period = std::chrono::duration<double>(cfg_.period_s);
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+    lock.unlock();
+    export_now();
+    lock.lock();
+  }
+}
+
+void TelemetryExporter::export_now() {
+  const MetricsSnapshot snap = registry_.snapshot();
+  const std::int64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (!cfg_.prometheus_path.empty()) {
+    write_file_atomic(cfg_.prometheus_path, to_prometheus(snap));
+  }
+  if (!cfg_.jsonl_path.empty()) {
+    append_file(cfg_.jsonl_path, jsonl_line(snap),
+                cfg_.truncate_jsonl && tick == 0);
+  }
+}
+
+std::string TelemetryExporter::to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prom_name(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    line(out, n, v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    line(out, n, v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += n + "_bucket{le=\"";
+      append_number(out, h.upper_bounds[i]);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    line(out, n + "_sum", h.sum);
+    line(out, n + "_count", h.count);
+  }
+  for (const auto& [name, q] : snap.quantiles) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " summary\n";
+    const std::pair<const char*, double> qs[] = {{"0.5", q.window.p50},
+                                                 {"0.9", q.window.p90},
+                                                 {"0.99", q.window.p99},
+                                                 {"0.999", q.window.p999}};
+    for (const auto& [label, v] : qs) {
+      out += n + "{quantile=\"" + label + "\"} ";
+      append_number(out, v);
+      out.push_back('\n');
+    }
+    line(out, n + "_sum", q.total.sum);
+    line(out, n + "_count", q.total.count);
+  }
+  return out;
+}
+
+std::string TelemetryExporter::jsonl_line(const MetricsSnapshot& snap) {
+  const double ts_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ts_s", ts_s);
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.kv(name, v);
+  w.end_object();
+  {
+    // Per-tick counter deltas: rate-of-change without consumer-side state.
+    std::lock_guard lock(mu_);
+    w.key("counter_deltas").begin_object();
+    for (const auto& [name, v] : snap.counters) {
+      const auto it = prev_counters_.find(name);
+      w.kv(name, it == prev_counters_.end() ? v : v - it->second);
+    }
+    w.end_object();
+    prev_counters_ = snap.counters;
+  }
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snap.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.kv("count", h.count).kv("sum", h.sum).kv("mean", h.mean());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("quantiles").begin_object();
+  for (const auto& [name, q] : snap.quantiles) {
+    w.key(name).begin_object();
+    w.kv("count", q.total.count).kv("window_count", q.window.count);
+    w.kv("p50", q.window.p50).kv("p90", q.window.p90);
+    w.kv("p99", q.window.p99).kv("p999", q.window.p999);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  std::string out = w.take();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace adcnn::obs

@@ -1,0 +1,84 @@
+// Background telemetry exporter.
+//
+// A TelemetryExporter owns one thread that wakes every `period_s`, snapshots
+// a MetricsRegistry, and publishes two artifacts:
+//
+//  * Prometheus text exposition at `prometheus_path`, written atomically
+//    (tmp + rename) so a scraper reading mid-write never sees a torn file.
+//    Counters map to `counter` (with an `_total` suffix), gauges to `gauge`,
+//    fixed-bucket histograms to `histogram` (cumulative `le` buckets), and
+//    windowed quantile instruments to `summary` (`quantile` labels over the
+//    sliding window, cumulative `_sum`/`_count`).
+//
+//  * An append-only JSONL time series at `jsonl_path`: one object per tick
+//    with a wall-clock timestamp, raw values, and per-tick counter deltas
+//    (rates without scraper-side state).
+//
+// Either path may be empty to disable that output. stop() (or destruction)
+// joins the thread after one final flush, so short-lived runs still export
+// at least one sample. export_now() is also callable directly — with
+// period_s <= 0 no thread starts and the exporter is purely manual.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace adcnn::obs {
+
+struct ExporterConfig {
+  double period_s = 1.0;        // <= 0: no background thread (manual mode)
+  std::string prometheus_path;  // empty: skip Prometheus output
+  std::string jsonl_path;       // empty: skip JSONL output
+  bool truncate_jsonl = true;   // start a fresh series instead of appending
+};
+
+class TelemetryExporter {
+ public:
+  /// The registry must outlive the exporter. Starts the background thread
+  /// immediately when cfg.period_s > 0.
+  TelemetryExporter(MetricsRegistry& registry, ExporterConfig cfg);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Stop the background thread after one final export. Idempotent.
+  void stop();
+
+  /// Snapshot and write both outputs now (also used by the thread).
+  void export_now();
+
+  /// Export cycles completed (background + manual).
+  std::int64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  const ExporterConfig& config() const { return cfg_; }
+
+  /// Render a snapshot in Prometheus text exposition format (version 0.0.4).
+  static std::string to_prometheus(const MetricsSnapshot& snap);
+
+ private:
+  void run();
+  std::string jsonl_line(const MetricsSnapshot& snap);
+
+  MetricsRegistry& registry_;
+  ExporterConfig cfg_;
+  std::atomic<std::int64_t> ticks_{0};
+
+  std::mutex mu_;  // guards stop_ for the cv, and prev_counters_/first tick
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::map<std::string, std::int64_t> prev_counters_;
+  std::thread thread_;
+};
+
+}  // namespace adcnn::obs

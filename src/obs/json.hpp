@@ -21,9 +21,13 @@ inline void json_escape_into(std::string& out, std::string_view s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        // Control chars: C0 block plus DEL (0x7F), which some strict
+        // consumers reject raw even though RFC 8259 tolerates it.
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) == 0x7F) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out.push_back(c);
@@ -37,7 +41,13 @@ inline void json_escape_into(std::string& out, std::string_view s) {
 /// in a valid order (the writer tracks comma placement, not grammar).
 class JsonWriter {
  public:
-  std::string take() { return std::move(out_); }
+  /// Return the document and reset the writer for reuse.
+  std::string take() {
+    std::string out = std::move(out_);
+    out_.clear();  // moved-from is valid-but-unspecified; make it empty
+    pending_value_ = false;
+    return out;
+  }
   const std::string& str() const { return out_; }
 
   JsonWriter& begin_object() { open('{'); return *this; }

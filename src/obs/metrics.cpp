@@ -86,12 +86,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+QuantileHistogram& MetricsRegistry::quantile_histogram(
+    const std::string& name, QuantileHistogram::Config cfg) {
+  std::lock_guard lock(mu_);
+  auto& slot = quantiles_[name];
+  if (!slot) slot = std::make_unique<QuantileHistogram>(cfg);
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mu_);
   MetricsSnapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  for (const auto& [name, q] : quantiles_) s.quantiles[name] = q->snapshot();
   return s;
 }
 
@@ -114,6 +123,23 @@ std::string MetricsSnapshot::to_json() const {
     w.key("counts").begin_array();
     for (const auto c : h.counts) w.value(c);
     w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("quantiles").begin_object();
+  for (const auto& [name, q] : quantiles) {
+    const auto stats = [&w](const char* key, const QuantileStats& st) {
+      w.key(key).begin_object();
+      w.kv("count", st.count).kv("sum", st.sum);
+      w.kv("p50", st.p50).kv("p90", st.p90);
+      w.kv("p99", st.p99).kv("p999", st.p999);
+      w.end_object();
+    };
+    w.key(name).begin_object();
+    stats("total", q.total);
+    stats("window", q.window);
+    w.kv("window_seconds", q.window_seconds);
+    w.kv("min", q.total.min).kv("max", q.total.max);
     w.end_object();
   }
   w.end_object();

@@ -17,7 +17,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "obs/quantile.hpp"
 
 namespace adcnn::obs {
 
@@ -40,10 +43,23 @@ class Gauge {
  public:
   void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
   void add(double d) noexcept {
+#if defined(__cpp_lib_atomic_float)
+    v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    // Bounded CAS: under heavy contention with concurrent set() callers a
+    // bare retry loop can spin pathologically; yield between rounds so the
+    // winner's store becomes visible, and never spin more than a handful
+    // of rounds per yield.
     double cur = v_.load(std::memory_order_relaxed);
-    while (!v_.compare_exchange_weak(cur, cur + d,
-                                     std::memory_order_relaxed)) {
+    for (int spin = 0;
+         !v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed);
+         ++spin) {
+      if (spin >= 16) {
+        std::this_thread::yield();
+        spin = 0;
+      }
     }
+#endif
   }
   double value() const noexcept { return v_.load(std::memory_order_relaxed); }
 
@@ -90,6 +106,7 @@ struct MetricsSnapshot {
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, QuantileSnapshot> quantiles;
   std::string to_json() const;
 };
 
@@ -103,6 +120,11 @@ class MetricsRegistry {
   /// name return the existing histogram regardless of bounds.
   Histogram& histogram(const std::string& name, std::vector<double> bounds =
                                                     std::vector<double>());
+  /// Windowed quantile instrument (p50/p90/p99/p999 over a sliding window).
+  /// `cfg` applies only on first creation, like histogram bounds.
+  QuantileHistogram& quantile_histogram(
+      const std::string& name,
+      QuantileHistogram::Config cfg = QuantileHistogram::Config{});
 
   MetricsSnapshot snapshot() const;
   std::string to_json() const { return snapshot().to_json(); }
@@ -112,6 +134,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileHistogram>> quantiles_;
 };
 
 }  // namespace adcnn::obs

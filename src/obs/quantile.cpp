@@ -1,0 +1,202 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace adcnn::obs {
+
+QuantileHistogram::QuantileHistogram(Config cfg) : cfg_(cfg) {
+  if (!(cfg_.min_value > 0.0) || !(cfg_.max_value > cfg_.min_value)) {
+    throw std::invalid_argument(
+        "QuantileHistogram: need 0 < min_value < max_value");
+  }
+  if (cfg_.sub_bucket_bits < 1 || cfg_.sub_bucket_bits > 16) {
+    throw std::invalid_argument(
+        "QuantileHistogram: sub_bucket_bits out of [1, 16]");
+  }
+  if (cfg_.epochs < 2 || !(cfg_.epoch_seconds > 0.0)) {
+    throw std::invalid_argument(
+        "QuantileHistogram: need epochs >= 2 and epoch_seconds > 0");
+  }
+  inv_min_ = 1.0 / cfg_.min_value;
+  max_scaled_ = cfg_.max_value * inv_min_;
+  const int octaves =
+      static_cast<int>(std::ceil(std::log2(max_scaled_))) + 1;
+  nbuckets_ = (static_cast<std::size_t>(octaves)
+               << static_cast<unsigned>(cfg_.sub_bucket_bits)) +
+              1;  // +1: dedicated underflow/clamp bucket at index 0
+
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(nbuckets_);
+  for (std::size_t i = 0; i < nbuckets_; ++i) buckets_[i].store(0);
+  const std::size_t E = static_cast<std::size_t>(cfg_.epochs);
+  epoch_buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(E * nbuckets_);
+  for (std::size_t i = 0; i < E * nbuckets_; ++i) epoch_buckets_[i].store(0);
+  epoch_count_ = std::make_unique<std::atomic<std::int64_t>[]>(E);
+  epoch_sum_ = std::make_unique<std::atomic<double>[]>(E);
+  for (std::size_t e = 0; e < E; ++e) {
+    epoch_count_[e].store(0);
+    epoch_sum_[e].store(0.0);
+  }
+  origin_ = std::chrono::steady_clock::now();
+}
+
+std::size_t QuantileHistogram::bucket_index(double v) const noexcept {
+  // NaN and v <= min_value collapse into the clamp bucket at index 0.
+  if (!(v > cfg_.min_value)) return 0;
+  const double scaled = std::min(v * inv_min_, max_scaled_);  // >= 1
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(scaled);
+  const int exp = static_cast<int>((bits >> 52) & 0x7ff) - 1023;  // floor log2
+  const unsigned sb = static_cast<unsigned>(cfg_.sub_bucket_bits);
+  const std::uint64_t mant =
+      (bits >> (52 - sb)) & ((std::uint64_t{1} << sb) - 1);
+  const std::size_t idx =
+      1 + ((static_cast<std::size_t>(exp) << sb) | mant);
+  return std::min(idx, nbuckets_ - 1);
+}
+
+double QuantileHistogram::bucket_value(std::size_t idx) const noexcept {
+  if (idx == 0) return cfg_.min_value;
+  const unsigned sb = static_cast<unsigned>(cfg_.sub_bucket_bits);
+  const std::size_t linear = idx - 1;
+  const std::size_t exp = linear >> sb;
+  const std::size_t mant = linear & ((std::size_t{1} << sb) - 1);
+  const double sub = static_cast<double>(1u << sb);
+  // Midpoint of the bucket [2^e * (1 + m/sub), 2^e * (1 + (m+1)/sub)).
+  const double lo = std::ldexp(1.0 + static_cast<double>(mant) / sub,
+                               static_cast<int>(exp));
+  const double hi = std::ldexp(1.0 + (static_cast<double>(mant) + 1.0) / sub,
+                               static_cast<int>(exp));
+  return std::min(cfg_.max_value, cfg_.min_value * 0.5 * (lo + hi));
+}
+
+std::int64_t QuantileHistogram::current_epoch() const noexcept {
+  const auto dt = std::chrono::steady_clock::now() - origin_;
+  return static_cast<std::int64_t>(
+      std::chrono::duration<double>(dt).count() / cfg_.epoch_seconds);
+}
+
+void QuantileHistogram::rotate_if_stale() const noexcept {
+  const std::int64_t cur = current_epoch();
+  if (cur == epoch_.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(rotate_mu_);
+  const std::int64_t seen = epoch_.load(std::memory_order_relaxed);
+  if (cur <= seen) return;
+  const auto E = static_cast<std::int64_t>(cfg_.epochs);
+  // Clear every epoch slot that fell out of the window (all of them if the
+  // histogram sat idle for longer than one full ring revolution).
+  const std::int64_t steps = std::min(cur - seen, E);
+  for (std::int64_t s = 1; s <= steps; ++s) {
+    const auto slot = static_cast<std::size_t>((seen + s) % E);
+    for (std::size_t i = 0; i < nbuckets_; ++i)
+      epoch_buckets_[slot * nbuckets_ + i].store(0, std::memory_order_relaxed);
+    epoch_count_[slot].store(0, std::memory_order_relaxed);
+    epoch_sum_[slot].store(0.0, std::memory_order_relaxed);
+  }
+  epoch_.store(cur, std::memory_order_release);
+}
+
+void QuantileHistogram::observe(double v) noexcept {
+  rotate_if_stale();
+  const std::size_t idx = bucket_index(v);
+  const double clamped =
+      std::isnan(v) ? cfg_.min_value
+                    : std::clamp(v, cfg_.min_value, cfg_.max_value);
+
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+#if defined(__cpp_lib_atomic_float)
+  sum_.fetch_add(clamped, std::memory_order_relaxed);
+#else
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + clamped,
+                                     std::memory_order_relaxed)) {
+  }
+#endif
+  if (n == 0) {
+    min_.store(clamped, std::memory_order_relaxed);
+    max_.store(clamped, std::memory_order_relaxed);
+  } else {
+    double m = min_.load(std::memory_order_relaxed);
+    while (clamped < m &&
+           !min_.compare_exchange_weak(m, clamped,
+                                       std::memory_order_relaxed)) {
+    }
+    m = max_.load(std::memory_order_relaxed);
+    while (clamped > m &&
+           !max_.compare_exchange_weak(m, clamped,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const auto slot = static_cast<std::size_t>(
+      epoch_.load(std::memory_order_relaxed) %
+      static_cast<std::int64_t>(cfg_.epochs));
+  epoch_buckets_[slot * nbuckets_ + idx].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  epoch_count_[slot].fetch_add(1, std::memory_order_relaxed);
+#if defined(__cpp_lib_atomic_float)
+  epoch_sum_[slot].fetch_add(clamped, std::memory_order_relaxed);
+#else
+  double es = epoch_sum_[slot].load(std::memory_order_relaxed);
+  while (!epoch_sum_[slot].compare_exchange_weak(
+      es, es + clamped, std::memory_order_relaxed)) {
+  }
+#endif
+}
+
+QuantileStats QuantileHistogram::stats_from(
+    const std::vector<std::int64_t>& counts, std::int64_t count,
+    double sum) const {
+  QuantileStats s;
+  s.count = count;
+  s.sum = sum;
+  if (count <= 0) return s;
+  const auto quantile = [&](double q) {
+    const auto rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      seen += counts[i];
+      if (seen >= rank) return bucket_value(i);
+    }
+    return bucket_value(counts.size() - 1);
+  };
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  s.p999 = quantile(0.999);
+  return s;
+}
+
+QuantileSnapshot QuantileHistogram::snapshot() const {
+  rotate_if_stale();
+  QuantileSnapshot snap;
+  snap.window_seconds = cfg_.epoch_seconds * static_cast<double>(cfg_.epochs);
+
+  std::vector<std::int64_t> total(nbuckets_, 0);
+  for (std::size_t i = 0; i < nbuckets_; ++i)
+    total[i] = buckets_[i].load(std::memory_order_relaxed);
+  snap.total = stats_from(total, count_.load(std::memory_order_relaxed),
+                          sum_.load(std::memory_order_relaxed));
+  snap.total.min = min_.load(std::memory_order_relaxed);
+  snap.total.max = max_.load(std::memory_order_relaxed);
+
+  const auto E = static_cast<std::size_t>(cfg_.epochs);
+  std::vector<std::int64_t> window(nbuckets_, 0);
+  std::int64_t wcount = 0;
+  double wsum = 0.0;
+  for (std::size_t e = 0; e < E; ++e) {
+    for (std::size_t i = 0; i < nbuckets_; ++i)
+      window[i] += epoch_buckets_[e * nbuckets_ + i].load(
+          std::memory_order_relaxed);
+    wcount += epoch_count_[e].load(std::memory_order_relaxed);
+    wsum += epoch_sum_[e].load(std::memory_order_relaxed);
+  }
+  snap.window = stats_from(window, wcount, wsum);
+  return snap;
+}
+
+}  // namespace adcnn::obs

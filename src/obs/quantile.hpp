@@ -1,0 +1,111 @@
+// Log-bucketed (HDR-style) quantile histogram with a sliding-window view.
+//
+// observe() is lock-free on the hot path: the bucket index is derived from
+// the IEEE-754 exponent and top mantissa bits of the scaled value (no libm
+// call), followed by a handful of relaxed atomic increments. Each bucket
+// subdivides one power-of-two octave linearly into 2^sub_bucket_bits
+// sub-buckets, bounding the relative quantile error by ~2^-(sub_bucket_bits)
+// (about 3% at the default 5 bits — comfortably inside the 5% target).
+//
+// The sliding window is N rotating epochs: every observation lands in both
+// the cumulative bucket array and the current epoch's array; a reader merges
+// the live epochs, so window quantiles cover roughly the last
+// epochs x epoch_seconds seconds. Epoch rotation (clearing the slot that
+// falls out of the window) takes a mutex, but only on the first observe or
+// snapshot of a new epoch; everything else stays relaxed-atomic. A write
+// racing a rotation can land in a just-cleared epoch slot — telemetry-grade
+// semantics, same as the registry's non-atomic snapshot cut.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace adcnn::obs {
+
+/// Point-in-time quantile summary over one bucket population.
+struct QuantileStats {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct QuantileSnapshot {
+  QuantileStats total;    // since construction
+  QuantileStats window;   // last `epochs x epoch_seconds` (no min/max)
+  double window_seconds = 0.0;  // nominal span of the window view
+};
+
+class QuantileHistogram {
+ public:
+  struct Config {
+    /// Trackable value range; values clamp into [min_value, max_value].
+    double min_value = 1e-6;
+    double max_value = 1e4;
+    /// Sub-buckets per octave = 2^sub_bucket_bits; relative error per
+    /// bucket is about 2^-sub_bucket_bits. Valid range [1, 16].
+    int sub_bucket_bits = 5;
+    /// Sliding-window shape: `epochs` rotating epochs of `epoch_seconds`.
+    int epochs = 8;
+    double epoch_seconds = 1.0;
+  };
+
+  QuantileHistogram() : QuantileHistogram(Config{}) {}
+  explicit QuantileHistogram(Config cfg);
+
+  /// Record one value (clamped into the configured range; NaN clamps to
+  /// min_value). Lock-free except when it is the first write of an epoch.
+  void observe(double v) noexcept;
+
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative + windowed quantiles. Rotates stale epochs first, so a
+  /// window with no recent observations reads as empty.
+  QuantileSnapshot snapshot() const;
+
+  const Config& config() const { return cfg_; }
+
+  /// Default window for latency-style instruments: p50..p999 over ~10s.
+  static Config default_latency_config() { return Config{}; }
+
+ private:
+  std::size_t bucket_index(double v) const noexcept;
+  double bucket_value(std::size_t idx) const noexcept;
+  std::int64_t current_epoch() const noexcept;
+  void rotate_if_stale() const noexcept;
+  QuantileStats stats_from(const std::vector<std::int64_t>& counts,
+                           std::int64_t count, double sum) const;
+
+  Config cfg_;
+  std::size_t nbuckets_ = 0;
+  double inv_min_ = 0.0;
+  double max_scaled_ = 0.0;
+
+  // Cumulative population.
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+
+  // Epoch ring: epochs_ * nbuckets_ bucket slots plus per-epoch count/sum.
+  std::unique_ptr<std::atomic<std::int64_t>[]> epoch_buckets_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> epoch_count_;
+  std::unique_ptr<std::atomic<double>[]> epoch_sum_;
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::atomic<std::int64_t> epoch_{0};
+  mutable std::mutex rotate_mu_;
+};
+
+}  // namespace adcnn::obs

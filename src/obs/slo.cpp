@@ -1,0 +1,137 @@
+#include "obs/slo.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace adcnn::obs {
+
+SloMonitor::SloMonitor(SloConfig cfg, MetricsRegistry* registry) : cfg_(cfg) {
+  if (cfg_.window < 1) {
+    throw std::invalid_argument("SloMonitor: window must be >= 1");
+  }
+  if (cfg_.min_samples < 1 || cfg_.min_samples > cfg_.window) {
+    throw std::invalid_argument(
+        "SloMonitor: min_samples must be in [1, window]");
+  }
+  if (cfg_.sustain < 1) {
+    throw std::invalid_argument("SloMonitor: sustain must be >= 1");
+  }
+  ring_.assign(static_cast<std::size_t>(cfg_.window), Outcome::kOk);
+  if (registry) {
+    miss_rate_gauge_ = &registry->gauge("slo.miss_rate");
+    shed_rate_gauge_ = &registry->gauge("slo.shed_rate");
+    in_violation_gauge_ = &registry->gauge("slo.in_violation");
+    violations_counter_ = &registry->counter("slo.violations");
+    registry->gauge("slo.target_miss_rate").set(cfg_.max_miss_rate);
+    registry->gauge("slo.target_latency_s").set(cfg_.target_latency_s);
+  }
+}
+
+void SloMonitor::on_violation(Callback cb) {
+  std::lock_guard lock(mu_);
+  callback_ = std::move(cb);
+}
+
+double SloMonitor::miss_rate_locked() const {
+  const std::int64_t served =
+      static_cast<std::int64_t>(filled_) - window_sheds_;
+  return served > 0
+             ? static_cast<double>(window_misses_) / static_cast<double>(served)
+             : 0.0;
+}
+
+double SloMonitor::shed_rate_locked() const {
+  return filled_ > 0 ? static_cast<double>(window_sheds_) /
+                           static_cast<double>(filled_)
+                     : 0.0;
+}
+
+void SloMonitor::push(Outcome o, Event* fire, double* rate) {
+  Callback cb;
+  {
+    std::lock_guard lock(mu_);
+    if (filled_ == ring_.size()) {
+      const Outcome old = ring_[head_];
+      if (old == Outcome::kMiss) --window_misses_;
+      if (old == Outcome::kShed) --window_sheds_;
+    } else {
+      ++filled_;
+    }
+    ring_[head_] = o;
+    head_ = (head_ + 1) % ring_.size();
+    if (o == Outcome::kMiss) ++window_misses_;
+    if (o == Outcome::kShed) ++window_sheds_;
+
+    const double miss = miss_rate_locked();
+    *rate = miss;
+    if (miss_rate_gauge_) miss_rate_gauge_->set(miss);
+    if (shed_rate_gauge_) shed_rate_gauge_->set(shed_rate_locked());
+
+    if (static_cast<std::int64_t>(filled_) >= cfg_.min_samples) {
+      if (miss > cfg_.max_miss_rate) {
+        if (breach_streak_ < cfg_.sustain) ++breach_streak_;
+        if (!in_violation_ && breach_streak_ >= cfg_.sustain) {
+          in_violation_ = true;
+          ++violations_;
+          *fire = Event::kViolation;
+          cb = callback_;
+          if (violations_counter_) violations_counter_->add(1);
+        }
+      } else {
+        breach_streak_ = 0;
+        if (in_violation_ &&
+            miss <= cfg_.recover_factor * cfg_.max_miss_rate) {
+          in_violation_ = false;
+          *fire = Event::kRecovery;
+          cb = callback_;
+        }
+      }
+    }
+    if (in_violation_gauge_)
+      in_violation_gauge_->set(in_violation_ ? 1.0 : 0.0);
+  }
+  if (cb) cb(*fire, *rate);
+}
+
+void SloMonitor::record_latency(double latency_s, bool deadline_missed) {
+  const bool miss =
+      deadline_missed ||
+      (cfg_.target_latency_s > 0.0 && latency_s > cfg_.target_latency_s);
+  Event fire{};
+  double rate = 0.0;
+  push(miss ? Outcome::kMiss : Outcome::kOk, &fire, &rate);
+}
+
+void SloMonitor::record_shed() {
+  Event fire{};
+  double rate = 0.0;
+  push(Outcome::kShed, &fire, &rate);
+}
+
+double SloMonitor::miss_rate() const {
+  std::lock_guard lock(mu_);
+  return miss_rate_locked();
+}
+
+double SloMonitor::shed_rate() const {
+  std::lock_guard lock(mu_);
+  return shed_rate_locked();
+}
+
+bool SloMonitor::in_violation() const {
+  std::lock_guard lock(mu_);
+  return in_violation_;
+}
+
+std::int64_t SloMonitor::violations() const {
+  std::lock_guard lock(mu_);
+  return violations_;
+}
+
+std::int64_t SloMonitor::samples() const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::int64_t>(filled_);
+}
+
+}  // namespace adcnn::obs

@@ -1,0 +1,101 @@
+// SLO watchdog: rolling deadline-miss and shed rates checked against a
+// configured target, with a callback on sustained violation.
+//
+// The monitor is fed per-image outcomes (latency + whether the cluster
+// zero-filled past its deadline) and admission rejections (sheds). It keeps
+// a fixed-size ring of recent outcomes; the miss rate is evaluated over
+// that window after every sample, and once it stays above the target for
+// `sustain` consecutive evaluations the registered callback fires exactly
+// once per violation episode. This is the hook a batched-serving admission
+// controller consumes: tighten admission on violation, relax on recovery.
+//
+// Thread-safe; callbacks run on the recording thread, outside the monitor's
+// lock (a callback may call back into the monitor's accessors).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace adcnn::obs {
+
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
+struct SloConfig {
+  /// Per-image latency objective (seconds); a sample misses when its
+  /// latency exceeds this or the cluster zero-filled at its deadline.
+  /// <= 0 disables the latency check (deadline misses still count).
+  double target_latency_s = 0.0;
+  /// Rolling miss-rate ceiling; the watchdog trips above this.
+  double max_miss_rate = 0.01;
+  /// Rolling window, in samples (latency outcomes + sheds).
+  int window = 256;
+  /// No verdicts before this many samples are in the window.
+  int min_samples = 32;
+  /// Consecutive breaching evaluations before the callback fires.
+  int sustain = 3;
+  /// A violation episode ends once miss_rate <= recover_factor * max.
+  double recover_factor = 0.8;
+};
+
+class SloMonitor {
+ public:
+  /// `kViolation` fires once when `sustain` consecutive evaluations breach;
+  /// `kRecovery` fires once when the rate falls back under the hysteresis
+  /// threshold.
+  enum class Event { kViolation, kRecovery };
+  using Callback = std::function<void(Event, double miss_rate)>;
+
+  /// When `registry` is non-null the monitor exports slo.miss_rate,
+  /// slo.shed_rate, slo.in_violation and slo.target_miss_rate gauges plus a
+  /// slo.violations counter; the registry must outlive the monitor.
+  explicit SloMonitor(SloConfig cfg, MetricsRegistry* registry = nullptr);
+
+  /// Register the violation/recovery hook (replaces any previous one).
+  void on_violation(Callback cb);
+
+  /// One served image: `deadline_missed` marks a cluster-level T_L expiry
+  /// (tiles zero-filled) independent of the latency objective.
+  void record_latency(double latency_s, bool deadline_missed = false);
+
+  /// One admission rejection (load shed before entering the cluster).
+  void record_shed();
+
+  double miss_rate() const;   // misses / served, over the window
+  double shed_rate() const;   // sheds / (served + sheds), over the window
+  bool in_violation() const;
+  std::int64_t violations() const;  // episodes begun since construction
+  std::int64_t samples() const;     // window occupancy
+  const SloConfig& config() const { return cfg_; }
+
+ private:
+  enum class Outcome : std::uint8_t { kOk, kMiss, kShed };
+  /// Push one outcome, update rates/gauges, and run the violation state
+  /// machine. Returns the event to fire, if any.
+  void push(Outcome o, Event* fire, double* rate);
+
+  double miss_rate_locked() const;
+  double shed_rate_locked() const;
+
+  SloConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<Outcome> ring_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  std::int64_t window_misses_ = 0;
+  std::int64_t window_sheds_ = 0;
+  int breach_streak_ = 0;
+  bool in_violation_ = false;
+  std::int64_t violations_ = 0;
+  Callback callback_;
+
+  Gauge* miss_rate_gauge_ = nullptr;
+  Gauge* shed_rate_gauge_ = nullptr;
+  Gauge* in_violation_gauge_ = nullptr;
+  Counter* violations_counter_ = nullptr;
+};
+
+}  // namespace adcnn::obs

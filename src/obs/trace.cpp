@@ -1,8 +1,11 @@
 #include "obs/trace.hpp"
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace adcnn::obs {
+
+void TraceRecorder::bump_dropped_counter() { dropped_counter_->add(1); }
 
 std::string TraceRecorder::to_chrome_json() const {
   const std::vector<Span> snap = spans();
@@ -19,6 +22,7 @@ std::string TraceRecorder::to_chrome_json() const {
     w.kv("pid", 0).kv("tid", s.tid);
     w.key("args").begin_object();
     w.kv("image_id", s.image_id).kv("tile_id", s.tile_id);
+    w.kv("span_id", s.id).kv("parent_id", s.parent);
     w.end_object();
     w.end_object();
   }
@@ -29,16 +33,19 @@ std::string TraceRecorder::to_chrome_json() const {
 
 std::string TraceRecorder::to_csv() const {
   const std::vector<Span> snap = spans();
-  std::string out = "name,cat,tid,begin_us,end_us,dur_us,image_id,tile_id\n";
-  char line[256];
+  std::string out =
+      "name,cat,tid,begin_us,end_us,dur_us,image_id,tile_id,id,parent\n";
+  char line[320];
   for (const Span& s : snap) {
     std::snprintf(line, sizeof(line),
-                  "%s,%s,%d,%.3f,%.3f,%.3f,%lld,%lld\n", s.name, s.cat, s.tid,
-                  static_cast<double>(s.begin_ns) / 1e3,
+                  "%s,%s,%d,%.3f,%.3f,%.3f,%lld,%lld,%lld,%lld\n", s.name,
+                  s.cat, s.tid, static_cast<double>(s.begin_ns) / 1e3,
                   static_cast<double>(s.end_ns) / 1e3,
                   static_cast<double>(s.end_ns - s.begin_ns) / 1e3,
                   static_cast<long long>(s.image_id),
-                  static_cast<long long>(s.tile_id));
+                  static_cast<long long>(s.tile_id),
+                  static_cast<long long>(s.id),
+                  static_cast<long long>(s.parent));
     out += line;
   }
   return out;

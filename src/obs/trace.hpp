@@ -7,10 +7,25 @@
 // steady_clock origin per recorder, so spans from all threads share a
 // timeline.
 //
+// Causality: every span carries a recorder-unique id and a parent id, so
+// one image's scatter → downlink → conv_compute → compress → uplink →
+// gather → suffix chain forms a tree even though it crosses threads.
+// Within a thread the parent is inherited from a thread-local span stack;
+// across threads it is propagated explicitly (TileTask.parent_span carries
+// the downlink span's id to the worker). critical_path.hpp consumes the
+// tree.
+//
+// Memory: the recorder is a bounded ring. Once `capacity` spans are held,
+// each record() overwrites the oldest span and bumps dropped_spans()
+// (mirrored into the trace.dropped_spans counter when attached) — a
+// long-running streaming server keeps the freshest window instead of
+// growing without limit.
+//
 // Exports: Chrome trace_event JSON ("X" complete events — load in
 // chrome://tracing or https://ui.perfetto.dev) and a flat CSV timeline.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -21,6 +36,8 @@
 
 namespace adcnn::obs {
 
+class Counter;
+
 struct Span {
   const char* name = "";  // stage name; string literals only
   const char* cat = "";   // category for trace viewers (== taxonomy family)
@@ -29,11 +46,20 @@ struct Span {
   std::int64_t end_ns = 0;
   std::int64_t image_id = -1;
   std::int64_t tile_id = -1;
+  std::int64_t id = 0;      // recorder-unique span id; 0 = unassigned
+  std::int64_t parent = 0;  // parent span id; 0 = root
 };
+
+/// ScopedSpan parent sentinel: inherit the thread-local current span.
+inline constexpr std::int64_t kInheritParent = -1;
 
 class TraceRecorder {
  public:
-  TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity ? capacity : 1),
+        origin_(std::chrono::steady_clock::now()) {}
 
   std::int64_t now_ns() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -41,14 +67,34 @@ class TraceRecorder {
         .count();
   }
 
-  void record(const Span& span) {
-    std::lock_guard lock(mu_);
-    spans_.push_back(span);
+  /// Allocate a recorder-unique span id (for spans assembled by hand or
+  /// propagated across threads before they are recorded).
+  std::int64_t new_span_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  void record(const Span& span) {
+    std::lock_guard lock(mu_);
+    if (spans_.size() < capacity_) {
+      spans_.push_back(span);
+      return;
+    }
+    spans_[head_] = span;  // ring overwrite of the oldest span
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    if constexpr (kEnabled) {
+      if (dropped_counter_) bump_dropped_counter();
+    }
+  }
+
+  /// Spans in record order (oldest surviving first).
   std::vector<Span> spans() const {
     std::lock_guard lock(mu_);
-    return spans_;
+    std::vector<Span> out;
+    out.reserve(spans_.size());
+    for (std::size_t i = 0; i < spans_.size(); ++i)
+      out.push_back(spans_[(head_ + i) % spans_.size()]);
+    return out;
   }
 
   std::size_t size() const {
@@ -56,29 +102,64 @@ class TraceRecorder {
     return spans_.size();
   }
 
+  std::size_t capacity() const { return capacity_; }
+
+  /// Spans overwritten because the ring was full.
+  std::int64_t dropped_spans() const {
+    std::lock_guard lock(mu_);
+    return dropped_;
+  }
+
+  /// Mirror ring overwrites into a metrics counter (trace.dropped_spans).
+  /// Attach before the recorder is shared between threads.
+  void attach_telemetry(Counter* dropped) { dropped_counter_ = dropped; }
+
   void clear() {
     std::lock_guard lock(mu_);
     spans_.clear();
+    head_ = 0;
+    dropped_ = 0;
   }
 
   /// Chrome trace_event JSON (the {"traceEvents": [...]} wrapper form).
   std::string to_chrome_json() const;
-  /// CSV: name,cat,tid,begin_us,end_us,dur_us,image_id,tile_id
+  /// CSV: name,cat,tid,begin_us,end_us,dur_us,image_id,tile_id,id,parent
   std::string to_csv() const;
 
  private:
+  void bump_dropped_counter();  // out of line: Counter is incomplete here
+
+  std::size_t capacity_;
   std::chrono::steady_clock::time_point origin_;
+  std::atomic<std::int64_t> next_id_{1};
   mutable std::mutex mu_;
   std::vector<Span> spans_;
+  std::size_t head_ = 0;  // oldest span once the ring is full
+  std::int64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;
 };
+
+namespace detail {
+/// Thread-local causal context: the innermost open ScopedSpan's id.
+inline thread_local std::int64_t t_current_span = 0;
+}  // namespace detail
+
+/// The innermost open span on this thread (0 = none). New ScopedSpans
+/// inherit it as their parent unless one is passed explicitly.
+inline std::int64_t current_span_id() { return detail::t_current_span; }
 
 /// RAII span: opens at construction, records at destruction. Inert when
 /// the recorder is null or ADCNN_OBS is compiled out (zero work, and the
 /// optimizer drops the object entirely).
 class ScopedSpan {
  public:
+  /// `parent`: kInheritParent (default) nests under this thread's innermost
+  /// open span; 0 forces a root; any other value links an explicit parent
+  /// (the cross-thread case, e.g. a worker parenting under the downlink
+  /// span id carried by its TileTask).
   ScopedSpan(TraceRecorder* rec, const char* name, const char* cat, int tid,
-             std::int64_t image_id = -1, std::int64_t tile_id = -1) {
+             std::int64_t image_id = -1, std::int64_t tile_id = -1,
+             std::int64_t parent = kInheritParent) {
     if constexpr (kEnabled) {
       if (rec) {
         rec_ = rec;
@@ -87,6 +168,11 @@ class ScopedSpan {
         span_.tid = tid;
         span_.image_id = image_id;
         span_.tile_id = tile_id;
+        span_.id = rec->new_span_id();
+        span_.parent =
+            parent == kInheritParent ? detail::t_current_span : parent;
+        prev_current_ = detail::t_current_span;
+        detail::t_current_span = span_.id;
         span_.begin_ns = rec->now_ns();
       }
     }
@@ -95,6 +181,13 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// This span's id (0 when inert) — propagate it to children on other
+  /// threads.
+  std::int64_t id() const {
+    if constexpr (kEnabled) return span_.id;
+    return 0;
+  }
+
   /// Close early (before scope exit); idempotent.
   void end() {
     if constexpr (kEnabled) {
@@ -102,6 +195,7 @@ class ScopedSpan {
         span_.end_ns = rec_->now_ns();
         rec_->record(span_);
         rec_ = nullptr;
+        detail::t_current_span = prev_current_;
       }
     }
   }
@@ -111,6 +205,7 @@ class ScopedSpan {
  private:
   TraceRecorder* rec_ = nullptr;
   Span span_;
+  std::int64_t prev_current_ = 0;
 };
 
 }  // namespace adcnn::obs

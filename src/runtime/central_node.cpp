@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "nn/tiling.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 
 namespace adcnn::runtime {
@@ -89,6 +90,12 @@ CentralNode::CentralNode(core::PartitionedModel& model,
       obs_.in_flight = &m->gauge("central.in_flight");
       obs_.elapsed_s = &m->histogram("central.infer_elapsed_s");
       obs_.gather_s = &m->histogram("central.gather_s");
+      obs_.latency_q = &m->quantile_histogram("central.latency_q");
+      obs_.gather_q = &m->quantile_histogram("central.gather_q");
+      if (cfg_.critical_path_interval > 0 && cfg_.telemetry.trace) {
+        obs_.cp_coverage = &m->gauge("critical_path.coverage");
+        obs_.cp_total_s = &m->gauge("critical_path.total_s");
+      }
       obs_.total_speed = &m->gauge("stats.total_speed");
       for (std::size_t k = 0; k < inboxes_.size(); ++k)
         obs_.node_speed.push_back(
@@ -98,17 +105,18 @@ CentralNode::CentralNode(core::PartitionedModel& model,
 }
 
 void CentralNode::send_tile(const ImageJob& job, std::int64_t t, int k,
-                            std::int32_t attempt) {
+                            std::int32_t attempt, std::int64_t parent_span) {
   obs::TraceRecorder* tracer = cfg_.telemetry.trace;
   obs::ScopedSpan downlink_span(tracer, attempt == 0 ? "downlink" : "retry",
                                 attempt == 0 ? "downlink" : "retry", 0,
-                                job.image_id, t);
+                                job.image_id, t, parent_span);
   const std::int64_t C = job.tiles.c(), th = job.tiles.h(),
                      tw = job.tiles.w();
   TileTask task;
   task.image_id = job.image_id;
   task.tile_id = t;
   task.attempt = attempt;
+  task.parent_span = downlink_span.id();  // causal link across the wire
   task.shape = Shape{1, C, th, tw};
   const Tensor one = job.tiles.crop(t, 1, 0, th, 0, tw);
   task.payload.resize(static_cast<std::size_t>(one.numel()) * sizeof(float));
@@ -116,6 +124,9 @@ void CentralNode::send_tile(const ImageJob& job, std::int64_t t, int k,
   const auto fate = downlinks_[static_cast<std::size_t>(k)]->transmit_message(
       task.wire_bytes(), job.image_id, t, attempt, &task.payload);
   if (fate.drop) return;  // lost on the air; retry/zero-fill covers it
+  if constexpr (obs::kEnabled) {
+    if (tracer) task.enqueue_ns = tracer->now_ns();
+  }
   inboxes_[static_cast<std::size_t>(k)]->send(std::move(task));
 }
 
@@ -127,7 +138,13 @@ std::int64_t CentralNode::begin_image(const Tensor& image) {
   auto job = std::make_unique<ImageJob>();
   job->t0 = t0;
   if constexpr (obs::kEnabled) {
-    if (tracer) job->infer_begin_ns = tracer->now_ns();
+    if (tracer) {
+      job->infer_begin_ns = tracer->now_ns();
+      // Pre-allocate the ids of the two manually-recorded spans so every
+      // child can name its parent before the parent itself is recorded.
+      job->root_span = tracer->new_span_id();
+      job->gather_span = tracer->new_span_id();
+    }
   }
   {
     std::lock_guard lock(mu_);
@@ -137,7 +154,7 @@ std::int64_t CentralNode::begin_image(const Tensor& image) {
 
   // --- Input partition block: FDSP split. --------------------------------
   obs::ScopedSpan partition_span(tracer, "partition", "partition", 0,
-                                 image_id);
+                                 image_id, -1, job->root_span);
   job->tiles = nn::TileSplit::split(image, model_.grid.rows, model_.grid.cols);
   const std::int64_t T = job->tiles.n();
   job->tiles_total = T;
@@ -145,7 +162,8 @@ std::int64_t CentralNode::begin_image(const Tensor& image) {
   job->t_partitioned = Clock::now();
 
   // --- Algorithm 3: allocate tiles against the running s_k. --------------
-  obs::ScopedSpan allocate_span(tracer, "allocate", "allocate", 0, image_id);
+  obs::ScopedSpan allocate_span(tracer, "allocate", "allocate", 0, image_id,
+                                -1, job->root_span);
   {
     std::lock_guard lock(mu_);
     core::AllocRequest req;
@@ -228,9 +246,11 @@ std::int64_t CentralNode::begin_image(const Tensor& image) {
   inflight_cv_.notify_all();
 
   // --- Scatter: transmit each tile to its Conv node. ----------------------
-  obs::ScopedSpan scatter_span(tracer, "scatter", "scatter", 0, image_id);
+  obs::ScopedSpan scatter_span(tracer, "scatter", "scatter", 0, image_id, -1,
+                               raw->root_span);
   for (std::int64_t t = 0; t < T; ++t) {
-    send_tile(*raw, t, raw->owner[static_cast<std::size_t>(t)], 0);
+    send_tile(*raw, t, raw->owner[static_cast<std::size_t>(t)], 0,
+              scatter_span.id());
   }
   scatter_span.end();
   const auto t_scattered = Clock::now();
@@ -329,6 +349,8 @@ void CentralNode::complete_gather_locked(ImageJob& job,
       span.image_id = job.image_id;
       span.begin_ns = job.gather_begin_ns;
       span.end_ns = tracer->now_ns();
+      span.id = job.gather_span;
+      span.parent = job.root_span;
       tracer->record(span);
     }
     if (obs_.images) {
@@ -342,6 +364,7 @@ void CentralNode::complete_gather_locked(ImageJob& job,
       if (job.stale_results > 0) obs_.stale_results->add(job.stale_results);
       obs_.quarantine_active->set(static_cast<double>(quarantine_active));
       obs_.gather_s->observe(seconds_between(job.t_scattered, job.t_gathered));
+      obs_.gather_q->observe(seconds_between(job.t_scattered, job.t_gathered));
       obs_.total_speed->set(collector_.total_speed());
       for (int k = 0; k < K; ++k)
         obs_.node_speed[static_cast<std::size_t>(k)]->set(collector_.speed(k));
@@ -358,6 +381,7 @@ std::vector<std::unique_ptr<CentralNode::ImageJob>> CentralNode::pump_gather(
     std::int64_t tile;
     int node;
     std::int32_t attempt;
+    std::int64_t parent_span;
   };
   std::vector<RetrySend> resend;
   const bool retry_on = cfg_.retry.enabled && cfg_.retry.max_rounds > 0;
@@ -420,7 +444,8 @@ std::vector<std::unique_ptr<CentralNode::ImageJob>> CentralNode::pump_gather(
                 if (k == job.owner[static_cast<std::size_t>(t)] &&
                     targets.size() > 1)
                   k = targets[rr++ % targets.size()];
-                resend.push_back({&job, t, k, job.retry_rounds});
+                resend.push_back(
+                    {&job, t, k, job.retry_rounds, job.gather_span});
                 ++job.dispatched[static_cast<std::size_t>(k)];
                 ++job.retried;
               }
@@ -442,7 +467,7 @@ std::vector<std::unique_ptr<CentralNode::ImageJob>> CentralNode::pump_gather(
     // Transmit retries outside the lock: links model airtime with real
     // sleeps, and the dispatcher needs the lock to admit the next image.
     for (const auto& rs : resend) {
-      send_tile(*rs.job, rs.tile, rs.node, rs.attempt);
+      send_tile(*rs.job, rs.tile, rs.node, rs.attempt, rs.parent_span);
     }
 
     if (!done.empty()) return done;
@@ -520,13 +545,14 @@ Tensor CentralNode::finish_image(std::unique_ptr<ImageJob> job,
   auto t_zero_filled = job->t_gathered;
   if (job->received < job->tiles_total) {
     obs::ScopedSpan zero_span(tracer, "zero_fill", "zero_fill", 0,
-                              job->image_id);
+                              job->image_id, -1, job->root_span);
     zero_span.end();
     t_zero_filled = Clock::now();
   }
 
   // --- Merge and run the later layers. ------------------------------------
-  obs::ScopedSpan suffix_span(tracer, "suffix", "suffix", 0, job->image_id);
+  obs::ScopedSpan suffix_span(tracer, "suffix", "suffix", 0, job->image_id,
+                              -1, job->root_span);
   const Tensor merged =
       nn::TileSplit::merge(job->gathered, model_.grid.rows, model_.grid.cols);
   Tensor output = model_.model.forward_range(merged, model_.suffix_begin(),
@@ -543,10 +569,28 @@ Tensor CentralNode::finish_image(std::unique_ptr<ImageJob> job,
       span.image_id = job->image_id;
       span.begin_ns = job->infer_begin_ns;
       span.end_ns = tracer->now_ns();
+      span.id = job->root_span;
       tracer->record(span);
     }
-    if (obs_.elapsed_s)
+    if (obs_.elapsed_s) {
       obs_.elapsed_s->observe(seconds_between(job->t0, t_done));
+      obs_.latency_q->observe(seconds_between(job->t0, t_done));
+    }
+    // Periodic critical-path decomposition: which stage gated this image.
+    // Exported as a per-stage dominant counter plus a coverage gauge; the
+    // interval keeps the trace-ring snapshot off the steady-state path.
+    if (obs_.cp_coverage && cfg_.critical_path_interval > 0 &&
+        job->image_id % cfg_.critical_path_interval == 0) {
+      const auto report =
+          obs::critical_path(tracer->spans(), job->image_id);
+      if (report.total_s > 0.0 && !report.dominant_stage.empty()) {
+        obs_.cp_coverage->set(report.coverage());
+        obs_.cp_total_s->set(report.total_s);
+        cfg_.telemetry.metrics
+            ->counter("critical_path.dominant." + report.dominant_stage)
+            .add(1);
+      }
+    }
   }
 
   if (stats) {

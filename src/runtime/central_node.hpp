@@ -70,6 +70,11 @@ struct CentralConfig {
   /// `probe_interval`), rather than relying solely on the EMA decaying
   /// toward zero. 0 disables.
   int quarantine_after = 3;
+  /// Run the critical-path analyzer (obs/critical_path.hpp) on every Nth
+  /// finished image and export critical_path.* metrics (dominant-stage
+  /// counters, coverage). Needs both telemetry sinks attached; each run
+  /// snapshots the trace ring, so keep the interval coarse. 0 disables.
+  int critical_path_interval = 16;
   /// Null sinks by default; see obs/telemetry.hpp.
   obs::Telemetry telemetry;
 };
@@ -158,6 +163,8 @@ class CentralNode {
     Clock::time_point t_gathered;
     std::int64_t infer_begin_ns = -1;   // trace-relative span anchors
     std::int64_t gather_begin_ns = -1;
+    std::int64_t root_span = 0;    // pre-allocated id of the "infer" span
+    std::int64_t gather_span = 0;  // pre-allocated id of "gather_wait"
     double deadline_slack_s = 0.0;
     // Completion snapshots taken when the gather finished (Algorithm 2 and
     // quarantine state folded), so stats are consistent under streaming.
@@ -213,8 +220,10 @@ class CentralNode {
   const core::StatsCollector& collector() const { return collector_; }
 
  private:
+  /// `parent_span` is the causal parent of the downlink/retry span (the
+  /// scatter span for primaries, gather_wait for retries).
   void send_tile(const ImageJob& job, std::int64_t t, int k,
-                 std::int32_t attempt);
+                 std::int32_t attempt, std::int64_t parent_span);
   /// Fold one finished gather into Algorithm 2 + quarantine state and
   /// snapshot the results into the job. Caller holds mu_.
   void complete_gather_locked(ImageJob& job, Clock::time_point now);
@@ -257,6 +266,10 @@ class CentralNode {
     obs::Gauge* in_flight = nullptr;
     obs::Histogram* elapsed_s = nullptr;
     obs::Histogram* gather_s = nullptr;
+    obs::QuantileHistogram* latency_q = nullptr;
+    obs::QuantileHistogram* gather_q = nullptr;
+    obs::Gauge* cp_coverage = nullptr;
+    obs::Gauge* cp_total_s = nullptr;
     obs::Gauge* total_speed = nullptr;
     std::vector<obs::Gauge*> node_speed;
   } obs_;

@@ -30,15 +30,18 @@ class Channel {
 
   /// Telemetry: mirror the queue depth into `depth` (and count enqueues
   /// into `sent`, try_push rejections into `dropped`, blocking sends that
-  /// had to wait into `blocked`) on every send/receive. Null detaches.
-  /// Attach before the channel is shared between threads.
+  /// had to wait into `blocked`; `depth_q` records the post-enqueue depth
+  /// distribution so queue pressure has quantiles, not just a spot value).
+  /// Null detaches. Attach before the channel is shared between threads.
   void attach_telemetry(obs::Gauge* depth, obs::Counter* sent = nullptr,
                         obs::Counter* dropped = nullptr,
-                        obs::Counter* blocked = nullptr) {
+                        obs::Counter* blocked = nullptr,
+                        obs::QuantileHistogram* depth_q = nullptr) {
     depth_gauge_ = depth;
     sent_counter_ = sent;
     dropped_counter_ = dropped;
     blocked_counter_ = blocked;
+    depth_quantile_ = depth_q;
   }
 
   /// Enqueue; blocks while a bounded channel is full. Returns false if the
@@ -141,6 +144,8 @@ class Channel {
     if constexpr (obs::kEnabled) {
       if (depth_gauge_) depth_gauge_->add(1.0);
       if (sent_counter_) sent_counter_->add(1);
+      if (depth_quantile_)
+        depth_quantile_->observe(static_cast<double>(queue_.size()));
     }
   }
 
@@ -167,6 +172,7 @@ class Channel {
   obs::Counter* sent_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
   obs::Counter* blocked_counter_ = nullptr;
+  obs::QuantileHistogram* depth_quantile_ = nullptr;
 };
 
 }  // namespace adcnn::runtime

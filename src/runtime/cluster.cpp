@@ -36,6 +36,7 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   obs::Counter* inbox_sent = nullptr;
   obs::Counter* inbox_dropped = nullptr;
   obs::Counter* inbox_blocked = nullptr;
+  obs::QuantileHistogram* inbox_depth_q = nullptr;
   obs::Gauge* results_depth = nullptr;
   if constexpr (obs::kEnabled) {
     if (auto* m = cfg.telemetry.metrics) {
@@ -47,8 +48,17 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
       inbox_sent = &m->counter("chan.inbox_sent");
       inbox_dropped = &m->counter("chan.dropped");
       inbox_blocked = &m->counter("chan.blocked");
+      // Queue-depth distribution in tiles: count-like range, coarse window.
+      obs::QuantileHistogram::Config depth_cfg;
+      depth_cfg.min_value = 0.5;
+      depth_cfg.max_value = 1e6;
+      inbox_depth_q = &m->quantile_histogram("chan.inbox_depth_q", depth_cfg);
       results_depth = &m->gauge("chan.results_depth");
       if (codec_) codec_->attach_telemetry(m);
+    }
+    if (cfg.telemetry.trace && cfg.telemetry.metrics) {
+      cfg.telemetry.trace->attach_telemetry(
+          &cfg.telemetry.metrics->counter("trace.dropped_spans"));
     }
   }
   results_.attach_telemetry(results_depth);
@@ -70,7 +80,7 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
     }
     inboxes_.push_back(std::make_unique<Channel<TileTask>>(cfg.inbox_capacity));
     inboxes_.back()->attach_telemetry(inbox_depth, inbox_sent, inbox_dropped,
-                                      inbox_blocked);
+                                      inbox_blocked, inbox_depth_q);
     inbox_ptrs.push_back(inboxes_.back().get());
     downlink_ptrs.push_back(downlinks_.back().get());
   }
@@ -91,12 +101,25 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   central_cfg.probe_interval = cfg.probe_interval;
   central_cfg.retry = cfg.retry;
   central_cfg.quarantine_after = cfg.quarantine_after;
+  central_cfg.critical_path_interval = cfg.critical_path_interval;
   central_cfg.telemetry = cfg.telemetry;
   central_ = std::make_unique<CentralNode>(model, codec, inbox_ptrs, &results_,
                                            downlink_ptrs, central_cfg);
+
+  if constexpr (obs::kEnabled) {
+    if (cfg.telemetry.metrics && cfg.exporter.period_s > 0.0 &&
+        (!cfg.exporter.prometheus_path.empty() ||
+         !cfg.exporter.jsonl_path.empty())) {
+      exporter_ = std::make_unique<obs::TelemetryExporter>(
+          *cfg.telemetry.metrics, cfg.exporter);
+    }
+  }
 }
 
 EdgeCluster::~EdgeCluster() {
+  // The exporter stops first (final flush) while every instrument is still
+  // alive and the counters have settled.
+  exporter_.reset();
   // Mark workers dead first so they discard any backlog instead of
   // draining it (a throttled node may hold seconds of queued tiles).
   for (auto& worker : workers_) worker->kill();

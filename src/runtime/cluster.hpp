@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/exporter.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/central_node.hpp"
 #include "runtime/conv_node.hpp"
@@ -53,6 +54,13 @@ struct ClusterConfig {
   /// workers, links, channels, codec). The pointed-to registry/recorder
   /// must outlive the cluster. Null sinks (default) record nothing.
   obs::Telemetry telemetry;
+  /// Periodic critical-path export interval (see
+  /// CentralConfig::critical_path_interval). 0 disables.
+  int critical_path_interval = 16;
+  /// Background telemetry exporter over `telemetry.metrics`. Started when
+  /// a metrics sink is attached, period_s > 0 and at least one output path
+  /// is set; stopped (with a final flush) in the cluster destructor.
+  obs::ExporterConfig exporter;
 };
 
 class EdgeCluster {
@@ -74,6 +82,8 @@ class EdgeCluster {
   SimulatedLink& uplink(int k) { return *uplinks_[checked(k, "uplink")]; }
   /// Null unless the config carried a non-trivial FaultPlan.
   FaultInjector* faults() { return faults_.get(); }
+  /// Null unless the config enabled the background exporter.
+  obs::TelemetryExporter* exporter() { return exporter_.get(); }
 
  private:
   /// Bounds-check a node index; out-of-range k was silent UB before.
@@ -96,6 +106,7 @@ class EdgeCluster {
   Channel<TileResult> results_;
   std::vector<std::unique_ptr<ConvNodeWorker>> workers_;
   std::unique_ptr<CentralNode> central_;
+  std::unique_ptr<obs::TelemetryExporter> exporter_;
 };
 
 }  // namespace adcnn::runtime

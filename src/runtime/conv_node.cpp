@@ -29,6 +29,8 @@ void ConvNodeWorker::run() {
   obs::Counter* errors_counter = nullptr;
   obs::Counter* decode_counter = nullptr;
   obs::Histogram* compute_hist = nullptr;
+  obs::QuantileHistogram* compute_q = nullptr;
+  obs::QuantileHistogram* queue_wait_q = nullptr;
   if constexpr (obs::kEnabled) {
     if (auto* m = telemetry_.metrics) {
       tiles_counter =
@@ -36,6 +38,8 @@ void ConvNodeWorker::run() {
       errors_counter = &m->counter("node.task_errors");
       decode_counter = &m->counter("node.decode_errors");
       compute_hist = &m->histogram("node.conv_compute_s");
+      compute_q = &m->quantile_histogram("node.compute_q");
+      queue_wait_q = &m->quantile_histogram("node.queue_wait_q");
     }
   }
 
@@ -58,8 +62,16 @@ void ConvNodeWorker::run() {
     // that makes decode/compute/encode throw is abandoned (counted), and
     // the Central node's retry/zero-fill covers the missing result.
     try {
+      // The tile span parents under the downlink span whose id rode the
+      // wire, stitching this thread's chain into the image's causal tree.
       obs::ScopedSpan tile_span(tracer, "tile", "tile", tid, task->image_id,
-                                task->tile_id);
+                                task->tile_id, task->parent_span);
+      if constexpr (obs::kEnabled) {
+        if (queue_wait_q && tracer && task->enqueue_ns > 0) {
+          queue_wait_q->observe(
+              static_cast<double>(tracer->now_ns() - task->enqueue_ns) / 1e9);
+        }
+      }
       const auto start = std::chrono::steady_clock::now();
 
       // Decode the raw fp32 tile and run the separable prefix (includes
@@ -85,9 +97,12 @@ void ConvNodeWorker::run() {
       compute_span.end();
       if constexpr (obs::kEnabled) {
         if (compute_hist) {
-          compute_hist->observe(std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count());
+          const double compute_s =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          compute_hist->observe(compute_s);
+          compute_q->observe(compute_s);
         }
       }
 

@@ -72,6 +72,7 @@ std::vector<std::uint8_t> serialize(const TileTask& task) {
   put_varint(out, static_cast<std::uint64_t>(task.image_id));
   put_varint(out, static_cast<std::uint64_t>(task.tile_id));
   put_varint(out, static_cast<std::uint64_t>(task.attempt));
+  put_varint(out, static_cast<std::uint64_t>(task.parent_span));
   out.push_back(task.shutdown ? 1 : 0);
   put_shape(out, task.shape);
   put_bytes(out, task.payload);
@@ -84,6 +85,7 @@ TileTask deserialize_task(std::span<const std::uint8_t> wire) {
   task.image_id = static_cast<std::int64_t>(get_varint(wire, pos));
   task.tile_id = static_cast<std::int64_t>(get_varint(wire, pos));
   task.attempt = static_cast<std::int32_t>(get_varint(wire, pos));
+  task.parent_span = static_cast<std::int64_t>(get_varint(wire, pos));
   if (pos >= wire.size()) throw std::invalid_argument("task: truncated");
   task.shutdown = wire[pos++] != 0;
   task.shape = get_shape(wire, pos);

@@ -19,9 +19,11 @@ struct TileTask {
   std::int64_t image_id = 0;
   std::int64_t tile_id = 0;
   std::int32_t attempt = 0;           // 0 = primary dispatch, >0 = retry
+  std::int64_t parent_span = 0;       // causal trace parent (downlink span)
   Shape shape;                        // (1, C, th, tw) of the payload
   std::vector<std::uint8_t> payload;  // raw fp32 tile pixels
   bool shutdown = false;              // poison pill for worker threads
+  std::int64_t enqueue_ns = 0;        // local-only: inbox queue-wait clock
 
   std::size_t wire_bytes() const;
 };

@@ -22,12 +22,26 @@ StreamingServer::StreamingServer(CentralNode& central, StreamingConfig cfg)
       obs_.in_flight = &m->gauge("pipeline.in_flight");
       obs_.queue_depth = &m->gauge("pipeline.queue_depth");
       obs_.images = &m->counter("pipeline.images");
+      obs_.shed = &m->counter("pipeline.shed");
       obs_.latency_s = &m->histogram("pipeline.latency_s");
+      obs_.latency_q = &m->quantile_histogram("pipeline.latency_q");
       obs_.overlap_s = &m->gauge("stage.overlap_s");
       obs_.scratch_bytes = &m->gauge("nn.scratch_bytes");
       obs_.pack_hits = &m->gauge("gemm.pack_hits");
       obs_.pack_misses = &m->gauge("gemm.pack_misses");
+      obs_.pack_bytes = &m->gauge("gemm.pack_bytes");
       input_.attach_telemetry(obs_.queue_depth);
+    }
+  }
+  if (cfg_.slo.target_latency_s > 0.0) {
+    slo_ = std::make_unique<obs::SloMonitor>(cfg_.slo, cfg_.telemetry.metrics);
+  }
+  if constexpr (obs::kEnabled) {
+    if (cfg_.telemetry.metrics && cfg_.exporter.period_s > 0.0 &&
+        (!cfg_.exporter.prometheus_path.empty() ||
+         !cfg_.exporter.jsonl_path.empty())) {
+      exporter_ = std::make_unique<obs::TelemetryExporter>(
+          *cfg_.telemetry.metrics, cfg_.exporter);
     }
   }
   dispatcher_ = std::thread(&StreamingServer::dispatch_loop, this);
@@ -50,6 +64,32 @@ std::int64_t StreamingServer::submit(Tensor image) {
     std::lock_guard lock(mu_);
     pending_.erase(ticket);
     throw std::runtime_error("StreamingServer: closed");
+  }
+  return ticket;
+}
+
+std::optional<std::int64_t> StreamingServer::try_submit(Tensor image) {
+  std::int64_t ticket;
+  Clock::time_point t_submit = Clock::now();
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) throw std::runtime_error("StreamingServer: closed");
+    ticket = next_ticket_++;
+    pending_.emplace(ticket, Pending{});
+  }
+  if (!input_.try_push(SubmitItem{ticket, std::move(image), t_submit})) {
+    {
+      std::lock_guard lock(mu_);
+      pending_.erase(ticket);
+      if (closed_) throw std::runtime_error("StreamingServer: closed");
+    }
+    // Full queue: the image is shed at admission, before the cluster sees
+    // it. The SLO monitor treats sheds as their own outcome class.
+    if constexpr (obs::kEnabled) {
+      if (obs_.shed) obs_.shed->add(1);
+    }
+    if (slo_) slo_->record_shed();
+    return std::nullopt;
   }
   return ticket;
 }
@@ -84,6 +124,9 @@ void StreamingServer::close() {
     std::lock_guard lock(mu_);
     closed_ = true;
   }
+  // Exporter first: a final flush while the counters still move is fine
+  // (snapshot semantics), and it must not outlive the instruments below.
+  exporter_.reset();
   // Order matters: the dispatcher drains every already-queued submit (a
   // closed Channel still hands out its backlog), so by the time it joins,
   // every ticket has an image in flight; the gather thread then pumps the
@@ -192,6 +235,7 @@ void StreamingServer::suffix_loop() {
       if (obs_.pack_hits) {
         obs_.pack_hits->set(static_cast<double>(nn::gemm_pack_hits()));
         obs_.pack_misses->set(static_cast<double>(nn::gemm_pack_misses()));
+        obs_.pack_bytes->set(static_cast<double>(nn::gemm_pack_bytes()));
       }
     }
     deliver(ticket, std::move(p));
@@ -200,6 +244,11 @@ void StreamingServer::suffix_loop() {
 
 void StreamingServer::deliver(std::int64_t ticket, Pending pending) {
   pending.ready = true;
+  // Feed the SLO watchdog outside mu_: its violation callback runs on this
+  // thread and may legitimately call back into the server's accessors.
+  if (slo_ && !pending.error) {
+    slo_->record_latency(pending.latency_s, pending.stats.tiles_missing > 0);
+  }
   {
     std::lock_guard lock(mu_);
     if (!pending.error) {
@@ -219,7 +268,10 @@ void StreamingServer::deliver(std::int64_t ticket, Pending pending) {
     if constexpr (obs::kEnabled) {
       if (obs_.in_flight) obs_.in_flight->set(static_cast<double>(active_));
       if (obs_.images) obs_.images->add(1);
-      if (obs_.latency_s) obs_.latency_s->observe(pending.latency_s);
+      if (obs_.latency_s) {
+        obs_.latency_s->observe(pending.latency_s);
+        obs_.latency_q->observe(pending.latency_s);
+      }
     }
     const auto it = pending_.find(ticket);
     if (it != pending_.end()) it->second = std::move(pending);

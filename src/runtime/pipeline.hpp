@@ -36,10 +36,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/central_node.hpp"
 #include "runtime/channel.hpp"
@@ -55,6 +58,15 @@ struct StreamingConfig {
   /// Null sinks by default. Emits pipeline.in_flight, pipeline.queue_depth,
   /// pipeline.images, pipeline.latency_s and stage.overlap_s.
   obs::Telemetry telemetry;
+  /// SLO watchdog over delivered images (see obs/slo.hpp). Enabled when
+  /// target_latency_s > 0: every delivery feeds the monitor (deadline
+  /// zero-fills count as misses) and try_submit() rejections count as
+  /// sheds. Exports slo.* via `telemetry.metrics` when attached.
+  obs::SloConfig slo;
+  /// Background telemetry exporter over `telemetry.metrics`; started when
+  /// a metrics sink is attached, period_s > 0 and at least one output path
+  /// is set. Stopped (final flush) in close().
+  obs::ExporterConfig exporter;
 };
 
 /// Drives one CentralNode from three internal threads. The node must not
@@ -73,6 +85,11 @@ class StreamingServer {
   /// a bounded input queue is full; throws if the server is closed.
   std::int64_t submit(Tensor image);
 
+  /// Non-blocking admission: enqueue unless the bounded input queue is
+  /// full, in which case the image is shed (counted in pipeline.shed and
+  /// fed to the SLO monitor) and nullopt returns. Throws if closed.
+  std::optional<std::int64_t> try_submit(Tensor image);
+
   /// Block until `ticket`'s output is ready and return it. Fills `stats`
   /// like infer() does and `latency_s` with the submit-to-ready wall time.
   /// Rethrows any exception the image's processing raised. Each ticket can
@@ -87,6 +104,13 @@ class StreamingServer {
 
   /// Images admitted whose output has not yet been delivered.
   int active() const;
+
+  /// The SLO watchdog; null unless cfg.slo.target_latency_s > 0. Register
+  /// violation callbacks here.
+  obs::SloMonitor* slo() { return slo_.get(); }
+
+  /// The background exporter; null unless enabled by the config.
+  obs::TelemetryExporter* exporter() { return exporter_.get(); }
 
  private:
   struct SubmitItem {
@@ -129,6 +153,8 @@ class StreamingServer {
   double stage_seconds_total_ = 0.0;  // Σ per-image stage sums (overlap calc)
 
   std::atomic<bool> stop_gather_{false};
+  std::unique_ptr<obs::SloMonitor> slo_;
+  std::unique_ptr<obs::TelemetryExporter> exporter_;
   std::thread dispatcher_;
   std::thread gather_;
   std::thread suffix_;
@@ -137,11 +163,14 @@ class StreamingServer {
     obs::Gauge* in_flight = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Counter* images = nullptr;
+    obs::Counter* shed = nullptr;         // try_submit rejections
     obs::Histogram* latency_s = nullptr;
+    obs::QuantileHistogram* latency_q = nullptr;
     obs::Gauge* overlap_s = nullptr;
     obs::Gauge* scratch_bytes = nullptr;  // nn.scratch_bytes
     obs::Gauge* pack_hits = nullptr;      // gemm.pack_hits (process-wide)
     obs::Gauge* pack_misses = nullptr;    // gemm.pack_misses
+    obs::Gauge* pack_bytes = nullptr;     // gemm.pack_bytes resident
   } obs_;
 };
 

@@ -1,0 +1,996 @@
+// Continuous telemetry plane: windowed quantile histograms, the background
+// exporter's two exposition formats, causal span trees + critical-path
+// analysis, the SLO watchdog, and the JSON/trace edge cases underneath.
+//
+// Library-level tests (quantiles, exporter, SLO, JSON, critical_path on
+// hand-built spans) run under both ADCNN_OBS settings — the obs library is
+// always compiled; only the runtime call sites compile out. Tests that need
+// an *instrumented cluster* skip when observability is off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fdsp.hpp"
+#include "nn/models_mini.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/exporter.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace adcnn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A strict recursive-descent JSON parser, just big enough to validate the
+// telemetry plane's output (the writer never needs to parse, so the test
+// supplies the reader). Flattens numeric leaves into dotted paths.
+class MiniJson {
+ public:
+  explicit MiniJson(std::string s) : s_(std::move(s)) {}  // owns the text
+
+  bool parse() {
+    skip_ws();
+    if (!value("")) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  /// Numeric leaves by dotted path ("counters.central.images" -> 4).
+  const std::map<std::string, double>& numbers() const { return nums_; }
+  /// null leaves by dotted path (how non-finite doubles must serialize).
+  const std::set<std::string>& nulls() const { return nulls_; }
+  int max_depth() const { return max_depth_; }
+
+ private:
+  bool value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(path);
+    if (c == '[') return array(path);
+    if (c == '"') {
+      std::string ignored;
+      return string_lit(&ignored);
+    }
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      nulls_.insert(path);
+      return true;
+    }
+    return number(path);
+  }
+
+  bool object(const std::string& path) {
+    ++depth_;
+    max_depth_ = std::max(max_depth_, depth_);
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; --depth_; return true; }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string_lit(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      if (!value(path.empty() ? key : path + "." + key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool array(const std::string& path) {
+    ++depth_;
+    max_depth_ = std::max(max_depth_, depth_);
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; --depth_; return true; }
+    for (std::size_t i = 0;; ++i) {
+      if (!value(path + "[" + std::to_string(i) + "]")) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool string_lit(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      // RFC 8259: raw control characters are forbidden inside strings.
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char e = s_[pos_ + 1];
+        if (e == 'u') {
+          if (pos_ + 5 >= s_.size()) return false;
+          for (int i = 2; i <= 5; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return false;
+          }
+          out->push_back('?');  // decoded value irrelevant to validation
+          pos_ += 6;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+        out->push_back(e);
+        pos_ += 2;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number(const std::string& path) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string tok(s_.substr(start, pos_ - start));
+    try {
+      nums_[path] = std::stod(tok);
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  int max_depth_ = 0;
+  std::map<std::string, double> nums_;
+  std::set<std::string> nulls_;
+};
+
+/// Validate Prometheus text exposition 0.0.4 line by line and collect the
+/// declared metric types. Returns false (with a diagnostic) on any
+/// malformed line, name not prefixed adcnn_, or counter without _total.
+bool validate_prometheus(const std::string& text,
+                         std::map<std::string, std::string>* types,
+                         std::string* err) {
+  const auto valid_name = [](const std::string& n) {
+    if (n.empty()) return false;
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      const char c = n[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      c == '_' || c == ':' ||
+                      (i > 0 && c >= '0' && c <= '9');
+      if (!ok) return false;
+    }
+    return true;
+  };
+  std::istringstream in(text);
+  std::string ln;
+  while (std::getline(in, ln)) {
+    if (ln.empty()) continue;
+    if (ln.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(ln.substr(7));
+      std::string name, type, extra;
+      if (!(fields >> name >> type) || (fields >> extra)) {
+        *err = "bad TYPE line: " + ln;
+        return false;
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary") {
+        *err = "unknown type: " + ln;
+        return false;
+      }
+      if (!valid_name(name) || name.rfind("adcnn_", 0) != 0) {
+        *err = "bad metric name: " + ln;
+        return false;
+      }
+      if (type == "counter" &&
+          (name.size() < 6 ||
+           name.compare(name.size() - 6, 6, "_total") != 0)) {
+        *err = "counter without _total suffix: " + ln;
+        return false;
+      }
+      (*types)[name] = type;
+      continue;
+    }
+    if (ln[0] == '#') continue;  // HELP / comments
+    // Sample line: name[{labels}] value
+    const std::size_t brace = ln.find('{');
+    const std::size_t space = ln.find(' ');
+    if (space == std::string::npos) {
+      *err = "sample without value: " + ln;
+      return false;
+    }
+    std::string name;
+    if (brace != std::string::npos && brace < space) {
+      name = ln.substr(0, brace);
+      const std::size_t close = ln.find('}', brace);
+      if (close == std::string::npos || close + 1 != space) {
+        *err = "bad label block: " + ln;
+        return false;
+      }
+      // Labels: key="value" pairs separated by commas; just require the
+      // quote structure to balance.
+      const std::string labels = ln.substr(brace + 1, close - brace - 1);
+      if (std::count(labels.begin(), labels.end(), '"') % 2 != 0) {
+        *err = "unbalanced label quotes: " + ln;
+        return false;
+      }
+    } else {
+      name = ln.substr(0, space);
+    }
+    if (!valid_name(name) || name.rfind("adcnn_", 0) != 0) {
+      *err = "bad sample name: " + ln;
+      return false;
+    }
+    const std::string value = ln.substr(space + 1);
+    if (value != "NaN" && value != "+Inf" && value != "-Inf") {
+      try {
+        (void)std::stod(value);
+      } catch (...) {
+        *err = "bad sample value: " + ln;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const char* leaf) {
+  return testing::TempDir() + "adcnn_telemetry_" + leaf;
+}
+
+double exact_quantile(std::vector<double> sorted, double q) {
+  const auto n = static_cast<std::int64_t>(sorted.size());
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  rank = std::max<std::int64_t>(1, std::min(rank, n));
+  return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// Windowed quantile histograms
+
+TEST(QuantileHistogram, AccuracyWithinFivePercent) {
+  // Two shapes: uniform (dense everywhere) and heavy-tailed exponential
+  // (what latency actually looks like). Log-bucketing at 5 sub-bucket bits
+  // bounds relative error at ~3%; assert the 5% acceptance target.
+  std::mt19937 gen(1234);
+  std::uniform_real_distribution<double> uni(1e-4, 1.0);
+  for (const bool heavy_tail : {false, true}) {
+    obs::QuantileHistogram h;
+    std::vector<double> values;
+    values.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+      const double u = uni(gen);
+      const double v = heavy_tail ? 1e-3 * (-std::log(u)) : u;
+      values.push_back(v);
+      h.observe(v);
+    }
+    std::sort(values.begin(), values.end());
+    const obs::QuantileSnapshot s = h.snapshot();
+    EXPECT_EQ(s.total.count, 20000);
+    for (const auto& [q, est] :
+         {std::pair{0.5, s.total.p50}, std::pair{0.9, s.total.p90},
+          std::pair{0.99, s.total.p99}, std::pair{0.999, s.total.p999}}) {
+      const double exact = exact_quantile(values, q);
+      EXPECT_NEAR(est, exact, 0.05 * exact)
+          << "q=" << q << " heavy_tail=" << heavy_tail;
+    }
+    // The window view saw the same observations (nothing expired yet).
+    EXPECT_EQ(s.window.count, s.total.count);
+    EXPECT_NEAR(s.window.p99, s.total.p99, 1e-12);
+  }
+}
+
+TEST(QuantileHistogram, ClampsOutOfRangeAndNan) {
+  obs::QuantileHistogram::Config cfg;
+  cfg.min_value = 1e-3;
+  cfg.max_value = 10.0;
+  obs::QuantileHistogram h(cfg);
+  h.observe(0.0);    // below range: clamps to min
+  h.observe(-5.0);   // negative: clamps to min
+  h.observe(1e9);    // above range: clamps to max
+  h.observe(std::nan(""));
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.total.count, 4);
+  EXPECT_GE(s.total.p50, cfg.min_value * 0.9);
+  EXPECT_LE(s.total.p999, cfg.max_value * 1.1);
+}
+
+TEST(QuantileHistogram, WindowExpiresOldEpochs) {
+  obs::QuantileHistogram::Config cfg;
+  cfg.epochs = 2;
+  cfg.epoch_seconds = 0.05;
+  obs::QuantileHistogram h(cfg);
+  for (int i = 0; i < 100; ++i) h.observe(0.01);
+  const auto before = h.snapshot();
+  EXPECT_EQ(before.total.count, 100);
+  EXPECT_EQ(before.window.count, 100);
+  EXPECT_NEAR(before.window_seconds, 0.1, 1e-12);
+  // Sleep past the whole window: the cumulative view keeps everything, the
+  // windowed view reads empty.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const auto after = h.snapshot();
+  EXPECT_EQ(after.total.count, 100);
+  EXPECT_EQ(after.window.count, 0);
+  EXPECT_EQ(after.window.p99, 0.0);
+}
+
+TEST(QuantileHistogram, ConcurrentObservesLoseNothing) {
+  obs::QuantileHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20000; ++i) {
+        h.observe(1e-3 * static_cast<double>(1 + (i * 7 + t) % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.total.count, 160000);
+  // Sum accumulates in a relaxed atomic<double> via exact small values.
+  EXPECT_GT(s.total.sum, 0.0);
+  EXPECT_GT(s.total.p50, 0.0);
+}
+
+TEST(QuantileHistogram, RegistryIntegration) {
+  obs::MetricsRegistry reg;
+  obs::QuantileHistogram& q = reg.quantile_histogram("lat_q");
+  EXPECT_EQ(&reg.quantile_histogram("lat_q"), &q);  // stable identity
+  q.observe(0.25);
+  q.observe(0.75);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.quantiles.count("lat_q"), 1u);
+  EXPECT_EQ(snap.quantiles.at("lat_q").total.count, 2);
+  MiniJson parsed(snap.to_json());
+  ASSERT_TRUE(parsed.parse());
+  EXPECT_EQ(parsed.numbers().at("quantiles.lat_q.total.count"), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Background exporter
+
+obs::MetricsRegistry& populated_registry(obs::MetricsRegistry& reg) {
+  reg.counter("reqs").add(5);
+  reg.gauge("depth").set(2.5);
+  reg.histogram("lat_h", {0.1, 1.0}).observe(0.5);
+  obs::QuantileHistogram& q = reg.quantile_histogram("lat_q");
+  for (int i = 1; i <= 100; ++i) q.observe(1e-3 * i);
+  return reg;
+}
+
+TEST(TelemetryExporter, PrometheusExpositionIsWellFormed) {
+  obs::MetricsRegistry reg;
+  const auto snap = populated_registry(reg).snapshot();
+  const std::string text = obs::TelemetryExporter::to_prometheus(snap);
+
+  std::map<std::string, std::string> types;
+  std::string err;
+  ASSERT_TRUE(validate_prometheus(text, &types, &err)) << err;
+  EXPECT_EQ(types.at("adcnn_reqs_total"), "counter");
+  EXPECT_EQ(types.at("adcnn_depth"), "gauge");
+  EXPECT_EQ(types.at("adcnn_lat_h"), "histogram");
+  EXPECT_EQ(types.at("adcnn_lat_q"), "summary");
+  // Histogram must close with the +Inf bucket equal to the total count and
+  // the summary must expose the four window quantiles.
+  EXPECT_NE(text.find("adcnn_lat_h_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("adcnn_lat_q{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("adcnn_lat_q{quantile=\"0.999\"}"), std::string::npos);
+  EXPECT_NE(text.find("adcnn_lat_q_count 100"), std::string::npos);
+}
+
+TEST(TelemetryExporter, PrometheusSanitizesInstrumentNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("node.tiles_processed.0").add(3);
+  const std::string text =
+      obs::TelemetryExporter::to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("adcnn_node_tiles_processed_0_total 3"),
+            std::string::npos);
+}
+
+TEST(TelemetryExporter, JsonlDeltasAndRoundTrip) {
+  obs::MetricsRegistry reg;
+  populated_registry(reg);
+  obs::ExporterConfig cfg;
+  cfg.period_s = 0.0;  // manual mode: no thread
+  cfg.prometheus_path = temp_path("deltas.prom");
+  cfg.jsonl_path = temp_path("deltas.jsonl");
+  obs::TelemetryExporter ex(reg, cfg);
+
+  ex.export_now();
+  reg.counter("reqs").add(7);
+  ex.export_now();
+  EXPECT_EQ(ex.ticks(), 2);
+
+  // The Prometheus file on disk is the latest snapshot, parseable.
+  std::map<std::string, std::string> types;
+  std::string err;
+  ASSERT_TRUE(
+      validate_prometheus(read_file(cfg.prometheus_path), &types, &err))
+      << err;
+  EXPECT_EQ(types.at("adcnn_reqs_total"), "counter");
+
+  // JSONL: one object per line; the second line's counter delta is exactly
+  // the increment between ticks (first line's delta = initial value).
+  std::istringstream lines(read_file(cfg.jsonl_path));
+  std::vector<std::string> jl;
+  std::string ln;
+  while (std::getline(lines, ln)) jl.push_back(ln);
+  ASSERT_EQ(jl.size(), 2u);
+  for (const auto& l : jl) {
+    MiniJson parsed(l);
+    ASSERT_TRUE(parsed.parse()) << l;
+    EXPECT_GT(parsed.numbers().at("ts_s"), 0.0);
+  }
+  MiniJson first(jl[0]), second(jl[1]);
+  ASSERT_TRUE(first.parse());
+  ASSERT_TRUE(second.parse());
+  EXPECT_EQ(first.numbers().at("counters.reqs"), 5.0);
+  EXPECT_EQ(first.numbers().at("counter_deltas.reqs"), 5.0);
+  EXPECT_EQ(second.numbers().at("counters.reqs"), 12.0);
+  EXPECT_EQ(second.numbers().at("counter_deltas.reqs"), 7.0);
+  EXPECT_EQ(second.numbers().at("quantiles.lat_q.count"), 100.0);
+}
+
+TEST(TelemetryExporter, BackgroundThreadTicksAndStops) {
+  obs::MetricsRegistry reg;
+  populated_registry(reg);
+  obs::ExporterConfig cfg;
+  cfg.period_s = 0.01;
+  cfg.jsonl_path = temp_path("bg.jsonl");
+  obs::TelemetryExporter ex(reg, cfg);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ex.stop();
+  const std::int64_t ticks = ex.ticks();
+  EXPECT_GE(ticks, 2);  // several periods plus the final flush
+  ex.stop();            // idempotent
+  EXPECT_EQ(ex.ticks(), ticks);
+  // Every line the thread appended is valid JSON.
+  std::istringstream lines(read_file(cfg.jsonl_path));
+  std::string ln;
+  std::int64_t n = 0;
+  while (std::getline(lines, ln)) {
+    MiniJson parsed(ln);
+    EXPECT_TRUE(parsed.parse()) << ln;
+    ++n;
+  }
+  EXPECT_EQ(n, ticks);
+}
+
+TEST(TelemetryExporter, ShortRunStillExportsOneSample) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(1);
+  obs::ExporterConfig cfg;
+  cfg.period_s = 30.0;  // the thread would never wake on its own
+  cfg.prometheus_path = temp_path("short.prom");
+  {
+    obs::TelemetryExporter ex(reg, cfg);
+  }  // destructor: stop() runs the final flush
+  EXPECT_NE(read_file(cfg.prometheus_path).find("adcnn_c_total 1"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring + causal ids
+
+TEST(TraceRecorder, BoundedRingKeepsFreshestSpans) {
+  obs::MetricsRegistry reg;
+  obs::Counter& dropped = reg.counter("trace.dropped_spans");
+  obs::TraceRecorder rec(64);
+  rec.attach_telemetry(&dropped);
+  for (int i = 0; i < 200; ++i) {
+    obs::Span s;
+    s.name = "tick";
+    s.cat = "test";
+    s.begin_ns = i;
+    s.end_ns = i + 1;
+    s.id = rec.new_span_id();
+    rec.record(s);
+  }
+  EXPECT_EQ(rec.size(), 64u);
+  EXPECT_EQ(rec.capacity(), 64u);
+  EXPECT_EQ(rec.dropped_spans(), 136);
+  if (obs::kEnabled) {
+    EXPECT_EQ(dropped.value(), 136);  // counter mirror
+  }
+  // spans() returns the surviving window oldest-first: begin_ns 136..199.
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 64u);
+  EXPECT_EQ(spans.front().begin_ns, 136);
+  EXPECT_EQ(spans.back().begin_ns, 199);
+  EXPECT_TRUE(std::is_sorted(
+      spans.begin(), spans.end(),
+      [](const obs::Span& a, const obs::Span& b) {
+        return a.begin_ns < b.begin_ns;
+      }));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped_spans(), 0);
+}
+
+TEST(TraceRecorder, ScopedSpansInheritThreadLocalParent) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::TraceRecorder rec;
+  {
+    obs::ScopedSpan outer(&rec, "outer", "test", 0);
+    EXPECT_EQ(obs::current_span_id(), outer.id());
+    {
+      obs::ScopedSpan inner(&rec, "inner", "test", 0);
+      EXPECT_EQ(obs::current_span_id(), inner.id());
+      obs::ScopedSpan forced_root(&rec, "root2", "test", 0, -1, -1, 0);
+      obs::ScopedSpan explicit_parent(&rec, "xp", "test", 0, -1, -1, 42);
+    }
+    EXPECT_EQ(obs::current_span_id(), outer.id());
+  }
+  EXPECT_EQ(obs::current_span_id(), 0);
+  std::map<std::string, obs::Span> by_name;
+  for (const auto& s : rec.spans()) by_name[s.name] = s;
+  ASSERT_EQ(by_name.size(), 4u);
+  EXPECT_EQ(by_name.at("outer").parent, 0);
+  EXPECT_EQ(by_name.at("inner").parent, by_name.at("outer").id);
+  EXPECT_EQ(by_name.at("root2").parent, 0);
+  EXPECT_EQ(by_name.at("xp").parent, 42);
+  // Ids are unique and nonzero.
+  std::set<std::int64_t> ids;
+  for (const auto& [name, s] : by_name) {
+    EXPECT_NE(s.id, 0) << name;
+    ids.insert(s.id);
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Critical path on hand-built spans (exact, deterministic)
+
+obs::Span make_span(const char* name, std::int64_t id, std::int64_t parent,
+                    double begin_ms, double end_ms, std::int64_t image_id) {
+  obs::Span s;
+  s.name = name;
+  s.cat = name;
+  s.begin_ns = static_cast<std::int64_t>(begin_ms * 1e6);
+  s.end_ns = static_cast<std::int64_t>(end_ms * 1e6);
+  s.image_id = image_id;
+  s.id = id;
+  s.parent = parent;
+  return s;
+}
+
+TEST(CriticalPath, GatingSubtreeDecomposition) {
+  // Root [0,100]; scatter [0,10] roots a cross-thread chain whose
+  // downlink [1,30] and conv_compute [30,70] extend past scatter's own end
+  // (the causal, non-nesting case); gather_wait [10,80]; suffix [80,100].
+  // The gating walk must pick the chain until 70ms, then gather_wait's
+  // tail, then suffix.
+  const std::vector<obs::Span> spans = {
+      make_span("infer", 1, 0, 0, 100, 7),
+      make_span("scatter", 2, 1, 0, 10, 7),
+      make_span("downlink", 3, 2, 1, 30, 7),
+      make_span("conv_compute", 4, 3, 30, 70, 7),
+      make_span("gather_wait", 5, 1, 10, 80, 7),
+      make_span("suffix", 6, 1, 80, 100, 7),
+      // Noise from another image: must be ignored.
+      make_span("infer", 7, 0, 0, 50, 8),
+  };
+  const obs::CriticalPathReport r = obs::critical_path(spans, 7);
+  EXPECT_EQ(r.image_id, 7);
+  EXPECT_NEAR(r.total_s, 0.100, 1e-9);
+  EXPECT_NEAR(r.coverage(), 1.0, 1e-9);
+  EXPECT_EQ(r.dominant_stage, "conv_compute");
+  EXPECT_NEAR(r.stage_seconds("scatter"), 0.001, 1e-9);
+  EXPECT_NEAR(r.stage_seconds("downlink"), 0.029, 1e-9);
+  EXPECT_NEAR(r.stage_seconds("conv_compute"), 0.040, 1e-9);
+  EXPECT_NEAR(r.stage_seconds("gather_wait"), 0.010, 1e-9);
+  EXPECT_NEAR(r.stage_seconds("suffix"), 0.020, 1e-9);
+  EXPECT_EQ(r.stage_seconds("nonexistent"), 0.0);
+  MiniJson parsed(r.to_json());
+  ASSERT_TRUE(parsed.parse());
+  EXPECT_EQ(parsed.numbers().at("image_id"), 7.0);
+
+  const obs::CriticalPathReport none = obs::critical_path(spans, 999);
+  EXPECT_EQ(none.total_s, 0.0);
+  EXPECT_EQ(none.coverage(), 0.0);
+}
+
+TEST(CriticalPath, AdoptsOrphansWhenParentEvicted) {
+  // The ring evicted the scatter span: downlink's parent id resolves to
+  // nothing, so it must be adopted under the root rather than dropped.
+  const std::vector<obs::Span> spans = {
+      make_span("infer", 1, 0, 0, 100, 3),
+      make_span("downlink", 3, 2, 10, 90, 3),  // parent 2 missing
+  };
+  const obs::CriticalPathReport r = obs::critical_path(spans, 3);
+  EXPECT_NEAR(r.total_s, 0.100, 1e-9);
+  EXPECT_NEAR(r.stage_seconds("downlink"), 0.080, 1e-9);
+  EXPECT_GE(r.coverage(), 0.99);
+}
+
+// ---------------------------------------------------------------------------
+// SLO watchdog
+
+TEST(SloMonitor, SustainedViolationThenRecovery) {
+  obs::SloConfig cfg;
+  cfg.target_latency_s = 0.01;
+  cfg.max_miss_rate = 0.2;
+  cfg.window = 16;
+  cfg.min_samples = 4;
+  cfg.sustain = 2;
+  cfg.recover_factor = 0.5;
+  obs::MetricsRegistry reg;
+  obs::SloMonitor mon(cfg, &reg);
+  std::vector<obs::SloMonitor::Event> events;
+  mon.on_violation([&](obs::SloMonitor::Event e, double) {
+    events.push_back(e);
+  });
+
+  for (int i = 0; i < 4; ++i) mon.record_latency(0.001);
+  EXPECT_FALSE(mon.in_violation());
+  EXPECT_EQ(mon.miss_rate(), 0.0);
+
+  mon.record_latency(0.1);  // 1/5 = 0.20, not > 0.20: no breach yet
+  EXPECT_TRUE(events.empty());
+  mon.record_latency(0.1);  // 2/6 > 0.20: streak 1
+  EXPECT_TRUE(events.empty());
+  mon.record_latency(0.1);  // 3/7 > 0.20: streak 2 == sustain -> fires
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], obs::SloMonitor::Event::kViolation);
+  EXPECT_TRUE(mon.in_violation());
+  EXPECT_EQ(mon.violations(), 1);
+  EXPECT_EQ(reg.counter("slo.violations").value(), 1);
+  EXPECT_EQ(reg.gauge("slo.in_violation").value(), 1.0);
+
+  // Staying breached must not refire.
+  mon.record_latency(0.1);
+  EXPECT_EQ(events.size(), 1u);
+
+  // Recovery needs the misses to roll out of the 16-sample window AND the
+  // rate to pass the hysteresis threshold (0.5 * 0.2 = 0.1).
+  for (int i = 0; i < 16; ++i) mon.record_latency(0.001);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1], obs::SloMonitor::Event::kRecovery);
+  EXPECT_FALSE(mon.in_violation());
+  EXPECT_EQ(mon.violations(), 1);  // episodes, not evaluations
+  EXPECT_EQ(reg.gauge("slo.in_violation").value(), 0.0);
+  EXPECT_EQ(reg.gauge("slo.target_latency_s").value(), 0.01);
+}
+
+TEST(SloMonitor, DeadlineMissCountsIndependentlyOfLatency) {
+  obs::SloConfig cfg;
+  cfg.target_latency_s = 1.0;  // generous latency objective
+  cfg.window = 8;
+  cfg.min_samples = 1;
+  cfg.sustain = 1;
+  obs::SloMonitor mon(cfg);
+  mon.record_latency(0.001, /*deadline_missed=*/true);  // fast but zero-filled
+  EXPECT_EQ(mon.miss_rate(), 1.0);
+}
+
+TEST(SloMonitor, ShedRateTracksAdmissionRejections) {
+  obs::SloConfig cfg;
+  cfg.target_latency_s = 0.01;
+  cfg.window = 8;
+  cfg.min_samples = 8;  // keep the verdict machinery out of this test
+  obs::SloMonitor mon(cfg);
+  mon.record_latency(0.001);
+  mon.record_latency(0.001);
+  mon.record_latency(0.001);
+  mon.record_shed();
+  EXPECT_DOUBLE_EQ(mon.shed_rate(), 0.25);  // 1 shed / 4 window slots
+  EXPECT_EQ(mon.miss_rate(), 0.0);          // sheds are not latency misses
+  EXPECT_EQ(mon.samples(), 4);
+}
+
+TEST(SloMonitor, RejectsInvalidConfig) {
+  obs::SloConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(obs::SloMonitor{bad}, std::invalid_argument);
+  bad = obs::SloConfig{};
+  bad.min_samples = bad.window + 1;
+  EXPECT_THROW(obs::SloMonitor{bad}, std::invalid_argument);
+  bad = obs::SloConfig{};
+  bad.sustain = 0;
+  EXPECT_THROW(obs::SloMonitor{bad}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge::add contention (S2): pure adds must lose nothing, and mixed
+// set()/add() traffic must make progress (the regression was an unbounded
+// CAS spin under contention).
+
+TEST(Metrics, GaugeAddIsLossFreeUnderContention) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("acc");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) g.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Integer-valued double adds are exact: every increment must land.
+  EXPECT_DOUBLE_EQ(g.value(), 80000.0);
+}
+
+TEST(Metrics, GaugeMixedSetAddMakesProgress) {
+  obs::Gauge g;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) g.add(0.5);
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) g.set(1.0);
+    });
+  }
+  for (int t = 0; t < 4; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true);
+  for (std::size_t t = 4; t < threads.size(); ++t) threads[t].join();
+  EXPECT_TRUE(std::isfinite(g.value()));
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer edge cases (S3)
+
+TEST(JsonWriter, NonFiniteNumbersSerializeAsNull) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("nan", std::nan(""));
+  w.kv("pinf", std::numeric_limits<double>::infinity());
+  w.kv("ninf", -std::numeric_limits<double>::infinity());
+  w.kv("ok", 1.5);
+  w.end_object();
+  const std::string out = w.take();
+  EXPECT_EQ(out, R"({"nan":null,"pinf":null,"ninf":null,"ok":1.5})");
+  MiniJson parsed(out);
+  ASSERT_TRUE(parsed.parse());
+  EXPECT_EQ(parsed.nulls().size(), 3u);
+  EXPECT_TRUE(parsed.nulls().count("nan"));
+}
+
+TEST(JsonWriter, EscapesControlCharactersIncludingDel) {
+  obs::JsonWriter w;
+  // Built char-by-char: "\x01b" in a literal would maximal-munch to 0x1B.
+  const std::string nasty = std::string("a") + '\x01' + "b" + '\x1f' + "c" +
+                            '\x7f' + "d\"e\\f\ng\rh\ti";
+  w.begin_object();
+  w.kv("k", std::string_view(nasty));
+  w.end_object();
+  const std::string out = w.take();
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\\u001f"), std::string::npos);
+  EXPECT_NE(out.find("\\u007f"), std::string::npos);
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\\\"), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\r"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  // No raw control byte may survive into the document.
+  for (const char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    EXPECT_NE(static_cast<unsigned char>(c), 0x7Fu);
+  }
+  MiniJson parsed(out);
+  EXPECT_TRUE(parsed.parse());
+}
+
+TEST(JsonWriter, DeepNestingStaysBalanced) {
+  obs::JsonWriter w;
+  const int depth = 48;
+  for (int i = 0; i < depth; ++i) w.begin_array();
+  w.value(std::int64_t{1});
+  for (int i = 0; i < depth; ++i) w.end_array();
+  const std::string out = w.take();
+  MiniJson parsed(out);
+  ASSERT_TRUE(parsed.parse());
+  EXPECT_EQ(parsed.max_depth(), depth);
+}
+
+TEST(JsonWriter, TakeResetsForReuse) {
+  obs::JsonWriter w;
+  w.begin_object().kv("a", std::int64_t{1}).end_object();
+  EXPECT_EQ(w.take(), R"({"a":1})");
+  // Reuse after take(): no stale comma/pending state may leak through.
+  w.begin_object().kv("b", std::int64_t{2}).end_object();
+  EXPECT_EQ(w.take(), R"({"b":2})");
+  w.begin_array().value(std::int64_t{3}).end_array();
+  EXPECT_EQ(w.take(), "[3]");
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented runtime: causal tree invariants and end-to-end critical path
+
+core::PartitionedModel make_partitioned(int grid) {
+  Rng rng(11);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{grid, grid};
+  opt.clipped_relu = true;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  return core::apply_fdsp(nn::make_vgg_mini(rng, nn::MiniOptions{}), opt);
+}
+
+TEST(CausalTrace, ClusterSpansFormPerImageTrees) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.telemetry = {&metrics, &trace};
+  core::PartitionedModel pm = make_partitioned(2);
+  runtime::EdgeCluster cluster(pm, cfg);
+  Rng rng(23);
+  const Tensor image = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  for (int i = 0; i < 3; ++i) cluster.infer(image);
+
+  const std::vector<obs::Span> spans = trace.spans();
+  ASSERT_FALSE(spans.empty());
+  std::map<std::int64_t, const obs::Span*> by_id;
+  for (const auto& s : spans) {
+    ASSERT_NE(s.id, 0) << s.name;
+    EXPECT_TRUE(by_id.emplace(s.id, &s).second) << "duplicate id " << s.id;
+  }
+  // Every recorded parent link resolves (the run is far below ring
+  // capacity, so no eviction excuses a dangling edge).
+  for (const auto& s : spans) {
+    if (s.parent != 0) {
+      EXPECT_TRUE(by_id.count(s.parent))
+          << s.name << " has dangling parent " << s.parent;
+    }
+  }
+  // Each conv_compute span must reach its image's "infer" root through the
+  // cross-thread chain tile -> downlink -> scatter.
+  int chains = 0;
+  for (const auto& s : spans) {
+    if (std::string_view(s.name) != "conv_compute") continue;
+    std::vector<std::string> names;
+    const obs::Span* cur = &s;
+    for (int hop = 0; hop < 16 && cur->parent != 0; ++hop) {
+      const auto it = by_id.find(cur->parent);
+      ASSERT_NE(it, by_id.end());
+      cur = it->second;
+      names.push_back(cur->name);
+    }
+    EXPECT_EQ(names.back(), "infer");
+    EXPECT_EQ(cur->image_id, s.image_id);
+    const auto has = [&](const char* n) {
+      return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("tile"));
+    EXPECT_TRUE(has("downlink"));
+    EXPECT_TRUE(has("scatter"));
+    ++chains;
+  }
+  EXPECT_GE(chains, 4 * 3);  // grid 2x2 tiles per image, 3 images
+}
+
+TEST(CausalTrace, CriticalPathCoversStreamingRun) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.critical_path_interval = 2;
+  cfg.telemetry = {&metrics, &trace};
+  core::PartitionedModel pm = make_partitioned(2);
+  runtime::EdgeCluster cluster(pm, cfg);
+
+  runtime::StreamingConfig scfg;
+  scfg.max_in_flight = 4;  // depth-4 pipelining
+  scfg.telemetry = {&metrics, &trace};
+  runtime::StreamingServer server(cluster.central(), scfg);
+  Rng rng(29);
+  std::vector<std::int64_t> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(server.submit(Tensor::randn(Shape{1, 3, 32, 32}, rng)));
+  }
+  for (const auto t : tickets) server.wait(t);
+  server.close();
+
+  const std::vector<obs::Span> spans = trace.spans();
+  std::set<std::int64_t> image_ids;
+  for (const auto& s : spans) {
+    if (std::string_view(s.name) == "infer" && s.image_id >= 0) {
+      image_ids.insert(s.image_id);
+    }
+  }
+  ASSERT_EQ(image_ids.size(), 8u);
+  double conv_s = 0.0, link_s = 0.0;
+  for (const std::int64_t id : image_ids) {
+    const obs::CriticalPathReport r = obs::critical_path(spans, id);
+    EXPECT_GT(r.total_s, 0.0);
+    // Acceptance: the decomposition attributes >= 95% of each image's wall
+    // time even while four images share the cluster.
+    EXPECT_GE(r.coverage(), 0.95) << "image " << id;
+    EXPECT_FALSE(r.dominant_stage.empty());
+    conv_s += r.stage_seconds("conv_compute");
+    link_s += r.stage_seconds("downlink") + r.stage_seconds("uplink");
+  }
+  EXPECT_GT(conv_s, 0.0);
+  EXPECT_GT(link_s, 0.0);
+  // The cluster's own periodic analysis (interval=2) ran too and published
+  // its gauges + dominant-stage counters.
+  const auto snap = metrics.snapshot();
+  EXPECT_GE(snap.gauges.at("critical_path.coverage"), 0.95);
+  std::int64_t dominant_total = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name.rfind("critical_path.dominant.", 0) == 0) dominant_total += v;
+  }
+  EXPECT_EQ(dominant_total, 8 / 2);
+}
+
+TEST(CausalTrace, ChannelDepthAndQueueWaitQuantilesPopulate) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;  // queue-wait timestamps ride the tracer clock
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.telemetry = {&metrics, &trace};
+  core::PartitionedModel pm = make_partitioned(2);
+  runtime::EdgeCluster cluster(pm, cfg);
+  Rng rng(31);
+  const Tensor image = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  for (int i = 0; i < 2; ++i) cluster.infer(image);
+  const auto snap = metrics.snapshot();
+  EXPECT_GE(snap.quantiles.at("chan.inbox_depth_q").total.count, 8);
+  EXPECT_GE(snap.quantiles.at("node.compute_q").total.count, 8);
+  EXPECT_GE(snap.quantiles.at("node.queue_wait_q").total.count, 8);
+  EXPECT_GE(snap.quantiles.at("central.latency_q").total.count, 2);
+}
+
+}  // namespace
+}  // namespace adcnn
