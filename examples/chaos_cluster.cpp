@@ -6,12 +6,29 @@
 // exact same drops — chaos you can bisect. The table shows the fraction of
 // tiles still missing at the deadline with retry off vs on; the summary
 // prints the fault-injection and self-healing counters.
+//
+// `--processes` switches to process-level chaos: a real 4-worker loopback
+// TCP cluster (DistributedCluster spawning adcnn_conv_worker processes)
+// with one worker SIGKILLed and another SIGSTOPped mid-stream. Every image
+// must still come back bit-identical to the in-process oracle; the run
+// ends with a greppable "degraded completion: OK" verdict (CI's chaos leg
+// keys off it).
+#include <signal.h>
+
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/fdsp.hpp"
+#include "net/cluster.hpp"
 #include "nn/models_mini.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/cluster.hpp"
+
+#ifndef ADCNN_WORKER_BIN
+#define ADCNN_WORKER_BIN ""
+#endif
 
 using namespace adcnn;
 
@@ -48,9 +65,91 @@ SweepPoint run(core::PartitionedModel& pm, const Tensor& image,
   return point;
 }
 
+/// Process-level chaos over real sockets: SIGKILL + SIGSTOP mid-stream,
+/// assert bit-identical completion. Returns the process exit code.
+int run_process_chaos() {
+  if (std::strlen(ADCNN_WORKER_BIN) == 0) {
+    std::printf("worker binary path not compiled in; rebuild via CMake\n");
+    return 1;
+  }
+  const net::ModelSpec spec;  // vgg_mini, 32x32, 4x4 grid, quantized wire
+
+  // In-process oracle: same spec, same ConvNodeWorker/codec path.
+  std::vector<Tensor> images;
+  {
+    Rng rng(123);
+    for (int i = 0; i < 6; ++i) {
+      images.push_back(Tensor::randn(Shape{1, 3, 32, 32}, rng));
+    }
+  }
+  std::vector<Tensor> expect;
+  {
+    core::PartitionedModel pm = spec.build();
+    runtime::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    runtime::EdgeCluster oracle(pm, cfg);
+    for (const Tensor& x : images) expect.push_back(oracle.infer(x));
+  }
+
+  core::PartitionedModel pm = spec.build();
+  net::DistributedConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.worker_binary = ADCNN_WORKER_BIN;
+  cfg.spec = spec;
+  cfg.deadline_s = 20.0;
+  cfg.heartbeat_period_s = 0.05;
+  cfg.liveness_timeout_s = 0.3;
+  cfg.retry.at_fraction = 0.1;
+  cfg.retry.max_rounds = 4;
+  cfg.quarantine_after = 2;
+  net::DistributedCluster cluster(pm, cfg);
+  if (!cluster.wait_all_connected(15.0)) {
+    std::printf("degraded completion: FAIL (workers never connected)\n");
+    return 1;
+  }
+  std::printf("4 worker processes connected via %s\n",
+              cluster.endpoint().uri().c_str());
+
+  bool ok = true;
+  std::int64_t recovered = 0;
+  for (int i = 0; i < static_cast<int>(images.size()); ++i) {
+    if (i == 2) {
+      std::printf("chaos: SIGSTOP worker 1 (pid %d), SIGKILL worker 2 "
+                  "(pid %d)\n",
+                  static_cast<int>(cluster.worker_pid(1)),
+                  static_cast<int>(cluster.worker_pid(2)));
+      cluster.signal_worker(1, SIGSTOP);
+      cluster.signal_worker(2, SIGKILL);
+    }
+    runtime::InferStats stats;
+    const Tensor y = cluster.infer(images[static_cast<std::size_t>(i)], &stats);
+    const float diff =
+        Tensor::max_abs_diff(y, expect[static_cast<std::size_t>(i)]);
+    const bool image_ok = diff == 0.0f && stats.tiles_missing == 0;
+    ok = ok && image_ok;
+    recovered += stats.tiles_recovered;
+    std::printf("image %d: %s (missing %lld, retried %lld, recovered %lld, "
+                "max|diff| %g)\n",
+                i, image_ok ? "bit-identical" : "MISMATCH",
+                static_cast<long long>(stats.tiles_missing),
+                static_cast<long long>(stats.tiles_retried),
+                static_cast<long long>(stats.tiles_recovered), diff);
+  }
+  cluster.signal_worker(1, SIGCONT);
+
+  std::printf("transport: %lld heartbeat misses, %lld reconnects\n",
+              static_cast<long long>(cluster.heartbeat_misses()),
+              static_cast<long long>(cluster.reconnects()));
+  std::printf("degraded completion: %s\n", ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--processes") return run_process_chaos();
+  }
   Rng rng(11);
   core::FdspOptions opt;
   opt.grid = core::TileGrid{4, 4};

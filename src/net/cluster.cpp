@@ -1,0 +1,453 @@
+#include "net/cluster.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/optimize.hpp"
+#include "runtime/message.hpp"
+
+namespace adcnn::net {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<std::uint8_t> encode_ns(std::uint64_t ns) {
+  std::vector<std::uint8_t> out(8);
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((ns >> (8 * i)) & 0xFF);
+  }
+  return out;
+}
+
+std::uint64_t decode_ns(std::span<const std::uint8_t> in) {
+  std::uint64_t ns = 0;
+  for (int i = 0; i < 8 && i < static_cast<int>(in.size()); ++i) {
+    ns |= static_cast<std::uint64_t>(in[static_cast<std::size_t>(i)])
+          << (8 * i);
+  }
+  return ns;
+}
+
+Clock::duration dsec(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+DistributedCluster::DistributedCluster(core::PartitionedModel& model,
+                                       const DistributedConfig& cfg)
+    : cfg_(cfg) {
+  if (cfg_.num_nodes < 1) {
+    throw std::invalid_argument(
+        "DistributedCluster: need at least one Conv node");
+  }
+  if (cfg_.optimize_model) nn::optimize_for_inference(model.model);
+  if (cfg_.compress && model.clip_range <= 0.0f) {
+    throw std::invalid_argument(
+        "DistributedCluster: compression requires a clipped-ReLU range on "
+        "the model (apply_fdsp with clipped_relu=true)");
+  }
+  if (cfg_.compress) codec_.emplace(model.clip_range, model.bits);
+  digest_ = model_digest(model);
+  if (!cfg_.fault_plan.trivial()) {
+    faults_ = std::make_unique<runtime::FaultInjector>(cfg_.fault_plan,
+                                                       cfg_.telemetry);
+  }
+
+  obs::Counter* link_bytes = nullptr;
+  obs::Counter* link_transfers = nullptr;
+  if constexpr (obs::kEnabled) {
+    if (auto* m = cfg_.telemetry.metrics) {
+      // Logical payload accounting (same instrument family as the
+      // in-process cluster) plus the wire-level net.* plane.
+      link_bytes = &m->counter("link.downlink_bytes");
+      link_transfers = &m->counter("link.downlink_transfers");
+      obs_.bytes_tx = &m->counter("net.bytes_tx");
+      obs_.bytes_rx = &m->counter("net.bytes_rx");
+      obs_.frames_tx = &m->counter("net.frames_tx");
+      obs_.frames_rx = &m->counter("net.frames_rx");
+      obs_.connects = &m->counter("net.connects");
+      obs_.reconnects = &m->counter("net.reconnects");
+      obs_.heartbeat_misses = &m->counter("net.heartbeat_misses");
+      obs_.tx_dropped = &m->counter("net.tx_dropped");
+      obs_.rx_decode_errors = &m->counter("net.rx_decode_errors");
+      obs::QuantileHistogram::Config rtt_cfg;
+      rtt_cfg.min_value = 1e-6;  // seconds; loopback RTTs sit near 1e-5
+      rtt_cfg.max_value = 10.0;
+      obs_.rtt_q = &m->quantile_histogram("net.rtt_q", rtt_cfg);
+      if (codec_) codec_->attach_telemetry(m);
+    }
+  }
+
+  listener_ = std::make_unique<Listener>(cfg_.listen);
+
+  std::vector<runtime::Channel<runtime::TileTask>*> inbox_ptrs;
+  std::vector<runtime::Transport*> downlink_ptrs;
+  for (int k = 0; k < cfg_.num_nodes; ++k) {
+    auto node = std::make_unique<Node>();
+    node->id = k;
+    node->inbox = std::make_unique<runtime::Channel<runtime::TileTask>>();
+    node->link.attach_telemetry(link_bytes, link_transfers);
+    if (faults_) {
+      node->link.attach_faults(faults_.get(),
+                               runtime::FaultInjector::Direction::kDownlink, k);
+    }
+    inbox_ptrs.push_back(node->inbox.get());
+    downlink_ptrs.push_back(&node->link);
+    nodes_.push_back(std::move(node));
+  }
+
+  runtime::CentralConfig central_cfg;
+  central_cfg.deadline_s = cfg_.deadline_s;
+  central_cfg.gamma = cfg_.gamma;
+  central_cfg.initial_speed = cfg_.initial_speed;
+  central_cfg.capacity_tiles = cfg_.capacity_tiles;
+  central_cfg.probe_interval = cfg_.probe_interval;
+  central_cfg.retry = cfg_.retry;
+  central_cfg.quarantine_after = cfg_.quarantine_after;
+  central_cfg.critical_path_interval = cfg_.critical_path_interval;
+  central_cfg.telemetry = cfg_.telemetry;
+  const compress::TileCodec* codec = codec_ ? &*codec_ : nullptr;
+  central_ = std::make_unique<runtime::CentralNode>(
+      model, codec, inbox_ptrs, &results_, downlink_ptrs, central_cfg);
+
+  if (!cfg_.worker_binary.empty()) {
+    for (auto& node : nodes_) spawn_worker(*node);
+    monitor_thread_ = std::thread([this] { monitor_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (auto& node : nodes_) {
+    Node* n = node.get();
+    n->tx = std::thread([this, n] { tx_loop(*n); });
+    n->rx = std::thread([this, n] { rx_loop(*n); });
+  }
+
+  if constexpr (obs::kEnabled) {
+    if (cfg_.telemetry.metrics && cfg_.exporter.period_s > 0.0 &&
+        (!cfg_.exporter.prometheus_path.empty() ||
+         !cfg_.exporter.jsonl_path.empty())) {
+      exporter_ = std::make_unique<obs::TelemetryExporter>(
+          *cfg_.telemetry.metrics, cfg_.exporter);
+    }
+  }
+}
+
+DistributedCluster::~DistributedCluster() {
+  exporter_.reset();  // final flush while instruments are alive
+  stop_.store(true);
+  // Best-effort goodbye so idle workers exit instead of reconnecting.
+  for (auto& node : nodes_) {
+    if (auto conn = node->link.conn()) {
+      conn->send_frame(FrameType::kShutdown, {},
+                       std::chrono::milliseconds(200));
+    }
+  }
+  for (auto& node : nodes_) {
+    node->inbox->close();
+    if (auto conn = node->link.conn()) conn->shutdown();
+    node->cv.notify_all();
+  }
+  results_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  for (auto& node : nodes_) {
+    if (node->tx.joinable()) node->tx.join();
+    if (node->rx.joinable()) node->rx.join();
+  }
+  // Reap spawned workers: resume the stopped, terminate the polite, then
+  // escalate to SIGKILL for anything still standing.
+  std::vector<pid_t> pids;
+  for (auto& node : nodes_) {
+    const pid_t pid = node->pid.load();
+    if (pid > 0) {
+      ::kill(pid, SIGCONT);
+      ::kill(pid, SIGTERM);
+      pids.push_back(pid);
+    }
+  }
+  const auto kill_deadline = Clock::now() + std::chrono::seconds(2);
+  for (pid_t pid : pids) {
+    for (;;) {
+      const pid_t r = ::waitpid(pid, nullptr, WNOHANG);
+      if (r == pid || (r == -1 && errno != EINTR)) break;
+      if (Clock::now() >= kill_deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void DistributedCluster::count_tx(std::size_t wire_bytes) {
+  if constexpr (obs::kEnabled) {
+    if (obs_.bytes_tx)
+      obs_.bytes_tx->add(static_cast<std::int64_t>(wire_bytes));
+    if (obs_.frames_tx) obs_.frames_tx->add(1);
+  }
+}
+
+void DistributedCluster::count_rx(std::size_t wire_bytes) {
+  if constexpr (obs::kEnabled) {
+    if (obs_.bytes_rx)
+      obs_.bytes_rx->add(static_cast<std::int64_t>(wire_bytes));
+    if (obs_.frames_rx) obs_.frames_rx->add(1);
+  }
+}
+
+void DistributedCluster::spawn_worker(Node& node) {
+  std::vector<std::string> args;
+  args.push_back(cfg_.worker_binary);
+  args.push_back("--connect=" + listener_->bound().uri());
+  args.push_back("--node=" + std::to_string(node.id));
+  for (auto& a : cfg_.spec.to_args()) args.push_back(std::move(a));
+  args.push_back("--compress=" + std::to_string(cfg_.compress ? 1 : 0));
+  args.push_back("--optimize=" + std::to_string(cfg_.optimize_model ? 1 : 0));
+  args.push_back("--parent=" + std::to_string(::getpid()));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("DistributedCluster: fork: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child (multithreaded parent: only async-signal-safe work before exec).
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  node.pid.store(pid);
+  node.spawned = true;
+}
+
+void DistributedCluster::accept_loop() {
+  while (!stop_.load()) {
+    auto sock = listener_->accept(Clock::now() + std::chrono::milliseconds(200));
+    if (!sock) continue;
+    auto conn = std::make_shared<FramedConn>(std::move(*sock));
+
+    // Server side of the handshake. The wait is bounded so one stalled
+    // client cannot wedge the accept thread for long.
+    const auto hs_deadline = Clock::now() + std::chrono::seconds(3);
+    std::optional<Frame> hello_frame;
+    while (!(hello_frame = conn->recv_frame(hs_deadline))) {
+      if (!conn->alive() || Clock::now() >= hs_deadline || stop_.load()) break;
+    }
+    if (!hello_frame || hello_frame->type != FrameType::kHello) continue;
+    Hello hello;
+    try {
+      hello = decode_hello(hello_frame->payload);
+    } catch (const FrameError&) {
+      continue;
+    }
+    HelloAck ack;
+    ack.digest = digest_;
+    ack.accepted = static_cast<int>(hello.node_id) >= 0 &&
+                   static_cast<int>(hello.node_id) < cfg_.num_nodes &&
+                   hello.digest == digest_ && hello.compress == cfg_.compress;
+    conn->send_frame(FrameType::kHelloAck, encode_hello_ack(ack));
+    if (!ack.accepted) {
+      conn->shutdown();
+      continue;
+    }
+
+    Node& node = *nodes_[static_cast<std::size_t>(hello.node_id)];
+    const bool again = node.ever_connected.exchange(true);
+    node.link.adopt(std::move(conn));
+    if (again) {
+      reconnects_.fetch_add(1);
+      if constexpr (obs::kEnabled) {
+        if (obs_.reconnects) obs_.reconnects->add(1);
+      }
+    } else if constexpr (obs::kEnabled) {
+      if (obs_.connects) obs_.connects->add(1);
+    }
+    central_->mark_node_up(node.id);
+    node.cv.notify_all();
+  }
+}
+
+void DistributedCluster::monitor_loop() {
+  while (!stop_.load()) {
+    for (auto& node : nodes_) {
+      const pid_t pid = node->pid.load();
+      if (pid > 0) {
+        // A SIGSTOP'd worker does not report here (no WUNTRACED): it stays
+        // "running" and is handled by liveness, not respawn.
+        const pid_t r = ::waitpid(pid, nullptr, WNOHANG);
+        if (r == pid) {
+          node->pid.store(-1);
+          node->respawn_attempts++;
+          node->respawn_due =
+              Clock::now() +
+              dsec(cfg_.reconnect.backoff_s(
+                  node->respawn_attempts - 1,
+                  static_cast<std::uint64_t>(node->id) + 1));
+        }
+      } else if (node->spawned && cfg_.respawn_dead_workers &&
+                 Clock::now() >= node->respawn_due) {
+        try {
+          spawn_worker(*node);
+        } catch (const std::exception&) {
+          node->respawn_due = Clock::now() + dsec(cfg_.reconnect.backoff_cap_s);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void DistributedCluster::tx_loop(Node& node) {
+  const auto hb_period = dsec(cfg_.heartbeat_period_s);
+  auto next_hb = Clock::now() + hb_period;
+  while (!stop_.load()) {
+    const auto wake =
+        std::min(next_hb, Clock::now() + std::chrono::milliseconds(100));
+    auto task = node.inbox->receive_until(wake);
+    if (task) {
+      auto conn = node.link.conn();
+      const std::vector<std::uint8_t> wire = runtime::serialize(*task);
+      if (conn && conn->send_frame(FrameType::kTileTask, wire)) {
+        count_tx(kFrameHeaderBytes + wire.size());
+      } else {
+        // Disconnected (or the send killed the conn): the tile is lost on
+        // the wire; the central's retry/zero-fill machinery recovers it.
+        if (conn) node.link.drop(conn);
+        if constexpr (obs::kEnabled) {
+          if (obs_.tx_dropped) obs_.tx_dropped->add(1);
+        }
+      }
+      continue;  // drain the inbox before considering heartbeats
+    }
+    if (node.inbox->closed()) return;
+    const auto now = Clock::now();
+    if (now >= next_hb) {
+      next_hb = now + hb_period;
+      if (auto conn = node.link.conn()) {
+        const auto ping = encode_ns(steady_ns());
+        if (conn->send_frame(FrameType::kHeartbeat, ping,
+                             std::chrono::milliseconds(500))) {
+          count_tx(kFrameHeaderBytes + ping.size());
+        } else {
+          node.link.drop(conn);
+        }
+      }
+    }
+  }
+}
+
+void DistributedCluster::rx_loop(Node& node) {
+  const auto liveness = dsec(cfg_.liveness_timeout_s);
+  std::uint64_t seen_gen = 0;
+  auto last_rx = Clock::now();
+  while (!stop_.load()) {
+    auto conn = node.link.conn();
+    if (!conn || !conn->alive()) {
+      if (conn) node.link.drop(conn);
+      std::unique_lock lock(node.mu);
+      node.cv.wait_for(lock, std::chrono::milliseconds(100));
+      continue;
+    }
+    if (node.link.generation() != seen_gen) {
+      seen_gen = node.link.generation();
+      last_rx = Clock::now();  // fresh connection, fresh liveness window
+    }
+    const auto frame = conn->recv_frame(
+        std::min(Clock::now() + std::chrono::milliseconds(100),
+                 last_rx + liveness));
+    if (!frame) {
+      const bool dead = !conn->alive();
+      const bool stalled = Clock::now() >= last_rx + liveness;
+      if (!dead && !stalled) continue;
+      if (stalled && !dead) {
+        heartbeat_misses_.fetch_add(1);
+        if constexpr (obs::kEnabled) {
+          if (obs_.heartbeat_misses) obs_.heartbeat_misses->add(1);
+        }
+      }
+      node.link.drop(conn);
+      // Only quarantine if no newer connection raced in behind us.
+      if (!node.link.connected()) central_->mark_node_down(node.id);
+      continue;
+    }
+    last_rx = Clock::now();
+    count_rx(kFrameHeaderBytes + frame->payload.size());
+    switch (frame->type) {
+      case FrameType::kTileResult: {
+        try {
+          results_.send(runtime::deserialize_result(frame->payload));
+        } catch (const std::exception&) {
+          // CRC passed but the payload is still malformed (buggy/hostile
+          // peer): count and drop; retry/zero-fill covers the tile.
+          if constexpr (obs::kEnabled) {
+            if (obs_.rx_decode_errors) obs_.rx_decode_errors->add(1);
+          }
+        }
+        break;
+      }
+      case FrameType::kHeartbeatAck: {
+        const std::uint64_t sent = decode_ns(frame->payload);
+        const std::uint64_t now = steady_ns();
+        if (now > sent) {
+          if constexpr (obs::kEnabled) {
+            if (obs_.rtt_q) {
+              obs_.rtt_q->observe(static_cast<double>(now - sent) * 1e-9);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;  // unexpected frame types are ignored
+    }
+  }
+}
+
+bool DistributedCluster::wait_all_connected(double timeout_s) {
+  const auto deadline = Clock::now() + dsec(timeout_s);
+  for (;;) {
+    bool all = true;
+    for (auto& node : nodes_) {
+      if (!node->link.connected()) all = false;
+    }
+    if (all) return true;
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+pid_t DistributedCluster::worker_pid(int k) const {
+  if (k < 0 || k >= static_cast<int>(nodes_.size())) return -1;
+  return nodes_[static_cast<std::size_t>(k)]->pid.load();
+}
+
+bool DistributedCluster::signal_worker(int k, int sig) {
+  const pid_t pid = worker_pid(k);
+  if (pid <= 0) return false;
+  return ::kill(pid, sig) == 0;
+}
+
+bool DistributedCluster::node_connected(int k) const {
+  if (k < 0 || k >= static_cast<int>(nodes_.size())) return false;
+  return nodes_[static_cast<std::size_t>(k)]->link.connected();
+}
+
+}  // namespace adcnn::net

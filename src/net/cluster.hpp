@@ -1,0 +1,178 @@
+// DistributedCluster: the Figure 1(b) architecture over real sockets —
+// one Central node in this process, N Conv-node worker *processes*
+// connected via TCP or Unix-domain sockets.
+//
+// The cluster reuses the whole in-process runtime unchanged: the same
+// CentralNode drives partition/allocate/scatter/gather/suffix against
+// per-node Channel<TileTask> inboxes, and per-node pump threads bridge
+// those channels onto framed socket connections (net/frame.hpp). Failure
+// handling is layered:
+//
+//   * liveness: the central sends heartbeats every heartbeat_period_s; a
+//     connection with no inbound frame for liveness_timeout_s (SIGSTOP'd
+//     peer, half-open TCP) is declared dead (net.heartbeat_misses).
+//   * a dead connection immediately quarantines the node
+//     (CentralNode::mark_node_down), so Algorithm 3 re-allocates the next
+//     image to the remaining nodes and in-window retries avoid the corpse;
+//     tiles already lost on the dead link are recovered by the existing
+//     bounded retry or zero-filled at T_L.
+//   * reconnect: workers reconnect with capped exponential backoff +
+//     jitter; a SIGKILL'd worker process is respawned (optional) with the
+//     same backoff. A successful re-handshake lifts the quarantine and the
+//     recovery-probe path rebuilds the node's Algorithm 2 speed.
+//
+// Tile computation is bit-identical to the threaded EdgeCluster: workers
+// rebuild the same weights from the ModelSpec (digest-checked at
+// handshake) and run the identical ConvNodeWorker/codec path.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_link.hpp"
+#include "net/worker.hpp"
+#include "obs/exporter.hpp"
+#include "runtime/central_node.hpp"
+#include "runtime/channel.hpp"
+
+namespace adcnn::net {
+
+struct DistributedConfig {
+  /// Where to listen. TCP port 0 binds an ephemeral port (resolved in
+  /// endpoint()); UDS paths must fit sockaddr_un (~100 chars).
+  Endpoint listen;
+  int num_nodes = 4;
+  /// Path to the adcnn_conv_worker binary. Empty = spawn nothing and wait
+  /// for externally started workers to connect (adoption mode).
+  std::string worker_binary;
+  /// Recipe spawned workers rebuild; must describe the model passed to the
+  /// constructor (digest-checked at handshake).
+  ModelSpec spec;
+  bool compress = true;
+  bool optimize_model = false;
+
+  double heartbeat_period_s = 0.1;
+  /// No inbound frame on a connection for this long = dead peer.
+  double liveness_timeout_s = 0.5;
+  /// Respawn a spawned worker whose process exited (e.g. SIGKILL).
+  bool respawn_dead_workers = true;
+  /// Paces respawns via RetryPolicy::backoff_s (backoff_base_s etc.).
+  runtime::RetryPolicy reconnect{
+      .backoff_base_s = 0.05, .backoff_cap_s = 1.0, .jitter = 0.2};
+
+  // --- Central-node knobs (ClusterConfig analogues). ----------------------
+  double deadline_s = 5.0;
+  double gamma = 0.9;
+  double initial_speed = 1.0;
+  std::int64_t capacity_tiles = std::numeric_limits<std::int64_t>::max();
+  int probe_interval = 8;
+  runtime::RetryPolicy retry;
+  int quarantine_after = 3;
+  int critical_path_interval = 0;
+  /// Central-side fault injection on the downlink transports (the uplink
+  /// and node specs of a plan live in worker processes and are ignored
+  /// here — process-level chaos uses signal_worker instead).
+  runtime::FaultPlan fault_plan;
+  obs::Telemetry telemetry;
+  obs::ExporterConfig exporter;
+};
+
+class DistributedCluster {
+ public:
+  DistributedCluster(core::PartitionedModel& model,
+                     const DistributedConfig& cfg);
+  ~DistributedCluster();
+
+  DistributedCluster(const DistributedCluster&) = delete;
+  DistributedCluster& operator=(const DistributedCluster&) = delete;
+
+  Tensor infer(const Tensor& image, runtime::InferStats* stats = nullptr) {
+    return central_->infer(image, stats);
+  }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  runtime::CentralNode& central() { return *central_; }
+  /// The bound endpoint (ephemeral TCP port resolved) — hand its uri() to
+  /// externally launched workers.
+  const Endpoint& endpoint() const { return listener_->bound(); }
+
+  /// Block until every node has a live connection; false on timeout.
+  bool wait_all_connected(double timeout_s);
+
+  // --- Chaos/testing hooks -------------------------------------------------
+  /// Process id of the spawned worker for node k; -1 if not running.
+  pid_t worker_pid(int k) const;
+  /// kill(2) the spawned worker (SIGKILL, SIGSTOP, SIGCONT, ...).
+  bool signal_worker(int k, int sig);
+  bool node_connected(int k) const;
+
+  /// Successful (re-)handshakes beyond each node's first connection —
+  /// mirrors the net.reconnects metric for obs-off builds.
+  std::int64_t reconnects() const { return reconnects_.load(); }
+  std::int64_t heartbeat_misses() const { return heartbeat_misses_.load(); }
+
+ private:
+  struct Node {
+    int id = 0;
+    SocketLink link;
+    std::unique_ptr<runtime::Channel<runtime::TileTask>> inbox;
+    std::thread tx;
+    std::thread rx;
+    std::atomic<pid_t> pid{-1};
+    bool spawned = false;  // launched by us at least once
+    int respawn_attempts = 0;
+    Clock::time_point respawn_due{};
+    std::atomic<bool> ever_connected{false};
+    std::mutex mu;               // guards cv waits on (re)connection
+    std::condition_variable cv;  // notified when a new conn is adopted
+  };
+
+  void spawn_worker(Node& node);
+  void accept_loop();
+  void monitor_loop();
+  void tx_loop(Node& node);
+  void rx_loop(Node& node);
+  void count_tx(std::size_t wire_bytes);
+  void count_rx(std::size_t wire_bytes);
+
+  DistributedConfig cfg_;
+  std::optional<compress::TileCodec> codec_;
+  std::unique_ptr<runtime::FaultInjector> faults_;
+  std::uint64_t digest_ = 0;
+  std::unique_ptr<Listener> listener_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  runtime::Channel<runtime::TileResult> results_;
+  std::unique_ptr<runtime::CentralNode> central_;
+  std::unique_ptr<obs::TelemetryExporter> exporter_;
+  std::thread accept_thread_;
+  std::thread monitor_thread_;
+  std::atomic<bool> stop_{false};
+
+  // Plain mirrors of the net.* metrics so obs-off builds (and tests) can
+  // still assert transport behavior.
+  std::atomic<std::int64_t> reconnects_{0};
+  std::atomic<std::int64_t> heartbeat_misses_{0};
+
+  struct NetMetrics {
+    obs::Counter* bytes_tx = nullptr;
+    obs::Counter* bytes_rx = nullptr;
+    obs::Counter* frames_tx = nullptr;
+    obs::Counter* frames_rx = nullptr;
+    obs::Counter* connects = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* heartbeat_misses = nullptr;
+    obs::Counter* tx_dropped = nullptr;
+    obs::Counter* rx_decode_errors = nullptr;
+    obs::QuantileHistogram* rtt_q = nullptr;
+  } obs_;
+};
+
+}  // namespace adcnn::net

@@ -1,0 +1,182 @@
+#include "net/frame.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace adcnn::net {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+struct Header {
+  std::uint8_t version = 0;
+  FrameType type = FrameType::kHeartbeat;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Validate a complete 16-byte header. Every field is checked before the
+/// length can drive an allocation or the type a dispatch.
+Header decode_header(std::span<const std::uint8_t> h) {
+  if (get_u32(h, 0) != kFrameMagic) throw FrameError("frame: bad magic");
+  Header out;
+  out.version = h[4];
+  if (out.version != kProtocolVersion) {
+    throw FrameError("frame: unsupported protocol version " +
+                     std::to_string(out.version));
+  }
+  const std::uint8_t type = h[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    throw FrameError("frame: unknown type " + std::to_string(type));
+  }
+  out.type = static_cast<FrameType>(type);
+  if (h[6] != 0 || h[7] != 0) throw FrameError("frame: nonzero flags");
+  out.length = get_u32(h, 8);
+  if (out.length > kMaxFrameBytes) {
+    throw FrameError("frame: length " + std::to_string(out.length) +
+                     " exceeds bound");
+  }
+  out.crc = get_u32(h, 12);
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw FrameError("encode_frame: payload exceeds kMaxFrameBytes");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // flags
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameReassembler::push(std::span<const std::uint8_t> bytes) {
+  check();
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  // Peel off every complete frame; keep the (single) trailing partial one.
+  for (;;) {
+    if (buf_.size() < kFrameHeaderBytes) return;
+    Header h;
+    try {
+      h = decode_header(std::span(buf_).first(kFrameHeaderBytes));
+    } catch (const FrameError&) {
+      poisoned_ = true;
+      throw;
+    }
+    const std::size_t total = kFrameHeaderBytes + h.length;
+    if (buf_.size() < total) return;
+    const auto payload =
+        std::span(buf_).subspan(kFrameHeaderBytes, h.length);
+    if (crc32(payload) != h.crc) {
+      poisoned_ = true;
+      throw FrameError("frame: CRC mismatch");
+    }
+    Frame f;
+    f.type = h.type;
+    f.payload.assign(payload.begin(), payload.end());
+    ready_.push_back(std::move(f));
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  }
+}
+
+std::optional<Frame> FrameReassembler::next() {
+  check();
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+std::vector<std::uint8_t> encode_hello(const Hello& hello) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(hello.node_id));
+  put_u64(out, hello.digest);
+  out.push_back(hello.compress ? 1 : 0);
+  return out;
+}
+
+Hello decode_hello(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 13) throw FrameError("hello: bad payload size");
+  Hello h;
+  h.node_id = static_cast<std::int32_t>(get_u32(payload, 0));
+  h.digest = get_u64(payload, 4);
+  h.compress = payload[12] != 0;
+  return h;
+}
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack) {
+  std::vector<std::uint8_t> out;
+  out.push_back(ack.accepted ? 1 : 0);
+  put_u64(out, ack.digest);
+  return out;
+}
+
+HelloAck decode_hello_ack(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 9) throw FrameError("hello_ack: bad payload size");
+  HelloAck a;
+  a.accepted = payload[0] != 0;
+  a.digest = get_u64(payload, 1);
+  return a;
+}
+
+}  // namespace adcnn::net

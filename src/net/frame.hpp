@@ -1,0 +1,118 @@
+// Wire framing for the socket transport (DESIGN.md §13).
+//
+// Every frame is a fixed 16-byte little-endian header followed by the
+// payload:
+//
+//   offset  size  field
+//        0     4  magic   "ADCN"
+//        4     1  version (kProtocolVersion)
+//        5     1  type    (FrameType)
+//        6     2  flags   (reserved, must be 0)
+//        8     4  length  (payload bytes, <= kMaxFrameBytes)
+//       12     4  crc32   (IEEE CRC-32 of the payload)
+//
+// The header is validated before a single payload byte is trusted and the
+// CRC after the payload arrives, so a torn TCP stream, a half-written
+// frame from a SIGKILL'd peer, or hostile bytes surface as a recoverable
+// error (FrameError) — never as a crash or an over-allocation. Payloads
+// for kTileTask/kTileResult are exactly the runtime/message.hpp
+// serializations, which carry their own adversarial-input bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace adcnn::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kFrameMagic = 0x4E434441u;  // "ADCN" LE
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard payload bound: larger than any tile message the repo can produce,
+/// small enough that a hostile length prefix cannot drive an allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,         // worker -> central: node id + model digest + flags
+  kHelloAck = 2,      // central -> worker: accept byte + central digest
+  kTileTask = 3,      // central -> worker: serialize(TileTask)
+  kTileResult = 4,    // worker -> central: serialize(TileResult)
+  kHeartbeat = 5,     // central -> worker: 8-byte steady-clock ns echo token
+  kHeartbeatAck = 6,  // worker -> central: the token, unchanged
+  kShutdown = 7,      // central -> worker: drain and exit
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Recoverable wire-protocol violation (bad magic/version/length/CRC).
+/// Callers drop the connection and reconnect; they never crash.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// IEEE 802.3 CRC-32 (polynomial 0xEDB88320), the usual table-driven form.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Header + payload, ready for a single write.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Incremental frame decoder: push() arbitrary received chunks (a socket
+/// read returns whatever the kernel has), next() pops completed frames.
+/// Both the production read loop (net/socket.cpp) and the split-read sweep
+/// test drive this one class, so the tested path is the served path.
+/// Throws FrameError on a protocol violation; the reassembler is then
+/// poisoned (every later call throws) because a byte stream that lost
+/// framing cannot be resynchronized — the connection must be dropped.
+class FrameReassembler {
+ public:
+  void push(std::span<const std::uint8_t> bytes);
+  std::optional<Frame> next();
+
+  /// Bytes buffered toward the next incomplete frame.
+  std::size_t pending_bytes() const { return buf_.size(); }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  void check() const {
+    if (poisoned_) throw FrameError("frame stream poisoned by earlier error");
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::deque<Frame> ready_;
+  bool poisoned_ = false;
+};
+
+// --- Handshake payloads ----------------------------------------------------
+
+/// kHello: the worker introduces itself. `digest` fingerprints the model
+/// weights + partition geometry + codec parameters (see net/worker.hpp's
+/// model_digest) so a worker built from a different spec is rejected at
+/// handshake instead of producing silently wrong tiles.
+struct Hello {
+  std::int32_t node_id = -1;
+  std::uint64_t digest = 0;
+  bool compress = true;
+};
+
+struct HelloAck {
+  bool accepted = false;
+  std::uint64_t digest = 0;  // central's digest, for the worker's own check
+};
+
+std::vector<std::uint8_t> encode_hello(const Hello& hello);
+Hello decode_hello(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAck& ack);
+HelloAck decode_hello_ack(std::span<const std::uint8_t> payload);
+
+}  // namespace adcnn::net

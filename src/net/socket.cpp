@@ -1,0 +1,344 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace adcnn::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Remaining poll budget in ms, clamped to [0, 100]. The 100 ms cap keeps
+/// every wait loop responsive to shutdown()/stop flags even when the
+/// caller passed a far deadline.
+int poll_budget_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left.count(), 100));
+}
+
+/// Poll one fd for `events`; true when ready. EINTR retries inside the
+/// deadline; POLLERR/POLLHUP report as ready so the subsequent read/write
+/// observes the real error.
+bool poll_until(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    const int budget = poll_budget_ms(deadline);
+    const int rc = ::poll(&p, 1, budget);
+    if (rc > 0) return true;
+    if (rc < 0 && errno != EINTR && errno != EAGAIN) return false;
+    if (Clock::now() >= deadline) return false;
+  }
+}
+
+bool make_tcp_addr(const Endpoint& ep, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  return ::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1;
+}
+
+bool make_uds_addr(const Endpoint& ep, sockaddr_un& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (ep.path.empty() || ep.path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string Endpoint::uri() const {
+  if (kind == Kind::kUds) return "uds:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& uri) {
+  Endpoint ep;
+  if (uri.rfind("uds:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUds;
+    ep.path = uri.substr(4);
+    if (ep.path.empty()) throw std::invalid_argument("endpoint: empty path");
+    return ep;
+  }
+  if (uri.rfind("tcp:", 0) == 0) {
+    const std::string rest = uri.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      throw std::invalid_argument("endpoint: want tcp:host:port");
+    }
+    ep.kind = Endpoint::Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    ep.port = std::stoi(rest.substr(colon + 1));
+    if (ep.port < 0 || ep.port > 65535) {
+      throw std::invalid_argument("endpoint: port out of range");
+    }
+    return ep;
+  }
+  throw std::invalid_argument("endpoint: unknown scheme in '" + uri + "'");
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    // EINTR on close is not retried (POSIX leaves the fd state
+    // unspecified; retrying risks closing a reused descriptor).
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+IoStatus write_all(int fd, std::span<const std::uint8_t> bytes,
+                   Clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Clock::now() >= deadline) return IoStatus::kTimeout;
+      if (!poll_until(fd, POLLOUT, deadline)) {
+        if (Clock::now() >= deadline) return IoStatus::kTimeout;
+        return IoStatus::kError;
+      }
+      continue;
+    }
+    return errno == EPIPE || errno == ECONNRESET ? IoStatus::kClosed
+                                                 : IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus read_some(int fd, std::vector<std::uint8_t>& out,
+                   Clock::time_point deadline) {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      out.insert(out.end(), chunk, chunk + n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Clock::now() >= deadline) return IoStatus::kTimeout;
+      if (!poll_until(fd, POLLIN, deadline)) {
+        if (Clock::now() >= deadline) return IoStatus::kTimeout;
+        return IoStatus::kError;
+      }
+      continue;
+    }
+    return errno == ECONNRESET ? IoStatus::kClosed : IoStatus::kError;
+  }
+}
+
+Socket connect_to(const Endpoint& ep, Clock::time_point deadline,
+                  std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    return Socket();
+  };
+
+  const int family = ep.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  Socket sock(::socket(family, SOCK_STREAM, 0));
+  if (!sock.valid()) return fail("socket");
+  set_nonblocking(sock.fd());
+
+  int rc;
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    sockaddr_in addr;
+    if (!make_tcp_addr(ep, addr)) return fail("inet_pton");
+    do {
+      rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+  } else {
+    sockaddr_un addr;
+    if (!make_uds_addr(ep, addr)) return fail("uds path");
+    do {
+      rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+  }
+  if (rc < 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    return fail("connect");
+  }
+  if (rc < 0) {
+    // Non-blocking connect in flight: wait for writability, then read the
+    // final verdict from SO_ERROR.
+    if (!poll_until(sock.fd(), POLLOUT, deadline)) {
+      errno = ETIMEDOUT;
+      return fail("connect (timeout)");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &soerr, &len) < 0) {
+      return fail("getsockopt");
+    }
+    if (soerr != 0) {
+      errno = soerr;
+      return fail("connect");
+    }
+  }
+  if (ep.kind == Endpoint::Kind::kTcp) set_nodelay(sock.fd());
+  return sock;
+}
+
+Listener::Listener(const Endpoint& ep) {
+  const int family = ep.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  sock_ = Socket(::socket(family, SOCK_STREAM, 0));
+  if (!sock_.valid()) {
+    throw std::runtime_error(std::string("Listener: socket: ") +
+                             std::strerror(errno));
+  }
+  bound_ = ep;
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    int one = 1;
+    ::setsockopt(sock_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    if (!make_tcp_addr(ep, addr)) {
+      throw std::runtime_error("Listener: bad host " + ep.host);
+    }
+    if (::bind(sock_.fd(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw std::runtime_error(std::string("Listener: bind: ") +
+                               std::strerror(errno));
+    }
+    // Resolve the ephemeral port so workers can be pointed at it.
+    socklen_t len = sizeof(addr);
+    if (::getsockname(sock_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      bound_.port = ntohs(addr.sin_port);
+    }
+  } else {
+    ::unlink(ep.path.c_str());  // a stale socket file from a killed run
+    sockaddr_un addr;
+    if (!make_uds_addr(ep, addr)) {
+      throw std::runtime_error("Listener: bad uds path " + ep.path);
+    }
+    if (::bind(sock_.fd(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw std::runtime_error(std::string("Listener: bind: ") +
+                               std::strerror(errno));
+    }
+  }
+  if (::listen(sock_.fd(), 64) < 0) {
+    throw std::runtime_error(std::string("Listener: listen: ") +
+                             std::strerror(errno));
+  }
+  set_nonblocking(sock_.fd());
+}
+
+Listener::~Listener() {
+  if (bound_.kind == Endpoint::Kind::kUds) ::unlink(bound_.path.c_str());
+}
+
+std::optional<Socket> Listener::accept(Clock::time_point deadline) {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      set_nonblocking(fd);
+      if (bound_.kind == Endpoint::Kind::kTcp) set_nodelay(fd);
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Clock::now() >= deadline) return std::nullopt;
+      if (!poll_until(sock_.fd(), POLLIN, deadline) &&
+          Clock::now() >= deadline) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    return std::nullopt;  // accept error (e.g. listener closed)
+  }
+}
+
+bool FramedConn::send_frame(FrameType type,
+                            std::span<const std::uint8_t> payload,
+                            std::chrono::milliseconds timeout) {
+  if (!alive()) return false;
+  const auto wire = encode_frame(type, payload);
+  std::lock_guard lock(send_mu_);
+  const IoStatus st = write_all(sock_.fd(), wire, Clock::now() + timeout);
+  if (st != IoStatus::kOk) {
+    alive_.store(false, std::memory_order_release);
+    return false;
+  }
+  bytes_tx_.fetch_add(wire.size(), std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<Frame> FramedConn::recv_frame(Clock::time_point deadline) {
+  if (auto f = rx_.next()) return f;
+  while (alive()) {
+    std::vector<std::uint8_t> chunk;
+    const IoStatus st = read_some(sock_.fd(), chunk, deadline);
+    if (st == IoStatus::kTimeout) return std::nullopt;
+    if (st != IoStatus::kOk) {
+      alive_.store(false, std::memory_order_release);
+      return std::nullopt;
+    }
+    bytes_rx_.fetch_add(chunk.size(), std::memory_order_relaxed);
+    try {
+      rx_.push(chunk);
+    } catch (const FrameError&) {
+      // Torn or hostile framing: the stream cannot be resynchronized.
+      alive_.store(false, std::memory_order_release);
+      return std::nullopt;
+    }
+    if (auto f = rx_.next()) return f;
+  }
+  return std::nullopt;
+}
+
+void FramedConn::shutdown() {
+  alive_.store(false, std::memory_order_release);
+  // Wake a blocked reader/writer with EOF; the descriptor itself is only
+  // released by the FramedConn destructor, after its threads let go.
+  sock_.shutdown_rw();
+}
+
+}  // namespace adcnn::net

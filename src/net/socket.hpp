@@ -1,0 +1,149 @@
+// POSIX socket plumbing for the transport layer: RAII descriptors,
+// non-blocking connect with a deadline, poll-based read/write that is
+// EINTR- and partial-transfer-correct, TCP and Unix-domain listeners, and
+// FramedConn — one established connection carrying length-prefixed frames
+// (net/frame.hpp).
+//
+// Every descriptor is non-blocking; all waiting happens in poll() with an
+// explicit deadline, so a stalled peer (SIGSTOP'd process, full socket
+// buffer, half-open connection) surfaces as a timeout the caller can turn
+// into a liveness decision instead of a thread wedged in read().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace adcnn::net {
+
+using Clock = std::chrono::steady_clock;
+
+/// Where to listen/connect. `uri()` round-trips through parse_endpoint, so
+/// a resolved endpoint (e.g. an ephemeral TCP port after bind) can be
+/// handed to a worker process on its command line.
+struct Endpoint {
+  enum class Kind { kTcp, kUds };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  // TCP
+  int port = 0;                    // TCP; 0 = ephemeral (resolved at bind)
+  std::string path;                // UDS
+
+  std::string uri() const;
+};
+
+/// Parse "tcp:host:port" or "uds:/path". Throws std::invalid_argument.
+Endpoint parse_endpoint(const std::string& uri);
+
+/// Move-only owning file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// shutdown(2) both directions without releasing the descriptor: wakes a
+  /// reader/writer blocked in poll on another thread without the fd-reuse
+  /// race that closing a polled descriptor invites.
+  void shutdown_rw();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of a timed I/O step.
+enum class IoStatus { kOk, kTimeout, kClosed, kError };
+
+/// Write the whole buffer before `deadline`: poll for writability, retry
+/// EINTR, resume after partial sends. Safe against SIGPIPE (MSG_NOSIGNAL).
+IoStatus write_all(int fd, std::span<const std::uint8_t> bytes,
+                   Clock::time_point deadline);
+
+/// Read whatever the kernel has (>= 1 byte) before `deadline` into `out`.
+/// kClosed on orderly EOF, kTimeout if nothing arrived in time.
+IoStatus read_some(int fd, std::vector<std::uint8_t>& out,
+                   Clock::time_point deadline);
+
+/// Connect with a deadline (non-blocking connect + poll + SO_ERROR).
+/// Invalid socket on failure; `error` (optional) receives a description.
+Socket connect_to(const Endpoint& ep, Clock::time_point deadline,
+                  std::string* error = nullptr);
+
+/// Listening socket (TCP with SO_REUSEADDR, or UDS unlinking a stale
+/// path). The bound endpoint — with the ephemeral port resolved — is
+/// available as bound().
+class Listener {
+ public:
+  explicit Listener(const Endpoint& ep);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accept one connection, waiting at most until `deadline`.
+  std::optional<Socket> accept(Clock::time_point deadline);
+
+  const Endpoint& bound() const { return bound_; }
+
+ private:
+  Socket sock_;
+  Endpoint bound_;
+};
+
+/// One established, framed, bidirectional connection.
+///
+/// Thread contract: send_frame() is internally serialized (many senders —
+/// a task pump and a heartbeat/ack writer may share the connection);
+/// recv_frame() must be called from a single reader thread. shutdown()
+/// may be called from any thread to unblock both sides.
+class FramedConn {
+ public:
+  explicit FramedConn(Socket sock) : sock_(std::move(sock)) {}
+
+  /// False once the connection failed (error, EOF, protocol violation,
+  /// or shutdown()); it never recovers — reconnect instead.
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  /// Sends a whole frame or kills the connection; false = dead. A send
+  /// that cannot complete within `timeout` (peer stopped draining and the
+  /// socket buffer filled) also kills it — a transport with an unbounded
+  /// backlog would undo the runtime's backpressure story.
+  bool send_frame(FrameType type, std::span<const std::uint8_t> payload,
+                  std::chrono::milliseconds timeout =
+                      std::chrono::milliseconds(2000));
+
+  /// Next frame, waiting at most until `deadline`. nullopt + alive() means
+  /// timeout (caller applies its liveness policy); nullopt + !alive()
+  /// means the connection died (EOF, I/O error, or torn/hostile framing).
+  std::optional<Frame> recv_frame(Clock::time_point deadline);
+
+  /// Bytes moved on the wire (header + payload), for net.bytes_{tx,rx}.
+  std::uint64_t bytes_tx() const { return bytes_tx_.load(); }
+  std::uint64_t bytes_rx() const { return bytes_rx_.load(); }
+
+  /// Close the underlying socket, waking a blocked reader/writer.
+  void shutdown();
+
+ private:
+  Socket sock_;
+  std::mutex send_mu_;
+  FrameReassembler rx_;
+  std::atomic<bool> alive_{true};
+  std::atomic<std::uint64_t> bytes_tx_{0};
+  std::atomic<std::uint64_t> bytes_rx_{0};
+};
+
+}  // namespace adcnn::net

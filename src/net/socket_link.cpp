@@ -1,0 +1,89 @@
+#include "net/socket_link.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace adcnn::net {
+
+runtime::FaultInjector::LinkFate SocketLink::transmit_message(
+    std::size_t bytes, std::int64_t image_id, std::int64_t tile_id,
+    std::int32_t attempt, std::vector<std::uint8_t>* payload) {
+  runtime::FaultInjector::LinkFate fate;
+  if (faults_) {
+    fate = faults_->link_fate(fault_dir_, fault_node_, image_id, tile_id,
+                              attempt);
+  }
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  transfers_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (obs::kEnabled) {
+    if (obs_bytes_) obs_bytes_->add(static_cast<std::int64_t>(bytes));
+    if (obs_transfers_) obs_transfers_->add(1);
+  }
+  if (fate.corrupt && payload) {
+    faults_->corrupt_payload(*payload, fault_dir_, fault_node_, image_id,
+                             tile_id, attempt);
+  }
+  if (fate.delay_s > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(fate.delay_s));
+  }
+  return fate;
+}
+
+void SocketLink::check_quiescent(const char* what) const {
+  if (transfers_.load() != 0) {
+    throw std::logic_error(std::string("SocketLink::") + what +
+                           ": attach after the link carried traffic "
+                           "(attach hooks before first transmit)");
+  }
+}
+
+void SocketLink::attach_faults(runtime::FaultInjector* injector,
+                               runtime::FaultInjector::Direction dir,
+                               int node) {
+  check_quiescent("attach_faults");
+  faults_ = injector;
+  fault_dir_ = dir;
+  fault_node_ = node;
+}
+
+void SocketLink::attach_telemetry(obs::Counter* bytes,
+                                  obs::Counter* transfers) {
+  check_quiescent("attach_telemetry");
+  obs_bytes_ = bytes;
+  obs_transfers_ = transfers;
+}
+
+void SocketLink::adopt(std::shared_ptr<FramedConn> conn) {
+  std::shared_ptr<FramedConn> old;
+  {
+    std::lock_guard lock(mu_);
+    old = std::move(conn_);
+    conn_ = std::move(conn);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  if (old) old->shutdown();
+}
+
+void SocketLink::drop(const std::shared_ptr<FramedConn>& conn) {
+  std::shared_ptr<FramedConn> old;
+  {
+    std::lock_guard lock(mu_);
+    if (conn_ != conn) return;  // a newer generation already took over
+    old = std::move(conn_);
+    conn_.reset();
+  }
+  if (old) old->shutdown();
+}
+
+std::shared_ptr<FramedConn> SocketLink::conn() const {
+  std::lock_guard lock(mu_);
+  return conn_;
+}
+
+bool SocketLink::connected() const {
+  std::lock_guard lock(mu_);
+  return conn_ && conn_->alive();
+}
+
+}  // namespace adcnn::net

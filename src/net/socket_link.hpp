@@ -1,0 +1,77 @@
+// SocketLink: the socket-backed runtime::Transport for one peer.
+//
+// A SocketLink is the *stable identity* of the link to one node — the
+// CentralNode (and a worker's ConvNodeWorker) hold a raw Transport
+// pointer/reference across the peer's whole lifetime — while the
+// underlying FramedConn is *generational*: adopt() installs a freshly
+// handshaken connection after a reconnect, drop() retires a dead one, and
+// the I/O pump threads snapshot the current generation per operation.
+//
+// Transport::transmit_message() performs exactly what SimulatedLink does —
+// logical byte accounting plus fault injection — so a seeded FaultPlan
+// produces the same drops/corruptions whether the cluster runs on threads
+// or on sockets; the physical frame write is the caller's job (it honours
+// fate.drop by not sending).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "net/socket.hpp"
+#include "runtime/link.hpp"
+
+namespace adcnn::net {
+
+class SocketLink : public runtime::Transport {
+ public:
+  SocketLink() = default;
+
+  // --- Transport ----------------------------------------------------------
+  runtime::FaultInjector::LinkFate transmit_message(
+      std::size_t bytes, std::int64_t image_id, std::int64_t tile_id,
+      std::int32_t attempt,
+      std::vector<std::uint8_t>* payload = nullptr) override;
+
+  void attach_faults(runtime::FaultInjector* injector,
+                     runtime::FaultInjector::Direction dir, int node) override;
+  void attach_telemetry(obs::Counter* bytes, obs::Counter* transfers) override;
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_.load(); }
+  std::uint64_t transfers() const override { return transfers_.load(); }
+
+  // --- Connection lifecycle ----------------------------------------------
+  /// Install a new live connection (handshake already done), retiring and
+  /// shutting down any previous one. Bumps the generation.
+  void adopt(std::shared_ptr<FramedConn> conn);
+
+  /// Retire the current connection if it is still `conn` (a stale drop
+  /// from a slow thread must not kill a newer generation).
+  void drop(const std::shared_ptr<FramedConn>& conn);
+
+  /// Snapshot the current connection (null when disconnected).
+  std::shared_ptr<FramedConn> conn() const;
+
+  bool connected() const;
+  /// Incremented by every adopt(); lets pumps detect reconnects.
+  std::uint64_t generation() const { return generation_.load(); }
+
+ private:
+  void check_quiescent(const char* what) const;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<FramedConn> conn_;
+  std::atomic<std::uint64_t> generation_{0};
+
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> transfers_{0};
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_transfers_ = nullptr;
+  runtime::FaultInjector* faults_ = nullptr;
+  runtime::FaultInjector::Direction fault_dir_ =
+      runtime::FaultInjector::Direction::kDownlink;
+  int fault_node_ = -1;
+};
+
+}  // namespace adcnn::net

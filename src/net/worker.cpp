@@ -1,0 +1,343 @@
+#include "net/worker.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "compress/pipeline.hpp"
+#include "net/socket_link.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/optimize.hpp"
+#include "runtime/central_node.hpp"  // RetryPolicy::backoff_s
+#include "runtime/conv_node.hpp"
+#include "runtime/message.hpp"
+
+namespace adcnn::net {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+bool parent_gone(std::int64_t parent_pid) {
+  if (parent_pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(parent_pid), 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace
+
+core::PartitionedModel ModelSpec::build() const {
+  Rng rng(seed);
+  nn::MiniOptions mini;
+  mini.image = image;
+  mini.channels = channels;
+  mini.num_classes = classes;
+  mini.width_mult = width_mult;
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{grid_rows, grid_cols};
+  opt.clipped_relu = clipped_relu;
+  opt.clip_upper = clip_upper;
+  opt.quantize = quantize;
+  opt.bits = bits;
+  return core::apply_fdsp(nn::make_mini(family, rng, mini), opt);
+}
+
+std::vector<std::string> ModelSpec::to_args() const {
+  return {
+      "--family=" + family,
+      "--seed=" + std::to_string(seed),
+      "--image=" + std::to_string(image),
+      "--channels=" + std::to_string(channels),
+      "--classes=" + std::to_string(classes),
+      "--width=" + std::to_string(width_mult),
+      "--grid=" + std::to_string(grid_rows) + "x" + std::to_string(grid_cols),
+      "--clipped_relu=" + std::to_string(clipped_relu ? 1 : 0),
+      "--clip_upper=" + std::to_string(clip_upper),
+      "--quantize=" + std::to_string(quantize ? 1 : 0),
+      "--bits=" + std::to_string(bits),
+  };
+}
+
+std::uint64_t model_digest(core::PartitionedModel& pm) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  const std::vector<float> state = pm.model.state();
+  h = fnv1a(h, state.data(), state.size() * sizeof(float));
+  const std::int64_t geom[] = {pm.grid.rows, pm.grid.cols,
+                               pm.prefix_begin(), pm.prefix_end(),
+                               pm.suffix_begin(), pm.suffix_end(),
+                               static_cast<std::int64_t>(pm.bits)};
+  h = fnv1a(h, geom, sizeof(geom));
+  h = fnv1a(h, &pm.clip_range, sizeof(pm.clip_range));
+  return h;
+}
+
+WorkerOptions parse_worker_args(int argc, char** argv) {
+  WorkerOptions opt;
+  const auto want = [](const std::string& arg, const char* key,
+                       std::string* value) {
+    const std::string prefix = std::string(key) + "=";
+    if (arg.rfind(prefix, 0) != 0) return false;
+    *value = arg.substr(prefix.size());
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (want(arg, "--connect", &v)) {
+      opt.connect_uri = v;
+    } else if (want(arg, "--node", &v)) {
+      opt.node_id = std::stoi(v);
+    } else if (want(arg, "--family", &v)) {
+      opt.spec.family = v;
+    } else if (want(arg, "--seed", &v)) {
+      opt.spec.seed = std::stoull(v);
+    } else if (want(arg, "--image", &v)) {
+      opt.spec.image = std::stoll(v);
+    } else if (want(arg, "--channels", &v)) {
+      opt.spec.channels = std::stoll(v);
+    } else if (want(arg, "--classes", &v)) {
+      opt.spec.classes = std::stoi(v);
+    } else if (want(arg, "--width", &v)) {
+      opt.spec.width_mult = std::stod(v);
+    } else if (want(arg, "--grid", &v)) {
+      const std::size_t x = v.find('x');
+      if (x == std::string::npos) {
+        throw std::invalid_argument("--grid wants RxC");
+      }
+      opt.spec.grid_rows = std::stoi(v.substr(0, x));
+      opt.spec.grid_cols = std::stoi(v.substr(x + 1));
+    } else if (want(arg, "--clipped_relu", &v)) {
+      opt.spec.clipped_relu = std::stoi(v) != 0;
+    } else if (want(arg, "--clip_upper", &v)) {
+      opt.spec.clip_upper = std::stof(v);
+    } else if (want(arg, "--quantize", &v)) {
+      opt.spec.quantize = std::stoi(v) != 0;
+    } else if (want(arg, "--bits", &v)) {
+      opt.spec.bits = std::stoi(v);
+    } else if (want(arg, "--compress", &v)) {
+      opt.compress = std::stoi(v) != 0;
+    } else if (want(arg, "--optimize", &v)) {
+      opt.optimize = std::stoi(v) != 0;
+    } else if (want(arg, "--liveness", &v)) {
+      opt.liveness_timeout_s = std::stod(v);
+    } else if (want(arg, "--max_connect_attempts", &v)) {
+      opt.max_connect_attempts = std::stoi(v);
+    } else if (want(arg, "--parent", &v)) {
+      opt.parent_pid = std::stoll(v);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      throw std::invalid_argument("unknown worker argument: " + arg);
+    }
+  }
+  if (opt.connect_uri.empty()) {
+    throw std::invalid_argument("worker needs --connect=<tcp:host:port|uds:/path>");
+  }
+  if (opt.node_id < 0) throw std::invalid_argument("worker needs --node >= 0");
+  return opt;
+}
+
+namespace {
+
+/// One connected session: handshake, serve tiles until the connection
+/// dies or a shutdown frame arrives. Returns true to reconnect, false to
+/// exit the process.
+bool serve_connection(const WorkerOptions& opt, core::PartitionedModel& pm,
+                      const compress::TileCodec* codec, std::uint64_t digest,
+                      std::shared_ptr<FramedConn> conn, int* exit_code) {
+  using runtime::Channel;
+  using runtime::TileResult;
+  using runtime::TileTask;
+
+  // --- Handshake: introduce ourselves, wait for the verdict. --------------
+  Hello hello;
+  hello.node_id = opt.node_id;
+  hello.digest = digest;
+  hello.compress = opt.compress;
+  if (!conn->send_frame(FrameType::kHello, encode_hello(hello))) return true;
+  const auto ack_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(5.0));
+  std::optional<Frame> ack_frame;
+  while (!(ack_frame = conn->recv_frame(ack_deadline))) {
+    if (!conn->alive() || Clock::now() >= ack_deadline) return true;
+  }
+  if (ack_frame->type != FrameType::kHelloAck) return true;
+  HelloAck ack;
+  try {
+    ack = decode_hello_ack(ack_frame->payload);
+  } catch (const FrameError&) {
+    return true;
+  }
+  if (!ack.accepted || ack.digest != digest) {
+    // Spec mismatch is a deployment error, not a transient fault: running
+    // a different network would return silently wrong tiles. Exit loudly.
+    std::fprintf(stderr,
+                 "adcnn_conv_worker[%d]: model digest mismatch with central "
+                 "(ours %016llx, theirs %016llx) — check --family/--seed/"
+                 "--grid flags\n",
+                 opt.node_id, static_cast<unsigned long long>(digest),
+                 static_cast<unsigned long long>(ack.digest));
+    *exit_code = 2;
+    return false;
+  }
+
+  // --- Bridge the socket onto the in-process worker machinery. ------------
+  Channel<TileTask> inbox;
+  Channel<TileResult> outbox;
+  SocketLink uplink;
+  uplink.adopt(conn);
+  runtime::ConvNodeWorker worker(opt.node_id, pm, codec, inbox, outbox,
+                                 uplink);
+
+  // Result pump: computed tiles back onto the wire.
+  std::thread tx([&] {
+    while (auto result = outbox.receive()) {
+      if (!conn->send_frame(FrameType::kTileResult, serialize(*result))) {
+        return;  // connection died; the main loop notices via alive()
+      }
+    }
+  });
+
+  const auto liveness = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(opt.liveness_timeout_s));
+  bool reconnect = true;
+  auto last_rx = Clock::now();
+  while (conn->alive()) {
+    const auto frame =
+        conn->recv_frame(std::min(Clock::now() + std::chrono::milliseconds(100),
+                                  last_rx + liveness));
+    if (!frame) {
+      if (!conn->alive()) break;
+      if (Clock::now() >= last_rx + liveness) break;  // stalled central
+      if (parent_gone(opt.parent_pid)) {
+        reconnect = false;
+        break;
+      }
+      continue;
+    }
+    last_rx = Clock::now();
+    switch (frame->type) {
+      case FrameType::kTileTask: {
+        try {
+          inbox.send(runtime::deserialize_task(frame->payload));
+        } catch (const std::exception&) {
+          // Torn/corrupted task payload: drop it — the central node's
+          // retry/zero-fill covers the tile. (The CRC already rejects
+          // transport damage; this guards a hostile/buggy peer.)
+        }
+        break;
+      }
+      case FrameType::kHeartbeat:
+        conn->send_frame(FrameType::kHeartbeatAck, frame->payload);
+        break;
+      case FrameType::kShutdown:
+        reconnect = false;
+        conn->shutdown();
+        break;
+      default:
+        break;  // kHello/kHelloAck/kHeartbeatAck are unexpected; ignore
+    }
+  }
+
+  // Teardown order matters: the worker's dtor closes the inbox and joins
+  // the compute thread (so no further outbox sends), then closing the
+  // outbox releases the tx pump.
+  worker.kill();
+  inbox.close();
+  uplink.drop(conn);
+  conn->shutdown();
+  outbox.close();
+  if (tx.joinable()) tx.join();
+  return reconnect;
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opt) {
+  ::signal(SIGPIPE, SIG_IGN);
+
+  core::PartitionedModel pm = opt.spec.build();
+  if (opt.optimize) nn::optimize_for_inference(pm.model);
+  const std::uint64_t digest = model_digest(pm);
+  std::optional<compress::TileCodec> codec;
+  if (opt.compress) {
+    if (pm.clip_range <= 0.0f) {
+      std::fprintf(stderr,
+                   "adcnn_conv_worker[%d]: --compress=1 needs a clipped-ReLU "
+                   "model (--clipped_relu=1)\n",
+                   opt.node_id);
+      return 2;
+    }
+    codec.emplace(pm.clip_range, pm.bits);
+  }
+  const Endpoint ep = parse_endpoint(opt.connect_uri);
+
+  runtime::RetryPolicy backoff;
+  backoff.backoff_base_s = opt.backoff_base_s;
+  backoff.backoff_cap_s = opt.backoff_cap_s;
+  backoff.jitter = 0.2;
+
+  int attempts = 0;
+  int exit_code = 0;
+  for (;;) {
+    if (parent_gone(opt.parent_pid)) return 0;
+    std::string error;
+    Socket sock = connect_to(ep, Clock::now() + std::chrono::seconds(2),
+                             &error);
+    if (!sock.valid()) {
+      ++attempts;
+      if (opt.max_connect_attempts > 0 &&
+          attempts >= opt.max_connect_attempts) {
+        std::fprintf(stderr, "adcnn_conv_worker[%d]: giving up: %s\n",
+                     opt.node_id, error.c_str());
+        return 1;
+      }
+      const double sleep_s = backoff.backoff_s(
+          attempts - 1,
+          static_cast<std::uint64_t>(opt.node_id) * 0x9E37ull + now_ns() % 7);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(sleep_s, 0.01)));
+      continue;
+    }
+    attempts = 0;
+    if (opt.verbose) {
+      std::fprintf(stderr, "adcnn_conv_worker[%d]: connected to %s\n",
+                   opt.node_id, opt.connect_uri.c_str());
+    }
+    auto conn = std::make_shared<FramedConn>(std::move(sock));
+    if (!serve_connection(opt, pm, codec ? &*codec : nullptr, digest, conn,
+                          &exit_code)) {
+      return exit_code;
+    }
+    // Connection lost: pace the reconnect so a flapping central is not
+    // hammered by synchronized workers.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        backoff.backoff_s(0, static_cast<std::uint64_t>(opt.node_id) +
+                                 now_ns() % 13) +
+        0.01));
+  }
+}
+
+}  // namespace adcnn::net

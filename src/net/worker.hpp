@@ -1,0 +1,77 @@
+// Conv-node worker process: the Figure 1(b) edge device as a real OS
+// process, connected to the Central node over TCP or a Unix-domain socket.
+//
+// The central process and every worker rebuild the *same* partitioned
+// model from a shared ModelSpec (deterministic seeded init), and the
+// handshake carries a digest of weights + partition geometry + codec
+// parameters so a spec drift is rejected before any tile is computed on
+// the wrong network. Inside the process the tile path is exactly the
+// in-process runtime — the same ConvNodeWorker, codec and wire messages —
+// so a socket cluster is bit-identical to the threaded EdgeCluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fdsp.hpp"
+#include "net/socket.hpp"
+
+namespace adcnn::net {
+
+/// Recipe both sides use to build the identical partitioned model.
+struct ModelSpec {
+  std::string family = "vgg";  // nn::make_mini family name
+  std::uint64_t seed = 11;
+  std::int64_t image = 32;
+  std::int64_t channels = 3;
+  int classes = 4;
+  double width_mult = 1.0;
+  int grid_rows = 4;
+  int grid_cols = 4;
+  bool clipped_relu = true;
+  float clip_upper = 3.0f;
+  bool quantize = true;
+  int bits = 4;
+
+  core::PartitionedModel build() const;
+
+  /// Command-line fragments a worker parses back into the same spec.
+  std::vector<std::string> to_args() const;
+};
+
+/// FNV-1a over the weight snapshot, partition geometry and codec
+/// parameters: equal digests mean bit-identical tile computation.
+std::uint64_t model_digest(core::PartitionedModel& pm);
+
+struct WorkerOptions {
+  std::string connect_uri;  // tcp:host:port or uds:/path
+  int node_id = 0;
+  ModelSpec spec;
+  bool compress = true;
+  /// Run nn::optimize_for_inference before serving (must match central).
+  bool optimize = false;
+  /// No frame from the central node (heartbeats included) for this long
+  /// means the connection is dead: drop it and reconnect.
+  double liveness_timeout_s = 2.0;
+  /// Reconnect pacing: capped exponential with jitter (attempt-keyed).
+  double backoff_base_s = 0.05;
+  double backoff_cap_s = 1.0;
+  /// Give up after this many consecutive failed connect attempts; 0 =
+  /// retry forever (until the parent disappears or SIGTERM).
+  int max_connect_attempts = 0;
+  /// When > 0, exit once this process id stops existing — a worker must
+  /// not outlive the central process that spawned it.
+  std::int64_t parent_pid = 0;
+  bool verbose = false;
+};
+
+/// Parse worker command-line arguments (see to_args()/worker_main.cpp).
+/// Throws std::invalid_argument on malformed input.
+WorkerOptions parse_worker_args(int argc, char** argv);
+
+/// Run the worker until kShutdown, SIGTERM, parent death, or (when
+/// bounded) connect exhaustion. Returns the process exit code.
+int run_worker(const WorkerOptions& opt);
+
+}  // namespace adcnn::net

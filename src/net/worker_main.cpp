@@ -1,0 +1,25 @@
+// adcnn_conv_worker: one Conv node as a standalone process.
+//
+//   adcnn_conv_worker --connect=tcp:127.0.0.1:4224 --node=0
+//       --family=vgg --seed=11 --grid=4x4 [--compress=1] [--parent=<pid>]
+//
+// The worker rebuilds the partitioned model from the spec flags
+// (deterministic seeded init), connects to the central process, proves
+// weight/geometry identity via the handshake digest, then serves tiles
+// until a shutdown frame, SIGTERM, or the parent process disappears. A
+// lost connection is retried with capped exponential backoff.
+#include <cstdio>
+#include <exception>
+
+#include "net/worker.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const adcnn::net::WorkerOptions opt =
+        adcnn::net::parse_worker_args(argc, argv);
+    return adcnn::net::run_worker(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "adcnn_conv_worker: %s\n", e.what());
+    return 2;
+  }
+}

@@ -18,7 +18,31 @@ using Clock = std::chrono::steady_clock;
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 }  // namespace
+
+double RetryPolicy::backoff_s(int round, std::uint64_t key) const {
+  if (backoff_base_s <= 0.0) return 0.0;
+  double b = backoff_base_s;
+  for (int i = 0; i < round && b < backoff_cap_s; ++i) b *= 2.0;
+  b = std::min(b, backoff_cap_s);
+  if (jitter > 0.0) {
+    // Uniform in [-jitter, +jitter), keyed by (key, round): stateless, so
+    // the schedule is reproducible per key yet decorrelated across keys.
+    const std::uint64_t h =
+        splitmix64(key * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(round));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+    b *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return b;
+}
 
 std::string InferStats::to_json() const {
   obs::JsonWriter w;
@@ -63,7 +87,7 @@ CentralNode::CentralNode(core::PartitionedModel& model,
                          const compress::TileCodec* codec,
                          std::vector<Channel<TileTask>*> inboxes,
                          Channel<TileResult>* results,
-                         std::vector<SimulatedLink*> downlinks,
+                         std::vector<Transport*> downlinks,
                          CentralConfig cfg)
     : model_(model), codec_(codec), inboxes_(std::move(inboxes)),
       results_(results), downlinks_(std::move(downlinks)), cfg_(cfg),
@@ -175,7 +199,13 @@ std::int64_t CentralNode::begin_image(const Tensor& image) {
     // Algorithm 3 cannot route tiles to it (only the recovery probe below
     // may still reach it). Skip the exclusion when the healthy nodes could
     // not hold every tile — a suspect node beats a failed allocation.
-    if (cfg_.quarantine_after > 0) {
+    // (Checked on the flags, not quarantine_after: a transport liveness
+    // hint via mark_node_down() excludes even with the automatic breaker
+    // disabled.)
+    const bool any_quarantined =
+        std::find(quarantined_.begin(), quarantined_.end(), true) !=
+        quarantined_.end();
+    if (any_quarantined) {
       std::int64_t healthy_capacity = 0;
       for (int k = 0; k < K; ++k) {
         if (!quarantined_[static_cast<std::size_t>(k)])
@@ -273,13 +303,17 @@ CentralNode::Clock::time_point CentralNode::retry_due(const ImageJob& job,
                                                       int round) const {
   // Round i fires at at_fraction of T_L, with later rounds splitting the
   // remaining slack evenly — the retry budget always spends inside T_L.
+  // Any configured backoff is added on top (keyed by image id so
+  // concurrent images desynchronize); a retry pushed past the deadline
+  // never fires.
   const double f = cfg_.retry.at_fraction +
                    (1.0 - cfg_.retry.at_fraction) * static_cast<double>(round) /
                        static_cast<double>(cfg_.retry.max_rounds);
-  return job.t_scattered +
-         std::chrono::duration_cast<Clock::duration>(
-             std::chrono::duration<double>(cfg_.deadline_s *
-                                           std::clamp(f, 0.0, 1.0)));
+  const double due_s =
+      cfg_.deadline_s * std::clamp(f, 0.0, 1.0) +
+      cfg_.retry.backoff_s(round, static_cast<std::uint64_t>(job.image_id));
+  return job.t_scattered + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(due_s));
 }
 
 void CentralNode::complete_gather_locked(ImageJob& job,
@@ -640,6 +674,26 @@ void CentralNode::wake() {
 std::size_t CentralNode::in_flight() const {
   std::lock_guard lock(mu_);
   return inflight_.size();
+}
+
+void CentralNode::mark_node_down(int k) {
+  if (k < 0 || k >= static_cast<int>(inboxes_.size())) return;
+  std::lock_guard lock(mu_);
+  const auto ks = static_cast<std::size_t>(k);
+  if (!quarantined_[ks]) {
+    quarantined_[ks] = true;
+    if constexpr (obs::kEnabled) {
+      if (obs_.quarantine_events) obs_.quarantine_events->add(1);
+    }
+  }
+}
+
+void CentralNode::mark_node_up(int k) {
+  if (k < 0 || k >= static_cast<int>(inboxes_.size())) return;
+  std::lock_guard lock(mu_);
+  const auto ks = static_cast<std::size_t>(k);
+  quarantined_[ks] = false;
+  consecutive_missed_[ks] = 0;
 }
 
 Tensor CentralNode::infer(const Tensor& image, InferStats* stats) {

@@ -48,6 +48,22 @@ struct RetryPolicy {
   double at_fraction = 0.5;
   /// Retry budget: at most this many re-dispatch rounds per image.
   int max_rounds = 2;
+  /// Capped exponential backoff added on top of the fractional schedule
+  /// (round i waits an extra min(cap, base * 2^i), +/- jitter). The default
+  /// base of 0 keeps the original schedule; over real sockets a non-zero
+  /// base desynchronizes retry storms across images and reconnecting
+  /// peers. Backoff spends deadline slack: a retry pushed past T_L simply
+  /// never fires (zero-fill covers the tile).
+  double backoff_base_s = 0.0;
+  double backoff_cap_s = 1.0;
+  /// Fraction of the backoff randomized symmetrically (0 = deterministic).
+  double jitter = 0.1;
+
+  /// Deterministic backoff for 0-based `round`: capped exponential with a
+  /// +/- jitter drawn from a stateless hash of `key`, so concurrent
+  /// retriers (images, reconnecting links) desynchronize without sharing
+  /// an RNG stream and a seeded run stays reproducible.
+  double backoff_s(int round, std::uint64_t key = 0) const;
 };
 
 struct CentralConfig {
@@ -178,7 +194,7 @@ class CentralNode {
   CentralNode(core::PartitionedModel& model, const compress::TileCodec* codec,
               std::vector<Channel<TileTask>*> inboxes,
               Channel<TileResult>* results,
-              std::vector<SimulatedLink*> downlinks, CentralConfig cfg);
+              std::vector<Transport*> downlinks, CentralConfig cfg);
 
   /// End-to-end inference for one image (1, C, H, W): partition, allocate,
   /// scatter, gather with deadline, zero-fill, run the suffix. Must not be
@@ -217,6 +233,15 @@ class CentralNode {
   /// Images begun but not yet returned by pump_gather().
   std::size_t in_flight() const;
 
+  /// Liveness hint from a transport layer: a down node is quarantined
+  /// immediately (excluded from Algorithm 3 allocation and from retry
+  /// targeting) instead of waiting quarantine_after consecutive missed
+  /// images. mark_node_up() lifts the hint (a returned tile, e.g. a
+  /// recovery probe, also lifts it) — on reconnect the node rejoins
+  /// allocation and its EMA rebuilds through the probe path.
+  void mark_node_down(int k);
+  void mark_node_up(int k);
+
   const core::StatsCollector& collector() const { return collector_; }
 
  private:
@@ -233,7 +258,7 @@ class CentralNode {
   const compress::TileCodec* codec_;
   std::vector<Channel<TileTask>*> inboxes_;
   Channel<TileResult>* results_;
-  std::vector<SimulatedLink*> downlinks_;
+  std::vector<Transport*> downlinks_;
   CentralConfig cfg_;
   core::StatsCollector collector_;
   Shape tile_out_shape_;

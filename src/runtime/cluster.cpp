@@ -64,7 +64,7 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   results_.attach_telemetry(results_depth);
 
   std::vector<Channel<TileTask>*> inbox_ptrs;
-  std::vector<SimulatedLink*> downlink_ptrs;
+  std::vector<Transport*> downlink_ptrs;
   for (int k = 0; k < cfg.num_nodes; ++k) {
     downlinks_.push_back(std::make_unique<SimulatedLink>(
         cfg.bandwidth_bps, cfg.latency_s, cfg.time_scale));

@@ -11,7 +11,7 @@ ConvNodeWorker::ConvNodeWorker(int id, core::PartitionedModel& model,
                                const compress::TileCodec* codec,
                                Channel<TileTask>& inbox,
                                Channel<TileResult>& outbox,
-                               SimulatedLink& uplink, obs::Telemetry telemetry,
+                               Transport& uplink, obs::Telemetry telemetry,
                                FaultInjector* faults)
     : id_(id), model_(model), codec_(codec), inbox_(inbox), outbox_(outbox),
       uplink_(uplink), telemetry_(telemetry), faults_(faults),

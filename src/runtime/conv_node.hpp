@@ -30,7 +30,7 @@ class ConvNodeWorker {
   /// windows by image id on top of the manual kill()/set_cpu_limit() knobs.
   ConvNodeWorker(int id, core::PartitionedModel& model,
                  const compress::TileCodec* codec, Channel<TileTask>& inbox,
-                 Channel<TileResult>& outbox, SimulatedLink& uplink,
+                 Channel<TileResult>& outbox, Transport& uplink,
                  obs::Telemetry telemetry = {},
                  FaultInjector* faults = nullptr);
   ~ConvNodeWorker();
@@ -71,7 +71,7 @@ class ConvNodeWorker {
   const compress::TileCodec* codec_;
   Channel<TileTask>& inbox_;
   Channel<TileResult>& outbox_;
-  SimulatedLink& uplink_;
+  Transport& uplink_;
   obs::Telemetry telemetry_;
   FaultInjector* faults_;
   std::atomic<double> cpu_limit_{1.0};

@@ -1,4 +1,11 @@
-// Bandwidth/latency-modelled point-to-point link for the threaded runtime.
+// Message transports between the Central node and Conv nodes.
+//
+// Transport is the abstract per-(direction, node) carrier the runtime talks
+// to: transmit_message() accounts one message's bytes and consults the
+// fault injector for its fate. SimulatedLink is the in-process
+// implementation (bandwidth/latency model with real sleeps); net::SocketLink
+// implements the same interface over a TCP/Unix-domain connection, so fault
+// injection and byte telemetry work identically on both.
 //
 // transmit(bytes) blocks the sender for latency + bytes/bandwidth (scaled
 // by time_scale; 0 disables sleeping so functional tests run at full
@@ -9,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -17,7 +25,42 @@
 
 namespace adcnn::runtime {
 
-class SimulatedLink {
+/// Abstract one-direction message carrier toward (or from) one Conv node.
+///
+/// Thread contract for the attach hooks: both must run before the transport
+/// carries any traffic (implementations throw std::logic_error otherwise) —
+/// the injector/counter pointers are read without synchronization on the
+/// transmit path, so a concurrent attach would be a data race.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Account one runtime message and decide its fate. Byte accounting
+  /// happens regardless of the fate (a lost packet still occupied the
+  /// medium); a corrupt fate mangles `payload` in place when it is
+  /// non-null; a drop fate is returned for the caller to honour (the
+  /// transport only carries bytes — the message object stays with the
+  /// sender).
+  virtual FaultInjector::LinkFate transmit_message(
+      std::size_t bytes, std::int64_t image_id, std::int64_t tile_id,
+      std::int32_t attempt, std::vector<std::uint8_t>* payload = nullptr) = 0;
+
+  /// Fault injection: subsequent transmit_message() calls consult the
+  /// injector for this (direction, node) endpoint. Null detaches.
+  virtual void attach_faults(FaultInjector* injector,
+                             FaultInjector::Direction dir, int node) = 0;
+
+  /// Telemetry: also account bytes/transfers into registry counters (may
+  /// be shared by several transports, e.g. one pair per direction). Null
+  /// detaches.
+  virtual void attach_telemetry(obs::Counter* bytes,
+                                obs::Counter* transfers) = 0;
+
+  virtual std::uint64_t bytes_sent() const = 0;
+  virtual std::uint64_t transfers() const = 0;
+};
+
+class SimulatedLink : public Transport {
  public:
   SimulatedLink(double bandwidth_bps, double latency_s,
                 double time_scale = 0.0)
@@ -27,34 +70,26 @@ class SimulatedLink {
   /// Block for the modelled transfer duration and account the bytes.
   void transmit(std::size_t bytes);
 
-  /// Fault injection: subsequent transmit_message() calls consult the
-  /// injector for this (direction, node) endpoint. Null detaches. Attach
-  /// before the link carries traffic.
   void attach_faults(FaultInjector* injector, FaultInjector::Direction dir,
-                     int node) {
+                     int node) override {
+    check_quiescent("attach_faults");
     faults_ = injector;
     fault_dir_ = dir;
     fault_node_ = node;
   }
 
-  /// transmit() plus fault injection for one runtime message. Airtime and
-  /// byte accounting happen regardless of the fate (a lost packet still
-  /// occupied the radio); an injected delay is a real wall-clock sleep on
-  /// top of the modelled transfer. A corrupt fate mangles `payload` in
-  /// place when it is non-null; a drop fate is returned for the caller to
-  /// honour (the link only carries bytes — the message object stays with
-  /// the sender).
+  /// transmit() plus fault injection for one runtime message. An injected
+  /// delay is a real wall-clock sleep on top of the modelled transfer.
   FaultInjector::LinkFate transmit_message(
       std::size_t bytes, std::int64_t image_id, std::int64_t tile_id,
-      std::int32_t attempt, std::vector<std::uint8_t>* payload = nullptr);
+      std::int32_t attempt, std::vector<std::uint8_t>* payload = nullptr)
+      override;
 
-  std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
-  std::uint64_t transfers() const { return transfers_.load(); }
+  std::uint64_t bytes_sent() const override { return bytes_sent_.load(); }
+  std::uint64_t transfers() const override { return transfers_.load(); }
 
-  /// Telemetry: also account bytes/transfers into registry counters (may
-  /// be shared by several links, e.g. one pair per direction). Null
-  /// detaches. Attach before the link carries concurrent traffic.
-  void attach_telemetry(obs::Counter* bytes, obs::Counter* transfers) {
+  void attach_telemetry(obs::Counter* bytes, obs::Counter* transfers) override {
+    check_quiescent("attach_telemetry");
     obs_bytes_ = bytes;
     obs_transfers_ = transfers;
   }
@@ -65,6 +100,17 @@ class SimulatedLink {
   }
 
  private:
+  /// Attaching after the link carried traffic was a silent data race (the
+  /// transmit path reads the hook pointers unsynchronized); make the
+  /// footgun loud instead.
+  void check_quiescent(const char* what) const {
+    if (transfers_.load() != 0) {
+      throw std::logic_error(std::string("SimulatedLink::") + what +
+                             ": attach after the link carried traffic "
+                             "(attach hooks before first transmit)");
+    }
+  }
+
   double bandwidth_bps_;
   double latency_s_;
   double time_scale_;

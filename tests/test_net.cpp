@@ -1,0 +1,503 @@
+// Socket transport and multi-process cluster tests: wire framing under
+// torn/hostile byte streams, retry backoff schedules, the net.* telemetry
+// plane, and real 4-process loopback clusters (TCP and UDS) that must be
+// bit-identical to the in-process EdgeCluster — including under
+// process-kill chaos (SIGKILL + SIGSTOP mid-stream).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/socket_link.hpp"
+#include "net/worker.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/central_node.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/link.hpp"
+#include "runtime/message.hpp"
+
+#ifndef ADCNN_WORKER_BIN
+#define ADCNN_WORKER_BIN ""
+#endif
+
+namespace adcnn::net {
+namespace {
+
+// --- Frame codec -----------------------------------------------------------
+
+TEST(NetFrame, RoundTripAllTypes) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 0, 7};
+  for (const FrameType type :
+       {FrameType::kHello, FrameType::kHelloAck, FrameType::kTileTask,
+        FrameType::kTileResult, FrameType::kHeartbeat, FrameType::kHeartbeatAck,
+        FrameType::kShutdown}) {
+    const auto wire = encode_frame(type, payload);
+    ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+    FrameReassembler rx;
+    rx.push(wire);
+    const auto frame = rx.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_FALSE(rx.next().has_value());
+    EXPECT_EQ(rx.pending_bytes(), 0u);
+  }
+}
+
+TEST(NetFrame, EmptyPayloadRoundTrips) {
+  const auto wire = encode_frame(FrameType::kShutdown, {});
+  FrameReassembler rx;
+  rx.push(wire);
+  const auto frame = rx.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kShutdown);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(NetFrame, RejectsBadMagic) {
+  auto wire = encode_frame(FrameType::kHeartbeat, {});
+  wire[0] ^= 0xFF;
+  FrameReassembler rx;
+  EXPECT_THROW(rx.push(wire), FrameError);
+  EXPECT_TRUE(rx.poisoned());
+  EXPECT_THROW(rx.next(), FrameError);  // poisoned stays poisoned
+}
+
+TEST(NetFrame, RejectsBadVersion) {
+  auto wire = encode_frame(FrameType::kHeartbeat, {});
+  wire[4] = kProtocolVersion + 1;
+  FrameReassembler rx;
+  EXPECT_THROW(rx.push(wire), FrameError);
+}
+
+TEST(NetFrame, RejectsBadType) {
+  auto wire = encode_frame(FrameType::kHeartbeat, {});
+  wire[5] = 0;  // below kHello
+  FrameReassembler rx;
+  EXPECT_THROW(rx.push(wire), FrameError);
+  wire[5] = 99;  // above kShutdown
+  FrameReassembler rx2;
+  EXPECT_THROW(rx2.push(wire), FrameError);
+}
+
+TEST(NetFrame, RejectsNonzeroFlags) {
+  auto wire = encode_frame(FrameType::kHeartbeat, {});
+  wire[6] = 1;
+  FrameReassembler rx;
+  EXPECT_THROW(rx.push(wire), FrameError);
+}
+
+TEST(NetFrame, RejectsHostileLength) {
+  // A length prefix past kMaxFrameBytes must be rejected from the header
+  // alone — before any allocation could be driven by it.
+  auto wire = encode_frame(FrameType::kHeartbeat, {});
+  wire[8] = 0xFF;
+  wire[9] = 0xFF;
+  wire[10] = 0xFF;
+  wire[11] = 0xFF;
+  FrameReassembler rx;
+  EXPECT_THROW(rx.push(wire), FrameError);
+}
+
+TEST(NetFrame, RejectsCrcMismatch) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+  auto wire = encode_frame(FrameType::kTileResult, payload);
+  wire.back() ^= 0x01;  // flip one payload bit; CRC no longer matches
+  FrameReassembler rx;
+  EXPECT_THROW(
+      {
+        rx.push(wire);
+        rx.next();
+      },
+      FrameError);
+}
+
+// Satellite 1: every wire message, delivered in 1..N-byte fragments, must
+// decode identically; truncated at every possible point it must neither
+// crash nor yield a frame.
+TEST(NetFrame, SplitReadSweep) {
+  std::vector<std::uint8_t> big(300);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  std::vector<std::uint8_t> stream;
+  const std::vector<std::uint8_t> small = {1, 2, 3};
+  const auto f1 = encode_frame(FrameType::kHello, small);
+  const auto f2 = encode_frame(FrameType::kTileTask, big);
+  const auto f3 = encode_frame(FrameType::kHeartbeat, {});
+  stream.insert(stream.end(), f1.begin(), f1.end());
+  stream.insert(stream.end(), f2.begin(), f2.end());
+  stream.insert(stream.end(), f3.begin(), f3.end());
+
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    FrameReassembler rx;
+    std::vector<Frame> got;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      rx.push(std::span<const std::uint8_t>(stream.data() + off, n));
+      while (auto frame = rx.next()) got.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(got.size(), 3u) << "chunk=" << chunk;
+    EXPECT_EQ(got[0].type, FrameType::kHello);
+    EXPECT_EQ(got[1].type, FrameType::kTileTask);
+    EXPECT_EQ(got[1].payload, big);
+    EXPECT_EQ(got[2].type, FrameType::kHeartbeat);
+    EXPECT_EQ(rx.pending_bytes(), 0u);
+  }
+}
+
+TEST(NetFrame, TruncationAtEveryPointIsNotAFrame) {
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto wire = encode_frame(FrameType::kTileResult, payload);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameReassembler rx;
+    rx.push(std::span<const std::uint8_t>(wire.data(), cut));
+    EXPECT_FALSE(rx.next().has_value()) << "cut=" << cut;
+    EXPECT_FALSE(rx.poisoned()) << "cut=" << cut;
+    EXPECT_EQ(rx.pending_bytes(), cut);
+  }
+}
+
+TEST(NetFrame, HandshakeRoundTrip) {
+  Hello hello;
+  hello.node_id = 3;
+  hello.digest = 0xDEADBEEFCAFEF00Dull;
+  hello.compress = true;
+  const Hello back = decode_hello(encode_hello(hello));
+  EXPECT_EQ(back.node_id, hello.node_id);
+  EXPECT_EQ(back.digest, hello.digest);
+  EXPECT_EQ(back.compress, hello.compress);
+
+  HelloAck ack;
+  ack.accepted = true;
+  ack.digest = 0x0123456789ABCDEFull;
+  const HelloAck aback = decode_hello_ack(encode_hello_ack(ack));
+  EXPECT_EQ(aback.accepted, ack.accepted);
+  EXPECT_EQ(aback.digest, ack.digest);
+
+  EXPECT_THROW(decode_hello(std::vector<std::uint8_t>(3)), FrameError);
+  EXPECT_THROW(decode_hello_ack(std::vector<std::uint8_t>(1)), FrameError);
+}
+
+// --- Endpoints -------------------------------------------------------------
+
+TEST(NetEndpoint, ParseRoundTrips) {
+  const Endpoint tcp = parse_endpoint("tcp:127.0.0.1:4224");
+  EXPECT_EQ(tcp.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 4224);
+  EXPECT_EQ(tcp.uri(), "tcp:127.0.0.1:4224");
+
+  const Endpoint uds = parse_endpoint("uds:/tmp/adcnn.sock");
+  EXPECT_EQ(uds.kind, Endpoint::Kind::kUds);
+  EXPECT_EQ(uds.path, "/tmp/adcnn.sock");
+  EXPECT_EQ(uds.uri(), "uds:/tmp/adcnn.sock");
+
+  EXPECT_THROW(parse_endpoint("http:foo"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("tcp:nohost"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("tcp:h:notaport"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("uds:"), std::invalid_argument);
+}
+
+// --- Satellite 2: retry backoff schedule -----------------------------------
+
+TEST(NetBackoff, PinnedCappedExponentialSchedule) {
+  runtime::RetryPolicy p;
+  p.backoff_base_s = 0.1;
+  p.backoff_cap_s = 0.8;
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.backoff_s(0), 0.1);
+  EXPECT_DOUBLE_EQ(p.backoff_s(1), 0.2);
+  EXPECT_DOUBLE_EQ(p.backoff_s(2), 0.4);
+  EXPECT_DOUBLE_EQ(p.backoff_s(3), 0.8);
+  EXPECT_DOUBLE_EQ(p.backoff_s(4), 0.8);   // capped
+  EXPECT_DOUBLE_EQ(p.backoff_s(40), 0.8);  // no overflow at deep rounds
+}
+
+TEST(NetBackoff, ZeroBaseKeepsLegacySchedule) {
+  runtime::RetryPolicy p;  // default backoff_base_s = 0
+  EXPECT_DOUBLE_EQ(p.backoff_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.backoff_s(5, 1234), 0.0);
+}
+
+TEST(NetBackoff, JitterIsDeterministicPerKeyAndBounded) {
+  runtime::RetryPolicy p;
+  p.backoff_base_s = 0.1;
+  p.backoff_cap_s = 10.0;
+  p.jitter = 0.25;
+  bool saw_different = false;
+  for (int round = 0; round < 6; ++round) {
+    const double nominal = 0.1 * static_cast<double>(1 << round);
+    const double a = p.backoff_s(round, 1);
+    const double b = p.backoff_s(round, 1);
+    const double c = p.backoff_s(round, 2);
+    EXPECT_DOUBLE_EQ(a, b);  // stateless: same key, same value
+    if (a != c) saw_different = true;
+    EXPECT_GE(a, nominal * (1.0 - 0.25));
+    EXPECT_LE(a, nominal * (1.0 + 0.25));
+    EXPECT_GE(c, nominal * (1.0 - 0.25));
+    EXPECT_LE(c, nominal * (1.0 + 0.25));
+  }
+  EXPECT_TRUE(saw_different);  // keys actually desynchronize
+}
+
+// --- Satellite 6: attach-after-traffic guard -------------------------------
+
+TEST(NetLink, SimulatedLinkRejectsAttachAfterTraffic) {
+  runtime::SimulatedLink link(0.0, 0.0);
+  link.attach_telemetry(nullptr, nullptr);  // quiescent: fine
+  link.transmit_message(128, 0, 0, 0);
+  EXPECT_THROW(link.attach_telemetry(nullptr, nullptr), std::logic_error);
+  EXPECT_THROW(link.attach_faults(nullptr,
+                                  runtime::FaultInjector::Direction::kDownlink,
+                                  0),
+               std::logic_error);
+}
+
+TEST(NetLink, SocketLinkRejectsAttachAfterTraffic) {
+  SocketLink link;
+  link.attach_telemetry(nullptr, nullptr);
+  link.transmit_message(64, 0, 0, 0);
+  EXPECT_THROW(link.attach_telemetry(nullptr, nullptr), std::logic_error);
+  EXPECT_THROW(link.attach_faults(nullptr,
+                                  runtime::FaultInjector::Direction::kDownlink,
+                                  0),
+               std::logic_error);
+}
+
+// --- Multi-process clusters ------------------------------------------------
+
+ModelSpec test_spec() {
+  ModelSpec spec;  // vgg_mini, 32x32, 4x4 grid, clipped + quantized
+  return spec;
+}
+
+/// The in-process oracle: an EdgeCluster over the identical model. Same
+/// ConvNodeWorker/codec code path, so outputs must match bit for bit.
+Tensor oracle_logits(const ModelSpec& spec, const std::vector<Tensor>& images,
+                     std::vector<Tensor>* out_all) {
+  core::PartitionedModel pm = spec.build();
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.compress = true;
+  runtime::EdgeCluster cluster(pm, cfg);
+  Tensor last;
+  for (const Tensor& x : images) {
+    last = cluster.infer(x);
+    if (out_all) out_all->push_back(last);
+  }
+  return last;
+}
+
+std::vector<Tensor> make_images(int n) {
+  Rng rng(123);
+  std::vector<Tensor> images;
+  for (int i = 0; i < n; ++i) {
+    images.push_back(Tensor::randn(Shape{1, 3, 32, 32}, rng));
+  }
+  return images;
+}
+
+std::string unique_uds_path(const char* tag) {
+  return "/tmp/adcnn_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+DistributedConfig base_config(const Endpoint& listen) {
+  DistributedConfig cfg;
+  cfg.listen = listen;
+  cfg.num_nodes = 4;
+  cfg.worker_binary = ADCNN_WORKER_BIN;
+  cfg.spec = test_spec();
+  cfg.deadline_s = 20.0;  // generous: CI machines can stall
+  return cfg;
+}
+
+void expect_bit_identical(DistributedCluster& cluster,
+                          const std::vector<Tensor>& images,
+                          const std::vector<Tensor>& expect) {
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    runtime::InferStats stats;
+    const Tensor y = cluster.infer(images[i], &stats);
+    EXPECT_EQ(stats.tiles_missing, 0) << "image " << i;
+    EXPECT_EQ(Tensor::max_abs_diff(y, expect[i]), 0.0f) << "image " << i;
+  }
+}
+
+TEST(DistributedCluster, TcpLoopbackBitIdenticalToInProcess) {
+  ASSERT_STRNE(ADCNN_WORKER_BIN, "");
+  const auto images = make_images(3);
+  std::vector<Tensor> expect;
+  oracle_logits(test_spec(), images, &expect);
+
+  core::PartitionedModel pm = test_spec().build();
+  Endpoint ep;  // tcp 127.0.0.1, ephemeral port
+  DistributedCluster cluster(pm, base_config(ep));
+  ASSERT_TRUE(cluster.wait_all_connected(15.0));
+  expect_bit_identical(cluster, images, expect);
+}
+
+TEST(DistributedCluster, UdsLoopbackBitIdenticalToInProcess) {
+  ASSERT_STRNE(ADCNN_WORKER_BIN, "");
+  const auto images = make_images(2);
+  std::vector<Tensor> expect;
+  oracle_logits(test_spec(), images, &expect);
+
+  core::PartitionedModel pm = test_spec().build();
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kUds;
+  ep.path = unique_uds_path("uds");
+  DistributedCluster cluster(pm, base_config(ep));
+  ASSERT_TRUE(cluster.wait_all_connected(15.0));
+  expect_bit_identical(cluster, images, expect);
+}
+
+TEST(DistributedCluster, RejectsWorkerWithWrongDigest) {
+  ASSERT_STRNE(ADCNN_WORKER_BIN, "");
+  core::PartitionedModel pm = test_spec().build();
+  auto cfg = base_config(Endpoint{});
+  cfg.num_nodes = 1;
+  cfg.worker_binary.clear();  // adoption mode: we launch the worker by hand
+  DistributedCluster cluster(pm, cfg);
+
+  ModelSpec wrong = test_spec();
+  wrong.seed += 1;  // different weights, different digest
+  WorkerOptions opt;
+  opt.connect_uri = cluster.endpoint().uri();
+  opt.node_id = 0;
+  opt.spec = wrong;
+  opt.max_connect_attempts = 5;
+  // run_worker exits with the digest-mismatch deployment error, and the
+  // central never adopts the connection.
+  EXPECT_EQ(run_worker(opt), 2);
+  EXPECT_FALSE(cluster.node_connected(0));
+}
+
+// The headline chaos test: SIGKILL one worker and SIGSTOP another while a
+// stream of images is in flight. Every image must still complete
+// bit-identically to the in-process oracle (retries re-dispatch the lost
+// tiles to live nodes inside T_L, so nothing is zero-filled), the stalls
+// must be detected as heartbeat misses, and the killed worker must be
+// respawned and re-adopted (net.reconnects > 0).
+TEST(DistributedCluster, ChaosKillAndStopStaysBitIdentical) {
+  ASSERT_STRNE(ADCNN_WORKER_BIN, "");
+  const auto images = make_images(6);
+  std::vector<Tensor> expect;
+  oracle_logits(test_spec(), images, &expect);
+
+  core::PartitionedModel pm = test_spec().build();
+  auto cfg = base_config(Endpoint{});
+  cfg.heartbeat_period_s = 0.05;
+  cfg.liveness_timeout_s = 0.3;
+  cfg.retry.enabled = true;
+  cfg.retry.at_fraction = 0.1;
+  cfg.retry.max_rounds = 4;
+  cfg.quarantine_after = 2;
+  DistributedCluster cluster(pm, cfg);
+  ASSERT_TRUE(cluster.wait_all_connected(15.0));
+
+  // Two healthy warm-up images.
+  for (int i = 0; i < 2; ++i) {
+    runtime::InferStats stats;
+    const Tensor y = cluster.infer(images[static_cast<std::size_t>(i)], &stats);
+    ASSERT_EQ(stats.tiles_missing, 0);
+    ASSERT_EQ(Tensor::max_abs_diff(y, expect[static_cast<std::size_t>(i)]),
+              0.0f);
+  }
+
+  // Chaos: node 1 is frozen (half-open connection — only liveness can tell),
+  // node 2 is killed outright (EOF on the wire, then respawn).
+  ASSERT_TRUE(cluster.signal_worker(1, SIGSTOP));
+  ASSERT_TRUE(cluster.signal_worker(2, SIGKILL));
+
+  for (int i = 2; i < 6; ++i) {
+    runtime::InferStats stats;
+    const Tensor y = cluster.infer(images[static_cast<std::size_t>(i)], &stats);
+    EXPECT_EQ(stats.tiles_missing, 0) << "image " << i;
+    EXPECT_EQ(Tensor::max_abs_diff(y, expect[static_cast<std::size_t>(i)]),
+              0.0f)
+        << "image " << i;
+  }
+
+  ASSERT_TRUE(cluster.signal_worker(1, SIGCONT));
+
+  // The killed worker respawns and re-handshakes; the frozen one reconnects
+  // after SIGCONT finds its old connection shut.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (cluster.reconnects() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(cluster.reconnects(), 1);
+  EXPECT_GE(cluster.heartbeat_misses(), 1);
+
+  // Fully healed cluster still computes the right answer.
+  ASSERT_TRUE(cluster.wait_all_connected(15.0));
+  runtime::InferStats stats;
+  const Tensor y = cluster.infer(images[0], &stats);
+  EXPECT_EQ(Tensor::max_abs_diff(y, expect[0]), 0.0f);
+}
+
+// --- Satellite 3: the net.* telemetry plane through the exporter -----------
+
+TEST(NetMetrics, PrometheusRendersNetPlane) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "telemetry compiled out (ADCNN_ENABLE_OBS=OFF)";
+  } else {
+    ASSERT_STRNE(ADCNN_WORKER_BIN, "");
+    obs::MetricsRegistry metrics;
+    core::PartitionedModel pm = test_spec().build();
+    auto cfg = base_config(Endpoint{});
+    cfg.num_nodes = 2;
+    cfg.heartbeat_period_s = 0.05;
+    cfg.telemetry.metrics = &metrics;
+    DistributedCluster cluster(pm, cfg);
+    ASSERT_TRUE(cluster.wait_all_connected(15.0));
+    cluster.infer(Tensor::randn(Shape{1, 3, 32, 32}, *std::make_unique<Rng>(5)));
+    // Let at least one heartbeat round-trip land in net.rtt_q.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (metrics.snapshot().quantiles.at("net.rtt_q").window.count == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    EXPECT_GT(snap.counters.at("net.bytes_tx"), 0);
+    EXPECT_GT(snap.counters.at("net.bytes_rx"), 0);
+    EXPECT_GT(snap.counters.at("net.frames_tx"), 0);
+    EXPECT_GT(snap.counters.at("net.frames_rx"), 0);
+    EXPECT_EQ(snap.counters.at("net.connects"), 2);
+    EXPECT_GT(snap.quantiles.at("net.rtt_q").window.count, 0);
+    // Logical payload accounting flows through the same instrument family
+    // as the in-process cluster.
+    EXPECT_GT(snap.counters.at("link.downlink_bytes"), 0);
+
+    const std::string prom = obs::TelemetryExporter::to_prometheus(snap);
+    EXPECT_NE(prom.find("# TYPE adcnn_net_bytes_tx_total counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("adcnn_net_bytes_rx_total "), std::string::npos);
+    EXPECT_NE(prom.find("adcnn_net_reconnects_total "), std::string::npos);
+    EXPECT_NE(prom.find("adcnn_net_heartbeat_misses_total "),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE adcnn_net_rtt_q summary"), std::string::npos);
+    EXPECT_NE(prom.find("adcnn_net_rtt_q{quantile=\"0.9\"}"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace adcnn::net
