@@ -1,9 +1,12 @@
 // Operator / codec / scheduler micro-benchmarks (google-benchmark), plus
-// two JSON reports that replace the google-benchmark suite when requested
+// three JSON reports that replace the google-benchmark suite when requested
 // (CI records the perf trajectory from the artifacts):
 //   --gemm_json=PATH [--smoke]    naive vs blocked vs threaded GFLOP/s
 //   --fusion_json=PATH [--smoke]  conv forward: unfused vs prepacked vs
 //                                 fused-epilogue, plus BN-folding checks
+//   --int8_json=PATH [--smoke]    quantized conv prefix vs fused fp32:
+//                                 engine-vs-oracle bitwise, argmax
+//                                 agreement, clip-derived grids, speedup
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -15,6 +18,7 @@
 
 #include "compress/pipeline.hpp"
 #include "core/allocate.hpp"
+#include "core/fdsp.hpp"
 #include "core/stats.hpp"
 #include "core/thread_pool.hpp"
 #include "nn/activations.hpp"
@@ -465,6 +469,296 @@ int run_fusion_report(const std::string& path, bool smoke) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// int8 inference report (BENCH_int8.json).
+//
+// End-to-end check of the quantized conv-prefix path (DESIGN.md §14):
+//   engine oracle   gemm_s8u8 (packed, threaded) must match gemm_s8u8_ref
+//                   (raw levels, serial) bit for bit — integer accumulation
+//                   makes the quantized path exactly reproducible;
+//   model accuracy  a calibrated vgg_mini twin must agree with the fp32
+//                   optimized model on >= 99% of argmax decisions;
+//   determinism     two int8 prefix forwards must be bitwise identical;
+//   clip grids      an FDSP clipped-ReLU model must derive its activation
+//                   grids from the clip bounds (the Algorithm 1-trained
+//                   bounds), not from observed ranges;
+//   throughput      the int8 separable prefix must beat the fused fp32
+//                   prefix by >= 2x single-threaded (hard gate in full
+//                   runs; recorded but not enforced under --smoke, where
+//                   timings on shared CI runners are too noisy to gate).
+// Any correctness failure exits 1.
+
+int run_int8_report(const std::string& path, bool smoke) {
+  const double min_time = smoke ? 0.01 : 0.05;
+  const int reps = smoke ? 3 : 5;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "int8");
+  w.kv("smoke", smoke);
+  w.kv("kernel", nn::int8_kernel_name());
+  w.kv("hardware_concurrency", core::ThreadPool::default_threads());
+
+  // --- Engine vs reference oracle, bitwise, off the 8x32 panel grid. ------
+  bool gemm_bit_exact = true;
+  {
+    Rng rng(41);
+    const std::int64_t m = 37, k = 115, n = 203;
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    std::vector<std::int8_t> wq(static_cast<std::size_t>(m * k));
+    std::vector<float> wscale(static_cast<std::size_t>(m));
+    std::vector<std::int32_t> wsum(static_cast<std::size_t>(m));
+    nn::quantize_weights_s8(a.data(), m, k, wq.data(), wscale.data(),
+                            wsum.data());
+    nn::ActQuant act;
+    act.scale = 0.01f;
+    act.zero_point = 17;
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+    std::vector<float> bias(static_cast<std::size_t>(m));
+    for (auto& v : bias) v = static_cast<float>(rng.normal() * 0.1);
+    nn::EpilogueInt8 epi;
+    epi.bias = bias.data();
+    epi.act = nn::Epilogue::Act::kReLU;
+    const nn::PackedMatrixInt8 ap = nn::pack_lhs_s8(a.data(), m, k);
+    std::vector<float> c_eng(static_cast<std::size_t>(m * n)),
+        c_ref(static_cast<std::size_t>(m * n));
+    core::ThreadPool pool(4);
+    nn::gemm_s8u8(ap, b.data(), c_eng.data(), m, k, n, act, &epi, &pool);
+    nn::gemm_s8u8_ref(wq.data(), wscale.data(), wsum.data(), b.data(),
+                      c_ref.data(), m, k, n, act, &epi);
+    gemm_bit_exact = std::memcmp(c_eng.data(), c_ref.data(),
+                                 static_cast<std::size_t>(m * n) *
+                                     sizeof(float)) == 0;
+  }
+  w.kv("gemm_bit_exact", gemm_bit_exact);
+
+  // --- Calibrated vgg_mini twin vs the fp32 optimized model. --------------
+  nn::MiniOptions opt;
+  Rng r1(2026), r2(2026);
+  nn::Model m_fp = nn::make_vgg_mini(r1, opt);
+  nn::Model m_q = nn::make_vgg_mini(r2, opt);
+  {
+    // BN running stats off their init values so folding is nontrivial.
+    Rng rx(7);
+    for (int i = 0; i < 3; ++i) {
+      Tensor xb = Tensor::randn(Shape{4, opt.channels, opt.image, opt.image},
+                                rx);
+      (void)m_fp.forward(xb, nn::Mode::kTrain);
+    }
+    nn::Model::copy_params(m_fp, m_q);
+  }
+  nn::optimize_for_inference(m_fp);
+  nn::optimize_for_inference(m_q);
+  std::vector<Tensor> calibration;
+  {
+    Rng rc(123);
+    for (int i = 0; i < 8; ++i) {
+      calibration.push_back(
+          Tensor::randn(Shape{1, opt.channels, opt.image, opt.image}, rc));
+    }
+  }
+  const nn::Int8Stats istats = nn::prepare_int8(m_q, calibration);
+  w.key("calibration").begin_object();
+  w.kv("conv_int8", istats.conv_int8);
+  w.kv("linear_int8", istats.linear_int8);
+  w.kv("derived_from_clip", istats.derived_from_clip);
+  w.kv("observed", istats.observed);
+  w.end_object();
+
+  // Argmax agreement over fresh inputs, full model (prefix int8, suffix
+  // through the same quantized linears the cluster's Central node uses).
+  Rng re(99);
+  const int eval_n = smoke ? 100 : 200;
+  int agree = 0;
+  double max_diff = 0.0;
+  for (int rep = 0; rep < eval_n; ++rep) {
+    Tensor xi = Tensor::randn(Shape{1, opt.channels, opt.image, opt.image},
+                              re);
+    Tensor yr = m_fp.forward(xi, nn::Mode::kEval);
+    Tensor yq;
+    {
+      nn::ScopedInt8Compute int8_scope;
+      yq = m_q.forward(xi, nn::Mode::kEval);
+    }
+    std::int64_t am_r = 0, am_q = 0;
+    for (std::int64_t i = 0; i < yr.numel(); ++i) {
+      max_diff = std::max(max_diff,
+                          static_cast<double>(std::fabs(yr[i] - yq[i])));
+      if (yr[i] > yr[am_r]) am_r = i;
+      if (yq[i] > yq[am_q]) am_q = i;
+    }
+    if (am_r == am_q) ++agree;
+  }
+  const double agreement = static_cast<double>(agree) / eval_n;
+  const bool agreement_ok = agreement >= 0.99;
+  w.kv("eval_inputs", eval_n);
+  w.kv("argmax_agreement", agreement);
+  w.kv("argmax_ok", agreement_ok);
+  w.kv("max_abs_diff", max_diff);
+
+  // Determinism: two int8 prefix forwards must be bitwise identical (the
+  // engine accumulates in int32, so there is nothing to drift).
+  const int prefix_end = m_q.separable_end_layer();
+  Tensor xt = Tensor::randn(Shape{1, opt.channels, opt.image, opt.image}, re);
+  bool int8_deterministic = true;
+  {
+    nn::ScopedInt8Compute int8_scope;
+    Tensor z1 = m_q.forward_range(xt, 0, prefix_end);
+    Tensor z2 = m_q.forward_range(xt, 0, prefix_end);
+    int8_deterministic =
+        std::memcmp(z1.data(), z2.data(),
+                    static_cast<std::size_t>(z1.numel()) * sizeof(float)) == 0;
+  }
+  w.kv("int8_deterministic", int8_deterministic);
+
+  // --- Per-conv-layer and whole-prefix timings, fp32-fused vs int8. -------
+  // Single-threaded via an explicit 1-thread pool is not possible through
+  // the layer API (it uses the global pool), so pin the comparison by
+  // running both paths on the same pool; hardware_concurrency is recorded.
+  w.key("layers").begin_array();
+  {
+    Tensor cur = xt;
+    for (int i = 0; i < prefix_end; ++i) {
+      nn::Layer& layer = m_q.net.at(static_cast<std::size_t>(i));
+      if (layer.is_noop()) continue;
+      if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer);
+          conv != nullptr && conv->int8_ready()) {
+        const Tensor in = cur;
+        const std::vector<double> timed = time_min_interleaved(
+            {[&] {
+               Tensor z = conv->forward(in, nn::Mode::kEval);
+               benchmark::DoNotOptimize(z.data());
+             },
+             [&] {
+               nn::ScopedInt8Compute int8_scope;
+               Tensor z = conv->forward(in, nn::Mode::kEval);
+               benchmark::DoNotOptimize(z.data());
+             }},
+            min_time, reps);
+        w.begin_object();
+        w.kv("layer", i);
+        w.kv("fp32_s", timed[0]);
+        w.kv("int8_s", timed[1]);
+        w.kv("speedup", timed[0] / timed[1]);
+        w.end_object();
+        std::printf("int8 conv layer %2d: fp32 %7.1f us, int8 %7.1f us "
+                    "(%.2fx)\n",
+                    i, timed[0] * 1e6, timed[1] * 1e6, timed[0] / timed[1]);
+      }
+      cur = layer.forward(cur, nn::Mode::kEval);
+    }
+  }
+  w.end_array();
+
+  const std::vector<double> prefix_timed = time_min_interleaved(
+      {[&] {
+         Tensor z = m_q.forward_range(xt, 0, prefix_end);
+         benchmark::DoNotOptimize(z.data());
+       },
+       [&] {
+         nn::ScopedInt8Compute int8_scope;
+         Tensor z = m_q.forward_range(xt, 0, prefix_end);
+         benchmark::DoNotOptimize(z.data());
+       }},
+      min_time, reps);
+  const double prefix_speedup = prefix_timed[0] / prefix_timed[1];
+  const bool speedup_ok = prefix_speedup >= 2.0;
+  w.kv("prefix_fp32_s", prefix_timed[0]);
+  w.kv("prefix_int8_s", prefix_timed[1]);
+  w.kv("prefix_speedup", prefix_speedup);
+  w.kv("speedup_ok", speedup_ok);
+
+  // --- Clip-derived grids on an FDSP clipped-ReLU model. ------------------
+  // apply_fdsp installs the clip bounds Algorithm 1's progressive
+  // retraining trains the network into; calibration must pick them up as
+  // exact grids (scale = range/255, zp = 0) rather than observed ranges.
+  int clip_derived = 0;
+  int clip_agree = 0;
+  const int clip_eval_n = smoke ? 50 : 100;
+  {
+    Rng rf(11);
+    nn::MiniOptions mo;
+    core::FdspOptions fo;
+    fo.grid = core::TileGrid{2, 2};
+    fo.clipped_relu = true;
+    fo.clip_upper = 3.0f;
+    fo.quantize = true;
+    fo.bits = 8;
+    core::PartitionedModel pm = core::apply_fdsp(nn::make_vgg_mini(rf, mo),
+                                                 fo);
+    nn::optimize_for_inference(pm.model);
+    const nn::Int8Stats cs = nn::prepare_int8(pm.model, calibration);
+    clip_derived = cs.derived_from_clip;
+    Rng rg(77);
+    for (int rep = 0; rep < clip_eval_n; ++rep) {
+      Tensor xi = Tensor::randn(Shape{1, mo.channels, mo.image, mo.image},
+                                rg);
+      Tensor yr = pm.model.forward(xi, nn::Mode::kEval);
+      Tensor yq;
+      {
+        nn::ScopedInt8Compute int8_scope;
+        yq = pm.model.forward(xi, nn::Mode::kEval);
+      }
+      std::int64_t am_r = 0, am_q = 0;
+      for (std::int64_t i = 0; i < yr.numel(); ++i) {
+        if (yr[i] > yr[am_r]) am_r = i;
+        if (yq[i] > yq[am_q]) am_q = i;
+      }
+      if (am_r == am_q) ++clip_agree;
+    }
+  }
+  const double clip_agreement =
+      static_cast<double>(clip_agree) / clip_eval_n;
+  const bool clip_ok = clip_derived > 0 && clip_agreement >= 0.99;
+  w.kv("clip_derived_grids", clip_derived);
+  w.kv("clip_argmax_agreement", clip_agreement);
+  w.kv("clip_ok", clip_ok);
+  w.end_object();
+
+  std::printf("int8 [%s]: prefix %.2fx, argmax %.1f%% (%d/%d), clip grids "
+              "%d, gemm_bit_exact %s, deterministic %s\n",
+              nn::int8_kernel_name(), prefix_speedup, agreement * 100.0,
+              agree, eval_n, clip_derived, gemm_bit_exact ? "yes" : "NO",
+              int8_deterministic ? "yes" : "NO");
+
+  std::ofstream out(path, std::ios::binary);
+  out << w.take() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "micro_kernels: failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  if (!gemm_bit_exact) {
+    std::fprintf(stderr,
+                 "micro_kernels: gemm_s8u8 is NOT bit-identical to "
+                 "gemm_s8u8_ref\n");
+    return 1;
+  }
+  if (!int8_deterministic) {
+    std::fprintf(stderr,
+                 "micro_kernels: int8 prefix forward is not bitwise "
+                 "reproducible\n");
+    return 1;
+  }
+  if (!agreement_ok || !clip_ok) {
+    std::fprintf(stderr,
+                 "micro_kernels: int8 accuracy gate failed (agreement %.3f, "
+                 "clip agreement %.3f, clip grids %d)\n",
+                 agreement, clip_agreement, clip_derived);
+    return 1;
+  }
+  if (!smoke && !speedup_ok) {
+    std::fprintf(stderr,
+                 "micro_kernels: int8 prefix speedup %.2fx below the 2x "
+                 "gate\n",
+                 prefix_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 void BM_ConvForward(benchmark::State& state) {
   const std::int64_t c = state.range(0);
   Rng rng(2);
@@ -571,18 +865,22 @@ BENCHMARK(BM_SimulateAdcnn);
 int main(int argc, char** argv) {
   std::string gemm_json;
   std::string fusion_json;
+  std::string int8_json;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
       gemm_json = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--fusion_json=", 14) == 0) {
       fusion_json = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--int8_json=", 12) == 0) {
+      int8_json = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     }
   }
   if (!gemm_json.empty()) return run_gemm_report(gemm_json, smoke);
   if (!fusion_json.empty()) return run_fusion_report(fusion_json, smoke);
+  if (!int8_json.empty()) return run_int8_report(int8_json, smoke);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -2,12 +2,23 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace adcnn::compress {
 
 Quantizer::Quantizer(float range, int bits) : range_(range), bits_(bits) {
-  if (range <= 0.0f || bits < 1 || bits > 8) {
-    throw std::invalid_argument("Quantizer: bad range/bits");
+  // quantize() returns std::uint8_t, so more than 8 bits would silently
+  // wrap levels >= 256; a non-finite or non-positive range would poison
+  // step_ (NaN passes a `range <= 0` check). Each cause gets its own
+  // message — "bad range/bits" made deployment typos needlessly opaque.
+  if (bits < 1 || bits > 8) {
+    throw std::invalid_argument("Quantizer: bits must be in [1, 8], got " +
+                                std::to_string(bits));
+  }
+  if (!std::isfinite(range) || range <= 0.0f) {
+    throw std::invalid_argument(
+        "Quantizer: range must be finite and > 0, got " +
+        std::to_string(range));
   }
   step_ = range_ / static_cast<float>((1 << bits_) - 1);
 }
@@ -51,8 +62,14 @@ std::vector<std::uint8_t> pack_nibbles(std::span<const std::uint8_t> levels) {
 
 std::vector<std::uint8_t> unpack_nibbles(std::span<const std::uint8_t> packed,
                                          std::size_t count) {
-  if (packed.size() < (count + 1) / 2) {
-    throw std::invalid_argument("unpack_nibbles: buffer too short");
+  // count/2 + count%2 == ceil(count/2) without the (count + 1) overflow:
+  // the old check wrapped to 0 at count == SIZE_MAX and accepted any
+  // buffer, then read (and the caller allocated) far past the end.
+  if (count / 2 + count % 2 > packed.size()) {
+    throw std::invalid_argument(
+        "unpack_nibbles: " + std::to_string(packed.size()) +
+        "-byte buffer holds fewer than " + std::to_string(count) +
+        " nibbles");
   }
   std::vector<std::uint8_t> out(count);
   for (std::size_t i = 0; i < count; ++i) {

@@ -34,6 +34,11 @@ struct PartitionedModel {
   /// Wire codec parameters (0 range = compression disabled).
   float clip_range = 0.0f;
   int bits = 4;
+  /// Default compute precision for the Conv-node prefix: 0 = fp32, 1 =
+  /// int8 (the model must have been calibrated via nn::prepare_int8).
+  /// Folded into the net handshake digest so a deployment mixing int8 and
+  /// fp32 builds of "the same" model is rejected before any tile flows.
+  int precision = 0;
 
   /// Layer range Conv nodes execute per tile: (split_index, merge_index).
   int prefix_begin() const { return split_index + 1; }

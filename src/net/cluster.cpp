@@ -55,7 +55,16 @@ DistributedCluster::DistributedCluster(core::PartitionedModel& model,
     throw std::invalid_argument(
         "DistributedCluster: need at least one Conv node");
   }
-  if (cfg_.optimize_model) nn::optimize_for_inference(model.model);
+  // int8 forces the optimized graph on both sides — workers mirror this
+  // in run_worker, and the digest (which covers the folded weights and
+  // the precision flag) rejects a half-migrated deployment at handshake.
+  if (cfg_.optimize_model || cfg_.spec.int8) {
+    nn::optimize_for_inference(model.model);
+  }
+  if (cfg_.spec.int8) {
+    nn::prepare_int8(model.model, calibration_inputs(cfg_.spec));
+    model.precision = 1;
+  }
   if (cfg_.compress && model.clip_range <= 0.0f) {
     throw std::invalid_argument(
         "DistributedCluster: compression requires a clipped-ReLU range on "

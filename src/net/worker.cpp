@@ -63,6 +63,18 @@ core::PartitionedModel ModelSpec::build() const {
   return core::apply_fdsp(nn::make_mini(family, rng, mini), opt);
 }
 
+std::vector<Tensor> calibration_inputs(const ModelSpec& spec) {
+  // Seeded off the spec (not wall-clock, not node id): central and every
+  // worker must derive identical activation grids or the digests diverge.
+  Rng rng(spec.seed ^ 0x1B8ull);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(
+        Tensor::randn(Shape{1, spec.channels, spec.image, spec.image}, rng));
+  }
+  return inputs;
+}
+
 std::vector<std::string> ModelSpec::to_args() const {
   return {
       "--family=" + family,
@@ -76,6 +88,7 @@ std::vector<std::string> ModelSpec::to_args() const {
       "--clip_upper=" + std::to_string(clip_upper),
       "--quantize=" + std::to_string(quantize ? 1 : 0),
       "--bits=" + std::to_string(bits),
+      "--int8=" + std::to_string(int8 ? 1 : 0),
   };
 }
 
@@ -86,7 +99,8 @@ std::uint64_t model_digest(core::PartitionedModel& pm) {
   const std::int64_t geom[] = {pm.grid.rows, pm.grid.cols,
                                pm.prefix_begin(), pm.prefix_end(),
                                pm.suffix_begin(), pm.suffix_end(),
-                               static_cast<std::int64_t>(pm.bits)};
+                               static_cast<std::int64_t>(pm.bits),
+                               static_cast<std::int64_t>(pm.precision)};
   h = fnv1a(h, geom, sizeof(geom));
   h = fnv1a(h, &pm.clip_range, sizeof(pm.clip_range));
   return h;
@@ -135,6 +149,8 @@ WorkerOptions parse_worker_args(int argc, char** argv) {
       opt.spec.quantize = std::stoi(v) != 0;
     } else if (want(arg, "--bits", &v)) {
       opt.spec.bits = std::stoi(v);
+    } else if (want(arg, "--int8", &v)) {
+      opt.spec.int8 = std::stoi(v) != 0;
     } else if (want(arg, "--compress", &v)) {
       opt.compress = std::stoi(v) != 0;
     } else if (want(arg, "--optimize", &v)) {
@@ -209,7 +225,9 @@ bool serve_connection(const WorkerOptions& opt, core::PartitionedModel& pm,
   SocketLink uplink;
   uplink.adopt(conn);
   runtime::ConvNodeWorker worker(opt.node_id, pm, codec, inbox, outbox,
-                                 uplink);
+                                 uplink, {}, nullptr,
+                                 opt.spec.int8 ? nn::Precision::kInt8
+                                               : nn::Precision::kFp32);
 
   // Result pump: computed tiles back onto the wire.
   std::thread tx([&] {
@@ -279,7 +297,14 @@ int run_worker(const WorkerOptions& opt) {
   ::signal(SIGPIPE, SIG_IGN);
 
   core::PartitionedModel pm = opt.spec.build();
-  if (opt.optimize) nn::optimize_for_inference(pm.model);
+  // int8 implies the optimized graph on both sides: calibration reads the
+  // fused clipped-ReLU bounds, and the folded weights must match central's
+  // for the digests to agree.
+  if (opt.optimize || opt.spec.int8) nn::optimize_for_inference(pm.model);
+  if (opt.spec.int8) {
+    nn::prepare_int8(pm.model, calibration_inputs(opt.spec));
+    pm.precision = 1;
+  }
   const std::uint64_t digest = model_digest(pm);
   std::optional<compress::TileCodec> codec;
   if (opt.compress) {

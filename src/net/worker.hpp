@@ -33,12 +33,23 @@ struct ModelSpec {
   float clip_upper = 3.0f;
   bool quantize = true;
   int bits = 4;
+  /// Run the Conv-node prefix through the int8 engine: both sides build
+  /// the optimized graph, calibrate it on the spec-seeded calibration set
+  /// (see calibration_inputs) and mark the model int8, so the handshake
+  /// digest rejects a worker built at the other precision.
+  bool int8 = false;
 
   core::PartitionedModel build() const;
 
   /// Command-line fragments a worker parses back into the same spec.
   std::vector<std::string> to_args() const;
 };
+
+/// Deterministic int8 calibration set for `spec`: every process that
+/// builds the spec derives the same tensors (seeded off spec.seed), so the
+/// activation grids — and therefore the quantized tile outputs — are
+/// bit-identical across central and workers.
+std::vector<Tensor> calibration_inputs(const ModelSpec& spec);
 
 /// FNV-1a over the weight snapshot, partition geometry and codec
 /// parameters: equal digests mean bit-identical tile computation.

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/thread_pool.hpp"
@@ -21,23 +22,24 @@ std::atomic<std::uint64_t> g_shrink_epoch{0};
 /// current need the first time a thread touches it after shrink_scratch()
 /// bumps the epoch — a shrink request cannot free other threads' buffers
 /// directly, so it is applied lazily where the buffer lives.
+template <typename T>
 class ScratchBuffer {
  public:
   ~ScratchBuffer() {
     g_scratch_bytes.fetch_add(-accounted_, std::memory_order_relaxed);
   }
 
-  float* acquire(std::size_t need) {
+  T* acquire(std::size_t need) {
     const std::uint64_t epoch =
         g_shrink_epoch.load(std::memory_order_relaxed);
     if (epoch != epoch_) {
       epoch_ = epoch;
-      if (buf_.capacity() > need) std::vector<float>().swap(buf_);
+      if (buf_.capacity() > need) std::vector<T>().swap(buf_);
     }
     if (buf_.size() < need) {
       buf_.resize(need);
       const std::int64_t now =
-          static_cast<std::int64_t>(buf_.capacity() * sizeof(float));
+          static_cast<std::int64_t>(buf_.capacity() * sizeof(T));
       g_scratch_bytes.fetch_add(now - accounted_, std::memory_order_relaxed);
       accounted_ = now;
     }
@@ -45,19 +47,31 @@ class ScratchBuffer {
   }
 
  private:
-  std::vector<float> buf_;
+  std::vector<T> buf_;
   std::int64_t accounted_ = 0;
   std::uint64_t epoch_ = 0;
 };
 
 float* col_scratch(std::size_t need) {
-  thread_local ScratchBuffer buf;
+  thread_local ScratchBuffer<float> buf;
   return buf.acquire(need);
 }
 
 /// Second scratch for backward, which needs col and dcol live at once.
 float* dcol_scratch(std::size_t need) {
-  thread_local ScratchBuffer buf;
+  thread_local ScratchBuffer<float> buf;
+  return buf.acquire(need);
+}
+
+/// Quantized-plane and padded-image scratch for the int8 eval path; both
+/// live at once, so two buffers (same lazy-shrink accounting as above).
+std::uint8_t* u8_plane_scratch(std::size_t need) {
+  thread_local ScratchBuffer<std::uint8_t> buf;
+  return buf.acquire(need);
+}
+
+std::uint8_t* u8_image_scratch(std::size_t need) {
+  thread_local ScratchBuffer<std::uint8_t> buf;
   return buf.acquire(need);
 }
 
@@ -186,10 +200,92 @@ void Conv2d::fuse_clipped_relu(float lower, float upper) {
 
 void Conv2d::prepack() { packed_weight(); }
 
+void Conv2d::prepack_int8() { packed_weight_int8(); }
+
 const PackedMatrix& Conv2d::packed_weight() {
   return packed_.get(weight_.version, [this] {
     return pack_lhs(weight_.value.data(), cout_, cin_ * kh_ * kw_);
   });
+}
+
+const PackedMatrixInt8& Conv2d::packed_weight_int8() {
+  return packed_int8_.get(weight_.version, [this] {
+    return pack_lhs_s8_conv(weight_.value.data(), cout_, cin_, kh_, kw_);
+  });
+}
+
+void Conv2d::forward_int8(const Tensor& x, Tensor& y, std::int64_t hout,
+                          std::int64_t wout) {
+  const PackedMatrixInt8& wp = packed_weight_int8();
+  EpilogueInt8 epi;
+  epi.bias = has_bias_ ? bias_.value.data() : nullptr;
+  epi.act = fused_act_;
+  epi.clip_lo = clip_lo_;
+  epi.clip_hi = clip_hi_;
+
+  ConvGeomInt8 g;
+  g.cin = cin_;
+  g.hpad = x.h() + 2 * ph_;
+  g.wpad = x.w() + 2 * pw_;
+  g.kh = kh_;
+  g.kw = kw_;
+  g.stride = sh_;  // square stride, gated by int8_ready()
+  g.hout = hout;
+  g.wout = wout;
+  const std::int64_t H = x.h(), W = x.w();
+  const std::int64_t pix = g.cin4() * 4;
+  const std::size_t plane = static_cast<std::size_t>(cin_ * H * W);
+  const std::size_t image_bytes =
+      static_cast<std::size_t>(g.hpad * g.wpad * pix);
+  const std::uint8_t zp = static_cast<std::uint8_t>(input_quant_.zero_point);
+  const std::int64_t N = x.n();
+
+  core::ThreadPool::global().parallel_for(
+      0, N, 1, [&](std::int64_t n0, std::int64_t n1) {
+        std::uint8_t* q = u8_plane_scratch(plane);
+        std::uint8_t* img = u8_image_scratch(image_bytes);
+        for (std::int64_t n = n0; n < n1; ++n) {
+          quantize_activations_u8(&x.at(n, 0, 0, 0), plane, input_quant_, q);
+          // Interleave CHW -> padded channels-last. The halo (and any
+          // channel-quad padding) holds the zero-point byte: halo taps then
+          // contribute (zp - zp) = 0 through the epilogue's row-sum
+          // correction, and pad channels multiply zero weight bytes.
+          std::memset(img, zp, image_bytes);
+          std::uint8_t* const interior =
+              img + (ph_ * g.wpad + pw_) * pix;
+          std::int64_t c = 0;
+          for (; c + 4 <= cin_; c += 4) {  // whole quads: one u32 per pixel
+            const std::uint8_t* s0 = q + (c + 0) * H * W;
+            const std::uint8_t* s1 = q + (c + 1) * H * W;
+            const std::uint8_t* s2 = q + (c + 2) * H * W;
+            const std::uint8_t* s3 = q + (c + 3) * H * W;
+            std::uint8_t* const dc = interior + c;
+            for (std::int64_t yy = 0; yy < H; ++yy) {
+              const std::int64_t row = yy * W;
+              std::uint8_t* d = dc + yy * g.wpad * pix;
+              for (std::int64_t xx = 0; xx < W; ++xx) {
+                const std::uint32_t v =
+                    static_cast<std::uint32_t>(s0[row + xx]) |
+                    (static_cast<std::uint32_t>(s1[row + xx]) << 8) |
+                    (static_cast<std::uint32_t>(s2[row + xx]) << 16) |
+                    (static_cast<std::uint32_t>(s3[row + xx]) << 24);
+                std::memcpy(d + xx * pix, &v, 4);
+              }
+            }
+          }
+          for (; c < cin_; ++c) {  // ragged tail channels
+            const std::uint8_t* s = q + c * H * W;
+            std::uint8_t* const dc = interior + c;
+            for (std::int64_t yy = 0; yy < H; ++yy) {
+              std::uint8_t* d = dc + yy * g.wpad * pix;
+              const std::uint8_t* sr = s + yy * W;
+              for (std::int64_t xx = 0; xx < W; ++xx) d[xx * pix] = sr[xx];
+            }
+          }
+          gemm_s8u8_conv(wp, img, g, &y.at(n, 0, 0, 0), input_quant_, &epi,
+                         &core::ThreadPool::global());
+        }
+      });
 }
 
 Tensor Conv2d::forward(const Tensor& x, Mode mode) {
@@ -224,6 +320,15 @@ Tensor Conv2d::forward(const Tensor& x, Mode mode) {
           }
         });
     cached_input_ = x;
+    return y;
+  }
+
+  // Eval, int8: threads inside a ScopedInt8Compute scope run the
+  // quantized engine once the layer is calibrated. Output layout and the
+  // fused bias/activation semantics match the fp32 path; values differ by
+  // the quantization error the calibration/retraining harness bounds.
+  if (int8_compute_enabled() && int8_ready()) {
+    forward_int8(x, y, hout, wout);
     return y;
   }
 

@@ -62,9 +62,27 @@ class Conv2d final : public Layer {
   bool has_fused_activation() const {
     return fused_act_ != Epilogue::Act::kNone;
   }
+  Epilogue::Act fused_activation() const { return fused_act_; }
+  /// Fused clipped-ReLU bounds (meaningful when fused_activation() is
+  /// kClip); the output range [0, hi - lo] seeds int8 calibration.
+  float fused_clip_lo() const { return clip_lo_; }
+  float fused_clip_hi() const { return clip_hi_; }
   /// Pack the weights into the cache now instead of lazily on the first
   /// eval forward (so worker threads start from a warm, shared packing).
   void prepack();
+
+  // --- int8 inference hooks (nn/optimize.hpp prepare_int8) -------------
+  /// Install the input activation grid derived by calibration. Once set
+  /// (and the stride is square), eval forwards on threads inside a
+  /// ScopedInt8Compute scope run the quantized conv engine; all other
+  /// threads keep the fp32 path over the same shared layer.
+  void set_input_quant(const ActQuant& q) { input_quant_ = q; }
+  const ActQuant& input_quant() const { return input_quant_; }
+  /// Quantize + pack the weights for the int8 engine now (version-cached).
+  void prepack_int8();
+  /// True when this layer can serve int8 forwards (calibrated, square
+  /// stride — the direct conv entry walks one stride).
+  bool int8_ready() const { return input_quant_.valid() && sh_ == sw_; }
 
  private:
   /// Gather the input patches of sample `n` into `col` with layout
@@ -75,6 +93,13 @@ class Conv2d final : public Layer {
   void col2im(const float* col, Tensor& dx, std::int64_t n, std::int64_t hout,
               std::int64_t wout) const;
   const PackedMatrix& packed_weight();
+  const PackedMatrixInt8& packed_weight_int8();
+  /// Quantized eval forward: per sample, quantize the input plane onto the
+  /// calibrated u8 grid, lay it out as the zero-point-padded interleaved
+  /// image and run the direct int8 conv (bias + fused activation in the
+  /// requantize epilogue).
+  void forward_int8(const Tensor& x, Tensor& y, std::int64_t hout,
+                    std::int64_t wout);
 
   std::int64_t cin_, cout_, kh_, kw_, sh_, sw_, ph_, pw_;
   bool has_bias_;
@@ -83,6 +108,8 @@ class Conv2d final : public Layer {
   std::string name_;
 
   PackedWeightCache packed_;
+  PackedWeightCacheInt8 packed_int8_;
+  ActQuant input_quant_;
   Epilogue::Act fused_act_ = Epilogue::Act::kNone;
   float clip_lo_ = 0.0f, clip_hi_ = 0.0f;
 

@@ -232,6 +232,15 @@ void gemm_engine(const float* a, const float* b, float* c, std::int64_t m,
                  core::ThreadPool* pool, const PackedMatrix* a_pre = nullptr,
                  const PackedMatrix* b_pre = nullptr,
                  const Epilogue* epi = nullptr, bool overwrite = false) {
+  if (epi != nullptr && epi->act == Epilogue::Act::kClip &&
+      !(epi->clip_hi > epi->clip_lo)) {
+    // A degenerate clip window maps every value to zero; the layers reject
+    // it at fuse time (Conv2d::fuse_clipped_relu, ClippedReLU ctor), so a
+    // direct Epilogue user hitting this is a construction bug — fail loudly
+    // instead of emitting all-zero outputs downstream.
+    throw std::invalid_argument(
+        "gemm: Epilogue clip window is degenerate (clip_hi <= clip_lo)");
+  }
   if (m <= 0 || n <= 0 || k <= 0) return;
   if (epi != nullptr && epi->trivial()) epi = nullptr;
   if (2 * m * k * n <= kSmallFlops) {
@@ -495,25 +504,28 @@ std::uint64_t gemm_pack_misses() {
   return g_pack_misses.load(std::memory_order_relaxed);
 }
 
-void PackedWeightCache::note_hit() {
-  g_pack_hits.fetch_add(1, std::memory_order_relaxed);
-}
-
-void PackedWeightCache::note_miss() {
-  g_pack_misses.fetch_add(1, std::memory_order_relaxed);
-}
-
 std::uint64_t gemm_pack_bytes() {
   return g_pack_bytes.load(std::memory_order_relaxed);
 }
 
-void PackedWeightCache::note_pack(std::size_t old_bytes,
-                                  std::size_t new_bytes) {
+namespace detail {
+
+void pack_cache_note_hit() {
+  g_pack_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void pack_cache_note_miss() {
+  g_pack_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void pack_cache_note_pack(std::size_t old_bytes, std::size_t new_bytes) {
   if (new_bytes >= old_bytes) {
     g_pack_bytes.fetch_add(new_bytes - old_bytes, std::memory_order_relaxed);
   } else {
     g_pack_bytes.fetch_sub(old_bytes - new_bytes, std::memory_order_relaxed);
   }
 }
+
+}  // namespace detail
 
 }  // namespace adcnn::nn

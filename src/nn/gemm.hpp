@@ -134,6 +134,7 @@ void gemm_a_bt_prepacked(const float* a, const float* b,
 /// Process-wide packed-weight cache traffic: a miss is a (re)pack, a hit is
 /// a forward call that reused an existing packing. Exported as the
 /// gemm.pack_hits / gemm.pack_misses metrics by the streaming pipeline.
+/// int8 packings (PackedWeightCacheInt8) share the same counters.
 std::uint64_t gemm_pack_hits();
 std::uint64_t gemm_pack_misses();
 /// Bytes currently resident across every live PackedWeightCache packing
@@ -141,28 +142,38 @@ std::uint64_t gemm_pack_misses();
 /// its hit rate.
 std::uint64_t gemm_pack_bytes();
 
+namespace detail {
+void pack_cache_note_hit();
+void pack_cache_note_miss();
+/// Fold a packing-size change into the process-wide resident-bytes account
+/// (gemm_pack_bytes): `old_bytes` leave, `new_bytes` arrive.
+void pack_cache_note_pack(std::size_t old_bytes, std::size_t new_bytes);
+}  // namespace detail
+
 /// Thread-safe lazily repacked weight holder used by Conv2d / Linear.
 /// `get` repacks only when `version` (the owning Param's mutation counter)
 /// differs from the cached packing's version; concurrent eval forwards on
 /// ConvNodeWorker threads share the result read-only via double-checked
-/// locking on an acquire/release version atomic.
-class PackedWeightCache {
+/// locking on an acquire/release version atomic. `Packed` is any panel
+/// container with a `bytes()` accessor (PackedMatrix, PackedMatrixInt8).
+template <typename Packed>
+class PackedCache {
  public:
   template <typename PackFn>
-  const PackedMatrix& get(std::uint64_t version, PackFn&& pack) {
+  const Packed& get(std::uint64_t version, PackFn&& pack) {
     if (version_.load(std::memory_order_acquire) == version) {
-      note_hit();
+      detail::pack_cache_note_hit();
       return packed_;
     }
     std::lock_guard<std::mutex> lock(mu_);
     if (version_.load(std::memory_order_relaxed) != version) {
       const std::size_t old_bytes = packed_.bytes();
       packed_ = pack();
-      note_miss();
-      note_pack(old_bytes, packed_.bytes());
+      detail::pack_cache_note_miss();
+      detail::pack_cache_note_pack(old_bytes, packed_.bytes());
       version_.store(version, std::memory_order_release);
     } else {
-      note_hit();  // lost a benign race: another thread just packed
+      detail::pack_cache_note_hit();  // benign race: another thread packed
     }
     return packed_;
   }
@@ -170,20 +181,172 @@ class PackedWeightCache {
   /// Drop the cached packing; the next get() repacks.
   void invalidate() { version_.store(kEmpty, std::memory_order_release); }
 
- public:
-  ~PackedWeightCache() { note_pack(packed_.bytes(), 0); }
+  ~PackedCache() { detail::pack_cache_note_pack(packed_.bytes(), 0); }
 
  private:
-  static void note_hit();
-  static void note_miss();
-  /// Fold a packing-size change into the process-wide resident-bytes
-  /// account (gemm_pack_bytes): `old_bytes` leave, `new_bytes` arrive.
-  static void note_pack(std::size_t old_bytes, std::size_t new_bytes);
-
   static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
-  PackedMatrix packed_;
+  Packed packed_;
   std::atomic<std::uint64_t> version_{kEmpty};
   std::mutex mu_;
 };
+
+using PackedWeightCache = PackedCache<PackedMatrix>;
+
+// --- int8 inference path (DESIGN.md §14) -------------------------------
+//
+// Weights are quantized symmetrically per output channel onto signed 8-bit
+// levels (scale s_w[i] = max|W[i,:]| / 127); activations onto unsigned
+// 8-bit levels with a per-tensor affine grid (level = round(v / s_a) + zp,
+// clamped to [0, 255] — for clip-bounded inputs s_a = range / 255 and
+// zp = 0, exactly the nn::FakeQuant / compress::Quantizer grid at 8 bits).
+// The GEMM accumulates the integer levels exactly in int32 (the VNNI
+// microkernel and the portable fallback compute the same sums, and integer
+// addition is associative), so quantized outputs are bit-identical across
+// kernel variants, blockings and thread counts. The write-back epilogue
+// requantizes to fp32 with the zero-point correction folded per row:
+//   C(i,j) = s_a * s_w[i] * (acc(i,j) - zp * rowsum(i)) + bias[i]
+// followed by the optional fused ReLU / clipped-ReLU, where rowsum(i) is
+// the sum of row i's quantized weight levels.
+
+/// Per-tensor activation quantization grid.
+struct ActQuant {
+  float scale = 0.0f;       // fp32 units per level; > 0 once calibrated
+  std::int32_t zero_point = 0;  // level representing fp32 zero, in [0,255]
+
+  bool valid() const { return scale > 0.0f; }
+};
+
+/// Weights pre-quantized and packed for the int8 engine's A side: MC-row
+/// blocks (the thread-parallel unit, same MC as the fp32 engine), MR-row
+/// panels inside, with the reduction dimension laid out in `groups` groups
+/// of 4 bytes — the granule the VNNI dot-product instruction consumes.
+/// Plain packings use groups = ceil(k/4) over the row-major k order; conv
+/// packings (pack_lhs_s8_conv) permute k to tap-major (ky, kx, ci) with
+/// each input-channel quad zero-padded, matching the interleaved image
+/// layout the conv entry gathers from. Read-only after construction.
+struct PackedMatrixInt8 {
+  std::int64_t rows = 0;    // m (output channels)
+  std::int64_t cols = 0;    // logical k
+  std::int64_t groups = 0;  // 4-byte reduction groups per row
+  std::vector<std::int8_t> data;
+  std::vector<std::size_t> block_off;   // per MC row block
+  std::vector<float> scale;             // per row: s_w
+  std::vector<std::int32_t> row_sum;    // per row: sum of quantized levels
+
+  bool empty() const { return data.empty(); }
+  std::size_t bytes() const {
+    return data.size() + scale.size() * sizeof(float) +
+           row_sum.size() * sizeof(std::int32_t);
+  }
+};
+
+using PackedWeightCacheInt8 = PackedCache<PackedMatrixInt8>;
+
+/// Quantize an (m x k) row-major fp32 matrix onto per-row symmetric s8
+/// levels. `out` holds m*k levels (row-major), `scales` and `row_sums` m
+/// entries each. Shared by pack_lhs_s8 and the test oracles so every path
+/// quantizes identically.
+void quantize_weights_s8(const float* a, std::int64_t m, std::int64_t k,
+                         std::int8_t* out, float* scales,
+                         std::int32_t* row_sums);
+
+/// Quantize `count` fp32 activations onto the u8 grid. NaN maps to the
+/// zero-point (mirrors the wire codec's NaN-to-zero clamp).
+void quantize_activations_u8(const float* in, std::size_t count,
+                             const ActQuant& q, std::uint8_t* out);
+
+/// Quantize + pack A (m x k, row-major) for use as the int8 left operand.
+PackedMatrixInt8 pack_lhs_s8(const float* a, std::int64_t m, std::int64_t k);
+
+/// Quantize + pack conv weights (cout x cin x kh x kw, the Conv2d layout)
+/// with the k order permuted to tap-major (ky, kx, ci) and each channel
+/// quad padded to 4, for use with gemm_s8u8_conv. Per-row scales/sums are
+/// identical to pack_lhs_s8 of the flattened weights (integer sums are
+/// order-independent).
+PackedMatrixInt8 pack_lhs_s8_conv(const float* w, std::int64_t cout,
+                                  std::int64_t cin, std::int64_t kh,
+                                  std::int64_t kw);
+
+/// Geometry for the direct (im2col-free) int8 conv entry. The image is the
+/// quantized input in interleaved channels-last layout with the halo
+/// already padded: byte (y, x, c) at [(y * wpad + x) * cin4 * 4 + c],
+/// where cin4 = ceil(cin/4) and channels past cin are zero-padded (their
+/// weight bytes are zero, so any pad value is exact — use the zero-point).
+struct ConvGeomInt8 {
+  std::int64_t cin = 0;
+  std::int64_t hpad = 0, wpad = 0;  // padded input height/width
+  std::int64_t kh = 0, kw = 0;
+  std::int64_t stride = 1;
+  std::int64_t hout = 0, wout = 0;
+
+  std::int64_t cin4() const { return (cin + 3) / 4; }
+  std::int64_t k() const { return cin * kh * kw; }
+  std::int64_t n() const { return hout * wout; }
+};
+
+/// Requantization epilogue: per-row fp32 bias and fused activation applied
+/// to the dequantized value. Scales/zero-point corrections ride in the
+/// packed weights + ActQuant; this struct only carries the fused tail.
+struct EpilogueInt8 {
+  const float* bias = nullptr;  // per output row (m); may be null
+  Epilogue::Act act = Epilogue::Act::kNone;
+  float clip_lo = 0.0f;
+  float clip_hi = 0.0f;
+};
+
+/// C(m,n) fp32 = requantize( Wq(m,k) s8 * Bq(k,n) u8 ) with B row-major
+/// quantized activations. Row blocks are farmed out to `pool` (null =
+/// serial); integer accumulation makes the result bit-identical across
+/// thread counts and kernel variants.
+void gemm_s8u8(const PackedMatrixInt8& a, const std::uint8_t* b, float* c,
+               std::int64_t m, std::int64_t k, std::int64_t n,
+               const ActQuant& act, const EpilogueInt8* epi = nullptr,
+               core::ThreadPool* pool = nullptr);
+
+/// C(m, hout*wout) fp32 = requantized conv of a pack_lhs_s8_conv weight
+/// packing against a padded interleaved u8 image (see ConvGeomInt8) —
+/// activation panels are gathered straight from the image, so no im2col
+/// intermediate is ever materialized. Bit-identical to quantize + im2col +
+/// gemm_s8u8_ref (integer accumulation is order-independent).
+void gemm_s8u8_conv(const PackedMatrixInt8& a, const std::uint8_t* image,
+                    const ConvGeomInt8& g, float* c, const ActQuant& act,
+                    const EpilogueInt8* epi = nullptr,
+                    core::ThreadPool* pool = nullptr);
+
+/// Reference kernel over raw quantized levels (row-major Wq + the
+/// per-row scales/sums quantize_weights_s8 produced): the correctness
+/// oracle the engine must match bit-for-bit. Never used on a hot path.
+void gemm_s8u8_ref(const std::int8_t* wq, const float* wscale,
+                   const std::int32_t* wsum, const std::uint8_t* b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n,
+                   const ActQuant& act, const EpilogueInt8* epi = nullptr);
+
+/// Which kernel the int8 engine dispatches to on this build/host:
+/// "avx512-vnni" or "portable". (Both produce bit-identical results.)
+const char* int8_kernel_name();
+
+/// Compute precision selector for the distributed runtime: conv-node
+/// prefixes run either the fp32 engine or the int8 path prepared by
+/// nn::prepare_int8.
+enum class Precision { kFp32, kInt8 };
+
+/// Thread-local int8 compute scope. While alive on a thread, eval
+/// forwards of int8-prepared Conv2d/Linear layers on that thread run the
+/// quantized kernel; other threads sharing the same model are unaffected —
+/// this is how a cluster selects precision per conv node over one shared
+/// model. Nesting is allowed (the scope restores the previous state).
+class ScopedInt8Compute {
+ public:
+  ScopedInt8Compute();
+  ~ScopedInt8Compute();
+  ScopedInt8Compute(const ScopedInt8Compute&) = delete;
+  ScopedInt8Compute& operator=(const ScopedInt8Compute&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True while a ScopedInt8Compute is alive on this thread.
+bool int8_compute_enabled();
 
 }  // namespace adcnn::nn

@@ -1,0 +1,627 @@
+// int8 inference GEMM engine (DESIGN.md §14).
+//
+// Weights are per-output-channel symmetric s8, activations per-tensor
+// affine u8; products accumulate exactly in int32, so — unlike the fp32
+// engine, whose float accumulation forces one fixed reduction order —
+// every kernel variant, blocking and thread count produces bit-identical
+// quantized sums. The requantization write-back is the only float math,
+// and it uses one single-rounded fma per element everywhere (AVX-512
+// vector path, portable path, reference), so the fp32 outputs are
+// bit-identical across all of them too.
+//
+// Blocking mirrors the fp32 engine's MC row blocks (the thread-parallel
+// unit) and NC column blocks, but drops KC: integer accumulators cannot
+// lose precision, so the full reduction stays in the register tile and no
+// partial-sum staging buffer is needed. The reduction dimension is laid
+// out in 4-byte groups — the granule the AVX-512 VNNI dot-product
+// instruction (vpdpbusd: u8 x s8 -> i32) consumes; the portable fallback
+// walks the same layout with scalar int math.
+//
+// The conv entry (gemm_s8u8_conv) never materializes an im2col buffer:
+// the quantized input lives in an interleaved channels-last image (each
+// spatial position holds its cin bytes, padded to quads), so one
+// reduction group = 4 input channels at one kernel tap = 4 contiguous
+// image bytes, and activation panels are gathered with single 32-bit
+// moves straight from the image. Weights for this entry are packed with
+// the matching tap-major k order (pack_lhs_s8_conv); integer sums are
+// order-independent, so results are still bit-identical to the row-major
+// reference.
+//
+// This translation unit is compiled with -O3 -march=native behind
+// ADCNN_NATIVE_KERNELS (same treatment as gemm.cpp); all vector-typed
+// code stays in the anonymous namespace so no SIMD types cross the ABI.
+
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VNNI__)
+#define ADCNN_INT8_AVX512 1
+#include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's masked-intrinsic wrappers trip -Wmaybe-uninitialized on the
+// undefined pass-through lanes (GCC PR 105593); the lanes are never read.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+#endif
+
+namespace adcnn::nn {
+
+namespace {
+
+// MR8 x NR8 is the register tile: 8 output rows x 32 output columns of
+// int32 accumulators (16 zmm registers on AVX-512, two B vectors per
+// group, so each weight broadcast feeds two dot-product instructions).
+// MC8 matches the fp32 engine's row-block size so the thread-parallel
+// unit is the same; NC8 bounds the packed-B block resident while a row
+// block sweeps it.
+constexpr std::int64_t MR8 = 8;
+constexpr std::int64_t NR8 = 32;
+constexpr std::int64_t MC8 = 64;
+constexpr std::int64_t NC8 = 256;
+
+std::int64_t k_groups(std::int64_t k) { return (k + 3) / 4; }
+
+thread_local bool t_int8_compute = false;
+
+std::vector<std::uint8_t>& b8_pack_buffer() {
+  thread_local std::vector<std::uint8_t> buf;
+  return buf;
+}
+
+/// Single-rounded requantization — the only float op between the integer
+/// accumulator and the activation. std::fma is correctly rounded both as
+/// the hardware instruction and as the libm fallback, so every kernel and
+/// every build flag combination produces the same bits.
+inline float requantize(std::int32_t acc, std::int32_t off, float cs,
+                        float bias) {
+  return std::fma(cs, static_cast<float>(acc - off), bias);
+}
+
+/// Scalar activation tail, matching the fp32 epilogue's expressions
+/// exactly (including NaN behavior: NaN fails both clip comparisons and
+/// flows through the v - lo subtraction).
+inline float apply_act(float v, Epilogue::Act act, float lo, float hi) {
+  switch (act) {
+    case Epilogue::Act::kNone:
+      return v;
+    case Epilogue::Act::kReLU:
+      return v > 0.0f ? v : 0.0f;
+    case Epilogue::Act::kClip:
+      return v < lo ? 0.0f : (v > hi ? hi - lo : v - lo);
+  }
+  return v;
+}
+
+/// Pack one MR8-row panel of quantized weight bytes. `row_byte(i, g, t)`
+/// supplies the s8 level of packed row i0+i, reduction group g, byte t —
+/// the indirection lets the plain (row-major k) and conv (tap-major k)
+/// packers share the layout: out[g * MR8 * 4 + i * 4 + t]. Rows past mr
+/// are zero (0 * anything == 0 in integer math, so padding is exact).
+template <typename RowByteFn>
+void pack_a_panel(std::int64_t groups, std::int64_t i0, std::int64_t mr,
+                  std::int8_t* out, RowByteFn&& row_byte) {
+  std::memset(out, 0, static_cast<std::size_t>(groups * MR8 * 4));
+  for (std::int64_t i = 0; i < mr; ++i) {
+    for (std::int64_t g = 0; g < groups; ++g) {
+      std::int8_t* dst = out + g * MR8 * 4 + i * 4;
+      for (std::int64_t t = 0; t < 4; ++t) dst[t] = row_byte(i0 + i, g, t);
+    }
+  }
+}
+
+PackedMatrixInt8 finish_pack(std::vector<std::int8_t>&& wq, std::int64_t m,
+                             std::int64_t k, std::int64_t groups,
+                             std::vector<float>&& scales,
+                             std::vector<std::int32_t>&& sums,
+                             std::int64_t (*group_src)(std::int64_t, std::int64_t,
+                                                       const std::int64_t*),
+                             const std::int64_t* geom) {
+  PackedMatrixInt8 p;
+  p.rows = m;
+  p.cols = k;
+  p.groups = groups;
+  p.scale = std::move(scales);
+  p.row_sum = std::move(sums);
+  const std::int64_t iblocks = (m + MC8 - 1) / MC8;
+  p.block_off.resize(static_cast<std::size_t>(iblocks));
+  std::size_t total = 0;
+  for (std::int64_t ib = 0; ib < iblocks; ++ib) {
+    const std::int64_t mc = std::min(MC8, m - ib * MC8);
+    p.block_off[static_cast<std::size_t>(ib)] = total;
+    total +=
+        static_cast<std::size_t>(((mc + MR8 - 1) / MR8) * groups * MR8 * 4);
+  }
+  p.data.resize(total);
+  auto row_byte = [&](std::int64_t row, std::int64_t g, std::int64_t t) {
+    const std::int64_t src = group_src(g * 4 + t, k, geom);
+    return src < 0 ? std::int8_t{0} : wq[static_cast<std::size_t>(row * k + src)];
+  };
+  for (std::int64_t ib = 0; ib < iblocks; ++ib) {
+    const std::int64_t ic = ib * MC8;
+    const std::int64_t mc = std::min(MC8, m - ic);
+    std::int8_t* block =
+        p.data.data() + p.block_off[static_cast<std::size_t>(ib)];
+    for (std::int64_t ir = 0; ir < mc; ir += MR8) {
+      pack_a_panel(groups, ic + ir, std::min(MR8, mc - ir),
+                   block + (ir / MR8) * groups * MR8 * 4, row_byte);
+    }
+  }
+  return p;
+}
+
+/// Plain k order: packed byte q maps to source k index q (or padding).
+std::int64_t plain_group_src(std::int64_t q, std::int64_t k,
+                             const std::int64_t*) {
+  return q < k ? q : -1;
+}
+
+/// Conv tap-major order: packed byte q = ((ky*kw + kx) * cin4 + c4)*4 + t
+/// maps to source k index ci*kh*kw + ky*kw + kx with ci = c4*4 + t.
+std::int64_t conv_group_src(std::int64_t q, std::int64_t /*k*/,
+                            const std::int64_t* geom) {
+  const std::int64_t cin = geom[0], khw = geom[1];
+  const std::int64_t cin4 = (cin + 3) / 4;
+  const std::int64_t ci = q % (cin4 * 4);
+  const std::int64_t tap = q / (cin4 * 4);
+  if (ci >= cin) return -1;
+  return ci * khw + tap;
+}
+
+/// Pack a k x nc block of row-major u8 B (cols j0..) into NR8-column
+/// panels: out[g * NR8 * 4 + j * 4 + t] = B(4*g + t, j0 + j). Padded
+/// k-bytes and columns are zero; the matching weight bytes are zero too,
+/// so padding contributes nothing.
+void pack_b_u8(const std::uint8_t* b, std::int64_t k, std::int64_t n,
+               std::int64_t j0, std::int64_t nc, std::uint8_t* out) {
+  const std::int64_t k4 = k_groups(k);
+  for (std::int64_t jr = 0; jr < nc; jr += NR8) {
+    const std::int64_t nr = std::min(NR8, nc - jr);
+    std::uint8_t* panel = out + (jr / NR8) * k4 * NR8 * 4;
+    std::memset(panel, 0, static_cast<std::size_t>(k4 * NR8 * 4));
+    for (std::int64_t p = 0; p < k; ++p) {
+      const std::uint8_t* src = b + p * n + j0 + jr;
+      std::uint8_t* dst = panel + (p / 4) * NR8 * 4 + (p % 4);
+      for (std::int64_t j = 0; j < nr; ++j) dst[j * 4] = src[j];
+    }
+  }
+}
+
+/// Gather a panel block for columns [j0, j0+nc) straight from the padded
+/// interleaved image: one 32-bit move copies an input-channel quad for one
+/// output pixel at one tap. Runs are split at output-row wraps so every
+/// source address stays a simple stride walk.
+void pack_b_conv(const std::uint8_t* img, const ConvGeomInt8& g,
+                 std::int64_t j0, std::int64_t nc, std::uint8_t* out) {
+  const std::int64_t cin4 = g.cin4();
+  const std::int64_t groups = g.kh * g.kw * cin4;
+  const std::int64_t pix = cin4 * 4;  // bytes per image position
+  const std::int64_t rowbytes = g.wpad * pix;
+  for (std::int64_t jr = 0; jr < nc; jr += NR8) {
+    const std::int64_t nr = std::min(NR8, nc - jr);
+    std::uint8_t* panel = out + (jr / NR8) * groups * NR8 * 4;
+    if (nr < NR8) {
+      std::memset(panel, 0, static_cast<std::size_t>(groups * NR8 * 4));
+    }
+    for (std::int64_t ky = 0; ky < g.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kw; ++kx) {
+        for (std::int64_t c4 = 0; c4 < cin4; ++c4) {
+          const std::int64_t grp = (ky * g.kw + kx) * cin4 + c4;
+          std::uint8_t* dst = panel + grp * NR8 * 4;
+          std::int64_t oj = j0 + jr;
+          std::int64_t done = 0;
+          while (done < nr) {
+            const std::int64_t oy = oj / g.wout;
+            const std::int64_t ox = oj % g.wout;
+            const std::int64_t run = std::min(nr - done, g.wout - ox);
+            const std::uint8_t* src = img +
+                                      (oy * g.stride + ky) * rowbytes +
+                                      (ox * g.stride + kx) * pix + c4 * 4;
+            const std::int64_t sstep = g.stride * pix;
+            for (std::int64_t t = 0; t < run; ++t) {
+              std::memcpy(dst + (done + t) * 4, src + t * sstep, 4);
+            }
+            oj += run;
+            done += run;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Per-tile requantization constants for rows [i0, i0+mr).
+struct RowConsts {
+  float cs[MR8];          // act.scale * w_scale[row]
+  std::int32_t off[MR8];  // zero_point * row_sum[row]
+  float bias[MR8];
+};
+
+inline RowConsts row_consts(const PackedMatrixInt8& a, const ActQuant& act,
+                            const EpilogueInt8* epi, std::int64_t i0,
+                            std::int64_t mr) {
+  RowConsts rc;
+  for (std::int64_t i = 0; i < mr; ++i) {
+    rc.cs[i] = act.scale * a.scale[static_cast<std::size_t>(i0 + i)];
+    rc.off[i] = act.zero_point * a.row_sum[static_cast<std::size_t>(i0 + i)];
+    rc.bias[i] = (epi != nullptr && epi->bias != nullptr)
+                     ? epi->bias[i0 + i]
+                     : 0.0f;
+  }
+  return rc;
+}
+
+#if defined(ADCNN_INT8_AVX512)
+
+/// C tile (mr x nr) = requantize(panel-A . panel-B): 16 zmm accumulators
+/// (8 rows x two 16-lane halves), one weight broadcast feeding two
+/// vpdpbusd per (row, group). The activation mirrors the scalar
+/// expressions lane-for-lane (vmaxps/compare semantics match the ternary
+/// forms, including NaN).
+void tile_kernel(const std::int8_t* ap, const std::uint8_t* bp,
+                 std::int64_t groups, float* c, std::int64_t ldc,
+                 std::int64_t mr, std::int64_t nr, const RowConsts& rc,
+                 Epilogue::Act act, float lo, float hi) {
+  __m512i acc0[MR8], acc1[MR8];
+  for (std::int64_t i = 0; i < MR8; ++i) {
+    acc0[i] = _mm512_setzero_si512();
+    acc1[i] = _mm512_setzero_si512();
+  }
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const __m512i bv0 = _mm512_loadu_si512(bp + g * NR8 * 4);
+    const __m512i bv1 = _mm512_loadu_si512(bp + g * NR8 * 4 + 64);
+    const std::int8_t* arow = ap + g * MR8 * 4;
+    for (std::int64_t i = 0; i < MR8; ++i) {
+      std::int32_t aw;
+      std::memcpy(&aw, arow + i * 4, 4);
+      const __m512i av = _mm512_set1_epi32(aw);
+      acc0[i] = _mm512_dpbusd_epi32(acc0[i], bv0, av);
+      acc1[i] = _mm512_dpbusd_epi32(acc1[i], bv1, av);
+    }
+  }
+  const unsigned full = nr >= 16 ? 16u : static_cast<unsigned>(nr);
+  const unsigned rest = nr > 16 ? static_cast<unsigned>(nr - 16) : 0u;
+  const __mmask16 mask0 = static_cast<__mmask16>((1u << full) - 1u);
+  const __mmask16 mask1 = static_cast<__mmask16>((1u << rest) - 1u);
+  const __m512 vzero = _mm512_setzero_ps();
+  const __m512 vlo = _mm512_set1_ps(lo);
+  const __m512 vhi = _mm512_set1_ps(hi);
+  const __m512 vspan = _mm512_set1_ps(hi - lo);
+  for (std::int64_t i = 0; i < mr; ++i) {
+    const __m512i voff = _mm512_set1_epi32(rc.off[i]);
+    const __m512 vcs = _mm512_set1_ps(rc.cs[i]);
+    const __m512 vbias = _mm512_set1_ps(rc.bias[i]);
+    __m512 v0 = _mm512_fmadd_ps(
+        vcs, _mm512_cvtepi32_ps(_mm512_sub_epi32(acc0[i], voff)), vbias);
+    __m512 v1 = _mm512_fmadd_ps(
+        vcs, _mm512_cvtepi32_ps(_mm512_sub_epi32(acc1[i], voff)), vbias);
+    switch (act) {
+      case Epilogue::Act::kNone:
+        break;
+      case Epilogue::Act::kReLU:
+        // vmaxps returns the second operand on equal/unordered, matching
+        // `v > 0 ? v : 0` for -0.0 and NaN.
+        v0 = _mm512_max_ps(v0, vzero);
+        v1 = _mm512_max_ps(v1, vzero);
+        break;
+      case Epilogue::Act::kClip: {
+        const __mmask16 lo0 = _mm512_cmp_ps_mask(v0, vlo, _CMP_LT_OQ);
+        const __mmask16 hi0 = _mm512_cmp_ps_mask(v0, vhi, _CMP_GT_OQ);
+        const __mmask16 lo1 = _mm512_cmp_ps_mask(v1, vlo, _CMP_LT_OQ);
+        const __mmask16 hi1 = _mm512_cmp_ps_mask(v1, vhi, _CMP_GT_OQ);
+        __m512 r0 = _mm512_sub_ps(v0, vlo);
+        __m512 r1 = _mm512_sub_ps(v1, vlo);
+        r0 = _mm512_mask_blend_ps(hi0, r0, vspan);
+        r1 = _mm512_mask_blend_ps(hi1, r1, vspan);
+        v0 = _mm512_mask_blend_ps(lo0, r0, vzero);
+        v1 = _mm512_mask_blend_ps(lo1, r1, vzero);
+        break;
+      }
+    }
+    _mm512_mask_storeu_ps(c + i * ldc, mask0, v0);
+    if (rest != 0) _mm512_mask_storeu_ps(c + i * ldc + 16, mask1, v1);
+  }
+}
+
+const char* kKernelName = "avx512-vnni";
+
+#else  // portable fallback
+
+/// Same panel layouts, scalar int32 accumulation. Integer sums are order-
+/// independent and the requantize/activation expressions are shared, so
+/// this produces bit-identical output to the AVX-512 kernel.
+void tile_kernel(const std::int8_t* ap, const std::uint8_t* bp,
+                 std::int64_t groups, float* c, std::int64_t ldc,
+                 std::int64_t mr, std::int64_t nr, const RowConsts& rc,
+                 Epilogue::Act act, float lo, float hi) {
+  std::int32_t acc[MR8][NR8] = {};
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const std::int8_t* arow = ap + g * MR8 * 4;
+    const std::uint8_t* brow = bp + g * NR8 * 4;
+    for (std::int64_t i = 0; i < MR8; ++i) {
+      for (std::int64_t j = 0; j < NR8; ++j) {
+        std::int32_t s = 0;
+        for (std::int64_t t = 0; t < 4; ++t) {
+          s += static_cast<std::int32_t>(brow[j * 4 + t]) *
+               static_cast<std::int32_t>(arow[i * 4 + t]);
+        }
+        acc[i][j] += s;
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    for (std::int64_t j = 0; j < nr; ++j) {
+      const float v = requantize(acc[i][j], rc.off[i], rc.cs[i], rc.bias[i]);
+      c[i * ldc + j] = apply_act(v, act, lo, hi);
+    }
+  }
+}
+
+const char* kKernelName = "portable";
+
+#endif
+
+/// Shared block/panel sweep over a packed weight matrix and a B-panel
+/// provider: `pack_block(jc, nc, buf)` fills the NR8-column panels for
+/// columns [jc, jc+nc). Row blocks go to the pool; every C element is
+/// written exactly once, by one thread, from exact integer sums — output
+/// is bit-identical for any thread count.
+template <typename PackBlockFn>
+void engine_s8u8(const PackedMatrixInt8& a, float* c, std::int64_t m,
+                 std::int64_t n, const ActQuant& act, const EpilogueInt8* epi,
+                 core::ThreadPool* pool, PackBlockFn&& pack_block) {
+  if (!act.valid() || act.zero_point < 0 || act.zero_point > 255) {
+    throw std::invalid_argument(
+        "gemm_s8u8: invalid ActQuant (scale <= 0 or zero_point out of u8)");
+  }
+  const Epilogue::Act act_kind =
+      epi != nullptr ? epi->act : Epilogue::Act::kNone;
+  const float lo = epi != nullptr ? epi->clip_lo : 0.0f;
+  const float hi = epi != nullptr ? epi->clip_hi : 0.0f;
+  if (act_kind == Epilogue::Act::kClip && !(hi > lo)) {
+    throw std::invalid_argument(
+        "gemm_s8u8: Epilogue clip window is degenerate (clip_hi <= clip_lo)");
+  }
+  if (m <= 0 || n <= 0) return;
+
+  const std::int64_t groups = a.groups;
+  const std::int64_t iblocks = (m + MC8 - 1) / MC8;
+  for (std::int64_t jc = 0; jc < n; jc += NC8) {
+    const std::int64_t nc = std::min(NC8, n - jc);
+    const std::int64_t nc_panels = (nc + NR8 - 1) / NR8;
+    std::vector<std::uint8_t>& bbuf = b8_pack_buffer();
+    const std::size_t bneed =
+        static_cast<std::size_t>(nc_panels * groups * NR8 * 4);
+    if (bbuf.size() < bneed) bbuf.resize(bneed);
+    pack_block(jc, nc, bbuf.data());
+    const std::uint8_t* bpack = bbuf.data();
+
+    auto row_blocks = [&](std::int64_t ib0, std::int64_t ib1) {
+      for (std::int64_t ib = ib0; ib < ib1; ++ib) {
+        const std::int64_t ic = ib * MC8;
+        const std::int64_t mc = std::min(MC8, m - ic);
+        const std::int8_t* ablock =
+            a.data.data() + a.block_off[static_cast<std::size_t>(ib)];
+        for (std::int64_t ir = 0; ir < mc; ir += MR8) {
+          const std::int64_t mr = std::min(MR8, mc - ir);
+          const RowConsts rc = row_consts(a, act, epi, ic + ir, mr);
+          const std::int8_t* ap = ablock + (ir / MR8) * groups * MR8 * 4;
+          for (std::int64_t jr = 0; jr < nc; jr += NR8) {
+            const std::int64_t nr = std::min(NR8, nc - jr);
+            tile_kernel(ap, bpack + (jr / NR8) * groups * NR8 * 4, groups,
+                        c + (ic + ir) * n + jc + jr, n, mr, nr, rc, act_kind,
+                        lo, hi);
+          }
+        }
+      }
+    };
+    if (pool) {
+      pool->parallel_for(0, iblocks, 1, row_blocks);
+    } else {
+      row_blocks(0, iblocks);
+    }
+  }
+}
+
+}  // namespace
+
+const char* int8_kernel_name() { return kKernelName; }
+
+void quantize_weights_s8(const float* a, std::int64_t m, std::int64_t k,
+                         std::int8_t* out, float* scales,
+                         std::int32_t* row_sums) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = a + i * k;
+    float amax = 0.0f;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float mag = std::fabs(row[p]);
+      if (mag > amax) amax = mag;  // NaN fails the compare -> ignored here
+    }
+    // All-zero rows get scale 1 so dequantization stays finite; every
+    // level is 0 so the row still contributes exactly zero.
+    const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    scales[i] = scale;
+    std::int32_t sum = 0;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float v = row[p];
+      long q = (v == v) ? std::lround(v / scale) : 0;
+      q = std::min<long>(127, std::max<long>(-127, q));
+      out[i * k + p] = static_cast<std::int8_t>(q);
+      sum += static_cast<std::int32_t>(q);
+    }
+    row_sums[i] = sum;
+  }
+}
+
+void quantize_activations_u8(const float* in, std::size_t count,
+                             const ActQuant& q, std::uint8_t* out) {
+  if (!q.valid()) {
+    throw std::invalid_argument(
+        "quantize_activations_u8: uncalibrated ActQuant (scale <= 0)");
+  }
+  const float scale = q.scale;
+  const std::int32_t zp = q.zero_point;
+  std::size_t i = 0;
+#if defined(ADCNN_INT8_AVX512)
+  // Vectorized exact lround(v / scale): rint (vrndscaleps, ties-to-even)
+  // plus a +-1 adjustment on exact .5 ties that rint resolved toward zero
+  // — x - rint(x) is computed exactly (Sterbenz), so comparing it against
+  // +-0.5 identifies ties precisely. lround rounds ties away from zero, so
+  // the bump direction must follow the sign of x, not of the residual: a
+  // positive tie rint already rounded up (d == -0.5, e.g. 127.5 -> 128)
+  // needs no correction.
+  const __m512 vscale = _mm512_set1_ps(scale);
+  const __m512 vhalf = _mm512_set1_ps(0.5f);
+  const __m512 vnhalf = _mm512_set1_ps(-0.5f);
+  const __m512 vone = _mm512_set1_ps(1.0f);
+  const __m512 vrlo = _mm512_set1_ps(-300.0f);
+  const __m512 vrhi = _mm512_set1_ps(300.0f);
+  const __m512i vzp = _mm512_set1_epi32(zp);
+  const __m512i vzero = _mm512_setzero_si512();
+  const __m512i v255 = _mm512_set1_epi32(255);
+  for (; i + 16 <= count; i += 16) {
+    const __m512 v = _mm512_loadu_ps(in + i);
+    const __m512 x = _mm512_div_ps(v, vscale);
+    __m512 r = _mm512_roundscale_ps(
+        x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m512 d = _mm512_sub_ps(x, r);
+    const __m512 fzero = _mm512_setzero_ps();
+    const __mmask16 up =
+        _mm512_cmp_ps_mask(d, vhalf, _CMP_EQ_OQ) &
+        _mm512_cmp_ps_mask(x, fzero, _CMP_GT_OQ);
+    const __mmask16 dn =
+        _mm512_cmp_ps_mask(d, vnhalf, _CMP_EQ_OQ) &
+        _mm512_cmp_ps_mask(x, fzero, _CMP_LT_OQ);
+    r = _mm512_mask_add_ps(r, up, r, vone);
+    r = _mm512_mask_sub_ps(r, dn, r, vone);
+    // Clamp in float so the int conversion cannot saturate to INT_MIN on
+    // huge inputs (the final [0,255] clamp needs the sign preserved).
+    r = _mm512_max_ps(_mm512_min_ps(r, vrhi), vrlo);
+    __m512i level = _mm512_add_epi32(_mm512_cvtps_epi32(r), vzp);
+    const __mmask16 nan = _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+    level = _mm512_mask_mov_epi32(level, nan, vzp);  // NaN -> fp32 zero
+    level = _mm512_min_epi32(_mm512_max_epi32(level, vzero), v255);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm512_cvtepi32_epi8(level));
+  }
+#endif
+  for (; i < count; ++i) {
+    const float v = in[i];
+    if (!(v == v)) {  // NaN represents fp32 zero, like the wire codec
+      out[i] = static_cast<std::uint8_t>(zp);
+      continue;
+    }
+    // lround(v / scale), exactly the compress::Quantizer / nn::FakeQuant
+    // rounding — for the clip-derived grid (zero_point 0, scale range/255)
+    // the levels match the 8-bit wire codec bit-for-bit.
+    const long level = std::lround(v / scale) + zp;
+    out[i] = static_cast<std::uint8_t>(
+        std::min<long>(255, std::max<long>(0, level)));
+  }
+}
+
+PackedMatrixInt8 pack_lhs_s8(const float* a, std::int64_t m, std::int64_t k) {
+  PackedMatrixInt8 p;
+  p.rows = m;
+  p.cols = k;
+  if (m <= 0 || k <= 0) return p;
+  std::vector<std::int8_t> wq(static_cast<std::size_t>(m * k));
+  std::vector<float> scales(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(m));
+  quantize_weights_s8(a, m, k, wq.data(), scales.data(), sums.data());
+  return finish_pack(std::move(wq), m, k, k_groups(k), std::move(scales),
+                     std::move(sums), &plain_group_src, nullptr);
+}
+
+PackedMatrixInt8 pack_lhs_s8_conv(const float* w, std::int64_t cout,
+                                  std::int64_t cin, std::int64_t kh,
+                                  std::int64_t kw) {
+  PackedMatrixInt8 p;
+  const std::int64_t k = cin * kh * kw;
+  p.rows = cout;
+  p.cols = k;
+  if (cout <= 0 || k <= 0) return p;
+  std::vector<std::int8_t> wq(static_cast<std::size_t>(cout * k));
+  std::vector<float> scales(static_cast<std::size_t>(cout));
+  std::vector<std::int32_t> sums(static_cast<std::size_t>(cout));
+  quantize_weights_s8(w, cout, k, wq.data(), scales.data(), sums.data());
+  const std::int64_t cin4 = (cin + 3) / 4;
+  const std::int64_t geom[2] = {cin, kh * kw};
+  return finish_pack(std::move(wq), cout, k, kh * kw * cin4,
+                     std::move(scales), std::move(sums), &conv_group_src,
+                     geom);
+}
+
+void gemm_s8u8(const PackedMatrixInt8& a, const std::uint8_t* b, float* c,
+               std::int64_t m, std::int64_t k, std::int64_t n,
+               const ActQuant& act, const EpilogueInt8* epi,
+               core::ThreadPool* pool) {
+  if (a.rows != m || a.cols != k || a.groups != k_groups(k)) {
+    throw std::invalid_argument("gemm_s8u8: packed A does not match (" +
+                                std::to_string(m) + "," + std::to_string(k) +
+                                ") row-major");
+  }
+  if (k <= 0) return;
+  engine_s8u8(a, c, m, n, act, epi, pool,
+              [&](std::int64_t jc, std::int64_t nc, std::uint8_t* buf) {
+                pack_b_u8(b, k, n, jc, nc, buf);
+              });
+}
+
+void gemm_s8u8_conv(const PackedMatrixInt8& a, const std::uint8_t* image,
+                    const ConvGeomInt8& g, float* c, const ActQuant& act,
+                    const EpilogueInt8* epi, core::ThreadPool* pool) {
+  if (a.rows <= 0 || a.cols != g.k() || a.groups != g.kh * g.kw * g.cin4()) {
+    throw std::invalid_argument(
+        "gemm_s8u8_conv: packed weights do not match conv geometry");
+  }
+  if (g.hout <= 0 || g.wout <= 0 || g.stride < 1 ||
+      g.hpad < (g.hout - 1) * g.stride + g.kh ||
+      g.wpad < (g.wout - 1) * g.stride + g.kw) {
+    throw std::invalid_argument("gemm_s8u8_conv: inconsistent geometry");
+  }
+  engine_s8u8(a, c, a.rows, g.n(), act, epi, pool,
+              [&](std::int64_t jc, std::int64_t nc, std::uint8_t* buf) {
+                pack_b_conv(image, g, jc, nc, buf);
+              });
+}
+
+void gemm_s8u8_ref(const std::int8_t* wq, const float* wscale,
+                   const std::int32_t* wsum, const std::uint8_t* b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n,
+                   const ActQuant& act, const EpilogueInt8* epi) {
+  const Epilogue::Act act_kind =
+      epi != nullptr ? epi->act : Epilogue::Act::kNone;
+  const float lo = epi != nullptr ? epi->clip_lo : 0.0f;
+  const float hi = epi != nullptr ? epi->clip_hi : 0.0f;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float cs = act.scale * wscale[i];
+    const std::int32_t off = act.zero_point * wsum[i];
+    const float bias =
+        (epi != nullptr && epi->bias != nullptr) ? epi->bias[i] : 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(wq[i * k + p]) *
+               static_cast<std::int32_t>(b[p * n + j]);
+      }
+      const float v = requantize(acc, off, cs, bias);
+      c[i * n + j] = apply_act(v, act_kind, lo, hi);
+    }
+  }
+}
+
+ScopedInt8Compute::ScopedInt8Compute() : prev_(t_int8_compute) {
+  t_int8_compute = true;
+}
+
+ScopedInt8Compute::~ScopedInt8Compute() { t_int8_compute = prev_; }
+
+bool int8_compute_enabled() { return t_int8_compute; }
+
+}  // namespace adcnn::nn

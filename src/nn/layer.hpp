@@ -61,6 +61,13 @@ class Layer {
 
   virtual std::string name() const = 0;
 
+  /// True for stateless pass-through layers (the Identity placeholders the
+  /// graph optimizer leaves behind). Containers skip no-op layers during
+  /// forward — a folded layer's Tensor copy is pure overhead — while the
+  /// layer itself stays in place so indices remain stable for block_ends,
+  /// forward_range and FDSP surgery.
+  virtual bool is_noop() const { return false; }
+
   /// Append pointers to this layer's parameters (empty for stateless ops).
   virtual void collect_params(std::vector<Param*>& out) { (void)out; }
 

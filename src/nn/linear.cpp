@@ -31,16 +31,65 @@ Shape Linear::out_shape(const Shape& in) const {
 
 void Linear::prepack() { packed_weight(); }
 
+void Linear::prepack_int8() { packed_weight_int8(); }
+
 const PackedMatrix& Linear::packed_weight() {
   return packed_.get(weight_.version, [this] {
     return pack_rhs(weight_.value.data(), in_, out_, /*trans=*/true);
   });
 }
 
+const PackedMatrixInt8& Linear::packed_weight_int8() {
+  return packed_int8_.get(weight_.version, [this] {
+    return pack_lhs_s8(weight_.value.data(), out_, in_);
+  });
+}
+
+void Linear::forward_int8(const Tensor& x, Tensor& y) {
+  // The int8 engine computes A(m,k) * B(k,n) with W as the packed left
+  // operand, so B is the quantized input transposed: C (out, N) lands
+  // per-row biased/activated and is transposed back into y (N, out). For
+  // the runtime's common N == 1 the transposes are no-ops and C writes
+  // straight into y.
+  const std::int64_t N = x.shape()[0];
+  const PackedMatrixInt8& wp = packed_weight_int8();
+  EpilogueInt8 epi;
+  epi.bias = bias_.value.data();
+  epi.act = fused_relu_ ? Epilogue::Act::kReLU : Epilogue::Act::kNone;
+
+  thread_local std::vector<std::uint8_t> q, bq;
+  const std::size_t count = static_cast<std::size_t>(N * in_);
+  if (q.size() < count) q.resize(count);
+  quantize_activations_u8(x.data(), count, input_quant_, q.data());
+  const std::uint8_t* b = q.data();
+  if (N > 1) {
+    if (bq.size() < count) bq.resize(count);
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t i = 0; i < in_; ++i) bq[i * N + n] = q[n * in_ + i];
+    b = bq.data();
+  }
+  if (N == 1) {
+    gemm_s8u8(wp, b, y.data(), out_, in_, N, input_quant_, &epi,
+              &core::ThreadPool::global());
+    return;
+  }
+  thread_local std::vector<float> cbuf;
+  const std::size_t cn = static_cast<std::size_t>(out_ * N);
+  if (cbuf.size() < cn) cbuf.resize(cn);
+  gemm_s8u8(wp, b, cbuf.data(), out_, in_, N, input_quant_, &epi,
+            &core::ThreadPool::global());
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t o = 0; o < out_; ++o) y[n * out_ + o] = cbuf[o * N + n];
+}
+
 Tensor Linear::forward(const Tensor& x, Mode mode) {
   const Shape os = out_shape(x.shape());
   const std::int64_t N = x.shape()[0];
   Tensor y(os);
+  if (mode != Mode::kTrain && int8_compute_enabled() && int8_ready()) {
+    forward_int8(x, y);  // bias + fused ReLU ride the requantize epilogue
+    return y;
+  }
   // Seed each output row with the bias, then let the engine accumulate
   // y (N,out) += x (N,in) * W^T (in,out) on top — one pass over y instead
   // of a separate bias sweep after the GEMM. (Keeping the bias in the seed

@@ -34,14 +34,26 @@ class Linear final : public Layer {
   /// Pack the weights now instead of lazily on the first eval forward.
   void prepack();
 
+  // --- int8 inference hooks (nn/optimize.hpp prepare_int8) -------------
+  /// Install the calibrated input grid; eval forwards on threads inside a
+  /// ScopedInt8Compute scope then run the quantized GEMM.
+  void set_input_quant(const ActQuant& q) { input_quant_ = q; }
+  const ActQuant& input_quant() const { return input_quant_; }
+  void prepack_int8();
+  bool int8_ready() const { return input_quant_.valid(); }
+
  private:
   const PackedMatrix& packed_weight();
+  const PackedMatrixInt8& packed_weight_int8();
+  void forward_int8(const Tensor& x, Tensor& y);
 
   std::int64_t in_, out_;
   Param weight_;  // (out, in)
   Param bias_;    // (out)
   std::string name_;
   PackedWeightCache packed_;
+  PackedWeightCacheInt8 packed_int8_;
+  ActQuant input_quant_;
   bool fused_relu_ = false;
   Tensor cached_input_;
 };

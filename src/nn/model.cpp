@@ -19,7 +19,10 @@ Tensor Model::forward_range(const Tensor& x, int begin, int end) {
     throw std::out_of_range("Model::forward_range: bad layer range");
   }
   Tensor cur = x;
-  for (int i = begin; i < end; ++i) cur = net.at(i).forward(cur, Mode::kEval);
+  for (int i = begin; i < end; ++i) {
+    if (net.at(i).is_noop()) continue;
+    cur = net.at(i).forward(cur, Mode::kEval);
+  }
   return cur;
 }
 

@@ -1,12 +1,20 @@
 #include "nn/optimize.hpp"
 
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/quantize.hpp"
+#include "nn/regularization.hpp"
+#include "nn/tiling.hpp"
+#include "nn/upsample.hpp"
 
 namespace adcnn::nn {
 
@@ -108,6 +116,126 @@ OptimizeStats optimize_for_inference(Sequential& net) {
 
 OptimizeStats optimize_for_inference(Model& model) {
   return optimize_for_inference(model.net);
+}
+
+// --- int8 calibration ---------------------------------------------------
+
+namespace {
+
+/// Derive a conv/linear input grid: exact [0, bound] when an upstream
+/// clip/quant bound is statically known (scale = bound / 255, zero-point
+/// 0 — the compress::Quantizer / nn::FakeQuant 8-bit grid), else an affine
+/// grid over the calibration-observed min/max widened to include zero (so
+/// zero-padding and the halo zero-point stay exact).
+ActQuant derive_grid(const std::optional<float>& known_bound, float obs_min,
+                     float obs_max, Int8Stats& stats) {
+  ActQuant q;
+  if (known_bound && *known_bound > 0.0f) {
+    q.scale = *known_bound / 255.0f;
+    q.zero_point = 0;
+    ++stats.derived_from_clip;
+    return q;
+  }
+  if (!(obs_min <= obs_max)) return q;  // layer never saw calibration data
+  const float lo = std::min(0.0f, obs_min);
+  const float hi = std::max(0.0f, obs_max);
+  if (!(hi > lo)) return q;  // degenerate (all-zero) input: stay fp32
+  q.scale = (hi - lo) / 255.0f;
+  q.zero_point = static_cast<std::int32_t>(
+      std::min(255L, std::max(0L, std::lround(-lo / q.scale))));
+  ++stats.observed;
+  return q;
+}
+
+/// Propagate the statically known output bound of `layer` given the known
+/// input bound (both as "values lie in [0, bound]"); nullopt = unknown.
+std::optional<float> propagate_bound(Layer* layer,
+                                     std::optional<float> in_bound) {
+  if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+    if (conv->fused_activation() == Epilogue::Act::kClip) {
+      return conv->fused_clip_hi() - conv->fused_clip_lo();
+    }
+    return std::nullopt;  // raw / plain-ReLU conv output is unbounded
+  }
+  if (dynamic_cast<Linear*>(layer)) return std::nullopt;
+  if (auto* clip = dynamic_cast<ClippedReLU*>(layer)) return clip->range();
+  if (auto* fq = dynamic_cast<FakeQuant*>(layer)) {
+    return fq->step() * static_cast<float>((1 << fq->bits()) - 1);
+  }
+  // Value-preserving / range-contracting layers keep the bound alive.
+  if (layer->is_noop() || dynamic_cast<MaxPool2d*>(layer) ||
+      dynamic_cast<AvgPool2d*>(layer) || dynamic_cast<GlobalAvgPool*>(layer) ||
+      dynamic_cast<Flatten*>(layer) || dynamic_cast<UpsampleNearest*>(layer) ||
+      dynamic_cast<TileSplit*>(layer) || dynamic_cast<TileMerge*>(layer) ||
+      dynamic_cast<Dropout*>(layer)) {
+    return in_bound;
+  }
+  if (dynamic_cast<ReLU*>(layer)) return in_bound;  // [0,b] stays [0,b]
+  return std::nullopt;  // BN, containers, anything else: assume nothing
+}
+
+}  // namespace
+
+Int8Stats prepare_int8(Sequential& net,
+                       const std::vector<Tensor>& calibration) {
+  if (calibration.empty()) {
+    throw std::invalid_argument(
+        "prepare_int8: need at least one calibration tensor");
+  }
+  auto& layers = net.layers();
+  const std::size_t L = layers.size();
+
+  // Pass 1: run the calibration set through the graph, recording each
+  // conv/linear input's min/max (NaN/inf samples are skipped — the grid
+  // must stay finite; the quantizer maps runtime NaNs to the zero-point).
+  std::vector<float> mn(L, std::numeric_limits<float>::infinity());
+  std::vector<float> mx(L, -std::numeric_limits<float>::infinity());
+  for (const Tensor& x0 : calibration) {
+    Tensor cur = x0;
+    for (std::size_t i = 0; i < L; ++i) {
+      Layer* layer = layers[i].get();
+      if (dynamic_cast<Conv2d*>(layer) || dynamic_cast<Linear*>(layer)) {
+        for (std::int64_t j = 0; j < cur.numel(); ++j) {
+          const float v = cur[j];
+          if (!std::isfinite(v)) continue;
+          mn[i] = std::min(mn[i], v);
+          mx[i] = std::max(mx[i], v);
+        }
+      }
+      if (!layer->is_noop()) cur = layer->forward(cur, Mode::kEval);
+    }
+  }
+
+  // Pass 2: walk again with static bound propagation, installing grids and
+  // eagerly packing quantized weights.
+  Int8Stats stats;
+  std::optional<float> bound;  // values known to lie in [0, *bound]
+  for (std::size_t i = 0; i < L; ++i) {
+    Layer* layer = layers[i].get();
+    if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+      if (conv->stride_h() == conv->stride_w()) {
+        const ActQuant q = derive_grid(bound, mn[i], mx[i], stats);
+        if (q.valid()) {
+          conv->set_input_quant(q);
+          conv->prepack_int8();
+          ++stats.conv_int8;
+        }
+      }
+    } else if (auto* fc = dynamic_cast<Linear*>(layer)) {
+      const ActQuant q = derive_grid(bound, mn[i], mx[i], stats);
+      if (q.valid()) {
+        fc->set_input_quant(q);
+        fc->prepack_int8();
+        ++stats.linear_int8;
+      }
+    }
+    bound = propagate_bound(layer, bound);
+  }
+  return stats;
+}
+
+Int8Stats prepare_int8(Model& model, const std::vector<Tensor>& calibration) {
+  return prepare_int8(model.net, calibration);
 }
 
 }  // namespace adcnn::nn

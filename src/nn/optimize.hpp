@@ -41,6 +41,7 @@ class Identity final : public Layer {
     return 0;
   }
   std::string name() const override { return name_; }
+  bool is_noop() const override { return true; }
 
  private:
   std::string name_;
@@ -59,5 +60,33 @@ OptimizeStats optimize_for_inference(Sequential& net);
 /// Convenience overload for whole models; block_ends / separable_blocks /
 /// input_shape are untouched (layer indices stay stable by construction).
 OptimizeStats optimize_for_inference(Model& model);
+
+// --- int8 calibration (DESIGN.md §14) ----------------------------------
+
+struct Int8Stats {
+  int conv_int8 = 0;    // convs given an activation grid + packed s8 weights
+  int linear_int8 = 0;  // linears likewise
+  /// Grids derived exactly from a clipped-ReLU / FakeQuant bound upstream
+  /// (scale = range / 255, zero-point 0 — the compress::Quantizer grid).
+  int derived_from_clip = 0;
+  /// Grids taken from calibration-observed input min/max (affine, with a
+  /// zero-point) where no exact bound was known.
+  int observed = 0;
+};
+
+/// Calibration pass for the int8 inference path. Walks `net` (top-level
+/// and nested plain Sequentials; Residual branches stay fp32) running the
+/// calibration tensors in eval mode, derives each Conv2d/Linear input's
+/// activation grid — exactly from an upstream clipped-ReLU / FakeQuant
+/// bound when one is statically known, else from the observed min/max —
+/// and eagerly quantizes + packs the layer's weights for the int8 engine.
+/// The fp32 path is untouched: calibrated layers only run quantized on
+/// threads inside a ScopedInt8Compute scope. Run optimize_for_inference
+/// first so fused clip bounds are visible; requires >= 1 calibration
+/// tensor. Idempotent (grids are re-derived, packs are version-cached).
+Int8Stats prepare_int8(Sequential& net, const std::vector<Tensor>& calibration);
+
+/// Whole-model overload (calibration tensors must carry the batch dim).
+Int8Stats prepare_int8(Model& model, const std::vector<Tensor>& calibration);
 
 }  // namespace adcnn::nn

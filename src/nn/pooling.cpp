@@ -29,6 +29,30 @@ Tensor MaxPool2d::forward(const Tensor& x, Mode mode) {
     cached_in_shape_ = x.shape();
     argmax_.assign(static_cast<std::size_t>(os.numel()), 0);
   }
+  if (!train) {
+    // Eval fast path: hoisted row pointers instead of per-element flat-index
+    // arithmetic; the window walks in the same (dh, dw) order with the same
+    // strict comparison, so outputs are bit-identical to the train path.
+    std::int64_t oi = 0;
+    for (std::int64_t nc = 0; nc < N * C; ++nc) {
+      const float* plane = x.data() + nc * H * W;
+      for (std::int64_t oh = 0; oh < HO; ++oh) {
+        const float* win = plane + oh * kh_ * W;
+        for (std::int64_t ow = 0; ow < WO; ++ow, ++oi) {
+          const float* px = win + ow * kw_;
+          float best = -3.4e38f;
+          for (std::int64_t dh = 0; dh < kh_; ++dh) {
+            const float* row = px + dh * W;
+            for (std::int64_t dw = 0; dw < kw_; ++dw) {
+              if (row[dw] > best) best = row[dw];
+            }
+          }
+          y[oi] = best;
+        }
+      }
+    }
+    return y;
+  }
   std::int64_t oi = 0;
   for (std::int64_t n = 0; n < N; ++n)
     for (std::int64_t c = 0; c < C; ++c)
@@ -46,7 +70,7 @@ Tensor MaxPool2d::forward(const Tensor& x, Mode mode) {
               }
             }
           y[oi] = best;
-          if (train) argmax_[static_cast<std::size_t>(oi)] = best_idx;
+          argmax_[static_cast<std::size_t>(oi)] = best_idx;
         }
   return y;
 }

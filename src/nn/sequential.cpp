@@ -6,7 +6,10 @@ namespace adcnn::nn {
 
 Tensor Sequential::forward(const Tensor& x, Mode mode) {
   Tensor cur = x;
-  for (auto& layer : layers_) cur = layer->forward(cur, mode);
+  for (auto& layer : layers_) {
+    if (layer->is_noop()) continue;
+    cur = layer->forward(cur, mode);
+  }
   return cur;
 }
 

@@ -11,10 +11,36 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
   if (cfg.num_nodes < 1) {
     throw std::invalid_argument("EdgeCluster: need at least one Conv node");
   }
-  if (cfg.optimize_model) {
+  if (!cfg.node_precision.empty() &&
+      static_cast<int>(cfg.node_precision.size()) != cfg.num_nodes) {
+    throw std::invalid_argument(
+        "EdgeCluster: node_precision must be empty or have num_nodes "
+        "entries");
+  }
+  const auto node_precision = [&](int k) {
+    return cfg.node_precision.empty()
+               ? cfg.precision
+               : cfg.node_precision[static_cast<std::size_t>(k)];
+  };
+  bool any_int8 = cfg.precision == nn::Precision::kInt8;
+  for (int k = 0; k < cfg.num_nodes; ++k) {
+    any_int8 = any_int8 || node_precision(k) == nn::Precision::kInt8;
+  }
+  if (cfg.optimize_model || any_int8) {
     // Single-threaded here, before any worker exists: the packed panels
     // and folded weights become read-only shared state for the workers.
+    // int8 needs the optimized graph so calibration sees the fused
+    // clipped-ReLU bounds (and the eval-only caveats already apply).
     nn::optimize_for_inference(model.model);
+  }
+  if (any_int8) {
+    if (cfg.int8_calibration.empty()) {
+      throw std::invalid_argument(
+          "EdgeCluster: int8 precision requires int8_calibration tensors "
+          "(nn::prepare_int8 derives the activation grids from them)");
+    }
+    nn::prepare_int8(model.model, cfg.int8_calibration);
+    model.precision = 1;
   }
   if (cfg.compress && model.clip_range <= 0.0f) {
     throw std::invalid_argument(
@@ -90,7 +116,7 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
     workers_.push_back(std::make_unique<ConvNodeWorker>(
         k, model, codec, *inboxes_[static_cast<std::size_t>(k)], results_,
         *uplinks_[static_cast<std::size_t>(k)], cfg.telemetry,
-        faults_.get()));
+        faults_.get(), node_precision(k)));
   }
 
   CentralConfig central_cfg;

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <string>
 
+#include <vector>
+
+#include "nn/gemm.hpp"
 #include "obs/exporter.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/central_node.hpp"
@@ -50,6 +53,19 @@ struct ClusterConfig {
   /// folding shifts outputs by ~1e-6 relative; reference outputs computed
   /// from the same PartitionedModel after construction stay consistent.
   bool optimize_model = false;
+  /// Compute precision for the Conv-node prefix (the Central node's suffix
+  /// always runs fp32). kInt8 implies optimize_model and requires
+  /// int8_calibration; the model is calibrated once (nn::prepare_int8)
+  /// before any worker starts, then each worker thread opts into the
+  /// quantized kernels via a ScopedInt8Compute scope.
+  nn::Precision precision = nn::Precision::kFp32;
+  /// Per-node override of `precision` (empty = uniform). Size must equal
+  /// num_nodes; mixing lets a deployment keep weak devices on int8 while
+  /// accurate nodes stay fp32 over the same shared model.
+  std::vector<nn::Precision> node_precision;
+  /// Calibration inputs for prepare_int8, full model input shape with the
+  /// batch dim (e.g. {1, C, H, W}). Required when any node runs kInt8.
+  std::vector<Tensor> int8_calibration;
   /// Telemetry sinks threaded through every component (Central node,
   /// workers, links, channels, codec). The pointed-to registry/recorder
   /// must outlive the cluster. Null sinks (default) record nothing.

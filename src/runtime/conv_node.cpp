@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <optional>
 
 namespace adcnn::runtime {
 
@@ -12,10 +13,10 @@ ConvNodeWorker::ConvNodeWorker(int id, core::PartitionedModel& model,
                                Channel<TileTask>& inbox,
                                Channel<TileResult>& outbox,
                                Transport& uplink, obs::Telemetry telemetry,
-                               FaultInjector* faults)
+                               FaultInjector* faults, nn::Precision precision)
     : id_(id), model_(model), codec_(codec), inbox_(inbox), outbox_(outbox),
       uplink_(uplink), telemetry_(telemetry), faults_(faults),
-      thread_([this] { run(); }) {}
+      precision_(precision), thread_([this] { run(); }) {}
 
 ConvNodeWorker::~ConvNodeWorker() {
   inbox_.close();
@@ -23,6 +24,12 @@ ConvNodeWorker::~ConvNodeWorker() {
 }
 
 void ConvNodeWorker::run() {
+  // Thread-local opt-in: while this scope lives, every calibrated
+  // conv/linear this thread forwards runs the quantized engine; fp32
+  // workers sharing the same model never see it.
+  std::optional<nn::ScopedInt8Compute> int8_scope;
+  if (precision_ == nn::Precision::kInt8) int8_scope.emplace();
+
   const int tid = id_ + 1;  // logical trace lane; 0 is the Central node
   obs::TraceRecorder* tracer = telemetry_.trace;
   obs::Counter* tiles_counter = nullptr;

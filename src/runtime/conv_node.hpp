@@ -9,6 +9,7 @@
 
 #include "compress/pipeline.hpp"
 #include "core/fdsp.hpp"
+#include "nn/gemm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -28,17 +29,23 @@ class ConvNodeWorker {
   /// are emitted with logical tid = id + 1 (0 is the Central node).
   /// `faults` (optional, must outlive the worker) scripts crash/stall
   /// windows by image id on top of the manual kill()/set_cpu_limit() knobs.
+  /// `precision` kInt8 runs the prefix through the quantized conv engine
+  /// (the model must have been calibrated with nn::prepare_int8 first);
+  /// the scope is this worker's thread only, so nodes of both precisions
+  /// can share one model.
   ConvNodeWorker(int id, core::PartitionedModel& model,
                  const compress::TileCodec* codec, Channel<TileTask>& inbox,
                  Channel<TileResult>& outbox, Transport& uplink,
                  obs::Telemetry telemetry = {},
-                 FaultInjector* faults = nullptr);
+                 FaultInjector* faults = nullptr,
+                 nn::Precision precision = nn::Precision::kFp32);
   ~ConvNodeWorker();
 
   ConvNodeWorker(const ConvNodeWorker&) = delete;
   ConvNodeWorker& operator=(const ConvNodeWorker&) = delete;
 
   int id() const { return id_; }
+  nn::Precision precision() const { return precision_; }
   std::int64_t tiles_processed() const { return tiles_processed_.load(); }
   /// Tiles abandoned because processing threw (e.g. a corrupted input
   /// payload); the Central node's retry/zero-fill covers the gap.
@@ -74,6 +81,7 @@ class ConvNodeWorker {
   Transport& uplink_;
   obs::Telemetry telemetry_;
   FaultInjector* faults_;
+  nn::Precision precision_;
   std::atomic<double> cpu_limit_{1.0};
   std::atomic<bool> dead_{false};
   std::atomic<std::int64_t> tiles_processed_{0};

@@ -1,0 +1,516 @@
+// int8 inference path (DESIGN.md §14): the packed u8/s8 GEMM engine vs its
+// reference oracle (bitwise), calibration-grid derivation vs the wire
+// quantizer, quantized layer forwards vs the fp32 path, precision selection
+// in the cluster, and the quantizer/codec hardening fixes that rode along.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "compress/quantizer.hpp"
+#include "core/fdsp.hpp"
+#include "core/thread_pool.hpp"
+#include "net/worker.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/gemm.hpp"
+#include "nn/linear.hpp"
+#include "nn/models_mini.hpp"
+#include "nn/optimize.hpp"
+#include "nn/quantize.hpp"
+#include "runtime/cluster.hpp"
+
+namespace adcnn::nn {
+namespace {
+
+/// Engine output for an (m, k, n) problem with fresh random operands.
+/// Compares gemm_s8u8 (packed, optionally threaded) against gemm_s8u8_ref
+/// (raw levels, serial) — the int32 accumulation contract says bitwise.
+void expect_engine_matches_ref(std::int64_t m, std::int64_t k,
+                               std::int64_t n, Epilogue::Act act_kind,
+                               core::ThreadPool* pool) {
+  Rng rng(static_cast<std::uint64_t>(m * 1009 + k * 131 + n));
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  std::vector<std::int8_t> wq(static_cast<std::size_t>(m * k));
+  std::vector<float> wscale(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> wsum(static_cast<std::size_t>(m));
+  quantize_weights_s8(a.data(), m, k, wq.data(), wscale.data(), wsum.data());
+
+  ActQuant act;
+  act.scale = 0.013f;
+  act.zero_point = 31;
+  std::vector<std::uint8_t> b(static_cast<std::size_t>(k * n));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  std::vector<float> bias(static_cast<std::size_t>(m));
+  for (auto& v : bias) v = static_cast<float>(rng.normal() * 0.2);
+  EpilogueInt8 epi;
+  epi.bias = bias.data();
+  epi.act = act_kind;
+  if (act_kind == Epilogue::Act::kClip) {
+    epi.clip_lo = 0.0f;
+    epi.clip_hi = 1.5f;
+  }
+
+  const PackedMatrixInt8 ap = pack_lhs_s8(a.data(), m, k);
+  ASSERT_EQ(ap.rows, m);
+  ASSERT_EQ(ap.cols, k);
+  std::vector<float> c_eng(static_cast<std::size_t>(m * n), -1e30f),
+      c_ref(static_cast<std::size_t>(m * n), 1e30f);
+  gemm_s8u8(ap, b.data(), c_eng.data(), m, k, n, act, &epi, pool);
+  gemm_s8u8_ref(wq.data(), wscale.data(), wsum.data(), b.data(),
+                c_ref.data(), m, k, n, act, &epi);
+  ASSERT_EQ(std::memcmp(c_eng.data(), c_ref.data(),
+                        static_cast<std::size_t>(m * n) * sizeof(float)),
+            0)
+      << "engine != ref at m=" << m << " k=" << k << " n=" << n;
+}
+
+TEST(Int8Gemm, EngineMatchesReferenceOnEdgeShapes) {
+  // Shapes straddling the 8x32 microkernel panel grid, plus degenerate
+  // rows/cols and every k mod 4 residue (the VNNI 4-byte granule).
+  const std::int64_t ms[] = {1, 7, 8, 9, 17};
+  const std::int64_t ks[] = {1, 2, 3, 4, 5, 67};
+  const std::int64_t ns[] = {1, 31, 32, 33};
+  for (const auto m : ms)
+    for (const auto k : ks)
+      for (const auto n : ns)
+        expect_engine_matches_ref(m, k, n, Epilogue::Act::kNone, nullptr);
+}
+
+TEST(Int8Gemm, EngineMatchesReferenceWithFusedActivations) {
+  expect_engine_matches_ref(37, 115, 203, Epilogue::Act::kReLU, nullptr);
+  expect_engine_matches_ref(37, 115, 203, Epilogue::Act::kClip, nullptr);
+}
+
+TEST(Int8Gemm, BitIdenticalAcrossThreadCounts) {
+  core::ThreadPool pool1(1), pool4(4);
+  expect_engine_matches_ref(64, 90, 128, Epilogue::Act::kReLU, &pool1);
+  expect_engine_matches_ref(64, 90, 128, Epilogue::Act::kReLU, &pool4);
+}
+
+TEST(Int8Gemm, PerChannelScalesTrackRowMagnitudes) {
+  // Rows with magnitudes spanning four orders of magnitude: a per-tensor
+  // weight scale would destroy the small rows; per-channel scales must
+  // keep every row's relative error at the 8-bit level.
+  const std::int64_t m = 4, k = 64, n = 32;
+  Rng rng(5);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  const float row_mag[] = {100.0f, 1.0f, 0.1f, 0.01f};
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < k; ++j)
+      a[static_cast<std::size_t>(i * k + j)] =
+          static_cast<float>(rng.normal()) * row_mag[i];
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(0.0, 2.0));
+
+  ActQuant act;
+  act.scale = 2.0f / 255.0f;
+  act.zero_point = 0;
+  std::vector<std::uint8_t> bq(b.size());
+  quantize_activations_u8(b.data(), b.size(), act, bq.data());
+
+  const PackedMatrixInt8 ap = pack_lhs_s8(a.data(), m, k);
+  std::vector<float> c_q(static_cast<std::size_t>(m * n));
+  gemm_s8u8(ap, bq.data(), c_q.data(), m, k, n, act);
+  std::vector<float> c_f(static_cast<std::size_t>(m * n));
+  gemm(a.data(), b.data(), c_f.data(), m, k, n);
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    double max_err = 0.0, max_ref = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const auto idx = static_cast<std::size_t>(i * n + j);
+      max_err = std::max(max_err,
+                         static_cast<double>(std::fabs(c_q[idx] - c_f[idx])));
+      max_ref = std::max(max_ref, static_cast<double>(std::fabs(c_f[idx])));
+    }
+    EXPECT_LT(max_err / max_ref, 0.05)
+        << "row " << i << " (magnitude " << row_mag[i] << ")";
+  }
+}
+
+TEST(Int8Gemm, ConvLayerMatchesIm2colReference) {
+  // The direct (im2col-free) conv entry must equal quantize + im2col +
+  // reference GEMM bit for bit — halo taps pad with the zero-point and
+  // cancel through the row-sum correction, ragged channel quads multiply
+  // zero weight bytes. cin=5 exercises the ragged quad.
+  const std::int64_t cin = 5, cout = 9, kk = 3, h = 7, w = 7;
+  Rng rng(17);
+  Conv2d conv(cin, cout, kk, 1, 1, /*bias=*/true, rng);
+  const Tensor x = Tensor::randn(Shape{1, cin, h, w}, rng);
+
+  ActQuant q;
+  q.scale = 0.02f;
+  q.zero_point = 128;
+  conv.set_input_quant(q);
+  ASSERT_TRUE(conv.int8_ready());
+  Tensor y;
+  {
+    ScopedInt8Compute scope;
+    y = conv.forward(x, Mode::kEval);
+  }
+
+  // Reference: u8 im2col in the (ci, ky, kx) k-order of the flat weights.
+  const std::int64_t k = cin * kk * kk, n = h * w;
+  std::vector<std::uint8_t> xq(static_cast<std::size_t>(cin * h * w));
+  quantize_activations_u8(x.data(), xq.size(), q, xq.data());
+  std::vector<std::uint8_t> col(static_cast<std::size_t>(k * n));
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cin; ++c) {
+    for (std::int64_t ky = 0; ky < kk; ++ky) {
+      for (std::int64_t kx = 0; kx < kk; ++kx, ++row) {
+        for (std::int64_t oy = 0; oy < h; ++oy) {
+          for (std::int64_t ox = 0; ox < w; ++ox) {
+            const std::int64_t iy = oy + ky - 1, ix = ox + kx - 1;
+            const bool in_range = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            col[static_cast<std::size_t>(row * n + oy * w + ox)] =
+                in_range ? xq[static_cast<std::size_t>((c * h + iy) * w + ix)]
+                         : static_cast<std::uint8_t>(q.zero_point);
+          }
+        }
+      }
+    }
+  }
+  std::vector<std::int8_t> wq(static_cast<std::size_t>(cout * k));
+  std::vector<float> wscale(static_cast<std::size_t>(cout));
+  std::vector<std::int32_t> wsum(static_cast<std::size_t>(cout));
+  quantize_weights_s8(conv.weight().value.data(), cout, k, wq.data(),
+                      wscale.data(), wsum.data());
+  EpilogueInt8 epi;
+  epi.bias = conv.bias().value.data();
+  std::vector<float> c_ref(static_cast<std::size_t>(cout * n));
+  gemm_s8u8_ref(wq.data(), wscale.data(), wsum.data(), col.data(),
+                c_ref.data(), cout, k, n, q, &epi);
+  ASSERT_EQ(std::memcmp(y.data(), c_ref.data(),
+                        c_ref.size() * sizeof(float)),
+            0);
+}
+
+TEST(Int8Gemm, LinearLayerTracksFp32WithinTolerance) {
+  Rng rng(23);
+  Linear fc(48, 10, rng);
+  const Tensor x = Tensor::randn(Shape{3, 48}, rng);
+  const Tensor y_fp = fc.forward(x, Mode::kEval);
+
+  ActQuant q;
+  q.scale = 8.0f / 255.0f;
+  q.zero_point = 128;
+  fc.set_input_quant(q);
+  ASSERT_TRUE(fc.int8_ready());
+  Tensor y_q;
+  {
+    ScopedInt8Compute scope;
+    y_q = fc.forward(x, Mode::kEval);
+  }
+  ASSERT_EQ(y_q.shape(), y_fp.shape());
+  EXPECT_LT(Tensor::max_abs_diff(y_q, y_fp), 0.15f);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration.
+
+TEST(Int8Calibration, ClipBoundGridMatchesWireQuantizer) {
+  // A clip-bounded conv input must land on exactly the 8-bit grid the wire
+  // codec (compress::Quantizer) and nn::FakeQuant use: scale = range/255,
+  // zero point 0. Chain: conv -> ClippedReLU(0, 3) -> conv.
+  Rng rng(29);
+  Sequential net;
+  net.emplace<Conv2d>(3, 8, 3, 1, 1, false, rng);
+  net.emplace<ClippedReLU>(0.0f, 3.0f);
+  Conv2d* conv2 = net.emplace<Conv2d>(8, 8, 3, 1, 1, false, rng);
+
+  std::vector<Tensor> calibration;
+  Rng rc(1);
+  for (int i = 0; i < 4; ++i)
+    calibration.push_back(Tensor::randn(Shape{1, 3, 8, 8}, rc));
+  const Int8Stats stats = prepare_int8(net, calibration);
+  EXPECT_EQ(stats.conv_int8, 2);
+  EXPECT_GE(stats.derived_from_clip, 1);
+
+  const ActQuant& q = conv2->input_quant();
+  ASSERT_TRUE(q.valid());
+  EXPECT_EQ(q.zero_point, 0);
+  EXPECT_FLOAT_EQ(q.scale, 3.0f / 255.0f);
+
+  // Level-for-level agreement with the wire quantizer over [0, range].
+  const compress::Quantizer wire(3.0f, 8);
+  std::vector<float> vals;
+  for (int i = 0; i <= 300; ++i) vals.push_back(0.01f * static_cast<float>(i));
+  std::vector<std::uint8_t> levels(vals.size());
+  quantize_activations_u8(vals.data(), vals.size(), q, levels.data());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(levels[i], wire.quantize(vals[i])) << "v=" << vals[i];
+  }
+}
+
+TEST(Int8Calibration, FakeQuantBoundPropagates) {
+  // FakeQuant's top level (step * (2^bits - 1)) bounds what follows it.
+  Rng rng(31);
+  Sequential net;
+  net.emplace<Conv2d>(3, 8, 3, 1, 1, false, rng);
+  net.emplace<ClippedReLU>(0.0f, 2.0f);
+  net.emplace<FakeQuant>(2.0f, 4);
+  Conv2d* conv2 = net.emplace<Conv2d>(8, 8, 3, 1, 1, false, rng);
+
+  std::vector<Tensor> calibration;
+  Rng rc(2);
+  calibration.push_back(Tensor::randn(Shape{1, 3, 8, 8}, rc));
+  const Int8Stats stats = prepare_int8(net, calibration);
+  EXPECT_EQ(stats.derived_from_clip, 1);
+  const ActQuant& q = conv2->input_quant();
+  ASSERT_TRUE(q.valid());
+  EXPECT_EQ(q.zero_point, 0);
+  EXPECT_FLOAT_EQ(q.scale, 2.0f / 255.0f);
+}
+
+TEST(Int8Calibration, EmptyCalibrationThrows) {
+  Rng rng(3);
+  Sequential net;
+  net.emplace<Conv2d>(3, 4, 3, 1, 1, false, rng);
+  std::vector<Tensor> empty;
+  EXPECT_THROW(prepare_int8(net, empty), std::invalid_argument);
+}
+
+TEST(Int8Calibration, VggMiniArgmaxAgreesWithFp32) {
+  MiniOptions opt;
+  Rng r1(2026), r2(2026);
+  Model m_fp = make_vgg_mini(r1, opt);
+  Model m_q = make_vgg_mini(r2, opt);
+  {
+    Rng rx(7);
+    for (int i = 0; i < 3; ++i) {
+      Tensor xb = Tensor::randn(Shape{4, opt.channels, opt.image, opt.image},
+                                rx);
+      (void)m_fp.forward(xb, Mode::kTrain);
+    }
+    Model::copy_params(m_fp, m_q);
+  }
+  optimize_for_inference(m_fp);
+  optimize_for_inference(m_q);
+  std::vector<Tensor> calibration;
+  Rng rc(123);
+  for (int i = 0; i < 4; ++i)
+    calibration.push_back(
+        Tensor::randn(Shape{1, opt.channels, opt.image, opt.image}, rc));
+  const Int8Stats stats = prepare_int8(m_q, calibration);
+  EXPECT_GT(stats.conv_int8, 0);
+  EXPECT_GT(stats.linear_int8, 0);
+
+  Rng re(99);
+  int agree = 0;
+  const int total = 40;
+  for (int rep = 0; rep < total; ++rep) {
+    Tensor xi = Tensor::randn(Shape{1, opt.channels, opt.image, opt.image},
+                              re);
+    Tensor yr = m_fp.forward(xi, Mode::kEval);
+    Tensor yq;
+    {
+      ScopedInt8Compute scope;
+      yq = m_q.forward(xi, Mode::kEval);
+    }
+    std::int64_t am_r = 0, am_q = 0;
+    for (std::int64_t i = 0; i < yr.numel(); ++i) {
+      if (yr[i] > yr[am_r]) am_r = i;
+      if (yq[i] > yq[am_q]) am_q = i;
+    }
+    agree += am_r == am_q;
+  }
+  EXPECT_GE(agree, total - 1) << agree << "/" << total;
+}
+
+TEST(Int8Calibration, WithoutScopeModelStaysFp32) {
+  // Calibration alone must not change what other (fp32) threads compute.
+  MiniOptions opt;
+  Rng r1(4), r2(4);
+  Model m_ref = make_vgg_mini(r1, opt);
+  Model m_cal = make_vgg_mini(r2, opt);
+  optimize_for_inference(m_ref);
+  optimize_for_inference(m_cal);
+  std::vector<Tensor> calibration;
+  Rng rc(5);
+  calibration.push_back(
+      Tensor::randn(Shape{1, opt.channels, opt.image, opt.image}, rc));
+  (void)prepare_int8(m_cal, calibration);
+
+  Tensor x = Tensor::randn(Shape{1, opt.channels, opt.image, opt.image}, rc);
+  const Tensor ya = m_ref.forward(x, Mode::kEval);
+  const Tensor yb = m_cal.forward(x, Mode::kEval);
+  EXPECT_EQ(std::memcmp(ya.data(), yb.data(),
+                        static_cast<std::size_t>(ya.numel()) * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace adcnn::nn
+
+namespace adcnn::runtime {
+namespace {
+
+core::PartitionedModel make_clipped_partitioned(std::uint64_t seed = 31) {
+  Rng rng(seed);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{2, 2};
+  opt.clipped_relu = true;
+  opt.clip_lower = 0.0f;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  return core::apply_fdsp(nn::make_mini("vgg", rng, nn::MiniOptions{}), opt);
+}
+
+std::vector<Tensor> make_calibration(int count = 4) {
+  std::vector<Tensor> cal;
+  Rng rng(71);
+  for (int i = 0; i < count; ++i)
+    cal.push_back(Tensor::randn(Shape{1, 3, 32, 32}, rng));
+  return cal;
+}
+
+TEST(Int8Cluster, EdgeClusterInt8MatchesFp32Argmax) {
+  core::PartitionedModel pm_fp = make_clipped_partitioned();
+  core::PartitionedModel pm_q = make_clipped_partitioned();
+
+  ClusterConfig cfg_fp;
+  cfg_fp.num_nodes = 2;
+  cfg_fp.optimize_model = true;
+  EdgeCluster fp(pm_fp, cfg_fp);
+
+  ClusterConfig cfg_q;
+  cfg_q.num_nodes = 2;
+  cfg_q.precision = nn::Precision::kInt8;
+  cfg_q.int8_calibration = make_calibration();
+  EdgeCluster q(pm_q, cfg_q);
+  EXPECT_EQ(pm_q.precision, 1);
+
+  Rng rng(9);
+  int agree = 0;
+  const int total = 10;
+  for (int i = 0; i < total; ++i) {
+    const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+    const Tensor ya = fp.infer(x);
+    const Tensor yb = q.infer(x);
+    std::int64_t am_a = 0, am_b = 0;
+    for (std::int64_t j = 0; j < ya.numel(); ++j) {
+      if (ya[j] > ya[am_a]) am_a = j;
+      if (yb[j] > yb[am_b]) am_b = j;
+    }
+    agree += am_a == am_b;
+  }
+  EXPECT_GE(agree, total - 1) << agree << "/" << total;
+}
+
+TEST(Int8Cluster, MixedPrecisionNodesShareOneModel) {
+  core::PartitionedModel pm = make_clipped_partitioned();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.node_precision = {nn::Precision::kInt8, nn::Precision::kFp32,
+                        nn::Precision::kInt8};
+  cfg.int8_calibration = make_calibration();
+  EdgeCluster cluster(pm, cfg);
+
+  Rng rng(12);
+  const Tensor x = Tensor::randn(Shape{1, 3, 32, 32}, rng);
+  InferStats stats;
+  const Tensor y = cluster.infer(x, &stats);
+  EXPECT_EQ(stats.tiles_missing, 0);
+  EXPECT_EQ(y.numel(), 4);
+}
+
+TEST(Int8Cluster, Int8WithoutCalibrationThrows) {
+  core::PartitionedModel pm = make_clipped_partitioned();
+  ClusterConfig cfg;
+  cfg.precision = nn::Precision::kInt8;
+  EXPECT_THROW(EdgeCluster(pm, cfg), std::invalid_argument);
+}
+
+TEST(Int8Cluster, NodePrecisionSizeMismatchThrows) {
+  core::PartitionedModel pm = make_clipped_partitioned();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.node_precision = {nn::Precision::kFp32};
+  EXPECT_THROW(EdgeCluster(pm, cfg), std::invalid_argument);
+}
+
+TEST(Int8Cluster, PrecisionChangesHandshakeDigest) {
+  // A half-migrated deployment (int8 central, fp32 worker) must be caught
+  // at Hello/HelloAck: precision is folded into the model digest.
+  net::ModelSpec spec;
+  spec.grid_rows = 2;
+  spec.grid_cols = 2;
+  core::PartitionedModel pm_fp = spec.build();
+  core::PartitionedModel pm_q = spec.build();
+  pm_q.precision = 1;
+  EXPECT_NE(net::model_digest(pm_fp), net::model_digest(pm_q));
+}
+
+TEST(Int8Cluster, CalibrationInputsAreDeterministic) {
+  net::ModelSpec spec;
+  const std::vector<Tensor> a = net::calibration_inputs(spec);
+  const std::vector<Tensor> b = net::calibration_inputs(spec);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Tensor::max_abs_diff(a[i], b[i]), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace adcnn::runtime
+
+namespace adcnn::compress {
+namespace {
+
+TEST(QuantizerValidation, RejectsBadBits) {
+  EXPECT_THROW(Quantizer(1.0f, 0), std::invalid_argument);
+  EXPECT_THROW(Quantizer(1.0f, 9), std::invalid_argument);
+  EXPECT_THROW(Quantizer(1.0f, -3), std::invalid_argument);
+  EXPECT_NO_THROW(Quantizer(1.0f, 1));
+  EXPECT_NO_THROW(Quantizer(1.0f, 8));
+}
+
+TEST(QuantizerValidation, RejectsBadRange) {
+  EXPECT_THROW(Quantizer(0.0f, 4), std::invalid_argument);
+  EXPECT_THROW(Quantizer(-1.0f, 4), std::invalid_argument);
+  EXPECT_THROW(Quantizer(std::numeric_limits<float>::quiet_NaN(), 4),
+               std::invalid_argument);
+  EXPECT_THROW(Quantizer(std::numeric_limits<float>::infinity(), 4),
+               std::invalid_argument);
+}
+
+TEST(QuantizerValidation, UnpackNibblesRejectsOverflowingCount) {
+  // (count + 1) / 2 wraps to 0 at SIZE_MAX: the size check must not be
+  // fooled into reading past the buffer.
+  const std::vector<std::uint8_t> packed{0x21};
+  EXPECT_THROW(unpack_nibbles(packed, std::numeric_limits<std::size_t>::max()),
+               std::invalid_argument);
+  EXPECT_THROW(unpack_nibbles(packed, 3), std::invalid_argument);
+  EXPECT_NO_THROW(unpack_nibbles(packed, 2));
+}
+
+TEST(QuantizerCodec, NibbleRoundTripFuzzOddCounts) {
+  Rng rng(2025);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = static_cast<std::size_t>(rng.uniform(0.0, 33.0));
+    std::vector<std::uint8_t> levels(count);
+    for (auto& v : levels) v = static_cast<std::uint8_t>(rng.uniform(0.0, 16.0));
+    const std::vector<std::uint8_t> packed = pack_nibbles(levels);
+    EXPECT_EQ(packed.size(), (count + 1) / 2);
+    if (count % 2 == 1) {
+      EXPECT_EQ(packed.back() >> 4, 0) << "odd-count high nibble not zero";
+    }
+    const std::vector<std::uint8_t> back = unpack_nibbles(packed, count);
+    EXPECT_EQ(back, levels) << "round " << round << " count " << count;
+  }
+}
+
+TEST(QuantizerCodec, DegenerateClipFuseRejected) {
+  Rng rng(44);
+  nn::Conv2d conv(3, 4, 3, 1, 1, false, rng);
+  EXPECT_THROW(conv.fuse_clipped_relu(2.0f, 2.0f), std::invalid_argument);
+  EXPECT_THROW(conv.fuse_clipped_relu(3.0f, 1.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adcnn::compress
