@@ -1,0 +1,619 @@
+// Trace-driven load generator for the dynamic batcher: replays Poisson,
+// diurnal and bursty arrival schedules (deterministic seed, thousands of
+// simulated clients) against a StreamingServer and reports what multi-
+// tenant batched serving actually achieves.
+//
+//   load_gen [--smoke] [--json=PATH]
+//
+// Emits BENCH_batch.json:
+//   - unbatched depth-4 baseline vs batched (max_batch=4) images/sec with
+//     p50/p99/p999 in-system latency per run,
+//   - the achieved batch-size distribution (batch.size_q via the windowed
+//     quantile plane) and batcher occupancy,
+//   - per-tenant submitted/delivered/shed + latency percentiles and the
+//     slo.tenant.* monitor verdicts under deliberate overload.
+//
+// Hard gate (exit 1): every delivered batched output must be bit-identical
+// to a sequential infer() oracle on the same image. The >= 1.5x batched
+// speedup gate is enforced only when the host has more than one core —
+// on a single-core box the threaded runs measure oversubscription, so the
+// JSON carries speedup_gate_enforced=false instead of a fake pass.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fdsp.hpp"
+#include "net/cluster.hpp"
+#include "net/worker.hpp"
+#include "nn/models_mini.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/pipeline.hpp"
+
+#ifndef ADCNN_WORKER_BIN
+#define ADCNN_WORKER_BIN ""
+#endif
+
+namespace {
+
+using namespace adcnn;
+using Clock = std::chrono::steady_clock;
+
+// --- deterministic trace RNG (std distributions are not portable) -------
+
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  double uniform() {  // (0, 1]
+    return (static_cast<double>(next() >> 11) + 1.0) / 9007199254740992.0;
+  }
+  double exponential(double rate) { return -std::log(uniform()) / rate; }
+  int pick(int n) { return static_cast<int>(next() % static_cast<std::uint64_t>(n)); }
+};
+
+// --- arrival schedules --------------------------------------------------
+
+struct TraceEvent {
+  double t_s = 0.0;
+  int tenant = 0;
+  int client = 0;
+};
+
+struct TraceSpec {
+  int num_tenants = 1;
+  int num_clients = 2000;
+  std::uint64_t seed = 1;
+  /// Tenant share of traffic, cumulative-sampled; sized num_tenants.
+  std::vector<double> tenant_share;
+};
+
+int sample_tenant(const TraceSpec& spec, SplitMix64& rng) {
+  if (spec.tenant_share.empty()) return rng.pick(spec.num_tenants);
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < spec.tenant_share.size(); ++i) {
+    acc += spec.tenant_share[i];
+    if (u <= acc) return static_cast<int>(i);
+  }
+  return spec.num_tenants - 1;
+}
+
+void finish_event(const TraceSpec& spec, SplitMix64& rng, double t,
+                  std::vector<TraceEvent>* out) {
+  out->push_back(TraceEvent{t, sample_tenant(spec, rng),
+                            rng.pick(spec.num_clients)});
+}
+
+/// Homogeneous Poisson arrivals at `rate` events/sec for `duration_s`.
+std::vector<TraceEvent> make_poisson(const TraceSpec& spec, double rate,
+                                     double duration_s) {
+  SplitMix64 rng(spec.seed);
+  std::vector<TraceEvent> events;
+  for (double t = rng.exponential(rate); t < duration_s;
+       t += rng.exponential(rate)) {
+    finish_event(spec, rng, t, &events);
+  }
+  return events;
+}
+
+/// Sinusoidally modulated rate (one "day" = the trace duration): thinning
+/// of a Poisson stream at the peak rate.
+std::vector<TraceEvent> make_diurnal(const TraceSpec& spec, double base_rate,
+                                     double duration_s) {
+  SplitMix64 rng(spec.seed ^ 0xd1a7ull);
+  const double depth = 0.8;  // valley = 0.2x base, peak = 1.8x base
+  const double peak = base_rate * (1.0 + depth);
+  std::vector<TraceEvent> events;
+  for (double t = rng.exponential(peak); t < duration_s;
+       t += rng.exponential(peak)) {
+    const double phase = 2.0 * 3.14159265358979323846 * t / duration_s;
+    const double rate_t = base_rate * (1.0 + depth * std::sin(phase));
+    if (rng.uniform() <= rate_t / peak) finish_event(spec, rng, t, &events);
+  }
+  return events;
+}
+
+/// On/off bursts: `burst_len` back-to-back arrivals, then an exponential
+/// quiet gap — the worst case for a time-or-size batcher (full batches
+/// during bursts, lone stragglers after).
+std::vector<TraceEvent> make_bursty(const TraceSpec& spec, int burst_len,
+                                    double gap_s, double duration_s) {
+  SplitMix64 rng(spec.seed ^ 0xb5757ull);
+  std::vector<TraceEvent> events;
+  double t = 0.0;
+  while (t < duration_s) {
+    for (int i = 0; i < burst_len && t < duration_s; ++i) {
+      finish_event(spec, rng, t, &events);
+      t += 0.0002;  // back-to-back within the burst
+    }
+    t += rng.exponential(1.0 / gap_s);
+  }
+  return events;
+}
+
+// --- cluster / server construction --------------------------------------
+
+core::PartitionedModel make_model() {
+  Rng rng(31);
+  core::FdspOptions opt;
+  opt.grid = core::TileGrid{2, 2};
+  opt.clipped_relu = true;
+  opt.clip_lower = 0.0f;
+  opt.clip_upper = 3.0f;
+  opt.quantize = true;
+  return core::apply_fdsp(nn::make_mini("vgg", rng, nn::MiniOptions{}), opt);
+}
+
+runtime::ClusterConfig make_cluster_config(bool realtime, bool node_batching) {
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.bandwidth_bps = 20e6;
+  cfg.latency_s = 0.0005;
+  cfg.time_scale = realtime ? 1.0 : 0.0;
+  if (node_batching) cfg.node_batching = runtime::NodeBatchConfig{4, 200};
+  return cfg;
+}
+
+std::vector<Tensor> make_images(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> images;
+  images.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    images.push_back(Tensor::randn(Shape{1, 3, 32, 32}, rng));
+  }
+  return images;
+}
+
+// --- replay -------------------------------------------------------------
+
+struct TenantStats {
+  std::int64_t submitted = 0;
+  std::int64_t delivered = 0;
+  std::int64_t shed = 0;  // admission + deadline
+  std::vector<double> latencies_s;
+};
+
+struct ReplayResult {
+  double wall_s = 0.0;
+  std::int64_t delivered = 0;
+  std::int64_t shed = 0;
+  std::vector<double> latencies_s;  // delivered images only
+  /// Delivered outputs by event index (shed events have no entry).
+  std::map<std::size_t, Tensor> outputs;
+  std::vector<TenantStats> tenants;
+};
+
+/// Replay `events` against `server` in real time: sleep to each arrival,
+/// try_submit for the event's tenant, then redeem every ticket. A nullopt
+/// admission or a "shed:" wait error counts as a shed for that tenant.
+ReplayResult replay(runtime::StreamingServer& server,
+                    const std::vector<TraceEvent>& events,
+                    const std::vector<Tensor>& images, int num_tenants) {
+  ReplayResult r;
+  r.tenants.resize(static_cast<std::size_t>(num_tenants));
+  std::vector<std::pair<std::size_t, std::int64_t>> tickets;  // event, ticket
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(ev.t_s)));
+    TenantStats& ts = r.tenants[static_cast<std::size_t>(ev.tenant)];
+    ++ts.submitted;
+    const auto ticket = server.try_submit(ev.tenant, images[i]);
+    if (!ticket) {
+      ++ts.shed;
+      ++r.shed;
+      continue;
+    }
+    tickets.emplace_back(i, *ticket);
+  }
+  for (const auto& [event_idx, ticket] : tickets) {
+    TenantStats& ts =
+        r.tenants[static_cast<std::size_t>(events[event_idx].tenant)];
+    try {
+      double latency_s = 0.0;
+      Tensor out = server.wait(ticket, nullptr, &latency_s);
+      r.outputs.emplace(event_idx, std::move(out));
+      r.latencies_s.push_back(latency_s);
+      ts.latencies_s.push_back(latency_s);
+      ++ts.delivered;
+      ++r.delivered;
+    } catch (const std::runtime_error& e) {
+      if (std::strncmp(e.what(), "shed:", 5) != 0) throw;
+      ++ts.shed;
+      ++r.shed;
+    }
+  }
+  r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return r;
+}
+
+struct Percentiles {
+  double p50 = 0.0, p99 = 0.0, p999 = 0.0;
+};
+
+Percentiles percentiles_ms(std::vector<double> latencies_s) {
+  Percentiles p;
+  if (latencies_s.empty()) return p;
+  std::sort(latencies_s.begin(), latencies_s.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_s.size() - 1) + 0.5);
+    return latencies_s[std::min(idx, latencies_s.size() - 1)] * 1e3;
+  };
+  p.p50 = at(0.50);
+  p.p99 = at(0.99);
+  p.p999 = at(0.999);
+  return p;
+}
+
+/// Bitwise check of every delivered output against the sequential oracle.
+bool check_outputs(const ReplayResult& r, const std::vector<Tensor>& oracle) {
+  for (const auto& [event_idx, out] : r.outputs) {
+    if (Tensor::max_abs_diff(out, oracle[event_idx]) != 0.0f) {
+      std::printf("FAIL: event %zu output differs from sequential oracle\n",
+                  event_idx);
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_run(obs::JsonWriter& w, const char* key, const ReplayResult& r) {
+  const Percentiles p = percentiles_ms(r.latencies_s);
+  w.key(key).begin_object();
+  w.kv("delivered", r.delivered);
+  w.kv("shed", r.shed);
+  w.kv("wall_s", r.wall_s);
+  w.kv("images_per_s", static_cast<double>(r.delivered) / r.wall_s);
+  w.kv("p50_ms", p.p50).kv("p99_ms", p.p99).kv("p999_ms", p.p999);
+  w.end_object();
+}
+
+void write_batch_plane(obs::JsonWriter& w, const obs::MetricsSnapshot& snap) {
+  w.key("batch").begin_object();
+  const auto q = snap.quantiles.find("batch.size_q");
+  if (q != snap.quantiles.end()) {
+    const auto& t = q->second.total;
+    w.kv("dispatches", t.count);
+    w.kv("size_mean", t.mean());
+    w.kv("size_p50", t.p50).kv("size_p90", t.p90).kv("size_p99", t.p99);
+    w.kv("size_max", t.max);
+  }
+  const auto occ = snap.gauges.find("batch.occupancy");
+  if (occ != snap.gauges.end()) w.kv("last_occupancy", occ->second);
+  const auto wait = snap.quantiles.find("batch.wait_q");
+  if (wait != snap.quantiles.end()) {
+    w.kv("assemble_p99_s", wait->second.total.p99);
+  }
+  w.end_object();
+}
+
+/// --sockets: the same batched multi-tenant server over a real
+/// multi-process cluster — 4 spawned adcnn_conv_worker processes behind
+/// the CRC-framed TCP transport (DESIGN.md §13). The oracle is an
+/// in-process EdgeCluster over the identical ModelSpec (same codec path),
+/// so the bitwise gate carries across the wire.
+std::optional<ReplayResult> run_socket_trace(
+    const std::vector<TraceEvent>& events,
+    const std::vector<runtime::TenantConfig>& tenant_cfgs, int num_tenants,
+    obs::MetricsRegistry* metrics, bool* gate_ok) {
+  *gate_ok = true;
+  if (std::strlen(ADCNN_WORKER_BIN) == 0) {
+    std::printf("sockets: worker binary path not compiled in, skipping\n");
+    return std::nullopt;
+  }
+  net::ModelSpec spec;  // vgg_mini 32x32, 4x4 grid, clipped + quantized
+  const auto images = make_images(events.size(), 7);
+  std::vector<Tensor> oracle;
+  {
+    core::PartitionedModel pm = spec.build();
+    runtime::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.compress = true;
+    runtime::EdgeCluster cluster(pm, cfg);
+    for (const auto& image : images) oracle.push_back(cluster.infer(image));
+  }
+
+  core::PartitionedModel pm = spec.build();
+  net::DistributedConfig dcfg;
+  dcfg.num_nodes = 4;
+  dcfg.worker_binary = ADCNN_WORKER_BIN;
+  dcfg.spec = spec;
+  dcfg.deadline_s = 20.0;  // generous: shared CI machines can stall
+  net::DistributedCluster cluster(pm, dcfg);
+  if (!cluster.wait_all_connected(15.0)) {
+    std::printf("FAIL: socket workers never connected\n");
+    *gate_ok = false;
+    return std::nullopt;
+  }
+  runtime::StreamingConfig scfg;
+  scfg.max_in_flight = 4;
+  scfg.batching = runtime::BatchConfig{4, 2000};
+  scfg.tenants = tenant_cfgs;
+  scfg.telemetry.metrics = metrics;
+  runtime::StreamingServer server(cluster.central(), scfg);
+  ReplayResult r = replay(server, events, images, num_tenants);
+  server.close();
+  std::printf("sockets b=4  : %7.2f img/s  %lld delivered, %lld shed "
+              "(4 worker processes)\n",
+              static_cast<double>(r.delivered) / r.wall_s,
+              static_cast<long long>(r.delivered),
+              static_cast<long long>(r.shed));
+  *gate_ok = check_outputs(r, oracle);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool sockets = false;
+  std::string json_path = "BENCH_batch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--sockets") == 0) {
+      sockets = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  const std::int64_t hw_cores =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  const bool enforce_speedup = hw_cores > 1;
+
+  TraceSpec spec;
+  spec.num_tenants = 3;
+  spec.num_clients = smoke ? 200 : 2000;
+  spec.seed = 2026021;
+  spec.tenant_share = {0.6, 0.3, 0.1};
+
+  // Arrival schedules. The Poisson trace carries the headline comparison;
+  // diurnal exercises occupancy through a load swing; bursty plus tight
+  // SLOs exercises admission + deadline shedding.
+  const double duration = smoke ? 0.4 : 2.0;
+  const double rate = smoke ? 50.0 : 80.0;
+  const auto poisson = make_poisson(spec, rate, duration);
+  const auto diurnal = make_diurnal(spec, rate, duration);
+  const auto bursty =
+      make_bursty(spec, smoke ? 8 : 16, duration / 6.0, duration);
+
+  adcnn::bench::header("Dynamic batching load generator");
+  std::set<int> clients;
+  for (const auto& e : poisson) clients.insert(e.client);
+  std::printf(
+      "traces: poisson %zu, diurnal %zu, bursty %zu events over %.1fs "
+      "(%zu distinct clients, %d tenants, seed %llu)\n",
+      poisson.size(), diurnal.size(), bursty.size(), duration, clients.size(),
+      spec.num_tenants,
+      static_cast<unsigned long long>(spec.seed));
+
+  const std::size_t max_events =
+      std::max({poisson.size(), diurnal.size(), bursty.size()});
+  const auto images = make_images(max_events, 7);
+
+  // Sequential oracle: functional-mode cluster (no link sleeps), one
+  // infer() per image. Every delivered batched output must match bitwise.
+  std::vector<Tensor> oracle;
+  {
+    core::PartitionedModel pm = make_model();
+    runtime::EdgeCluster cluster(pm, make_cluster_config(false, false));
+    for (const auto& image : images) oracle.push_back(cluster.infer(image));
+  }
+  std::printf("oracle: %zu sequential outputs\n", oracle.size());
+
+  const auto tenant_cfgs = [&] {
+    std::vector<runtime::TenantConfig> ts(3);
+    ts[0].name = "gold";
+    ts[0].weight = 3.0;
+    ts[1].name = "silver";
+    ts[1].weight = 2.0;
+    ts[2].name = "bronze";
+    ts[2].weight = 1.0;
+    return ts;
+  }();
+
+  // Run A: unbatched depth-4 baseline on the Poisson trace.
+  ReplayResult base;
+  {
+    core::PartitionedModel pm = make_model();
+    runtime::EdgeCluster cluster(pm, make_cluster_config(true, false));
+    runtime::StreamingConfig scfg;
+    scfg.max_in_flight = 4;
+    scfg.tenants = tenant_cfgs;
+    runtime::StreamingServer server(cluster.central(), scfg);
+    base = replay(server, poisson, images, spec.num_tenants);
+  }
+  const Percentiles bp = percentiles_ms(base.latencies_s);
+  std::printf("unbatched d=4 : %7.2f img/s  p50 %6.2f ms  p99 %6.2f ms\n",
+              static_cast<double>(base.delivered) / base.wall_s, bp.p50,
+              bp.p99);
+  if (!check_outputs(base, oracle)) return 1;
+
+  // Run B: batched (server max_batch=4 + worker tile coalescing), same
+  // trace and tenants.
+  ReplayResult batched;
+  obs::MetricsRegistry batched_metrics;
+  {
+    core::PartitionedModel pm = make_model();
+    runtime::EdgeCluster cluster(pm, make_cluster_config(true, true));
+    runtime::StreamingConfig scfg;
+    scfg.max_in_flight = 4;
+    scfg.batching = runtime::BatchConfig{4, 2000};
+    scfg.tenants = tenant_cfgs;
+    scfg.telemetry.metrics = &batched_metrics;
+    runtime::StreamingServer server(cluster.central(), scfg);
+    batched = replay(server, poisson, images, spec.num_tenants);
+  }
+  const Percentiles qp = percentiles_ms(batched.latencies_s);
+  const double speedup =
+      (static_cast<double>(batched.delivered) / batched.wall_s) /
+      (static_cast<double>(base.delivered) / base.wall_s);
+  std::printf("batched  b=4 : %7.2f img/s  p50 %6.2f ms  p99 %6.2f ms  x%.2f\n",
+              static_cast<double>(batched.delivered) / batched.wall_s, qp.p50,
+              qp.p99, speedup);
+  if (!check_outputs(batched, oracle)) return 1;
+
+  // Run C: diurnal swing through the batched server (occupancy tracking).
+  ReplayResult diurnal_run;
+  obs::MetricsRegistry diurnal_metrics;
+  {
+    core::PartitionedModel pm = make_model();
+    runtime::EdgeCluster cluster(pm, make_cluster_config(true, true));
+    runtime::StreamingConfig scfg;
+    scfg.max_in_flight = 4;
+    scfg.batching = runtime::BatchConfig{4, 2000};
+    scfg.tenants = tenant_cfgs;
+    scfg.telemetry.metrics = &diurnal_metrics;
+    runtime::StreamingServer server(cluster.central(), scfg);
+    diurnal_run = replay(server, diurnal, images, spec.num_tenants);
+  }
+  if (!check_outputs(diurnal_run, oracle)) return 1;
+
+  // Run D: bursty overload with bounded queues and tight per-tenant SLOs —
+  // admission + deadline shedding must hit the overloaded tenants only,
+  // and every output that IS delivered must still be exact.
+  ReplayResult overload;
+  obs::MetricsRegistry overload_metrics;
+  {
+    core::PartitionedModel pm = make_model();
+    runtime::EdgeCluster cluster(pm, make_cluster_config(true, true));
+    runtime::StreamingConfig scfg;
+    scfg.max_in_flight = 4;
+    scfg.batching = runtime::BatchConfig{4, 1000};
+    auto ts = tenant_cfgs;
+    for (auto& t : ts) {
+      t.queue_capacity = 6;
+      t.slo.target_latency_s = 0.02;
+      t.slo.max_miss_rate = 0.2;
+      t.slo.window = 32;
+      t.slo.min_samples = 8;
+      t.slo.sustain = 2;
+    }
+    scfg.tenants = ts;
+    scfg.telemetry.metrics = &overload_metrics;
+    runtime::StreamingServer server(cluster.central(), scfg);
+    overload = replay(server, bursty, images, spec.num_tenants);
+  }
+  std::printf("overload     : %lld delivered, %lld shed\n",
+              static_cast<long long>(overload.delivered),
+              static_cast<long long>(overload.shed));
+  if (!check_outputs(overload, oracle)) return 1;
+
+  // Run E (--sockets): batched serving over the real multi-process
+  // cluster, gated against its own in-process oracle.
+  std::optional<ReplayResult> socket_run;
+  obs::MetricsRegistry socket_metrics;
+  if (sockets) {
+    bool gate_ok = true;
+    socket_run = run_socket_trace(poisson, tenant_cfgs, spec.num_tenants,
+                                  &socket_metrics, &gate_ok);
+    if (!gate_ok) return 1;
+  }
+  std::printf("all delivered outputs bit-identical to the sequential oracle\n");
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "load_gen");
+  w.kv("smoke", smoke);
+  w.kv("seed", static_cast<std::int64_t>(spec.seed));
+  w.kv("hw_concurrency", hw_cores);
+  w.kv("speedup_gate_enforced", enforce_speedup);
+  w.kv("num_clients", static_cast<std::int64_t>(spec.num_clients));
+  w.key("trace").begin_object();
+  w.kv("duration_s", duration);
+  w.kv("poisson_events", static_cast<std::int64_t>(poisson.size()));
+  w.kv("diurnal_events", static_cast<std::int64_t>(diurnal.size()));
+  w.kv("bursty_events", static_cast<std::int64_t>(bursty.size()));
+  w.end_object();
+
+  write_run(w, "unbatched_d4", base);
+  write_run(w, "batched_b4", batched);
+  w.key("batched_extras").begin_object();
+  w.kv("speedup_vs_unbatched", speedup);
+  w.kv("bit_identical", true);
+  write_batch_plane(w, batched_metrics.snapshot());
+  w.end_object();
+  write_run(w, "diurnal", diurnal_run);
+  w.key("diurnal_extras").begin_object();
+  write_batch_plane(w, diurnal_metrics.snapshot());
+  w.end_object();
+
+  if (socket_run) {
+    write_run(w, "socket_batched", *socket_run);
+    w.key("socket_extras").begin_object();
+    w.kv("worker_processes", 4);
+    w.kv("bit_identical", true);
+    write_batch_plane(w, socket_metrics.snapshot());
+    w.end_object();
+  }
+
+  write_run(w, "overload", overload);
+  const auto snap = overload_metrics.snapshot();
+  w.key("tenants").begin_array();
+  for (std::size_t i = 0; i < tenant_cfgs.size(); ++i) {
+    const TenantStats& ts = overload.tenants[i];
+    const Percentiles tp = percentiles_ms(ts.latencies_s);
+    w.begin_object();
+    w.kv("name", tenant_cfgs[i].name);
+    w.kv("weight", tenant_cfgs[i].weight);
+    w.kv("submitted", ts.submitted);
+    w.kv("delivered", ts.delivered);
+    w.kv("shed", ts.shed);
+    w.kv("shed_rate", ts.submitted
+                          ? static_cast<double>(ts.shed) /
+                                static_cast<double>(ts.submitted)
+                          : 0.0);
+    w.kv("p50_ms", tp.p50).kv("p99_ms", tp.p99).kv("p999_ms", tp.p999);
+    const std::string p = "slo.tenant." + tenant_cfgs[i].name;
+    const auto miss = snap.gauges.find(p + ".miss_rate");
+    if (miss != snap.gauges.end()) {
+      w.kv("slo_miss_rate", miss->second);
+      w.kv("slo_shed_rate", snap.gauges.at(p + ".shed_rate"));
+      w.kv("slo_in_violation", snap.gauges.at(p + ".in_violation"));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(json_path, std::ios::binary);
+  out << w.take() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "load_gen: failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (enforce_speedup && speedup < 1.5) {
+    std::printf("FAIL: batched speedup %.2fx < 1.5x on a %lld-core host\n",
+                speedup, static_cast<long long>(hw_cores));
+    return 1;
+  }
+  if (!enforce_speedup) {
+    std::printf("note: single-core host, speedup gate not enforced "
+                "(measured %.2fx)\n",
+                speedup);
+  }
+  return 0;
+}

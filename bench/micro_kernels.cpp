@@ -15,6 +15,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "compress/pipeline.hpp"
 #include "core/allocate.hpp"
@@ -112,6 +113,15 @@ int run_gemm_report(const std::string& path, bool smoke) {
   w.kv("bench", "gemm");
   w.kv("smoke", smoke);
   w.kv("hardware_concurrency", core::ThreadPool::default_threads());
+  // The true core count, independent of the ADCNN_THREADS override that
+  // default_threads() honors: readers gate scaling claims on this.
+  const std::int64_t hw_cores =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  w.kv("hw_concurrency", hw_cores);
+  // On a single-core host the threaded runs just measure oversubscription
+  // (scaling_vs_1t ≈ 1.0 no matter how good the kernel is), so the scaling
+  // numbers are annotated as unenforceable rather than silently reported.
+  w.kv("scaling_gate_enforced", hw_cores > 1);
   w.key("shapes").begin_array();
   for (const std::int64_t n : shapes) {
     Rng rng(static_cast<std::uint64_t>(n));
@@ -145,6 +155,7 @@ int run_gemm_report(const std::string& path, bool smoke) {
       w.kv("threads", t);
       w.kv("gflops", thr);
       w.kv("scaling_vs_1t", thr / blocked);
+      w.kv("scaling_meaningful", hw_cores >= t);
       w.end_object();
     }
     w.end_array();

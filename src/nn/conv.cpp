@@ -1,56 +1,16 @@
 #include "nn/conv.hpp"
 
-#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
 #include "core/thread_pool.hpp"
+#include "nn/scratch.hpp"
 
 namespace adcnn::nn {
 
 namespace {
-
-std::atomic<std::int64_t> g_scratch_bytes{0};
-std::atomic<std::uint64_t> g_shrink_epoch{0};
-
-/// Reusable im2col/col2im scratch. Thread-local (not a layer member)
-/// because eval-mode forward runs concurrently on every ConvNodeWorker
-/// thread; each thread amortizes one allocation across all layers/calls.
-/// Capacity is globally accounted (scratch_bytes) and trimmed back to the
-/// current need the first time a thread touches it after shrink_scratch()
-/// bumps the epoch — a shrink request cannot free other threads' buffers
-/// directly, so it is applied lazily where the buffer lives.
-template <typename T>
-class ScratchBuffer {
- public:
-  ~ScratchBuffer() {
-    g_scratch_bytes.fetch_add(-accounted_, std::memory_order_relaxed);
-  }
-
-  T* acquire(std::size_t need) {
-    const std::uint64_t epoch =
-        g_shrink_epoch.load(std::memory_order_relaxed);
-    if (epoch != epoch_) {
-      epoch_ = epoch;
-      if (buf_.capacity() > need) std::vector<T>().swap(buf_);
-    }
-    if (buf_.size() < need) {
-      buf_.resize(need);
-      const std::int64_t now =
-          static_cast<std::int64_t>(buf_.capacity() * sizeof(T));
-      g_scratch_bytes.fetch_add(now - accounted_, std::memory_order_relaxed);
-      accounted_ = now;
-    }
-    return buf_.data();
-  }
-
- private:
-  std::vector<T> buf_;
-  std::int64_t accounted_ = 0;
-  std::uint64_t epoch_ = 0;
-};
 
 float* col_scratch(std::size_t need) {
   thread_local ScratchBuffer<float> buf;
@@ -76,14 +36,6 @@ std::uint8_t* u8_image_scratch(std::size_t need) {
 }
 
 }  // namespace
-
-void shrink_scratch() {
-  g_shrink_epoch.fetch_add(1, std::memory_order_relaxed);
-}
-
-std::int64_t scratch_bytes() {
-  return g_scratch_bytes.load(std::memory_order_relaxed);
-}
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
@@ -229,7 +181,8 @@ void Conv2d::forward_int8(const Tensor& x, Tensor& y, std::int64_t hout,
   g.wpad = x.w() + 2 * pw_;
   g.kh = kh_;
   g.kw = kw_;
-  g.stride = sh_;  // square stride, gated by int8_ready()
+  g.stride_h = sh_;
+  g.stride_w = sw_;
   g.hout = hout;
   g.wout = wout;
   const std::int64_t H = x.h(), W = x.w();

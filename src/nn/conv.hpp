@@ -14,6 +14,7 @@
 
 #include "nn/gemm.hpp"
 #include "nn/layer.hpp"
+#include "nn/scratch.hpp"
 
 namespace adcnn::nn {
 
@@ -72,17 +73,17 @@ class Conv2d final : public Layer {
   void prepack();
 
   // --- int8 inference hooks (nn/optimize.hpp prepare_int8) -------------
-  /// Install the input activation grid derived by calibration. Once set
-  /// (and the stride is square), eval forwards on threads inside a
-  /// ScopedInt8Compute scope run the quantized conv engine; all other
-  /// threads keep the fp32 path over the same shared layer.
+  /// Install the input activation grid derived by calibration. Once set,
+  /// eval forwards on threads inside a ScopedInt8Compute scope run the
+  /// quantized conv engine; all other threads keep the fp32 path over the
+  /// same shared layer.
   void set_input_quant(const ActQuant& q) { input_quant_ = q; }
   const ActQuant& input_quant() const { return input_quant_; }
   /// Quantize + pack the weights for the int8 engine now (version-cached).
   void prepack_int8();
-  /// True when this layer can serve int8 forwards (calibrated, square
-  /// stride — the direct conv entry walks one stride).
-  bool int8_ready() const { return input_quant_.valid() && sh_ == sw_; }
+  /// True when this layer can serve int8 forwards (calibrated; the direct
+  /// conv entry handles rectangular strides).
+  bool int8_ready() const { return input_quant_.valid(); }
 
  private:
   /// Gather the input patches of sample `n` into `col` with layout
@@ -115,15 +116,5 @@ class Conv2d final : public Layer {
 
   Tensor cached_input_;  // kTrain only
 };
-
-/// Ask every compute thread to trim its thread-local im2col scratch back
-/// down to the next call's actual need (applied lazily, on each thread's
-/// next conv). The streaming pipeline calls this between images so one
-/// large image can't pin high-water scratch for the rest of the run.
-void shrink_scratch();
-
-/// Total live bytes across all threads' conv scratch buffers — exported
-/// as the nn.scratch_bytes metric.
-std::int64_t scratch_bytes();
 
 }  // namespace adcnn::nn

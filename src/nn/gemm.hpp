@@ -276,7 +276,7 @@ struct ConvGeomInt8 {
   std::int64_t cin = 0;
   std::int64_t hpad = 0, wpad = 0;  // padded input height/width
   std::int64_t kh = 0, kw = 0;
-  std::int64_t stride = 1;
+  std::int64_t stride_h = 1, stride_w = 1;
   std::int64_t hout = 0, wout = 0;
 
   std::int64_t cin4() const { return (cin + 3) / 4; }

@@ -220,9 +220,9 @@ void pack_b_conv(const std::uint8_t* img, const ConvGeomInt8& g,
             const std::int64_t ox = oj % g.wout;
             const std::int64_t run = std::min(nr - done, g.wout - ox);
             const std::uint8_t* src = img +
-                                      (oy * g.stride + ky) * rowbytes +
-                                      (ox * g.stride + kx) * pix + c4 * 4;
-            const std::int64_t sstep = g.stride * pix;
+                                      (oy * g.stride_h + ky) * rowbytes +
+                                      (ox * g.stride_w + kx) * pix + c4 * 4;
+            const std::int64_t sstep = g.stride_w * pix;
             for (std::int64_t t = 0; t < run; ++t) {
               std::memcpy(dst + (done + t) * 4, src + t * sstep, 4);
             }
@@ -580,9 +580,9 @@ void gemm_s8u8_conv(const PackedMatrixInt8& a, const std::uint8_t* image,
     throw std::invalid_argument(
         "gemm_s8u8_conv: packed weights do not match conv geometry");
   }
-  if (g.hout <= 0 || g.wout <= 0 || g.stride < 1 ||
-      g.hpad < (g.hout - 1) * g.stride + g.kh ||
-      g.wpad < (g.wout - 1) * g.stride + g.kw) {
+  if (g.hout <= 0 || g.wout <= 0 || g.stride_h < 1 || g.stride_w < 1 ||
+      g.hpad < (g.hout - 1) * g.stride_h + g.kh ||
+      g.wpad < (g.wout - 1) * g.stride_w + g.kw) {
     throw std::invalid_argument("gemm_s8u8_conv: inconsistent geometry");
   }
   engine_s8u8(a, c, a.rows, g.n(), act, epi, pool,

@@ -7,6 +7,7 @@
 
 #include "core/thread_pool.hpp"
 #include "nn/gemm.hpp"
+#include "nn/scratch.hpp"
 
 namespace adcnn::nn {
 
@@ -57,26 +58,30 @@ void Linear::forward_int8(const Tensor& x, Tensor& y) {
   epi.bias = bias_.value.data();
   epi.act = fused_relu_ ? Epilogue::Act::kReLU : Epilogue::Act::kNone;
 
-  thread_local std::vector<std::uint8_t> q, bq;
+  // Scratch sizes scale with the batch N, so all three buffers ride the
+  // shared lazy-shrink accounting: a max_batch burst through the dynamic
+  // batcher shows up in nn.scratch_bytes and is trimmed back by the
+  // pipeline's shrink_scratch() between batches.
+  thread_local ScratchBuffer<std::uint8_t> q_buf, bq_buf;
   const std::size_t count = static_cast<std::size_t>(N * in_);
-  if (q.size() < count) q.resize(count);
-  quantize_activations_u8(x.data(), count, input_quant_, q.data());
-  const std::uint8_t* b = q.data();
+  std::uint8_t* q = q_buf.acquire(count);
+  quantize_activations_u8(x.data(), count, input_quant_, q);
+  const std::uint8_t* b = q;
   if (N > 1) {
-    if (bq.size() < count) bq.resize(count);
+    std::uint8_t* bq = bq_buf.acquire(count);
     for (std::int64_t n = 0; n < N; ++n)
       for (std::int64_t i = 0; i < in_; ++i) bq[i * N + n] = q[n * in_ + i];
-    b = bq.data();
+    b = bq;
   }
   if (N == 1) {
     gemm_s8u8(wp, b, y.data(), out_, in_, N, input_quant_, &epi,
               &core::ThreadPool::global());
     return;
   }
-  thread_local std::vector<float> cbuf;
+  thread_local ScratchBuffer<float> c_buf;
   const std::size_t cn = static_cast<std::size_t>(out_ * N);
-  if (cbuf.size() < cn) cbuf.resize(cn);
-  gemm_s8u8(wp, b, cbuf.data(), out_, in_, N, input_quant_, &epi,
+  float* cbuf = c_buf.acquire(cn);
+  gemm_s8u8(wp, b, cbuf, out_, in_, N, input_quant_, &epi,
             &core::ThreadPool::global());
   for (std::int64_t n = 0; n < N; ++n)
     for (std::int64_t o = 0; o < out_; ++o) y[n * out_ + o] = cbuf[o * N + n];

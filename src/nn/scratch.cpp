@@ -1,0 +1,20 @@
+#include "nn/scratch.hpp"
+
+namespace adcnn::nn {
+
+namespace detail {
+
+std::atomic<std::int64_t> g_scratch_bytes{0};
+std::atomic<std::uint64_t> g_shrink_epoch{0};
+
+}  // namespace detail
+
+void shrink_scratch() {
+  detail::g_shrink_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t scratch_bytes() {
+  return detail::g_scratch_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace adcnn::nn

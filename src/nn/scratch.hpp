@@ -1,0 +1,73 @@
+// Thread-local compute scratch with global byte accounting and lazy
+// shrink, shared by every layer that needs per-thread work buffers
+// (conv im2col/col2im, int8 quantize planes, linear int8 quantize/
+// transpose buffers).
+//
+// Buffers are thread-local (not layer members) because eval-mode forward
+// runs concurrently on every ConvNodeWorker thread; each thread amortizes
+// one allocation across all layers/calls. Capacity is globally accounted
+// (scratch_bytes) and trimmed back to the current need the first time a
+// thread touches it after shrink_scratch() bumps the epoch — a shrink
+// request cannot free other threads' buffers directly, so it is applied
+// lazily where the buffer lives. With dynamic batching the per-call need
+// varies with the achieved batch size, so the lazy shrink is what keeps a
+// one-off max_batch burst from pinning high-water scratch for the rest of
+// the run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace adcnn::nn {
+
+namespace detail {
+
+extern std::atomic<std::int64_t> g_scratch_bytes;
+extern std::atomic<std::uint64_t> g_shrink_epoch;
+
+}  // namespace detail
+
+template <typename T>
+class ScratchBuffer {
+ public:
+  ~ScratchBuffer() {
+    detail::g_scratch_bytes.fetch_add(-accounted_, std::memory_order_relaxed);
+  }
+
+  T* acquire(std::size_t need) {
+    const std::uint64_t epoch =
+        detail::g_shrink_epoch.load(std::memory_order_relaxed);
+    if (epoch != epoch_) {
+      epoch_ = epoch;
+      if (buf_.capacity() > need) std::vector<T>().swap(buf_);
+    }
+    if (buf_.size() < need) {
+      buf_.resize(need);
+      const std::int64_t now =
+          static_cast<std::int64_t>(buf_.capacity() * sizeof(T));
+      detail::g_scratch_bytes.fetch_add(now - accounted_,
+                                        std::memory_order_relaxed);
+      accounted_ = now;
+    }
+    return buf_.data();
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::int64_t accounted_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Ask every compute thread to trim its thread-local scratch back down to
+/// the next call's actual need (applied lazily, on each thread's next
+/// acquire). The streaming pipeline calls this between batches so one
+/// large image or batch can't pin high-water scratch for the rest of the
+/// run.
+void shrink_scratch();
+
+/// Total live bytes across all threads' scratch buffers — exported as the
+/// nn.scratch_bytes metric.
+std::int64_t scratch_bytes();
+
+}  // namespace adcnn::nn

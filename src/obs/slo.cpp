@@ -17,14 +17,18 @@ SloMonitor::SloMonitor(SloConfig cfg, MetricsRegistry* registry) : cfg_(cfg) {
   if (cfg_.sustain < 1) {
     throw std::invalid_argument("SloMonitor: sustain must be >= 1");
   }
+  if (cfg_.metric_prefix.empty()) {
+    throw std::invalid_argument("SloMonitor: metric_prefix must be non-empty");
+  }
   ring_.assign(static_cast<std::size_t>(cfg_.window), Outcome::kOk);
   if (registry) {
-    miss_rate_gauge_ = &registry->gauge("slo.miss_rate");
-    shed_rate_gauge_ = &registry->gauge("slo.shed_rate");
-    in_violation_gauge_ = &registry->gauge("slo.in_violation");
-    violations_counter_ = &registry->counter("slo.violations");
-    registry->gauge("slo.target_miss_rate").set(cfg_.max_miss_rate);
-    registry->gauge("slo.target_latency_s").set(cfg_.target_latency_s);
+    const std::string& p = cfg_.metric_prefix;
+    miss_rate_gauge_ = &registry->gauge(p + ".miss_rate");
+    shed_rate_gauge_ = &registry->gauge(p + ".shed_rate");
+    in_violation_gauge_ = &registry->gauge(p + ".in_violation");
+    violations_counter_ = &registry->counter(p + ".violations");
+    registry->gauge(p + ".target_miss_rate").set(cfg_.max_miss_rate);
+    registry->gauge(p + ".target_latency_s").set(cfg_.target_latency_s);
   }
 }
 

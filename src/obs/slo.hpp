@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace adcnn::obs {
@@ -39,6 +40,10 @@ struct SloConfig {
   int sustain = 3;
   /// A violation episode ends once miss_rate <= recover_factor * max.
   double recover_factor = 0.8;
+  /// Metric name prefix (default "slo"). Per-tenant monitors pass e.g.
+  /// "slo.tenant.0" so each tenant exports its own gauge family instead
+  /// of all monitors fighting over the fixed slo.* names.
+  std::string metric_prefix = "slo";
 };
 
 class SloMonitor {

@@ -155,12 +155,45 @@ void CentralNode::send_tile(const ImageJob& job, std::int64_t t, int k,
 }
 
 std::int64_t CentralNode::begin_image(const Tensor& image) {
+  return begin_stacked(image, 1);
+}
+
+std::int64_t CentralNode::begin_batch(const std::vector<Tensor>& images) {
+  if (images.empty()) {
+    throw std::invalid_argument("CentralNode::begin_batch: empty batch");
+  }
+  if (images.size() == 1) return begin_stacked(images[0], 1);
+  const Shape& s0 = images[0].shape();
+  for (const Tensor& img : images) {
+    if (img.shape() != s0) {
+      throw std::invalid_argument(
+          "CentralNode::begin_batch: mixed image shapes in one batch");
+    }
+  }
+  // Stack (1,C,H,W) images into (N,C,H,W); TileSplit::split on the stack
+  // yields exactly the concatenation of each image's own tiles
+  // (image-major), so every tile's bytes match the unbatched path.
+  const std::int64_t N = static_cast<std::int64_t>(images.size());
+  Tensor stacked(Shape{N, s0[1], s0[2], s0[3]});
+  const std::size_t per =
+      static_cast<std::size_t>(s0.numel()) * sizeof(float);
+  for (std::int64_t n = 0; n < N; ++n) {
+    std::memcpy(reinterpret_cast<char*>(stacked.data()) +
+                    static_cast<std::size_t>(n) * per,
+                images[static_cast<std::size_t>(n)].data(), per);
+  }
+  return begin_stacked(stacked, N);
+}
+
+std::int64_t CentralNode::begin_stacked(const Tensor& stacked,
+                                        std::int64_t batch) {
   const auto t0 = Clock::now();
   const int K = static_cast<int>(inboxes_.size());
   obs::TraceRecorder* tracer = cfg_.telemetry.trace;
 
   auto job = std::make_unique<ImageJob>();
   job->t0 = t0;
+  job->batch = batch;
   if constexpr (obs::kEnabled) {
     if (tracer) {
       job->infer_begin_ns = tracer->now_ns();
@@ -179,7 +212,8 @@ std::int64_t CentralNode::begin_image(const Tensor& image) {
   // --- Input partition block: FDSP split. --------------------------------
   obs::ScopedSpan partition_span(tracer, "partition", "partition", 0,
                                  image_id, -1, job->root_span);
-  job->tiles = nn::TileSplit::split(image, model_.grid.rows, model_.grid.cols);
+  job->tiles =
+      nn::TileSplit::split(stacked, model_.grid.rows, model_.grid.cols);
   const std::int64_t T = job->tiles.n();
   job->tiles_total = T;
   partition_span.end();
@@ -572,6 +606,16 @@ std::vector<std::unique_ptr<CentralNode::ImageJob>> CentralNode::pump_gather(
 
 Tensor CentralNode::finish_image(std::unique_ptr<ImageJob> job,
                                  InferStats* stats) {
+  if (job->batch != 1) {
+    throw std::logic_error(
+        "CentralNode::finish_image: batched job needs finish_batch");
+  }
+  auto outputs = finish_batch(std::move(job), stats);
+  return std::move(outputs.front());
+}
+
+std::vector<Tensor> CentralNode::finish_batch(std::unique_ptr<ImageJob> job,
+                                              InferStats* stats) {
   obs::TraceRecorder* tracer = cfg_.telemetry.trace;
 
   // --- Zero-fill accounting: gathered was zero-initialized, so missing
@@ -654,7 +698,31 @@ Tensor CentralNode::finish_image(std::unique_ptr<ImageJob> job,
     stats->stages.suffix_s = seconds_between(t_zero_filled, t_done);
     stats->elapsed_s = seconds_between(job->t0, t_done);
   }
-  return output;
+
+  // --- Demux: slice the batched suffix output back per image. -------------
+  // The output is contiguous with the batch outermost, so sample n is the
+  // flat range [n*per, (n+1)*per) regardless of rank (classifier (N, cls)
+  // and dense (N, C, H, W) heads alike).
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<std::size_t>(job->batch));
+  if (job->batch == 1) {
+    outputs.push_back(std::move(output));
+    return outputs;
+  }
+  std::vector<std::int64_t> dims = output.shape().dims();
+  dims[0] = 1;
+  const Shape one(dims);
+  const std::size_t per =
+      static_cast<std::size_t>(one.numel()) * sizeof(float);
+  for (std::int64_t n = 0; n < job->batch; ++n) {
+    Tensor y(one);
+    std::memcpy(y.data(),
+                reinterpret_cast<const char*>(output.data()) +
+                    static_cast<std::size_t>(n) * per,
+                per);
+    outputs.push_back(std::move(y));
+  }
+  return outputs;
 }
 
 bool CentralNode::wait_for_inflight(Clock::time_point until) {

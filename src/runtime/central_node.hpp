@@ -155,8 +155,13 @@ class CentralNode {
   /// `scatter_done` is published under the node's mutex.
   struct ImageJob {
     std::int64_t image_id = -1;
-    std::int64_t tiles_total = 0;  // T
-    Tensor tiles;                  // (T, C, th, tw) input tiles, read-only
+    /// Images coalesced into this job by begin_batch(); 1 for begin_image.
+    /// tiles_total = batch * grid tiles, image-major (sample n's tiles sit
+    /// at slots [n*r*c, (n+1)*r*c)) — the demux key finish_batch() uses to
+    /// slice the batched suffix output back per image.
+    std::int64_t batch = 1;
+    std::int64_t tiles_total = 0;  // batch * T
+    Tensor tiles;                  // (batch*T, C, th, tw) input tiles
     std::vector<std::int64_t> counts;  // Algorithm 3 primary allocation
     std::vector<int> owner;            // tile -> node
     // Gather state (pump thread only).
@@ -209,6 +214,16 @@ class CentralNode {
   /// routing. Returns the image id (the routing key).
   std::int64_t begin_image(const Tensor& image);
 
+  /// Batched variant: coalesce N same-shape (1,C,H,W) images into ONE
+  /// in-flight job whose tiles tensor stacks every image's FDSP tiles
+  /// image-major. Scatter/compute/gather then operate on the whole batch
+  /// (one allocation pass, one deadline, one merged suffix forward), and
+  /// finish_batch() demuxes per-image outputs. Bit-identical to N
+  /// sequential begin_image() calls: tile contents are unchanged, the
+  /// prefix runs per tile, and the batched suffix GEMMs accumulate
+  /// per-sample in the same order as batch 1.
+  std::int64_t begin_batch(const std::vector<Tensor>& images);
+
   /// Route pending results to their in-flight images, fire due retries and
   /// expire deadlines. Blocks until at least one image finishes its gather
   /// or `until` passes; finished jobs (Algorithm 2 folded, unregistered)
@@ -216,9 +231,18 @@ class CentralNode {
   std::vector<std::unique_ptr<ImageJob>> pump_gather(Clock::time_point until);
 
   /// Zero-fill accounting, tile merge and the central suffix for a
-  /// gather-finished job; fills `stats` like infer() does.
+  /// gather-finished job; fills `stats` like infer() does. The job must
+  /// hold a single image (batch == 1); batched jobs go to finish_batch().
   Tensor finish_image(std::unique_ptr<ImageJob> job,
                       InferStats* stats = nullptr);
+
+  /// Batched finish: merge the gathered (batch*T, ...) tiles, run ONE
+  /// batched suffix forward over the (batch, C', H', W') merged tensor,
+  /// and slice the output back into one tensor per image (in begin_batch
+  /// submission order). `stats` reports the whole batch as one entry
+  /// (tiles_total = batch * T).
+  std::vector<Tensor> finish_batch(std::unique_ptr<ImageJob> job,
+                                   InferStats* stats = nullptr);
 
   /// Block until at least one image is in flight, `until` passes, or
   /// wake() is called. Returns true when in-flight work exists (lets a
@@ -245,6 +269,9 @@ class CentralNode {
   const core::StatsCollector& collector() const { return collector_; }
 
  private:
+  /// Shared partition/allocate/scatter body: `stacked` is (batch, C, H, W)
+  /// and becomes one in-flight job of batch * r * c tiles.
+  std::int64_t begin_stacked(const Tensor& stacked, std::int64_t batch);
   /// `parent_span` is the causal parent of the downlink/retry span (the
   /// scatter span for primaries, gather_wait for retries).
   void send_tile(const ImageJob& job, std::int64_t t, int k,

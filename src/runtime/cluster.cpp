@@ -116,7 +116,7 @@ EdgeCluster::EdgeCluster(core::PartitionedModel& model,
     workers_.push_back(std::make_unique<ConvNodeWorker>(
         k, model, codec, *inboxes_[static_cast<std::size_t>(k)], results_,
         *uplinks_[static_cast<std::size_t>(k)], cfg.telemetry,
-        faults_.get(), node_precision(k)));
+        faults_.get(), node_precision(k), cfg.node_batching));
   }
 
   CentralConfig central_cfg;

@@ -39,6 +39,11 @@ struct ClusterConfig {
   /// backpressure toward the Central node instead of unbounded buffering
   /// on a stalled worker. 0 (default) = unbounded, the original behavior.
   std::size_t inbox_capacity = 0;
+  /// Worker-side tile coalescing: queued same-shape tiles are stacked into
+  /// one batched prefix forward per NodeBatchConfig (time-or-size
+  /// triggered). Default max_batch 1 = tile-at-a-time, the original
+  /// behavior. Batched outputs stay bit-identical per tile.
+  NodeBatchConfig node_batching;
   /// Deterministic chaos script applied to links and workers; the default
   /// (trivial) plan injects nothing and allocates no injector.
   FaultPlan fault_plan;

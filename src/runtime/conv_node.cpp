@@ -5,6 +5,7 @@
 #include <cstring>
 #include <exception>
 #include <optional>
+#include <vector>
 
 namespace adcnn::runtime {
 
@@ -13,14 +14,139 @@ ConvNodeWorker::ConvNodeWorker(int id, core::PartitionedModel& model,
                                Channel<TileTask>& inbox,
                                Channel<TileResult>& outbox,
                                Transport& uplink, obs::Telemetry telemetry,
-                               FaultInjector* faults, nn::Precision precision)
+                               FaultInjector* faults, nn::Precision precision,
+                               NodeBatchConfig batching)
     : id_(id), model_(model), codec_(codec), inbox_(inbox), outbox_(outbox),
       uplink_(uplink), telemetry_(telemetry), faults_(faults),
-      precision_(precision), thread_([this] { run(); }) {}
+      precision_(precision), batching_(batching),
+      thread_([this] { run(); }) {}
 
 ConvNodeWorker::~ConvNodeWorker() {
   inbox_.close();
   if (thread_.joinable()) thread_.join();
+}
+
+void ConvNodeWorker::process_group(std::vector<TileTask>& group, double limit,
+                                   const NodeMetrics& m) {
+  obs::TraceRecorder* tracer = telemetry_.trace;
+  const int tid = id_ + 1;  // logical trace lane; 0 is the Central node
+  const std::int64_t B = static_cast<std::int64_t>(group.size());
+  if (B == 0) return;
+
+  // A tile must never take the worker thread down: a corrupted payload
+  // that makes decode/compute/encode throw abandons the group (counted),
+  // and the Central node's retry/zero-fill covers the missing results.
+  try {
+    const auto start = std::chrono::steady_clock::now();
+
+    if constexpr (obs::kEnabled) {
+      if (tracer && m.queue_wait_q) {
+        for (const TileTask& t : group) {
+          if (t.enqueue_ns > 0) {
+            m.queue_wait_q->observe(
+                static_cast<double>(tracer->now_ns() - t.enqueue_ns) / 1e9);
+          }
+        }
+      }
+    }
+
+    // A single-tile group (the unbatched default) keeps the classic causal
+    // shape: the tile span wraps compute, parented under the downlink span
+    // whose id rode the wire. A batched group's shared compute instead
+    // parents directly under the first tile's downlink span — one forward
+    // genuinely serves many tiles, so it cannot sit inside any one tile.
+    std::optional<obs::ScopedSpan> single_span;
+    if (B == 1) {
+      single_span.emplace(tracer, "tile", "tile", tid, group.front().image_id,
+                          group.front().tile_id, group.front().parent_span);
+    }
+
+    // Stack the group into one (B, C, th, tw) tensor and run a single
+    // batched prefix forward — the conv engine parallelizes over the
+    // batch dim, and per-sample GEMM accumulation keeps each tile's
+    // output bit-identical to a one-at-a-time forward.
+    obs::ScopedSpan compute_span(tracer, "conv_compute", "conv_compute", tid,
+                                 group.front().image_id,
+                                 B == 1 ? group.front().tile_id : -1,
+                                 B == 1 ? obs::kInheritParent
+                                        : group.front().parent_span);
+    const Shape& s = group.front().shape;
+    Tensor stacked(Shape{B, s[1], s[2], s[3]});
+    const std::size_t per = group.front().payload.size();
+    for (std::int64_t b = 0; b < B; ++b) {
+      std::memcpy(reinterpret_cast<char*>(stacked.data()) +
+                      static_cast<std::size_t>(b) * per,
+                  group[static_cast<std::size_t>(b)].payload.data(), per);
+    }
+    Tensor out = model_.model.forward_range(stacked, model_.prefix_begin(),
+                                            model_.prefix_end());
+    compute_span.end();
+    if constexpr (obs::kEnabled) {
+      if (m.compute_hist) {
+        const double compute_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        m.compute_hist->observe(compute_s);
+        m.compute_q->observe(compute_s);
+      }
+      if (m.batch_q) m.batch_q->observe(static_cast<double>(B));
+    }
+
+    const std::int64_t oc = out.c(), oh = out.h(), ow = out.w();
+    for (std::int64_t b = 0; b < B; ++b) {
+      TileTask& task = group[static_cast<std::size_t>(b)];
+      // Under batching each tile still gets its own span (parented under
+      // its downlink span) covering the demux/encode/ship tail; in the
+      // single-tile case `single_span` is already open and wraps the whole
+      // task, so the compress/uplink children nest under it.
+      std::optional<obs::ScopedSpan> tile_span;
+      if (B > 1) {
+        tile_span.emplace(tracer, "tile", "tile", tid, task.image_id,
+                          task.tile_id, task.parent_span);
+      }
+      obs::ScopedSpan compress_span(tracer, "compress", "compress", tid,
+                                    task.image_id, task.tile_id);
+      TileResult result;
+      result.image_id = task.image_id;
+      result.tile_id = task.tile_id;
+      result.node_id = id_;
+      result.attempt = task.attempt;
+      result.shape = Shape{1, oc, oh, ow};
+      const Tensor one = B == 1 ? std::move(out) : out.crop(b, 1, 0, oh, 0, ow);
+      result.payload =
+          codec_ ? codec_->encode(one) : compress::encode_raw(one);
+      compress_span.end();
+
+      // Emulate a slower CPU: stretch this tile's share of the batched
+      // compute phase (the group ran under the tightest limit present).
+      if (limit < 1.0) {
+        const auto elapsed =
+            (std::chrono::steady_clock::now() - start) / B;
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                elapsed * (1.0 / limit - 1.0)));
+      }
+
+      obs::ScopedSpan uplink_span(tracer, "uplink", "uplink", tid,
+                                  task.image_id, task.tile_id);
+      const auto fate =
+          uplink_.transmit_message(result.wire_bytes(), task.image_id,
+                                   task.tile_id, task.attempt,
+                                   &result.payload);
+      tiles_processed_.fetch_add(1);
+      if constexpr (obs::kEnabled) {
+        if (m.tiles) m.tiles->add(1);
+      }
+      if (!fate.drop) outbox_.send(std::move(result));
+      uplink_span.end();
+    }
+  } catch (const std::exception&) {
+    task_errors_.fetch_add(1);
+    if constexpr (obs::kEnabled) {
+      if (m.errors) m.errors->add(1);
+    }
+  }
 }
 
 void ConvNodeWorker::run() {
@@ -30,127 +156,92 @@ void ConvNodeWorker::run() {
   std::optional<nn::ScopedInt8Compute> int8_scope;
   if (precision_ == nn::Precision::kInt8) int8_scope.emplace();
 
-  const int tid = id_ + 1;  // logical trace lane; 0 is the Central node
-  obs::TraceRecorder* tracer = telemetry_.trace;
-  obs::Counter* tiles_counter = nullptr;
-  obs::Counter* errors_counter = nullptr;
-  obs::Counter* decode_counter = nullptr;
-  obs::Histogram* compute_hist = nullptr;
-  obs::QuantileHistogram* compute_q = nullptr;
-  obs::QuantileHistogram* queue_wait_q = nullptr;
+  NodeMetrics m;
   if constexpr (obs::kEnabled) {
-    if (auto* m = telemetry_.metrics) {
-      tiles_counter =
-          &m->counter("node.tiles_processed." + std::to_string(id_));
-      errors_counter = &m->counter("node.task_errors");
-      decode_counter = &m->counter("node.decode_errors");
-      compute_hist = &m->histogram("node.conv_compute_s");
-      compute_q = &m->quantile_histogram("node.compute_q");
-      queue_wait_q = &m->quantile_histogram("node.queue_wait_q");
+    if (auto* reg = telemetry_.metrics) {
+      m.tiles = &reg->counter("node.tiles_processed." + std::to_string(id_));
+      m.errors = &reg->counter("node.task_errors");
+      m.decode = &reg->counter("node.decode_errors");
+      m.compute_hist = &reg->histogram("node.conv_compute_s");
+      m.compute_q = &reg->quantile_histogram("node.compute_q");
+      m.queue_wait_q = &reg->quantile_histogram("node.queue_wait_q");
+      if (batching_.max_batch > 1)
+        m.batch_q = &reg->quantile_histogram("node.batch_q");
     }
   }
 
+  std::vector<TileTask> pending;
   while (true) {
-    auto task = inbox_.receive();
-    if (!task || task->shutdown) return;
+    auto first = inbox_.receive();
+    if (!first || first->shutdown) return;
+    pending.clear();
+    pending.push_back(std::move(*first));
 
-    // Manual kill()/set_cpu_limit() and the scripted fault plan compose:
-    // the node is dead if either says so, throttled to the tighter limit.
-    bool dead = dead_.load();
-    double limit = cpu_limit_.load();
-    if (faults_) {
-      const auto scripted = faults_->node_state(id_, task->image_id);
-      dead = dead || scripted.dead;
-      limit = std::min(limit, scripted.cpu_limit);
-    }
-    if (dead) continue;  // failed node: swallow work silently
-
-    // A tile must never take the worker thread down: a corrupted payload
-    // that makes decode/compute/encode throw is abandoned (counted), and
-    // the Central node's retry/zero-fill covers the missing result.
-    try {
-      // The tile span parents under the downlink span whose id rode the
-      // wire, stitching this thread's chain into the image's causal tree.
-      obs::ScopedSpan tile_span(tracer, "tile", "tile", tid, task->image_id,
-                                task->tile_id, task->parent_span);
-      if constexpr (obs::kEnabled) {
-        if (queue_wait_q && tracer && task->enqueue_ns > 0) {
-          queue_wait_q->observe(
-              static_cast<double>(tracer->now_ns() - task->enqueue_ns) / 1e9);
+    // Time-or-size coalescing: drain whatever is already queued, then wait
+    // out the remainder of max_wait_us for stragglers — a lone tile ships
+    // after one short wait, a burst fills the batch immediately.
+    bool saw_shutdown = false;
+    if (batching_.max_batch > 1) {
+      const auto batch_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(batching_.max_wait_us);
+      while (static_cast<int>(pending.size()) < batching_.max_batch) {
+        auto more = inbox_.try_receive();
+        if (!more) more = inbox_.receive_until(batch_deadline);
+        if (!more) break;  // timeout or closed: run what we have
+        if (more->shutdown) {
+          saw_shutdown = true;
+          break;
         }
+        pending.push_back(std::move(*more));
       }
-      const auto start = std::chrono::steady_clock::now();
+    }
 
-      // Decode the raw fp32 tile and run the separable prefix (includes
-      // clipped ReLU / fake-quant layers).
-      obs::ScopedSpan compute_span(tracer, "conv_compute", "conv_compute",
-                                   tid, task->image_id, task->tile_id);
-      Tensor tile(task->shape);
+    // Per-task admission: manual kill()/set_cpu_limit() and the scripted
+    // fault plan compose per (node, image) — a dead task is swallowed
+    // silently without sinking its batchmates, and the group runs under
+    // the tightest cpu limit any member carries.
+    std::vector<TileTask> live;
+    live.reserve(pending.size());
+    double limit = cpu_limit_.load();
+    const bool manual_dead = dead_.load();
+    for (TileTask& task : pending) {
+      bool task_dead = manual_dead;
+      if (faults_) {
+        const auto scripted = faults_->node_state(id_, task.image_id);
+        task_dead = task_dead || scripted.dead;
+        limit = std::min(limit, scripted.cpu_limit);
+      }
+      if (task_dead) continue;  // failed node: swallow work silently
       const std::size_t want =
-          static_cast<std::size_t>(tile.numel()) * sizeof(float);
-      if (task->payload.size() != want) {
+          static_cast<std::size_t>(task.shape.numel()) * sizeof(float);
+      if (task.payload.size() != want) {
         // A truncated/padded payload (downlink corruption) must be treated
         // as corrupt, not silently run on a partially-filled tensor. The
         // Central node's retry/zero-fill covers the missing result.
         decode_errors_.fetch_add(1);
         if constexpr (obs::kEnabled) {
-          if (decode_counter) decode_counter->add(1);
+          if (m.decode) m.decode->add(1);
         }
         continue;
       }
-      std::memcpy(tile.data(), task->payload.data(), want);
-      Tensor out = model_.model.forward_range(tile, model_.prefix_begin(),
-                                              model_.prefix_end());
-      compute_span.end();
-      if constexpr (obs::kEnabled) {
-        if (compute_hist) {
-          const double compute_s =
-              std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start)
-                  .count();
-          compute_hist->observe(compute_s);
-          compute_q->observe(compute_s);
-        }
-      }
-
-      obs::ScopedSpan compress_span(tracer, "compress", "compress", tid,
-                                    task->image_id, task->tile_id);
-      TileResult result;
-      result.image_id = task->image_id;
-      result.tile_id = task->tile_id;
-      result.node_id = id_;
-      result.attempt = task->attempt;
-      result.shape = out.shape();
-      result.payload =
-          codec_ ? codec_->encode(out) : compress::encode_raw(out);
-      compress_span.end();
-
-      // Emulate a slower CPU: stretch the compute phase.
-      if (limit < 1.0) {
-        const auto elapsed = std::chrono::steady_clock::now() - start;
-        std::this_thread::sleep_for(
-            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                elapsed * (1.0 / limit - 1.0)));
-      }
-
-      obs::ScopedSpan uplink_span(tracer, "uplink", "uplink", tid,
-                                  task->image_id, task->tile_id);
-      const auto fate =
-          uplink_.transmit_message(result.wire_bytes(), task->image_id,
-                                   task->tile_id, task->attempt,
-                                   &result.payload);
-      tiles_processed_.fetch_add(1);
-      if constexpr (obs::kEnabled) {
-        if (tiles_counter) tiles_counter->add(1);
-      }
-      if (!fate.drop) outbox_.send(std::move(result));
-      uplink_span.end();
-    } catch (const std::exception&) {
-      task_errors_.fetch_add(1);
-      if constexpr (obs::kEnabled) {
-        if (errors_counter) errors_counter->add(1);
-      }
+      live.push_back(std::move(task));
     }
+
+    // Same-shape runs share one batched forward; a shape change splits the
+    // group (preserving arrival order) since tiles of different geometry
+    // cannot stack.
+    std::size_t i = 0;
+    while (i < live.size()) {
+      std::size_t j = i + 1;
+      while (j < live.size() && live[j].shape == live[i].shape) ++j;
+      std::vector<TileTask> group(
+          std::make_move_iterator(live.begin() + static_cast<std::ptrdiff_t>(i)),
+          std::make_move_iterator(live.begin() + static_cast<std::ptrdiff_t>(j)));
+      process_group(group, limit, m);
+      i = j;
+    }
+    if (saw_shutdown) return;
   }
 }
 

@@ -20,6 +20,20 @@
 
 namespace adcnn::runtime {
 
+/// Time-or-size batch coalescing of a worker's inbox: after the first tile
+/// arrives, up to max_batch - 1 more tiles are drained (waiting at most
+/// max_wait_us for stragglers) and same-shape runs are stacked into ONE
+/// batched prefix forward — the conv engine parallelizes over the batch
+/// dim, so queued tiles ride a single packed-GEMM pass instead of paying
+/// per-call dispatch each. max_batch <= 1 keeps the original
+/// tile-at-a-time behavior. Outputs are encoded and shipped per tile, so
+/// the wire protocol and the Central gather are unchanged, and per-sample
+/// GEMM accumulation keeps batched results bit-identical to unbatched.
+struct NodeBatchConfig {
+  int max_batch = 1;
+  std::int64_t max_wait_us = 200;
+};
+
 class ConvNodeWorker {
  public:
   /// `model` must outlive the worker; its prefix range is executed in eval
@@ -33,12 +47,15 @@ class ConvNodeWorker {
   /// (the model must have been calibrated with nn::prepare_int8 first);
   /// the scope is this worker's thread only, so nodes of both precisions
   /// can share one model.
+  /// `batching` coalesces queued same-shape tiles into batched prefix
+  /// forwards (see NodeBatchConfig); the default is unbatched.
   ConvNodeWorker(int id, core::PartitionedModel& model,
                  const compress::TileCodec* codec, Channel<TileTask>& inbox,
                  Channel<TileResult>& outbox, Transport& uplink,
                  obs::Telemetry telemetry = {},
                  FaultInjector* faults = nullptr,
-                 nn::Precision precision = nn::Precision::kFp32);
+                 nn::Precision precision = nn::Precision::kFp32,
+                 NodeBatchConfig batching = {});
   ~ConvNodeWorker();
 
   ConvNodeWorker(const ConvNodeWorker&) = delete;
@@ -72,6 +89,21 @@ class ConvNodeWorker {
 
  private:
   void run();
+  /// Instruments cached once by run(); batching needs them across helper
+  /// calls.
+  struct NodeMetrics {
+    obs::Counter* tiles = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* decode = nullptr;
+    obs::Histogram* compute_hist = nullptr;
+    obs::QuantileHistogram* compute_q = nullptr;
+    obs::QuantileHistogram* queue_wait_q = nullptr;
+    obs::QuantileHistogram* batch_q = nullptr;
+  };
+  /// Run one same-shape group of live tiles through a single batched
+  /// prefix forward and ship each result.
+  void process_group(std::vector<TileTask>& group, double limit,
+                     const NodeMetrics& m);
 
   int id_;
   core::PartitionedModel& model_;
@@ -82,6 +114,7 @@ class ConvNodeWorker {
   obs::Telemetry telemetry_;
   FaultInjector* faults_;
   nn::Precision precision_;
+  NodeBatchConfig batching_;
   std::atomic<double> cpu_limit_{1.0};
   std::atomic<bool> dead_{false};
   std::atomic<std::int64_t> tiles_processed_{0};

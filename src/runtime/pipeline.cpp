@@ -5,17 +5,28 @@
 
 #include "nn/conv.hpp"
 #include "nn/gemm.hpp"
+#include "nn/scratch.hpp"
 
 namespace adcnn::runtime {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
 }  // namespace
 
 StreamingServer::StreamingServer(CentralNode& central, StreamingConfig cfg)
-    : central_(central), cfg_(cfg), input_(cfg.queue_capacity), finish_(0) {
+    : central_(central), cfg_(std::move(cfg)), finish_(0) {
   if (cfg_.max_in_flight < 1) {
     throw std::invalid_argument("StreamingServer: max_in_flight must be >= 1");
+  }
+  if (cfg_.batching.max_batch < 1) {
+    throw std::invalid_argument("StreamingServer: max_batch must be >= 1");
+  }
+  if (cfg_.batching.max_wait_us < 0) {
+    throw std::invalid_argument("StreamingServer: max_wait_us must be >= 0");
   }
   if constexpr (obs::kEnabled) {
     if (auto* m = cfg_.telemetry.metrics) {
@@ -30,12 +41,54 @@ StreamingServer::StreamingServer(CentralNode& central, StreamingConfig cfg)
       obs_.pack_hits = &m->gauge("gemm.pack_hits");
       obs_.pack_misses = &m->gauge("gemm.pack_misses");
       obs_.pack_bytes = &m->gauge("gemm.pack_bytes");
-      input_.attach_telemetry(obs_.queue_depth);
+      if (cfg_.batching.max_batch > 1) {
+        // Achieved batch sizes are small integers; lower the quantile range
+        // floor so size-1 batches land in a bucket of their own.
+        obs::QuantileHistogram::Config size_cfg;
+        size_cfg.min_value = 0.5;
+        size_cfg.max_value = 4096.0;
+        obs_.batch_size_q = &m->quantile_histogram("batch.size_q", size_cfg);
+        obs_.batch_wait_q = &m->quantile_histogram("batch.wait_q");
+        obs_.batch_occupancy = &m->gauge("batch.occupancy");
+      }
     }
   }
   if (cfg_.slo.target_latency_s > 0.0) {
     slo_ = std::make_unique<obs::SloMonitor>(cfg_.slo, cfg_.telemetry.metrics);
   }
+
+  // Tenant table: explicit configs, or one implicit tenant carrying the
+  // legacy queue_capacity knob so the single-tenant API is unchanged.
+  std::vector<TenantConfig> tenant_cfgs = cfg_.tenants;
+  if (tenant_cfgs.empty()) {
+    TenantConfig def;
+    def.queue_capacity = cfg_.queue_capacity;
+    tenant_cfgs.push_back(def);
+  }
+  tenants_.reserve(tenant_cfgs.size());
+  for (const TenantConfig& tc : tenant_cfgs) {
+    if (!(tc.weight > 0.0)) {
+      throw std::invalid_argument("StreamingServer: tenant \"" + tc.name +
+                                  "\" needs a positive weight");
+    }
+    TenantState st;
+    st.cfg = tc;
+    if (tc.slo.target_latency_s > 0.0) {
+      obs::SloConfig sc = tc.slo;
+      sc.metric_prefix = "slo.tenant." + tc.name;
+      st.slo = std::make_unique<obs::SloMonitor>(sc, cfg_.telemetry.metrics);
+    }
+    if constexpr (obs::kEnabled) {
+      if (auto* m = cfg_.telemetry.metrics) {
+        const std::string p = "pipeline.tenant." + tc.name;
+        st.submitted = &m->counter(p + ".submitted");
+        st.shed = &m->counter(p + ".shed");
+        st.queue_depth = &m->gauge(p + ".queue_depth");
+      }
+    }
+    tenants_.push_back(std::move(st));
+  }
+
   if constexpr (obs::kEnabled) {
     if (cfg_.telemetry.metrics && cfg_.exporter.period_s > 0.0 &&
         (!cfg_.exporter.prometheus_path.empty() ||
@@ -51,47 +104,113 @@ StreamingServer::StreamingServer(CentralNode& central, StreamingConfig cfg)
 
 StreamingServer::~StreamingServer() { close(); }
 
-std::int64_t StreamingServer::submit(Tensor image) {
+StreamingServer::TenantState& StreamingServer::checked_tenant(int tenant) {
+  if (tenant < 0 || tenant >= num_tenants()) {
+    throw std::out_of_range("StreamingServer: tenant " +
+                            std::to_string(tenant) + " of " +
+                            std::to_string(num_tenants()));
+  }
+  return tenants_[static_cast<std::size_t>(tenant)];
+}
+
+obs::SloMonitor* StreamingServer::tenant_slo(int tenant) {
+  return checked_tenant(tenant).slo.get();
+}
+
+std::int64_t StreamingServer::tenant_shed(int tenant) const {
+  auto& self = const_cast<StreamingServer&>(*this);
+  const TenantState& t = self.checked_tenant(tenant);
+  std::lock_guard lock(mu_);
+  return t.shed_total;
+}
+
+std::int64_t StreamingServer::submit(int tenant, Tensor image) {
+  TenantState& t = checked_tenant(tenant);
+  const Clock::time_point t_submit = Clock::now();
   std::int64_t ticket;
-  Clock::time_point t_submit = Clock::now();
   {
-    std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
     if (closed_) throw std::runtime_error("StreamingServer: closed");
+    if (t.cfg.queue_capacity > 0) {
+      // Bounded queue: backpressure the producer rather than shed.
+      submit_cv_.wait(lock, [&] {
+        return closed_ || t.queue.size() < t.cfg.queue_capacity;
+      });
+      if (closed_) throw std::runtime_error("StreamingServer: closed");
+    }
     ticket = next_ticket_++;
     pending_.emplace(ticket, Pending{});
+    t.queue.push_back(SubmitItem{ticket, tenant, std::move(image), t_submit});
+    ++queued_total_;
+    if constexpr (obs::kEnabled) {
+      if (t.submitted) {
+        t.submitted->add(1);
+        t.queue_depth->set(static_cast<double>(t.queue.size()));
+        obs_.queue_depth->set(static_cast<double>(queued_total_));
+      }
+    }
   }
-  if (!input_.send(SubmitItem{ticket, std::move(image), t_submit})) {
-    std::lock_guard lock(mu_);
-    pending_.erase(ticket);
-    throw std::runtime_error("StreamingServer: closed");
-  }
+  input_cv_.notify_one();
   return ticket;
 }
 
-std::optional<std::int64_t> StreamingServer::try_submit(Tensor image) {
+std::optional<std::int64_t> StreamingServer::try_submit(int tenant,
+                                                        Tensor image) {
+  TenantState& t = checked_tenant(tenant);
+  const Clock::time_point t_submit = Clock::now();
   std::int64_t ticket;
-  Clock::time_point t_submit = Clock::now();
   {
-    std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
     if (closed_) throw std::runtime_error("StreamingServer: closed");
+    std::size_t cap = t.cfg.queue_capacity;
+    if (cap > 0 && t.slo && t.slo->in_violation()) {
+      // Violation episode: admit against half the bound, so the overloaded
+      // tenant drains its backlog instead of refilling it.
+      cap = std::max<std::size_t>(1, cap / 2);
+    }
+    if (cap > 0 && t.queue.size() >= cap) {
+      lock.unlock();
+      // Full queue: shed at admission, before the cluster sees the image.
+      shed_item(t, nullptr, "admission");
+      return std::nullopt;
+    }
     ticket = next_ticket_++;
     pending_.emplace(ticket, Pending{});
-  }
-  if (!input_.try_push(SubmitItem{ticket, std::move(image), t_submit})) {
-    {
-      std::lock_guard lock(mu_);
-      pending_.erase(ticket);
-      if (closed_) throw std::runtime_error("StreamingServer: closed");
-    }
-    // Full queue: the image is shed at admission, before the cluster sees
-    // it. The SLO monitor treats sheds as their own outcome class.
+    t.queue.push_back(SubmitItem{ticket, tenant, std::move(image), t_submit});
+    ++queued_total_;
     if constexpr (obs::kEnabled) {
-      if (obs_.shed) obs_.shed->add(1);
+      if (t.submitted) {
+        t.submitted->add(1);
+        t.queue_depth->set(static_cast<double>(t.queue.size()));
+        obs_.queue_depth->set(static_cast<double>(queued_total_));
+      }
     }
-    if (slo_) slo_->record_shed();
-    return std::nullopt;
   }
+  input_cv_.notify_one();
   return ticket;
+}
+
+void StreamingServer::shed_item(TenantState& tenant, SubmitItem* item,
+                                const char* why) {
+  {
+    std::lock_guard lock(mu_);
+    ++tenant.shed_total;
+  }
+  if constexpr (obs::kEnabled) {
+    if (obs_.shed) obs_.shed->add(1);
+    if (tenant.shed) tenant.shed->add(1);
+  }
+  // Monitors record outside mu_: their violation callbacks run on this
+  // thread and may call back into the server's accessors.
+  if (slo_) slo_->record_shed();
+  if (tenant.slo) tenant.slo->record_shed();
+  if (item) {
+    Pending p;
+    p.error = std::make_exception_ptr(std::runtime_error(
+        std::string("shed: ") + why + " (tenant " + tenant.cfg.name + ")"));
+    p.latency_s = seconds_since(item->t_submit, Clock::now());
+    deliver(item->ticket, std::move(p));
+  }
 }
 
 Tensor StreamingServer::wait(std::int64_t ticket, InferStats* stats,
@@ -124,15 +243,17 @@ void StreamingServer::close() {
     std::lock_guard lock(mu_);
     closed_ = true;
   }
+  input_cv_.notify_all();
+  submit_cv_.notify_all();
   // Exporter first: a final flush while the counters still move is fine
   // (snapshot semantics), and it must not outlive the instruments below.
   exporter_.reset();
-  // Order matters: the dispatcher drains every already-queued submit (a
-  // closed Channel still hands out its backlog), so by the time it joins,
-  // every ticket has an image in flight; the gather thread then pumps the
-  // registry dry before honoring stop; closing the finish queue lets the
-  // suffix thread drain its backlog and exit. Every ticket ends delivered.
-  input_.close();
+  // Order matters: the dispatcher drains every already-queued submit (its
+  // loop exits only once closed AND empty), so by the time it joins, every
+  // ticket has an image in flight or a shed/error delivery; the gather
+  // thread then pumps the registry dry before honoring stop; closing the
+  // finish queue lets the suffix thread drain its backlog and exit. Every
+  // ticket ends delivered.
   if (dispatcher_.joinable()) dispatcher_.join();
   stop_gather_.store(true);
   central_.wake();  // interrupt an idle wait_for_inflight promptly
@@ -142,16 +263,75 @@ void StreamingServer::close() {
 }
 
 void StreamingServer::dispatch_loop() {
+  const int max_batch = cfg_.batching.max_batch;
   for (;;) {
-    auto item = input_.receive();
-    if (!item) break;  // closed and drained
+    std::vector<SubmitItem> batch;
+    // Deadline sheds popped this round: (tenant index, item), resolved
+    // outside mu_ because shedding feeds the SLO monitors.
+    std::vector<std::pair<std::size_t, SubmitItem>> sheds;
+    Clock::time_point assemble_start;
     {
+      std::unique_lock lock(mu_);
+      input_cv_.wait(lock, [&] { return queued_total_ > 0 || closed_; });
+      if (queued_total_ == 0) break;  // closed and drained
       // Admission: hold a permit per active image. Permits release at
       // output delivery, so depth 1 reproduces sequential scheduling.
-      std::unique_lock lock(mu_);
+      // Deliveries keep happening while we wait (gather/suffix run until
+      // this thread joins in close()), so the wait always terminates.
       permit_cv_.wait(lock, [&] { return active_ < cfg_.max_in_flight; });
-      ++active_;
-      if (!dispatched_any_) {
+      const int budget = std::min(max_batch, cfg_.max_in_flight - active_);
+      assemble_start = Clock::now();
+      const auto batch_deadline =
+          assemble_start + std::chrono::microseconds(cfg_.batching.max_wait_us);
+      while (static_cast<int>(batch.size()) < budget) {
+        if (queued_total_ == 0) {
+          // Time-or-size: with a partial batch in hand, linger for
+          // stragglers until the deadline; a full batch or an unbatched
+          // server dispatches immediately.
+          if (batch.empty() || max_batch <= 1 || closed_) break;
+          if (Clock::now() >= batch_deadline) break;
+          input_cv_.wait_until(lock, batch_deadline);
+          continue;
+        }
+        // Weighted-fair pick: the non-empty tenant with the minimum
+        // stride-scheduling pass; ties resolve to the lowest index.
+        std::size_t best = tenants_.size();
+        for (std::size_t i = 0; i < tenants_.size(); ++i) {
+          if (tenants_[i].queue.empty()) continue;
+          if (best == tenants_.size() ||
+              tenants_[i].pass < tenants_[best].pass) {
+            best = i;
+          }
+        }
+        TenantState& t = tenants_[best];
+        SubmitItem item = std::move(t.queue.front());
+        t.queue.pop_front();
+        --queued_total_;
+        t.pass += 1.0 / t.cfg.weight;
+        if constexpr (obs::kEnabled) {
+          if (t.queue_depth) {
+            t.queue_depth->set(static_cast<double>(t.queue.size()));
+            obs_.queue_depth->set(static_cast<double>(queued_total_));
+          }
+        }
+        // Deadline-aware shed: while THIS tenant's monitor is in violation,
+        // a queued image already past shed_wait_frac of its latency target
+        // cannot meet the SLO anyway — drop it instead of wasting a batch
+        // slot. Other tenants' queues are untouched.
+        bool doomed = false;
+        if (t.slo && t.cfg.slo.target_latency_s > 0.0 &&
+            t.slo->in_violation()) {
+          const double waited = seconds_since(item.t_submit, Clock::now());
+          doomed = waited > t.cfg.shed_wait_frac * t.cfg.slo.target_latency_s;
+        }
+        ++active_;  // uniform permit accounting; deliver() releases
+        if (doomed) {
+          sheds.emplace_back(best, std::move(item));
+        } else {
+          batch.push_back(std::move(item));
+        }
+      }
+      if (!batch.empty() && !dispatched_any_) {
         dispatched_any_ = true;
         t_first_dispatch_ = Clock::now();
       }
@@ -159,22 +339,42 @@ void StreamingServer::dispatch_loop() {
         if (obs_.in_flight) obs_.in_flight->set(static_cast<double>(active_));
       }
     }
+    submit_cv_.notify_all();  // queue space freed
+    for (auto& [ti, item] : sheds) {
+      shed_item(tenants_[ti], &item, "deadline");
+    }
+    if (batch.empty()) continue;
+    if constexpr (obs::kEnabled) {
+      if (obs_.batch_size_q) {
+        obs_.batch_size_q->observe(static_cast<double>(batch.size()));
+        obs_.batch_wait_q->observe(seconds_since(assemble_start, Clock::now()));
+        obs_.batch_occupancy->set(static_cast<double>(batch.size()) /
+                                  static_cast<double>(max_batch));
+      }
+    }
     try {
-      const std::int64_t image_id = central_.begin_image(item->image);
+      std::vector<Tensor> images;
+      images.reserve(batch.size());
+      for (SubmitItem& it : batch) images.push_back(std::move(it.image));
+      const std::int64_t image_id = central_.begin_batch(images);
       {
         std::lock_guard lock(mu_);
-        ticket_of_.emplace(image_id,
-                           std::make_pair(item->ticket, item->t_submit));
+        std::vector<BatchEntry>& entries = batch_of_[image_id];
+        entries.reserve(batch.size());
+        for (const SubmitItem& it : batch) {
+          entries.push_back(BatchEntry{it.ticket, it.tenant, it.t_submit});
+        }
       }
       ready_cv_.notify_all();  // the suffix thread may be waiting on the map
     } catch (...) {
-      // begin_image failed (e.g. infeasible allocation): nothing entered
-      // the cluster, so deliver the error straight to the ticket.
-      Pending p;
-      p.error = std::current_exception();
-      p.latency_s =
-          std::chrono::duration<double>(Clock::now() - item->t_submit).count();
-      deliver(item->ticket, std::move(p));
+      // begin_batch failed (e.g. infeasible allocation): nothing entered
+      // the cluster, so deliver the error straight to every ticket.
+      for (const SubmitItem& it : batch) {
+        Pending p;
+        p.error = std::current_exception();
+        p.latency_s = seconds_since(it.t_submit, Clock::now());
+        deliver(it.ticket, std::move(p));
+      }
     }
   }
 }
@@ -199,32 +399,31 @@ void StreamingServer::suffix_loop() {
     if (!item) break;  // closed and drained
     std::unique_ptr<CentralNode::ImageJob> job = std::move(*item);
     const std::int64_t image_id = job->image_id;
-    std::int64_t ticket = -1;
-    Clock::time_point t_submit;
+    std::vector<BatchEntry> entries;
     {
-      // The dispatcher records image_id -> ticket right after begin_image
+      // The dispatcher records image_id -> tickets right after begin_batch
       // returns; a fast gather can deliver the job here first, so wait for
       // the mapping (bounded, in case of a leaked job during teardown).
       std::unique_lock lock(mu_);
       bool mapped = ready_cv_.wait_for(
           lock, std::chrono::seconds(5),
-          [&] { return ticket_of_.count(image_id) > 0; });
+          [&] { return batch_of_.count(image_id) > 0; });
       if (!mapped) continue;  // orphan job: drop rather than deadlock
-      const auto it = ticket_of_.find(image_id);
-      ticket = it->second.first;
-      t_submit = it->second.second;
-      ticket_of_.erase(it);
+      const auto it = batch_of_.find(image_id);
+      entries = std::move(it->second);
+      batch_of_.erase(it);
     }
-    Pending p;
+    std::vector<Tensor> outputs;
+    InferStats stats;
+    std::exception_ptr error;
     try {
-      p.output = central_.finish_image(std::move(job), &p.stats);
+      outputs = central_.finish_batch(std::move(job), &stats);
     } catch (...) {
-      p.error = std::current_exception();
+      error = std::current_exception();
     }
-    p.latency_s =
-        std::chrono::duration<double>(Clock::now() - t_submit).count();
-    // Between images: let compute threads trim im2col scratch back to the
-    // working-set size (a one-off large image would otherwise pin its
+    const Clock::time_point t_done = Clock::now();
+    // Between batches: let compute threads trim im2col scratch back to the
+    // working-set size (a one-off large batch would otherwise pin its
     // high-water allocation on every thread forever), and publish the
     // packed-weight cache traffic.
     nn::shrink_scratch();
@@ -238,7 +437,23 @@ void StreamingServer::suffix_loop() {
         obs_.pack_bytes->set(static_cast<double>(nn::gemm_pack_bytes()));
       }
     }
-    deliver(ticket, std::move(p));
+    // Demux: finish_batch emits outputs in submission order, entry i gets
+    // output i. The shared stats describe the whole batch job.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      Pending p;
+      p.stats = stats;
+      if (error) {
+        p.error = error;
+      } else {
+        p.output = std::move(outputs[i]);
+      }
+      p.latency_s = seconds_since(entries[i].t_submit, t_done);
+      TenantState& t = tenants_[static_cast<std::size_t>(entries[i].tenant)];
+      if (t.slo && !p.error) {
+        t.slo->record_latency(p.latency_s, p.stats.tiles_missing > 0);
+      }
+      deliver(entries[i].ticket, std::move(p));
+    }
   }
 }
 
@@ -267,8 +482,10 @@ void StreamingServer::deliver(std::int64_t ticket, Pending pending) {
     --active_;
     if constexpr (obs::kEnabled) {
       if (obs_.in_flight) obs_.in_flight->set(static_cast<double>(active_));
-      if (obs_.images) obs_.images->add(1);
-      if (obs_.latency_s) {
+      // Delivered outputs only: sheds and errors resolve tickets too, but
+      // would distort the latency distribution.
+      if (obs_.images && !pending.error) {
+        obs_.images->add(1);
         obs_.latency_s->observe(pending.latency_s);
         obs_.latency_q->observe(pending.latency_s);
       }
@@ -277,7 +494,7 @@ void StreamingServer::deliver(std::int64_t ticket, Pending pending) {
     if (it != pending_.end()) it->second = std::move(pending);
   }
   ready_cv_.notify_all();
-  permit_cv_.notify_one();
+  permit_cv_.notify_all();
 }
 
 }  // namespace adcnn::runtime

@@ -7,38 +7,52 @@
 // drive the stages, honoring CentralNode's thread contract (one dispatcher,
 // one pump):
 //
-//   submit(image) ─▶ [input queue] ─▶ dispatcher ── begin_image ──▶ cluster
-//                  (bounded = backpressure)  │ (partition/allocate/scatter)
-//                                            ▼
+//   submit(image) ─▶ [tenant queues] ─▶ dispatcher ── begin_batch ──▶ cluster
+//                  (bounded = backpressure │ (weighted-fair dequeue, batch
+//                   or shed per tenant)    │  coalescing, deadline shed)
+//                                          ▼
 //   cluster results ─▶ gather thread ── pump_gather ──▶ [finish queue]
 //                      (demux by image_id, retries, deadlines)  │
 //                                                               ▼
-//   wait(ticket) ◀── [ready table] ◀── suffix thread ── finish_image
-//                                      (zero-fill, merge, suffix GEMMs)
+//   wait(ticket) ◀── [ready table] ◀── suffix thread ── finish_batch
+//                                      (zero-fill, merge, batched suffix
+//                                       GEMMs, per-ticket demux)
+//
+// Dynamic batching: with cfg.batching.max_batch > 1 the dispatcher
+// coalesces queued images (time-or-size triggered: a full batch dispatches
+// immediately, a partial one after max_wait_us) into ONE begin_batch call,
+// so the FDSP scatter, the workers' prefix and the central suffix all
+// operate on N-image tensors; finish_batch slices the batched output back
+// to per-ticket futures. Outputs stay bit-identical to sequential infer()
+// — per-sample GEMM accumulation is batch-size invariant.
+//
+// Multi-tenant admission: each tenant owns a bounded queue and an optional
+// SLO monitor. The dispatcher drains queues by stride scheduling (pick the
+// minimum virtual `pass`, advance by 1/weight — deterministic weighted
+// fairness), and a tenant blowing its latency budget sheds ITS OWN queued
+// images (those already past shed_wait_frac of the target while the
+// tenant's monitor is in violation) without touching other tenants.
 //
 // Admission: the dispatcher holds a permit per active image and releases
 // it only when the image's output has been delivered, so max_in_flight = 1
-// reproduces the sequential infer() schedule exactly (same Algorithm 2
-// update ordering, same retry/quarantine behavior). The input queue can be
-// bounded independently (`queue_capacity`), in which case submit() blocks —
-// backpressure on the producer rather than unbounded buffering.
-//
-// Outputs are bit-identical to sequential infer() on a fault-free cluster:
-// tile placement only decides *where* a tile is computed, and the GEMM
-// engine is bit-deterministic across thread counts.
+// with batching off reproduces the sequential infer() schedule exactly
+// (same Algorithm 2 update ordering, same retry/quarantine behavior).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
@@ -49,19 +63,57 @@
 
 namespace adcnn::runtime {
 
+/// Dynamic-batcher trigger: the dispatcher collects up to max_batch queued
+/// images per dispatch, waiting at most max_wait_us for stragglers once
+/// the first image is picked. max_batch 1 (default) dispatches one image
+/// per begin call — the original streaming behavior.
+struct BatchConfig {
+  int max_batch = 1;
+  std::int64_t max_wait_us = 500;
+};
+
+/// One tenant's admission contract. When StreamingConfig::tenants is empty
+/// the server runs a single implicit tenant fed by the legacy
+/// queue_capacity/slo fields.
+struct TenantConfig {
+  std::string name = "default";
+  /// Weighted-fair share of dispatch slots (stride scheduling: the tenant
+  /// advances its virtual time by 1/weight per dequeued image).
+  double weight = 1.0;
+  /// Per-tenant queue bound; submit() blocks while full (backpressure),
+  /// try_submit() sheds. 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// Per-tenant SLO. Active when target_latency_s > 0: deliveries feed the
+  /// monitor (exported under slo.tenant.<name>.*), and while the monitor
+  /// is in violation (a) try_submit() admits against a halved queue bound
+  /// and (b) queued images already past shed_wait_frac * target_latency_s
+  /// are shed at dispatch — only this tenant pays for its overload.
+  obs::SloConfig slo;
+  /// Fraction of target_latency_s a queued image may age before the
+  /// dispatcher sheds it during a violation episode.
+  double shed_wait_frac = 0.5;
+};
+
 struct StreamingConfig {
   /// Maximum images simultaneously active (admitted but output not yet
   /// delivered). 1 reproduces the sequential schedule.
   int max_in_flight = 2;
-  /// Input queue bound; submit() blocks while full. 0 = unbounded.
+  /// Input queue bound for the implicit single tenant; submit() blocks
+  /// while full. 0 = unbounded. Ignored when `tenants` is set.
   std::size_t queue_capacity = 0;
+  /// Dynamic batching of queued images into batched cluster calls.
+  BatchConfig batching;
+  /// Multi-tenant queues; empty = one implicit tenant (queue_capacity +
+  /// the legacy `slo` below).
+  std::vector<TenantConfig> tenants;
   /// Null sinks by default. Emits pipeline.in_flight, pipeline.queue_depth,
-  /// pipeline.images, pipeline.latency_s and stage.overlap_s.
+  /// pipeline.images, pipeline.latency_s, stage.overlap_s and (when
+  /// batching) batch.size_q / batch.wait_q / batch.occupancy.
   obs::Telemetry telemetry;
-  /// SLO watchdog over delivered images (see obs/slo.hpp). Enabled when
-  /// target_latency_s > 0: every delivery feeds the monitor (deadline
-  /// zero-fills count as misses) and try_submit() rejections count as
-  /// sheds. Exports slo.* via `telemetry.metrics` when attached.
+  /// Server-wide SLO watchdog over delivered images (see obs/slo.hpp).
+  /// Enabled when target_latency_s > 0: every delivery feeds the monitor
+  /// (deadline zero-fills count as misses) and shed images count as sheds.
+  /// Exports slo.* via `telemetry.metrics` when attached.
   obs::SloConfig slo;
   /// Background telemetry exporter over `telemetry.metrics`; started when
   /// a metrics sink is attached, period_s > 0 and at least one output path
@@ -81,19 +133,31 @@ class StreamingServer {
   StreamingServer(const StreamingServer&) = delete;
   StreamingServer& operator=(const StreamingServer&) = delete;
 
-  /// Enqueue one image; returns the ticket redeemed by wait(). Blocks while
-  /// a bounded input queue is full; throws if the server is closed.
-  std::int64_t submit(Tensor image);
+  /// Enqueue one image for tenant 0; returns the ticket redeemed by
+  /// wait(). Blocks while the tenant's bounded queue is full; throws if
+  /// the server is closed.
+  std::int64_t submit(Tensor image) { return submit(0, std::move(image)); }
 
-  /// Non-blocking admission: enqueue unless the bounded input queue is
-  /// full, in which case the image is shed (counted in pipeline.shed and
-  /// fed to the SLO monitor) and nullopt returns. Throws if closed.
-  std::optional<std::int64_t> try_submit(Tensor image);
+  /// Enqueue for a specific tenant (index into cfg.tenants).
+  std::int64_t submit(int tenant, Tensor image);
+
+  /// Non-blocking admission for tenant 0: enqueue unless the bounded queue
+  /// is full, in which case the image is shed (counted in pipeline.shed
+  /// and fed to the SLO monitors) and nullopt returns. Throws if closed.
+  std::optional<std::int64_t> try_submit(Tensor image) {
+    return try_submit(0, std::move(image));
+  }
+
+  /// Non-blocking admission for a specific tenant. While the tenant's SLO
+  /// monitor is in violation the effective queue bound is halved, so an
+  /// overloaded tenant is pushed back harder without starving the others.
+  std::optional<std::int64_t> try_submit(int tenant, Tensor image);
 
   /// Block until `ticket`'s output is ready and return it. Fills `stats`
   /// like infer() does and `latency_s` with the submit-to-ready wall time.
-  /// Rethrows any exception the image's processing raised. Each ticket can
-  /// be waited on exactly once.
+  /// Rethrows any exception the image's processing raised; an image shed
+  /// at dispatch rethrows a std::runtime_error whose message starts with
+  /// "shed:". Each ticket can be waited on exactly once.
   Tensor wait(std::int64_t ticket, InferStats* stats = nullptr,
               double* latency_s = nullptr);
 
@@ -105,9 +169,19 @@ class StreamingServer {
   /// Images admitted whose output has not yet been delivered.
   int active() const;
 
-  /// The SLO watchdog; null unless cfg.slo.target_latency_s > 0. Register
-  /// violation callbacks here.
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+
+  /// The server-wide SLO watchdog; null unless cfg.slo.target_latency_s
+  /// > 0. Register violation callbacks here.
   obs::SloMonitor* slo() { return slo_.get(); }
+
+  /// Tenant `t`'s SLO monitor; null unless that tenant's config enables
+  /// one. Throws on an out-of-range index.
+  obs::SloMonitor* tenant_slo(int tenant);
+
+  /// Images shed for tenant `t` (admission rejections + dispatch-time
+  /// deadline sheds).
+  std::int64_t tenant_shed(int tenant) const;
 
   /// The background exporter; null unless enabled by the config.
   obs::TelemetryExporter* exporter() { return exporter_.get(); }
@@ -115,6 +189,7 @@ class StreamingServer {
  private:
   struct SubmitItem {
     std::int64_t ticket;
+    int tenant;
     Tensor image;
     std::chrono::steady_clock::time_point t_submit;
   };
@@ -125,29 +200,55 @@ class StreamingServer {
     double latency_s = 0.0;
     std::exception_ptr error;
   };
+  /// One admitted batch member, recorded under image_id for the suffix
+  /// thread's demux.
+  struct BatchEntry {
+    std::int64_t ticket;
+    int tenant;
+    std::chrono::steady_clock::time_point t_submit;
+  };
+  struct TenantState {
+    TenantConfig cfg;
+    std::deque<SubmitItem> queue;
+    /// Stride-scheduling virtual time; the dispatcher picks the non-empty
+    /// tenant with the minimum pass and advances it by 1/weight.
+    double pass = 0.0;
+    std::int64_t shed_total = 0;
+    std::unique_ptr<obs::SloMonitor> slo;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  };
 
   void dispatch_loop();
   void gather_loop();
   void suffix_loop();
   void deliver(std::int64_t ticket, Pending pending);
+  /// Shed one queued image (dispatch-time deadline shed or try_submit
+  /// rejection): counts it for the tenant + server and, for `item`
+  /// non-null, resolves its ticket with a "shed:" error.
+  void shed_item(TenantState& tenant, SubmitItem* item, const char* why);
+  TenantState& checked_tenant(int tenant);
 
   CentralNode& central_;
   StreamingConfig cfg_;
-  Channel<SubmitItem> input_;
   Channel<std::unique_ptr<CentralNode::ImageJob>> finish_;
 
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;   // wait() sleeps here
   std::condition_variable permit_cv_;  // dispatcher waits for a free permit
+  std::condition_variable input_cv_;   // dispatcher waits for queued work
+  std::condition_variable submit_cv_;  // producers wait for queue space
   std::int64_t next_ticket_ = 0;
   int active_ = 0;
   bool closed_ = false;
+  std::vector<TenantState> tenants_;
+  std::size_t queued_total_ = 0;
   std::map<std::int64_t, Pending> pending_;
-  /// image_id -> (ticket, submit time), written by the dispatcher before
-  /// results can reach the finish queue, erased by the suffix thread.
-  std::map<std::int64_t,
-           std::pair<std::int64_t, std::chrono::steady_clock::time_point>>
-      ticket_of_;
+  /// image_id -> the batch's members (submission order = the order
+  /// finish_batch emits outputs), written by the dispatcher before results
+  /// can reach the finish queue, erased by the suffix thread.
+  std::map<std::int64_t, std::vector<BatchEntry>> batch_of_;
   std::chrono::steady_clock::time_point t_first_dispatch_;
   bool dispatched_any_ = false;
   double stage_seconds_total_ = 0.0;  // Σ per-image stage sums (overlap calc)
@@ -163,10 +264,13 @@ class StreamingServer {
     obs::Gauge* in_flight = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Counter* images = nullptr;
-    obs::Counter* shed = nullptr;         // try_submit rejections
+    obs::Counter* shed = nullptr;         // admission + dispatch sheds
     obs::Histogram* latency_s = nullptr;
     obs::QuantileHistogram* latency_q = nullptr;
     obs::Gauge* overlap_s = nullptr;
+    obs::QuantileHistogram* batch_size_q = nullptr;  // achieved batch sizes
+    obs::QuantileHistogram* batch_wait_q = nullptr;  // assemble wall time
+    obs::Gauge* batch_occupancy = nullptr;  // achieved / max_batch
     obs::Gauge* scratch_bytes = nullptr;  // nn.scratch_bytes
     obs::Gauge* pack_hits = nullptr;      // gemm.pack_hits (process-wide)
     obs::Gauge* pack_misses = nullptr;    // gemm.pack_misses

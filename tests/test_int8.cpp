@@ -189,6 +189,86 @@ TEST(Int8Gemm, ConvLayerMatchesIm2colReference) {
             0);
 }
 
+TEST(Int8Gemm, RectStrideConvMatchesIm2colReference) {
+  // Rectangular strides (sh != sw) over ragged shapes: the strided direct
+  // conv entry must stay bit-identical to quantize + strided im2col +
+  // reference GEMM. Covers asymmetric padding, kernels wider than tall,
+  // stride larger than kernel, and the ragged channel quad (cin=5).
+  struct Case {
+    std::int64_t cin, cout, h, w, kh, kw, sh, sw, ph, pw;
+  };
+  const Case cases[] = {
+      {3, 7, 9, 11, 3, 2, 2, 3, 1, 0},
+      {5, 6, 11, 9, 2, 3, 3, 2, 0, 1},
+      {4, 8, 13, 10, 1, 4, 1, 2, 0, 2},
+      {5, 9, 10, 13, 4, 1, 2, 1, 2, 0},
+      {3, 5, 8, 8, 2, 2, 4, 2, 1, 1},  // stride taller than kernel
+  };
+  for (const Case& tc : cases) {
+    SCOPED_TRACE(testing::Message()
+                 << "cin=" << tc.cin << " h=" << tc.h << " w=" << tc.w
+                 << " k=" << tc.kh << "x" << tc.kw << " s=" << tc.sh << "x"
+                 << tc.sw << " p=" << tc.ph << "x" << tc.pw);
+    Rng rng(static_cast<std::uint64_t>(tc.cin * 101 + tc.h * 13 + tc.sw));
+    Conv2d conv(tc.cin, tc.cout, tc.kh, tc.kw, tc.sh, tc.sw, tc.ph, tc.pw,
+                /*bias=*/true, rng);
+    const Tensor x = Tensor::randn(Shape{1, tc.cin, tc.h, tc.w}, rng);
+
+    ActQuant q;
+    q.scale = 0.02f;
+    q.zero_point = 128;
+    conv.set_input_quant(q);
+    ASSERT_TRUE(conv.int8_ready());
+    Tensor y;
+    {
+      ScopedInt8Compute scope;
+      y = conv.forward(x, Mode::kEval);
+    }
+    const std::int64_t hout = (tc.h + 2 * tc.ph - tc.kh) / tc.sh + 1;
+    const std::int64_t wout = (tc.w + 2 * tc.pw - tc.kw) / tc.sw + 1;
+    ASSERT_EQ(y.shape(), (Shape{1, tc.cout, hout, wout}));
+
+    // Strided u8 im2col in the (ci, ky, kx) k-order of the flat weights.
+    const std::int64_t k = tc.cin * tc.kh * tc.kw, n = hout * wout;
+    std::vector<std::uint8_t> xq(
+        static_cast<std::size_t>(tc.cin * tc.h * tc.w));
+    quantize_activations_u8(x.data(), xq.size(), q, xq.data());
+    std::vector<std::uint8_t> col(static_cast<std::size_t>(k * n));
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < tc.cin; ++c) {
+      for (std::int64_t ky = 0; ky < tc.kh; ++ky) {
+        for (std::int64_t kx = 0; kx < tc.kw; ++kx, ++row) {
+          for (std::int64_t oy = 0; oy < hout; ++oy) {
+            for (std::int64_t ox = 0; ox < wout; ++ox) {
+              const std::int64_t iy = oy * tc.sh + ky - tc.ph;
+              const std::int64_t ix = ox * tc.sw + kx - tc.pw;
+              const bool in_range =
+                  iy >= 0 && iy < tc.h && ix >= 0 && ix < tc.w;
+              col[static_cast<std::size_t>(row * n + oy * wout + ox)] =
+                  in_range ? xq[static_cast<std::size_t>(
+                                 (c * tc.h + iy) * tc.w + ix)]
+                           : static_cast<std::uint8_t>(q.zero_point);
+            }
+          }
+        }
+      }
+    }
+    std::vector<std::int8_t> wq(static_cast<std::size_t>(tc.cout * k));
+    std::vector<float> wscale(static_cast<std::size_t>(tc.cout));
+    std::vector<std::int32_t> wsum(static_cast<std::size_t>(tc.cout));
+    quantize_weights_s8(conv.weight().value.data(), tc.cout, k, wq.data(),
+                        wscale.data(), wsum.data());
+    EpilogueInt8 epi;
+    epi.bias = conv.bias().value.data();
+    std::vector<float> c_ref(static_cast<std::size_t>(tc.cout * n));
+    gemm_s8u8_ref(wq.data(), wscale.data(), wsum.data(), col.data(),
+                  c_ref.data(), tc.cout, k, n, q, &epi);
+    ASSERT_EQ(std::memcmp(y.data(), c_ref.data(),
+                          c_ref.size() * sizeof(float)),
+              0);
+  }
+}
+
 TEST(Int8Gemm, LinearLayerTracksFp32WithinTolerance) {
   Rng rng(23);
   Linear fc(48, 10, rng);
